@@ -1,0 +1,59 @@
+"""Extension ablation: inverse-uniform (w/u) vs exponential (u^{1/w}) ranks.
+
+Not a paper table — DESIGN.md lists the rank family as the one degree of
+freedom the WSD framework leaves open (any monotone rank family with a
+closed-form inclusion probability yields an unbiased estimator). This
+bench compares the paper's w/u ranks against Efraimidis–Spirakis
+exponential ranks under identical weights and budgets.
+"""
+
+from conftest import run_once
+
+from repro.estimators.metrics import absolute_relative_error
+from repro.experiments.config import LIGHT, ExperimentConfig
+from repro.experiments.runner import compute_ground_truth
+from repro.samplers.wsd import WSD
+from repro.utils.rng import RngFactory
+from repro.utils.tables import format_table
+from repro.weights.heuristic import GPSHeuristicWeight
+
+
+def _run():
+    import numpy as np
+
+    rows = []
+    for dataset in ("cit-PT", "com-YT", "web-GL"):
+        config = ExperimentConfig(
+            dataset=dataset, scenario=LIGHT, trials=5, seed=0
+        )
+        stream = config.build_stream()
+        truth = compute_ground_truth(stream, "triangle", config.checkpoints)
+        budget = config.effective_budget(stream)
+        factory = RngFactory(0)
+        cells = {}
+        for rank_fn in ("inverse-uniform", "exponential"):
+            ares = []
+            for trial in range(config.trials):
+                sampler = WSD(
+                    "triangle", budget, GPSHeuristicWeight(),
+                    rank_fn=rank_fn,
+                    rng=factory.generator(f"{dataset}-{rank_fn}-{trial}"),
+                )
+                estimate = sampler.process_stream(stream)
+                ares.append(
+                    absolute_relative_error(estimate, truth.final_truth)
+                )
+            cells[rank_fn] = float(np.mean(ares))
+        rows.append([dataset, cells["inverse-uniform"], cells["exponential"]])
+    return rows
+
+
+def test_ablation_rank_functions(benchmark, save_result):
+    rows = run_once(benchmark, _run)
+    text = format_table(
+        ["Graph", "w/u ranks (paper)", "exponential ranks"],
+        rows,
+        title="WSD-H ARE (%) by rank family (light deletion, triangles)",
+    )
+    save_result("ablation_rank_functions", text)
+    assert all(row[1] >= 0.0 and row[2] >= 0.0 for row in rows)

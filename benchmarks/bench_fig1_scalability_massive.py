@@ -1,0 +1,18 @@
+"""Figure 1: scalability (ARE & time vs stream size), massive deletion."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure_scalability
+
+
+def test_fig1_scalability_massive(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: figure_scalability(
+            "massive", trials=3, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("fig1_scalability_massive", result.format())
+    times = result.ys("WSD-L time (s)")
+    # Running time grows with the stream (linear complexity, Theorem 5).
+    assert times[-1] > times[0]

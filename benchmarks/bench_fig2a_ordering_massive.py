@@ -1,0 +1,16 @@
+"""Figure 2(a): ARE under natural/UAR/RBFS orderings, massive deletion."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure_ordering
+
+
+def test_fig2a_ordering_massive(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: figure_ordering(
+            "massive", trials=5, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("fig2a_ordering_massive", result.format())
+    assert len(result.series["WSD-L"]) == 3

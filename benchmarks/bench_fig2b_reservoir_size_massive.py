@@ -1,0 +1,22 @@
+"""Figure 2(b): ARE vs reservoir size M (1-5% of |E|), massive deletion."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure_reservoir_size
+
+
+def test_fig2b_reservoir_size_massive(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: figure_reservoir_size(
+            "massive", trials=5, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("fig2b_reservoir_size_massive", result.format())
+    # Massive-scenario ARE at this scale is noisy per-point; check the
+    # sweep produced a full, finite series per algorithm (the shape
+    # comparison lives in EXPERIMENTS.md).
+    for name in result.series:
+        ys = result.ys(name)
+        assert len(ys) == 5
+        assert all(y >= 0.0 for y in ys)

@@ -1,0 +1,15 @@
+"""Figure 2(c): training time and ARE vs training-graph size, massive."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure_training_size
+
+
+def test_fig2c_training_size_massive(benchmark, save_result):
+    result = run_once(
+        benchmark, lambda: figure_training_size("massive", seed=0)
+    )
+    save_result("fig2c_training_size_massive", result.format())
+    times = result.ys("train time (s)")
+    # Training cost grows with the training-graph size.
+    assert times[-1] > times[0]

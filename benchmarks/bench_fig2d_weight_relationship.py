@@ -1,0 +1,17 @@
+"""Figure 2(d): learned edge weight vs per-edge triangle count, massive."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure_weight_relationship
+
+
+def test_fig2d_weight_relationship_massive(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: figure_weight_relationship(
+            "massive", runs=10, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("fig2d_weight_relationship_massive", result.format())
+    series = result.series["mean weight"]
+    assert len(series) >= 2

@@ -1,0 +1,17 @@
+"""Figure 3: scalability (ARE & time vs stream size), light deletion."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure_scalability
+
+
+def test_fig3_scalability_light(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: figure_scalability(
+            "light", trials=3, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("fig3_scalability_light", result.format())
+    times = result.ys("WSD-H time (s)")
+    assert times[-1] > times[0]

@@ -1,0 +1,54 @@
+"""Figure 4(a-d): the light-deletion counterparts of Figure 2."""
+
+from conftest import run_once
+
+from repro.experiments.figures import (
+    figure_ordering,
+    figure_reservoir_size,
+    figure_training_size,
+    figure_weight_relationship,
+)
+
+
+def test_fig4a_ordering_light(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: figure_ordering(
+            "light", trials=5, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("fig4a_ordering_light", result.format())
+    assert len(result.series["WSD-H"]) == 3
+
+
+def test_fig4b_reservoir_size_light(benchmark, policy_store, save_result):
+    result = benchmark.pedantic(
+        lambda: figure_reservoir_size(
+            "light", trials=5, seed=0, policy_store=policy_store
+        ),
+        rounds=1, iterations=1,
+    )
+    save_result("fig4b_reservoir_size_light", result.format())
+    for name in result.series:
+        ys = result.ys(name)
+        assert ys[-1] <= ys[0] * 1.5
+
+
+def test_fig4c_training_size_light(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure_training_size("light", seed=0),
+        rounds=1, iterations=1,
+    )
+    save_result("fig4c_training_size_light", result.format())
+    assert result.ys("train time (s)")
+
+
+def test_fig4d_weight_relationship_light(benchmark, policy_store, save_result):
+    result = benchmark.pedantic(
+        lambda: figure_weight_relationship(
+            "light", runs=10, seed=0, policy_store=policy_store
+        ),
+        rounds=1, iterations=1,
+    )
+    save_result("fig4d_weight_relationship_light", result.format())
+    assert result.series["mean weight"]

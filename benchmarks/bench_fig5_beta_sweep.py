@@ -1,0 +1,20 @@
+"""Figure 5: ARE vs beta_m and beta_l sweeps on cit-PT."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure_beta_sweep
+
+
+def test_fig5_beta_sweep(benchmark, policy_store, save_result):
+    results = run_once(
+        benchmark,
+        lambda: figure_beta_sweep(
+            trials=5, seed=0, policy_store=policy_store
+        ),
+    )
+    text = "\n\n".join(
+        results[name].format() for name in ("massive", "light")
+    )
+    save_result("fig5_beta_sweep", text)
+    assert len(results["massive"].series["WSD-L"]) == 5
+    assert len(results["light"].series["WSD-L"]) == 5

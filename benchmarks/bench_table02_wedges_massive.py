@@ -1,0 +1,17 @@
+"""Table II: counting wedges under the massive deletion scenario."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table_counts
+
+
+def test_table02_wedges_massive(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: table_counts(
+            "wedge", "massive", trials=5, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("table02_wedges_massive", result.format())
+    for dataset in result.raw["ARE (%)"]:
+        assert result.value("ARE (%)", dataset, "WSD-L") >= 0.0

@@ -1,0 +1,17 @@
+"""Table III: counting triangles under the massive deletion scenario."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table_counts
+
+
+def test_table03_triangles_massive(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: table_counts(
+            "triangle", "massive", trials=5, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("table03_triangles_massive", result.format())
+    for dataset in result.raw["ARE (%)"]:
+        assert result.value("Time (s)", dataset, "WSD-H") > 0.0

@@ -1,0 +1,14 @@
+"""Table IV: training time (triangles & wedges) under massive deletion."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table_training_time
+
+
+def test_table04_training_time_massive(benchmark, save_result):
+    result = run_once(
+        benchmark, lambda: table_training_time("massive", iterations=300)
+    )
+    save_result("table04_training_time_massive", result.format())
+    for dataset in result.raw["Time (s)"]:
+        assert result.value("Time (s)", dataset, "triangle") > 0.0

@@ -1,0 +1,16 @@
+"""Table V: transferability of WSD-L policies, massive deletion."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table_transferability
+
+
+def test_table05_transferability_massive(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: table_transferability(
+            "massive", trials=5, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("table05_transferability_massive", result.format())
+    assert result.raw["ARE (%)"]

@@ -1,0 +1,16 @@
+"""Table VI: the insertion-only scenario on cit-PT."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table_insertion_only
+
+
+def test_table06_insertion_only(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: table_insertion_only(
+            trials=5, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("table06_insertion_only", result.format())
+    assert result.value("ARE (%)", "ARE (%)", "GPS") >= 0.0

@@ -1,0 +1,16 @@
+"""Table VII: counting 4-cliques under the massive deletion scenario."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table_counts
+
+
+def test_table07_4cliques_massive(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: table_counts(
+            "4-clique", "massive", trials=5, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("table07_4cliques_massive", result.format())
+    assert result.raw["ARE (%)"]

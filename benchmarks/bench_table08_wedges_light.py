@@ -1,0 +1,16 @@
+"""Table VIII: counting wedges under the light deletion scenario."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table_counts
+
+
+def test_table08_wedges_light(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: table_counts(
+            "wedge", "light", trials=5, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("table08_wedges_light", result.format())
+    assert result.raw["MARE (%)"]

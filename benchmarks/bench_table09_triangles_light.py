@@ -1,0 +1,16 @@
+"""Table IX: counting triangles under the light deletion scenario."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table_counts
+
+
+def test_table09_triangles_light(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: table_counts(
+            "triangle", "light", trials=5, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("table09_triangles_light", result.format())
+    assert result.raw["ARE (%)"]

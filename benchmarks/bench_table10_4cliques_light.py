@@ -1,0 +1,16 @@
+"""Table X: counting 4-cliques under the light deletion scenario."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table_counts
+
+
+def test_table10_4cliques_light(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: table_counts(
+            "4-clique", "light", trials=5, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("table10_4cliques_light", result.format())
+    assert result.raw["ARE (%)"]

@@ -1,0 +1,13 @@
+"""Table XI: training time (triangles & wedges) under light deletion."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table_training_time
+
+
+def test_table11_training_time_light(benchmark, save_result):
+    result = run_once(
+        benchmark, lambda: table_training_time("light", iterations=300)
+    )
+    save_result("table11_training_time_light", result.format())
+    assert result.raw["Time (s)"]

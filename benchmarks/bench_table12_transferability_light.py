@@ -1,0 +1,16 @@
+"""Table XII: transferability of WSD-L policies, light deletion."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table_transferability
+
+
+def test_table12_transferability_light(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: table_transferability(
+            "light", trials=5, seed=0, policy_store=policy_store
+        ),
+    )
+    save_result("table12_transferability_light", result.format())
+    assert result.raw["ARE (%)"]

@@ -1,0 +1,14 @@
+"""Table XIII: WSD-L (Max) vs WSD-L (Avg) vs WSD-H ablation."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table_ablation
+
+
+def test_table13_ablation(benchmark, policy_store, save_result):
+    result = run_once(
+        benchmark,
+        lambda: table_ablation(trials=5, seed=0, policy_store=policy_store),
+    )
+    save_result("table13_ablation", result.format())
+    assert result.raw

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper table/figure at this reproduction's
+scale, times it with pytest-benchmark (single round — these are
+experiments, not micro-benchmarks), prints the result, and writes it to
+``benchmarks/results/`` so EXPERIMENTS.md can reference the artefacts.
+
+WSD-L policies are trained once per (dataset, pattern, scenario, β) and
+cached on disk under ``benchmarks/.policy_cache/`` to keep reruns fast.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.algorithms import PolicyStore
+
+RESULTS_DIR = Path(__file__).parent / "results"
+CACHE_DIR = Path(__file__).parent / ".policy_cache"
+
+
+@pytest.fixture(scope="session")
+def policy_store() -> PolicyStore:
+    """Session-wide policy store with on-disk caching."""
+    CACHE_DIR.mkdir(exist_ok=True)
+    return PolicyStore(iterations=300, num_streams=4, cache_dir=CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Write a formatted table/figure to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Streaming anomaly detection via triangle-to-degree ratios.
+
+The paper's introduction motivates subgraph counting with spam/anomaly
+detection [Kang et al.]: normal accounts have mild triangle-count to
+degree ratios, while spammers link many otherwise-unconnected accounts
+— high degree, almost no triangles. This example monitors a social
+stream with a *local* variant of the WSD machinery:
+
+* a WSD sampler maintains a weighted edge sample of the stream;
+* per-vertex triangle participation is estimated from the sampled
+  instances (each instance contributes its inverse inclusion
+  probability to its three vertices);
+* vertices whose estimated triangles-per-degree-pair ratio is far below
+  the population are flagged.
+
+A synthetic "spammer" is injected: one vertex that connects to many
+random users who share no mutual edges.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro import WSD, GPSHeuristicWeight, build_stream
+from repro.graph.edges import canonical_edge
+from repro.graph.generators import powerlaw_cluster
+
+
+def inject_spammer(edges, fan_out=60, rng=None):
+    """Append a burst of spammer edges to random low-degree targets."""
+    rng = np.random.default_rng(rng)
+    vertices = sorted({v for e in edges for v in e})
+    spammer = max(vertices) + 1
+    targets = rng.choice(len(vertices), size=fan_out, replace=False)
+    spam_edges = [
+        canonical_edge(spammer, vertices[int(t)]) for t in targets
+    ]
+    # Interleave spam edges through the last half of the stream.
+    out = list(edges)
+    positions = sorted(
+        rng.integers(len(out) // 2, len(out), size=len(spam_edges))
+    )
+    for offset, (pos, edge) in enumerate(zip(positions, spam_edges)):
+        out.insert(pos + offset, edge)
+    return out, spammer
+
+
+def main() -> None:
+    edges = powerlaw_cluster(1_500, m=6, triangle_probability=0.8, rng=0)
+    edges, spammer = inject_spammer(edges, fan_out=60, rng=1)
+    stream = build_stream(edges, "light", beta=0.1, rng=2)
+    print(f"stream: {len(stream)} events; injected spammer vertex {spammer}")
+
+    budget = max(8, stream.num_insertions // 10)
+    sampler = WSD("triangle", budget, GPSHeuristicWeight(), rng=3)
+
+    # Estimated per-vertex triangle participation: every instance found
+    # by the estimator credits its three vertices with the instance's
+    # inverse-probability value.
+    local_triangles: dict[object, float] = defaultdict(float)
+    degree: dict[object, int] = defaultdict(int)
+
+    for event in stream:
+        u, v = event.edge
+        if event.is_insertion:
+            degree[u] += 1
+            degree[v] += 1
+        else:
+            degree[u] -= 1
+            degree[v] -= 1
+        before = sampler.estimate
+        sampler.process(event)
+        delta = sampler.estimate - before
+        if delta != 0.0 and sampler.last_context is not None:
+            for instance in (
+                sampler.last_context.instances if event.is_insertion else ()
+            ):
+                vertices = {u, v}
+                for a, b in instance:
+                    vertices.update((a, b))
+                share = delta / max(
+                    1, len(sampler.last_context.instances)
+                )
+                for vertex in vertices:
+                    local_triangles[vertex] += share
+
+    # Anomaly score: degree-pair count vs estimated triangle share.
+    print(f"\n{'vertex':>8s} {'degree':>7s} {'est. local tri':>15s} "
+          f"{'ratio':>9s}")
+    scored = []
+    for vertex, d in degree.items():
+        if d < 25:
+            continue
+        pairs = d * (d - 1) / 2
+        ratio = local_triangles.get(vertex, 0.0) / pairs
+        scored.append((ratio, vertex, d, local_triangles.get(vertex, 0.0)))
+    scored.sort()
+    for ratio, vertex, d, tri in scored[:5]:
+        marker = "  <-- injected spammer" if vertex == spammer else ""
+        print(f"{str(vertex):>8s} {d:7d} {tri:15.1f} {ratio:9.4f}{marker}")
+
+    flagged = scored[0][1]
+    print(
+        f"\nlowest triangle/degree ratio: vertex {flagged} "
+        f"({'correctly flags the spammer' if flagged == spammer else 'spammer not ranked first'})"
+    )
+
+
+if __name__ == "__main__":
+    main()

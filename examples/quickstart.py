@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate triangle counts on a fully dynamic graph stream.
+
+This walks through the library's core loop in five steps:
+
+1. generate a graph with temporal structure (Forest Fire, as in the
+   paper's synthetic experiments);
+2. turn it into a fully dynamic stream (insertions + massive deletions);
+3. maintain exact ground truth alongside (for evaluation only — the
+   samplers never see it);
+4. run WSD with the GPS heuristic weight (WSD-H) and two uniform
+   baselines under the same memory budget;
+5. compare final estimates and ARE.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ExactCounter,
+    GPSHeuristicWeight,
+    ThinkD,
+    Triest,
+    UniformWeight,
+    WSD,
+    build_stream,
+)
+from repro.estimators import absolute_relative_error
+from repro.graph.generators import forest_fire
+
+
+def main() -> None:
+    # 1. A graph whose edges arrive in generation order.
+    edges = forest_fire(3_000, p=0.5, rng=0)
+    print(f"graph: {len(edges)} edges")
+
+    # 2. A fully dynamic stream: each edge has a 20% chance of being
+    # deleted at a random later position (the light-deletion scenario).
+    stream = build_stream(edges, "light", beta=0.2, rng=1)
+    print(
+        f"stream: {len(stream)} events "
+        f"({stream.num_insertions} insertions, {stream.num_deletions} deletions)"
+    )
+
+    # 3. Exact ground truth (linear time, for evaluation only).
+    truth = ExactCounter("triangle").process_stream(stream)
+    print(f"exact triangle count at the end of the stream: {truth}")
+
+    # 4. Four samplers sharing one memory budget M. WSD accepts any
+    # weight function; the learned one (WSD-L) is trained in
+    # examples/train_wsd_l.py and is the paper's most accurate variant.
+    budget = max(8, stream.num_insertions // 25)  # 4% of insertions
+    samplers = {
+        "WSD-H (heuristic)": WSD(
+            "triangle", budget, GPSHeuristicWeight(), rng=42
+        ),
+        "WSD-U (uniform w)": WSD("triangle", budget, UniformWeight(), rng=42),
+        "Triest (baseline)": Triest("triangle", budget, rng=42),
+        "ThinkD (baseline)": ThinkD("triangle", budget, rng=42),
+    }
+
+    # 5. One pass each; report estimate and absolute relative error.
+    print(f"\nmemory budget M = {budget} edges")
+    print(f"{'algorithm':20s} {'estimate':>12s} {'ARE %':>8s}")
+    for name, sampler in samplers.items():
+        estimate = sampler.process_stream(stream)
+        are = absolute_relative_error(estimate, truth)
+        print(f"{name:20s} {estimate:12.1f} {are:8.2f}")
+    print("\nnext: python examples/train_wsd_l.py trains the RL weight "
+          "function (WSD-L)")
+
+
+if __name__ == "__main__":
+    main()

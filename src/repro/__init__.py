@@ -1,0 +1,78 @@
+"""WSD: RL-enhanced weighted sampling for subgraph counting on fully
+dynamic graph streams.
+
+A production-quality reproduction of Wang et al., "Reinforcement
+Learning Enhanced Weighted Sampling for Accurate Subgraph Counting on
+Fully Dynamic Graph Streams" (ICDE 2023). The public API re-exports the
+pieces a typical user needs:
+
+* samplers: :class:`WSD`, :class:`GPS`, :class:`GPSA`, :class:`Triest`,
+  :class:`ThinkD`, :class:`WRS`;
+* weight functions: :class:`GPSHeuristicWeight` (WSD-H),
+  :class:`LearnedWeight` (WSD-L), :class:`UniformWeight`;
+* patterns: triangle / wedge / 4-clique via :func:`get_pattern`;
+* streams: :class:`EdgeStream`, :func:`build_stream`, scenario builders;
+* RL training: :func:`train_weight_policy`, :class:`Policy`;
+* metrics: ARE / MARE and :func:`run_with_trace`;
+* experiments: the table/figure regenerators under
+  :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import WSD, GPSHeuristicWeight, build_stream, ExactCounter
+    from repro.graph.generators import forest_fire
+
+    edges = forest_fire(2000, p=0.5, rng=0)
+    stream = build_stream(edges, "massive", rng=1)
+    sampler = WSD("triangle", budget=500, weight_fn=GPSHeuristicWeight(), rng=2)
+    estimate = sampler.process_stream(stream)
+"""
+
+from repro.errors import ReproError
+from repro.estimators import (
+    absolute_relative_error,
+    mean_absolute_relative_error,
+    run_with_trace,
+)
+from repro.graph import DynamicAdjacency, EdgeEvent, EdgeStream
+from repro.graph.datasets import load_dataset
+from repro.patterns import ExactCounter, get_pattern
+from repro.rl import Policy, train_weight_policy
+from repro.samplers import GPS, GPSA, WRS, SubgraphCountingSampler, ThinkD, Triest, WSD
+from repro.streams import build_stream
+from repro.weights import (
+    GPSHeuristicWeight,
+    LearnedWeight,
+    UniformWeight,
+    WeightFunction,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "DynamicAdjacency",
+    "EdgeEvent",
+    "EdgeStream",
+    "load_dataset",
+    "ExactCounter",
+    "get_pattern",
+    "Policy",
+    "train_weight_policy",
+    "SubgraphCountingSampler",
+    "WSD",
+    "GPS",
+    "GPSA",
+    "Triest",
+    "ThinkD",
+    "WRS",
+    "build_stream",
+    "GPSHeuristicWeight",
+    "LearnedWeight",
+    "UniformWeight",
+    "WeightFunction",
+    "absolute_relative_error",
+    "mean_absolute_relative_error",
+    "run_with_trace",
+    "__version__",
+]

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class. Subclasses are grouped by the
+subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-structure errors."""
+
+
+class EdgeExistsError(GraphError):
+    """Raised when inserting an edge that is already present."""
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when deleting or querying an edge that is absent."""
+
+
+class SelfLoopError(GraphError):
+    """Raised when an operation would create a self-loop.
+
+    The paper ignores self-loops in all datasets (Section V-A), so the
+    library rejects them at construction time rather than silently
+    dropping them.
+    """
+
+
+class StreamError(ReproError):
+    """Base class for edge-stream errors."""
+
+
+class InfeasibleEventError(StreamError):
+    """Raised when an event sequence violates stream feasibility.
+
+    Feasibility (Section II): an insertion of an edge already alive, or
+    a deletion of an edge not alive, is infeasible.
+    """
+
+
+class StreamFormatError(StreamError):
+    """Raised when parsing a malformed stream file."""
+
+
+class SamplerError(ReproError):
+    """Base class for sampler errors."""
+
+
+class ReservoirFullError(SamplerError):
+    """Raised when forcing an item into a full fixed-size reservoir."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid user-supplied configuration values."""
+
+
+class PolicyError(ReproError):
+    """Raised for malformed or incompatible learned policies."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset name is unknown or a file cannot be read."""

@@ -1,0 +1,28 @@
+"""Estimation metrics, local counting, variance analysis, and traces."""
+
+from repro.estimators.local import LocalSubgraphCounter
+from repro.estimators.metrics import (
+    absolute_relative_error,
+    mean_absolute_relative_error,
+)
+from repro.estimators.tracker import EstimateTrace, run_with_trace
+from repro.estimators.variance import (
+    TrialSummary,
+    bootstrap_confidence_interval,
+    normal_confidence_interval,
+    repeated_trials,
+    summarize_trials,
+)
+
+__all__ = [
+    "absolute_relative_error",
+    "mean_absolute_relative_error",
+    "EstimateTrace",
+    "run_with_trace",
+    "LocalSubgraphCounter",
+    "TrialSummary",
+    "repeated_trials",
+    "normal_confidence_interval",
+    "bootstrap_confidence_interval",
+    "summarize_trials",
+]

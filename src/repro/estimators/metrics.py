@@ -1,0 +1,51 @@
+"""Error metrics (Section V-A): ARE and MARE.
+
+* **ARE** — absolute relative error at the end of the stream:
+  |X̂ − X| / X · 100%.
+* **MARE** — mean absolute relative error over checkpoints:
+  (1/T) Σ |X̂_t − X_t| / X_t · 100%.
+
+Checkpoints with zero ground truth are skipped (the relative error is
+undefined there); the paper's streams never hit zero counts at its
+scale, ours can during massive deletions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["absolute_relative_error", "mean_absolute_relative_error"]
+
+
+def absolute_relative_error(estimate: float, truth: float) -> float:
+    """ARE in percent. Raises if the ground truth is zero."""
+    if truth == 0:
+        raise ConfigurationError(
+            "ARE undefined for zero ground truth; choose a checkpoint with "
+            "a non-zero count"
+        )
+    return abs(estimate - truth) / abs(truth) * 100.0
+
+
+def mean_absolute_relative_error(
+    estimates: Sequence[float], truths: Sequence[float]
+) -> float:
+    """MARE in percent over paired checkpoint traces.
+
+    Checkpoints with zero truth are skipped; raises if every checkpoint
+    has zero truth or the traces' lengths differ.
+    """
+    if len(estimates) != len(truths):
+        raise ConfigurationError(
+            f"trace lengths differ: {len(estimates)} vs {len(truths)}"
+        )
+    est = np.asarray(estimates, dtype=np.float64)
+    tru = np.asarray(truths, dtype=np.float64)
+    mask = tru != 0.0
+    if not mask.any():
+        raise ConfigurationError("MARE undefined: all checkpoints have zero truth")
+    return float(np.mean(np.abs(est[mask] - tru[mask]) / np.abs(tru[mask])) * 100.0)

@@ -1,0 +1,151 @@
+"""Repeated-trial variance analysis and confidence intervals.
+
+The paper reports means over 100 sampling repetitions. This module
+provides the matching analysis tools: run a sampler factory repeatedly
+over one stream, and summarise the estimate distribution with normal
+and percentile-bootstrap confidence intervals plus the coefficient of
+variation (the natural scale-free accuracy measure for unbiased
+estimators).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.stream import EdgeStream
+from repro.samplers.base import SubgraphCountingSampler
+from repro.utils.rng import RngFactory, ensure_rng
+
+__all__ = [
+    "TrialSummary",
+    "repeated_trials",
+    "normal_confidence_interval",
+    "bootstrap_confidence_interval",
+    "summarize_trials",
+]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Distribution summary of repeated independent estimates."""
+
+    estimates: tuple[float, ...]
+    mean: float
+    std: float
+    stderr: float
+    ci_low: float
+    ci_high: float
+    level: float
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """std / |mean| — the scale-free spread of an unbiased estimator."""
+        if self.mean == 0.0:
+            return float("inf")
+        return self.std / abs(self.mean)
+
+    def covers(self, truth: float) -> bool:
+        """Whether the confidence interval contains ``truth``."""
+        return self.ci_low <= truth <= self.ci_high
+
+
+def repeated_trials(
+    sampler_factory: Callable[[np.random.Generator], SubgraphCountingSampler],
+    stream: EdgeStream,
+    trials: int,
+    seed: int = 0,
+) -> list[float]:
+    """Run ``trials`` independent samplers over ``stream``.
+
+    ``sampler_factory`` receives a fresh deterministic generator per
+    trial and must return a new sampler.
+    """
+    if trials < 1:
+        raise ConfigurationError("trials must be >= 1")
+    factory = RngFactory(seed)
+    estimates = []
+    for trial in range(trials):
+        sampler = sampler_factory(factory.generator(f"trial-{trial}"))
+        estimates.append(sampler.process_stream(stream))
+    return estimates
+
+
+def normal_confidence_interval(
+    estimates: Sequence[float], level: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation CI for the mean of the estimates."""
+    if not 0.0 < level < 1.0:
+        raise ConfigurationError(f"level must be in (0, 1), got {level}")
+    if len(estimates) < 2:
+        raise ConfigurationError("need at least 2 estimates")
+    arr = np.asarray(estimates, dtype=np.float64)
+    mean = float(arr.mean())
+    stderr = float(arr.std(ddof=1) / np.sqrt(len(arr)))
+    # Two-sided normal quantile without scipy: Acklam-style inverse via
+    # numpy's erfinv equivalent. sqrt(2) * erfinv(level) == z.
+    z = float(np.sqrt(2.0) * _erfinv(level))
+    return mean - z * stderr, mean + z * stderr
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki's approximation, |err| < 5e-3)."""
+    a = 0.147
+    sign = 1.0 if x >= 0 else -1.0
+    ln_term = np.log(1.0 - x * x)
+    first = 2.0 / (np.pi * a) + ln_term / 2.0
+    return sign * float(
+        np.sqrt(np.sqrt(first * first - ln_term / a) - first)
+    )
+
+
+def bootstrap_confidence_interval(
+    estimates: Sequence[float],
+    level: float = 0.95,
+    resamples: int = 2_000,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean of the estimates."""
+    if not 0.0 < level < 1.0:
+        raise ConfigurationError(f"level must be in (0, 1), got {level}")
+    if len(estimates) < 2:
+        raise ConfigurationError("need at least 2 estimates")
+    gen = ensure_rng(rng)
+    arr = np.asarray(estimates, dtype=np.float64)
+    idx = gen.integers(0, len(arr), size=(resamples, len(arr)))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - level) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def summarize_trials(
+    estimates: Sequence[float],
+    level: float = 0.95,
+    method: str = "normal",
+    rng: np.random.Generator | int | None = None,
+) -> TrialSummary:
+    """Summarise repeated estimates with a CI (``normal`` or ``bootstrap``)."""
+    if method == "normal":
+        low, high = normal_confidence_interval(estimates, level)
+    elif method == "bootstrap":
+        low, high = bootstrap_confidence_interval(estimates, level, rng=rng)
+    else:
+        raise ConfigurationError(
+            f"method must be 'normal' or 'bootstrap', got {method!r}"
+        )
+    arr = np.asarray(estimates, dtype=np.float64)
+    return TrialSummary(
+        estimates=tuple(float(e) for e in arr),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)),
+        stderr=float(arr.std(ddof=1) / np.sqrt(len(arr))),
+        ci_low=low,
+        ci_high=high,
+        level=level,
+    )

@@ -1,0 +1,43 @@
+"""Experiment harness: configs, runner, and table/figure regenerators."""
+
+from repro.experiments.algorithms import (
+    ALGORITHMS,
+    DYNAMIC_ALGORITHMS,
+    PolicyStore,
+    make_sampler,
+    training_dataset_for,
+)
+from repro.experiments.config import (
+    INSERTION_ONLY,
+    LIGHT,
+    MASSIVE,
+    ExperimentConfig,
+    ScenarioConfig,
+)
+from repro.experiments.runner import (
+    AlgorithmResult,
+    GroundTruthTrace,
+    compute_ground_truth,
+    run_algorithm,
+    run_cell,
+    run_sampler_trial,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "DYNAMIC_ALGORITHMS",
+    "PolicyStore",
+    "make_sampler",
+    "training_dataset_for",
+    "ExperimentConfig",
+    "ScenarioConfig",
+    "MASSIVE",
+    "LIGHT",
+    "INSERTION_ONLY",
+    "AlgorithmResult",
+    "GroundTruthTrace",
+    "compute_ground_truth",
+    "run_algorithm",
+    "run_cell",
+    "run_sampler_trial",
+]

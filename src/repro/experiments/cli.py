@@ -1,0 +1,140 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.experiments.cli --list
+    python -m repro.experiments.cli table3
+    python -m repro.experiments.cli table9 --trials 3 --seed 1
+    python -m repro.experiments.cli fig2b --scenario light
+
+Each target prints the reproduced table/figure as text to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+
+from repro.experiments import figures, tables
+from repro.experiments.algorithms import PolicyStore
+
+
+def _targets(
+    trials: int, seed: int, store: PolicyStore
+) -> dict[str, tuple[str, Callable[[], object]]]:
+    """Map CLI target names to (description, runner)."""
+    t, s = trials, seed
+    return {
+        "table2": ("Wedges, massive deletion",
+                   lambda: tables.table_counts("wedge", "massive", trials=t, seed=s, policy_store=store)),
+        "table3": ("Triangles, massive deletion",
+                   lambda: tables.table_counts("triangle", "massive", trials=t, seed=s, policy_store=store)),
+        "table4": ("Training time, massive",
+                   lambda: tables.table_training_time("massive", seed=s)),
+        "table5": ("Transferability, massive",
+                   lambda: tables.table_transferability("massive", trials=t, seed=s, policy_store=store)),
+        "table6": ("Insertion-only, cit-PT",
+                   lambda: tables.table_insertion_only(trials=t, seed=s, policy_store=store)),
+        "table7": ("4-cliques, massive deletion",
+                   lambda: tables.table_counts("4-clique", "massive", trials=t, seed=s, policy_store=store)),
+        "table8": ("Wedges, light deletion",
+                   lambda: tables.table_counts("wedge", "light", trials=t, seed=s, policy_store=store)),
+        "table9": ("Triangles, light deletion",
+                   lambda: tables.table_counts("triangle", "light", trials=t, seed=s, policy_store=store)),
+        "table10": ("4-cliques, light deletion",
+                    lambda: tables.table_counts("4-clique", "light", trials=t, seed=s, policy_store=store)),
+        "table11": ("Training time, light",
+                    lambda: tables.table_training_time("light", seed=s)),
+        "table12": ("Transferability, light",
+                    lambda: tables.table_transferability("light", trials=t, seed=s, policy_store=store)),
+        "table13": ("Temporal aggregation ablation",
+                    lambda: tables.table_ablation(trials=t, seed=s, policy_store=store)),
+        "fig1": ("Scalability, massive",
+                 lambda: figures.figure_scalability("massive", trials=max(1, t // 2), seed=s, policy_store=store)),
+        "fig2a": ("Stream ordering, massive",
+                  lambda: figures.figure_ordering("massive", trials=t, seed=s, policy_store=store)),
+        "fig2b": ("Reservoir size, massive",
+                  lambda: figures.figure_reservoir_size("massive", trials=t, seed=s, policy_store=store)),
+        "fig2c": ("Training size, massive",
+                  lambda: figures.figure_training_size("massive", seed=s)),
+        "fig2d": ("Weight vs triangle count, massive",
+                  lambda: figures.figure_weight_relationship("massive", seed=s, policy_store=store)),
+        "fig3": ("Scalability, light",
+                 lambda: figures.figure_scalability("light", trials=max(1, t // 2), seed=s, policy_store=store)),
+        "fig4a": ("Stream ordering, light",
+                  lambda: figures.figure_ordering("light", trials=t, seed=s, policy_store=store)),
+        "fig4b": ("Reservoir size, light",
+                  lambda: figures.figure_reservoir_size("light", trials=t, seed=s, policy_store=store)),
+        "fig4c": ("Training size, light",
+                  lambda: figures.figure_training_size("light", seed=s)),
+        "fig4d": ("Weight vs triangle count, light",
+                  lambda: figures.figure_weight_relationship("light", seed=s, policy_store=store)),
+        "fig5": ("Beta sweeps",
+                 lambda: figures.figure_beta_sweep(trials=t, seed=s, policy_store=store)),
+    }
+
+
+def _render(result: object) -> str:
+    if isinstance(result, dict):
+        return "\n\n".join(value.format() for value in result.values())
+    return result.format()  # type: ignore[attr-defined]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.cli",
+        description="Regenerate a table or figure from the WSD paper.",
+    )
+    parser.add_argument(
+        "target", nargs="?",
+        help="e.g. table3, fig2b, or 'all' for the whole evaluation",
+    )
+    parser.add_argument("--list", action="store_true", help="list targets")
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--train-iterations", type=int, default=300,
+        help="DDPG updates when training WSD-L policies",
+    )
+    parser.add_argument(
+        "--output", type=str, default=None,
+        help="directory to also write <target>.txt artefacts into",
+    )
+    args = parser.parse_args(argv)
+
+    store = PolicyStore(iterations=args.train_iterations)
+    targets = _targets(args.trials, args.seed, store)
+    if args.list or not args.target:
+        for name, (description, _) in targets.items():
+            print(f"{name:10s} {description}")
+        return 0
+
+    key = args.target.lower()
+    if key == "all":
+        selected = list(targets)
+    elif key in targets:
+        selected = [key]
+    else:
+        print(f"unknown target {args.target!r}; use --list", file=sys.stderr)
+        return 2
+
+    output_dir = None
+    if args.output:
+        from pathlib import Path
+
+        output_dir = Path(args.output)
+        output_dir.mkdir(parents=True, exist_ok=True)
+    for name in selected:
+        text = _render(targets[name][1]())
+        print(text)
+        print()
+        if output_dir is not None:
+            (output_dir / f"{name}.txt").write_text(
+                text + "\n", encoding="utf-8"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+"""Compile benchmark artefacts into a single markdown report.
+
+``pytest benchmarks/ --benchmark-only`` writes one text artefact per
+paper table/figure into ``benchmarks/results/``. This module stitches
+them into one markdown document (the measured side of EXPERIMENTS.md),
+so reruns can be diffed and shared as a single file::
+
+    python -m repro.experiments.report benchmarks/results report.md
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ARTEFACT_ORDER", "compile_report", "main"]
+
+#: Canonical artefact order: paper tables first, figures, extensions.
+ARTEFACT_ORDER = (
+    "table02_wedges_massive",
+    "table03_triangles_massive",
+    "table04_training_time_massive",
+    "table05_transferability_massive",
+    "table06_insertion_only",
+    "table07_4cliques_massive",
+    "table08_wedges_light",
+    "table09_triangles_light",
+    "table10_4cliques_light",
+    "table11_training_time_light",
+    "table12_transferability_light",
+    "table13_ablation",
+    "fig1_scalability_massive",
+    "fig2a_ordering_massive",
+    "fig2b_reservoir_size_massive",
+    "fig2c_training_size_massive",
+    "fig2d_weight_relationship_massive",
+    "fig3_scalability_light",
+    "fig4a_ordering_light",
+    "fig4b_reservoir_size_light",
+    "fig4c_training_size_light",
+    "fig4d_weight_relationship_light",
+    "fig5_beta_sweep",
+    "ablation_rank_functions",
+    "extension_three_path",
+)
+
+_TITLES = {
+    "table02_wedges_massive": "Table II — wedges, massive deletion",
+    "table03_triangles_massive": "Table III — triangles, massive deletion",
+    "table04_training_time_massive": "Table IV — training time, massive",
+    "table05_transferability_massive": "Table V — transferability, massive",
+    "table06_insertion_only": "Table VI — insertion-only scenario",
+    "table07_4cliques_massive": "Table VII — 4-cliques, massive deletion",
+    "table08_wedges_light": "Table VIII — wedges, light deletion",
+    "table09_triangles_light": "Table IX — triangles, light deletion",
+    "table10_4cliques_light": "Table X — 4-cliques, light deletion",
+    "table11_training_time_light": "Table XI — training time, light",
+    "table12_transferability_light": "Table XII — transferability, light",
+    "table13_ablation": "Table XIII — temporal aggregation ablation",
+    "fig1_scalability_massive": "Figure 1 — scalability, massive",
+    "fig2a_ordering_massive": "Figure 2(a) — stream ordering, massive",
+    "fig2b_reservoir_size_massive": "Figure 2(b) — reservoir size, massive",
+    "fig2c_training_size_massive": "Figure 2(c) — training size, massive",
+    "fig2d_weight_relationship_massive": "Figure 2(d) — weight vs count, massive",
+    "fig3_scalability_light": "Figure 3 — scalability, light",
+    "fig4a_ordering_light": "Figure 4(a) — stream ordering, light",
+    "fig4b_reservoir_size_light": "Figure 4(b) — reservoir size, light",
+    "fig4c_training_size_light": "Figure 4(c) — training size, light",
+    "fig4d_weight_relationship_light": "Figure 4(d) — weight vs count, light",
+    "fig5_beta_sweep": "Figure 5 — beta sweeps",
+    "ablation_rank_functions": "Extension — rank-family ablation",
+    "extension_three_path": "Extension — 3-path counting",
+}
+
+
+def compile_report(results_dir: str | Path) -> str:
+    """Render every present artefact as a markdown section.
+
+    Missing artefacts are listed at the top so partial runs are visible
+    at a glance; unknown extra files are appended at the end.
+    """
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise ConfigurationError(f"results directory not found: {results_dir}")
+    present = {p.stem: p for p in sorted(results_dir.glob("*.txt"))}
+    missing = [name for name in ARTEFACT_ORDER if name not in present]
+    extras = [name for name in present if name not in ARTEFACT_ORDER]
+
+    lines = ["# WSD reproduction — measured results", ""]
+    if missing:
+        lines.append(
+            "Missing artefacts (bench not yet run): " + ", ".join(missing)
+        )
+        lines.append("")
+    for name in ARTEFACT_ORDER:
+        path = present.get(name)
+        if path is None:
+            continue
+        lines.append(f"## {_TITLES.get(name, name)}")
+        lines.append("")
+        lines.append("```")
+        lines.append(path.read_text(encoding="utf-8").rstrip())
+        lines.append("```")
+        lines.append("")
+    for name in extras:
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append(present[name].read_text(encoding="utf-8").rstrip())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not 1 <= len(args) <= 2:
+        print(
+            "usage: python -m repro.experiments.report "
+            "<results_dir> [output.md]",
+            file=sys.stderr,
+        )
+        return 2
+    report = compile_report(args[0])
+    if len(args) == 2:
+        Path(args[1]).write_text(report, encoding="utf-8")
+        print(f"wrote {args[1]}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,199 @@
+"""Experiment runner: repeated trials, shared ground truth, aggregation.
+
+Running one table cell means: build the stream once (deterministic given
+the config seed), compute the exact checkpoint trace once, then run N
+independent sampler trials against the cached truth — timing only the
+sampler — and aggregate ARE/MARE/time. The paper averages 100 sampling
+repetitions per cell; the default here is smaller but configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.estimators.metrics import (
+    absolute_relative_error,
+    mean_absolute_relative_error,
+)
+from repro.experiments.algorithms import make_sampler
+from repro.experiments.config import ExperimentConfig
+from repro.graph.stream import EdgeStream
+from repro.patterns.exact import ExactCounter
+from repro.rl.policy import Policy
+from repro.utils.rng import RngFactory
+from repro.utils.timer import Stopwatch
+
+__all__ = [
+    "GroundTruthTrace",
+    "TrialResult",
+    "AlgorithmResult",
+    "compute_ground_truth",
+    "run_sampler_trial",
+    "run_algorithm",
+    "run_cell",
+]
+
+
+@dataclass(frozen=True)
+class GroundTruthTrace:
+    """Exact counts at checkpoint event indices (shared across trials)."""
+
+    checkpoints: tuple[int, ...]
+    truths: tuple[int, ...]
+
+    @property
+    def final_truth(self) -> int:
+        return self.truths[-1]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One sampler run against a cached ground-truth trace."""
+
+    estimates: tuple[float, ...]
+    seconds: float
+    final_truth: int
+
+    @property
+    def final_estimate(self) -> float:
+        return self.estimates[-1]
+
+
+@dataclass
+class AlgorithmResult:
+    """Aggregated trials of one algorithm on one cell."""
+
+    name: str
+    ares: list[float] = field(default_factory=list)
+    mares: list[float] = field(default_factory=list)
+    seconds: list[float] = field(default_factory=list)
+
+    @property
+    def mean_are(self) -> float:
+        return float(np.mean(self.ares))
+
+    @property
+    def mean_mare(self) -> float:
+        return float(np.mean(self.mares))
+
+    @property
+    def mean_seconds(self) -> float:
+        return float(np.mean(self.seconds))
+
+    @property
+    def std_are(self) -> float:
+        return float(np.std(self.ares))
+
+
+def compute_ground_truth(
+    stream: EdgeStream, pattern: str, num_checkpoints: int
+) -> GroundTruthTrace:
+    """Exact counts of ``pattern`` at ``num_checkpoints`` even checkpoints."""
+    if num_checkpoints < 1:
+        raise ConfigurationError("num_checkpoints must be >= 1")
+    counter = ExactCounter(pattern)
+    n = len(stream)
+    step = max(1, n // num_checkpoints)
+    checkpoints: list[int] = []
+    truths: list[int] = []
+    for i, event in enumerate(stream, start=1):
+        counter.process(event)
+        if i % step == 0 or i == n:
+            checkpoints.append(i)
+            truths.append(counter.count)
+    return GroundTruthTrace(tuple(checkpoints), tuple(truths))
+
+
+def run_sampler_trial(
+    sampler, stream: EdgeStream, truth: GroundTruthTrace
+) -> TrialResult:
+    """Run one sampler over the stream, sampling estimates at checkpoints."""
+    targets = set(truth.checkpoints)
+    estimates: list[float] = []
+    watch = Stopwatch()
+    n = len(stream)
+    for i, event in enumerate(stream, start=1):
+        with watch:
+            sampler.process(event)
+        if i in targets:
+            estimates.append(sampler.estimate)
+    if len(estimates) != len(truth.checkpoints):
+        raise ConfigurationError(
+            f"checkpoint mismatch: {len(estimates)} estimates vs "
+            f"{len(truth.checkpoints)} truths over {n} events"
+        )
+    return TrialResult(tuple(estimates), watch.elapsed, truth.final_truth)
+
+
+def run_algorithm(
+    name: str,
+    stream: EdgeStream,
+    truth: GroundTruthTrace,
+    pattern: str,
+    budget: int,
+    trials: int,
+    seed: int = 0,
+    policy: Policy | None = None,
+    temporal_aggregation: str = "max",
+) -> AlgorithmResult:
+    """Run ``trials`` independent repetitions of one algorithm."""
+    if truth.final_truth == 0:
+        raise ConfigurationError(
+            "final ground truth is zero; ARE undefined — re-seed the "
+            "scenario or enlarge the dataset"
+        )
+    factory = RngFactory(seed)
+    result = AlgorithmResult(name=name)
+    for trial in range(trials):
+        sampler = make_sampler(
+            name,
+            pattern,
+            budget,
+            rng=factory.generator(f"{name}-trial-{trial}"),
+            policy=policy,
+            temporal_aggregation=temporal_aggregation,
+        )
+        trial_result = run_sampler_trial(sampler, stream, truth)
+        result.ares.append(
+            absolute_relative_error(
+                trial_result.final_estimate, truth.final_truth
+            )
+        )
+        result.mares.append(
+            mean_absolute_relative_error(trial_result.estimates, truth.truths)
+        )
+        result.seconds.append(trial_result.seconds)
+    return result
+
+
+def run_cell(
+    config: ExperimentConfig,
+    algorithms: tuple[str, ...],
+    policy: Policy | None = None,
+    temporal_aggregation: str = "max",
+) -> dict[str, AlgorithmResult]:
+    """Run one table cell (one dataset) for several algorithms.
+
+    The stream and ground truth are computed once and shared.
+    """
+    config.validate()
+    stream = config.build_stream()
+    truth = compute_ground_truth(stream, config.pattern, config.checkpoints)
+    budget = config.effective_budget(stream)
+    results: dict[str, AlgorithmResult] = {}
+    for name in algorithms:
+        results[name] = run_algorithm(
+            name,
+            stream,
+            truth,
+            config.pattern,
+            budget,
+            trials=config.trials,
+            seed=config.seed,
+            policy=policy,
+            temporal_aggregation=temporal_aggregation,
+        )
+    return results

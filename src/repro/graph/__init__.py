@@ -1,0 +1,16 @@
+"""Graph substrate: adjacency, edges, streams, generators, datasets."""
+
+from repro.graph.adjacency import DynamicAdjacency
+from repro.graph.edges import Edge, Vertex, canonical_edge
+from repro.graph.stream import DELETE, INSERT, EdgeEvent, EdgeStream
+
+__all__ = [
+    "DynamicAdjacency",
+    "Edge",
+    "Vertex",
+    "canonical_edge",
+    "EdgeEvent",
+    "EdgeStream",
+    "INSERT",
+    "DELETE",
+]

@@ -1,0 +1,142 @@
+"""Dynamic undirected graph adjacency structure.
+
+:class:`DynamicAdjacency` is the in-memory graph substrate shared by the
+samplers (for the *sampled* graph), the exact counters (for the *full*
+graph during training / evaluation), and the pattern matchers. It
+supports O(1) expected-time edge insertion/deletion/lookup and provides
+the neighbourhood queries pattern enumeration needs (neighbours, common
+neighbours, degree).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import EdgeExistsError, EdgeNotFoundError
+from repro.graph.edges import Edge, Vertex, canonical_edge
+
+__all__ = ["DynamicAdjacency"]
+
+
+class DynamicAdjacency:
+    """An undirected simple graph under edge insertions and deletions.
+
+    Vertices are created implicitly by edge insertion and removed
+    implicitly when their last incident edge is deleted (so
+    ``num_vertices`` counts non-isolated vertices, matching the induced
+    graph G(t) of Section II).
+    """
+
+    def __init__(self) -> None:
+        self._adj: dict[Vertex, set[Vertex]] = {}
+        self._num_edges = 0
+
+    # -- mutation ---------------------------------------------------------
+
+    def add_edge(self, u: Vertex, v: Vertex) -> Edge:
+        """Insert the undirected edge ``{u, v}`` and return its canonical form.
+
+        Raises :class:`~repro.errors.EdgeExistsError` if already present
+        and :class:`~repro.errors.SelfLoopError` if ``u == v``.
+        """
+        edge = canonical_edge(u, v)
+        a, b = edge
+        neighbours = self._adj.setdefault(a, set())
+        if b in neighbours:
+            raise EdgeExistsError(f"edge {edge!r} already present")
+        neighbours.add(b)
+        self._adj.setdefault(b, set()).add(a)
+        self._num_edges += 1
+        return edge
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> Edge:
+        """Delete the undirected edge ``{u, v}`` and return its canonical form.
+
+        Vertices left isolated are dropped. Raises
+        :class:`~repro.errors.EdgeNotFoundError` if the edge is absent.
+        """
+        edge = canonical_edge(u, v)
+        a, b = edge
+        neighbours = self._adj.get(a)
+        if neighbours is None or b not in neighbours:
+            raise EdgeNotFoundError(f"edge {edge!r} not present")
+        neighbours.discard(b)
+        if not neighbours:
+            del self._adj[a]
+        other = self._adj[b]
+        other.discard(a)
+        if not other:
+            del self._adj[b]
+        self._num_edges -= 1
+        return edge
+
+    def clear(self) -> None:
+        """Remove all edges and vertices."""
+        self._adj.clear()
+        self._num_edges = 0
+
+    # -- queries ----------------------------------------------------------
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return whether the undirected edge ``{u, v}`` is present."""
+        if u == v:
+            return False
+        neighbours = self._adj.get(u)
+        return neighbours is not None and v in neighbours
+
+    def neighbors(self, v: Vertex) -> frozenset[Vertex]:
+        """Return the neighbour set of ``v`` (empty if ``v`` is unknown)."""
+        return frozenset(self._adj.get(v, ()))
+
+    def degree(self, v: Vertex) -> int:
+        """Return the degree of ``v`` (0 if ``v`` is unknown)."""
+        return len(self._adj.get(v, ()))
+
+    def common_neighbors(self, u: Vertex, v: Vertex) -> set[Vertex]:
+        """Return vertices adjacent to both ``u`` and ``v``.
+
+        This is the γ(M) primitive of Theorems 3/5: for triangle
+        counting the per-event work is exactly this intersection.
+        """
+        nu = self._adj.get(u)
+        nv = self._adj.get(v)
+        if not nu or not nv:
+            return set()
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        return {w for w in nu if w in nv}
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges currently alive."""
+        return self._num_edges
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of non-isolated vertices."""
+        return len(self._adj)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over the non-isolated vertices."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges in canonical form (each edge once)."""
+        for u, neighbours in self._adj.items():
+            for v in neighbours:
+                edge = canonical_edge(u, v)
+                if edge[0] == u:
+                    yield edge
+
+    def __contains__(self, edge: Edge) -> bool:
+        u, v = edge
+        return self.has_edge(u, v)
+
+    def __len__(self) -> int:
+        return self._num_edges
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"DynamicAdjacency(vertices={self.num_vertices}, "
+            f"edges={self.num_edges})"
+        )

@@ -1,0 +1,38 @@
+"""Canonical undirected-edge representation.
+
+Throughout the library an edge is a 2-tuple ``(u, v)`` of hashable
+vertex identifiers with ``u < v`` (after normalisation), so that the
+same undirected edge always hashes identically. The paper ignores
+directions, weights and self-loops (Section V-A); this module enforces
+those conventions at one choke point.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+from repro.errors import SelfLoopError
+
+__all__ = ["Edge", "Vertex", "canonical_edge"]
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (sorted) form of the undirected edge ``{u, v}``.
+
+    Raises :class:`~repro.errors.SelfLoopError` if ``u == v``. Vertices
+    of mixed types are ordered by ``(type name, value repr)`` so the
+    canonical form is still deterministic.
+    """
+    if u == v:
+        raise SelfLoopError(f"self-loop on vertex {u!r} is not allowed")
+    try:
+        return (u, v) if u < v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        # Mixed vertex types (e.g. int and str): fall back to a stable
+        # type-aware ordering so canonicalisation remains deterministic.
+        key_u = (type(u).__name__, repr(u))
+        key_v = (type(v).__name__, repr(v))
+        return (u, v) if key_u < key_v else (v, u)

@@ -1,0 +1,343 @@
+"""Synthetic graph generators producing edges in natural (temporal) order.
+
+The paper evaluates on four categories of real graphs plus synthetic
+Forest-Fire graphs (Section V-A). With no network access, this module
+provides from-scratch generators whose edge *order* is the generation
+order, which mimics the "natural order" temporal semantics the paper
+relies on (densification, recency locality):
+
+* :func:`forest_fire` — Leskovec et al.'s Forest Fire model, used by the
+  paper for all synthetic data (``G(n, p)``).
+* :func:`barabasi_albert` — preferential attachment (social-network-like
+  degree skew).
+* :func:`powerlaw_cluster` — preferential attachment with triadic
+  closure (high clustering, social-network stand-in).
+* :func:`copying_model` — the web-graph copying model (web stand-in).
+* :func:`planted_partition` — community-structured graphs (community
+  stand-in).
+* :func:`erdos_renyi` — G(n, m) baseline for tests.
+
+All generators return ``list[Edge]`` with canonical edges, no
+duplicates, no self-loops, and accept a ``rng`` seed for repeatability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.edges import Edge, canonical_edge
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "forest_fire",
+    "barabasi_albert",
+    "powerlaw_cluster",
+    "copying_model",
+    "planted_partition",
+    "erdos_renyi",
+]
+
+
+def _check_positive(name: str, value: int) -> None:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+
+def forest_fire(
+    n: int,
+    p: float = 0.5,
+    backward_ratio: float = 0.32,
+    rng: np.random.Generator | int | None = None,
+) -> list[Edge]:
+    """Generate a Forest Fire graph with ``n`` vertices.
+
+    Vertices arrive one at a time (vertex ``t`` at step ``t``). Each new
+    vertex picks a uniformly random ambassador among the earlier
+    vertices, links to it, and then "burns" outward: from each burning
+    vertex it links to ``x ~ Geometric(1-p)`` of its not-yet-burned
+    neighbours (and ``x * backward_ratio`` extra ones, approximating the
+    backward-burning of the directed model on our undirected graphs),
+    recursively. ``p`` is the forward burning probability — exactly the
+    density knob the paper calls ``p`` in ``G(n, p)``.
+
+    Returns edges in creation order, which densifies over time and has
+    strong recency locality — the temporal properties the paper's
+    WSD-L exploits.
+    """
+    _check_positive("n", n)
+    _check_probability("p", p)
+    gen = ensure_rng(rng)
+    adj: list[set[int]] = [set() for _ in range(n)]
+    edges: list[Edge] = []
+    # Geometric mean number of links per burned vertex; p -> 1 blows up,
+    # so cap the per-vertex burn to keep generation near-linear.
+    burn_cap = 64
+
+    def add_edge(u: int, v: int) -> None:
+        if u != v and v not in adj[u]:
+            adj[u].add(v)
+            adj[v].add(u)
+            edges.append(canonical_edge(u, v))
+
+    for t in range(1, n):
+        ambassador = int(gen.integers(0, t))
+        add_edge(t, ambassador)
+        visited = {t, ambassador}
+        frontier = [ambassador]
+        burned = 0
+        while frontier and burned < burn_cap:
+            w = frontier.pop()
+            candidates = [x for x in adj[w] if x not in visited]
+            if not candidates:
+                continue
+            # x ~ Geometric(1 - p): number of forward links to burn.
+            mean_links = p / (1.0 - p) if p < 1.0 else burn_cap
+            k = int(gen.geometric(1.0 - p)) - 1 if p < 1.0 else burn_cap
+            k += int(round(mean_links * backward_ratio))
+            k = min(k, len(candidates), burn_cap - burned)
+            if k <= 0:
+                continue
+            picks = gen.choice(len(candidates), size=k, replace=False)
+            for idx in picks:
+                x = candidates[int(idx)]
+                add_edge(t, x)
+                visited.add(x)
+                frontier.append(x)
+                burned += 1
+    return edges
+
+
+def barabasi_albert(
+    n: int,
+    m: int = 3,
+    rng: np.random.Generator | int | None = None,
+) -> list[Edge]:
+    """Generate a Barabási–Albert preferential-attachment graph.
+
+    Each arriving vertex attaches to ``m`` distinct existing vertices
+    chosen proportionally to degree (implemented with the standard
+    repeated-endpoints trick). Edges are returned in creation order.
+    """
+    _check_positive("n", n)
+    _check_positive("m", m)
+    if n <= m:
+        raise ConfigurationError(f"n must exceed m, got n={n}, m={m}")
+    gen = ensure_rng(rng)
+    edges: list[Edge] = []
+    # Seed: a star on vertices 0..m keeps early degrees non-degenerate.
+    repeated: list[int] = []
+    for v in range(1, m + 1):
+        edges.append(canonical_edge(0, v))
+        repeated.extend((0, v))
+    for t in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(repeated[int(gen.integers(0, len(repeated)))])
+        for target in targets:
+            edges.append(canonical_edge(t, target))
+            repeated.extend((t, target))
+    return edges
+
+
+def powerlaw_cluster(
+    n: int,
+    m: int = 3,
+    triangle_probability: float = 0.6,
+    rng: np.random.Generator | int | None = None,
+) -> list[Edge]:
+    """Generate a Holme–Kim power-law graph with tunable clustering.
+
+    Like :func:`barabasi_albert`, but after each preferential link the
+    next link closes a triangle (connects to a random neighbour of the
+    previous target) with probability ``triangle_probability``. High
+    clustering makes it a good stand-in for online social networks,
+    where the paper's motivating triangle structure is dense.
+    """
+    _check_positive("n", n)
+    _check_positive("m", m)
+    _check_probability("triangle_probability", triangle_probability)
+    if n <= m:
+        raise ConfigurationError(f"n must exceed m, got n={n}, m={m}")
+    gen = ensure_rng(rng)
+    edges: list[Edge] = []
+    adj: dict[int, set[int]] = {v: set() for v in range(n)}
+    repeated: list[int] = []
+
+    def add_edge(u: int, v: int) -> bool:
+        if u == v or v in adj[u]:
+            return False
+        adj[u].add(v)
+        adj[v].add(u)
+        edges.append(canonical_edge(u, v))
+        repeated.extend((u, v))
+        return True
+
+    for v in range(1, m + 1):
+        add_edge(0, v)
+    for t in range(m + 1, n):
+        added = 0
+        last_target: int | None = None
+        guard = 0
+        while added < m and guard < 50 * m:
+            guard += 1
+            close = (
+                last_target is not None
+                and adj[last_target]
+                and gen.random() < triangle_probability
+            )
+            if close:
+                neighbours = tuple(adj[last_target])
+                candidate = neighbours[int(gen.integers(0, len(neighbours)))]
+            else:
+                candidate = repeated[int(gen.integers(0, len(repeated)))]
+            if add_edge(t, candidate):
+                added += 1
+                last_target = candidate
+    return edges
+
+
+def copying_model(
+    n: int,
+    out_degree: int = 4,
+    copy_probability: float = 0.7,
+    rng: np.random.Generator | int | None = None,
+) -> list[Edge]:
+    """Generate a web-like graph via the Kleinberg copying model.
+
+    Each new page picks a random earlier "prototype" page, links to it,
+    and then links to ``out_degree`` further targets; each target is,
+    with probability ``copy_probability``, copied from the prototype's
+    link list, otherwise chosen uniformly. Copying the prototype's
+    links while also linking the prototype yields the heavy-tailed
+    in-degrees, dense bipartite cores and abundant triangles typical of
+    web graphs — our stand-in for web-Stanford / web-google.
+    """
+    _check_positive("n", n)
+    _check_positive("out_degree", out_degree)
+    _check_probability("copy_probability", copy_probability)
+    gen = ensure_rng(rng)
+    edges: list[Edge] = []
+    out_links: list[list[int]] = [[] for _ in range(n)]
+    seen: set[Edge] = set()
+    start = out_degree + 1
+
+    def add_edge(u: int, v: int) -> None:
+        if u == v:
+            return
+        edge = canonical_edge(u, v)
+        if edge in seen:
+            return
+        seen.add(edge)
+        edges.append(edge)
+        out_links[u].append(v)
+
+    for v in range(1, start):
+        add_edge(v, v - 1)
+    for t in range(start, n):
+        prototype = int(gen.integers(0, t))
+        add_edge(t, prototype)
+        proto_links = out_links[prototype]
+        for j in range(out_degree):
+            if proto_links and gen.random() < copy_probability:
+                target = proto_links[int(gen.integers(0, len(proto_links)))]
+            else:
+                target = int(gen.integers(0, t))
+            add_edge(t, target)
+    return edges
+
+
+def planted_partition(
+    n: int,
+    communities: int = 8,
+    p_in: float = 0.08,
+    p_out: float = 0.002,
+    rng: np.random.Generator | int | None = None,
+) -> list[Edge]:
+    """Generate a community-structured (planted partition) graph.
+
+    Vertices are split into ``communities`` equal blocks; each
+    intra-block pair is an edge with probability ``p_in`` and each
+    inter-block pair with probability ``p_out``. Edges are emitted
+    block by block then shuffled within a sliding window, giving a
+    natural order with community-burst locality — our stand-in for
+    com-DBLP / com-youtube.
+    """
+    _check_positive("n", n)
+    _check_positive("communities", communities)
+    _check_probability("p_in", p_in)
+    _check_probability("p_out", p_out)
+    gen = ensure_rng(rng)
+    block = np.arange(n) % communities
+    edges: list[Edge] = []
+    # Sample intra-community edges per block with vectorised coin flips.
+    for c in range(communities):
+        members = np.flatnonzero(block == c)
+        k = len(members)
+        if k >= 2:
+            iu, iv = np.triu_indices(k, k=1)
+            mask = gen.random(len(iu)) < p_in
+            for a, b in zip(members[iu[mask]], members[iv[mask]]):
+                edges.append(canonical_edge(int(a), int(b)))
+    # Sparse inter-community edges: sample the expected number of pairs.
+    total_pairs = n * (n - 1) // 2
+    expected_out = int(p_out * total_pairs)
+    attempts = 0
+    seen = set(edges)
+    while expected_out > 0 and attempts < 20 * expected_out:
+        attempts += 1
+        u = int(gen.integers(0, n))
+        v = int(gen.integers(0, n))
+        if u == v or block[u] == block[v]:
+            continue
+        edge = canonical_edge(u, v)
+        if edge in seen:
+            continue
+        seen.add(edge)
+        edges.append(edge)
+        expected_out -= 1
+    # Locality-preserving shuffle: permute within windows so community
+    # bursts remain but exact generation order is randomised.
+    window = max(16, len(edges) // 50)
+    for lo in range(0, len(edges), window):
+        hi = min(lo + window, len(edges))
+        perm = gen.permutation(hi - lo)
+        edges[lo:hi] = [edges[lo + int(i)] for i in perm]
+    return edges
+
+
+def erdos_renyi(
+    n: int,
+    num_edges: int,
+    rng: np.random.Generator | int | None = None,
+) -> list[Edge]:
+    """Generate a uniform G(n, m) random graph with exactly ``num_edges`` edges.
+
+    Used mainly in tests; real and paper-like workloads should prefer
+    the skewed generators above.
+    """
+    _check_positive("n", n)
+    max_edges = n * (n - 1) // 2
+    if not 0 <= num_edges <= max_edges:
+        raise ConfigurationError(
+            f"num_edges must be in [0, {max_edges}], got {num_edges}"
+        )
+    gen = ensure_rng(rng)
+    seen: set[Edge] = set()
+    edges: list[Edge] = []
+    while len(edges) < num_edges:
+        u = int(gen.integers(0, n))
+        v = int(gen.integers(0, n))
+        if u == v:
+            continue
+        edge = canonical_edge(u, v)
+        if edge in seen:
+            continue
+        seen.add(edge)
+        edges.append(edge)
+    return edges

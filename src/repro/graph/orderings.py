@@ -1,0 +1,105 @@
+"""Stream orderings: natural, uniform-at-random, and random-BFS.
+
+Experiment (3) of the paper (Figures 2a/4a) measures robustness of the
+samplers to the *ordering* of edge insertions. Following [Triest], three
+orderings are used:
+
+* **natural** — the order edges were generated/collected (identity).
+* **UAR** — a uniformly random permutation of the natural order.
+* **RBFS** — start a breadth-first search from a random vertex of the
+  final graph and emit edges in the order BFS discovers them (a model of
+  a celebrity joining a platform and followers linking in a burst).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.edges import Edge, canonical_edge
+from repro.utils.rng import ensure_rng
+
+__all__ = ["ORDERINGS", "order_edges", "natural_order", "uar_order", "rbfs_order"]
+
+
+def natural_order(edges: list[Edge]) -> list[Edge]:
+    """Return the edges unchanged (the natural ordering)."""
+    return list(edges)
+
+
+def uar_order(
+    edges: list[Edge], rng: np.random.Generator | int | None = None
+) -> list[Edge]:
+    """Return a uniformly random permutation of ``edges``."""
+    gen = ensure_rng(rng)
+    perm = gen.permutation(len(edges))
+    return [edges[int(i)] for i in perm]
+
+
+def rbfs_order(
+    edges: list[Edge], rng: np.random.Generator | int | None = None
+) -> list[Edge]:
+    """Return edges in random-BFS discovery order.
+
+    BFS starts from a random vertex; when a vertex is dequeued, all its
+    incident edges to not-yet-emitted endpoints are emitted in random
+    order. Components not reached from the first root get fresh random
+    roots until every edge is emitted.
+    """
+    gen = ensure_rng(rng)
+    adj: dict[object, list[object]] = {}
+    for u, v in edges:
+        adj.setdefault(u, []).append(v)
+        adj.setdefault(v, []).append(u)
+    vertices = list(adj)
+    emitted: set[Edge] = set()
+    visited: set[object] = set()
+    result: list[Edge] = []
+
+    def bfs(root: object) -> None:
+        queue: deque[object] = deque([root])
+        visited.add(root)
+        while queue:
+            u = queue.popleft()
+            neighbours = list(adj[u])
+            gen.shuffle(neighbours)
+            for v in neighbours:
+                edge = canonical_edge(u, v)
+                if edge not in emitted:
+                    emitted.add(edge)
+                    result.append(edge)
+                if v not in visited:
+                    visited.add(v)
+                    queue.append(v)
+
+    order = gen.permutation(len(vertices))
+    for idx in order:
+        root = vertices[int(idx)]
+        if root not in visited:
+            bfs(root)
+    return result
+
+
+ORDERINGS = {
+    "natural": natural_order,
+    "uar": uar_order,
+    "rbfs": rbfs_order,
+}
+
+
+def order_edges(
+    edges: list[Edge],
+    ordering: str,
+    rng: np.random.Generator | int | None = None,
+) -> list[Edge]:
+    """Reorder ``edges`` with the named ordering (``natural``/``uar``/``rbfs``)."""
+    key = ordering.lower()
+    if key not in ORDERINGS:
+        raise ConfigurationError(
+            f"unknown ordering {ordering!r}; choose from {sorted(ORDERINGS)}"
+        )
+    if key == "natural":
+        return natural_order(edges)
+    return ORDERINGS[key](edges, rng)

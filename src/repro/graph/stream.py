@@ -1,0 +1,212 @@
+"""Edge-event streams: the fully dynamic graph stream model of Section II.
+
+A stream S = {s(1), s(2), ...} is a sequence of :class:`EdgeEvent`
+values, each inserting (``op = +``) or deleting (``op = -``) one edge.
+:class:`EdgeStream` is an immutable container with (de)serialisation to
+a simple one-event-per-line text format::
+
+    + 12 57
+    - 12 57
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StreamFormatError
+from repro.graph.edges import Edge, Vertex, canonical_edge
+
+__all__ = ["INSERT", "DELETE", "EdgeEvent", "EdgeStream", "iter_stream_file"]
+
+INSERT = "+"
+DELETE = "-"
+_OPS = frozenset({INSERT, DELETE})
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeEvent:
+    """One stream element s(t) = (op, e_t).
+
+    ``op`` is ``"+"`` (insertion) or ``"-"`` (deletion); ``edge`` is the
+    canonical undirected edge.
+    """
+
+    op: str
+    edge: Edge
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"op must be '+' or '-', got {self.op!r}")
+        object.__setattr__(self, "edge", canonical_edge(*self.edge))
+
+    @property
+    def is_insertion(self) -> bool:
+        return self.op == INSERT
+
+    @property
+    def is_deletion(self) -> bool:
+        return self.op == DELETE
+
+    @classmethod
+    def insertion(cls, u: Vertex, v: Vertex) -> "EdgeEvent":
+        """Construct an insertion event for edge ``{u, v}``."""
+        return cls(INSERT, (u, v))
+
+    @classmethod
+    def deletion(cls, u: Vertex, v: Vertex) -> "EdgeEvent":
+        """Construct a deletion event for edge ``{u, v}``."""
+        return cls(DELETE, (u, v))
+
+
+class EdgeStream(Sequence[EdgeEvent]):
+    """An immutable sequence of edge events.
+
+    Supports ``len``, indexing, slicing (returns a new
+    :class:`EdgeStream`), iteration, equality, and round-trip text
+    (de)serialisation.
+    """
+
+    def __init__(self, events: Iterable[EdgeEvent]) -> None:
+        self._events: tuple[EdgeEvent, ...] = tuple(events)
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[EdgeEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return EdgeStream(self._events[index])
+        return self._events[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeStream):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"EdgeStream(events={len(self)}, insertions={self.num_insertions},"
+            f" deletions={self.num_deletions})"
+        )
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def num_insertions(self) -> int:
+        """|A|: number of insertion events."""
+        return sum(1 for e in self._events if e.is_insertion)
+
+    @property
+    def num_deletions(self) -> int:
+        """|D|: number of deletion events."""
+        return len(self._events) - self.num_insertions
+
+    def final_edge_count(self) -> int:
+        """Number of edges alive after the whole stream is applied."""
+        return self.num_insertions - self.num_deletions
+
+    def distinct_edges(self) -> set[Edge]:
+        """Set of edges that appear in at least one event."""
+        return {e.edge for e in self._events}
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[Vertex, Vertex]]) -> "EdgeStream":
+        """Build an insertion-only stream from an edge sequence."""
+        return cls(EdgeEvent.insertion(u, v) for u, v in edges)
+
+    def concat(self, other: "EdgeStream") -> "EdgeStream":
+        """Return the concatenation of this stream and ``other``."""
+        return EdgeStream(self._events + tuple(other))
+
+    # -- text (de)serialisation ---------------------------------------------
+
+    def dumps(self) -> str:
+        """Serialise to the one-event-per-line text format."""
+        out = io.StringIO()
+        for event in self._events:
+            u, v = event.edge
+            out.write(f"{event.op} {u} {v}\n")
+        return out.getvalue()
+
+    def dump(self, path: str | Path) -> None:
+        """Write the text serialisation to ``path``."""
+        Path(path).write_text(self.dumps(), encoding="utf-8")
+
+    @classmethod
+    def loads(cls, text: str, vertex_type: type = int) -> "EdgeStream":
+        """Parse the text format produced by :meth:`dumps`.
+
+        Vertex tokens are converted with ``vertex_type`` (default
+        ``int``). Blank lines and lines starting with ``#`` are skipped.
+        """
+        events = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[0] not in _OPS:
+                raise StreamFormatError(
+                    f"line {lineno}: expected '<op> <u> <v>', got {raw!r}"
+                )
+            try:
+                u = vertex_type(parts[1])
+                v = vertex_type(parts[2])
+            except (TypeError, ValueError) as exc:
+                raise StreamFormatError(
+                    f"line {lineno}: bad vertex token in {raw!r}"
+                ) from exc
+            events.append(EdgeEvent(parts[0], (u, v)))
+        return cls(events)
+
+    @classmethod
+    def load(cls, path: str | Path, vertex_type: type = int) -> "EdgeStream":
+        """Read the text format from ``path``."""
+        return cls.loads(Path(path).read_text(encoding="utf-8"), vertex_type)
+
+
+def iter_stream_file(
+    path: str | Path, vertex_type: type = int
+) -> Iterator[EdgeEvent]:
+    """Yield events from a stream file without materialising it.
+
+    The samplers consume any iterable of events, so this is the
+    constant-memory ingestion path for streams too large to hold as an
+    :class:`EdgeStream` — the single-pass constraint of Section II made
+    literal::
+
+        sampler.process_stream(iter_stream_file("huge-stream.txt"))
+
+    Uses the same one-event-per-line format as :meth:`EdgeStream.dumps`;
+    blank lines and ``#`` comments are skipped.
+    """
+    with open(Path(path), "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[0] not in _OPS:
+                raise StreamFormatError(
+                    f"line {lineno}: expected '<op> <u> <v>', got {raw!r}"
+                )
+            try:
+                u = vertex_type(parts[1])
+                v = vertex_type(parts[2])
+            except (TypeError, ValueError) as exc:
+                raise StreamFormatError(
+                    f"line {lineno}: bad vertex token in {raw!r}"
+                ) from exc
+            yield EdgeEvent(parts[0], (u, v))

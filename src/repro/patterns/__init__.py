@@ -1,0 +1,22 @@
+"""Subgraph patterns, local enumeration, and exact counting."""
+
+from repro.patterns.base import Instance, Pattern
+from repro.patterns.cliques import FourClique, KClique, Triangle
+from repro.patterns.exact import ExactCounter, exact_count_stream
+from repro.patterns.matching import brute_force_count, get_pattern, pattern_names
+from repro.patterns.paths import ThreePath, Wedge
+
+__all__ = [
+    "Instance",
+    "Pattern",
+    "Triangle",
+    "FourClique",
+    "KClique",
+    "Wedge",
+    "ThreePath",
+    "ExactCounter",
+    "exact_count_stream",
+    "brute_force_count",
+    "get_pattern",
+    "pattern_names",
+]

@@ -1,0 +1,74 @@
+"""Subgraph pattern interface.
+
+A :class:`Pattern` describes a small connected subgraph H (triangle,
+wedge, 4-clique, ...) and knows how to enumerate, *locally*, the
+instances of H that a single edge completes against a given adjacency
+structure. That local enumeration is the only pattern-specific primitive
+the whole system needs:
+
+* Algorithm 2 uses it against the **reservoir** adjacency to update the
+  estimator;
+* the exact counter uses it against the **full** adjacency to maintain
+  ground truth;
+* the weight functions use the instance count |H(e)| and the MDP state
+  uses both the count and the instances' edges.
+
+An *instance* is reported as the tuple of its edges **other than** the
+triggering edge, in canonical form — exactly the set J \\ e_t that the
+estimators multiply over.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+
+from repro.graph.adjacency import DynamicAdjacency
+from repro.graph.edges import Edge, Vertex
+
+__all__ = ["Pattern", "Instance"]
+
+#: The edges of one pattern instance, excluding the triggering edge.
+Instance = tuple[Edge, ...]
+
+
+class Pattern(abc.ABC):
+    """A subgraph pattern H with |H| = :attr:`num_edges` edges."""
+
+    #: Human-readable pattern name ("triangle", "wedge", "4-clique", ...).
+    name: str
+    #: |H|: the number of edges of the pattern.
+    num_edges: int
+
+    @abc.abstractmethod
+    def instances_completed(
+        self, adj: DynamicAdjacency, u: Vertex, v: Vertex
+    ) -> Iterator[Instance]:
+        """Yield instances of H completed by edge ``{u, v}`` against ``adj``.
+
+        ``adj`` must *not* contain the edge ``{u, v}`` itself (the
+        callers guarantee this: Algorithm 2 updates the estimate before
+        the reservoir, and the exact counter adds/removes the edge on
+        the appropriate side of the count). Each yielded instance is the
+        tuple of the |H| - 1 edges other than ``{u, v}``; every such
+        edge is guaranteed to be present in ``adj``.
+        """
+
+    def count_completed(
+        self, adj: DynamicAdjacency, u: Vertex, v: Vertex
+    ) -> int:
+        """Return the number of instances completed by edge ``{u, v}``.
+
+        Subclasses override this when counting is cheaper than
+        enumerating (e.g. wedges count degrees directly).
+        """
+        return sum(1 for _ in self.instances_completed(adj, u, v))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(name={self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Pattern) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)

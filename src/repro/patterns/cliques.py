@@ -1,0 +1,106 @@
+"""Clique patterns: triangle, 4-clique, and the general k-clique.
+
+An edge {u, v} completes a k-clique for every (k-2)-subset of the
+common neighbours of u and v that is itself a clique. For k = 3 this is
+just every common neighbour; for k = 4 every *adjacent pair* of common
+neighbours — matching the per-event costs γ(M) discussed in Theorem 3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import ConfigurationError
+from repro.graph.adjacency import DynamicAdjacency
+from repro.graph.edges import Vertex, canonical_edge
+from repro.patterns.base import Instance, Pattern
+
+__all__ = ["Triangle", "FourClique", "KClique"]
+
+
+class Triangle(Pattern):
+    """The 3-clique: the paper's primary pattern."""
+
+    name = "triangle"
+    num_edges = 3
+
+    def instances_completed(
+        self, adj: DynamicAdjacency, u: Vertex, v: Vertex
+    ) -> Iterator[Instance]:
+        for w in adj.common_neighbors(u, v):
+            yield (canonical_edge(u, w), canonical_edge(v, w))
+
+    def count_completed(
+        self, adj: DynamicAdjacency, u: Vertex, v: Vertex
+    ) -> int:
+        return len(adj.common_neighbors(u, v))
+
+
+class FourClique(Pattern):
+    """The 4-clique: the paper's "dense subgraph pattern" (Table VII/X)."""
+
+    name = "4-clique"
+    num_edges = 6
+
+    def instances_completed(
+        self, adj: DynamicAdjacency, u: Vertex, v: Vertex
+    ) -> Iterator[Instance]:
+        common = sorted(adj.common_neighbors(u, v), key=repr)
+        for i, w in enumerate(common):
+            w_neighbours = adj.neighbors(w)
+            for x in common[i + 1:]:
+                if x in w_neighbours:
+                    yield (
+                        canonical_edge(u, w),
+                        canonical_edge(u, x),
+                        canonical_edge(v, w),
+                        canonical_edge(v, x),
+                        canonical_edge(w, x),
+                    )
+
+
+class KClique(Pattern):
+    """The general k-clique pattern for k >= 3.
+
+    Provided as the natural extension beyond the paper's three patterns
+    (its estimator, Theorem 4, is pattern-agnostic). Enumeration extends
+    a growing clique through the common neighbourhood, so the cost is
+    output-sensitive.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 3:
+            raise ConfigurationError(f"k-clique needs k >= 3, got {k}")
+        self.k = k
+        self.name = f"{k}-clique"
+        self.num_edges = k * (k - 1) // 2
+
+    def instances_completed(
+        self, adj: DynamicAdjacency, u: Vertex, v: Vertex
+    ) -> Iterator[Instance]:
+        common = sorted(adj.common_neighbors(u, v), key=repr)
+        need = self.k - 2
+
+        def extend(
+            chosen: list[Vertex], start: int
+        ) -> Iterator[tuple[Vertex, ...]]:
+            if len(chosen) == need:
+                yield tuple(chosen)
+                return
+            for i in range(start, len(common)):
+                candidate = common[i]
+                neighbours = adj.neighbors(candidate)
+                if all(c in neighbours for c in chosen):
+                    chosen.append(candidate)
+                    yield from extend(chosen, i + 1)
+                    chosen.pop()
+
+        for extension in extend([], 0):
+            members = [u, v, *extension]
+            edges = []
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    edge = canonical_edge(a, b)
+                    if edge != canonical_edge(u, v):
+                        edges.append(edge)
+            yield tuple(edges)

@@ -1,0 +1,106 @@
+"""Pattern registry and brute-force oracles.
+
+:func:`get_pattern` resolves pattern names used throughout configs and
+the CLI. The brute-force counters here are *oracles* for tests and the
+exact counter's cross-checks — quadratic or worse, never used on hot
+paths.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import ConfigurationError
+from repro.graph.adjacency import DynamicAdjacency
+from repro.patterns.base import Pattern
+from repro.patterns.cliques import FourClique, KClique, Triangle
+from repro.patterns.paths import ThreePath, Wedge
+
+__all__ = [
+    "get_pattern",
+    "pattern_names",
+    "brute_force_count",
+]
+
+_REGISTRY: dict[str, Pattern] = {
+    "triangle": Triangle(),
+    "wedge": Wedge(),
+    "4-clique": FourClique(),
+    "3-path": ThreePath(),
+}
+
+_ALIASES = {
+    "triangles": "triangle",
+    "3-clique": "triangle",
+    "wedges": "wedge",
+    "path2": "wedge",
+    "four-clique": "4-clique",
+    "4clique": "4-clique",
+    "path3": "3-path",
+    "three-path": "3-path",
+}
+
+
+def pattern_names() -> list[str]:
+    """Return the canonical names of the registered patterns."""
+    return sorted(_REGISTRY)
+
+
+def get_pattern(name: str | Pattern) -> Pattern:
+    """Resolve a pattern by name (or pass an instance through).
+
+    Names ``"k-clique"`` for any integer k >= 3 resolve to
+    :class:`~repro.patterns.cliques.KClique`.
+    """
+    if isinstance(name, Pattern):
+        return name
+    key = _ALIASES.get(name.lower(), name.lower())
+    if key in _REGISTRY:
+        return _REGISTRY[key]
+    if key.endswith("-clique"):
+        prefix = key.removesuffix("-clique")
+        if prefix.isdigit() and int(prefix) >= 3:
+            return KClique(int(prefix))
+    raise ConfigurationError(
+        f"unknown pattern {name!r}; known: {pattern_names()} or 'k-clique'"
+    )
+
+
+def brute_force_count(adj: DynamicAdjacency, pattern: str | Pattern) -> int:
+    """Count instances of ``pattern`` in ``adj`` by brute force (oracle).
+
+    Supports the three registered patterns and general k-cliques.
+    """
+    pat = get_pattern(pattern)
+    if pat.name == "wedge":
+        return sum(
+            adj.degree(v) * (adj.degree(v) - 1) // 2 for v in adj.vertices()
+        )
+    if pat.name == "triangle":
+        count = 0
+        for u, v in adj.edges():
+            count += len(adj.common_neighbors(u, v))
+        return count // 3
+    if pat.name == "3-path":
+        # Classic identity: paths of length 3 =
+        # Σ_{(u,v) ∈ E} (d(u)-1)(d(v)-1) − 3 · triangles
+        # (each triangle is counted 3 times by the edge sum but is a
+        # cycle, not a simple path).
+        edge_sum = sum(
+            (adj.degree(u) - 1) * (adj.degree(v) - 1)
+            for u, v in adj.edges()
+        )
+        return edge_sum - 3 * brute_force_count(adj, "triangle")
+    # k-cliques (including 4-clique): enumerate vertex subsets of the
+    # smallest-degree endpoint's neighbourhood.
+    k = getattr(pat, "k", 4 if pat.name == "4-clique" else None)
+    if k is None:  # pragma: no cover - defensive
+        raise ConfigurationError(f"no brute-force oracle for {pat.name}")
+    vertices = sorted(adj.vertices(), key=repr)
+    count = 0
+    for subset in combinations(vertices, k):
+        if all(
+            adj.has_edge(a, b) for a, b in combinations(subset, 2)
+        ):
+            count += 1
+    return count

@@ -1,0 +1,89 @@
+"""Path patterns: the wedge (length-2 path) and the 3-path.
+
+An edge {u, v} completes one wedge per existing neighbour of u other
+than v (wedge centred at u) and one per existing neighbour of v other
+than u (centred at v), so the count is deg(u) + deg(v) on the adjacency
+without the new edge.
+
+The 3-path (a simple path on 4 distinct vertices, 3 edges) extends the
+pattern family beyond the paper's triangle/wedge/4-clique — WSD's
+estimator (Theorem 4) is pattern-agnostic, so adding a pattern only
+requires its local enumeration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graph.adjacency import DynamicAdjacency
+from repro.graph.edges import Vertex, canonical_edge
+from repro.patterns.base import Instance, Pattern
+
+__all__ = ["Wedge", "ThreePath"]
+
+
+class Wedge(Pattern):
+    """The length-2 path ("wedge"), |H| = 2 (Tables II/VIII)."""
+
+    name = "wedge"
+    num_edges = 2
+
+    def instances_completed(
+        self, adj: DynamicAdjacency, u: Vertex, v: Vertex
+    ) -> Iterator[Instance]:
+        for w in adj.neighbors(u):
+            if w != v:
+                yield (canonical_edge(u, w),)
+        for w in adj.neighbors(v):
+            if w != u:
+                yield (canonical_edge(v, w),)
+
+    def count_completed(
+        self, adj: DynamicAdjacency, u: Vertex, v: Vertex
+    ) -> int:
+        count = adj.degree(u) + adj.degree(v)
+        # The edge {u, v} itself must not be in adj, but u and v may
+        # already be adjacent through stale callers; guard in tests, not
+        # here, to keep the hot path branch-free.
+        return count
+
+
+class ThreePath(Pattern):
+    """The simple path on 4 distinct vertices (|H| = 3 edges).
+
+    An arriving edge {u, v} completes a 3-path in two roles:
+
+    * as the **middle** edge: w — u — v — x, one instance per pair
+      (w, x) with w ∈ N(u)\\{v}, x ∈ N(v)\\{u}, w ≠ x;
+    * as an **end** edge: v — u — w — x (and symmetrically u — v — w — x),
+      one instance per neighbour w of u and neighbour x of w outside
+      {u, v}.
+
+    All four vertices must be distinct (simple path).
+    """
+
+    name = "3-path"
+    num_edges = 3
+
+    def instances_completed(
+        self, adj: DynamicAdjacency, u: Vertex, v: Vertex
+    ) -> Iterator[Instance]:
+        # Middle role: w - u - v - x.
+        for w in adj.neighbors(u):
+            if w == v:
+                continue
+            for x in adj.neighbors(v):
+                if x == u or x == w:
+                    continue
+                yield (canonical_edge(w, u), canonical_edge(v, x))
+        # End roles: v - a - w - x with the new edge at one end; cover
+        # both orientations by swapping (u, v).
+        for end, inner in ((u, v), (v, u)):
+            # new edge is (inner, end); path: inner - end - w - x.
+            for w in adj.neighbors(end):
+                if w == inner:
+                    continue
+                for x in adj.neighbors(w):
+                    if x == end or x == inner or x == w:
+                        continue
+                    yield (canonical_edge(end, w), canonical_edge(w, x))

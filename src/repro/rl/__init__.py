@@ -1,0 +1,37 @@
+"""Reinforcement learning: from-scratch DDPG for the WSD-L weight policy."""
+
+from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.rl.mdp import AgentWeight, EpisodeStats, SamplingEpisode
+from repro.rl.networks import ActorNetwork, CriticNetwork
+from repro.rl.noise import GaussianNoise, NoiseProcess, OrnsteinUhlenbeckNoise
+from repro.rl.optim import SGD, Adam
+from repro.rl.policy import Policy
+from repro.rl.replay import ReplayBuffer, TransitionBatch
+from repro.rl.training import (
+    TrainingConfig,
+    TrainingResult,
+    make_training_streams,
+    train_weight_policy,
+)
+
+__all__ = [
+    "DDPGAgent",
+    "DDPGConfig",
+    "AgentWeight",
+    "EpisodeStats",
+    "SamplingEpisode",
+    "ActorNetwork",
+    "CriticNetwork",
+    "GaussianNoise",
+    "OrnsteinUhlenbeckNoise",
+    "NoiseProcess",
+    "Adam",
+    "SGD",
+    "Policy",
+    "ReplayBuffer",
+    "TransitionBatch",
+    "TrainingConfig",
+    "TrainingResult",
+    "make_training_streams",
+    "train_weight_policy",
+]

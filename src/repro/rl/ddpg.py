@@ -1,0 +1,159 @@
+"""DDPG: deep deterministic policy gradient (Section IV-B).
+
+The agent maintains a main actor μ(s; θ) and critic Q(s, a; φ) plus
+slowly tracking target copies μ′ and Q′. Per update (Eqs. 28–30):
+
+* critic loss  L(φ) = mean (y_i − Q(s_i, a_i; φ))² with targets
+  y_i = r_i + γ · Q′(s_{i+1}, μ′(s_{i+1}; θ′); φ′);
+* actor loss   L(θ) = −mean Q(s_i, μ(s_i; θ); φ), whose gradient flows
+  through the critic's action input into the actor;
+* Polyak soft updates of both targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rl.networks import ActorNetwork, CriticNetwork
+from repro.rl.noise import GaussianNoise, NoiseProcess
+from repro.rl.optim import Adam
+from repro.rl.replay import ReplayBuffer
+from repro.utils.rng import ensure_rng
+
+__all__ = ["DDPGAgent", "DDPGConfig"]
+
+
+@dataclass(frozen=True)
+class DDPGConfig:
+    """Hyper-parameters (defaults follow Section V-A)."""
+
+    gamma: float = 0.99
+    actor_lr: float = 1e-3
+    critic_lr: float = 1e-3
+    tau: float = 0.01
+    batch_size: int = 128
+    replay_capacity: int = 10_000
+    critic_hidden: int = 10
+    warmup: int = 256
+    max_action: float = 1e6
+
+    def validate(self) -> None:
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ConfigurationError(f"gamma must be in [0, 1], got {self.gamma}")
+        if not 0.0 < self.tau <= 1.0:
+            raise ConfigurationError(f"tau must be in (0, 1], got {self.tau}")
+        if self.batch_size < 1 or self.replay_capacity < self.batch_size:
+            raise ConfigurationError(
+                "need replay_capacity >= batch_size >= 1, got "
+                f"{self.replay_capacity} / {self.batch_size}"
+            )
+
+
+class DDPGAgent:
+    """Actor-critic agent with replay and target networks."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        config: DDPGConfig | None = None,
+        noise: NoiseProcess | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.config = config or DDPGConfig()
+        self.config.validate()
+        self.rng = ensure_rng(rng)
+        self.state_dim = state_dim
+
+        self.actor = ActorNetwork(state_dim, self.rng)
+        self.critic = CriticNetwork(
+            state_dim, hidden=self.config.critic_hidden, rng=self.rng
+        )
+        self.target_actor = ActorNetwork(state_dim, self.rng)
+        self.target_critic = CriticNetwork(
+            state_dim, hidden=self.config.critic_hidden, rng=self.rng
+        )
+        self.target_actor.copy_from(self.actor)
+        self.target_critic.copy_from(self.critic)
+
+        self.actor_optim = Adam(self.actor.parameters(), lr=self.config.actor_lr)
+        self.critic_optim = Adam(
+            self.critic.parameters(), lr=self.config.critic_lr
+        )
+        self.replay = ReplayBuffer(
+            state_dim, capacity=self.config.replay_capacity, rng=self.rng
+        )
+        self.noise = noise or GaussianNoise(rng=self.rng)
+        self.updates = 0
+
+    # -- acting ------------------------------------------------------------------
+
+    def act(self, state: np.ndarray, explore: bool = True) -> float:
+        """Policy action for one state, plus exploration noise if training.
+
+        Actions are clipped to (0, max_action]; the actor's +1 offset
+        keeps the deterministic part >= 1, so clipping only tames noise.
+        """
+        action = self.actor.action(np.asarray(state, dtype=np.float64))
+        if explore:
+            action += self.noise.sample()
+        return float(np.clip(action, 1e-3, self.config.max_action))
+
+    # -- experience ----------------------------------------------------------------
+
+    def observe(
+        self,
+        state: np.ndarray,
+        action: float,
+        reward: float,
+        next_state: np.ndarray,
+    ) -> None:
+        """Store one transition in the replay memory."""
+        self.replay.push(state, action, reward, next_state)
+
+    @property
+    def ready(self) -> bool:
+        """Whether enough experience accumulated to start updating."""
+        return len(self.replay) >= max(self.config.warmup, self.config.batch_size)
+
+    # -- learning --------------------------------------------------------------------
+
+    def update(self) -> tuple[float, float]:
+        """One gradient update of critic then actor; returns their losses."""
+        batch = self.replay.sample(self.config.batch_size)
+        n = len(batch)
+
+        # Critic targets y_i via the target networks (Eq. 29).
+        next_actions = self.target_actor.forward(batch.next_states, training=False)
+        next_q = self.target_critic.forward(
+            batch.next_states, next_actions, training=False
+        )
+        targets = batch.rewards + self.config.gamma * next_q
+
+        # Critic step: minimise MSE (Eq. 28).
+        self.critic.zero_grad()
+        q = self.critic.forward(batch.states, batch.actions, training=True)
+        diff = q - targets
+        critic_loss = float(np.mean(diff**2))
+        self.critic.backward(2.0 * diff / n)
+        self.critic_optim.step()
+
+        # Actor step: maximise Q(s, μ(s)) (Eq. 30). Gradient flows from
+        # the critic's action input into the actor.
+        self.actor.zero_grad()
+        self.critic.zero_grad()  # reuse the critic as a differentiable fn
+        actions = self.actor.forward(batch.states, training=True)
+        q_actor = self.critic.forward(batch.states, actions, training=True)
+        actor_loss = float(-np.mean(q_actor))
+        _, grad_actions = self.critic.backward(-np.ones_like(q_actor) / n)
+        self.actor.backward(grad_actions)
+        self.actor_optim.step()
+        self.critic.zero_grad()  # discard critic grads from the actor pass
+
+        # Soft target updates.
+        self.target_actor.soft_update_from(self.actor, self.config.tau)
+        self.target_critic.soft_update_from(self.critic, self.config.tau)
+        self.updates += 1
+        return critic_loss, actor_loss

@@ -1,0 +1,190 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Each layer implements the minimal module protocol used by the DDPG
+networks: ``forward(x, training)`` caches what backward needs,
+``backward(grad_output)`` accumulates parameter gradients and returns
+the gradient w.r.t. the input, and ``parameters()`` exposes trainables.
+Shapes are batch-first: inputs are ``(batch, features)``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.rl.tensors import Parameter, glorot_uniform, zeros
+
+__all__ = ["Module", "Linear", "ReLU", "BatchNorm1d", "Sequential"]
+
+
+class Module(abc.ABC):
+    """Base module: forward/backward with parameter access."""
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Compute the layer output, caching intermediates if training."""
+
+    @abc.abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return gradient w.r.t. input."""
+
+    def parameters(self) -> list[Parameter]:
+        """Trainable parameters (default: none)."""
+        return []
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Linear(Module):
+    """Affine map y = x Wᵀ + b with W of shape (out, in)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        name: str = "linear",
+    ) -> None:
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            glorot_uniform(in_features, out_features, rng), f"{name}.weight"
+        )
+        self.bias = Parameter(zeros(out_features), f"{name}.bias")
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._input = x
+        return x @ self.weight.value.T + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        self.weight.grad += grad_output.T @ self._input
+        self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class ReLU(Module):
+    """Elementwise max(x, 0)."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        mask = x > 0.0
+        if training:
+            self._mask = mask
+        return x * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * self._mask
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the batch dimension.
+
+    The paper applies batch normalisation before the critic's hidden
+    activation "to avoid data scale issues" (Section V-A). Training mode
+    normalises with batch statistics and tracks running estimates for
+    evaluation mode.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        momentum: float = 0.1,
+        eps: float = 1e-5,
+        name: str = "batchnorm",
+    ) -> None:
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features), f"{name}.gamma")
+        self.beta = Parameter(zeros(num_features), f"{name}.beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training and x.shape[0] > 1:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (
+                (1.0 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1.0 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        if training:
+            self._cache = (x_hat, inv_std, np.asarray(x.shape[0] > 1))
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x_hat, inv_std, batch_stats = self._cache
+        n = grad_output.shape[0]
+        self.gamma.grad += (grad_output * x_hat).sum(axis=0)
+        self.beta.grad += grad_output.sum(axis=0)
+        grad_x_hat = grad_output * self.gamma.value
+        if not bool(batch_stats):
+            # Running statistics were used; they are constants w.r.t. x.
+            return grad_x_hat * inv_std
+        return (
+            inv_std
+            / n
+            * (
+                n * grad_x_hat
+                - grad_x_hat.sum(axis=0)
+                - x_hat * (grad_x_hat * x_hat).sum(axis=0)
+            )
+        )
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gamma, self.beta]
+
+    def copy_state_from(self, other: "BatchNorm1d") -> None:
+        """Copy running statistics (used when hard-copying to targets)."""
+        self.running_mean = other.running_mean.copy()
+        self.running_var = other.running_var.copy()
+
+
+class Sequential(Module):
+    """A chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = list(modules)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for module in self.modules:
+            x = module.forward(x, training=training)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for module in reversed(self.modules):
+            grad_output = module.backward(grad_output)
+        return grad_output
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for module in self.modules:
+            params.extend(module.parameters())
+        return params

@@ -1,0 +1,114 @@
+"""The actor and critic networks of WSD-L (Section IV-B, V-A).
+
+* :class:`ActorNetwork` — Eq. (27): a = σ(W s + b) with σ = ReLU, plus
+  one ("we add one to the output to avoid assigning zero weights").
+  Deterministic policy, scalar action (the edge weight).
+* :class:`CriticNetwork` — Q(s, a): input layer over [s, a], a hidden
+  layer of 10 neurons with batch normalisation before the ReLU
+  activation, and a scalar output layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.layers import BatchNorm1d, Linear, ReLU, Sequential
+from repro.rl.tensors import Parameter
+
+__all__ = ["ActorNetwork", "CriticNetwork"]
+
+
+class ActorNetwork:
+    """μ(s; θ) = ReLU(W s + b) + 1, the deterministic policy."""
+
+    def __init__(self, state_dim: int, rng: np.random.Generator) -> None:
+        self.state_dim = state_dim
+        self.linear = Linear(state_dim, 1, rng, name="actor")
+        self.relu = ReLU()
+
+    def forward(self, states: np.ndarray, training: bool = True) -> np.ndarray:
+        """Map ``(batch, state_dim)`` states to ``(batch, 1)`` actions."""
+        pre = self.linear.forward(states, training=training)
+        return self.relu.forward(pre, training=training) + 1.0
+
+    def backward(self, grad_actions: np.ndarray) -> np.ndarray:
+        """Backprop through the actor; returns gradient w.r.t. states."""
+        return self.linear.backward(self.relu.backward(grad_actions))
+
+    def parameters(self) -> list[Parameter]:
+        return self.linear.parameters()
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def action(self, state: np.ndarray) -> float:
+        """Scalar action for a single (unbatched) state."""
+        out = self.forward(state.reshape(1, -1), training=False)
+        return float(out[0, 0])
+
+    def copy_from(self, other: "ActorNetwork") -> None:
+        for mine, theirs in zip(self.parameters(), other.parameters()):
+            mine.copy_from(theirs)
+
+    def soft_update_from(self, other: "ActorNetwork", tau: float) -> None:
+        for mine, theirs in zip(self.parameters(), other.parameters()):
+            mine.soft_update_from(theirs, tau)
+
+
+class CriticNetwork:
+    """Q(s, a; φ): Linear(|s|+1 → 10) → BatchNorm → ReLU → Linear(10 → 1)."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        hidden: int = 10,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if rng is None:
+            rng = np.random.default_rng()
+        self.state_dim = state_dim
+        self.hidden = hidden
+        self._bn = BatchNorm1d(hidden, name="critic.bn")
+        self.net = Sequential(
+            Linear(state_dim + 1, hidden, rng, name="critic.hidden"),
+            self._bn,
+            ReLU(),
+            Linear(hidden, 1, rng, name="critic.out"),
+        )
+        self._input_width = state_dim + 1
+
+    def forward(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        training: bool = True,
+    ) -> np.ndarray:
+        """Q-values of shape ``(batch, 1)`` for state/action batches."""
+        if actions.ndim == 1:
+            actions = actions.reshape(-1, 1)
+        x = np.concatenate([states, actions], axis=1)
+        return self.net.forward(x, training=training)
+
+    def backward(self, grad_q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Backprop; returns (grad_states, grad_actions)."""
+        grad_input = self.net.backward(grad_q)
+        return grad_input[:, : self.state_dim], grad_input[:, self.state_dim:]
+
+    def parameters(self) -> list[Parameter]:
+        return self.net.parameters()
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def copy_from(self, other: "CriticNetwork") -> None:
+        for mine, theirs in zip(self.parameters(), other.parameters()):
+            mine.copy_from(theirs)
+        self._bn.copy_state_from(other._bn)
+
+    def soft_update_from(self, other: "CriticNetwork", tau: float) -> None:
+        for mine, theirs in zip(self.parameters(), other.parameters()):
+            mine.soft_update_from(theirs, tau)
+        # Running statistics follow the main network directly.
+        self._bn.copy_state_from(other._bn)

@@ -1,0 +1,86 @@
+"""Exploration noise processes for DDPG.
+
+DDPG's deterministic policy needs external exploration noise during
+training. :class:`GaussianNoise` (with optional decay) is the default;
+:class:`OrnsteinUhlenbeckNoise` is the temporally correlated process the
+original DDPG paper used, provided for completeness.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import ensure_rng
+
+__all__ = ["NoiseProcess", "GaussianNoise", "OrnsteinUhlenbeckNoise"]
+
+
+class NoiseProcess(abc.ABC):
+    """A scalar noise source with a per-episode reset hook."""
+
+    @abc.abstractmethod
+    def sample(self) -> float:
+        """Draw one noise value."""
+
+    def reset(self) -> None:
+        """Reset per-episode internal state (default: none)."""
+
+
+class GaussianNoise(NoiseProcess):
+    """Independent N(0, σ²) noise, with σ multiplied by ``decay`` per episode."""
+
+    def __init__(
+        self,
+        sigma: float = 0.5,
+        decay: float = 1.0,
+        min_sigma: float = 0.01,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if sigma < 0.0:
+            raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+        if not 0.0 < decay <= 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1], got {decay}")
+        self.sigma = sigma
+        self.decay = decay
+        self.min_sigma = min_sigma
+        self.rng = ensure_rng(rng)
+
+    def sample(self) -> float:
+        return float(self.rng.normal(0.0, self.sigma))
+
+    def reset(self) -> None:
+        self.sigma = max(self.min_sigma, self.sigma * self.decay)
+
+
+class OrnsteinUhlenbeckNoise(NoiseProcess):
+    """OU process dx = θ(μ - x)dt + σ dW — temporally correlated noise."""
+
+    def __init__(
+        self,
+        theta: float = 0.15,
+        sigma: float = 0.3,
+        mu: float = 0.0,
+        dt: float = 1.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if theta <= 0.0 or sigma < 0.0 or dt <= 0.0:
+            raise ConfigurationError("theta, dt must be > 0 and sigma >= 0")
+        self.theta = theta
+        self.sigma = sigma
+        self.mu = mu
+        self.dt = dt
+        self.rng = ensure_rng(rng)
+        self._x = mu
+
+    def sample(self) -> float:
+        dx = self.theta * (self.mu - self._x) * self.dt + self.sigma * np.sqrt(
+            self.dt
+        ) * self.rng.normal()
+        self._x += dx
+        return float(self._x)
+
+    def reset(self) -> None:
+        self._x = self.mu

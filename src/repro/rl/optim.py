@@ -1,0 +1,88 @@
+"""Optimisers: Adam (the paper's choice) and SGD.
+
+Both operate on lists of :class:`~repro.rl.tensors.Parameter` and apply
+accumulated gradients in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rl.tensors import Parameter
+
+__all__ = ["Adam", "SGD"]
+
+
+class SGD:
+    """Plain stochastic gradient descent (optionally with momentum)."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+    ) -> None:
+        if lr <= 0.0:
+            raise ConfigurationError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, vel in zip(self.parameters, self._velocity):
+            if self.momentum:
+                vel *= self.momentum
+                vel += p.grad
+                p.value -= self.lr * vel
+            else:
+                p.value -= self.lr * p.grad
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam with bias correction (Kingma & Ba), lr 1e-3 as in the paper."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0.0:
+            raise ConfigurationError(f"lr must be positive, got {lr}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("betas must be in [0, 1)")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (p.grad * p.grad)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()

@@ -1,0 +1,101 @@
+"""Deployable weight policies.
+
+After DDPG training, only the actor matters at inference time; the
+paper "hardcodes the parameters θ = {W, b}" into its C++ runtime. The
+:class:`Policy` here is the same idea: a frozen copy of the actor's
+single linear layer, evaluated with one dot product per edge, with
+``.npz`` save/load so trained policies can ship with experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import PolicyError
+from repro.rl.networks import ActorNetwork
+
+__all__ = ["Policy"]
+
+
+class Policy:
+    """A frozen actor: action(s) = ReLU(w · s + b) + 1.
+
+    Attributes:
+        weights: the actor weight vector, shape (state_dim,).
+        bias: the actor bias (scalar).
+        metadata: provenance (pattern name, feature settings, training
+            parameters) persisted alongside the parameters.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        bias: float,
+        metadata: dict | None = None,
+    ) -> None:
+        weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+        if weights.size < 1:
+            raise PolicyError("policy weights must be non-empty")
+        if not np.all(np.isfinite(weights)) or not np.isfinite(bias):
+            raise PolicyError("policy parameters must be finite")
+        self.weights = weights
+        self.bias = float(bias)
+        self.metadata = dict(metadata or {})
+
+    @property
+    def state_dim(self) -> int:
+        return int(self.weights.size)
+
+    def action(self, state: np.ndarray) -> float:
+        """Eq. (27) with the +1 offset: always >= 1."""
+        state = np.asarray(state, dtype=np.float64).reshape(-1)
+        if state.size != self.weights.size:
+            raise PolicyError(
+                f"state dim {state.size} != policy dim {self.weights.size}"
+            )
+        pre = float(self.weights @ state) + self.bias
+        return (pre if pre > 0.0 else 0.0) + 1.0
+
+    @classmethod
+    def from_actor(
+        cls, actor: ActorNetwork, metadata: dict | None = None
+    ) -> "Policy":
+        """Freeze a trained actor network into a deployable policy."""
+        weight = actor.linear.weight.value.reshape(-1).copy()
+        bias = float(actor.linear.bias.value.reshape(-1)[0])
+        return cls(weight, bias, metadata)
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist to an ``.npz`` file (parameters + JSON metadata)."""
+        np.savez(
+            Path(path),
+            weights=self.weights,
+            bias=np.float64(self.bias),
+            metadata=np.bytes_(json.dumps(self.metadata).encode("utf-8")),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Policy":
+        """Load a policy saved by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise PolicyError(f"policy file not found: {path}")
+        with np.load(path, allow_pickle=False) as data:
+            try:
+                weights = data["weights"]
+                bias = float(data["bias"])
+                metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
+            except KeyError as exc:
+                raise PolicyError(f"malformed policy file {path}: {exc}") from exc
+        return cls(weights, bias, metadata)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Policy(dim={self.state_dim}, bias={self.bias:.4f}, "
+            f"metadata={self.metadata})"
+        )

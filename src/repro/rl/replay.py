@@ -1,0 +1,80 @@
+"""Experience replay buffer (Section V-A: capacity 10,000, batch 128)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import ensure_rng
+
+__all__ = ["ReplayBuffer", "TransitionBatch"]
+
+
+@dataclass(frozen=True)
+class TransitionBatch:
+    """A sampled mini-batch of transitions (s, a, r, s')."""
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_states: np.ndarray
+
+    def __len__(self) -> int:
+        return self.states.shape[0]
+
+
+class ReplayBuffer:
+    """A fixed-capacity circular buffer of MDP transitions."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        capacity: int = 10_000,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if state_dim < 1:
+            raise ConfigurationError(f"state_dim must be >= 1, got {state_dim}")
+        self.capacity = capacity
+        self.state_dim = state_dim
+        self.rng = ensure_rng(rng)
+        self._states = np.zeros((capacity, state_dim))
+        self._actions = np.zeros((capacity, 1))
+        self._rewards = np.zeros((capacity, 1))
+        self._next_states = np.zeros((capacity, state_dim))
+        self._size = 0
+        self._cursor = 0
+
+    def push(
+        self,
+        state: np.ndarray,
+        action: float,
+        reward: float,
+        next_state: np.ndarray,
+    ) -> None:
+        """Store one transition, overwriting the oldest when full."""
+        i = self._cursor
+        self._states[i] = state
+        self._actions[i, 0] = action
+        self._rewards[i, 0] = reward
+        self._next_states[i] = next_state
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> TransitionBatch:
+        """Sample ``batch_size`` transitions uniformly with replacement."""
+        if self._size == 0:
+            raise ConfigurationError("cannot sample from an empty buffer")
+        idx = self.rng.integers(0, self._size, size=batch_size)
+        return TransitionBatch(
+            states=self._states[idx],
+            actions=self._actions[idx],
+            rewards=self._rewards[idx],
+            next_states=self._next_states[idx],
+        )
+
+    def __len__(self) -> int:
+        return self._size

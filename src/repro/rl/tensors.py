@@ -1,0 +1,55 @@
+"""Parameter containers and initialisers for the from-scratch networks.
+
+The RL stack deliberately avoids external deep-learning frameworks: the
+paper's deployed model is a single linear layer, and its training setup
+(DDPG with a 10-neuron critic) is small enough that explicit
+numpy forward/backward passes are both faster to ship and easier to
+verify with finite-difference tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter", "glorot_uniform", "zeros"]
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    def copy_from(self, other: "Parameter") -> None:
+        """Hard copy of another parameter's value (target-network init)."""
+        self.value[...] = other.value
+
+    def soft_update_from(self, other: "Parameter", tau: float) -> None:
+        """Polyak update: value <- tau * other + (1 - tau) * value."""
+        self.value *= 1.0 - tau
+        self.value += tau * other.value
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a (fan_out, fan_in) matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_out, fan_in))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """Convenience zero initialiser."""
+    return np.zeros(shape, dtype=np.float64)

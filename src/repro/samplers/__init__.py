@@ -1,0 +1,40 @@
+"""Stream samplers: WSD, GPS, GPS-A, and the uniform baselines."""
+
+from repro.samplers.base import SubgraphCountingSampler
+from repro.samplers.checkpoint import load_wsd, restore_wsd, save_wsd, wsd_state_dict
+from repro.samplers.gps import GPS
+from repro.samplers.gps_a import GPSA
+from repro.samplers.heap import IndexedMinHeap
+from repro.samplers.random_pairing import RandomPairingReservoir
+from repro.samplers.ranks import (
+    ExponentialRank,
+    InverseUniformRank,
+    RankFunction,
+    get_rank_function,
+)
+from repro.samplers.thinkd import ThinkD
+from repro.samplers.thinkd_fast import ThinkDFast
+from repro.samplers.triest import Triest
+from repro.samplers.wrs import WRS
+from repro.samplers.wsd import WSD
+
+__all__ = [
+    "SubgraphCountingSampler",
+    "GPS",
+    "GPSA",
+    "WSD",
+    "Triest",
+    "ThinkD",
+    "ThinkDFast",
+    "WRS",
+    "IndexedMinHeap",
+    "RandomPairingReservoir",
+    "RankFunction",
+    "InverseUniformRank",
+    "ExponentialRank",
+    "get_rank_function",
+    "save_wsd",
+    "load_wsd",
+    "wsd_state_dict",
+    "restore_wsd",
+]

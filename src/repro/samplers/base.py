@@ -1,0 +1,142 @@
+"""Sampler interfaces shared by every algorithm in the library.
+
+A :class:`SubgraphCountingSampler` consumes a fully dynamic edge stream
+one event at a time under the Section II constraints (no knowledge,
+memory budget of M edges, single pass) and maintains a running estimate
+of the pattern count |J(t)|. All six algorithms (WSD, GPS, GPS-A,
+Triest, ThinkD, WRS) implement this interface, which is what the
+experiment runner and the examples program against.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.adjacency import DynamicAdjacency
+from repro.graph.edges import Edge
+from repro.graph.stream import EdgeEvent, EdgeStream
+from repro.patterns.base import Instance, Pattern
+from repro.patterns.matching import get_pattern
+from repro.utils.rng import ensure_rng
+
+__all__ = ["SubgraphCountingSampler", "SampledGraphMixin", "InstanceObserver"]
+
+#: Callback invoked for every estimator contribution: the triggering
+#: edge, the instance's other edges, and the signed Horvitz-Thompson
+#: value added to the global estimate (negative for destructions).
+InstanceObserver = Callable[[Edge, Instance, float], None]
+
+
+class SubgraphCountingSampler(abc.ABC):
+    """Base class: one-pass subgraph-count estimation with M-edge budget."""
+
+    def __init__(
+        self,
+        pattern: str | Pattern,
+        budget: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if budget < 1:
+            raise ConfigurationError(f"budget must be >= 1, got {budget}")
+        self.pattern = get_pattern(pattern)
+        if budget < self.pattern.num_edges:
+            raise ConfigurationError(
+                f"budget M={budget} is below |H|={self.pattern.num_edges}; "
+                "the estimators require M >= |H| (Theorems 2/4)"
+            )
+        self.budget = budget
+        self.rng = ensure_rng(rng)
+        self._estimate = 0.0
+        self._time = 0
+        #: Observers notified of every per-instance estimator update —
+        #: the hook behind local (per-vertex) counting. Supported by the
+        #: estimate-before-sample algorithms (WSD, GPS, GPS-A, ThinkD,
+        #: WRS); Triest only re-weights at query time and cannot emit
+        #: per-instance values.
+        self.instance_observers: list[InstanceObserver] = []
+
+    # -- core API -----------------------------------------------------------
+
+    @property
+    def estimate(self) -> float:
+        """The current estimate of |J(t)|."""
+        return self._estimate
+
+    @property
+    def time(self) -> int:
+        """Number of events processed so far (the stream clock t)."""
+        return self._time
+
+    def process(self, event: EdgeEvent) -> None:
+        """Consume one stream event, updating estimate and sample."""
+        self._time += 1
+        if event.is_insertion:
+            self._process_insertion(event.edge)
+        else:
+            self._process_deletion(event.edge)
+
+    @abc.abstractmethod
+    def _process_insertion(self, edge: Edge) -> None:
+        """Handle an insertion event (estimate first, then sample)."""
+
+    @abc.abstractmethod
+    def _process_deletion(self, edge: Edge) -> None:
+        """Handle a deletion event (estimate first, then sample)."""
+
+    def _emit_instance(
+        self, trigger: Edge, instance: Instance, value: float
+    ) -> None:
+        """Notify observers of one signed per-instance contribution."""
+        for observer in self.instance_observers:
+            observer(trigger, instance, value)
+
+    def process_stream(self, stream: EdgeStream | Iterable[EdgeEvent]) -> float:
+        """Consume a whole stream; return the final estimate."""
+        for event in stream:
+            self.process(event)
+        return self.estimate
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def sample_size(self) -> int:
+        """Number of edges currently held in the sample."""
+
+    @abc.abstractmethod
+    def sampled_edges(self) -> Iterator[Edge]:
+        """Iterate over the edges currently held in the sample."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"{type(self).__name__}(pattern={self.pattern.name!r}, "
+            f"M={self.budget}, t={self._time}, "
+            f"estimate={self._estimate:.3f})"
+        )
+
+
+class SampledGraphMixin:
+    """Maintains a :class:`DynamicAdjacency` view of the sampled edges.
+
+    Subclasses call :meth:`_sample_add` / :meth:`_sample_remove` whenever
+    an edge enters or leaves their sample so pattern enumeration can run
+    against the sampled graph.
+    """
+
+    def __init__(self) -> None:
+        self._sampled_graph = DynamicAdjacency()
+
+    @property
+    def sampled_graph(self) -> DynamicAdjacency:
+        """Read-only view of the sampled graph (do not mutate)."""
+        return self._sampled_graph
+
+    def _sample_add(self, edge: Edge) -> None:
+        self._sampled_graph.add_edge(*edge)
+
+    def _sample_remove(self, edge: Edge) -> None:
+        self._sampled_graph.remove_edge(*edge)

@@ -1,0 +1,129 @@
+"""GPS: graph priority sampling for insertion-only streams (Section III-A).
+
+GPS [Ahmed et al., VLDB'17] keeps the M highest-ranked edges seen so
+far. The estimator threshold is r_{M+1}, the (M+1)-th largest rank among
+all edges seen — equivalently the running maximum rank over every edge
+that was discarded or evicted. Inclusion obeys
+P[e ∈ R(t)] = P[r(e) > r_{M+1}] (Eq. (1)), and the estimator
+
+    c(t) = Σ_J ∏_{e ∈ J\\e_last} I(e ∈ R) / P[r(e) > r_{M+1}]
+
+is unbiased for insertion-only streams (Theorem 1). GPS rejects
+deletion events (see Example 1 of the paper for why it *cannot* support
+them); :class:`~repro.samplers.gps_a.GPSA` is the fully dynamic
+adaptation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import SamplerError
+from repro.graph.edges import Edge
+from repro.patterns.base import Pattern
+from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
+from repro.samplers.heap import IndexedMinHeap
+from repro.samplers.ranks import RankFunction, get_rank_function
+from repro.weights.base import WeightContext, WeightFunction
+
+__all__ = ["GPS"]
+
+
+class GPS(SampledGraphMixin, SubgraphCountingSampler):
+    """Graph priority sampling (insertion-only)."""
+
+    def __init__(
+        self,
+        pattern: str | Pattern,
+        budget: int,
+        weight_fn: WeightFunction,
+        rank_fn: str | RankFunction = "inverse-uniform",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        SubgraphCountingSampler.__init__(self, pattern, budget, rng)
+        SampledGraphMixin.__init__(self)
+        self.weight_fn = weight_fn
+        self.rank_fn = get_rank_function(rank_fn)
+        self._reservoir = IndexedMinHeap()
+        self._edge_weights: dict[Edge, float] = {}
+        self._edge_times: dict[Edge, int] = {}
+        # r_{M+1}: the largest rank among discarded/evicted edges, which
+        # equals the (M+1)-th largest rank seen once > M edges arrived.
+        self._r_m_plus_1 = 0.0
+
+    @property
+    def threshold(self) -> float:
+        """The current estimator threshold r_{M+1} (0 while t <= M)."""
+        return self._r_m_plus_1
+
+    def inclusion_probability(self, edge: Edge) -> float:
+        """P[e ∈ R(t)] = P[r(e) > r_{M+1}] for a sampled edge."""
+        weight = self._edge_weights[edge]
+        return self.rank_fn.inclusion_probability(weight, self._r_m_plus_1)
+
+    def _instance_value(self, instance: tuple[Edge, ...]) -> float:
+        value = 1.0
+        for other in instance:
+            value /= self.rank_fn.inclusion_probability(
+                self._edge_weights[other], self._r_m_plus_1
+            )
+        return value
+
+    def _process_insertion(self, edge: Edge) -> None:
+        u, v = edge
+        instances = list(
+            self.pattern.instances_completed(self._sampled_graph, u, v)
+        )
+        for instance in instances:
+            value = self._instance_value(instance)
+            self._estimate += value
+            if self.instance_observers:
+                self._emit_instance(edge, instance, value)
+
+        ctx = WeightContext(
+            edge=edge,
+            time=self._time,
+            instances=instances,
+            adjacency=self._sampled_graph,
+            edge_times=self._edge_times,
+            pattern=self.pattern,
+        )
+        weight = float(self.weight_fn(ctx))
+        rank = self.rank_fn.rank(weight, self.rng)
+        if len(self._reservoir) < self.budget:
+            self._admit(edge, weight, rank)
+            return
+        _, min_rank = self._reservoir.peek_min()
+        if rank > min_rank:
+            evicted, evicted_rank = self._reservoir.pop_min()
+            self._evict(evicted)
+            self._r_m_plus_1 = max(self._r_m_plus_1, evicted_rank)
+            self._admit(edge, weight, rank)
+        else:
+            self._r_m_plus_1 = max(self._r_m_plus_1, rank)
+
+    def _process_deletion(self, edge: Edge) -> None:
+        raise SamplerError(
+            "GPS only supports insertion-only streams; use GPSA or WSD "
+            "for fully dynamic streams (paper Section III-A, Example 1)"
+        )
+
+    def _admit(self, edge: Edge, weight: float, rank: float) -> None:
+        self._reservoir.push(edge, rank)
+        self._edge_weights[edge] = weight
+        self._edge_times[edge] = self._time
+        self._sample_add(edge)
+
+    def _evict(self, edge: Edge) -> None:
+        del self._edge_weights[edge]
+        del self._edge_times[edge]
+        self._sample_remove(edge)
+
+    @property
+    def sample_size(self) -> int:
+        return len(self._reservoir)
+
+    def sampled_edges(self) -> Iterator[Edge]:
+        return iter(self._reservoir)

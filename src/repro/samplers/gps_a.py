@@ -1,0 +1,159 @@
+"""GPS-A: GPS with lazy deletion tags (Section III-B).
+
+GPS-A adapts GPS to fully dynamic streams by the simplest possible
+device: a deletion does not remove the edge from the reservoir — it only
+attaches a "DEL" tag. Tagged edges keep occupying reservoir slots (and
+keep participating in the rank competition), so inclusion probabilities
+stay exactly those of GPS (Eq. (2) still holds), but the *useful*
+sample R \\ R_tag shrinks over time — the accuracy drawback WSD removes.
+
+The estimator (Theorem 2) adds X_J on formations and subtracts Y_J on
+destructions, both products of 1 / P[r(e) > r_{M+1}] over the instance's
+other edges restricted to untagged sampled edges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.graph.edges import Edge
+from repro.patterns.base import Pattern
+from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
+from repro.samplers.heap import IndexedMinHeap
+from repro.samplers.ranks import RankFunction, get_rank_function
+from repro.weights.base import WeightContext, WeightFunction
+
+__all__ = ["GPSA"]
+
+
+class GPSA(SampledGraphMixin, SubgraphCountingSampler):
+    """GPS-A: fully dynamic GPS with lazy "DEL" tags.
+
+    The sampled graph (used for pattern enumeration) contains only the
+    *untagged* reservoir edges — tagged edges are dead for estimation
+    but still consume budget, which is exactly the inefficiency the
+    paper's Table II/III columns expose.
+    """
+
+    def __init__(
+        self,
+        pattern: str | Pattern,
+        budget: int,
+        weight_fn: WeightFunction,
+        rank_fn: str | RankFunction = "inverse-uniform",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        SubgraphCountingSampler.__init__(self, pattern, budget, rng)
+        SampledGraphMixin.__init__(self)
+        self.weight_fn = weight_fn
+        self.rank_fn = get_rank_function(rank_fn)
+        self._reservoir = IndexedMinHeap()
+        self._edge_weights: dict[Edge, float] = {}
+        self._edge_times: dict[Edge, int] = {}
+        self._tagged: set[Edge] = set()
+        self._r_m_plus_1 = 0.0
+
+    @property
+    def threshold(self) -> float:
+        """The current estimator threshold r_{M+1}."""
+        return self._r_m_plus_1
+
+    @property
+    def num_tagged(self) -> int:
+        """|R_tag|: reservoir slots wasted on deleted edges."""
+        return len(self._tagged)
+
+    def _instance_value(self, instance: tuple[Edge, ...]) -> float:
+        value = 1.0
+        for other in instance:
+            value /= self.rank_fn.inclusion_probability(
+                self._edge_weights[other], self._r_m_plus_1
+            )
+        return value
+
+    def _process_insertion(self, edge: Edge) -> None:
+        u, v = edge
+        instances = list(
+            self.pattern.instances_completed(self._sampled_graph, u, v)
+        )
+        for instance in instances:
+            value = self._instance_value(instance)
+            self._estimate += value
+            if self.instance_observers:
+                self._emit_instance(edge, instance, value)
+
+        ctx = WeightContext(
+            edge=edge,
+            time=self._time,
+            instances=instances,
+            adjacency=self._sampled_graph,
+            edge_times=self._edge_times,
+            pattern=self.pattern,
+        )
+        weight = float(self.weight_fn(ctx))
+        rank = self.rank_fn.rank(weight, self.rng)
+
+        if edge in self._reservoir:
+            # Re-insertion of an edge whose tagged ghost still occupies a
+            # slot: the ghost carries no information, so replace it with
+            # the fresh arrival (the one departure from pure laziness
+            # needed to keep edge keys unique).
+            self._reservoir.remove(edge)
+            self._drop_state(edge)
+
+        if len(self._reservoir) < self.budget:
+            self._admit(edge, weight, rank)
+            return
+        _, min_rank = self._reservoir.peek_min()
+        if rank > min_rank:
+            evicted, evicted_rank = self._reservoir.pop_min()
+            self._drop_state(evicted)
+            self._r_m_plus_1 = max(self._r_m_plus_1, evicted_rank)
+            self._admit(edge, weight, rank)
+        else:
+            self._r_m_plus_1 = max(self._r_m_plus_1, rank)
+
+    def _process_deletion(self, edge: Edge) -> None:
+        # Tag first (removing e_t from the useful sample), then count the
+        # destroyed instances whose *other* edges are untagged & sampled.
+        if edge in self._reservoir and edge not in self._tagged:
+            self._tagged.add(edge)
+            self._sample_remove(edge)
+        u, v = edge
+        for instance in self.pattern.instances_completed(
+            self._sampled_graph, u, v
+        ):
+            value = self._instance_value(instance)
+            self._estimate -= value
+            if self.instance_observers:
+                self._emit_instance(edge, instance, -value)
+
+    def _admit(self, edge: Edge, weight: float, rank: float) -> None:
+        self._reservoir.push(edge, rank)
+        self._edge_weights[edge] = weight
+        self._edge_times[edge] = self._time
+        self._sample_add(edge)
+
+    def _drop_state(self, edge: Edge) -> None:
+        del self._edge_weights[edge]
+        del self._edge_times[edge]
+        if edge in self._tagged:
+            self._tagged.discard(edge)
+        else:
+            self._sample_remove(edge)
+
+    @property
+    def sample_size(self) -> int:
+        """Total occupied slots, tagged ghosts included."""
+        return len(self._reservoir)
+
+    @property
+    def useful_sample_size(self) -> int:
+        """|R \\ R_tag|: untagged (estimation-relevant) edges."""
+        return len(self._reservoir) - len(self._tagged)
+
+    def sampled_edges(self) -> Iterator[Edge]:
+        """Iterate the *untagged* sampled edges."""
+        return (e for e in self._reservoir if e not in self._tagged)

@@ -1,0 +1,147 @@
+"""Indexed binary min-heap with O(log n) removal by key.
+
+The weighted reservoirs (GPS / GPS-A / WSD) need a min-priority queue
+over sampled edges keyed by rank that also supports *deleting an
+arbitrary edge* when a deletion event arrives (WSD Case 3). The standard
+library ``heapq`` cannot remove by key without lazy tombstones, which
+would violate the fixed-memory constraint, so this is a classic indexed
+binary heap: a position map gives O(1) lookup and O(log n)
+sift-up/sift-down removal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+
+__all__ = ["IndexedMinHeap"]
+
+
+class IndexedMinHeap:
+    """A binary min-heap of ``(priority, key)`` pairs indexed by key.
+
+    Keys must be hashable and unique. Ties in priority are broken
+    arbitrarily (heap order only guarantees the minimum).
+    """
+
+    def __init__(self) -> None:
+        self._keys: list[Hashable] = []
+        self._priorities: list[float] = []
+        self._position: dict[Hashable, int] = {}
+
+    # -- core helpers -------------------------------------------------------
+
+    def _swap(self, i: int, j: int) -> None:
+        self._keys[i], self._keys[j] = self._keys[j], self._keys[i]
+        self._priorities[i], self._priorities[j] = (
+            self._priorities[j],
+            self._priorities[i],
+        )
+        self._position[self._keys[i]] = i
+        self._position[self._keys[j]] = j
+
+    def _sift_up(self, i: int) -> None:
+        while i > 0:
+            parent = (i - 1) >> 1
+            if self._priorities[i] < self._priorities[parent]:
+                self._swap(i, parent)
+                i = parent
+            else:
+                break
+
+    def _sift_down(self, i: int) -> None:
+        n = len(self._keys)
+        while True:
+            left = 2 * i + 1
+            right = left + 1
+            smallest = i
+            if left < n and self._priorities[left] < self._priorities[smallest]:
+                smallest = left
+            if right < n and self._priorities[right] < self._priorities[smallest]:
+                smallest = right
+            if smallest == i:
+                break
+            self._swap(i, smallest)
+            i = smallest
+
+    # -- public API ---------------------------------------------------------
+
+    def push(self, key: Hashable, priority: float) -> None:
+        """Insert ``key`` with ``priority``. Raises if the key exists."""
+        if key in self._position:
+            raise KeyError(f"key {key!r} already in heap")
+        self._keys.append(key)
+        self._priorities.append(priority)
+        self._position[key] = len(self._keys) - 1
+        self._sift_up(len(self._keys) - 1)
+
+    def peek_min(self) -> tuple[Hashable, float]:
+        """Return (key, priority) of the minimum without removing it."""
+        if not self._keys:
+            raise IndexError("peek on empty heap")
+        return self._keys[0], self._priorities[0]
+
+    def pop_min(self) -> tuple[Hashable, float]:
+        """Remove and return (key, priority) of the minimum."""
+        if not self._keys:
+            raise IndexError("pop on empty heap")
+        result = (self._keys[0], self._priorities[0])
+        self._remove_at(0)
+        return result
+
+    def remove(self, key: Hashable) -> float:
+        """Remove ``key`` and return its priority. Raises KeyError if absent."""
+        i = self._position.get(key)
+        if i is None:
+            raise KeyError(f"key {key!r} not in heap")
+        priority = self._priorities[i]
+        self._remove_at(i)
+        return priority
+
+    def _remove_at(self, i: int) -> None:
+        last = len(self._keys) - 1
+        key = self._keys[i]
+        if i != last:
+            self._swap(i, last)
+        self._keys.pop()
+        self._priorities.pop()
+        del self._position[key]
+        if i <= last - 1 and self._keys:
+            # The moved element may need to go either direction.
+            self._sift_down(i)
+            self._sift_up(i)
+
+    def priority(self, key: Hashable) -> float:
+        """Return the priority of ``key``. Raises KeyError if absent."""
+        i = self._position.get(key)
+        if i is None:
+            raise KeyError(f"key {key!r} not in heap")
+        return self._priorities[i]
+
+    def update(self, key: Hashable, priority: float) -> None:
+        """Change the priority of an existing key."""
+        i = self._position.get(key)
+        if i is None:
+            raise KeyError(f"key {key!r} not in heap")
+        old = self._priorities[i]
+        self._priorities[i] = priority
+        if priority < old:
+            self._sift_up(i)
+        else:
+            self._sift_down(i)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._position
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Iterate keys in arbitrary (heap-internal) order."""
+        return iter(list(self._keys))
+
+    def items(self) -> Iterator[tuple[Hashable, float]]:
+        """Iterate (key, priority) pairs in arbitrary order."""
+        return iter(list(zip(self._keys, self._priorities)))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"IndexedMinHeap(size={len(self)})"

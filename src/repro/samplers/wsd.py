@@ -1,0 +1,198 @@
+"""WSD: weighted sampling with deletions (Section III-C, Algorithms 1 & 2).
+
+WSD is the paper's core contribution: the first fixed-size,
+weight-sensitive, one-pass sampling framework for *fully dynamic* graph
+streams. It keeps a min-priority reservoir of at most M edges keyed by
+random rank r(e) = f(w(e)) and maintains two thresholds:
+
+* ``τp`` — the rank an arriving edge must exceed to be sampled;
+* ``τq`` — the rank defining each sampled edge's inclusion probability,
+  P[e ∈ R(t)] = P[r(e) > τq] (Lemma 1).
+
+The update rules follow Algorithm 1 case by case:
+
+* Case 1 (insertion, reservoir not full): sample iff r(e) > τp; τp and
+  τq are *retained* (crucial — see the Example 1 discussion).
+* Case 2 (insertion, reservoir full): τp ← minimum rank in R; if
+  r(e) > τp the minimum edge is evicted, e enters, and τq ← τp
+  (Case 2.1); else if r(e) > τq then τq ← r(e) (Case 2.2); else discard
+  (Case 2.3).
+* Case 3 (deletion): remove the edge from the reservoir if present;
+  thresholds are untouched.
+
+The estimator (Algorithm 2) updates *before* the reservoir: an
+insertion (deletion) adds (subtracts) ∏_{e ∈ J\\e_t} 1 / P[r(e) > τq]
+for every instance J completed (destroyed) by e_t together with sampled
+edges. Theorem 4 proves unbiasedness for any M ≥ |H|.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.graph.edges import Edge
+from repro.patterns.base import Pattern
+from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
+from repro.samplers.heap import IndexedMinHeap
+from repro.samplers.ranks import RankFunction, get_rank_function
+from repro.weights.base import WeightContext, WeightFunction
+
+__all__ = ["WSD"]
+
+
+class WSD(SampledGraphMixin, SubgraphCountingSampler):
+    """The WSD sampler + unbiased estimator (Algorithms 1 and 2).
+
+    Args:
+        pattern: the subgraph pattern H ("triangle", "wedge",
+            "4-clique", or a :class:`~repro.patterns.base.Pattern`).
+        budget: M, the maximum number of sampled edges.
+        weight_fn: the weight function W(e, R); WSD-H and WSD-L are this
+            sampler with different weight functions.
+        rank_fn: the rank family r = f(w); defaults to the paper's
+            ``w/u`` inverse-uniform ranks.
+        rng: seed or generator driving the rank randomness.
+    """
+
+    def __init__(
+        self,
+        pattern: str | Pattern,
+        budget: int,
+        weight_fn: WeightFunction,
+        rank_fn: str | RankFunction = "inverse-uniform",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        SubgraphCountingSampler.__init__(self, pattern, budget, rng)
+        SampledGraphMixin.__init__(self)
+        self.weight_fn = weight_fn
+        self.rank_fn = get_rank_function(rank_fn)
+        self._reservoir = IndexedMinHeap()
+        self._edge_weights: dict[Edge, float] = {}
+        self._edge_times: dict[Edge, int] = {}
+        self._tau_p = 0.0
+        self._tau_q = 0.0
+        #: Most recent WeightContext (exposed for RL transition capture).
+        self.last_context: WeightContext | None = None
+        #: Weight assigned to the most recent insertion (for diagnostics
+        #: and the Figure 2(d)/4(d) weight-vs-count analysis).
+        self.last_weight: float | None = None
+
+    # -- thresholds -----------------------------------------------------------
+
+    @property
+    def tau_p(self) -> float:
+        """The sampling rank threshold τp."""
+        return self._tau_p
+
+    @property
+    def tau_q(self) -> float:
+        """The probability rank threshold τq of Eq. (10)."""
+        return self._tau_q
+
+    def inclusion_probability(self, edge: Edge) -> float:
+        """P[e ∈ R(t)] = P[r(e) > τq] for a currently sampled edge."""
+        weight = self._edge_weights[edge]
+        return self.rank_fn.inclusion_probability(weight, self._tau_q)
+
+    # -- estimator (Algorithm 2) ----------------------------------------------
+
+    def _instance_value(self, instance: tuple[Edge, ...]) -> float:
+        """∏_{e ∈ J\\e_t} 1 / P[r(e) > τq] for one instance."""
+        value = 1.0
+        for other in instance:
+            p = self.rank_fn.inclusion_probability(
+                self._edge_weights[other], self._tau_q
+            )
+            value /= p
+        return value
+
+    # -- event handlers ---------------------------------------------------------
+
+    def _process_insertion(self, edge: Edge) -> None:
+        u, v = edge
+        instances = list(
+            self.pattern.instances_completed(self._sampled_graph, u, v)
+        )
+        for instance in instances:
+            value = self._instance_value(instance)
+            self._estimate += value
+            if self.instance_observers:
+                self._emit_instance(edge, instance, value)
+
+        ctx = WeightContext(
+            edge=edge,
+            time=self._time,
+            instances=instances,
+            adjacency=self._sampled_graph,
+            edge_times=self._edge_times,
+            pattern=self.pattern,
+        )
+        self.last_context = ctx
+        weight = float(self.weight_fn(ctx))
+        self.last_weight = weight
+        rank = self.rank_fn.rank(weight, self.rng)
+        self._insert(edge, weight, rank)
+
+    def _insert(self, edge: Edge, weight: float, rank: float) -> None:
+        """Algorithm 1's ``insert`` function (Cases 1 and 2)."""
+        if len(self._reservoir) < self.budget:
+            # Case 1: non-full reservoir; τp and τq retained.
+            if rank > self._tau_p:  # Case 1.1
+                self._admit(edge, weight, rank)
+            # Case 1.2: discard silently.
+            return
+        # Case 2: full reservoir; τp <- minimum rank in R.
+        _, min_rank = self._reservoir.peek_min()
+        self._tau_p = min_rank
+        if rank > self._tau_p:  # Case 2.1: replace the minimum.
+            evicted, _ = self._reservoir.pop_min()
+            self._evict(evicted)
+            self._admit(edge, weight, rank)
+            self._tau_q = self._tau_p
+        elif rank > self._tau_q:  # Case 2.2: near miss raises τq.
+            self._tau_q = rank
+        # Case 2.3: discard silently.
+
+    def _process_deletion(self, edge: Edge) -> None:
+        # Case 3 first: removing e_t from the reservoir does not change
+        # any other edge's membership or τq, and it keeps e_t from
+        # appearing as an "other" edge during enumeration below.
+        if edge in self._reservoir:
+            self._reservoir.remove(edge)
+            self._evict(edge)
+        u, v = edge
+        for instance in self.pattern.instances_completed(
+            self._sampled_graph, u, v
+        ):
+            value = self._instance_value(instance)
+            self._estimate -= value
+            if self.instance_observers:
+                self._emit_instance(edge, instance, -value)
+
+    # -- reservoir bookkeeping ----------------------------------------------------
+
+    def _admit(self, edge: Edge, weight: float, rank: float) -> None:
+        self._reservoir.push(edge, rank)
+        self._edge_weights[edge] = weight
+        self._edge_times[edge] = self._time
+        self._sample_add(edge)
+
+    def _evict(self, edge: Edge) -> None:
+        del self._edge_weights[edge]
+        del self._edge_times[edge]
+        self._sample_remove(edge)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def sample_size(self) -> int:
+        return len(self._reservoir)
+
+    def sampled_edges(self) -> Iterator[Edge]:
+        return iter(self._reservoir)
+
+    def sampled_weight(self, edge: Edge) -> float:
+        """Return the stored weight of a sampled edge."""
+        return self._edge_weights[edge]

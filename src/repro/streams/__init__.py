@@ -1,0 +1,18 @@
+"""Fully dynamic stream construction and validation."""
+
+from repro.streams.scenarios import (
+    build_stream,
+    insertion_only_stream,
+    light_deletion_stream,
+    massive_deletion_stream,
+)
+from repro.streams.validate import is_feasible, validate_stream
+
+__all__ = [
+    "build_stream",
+    "insertion_only_stream",
+    "light_deletion_stream",
+    "massive_deletion_stream",
+    "is_feasible",
+    "validate_stream",
+]

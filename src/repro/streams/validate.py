@@ -1,0 +1,42 @@
+"""Stream feasibility validation (Section II).
+
+A stream is *feasible* when every insertion targets an edge that is not
+alive and every deletion targets an edge that is alive. The scenario
+builders guarantee this by construction; this module provides the
+independent check used in tests and when ingesting external streams.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InfeasibleEventError
+from repro.graph.edges import Edge
+from repro.graph.stream import EdgeStream
+
+__all__ = ["validate_stream", "is_feasible"]
+
+
+def validate_stream(stream: EdgeStream) -> None:
+    """Raise :class:`InfeasibleEventError` at the first infeasible event."""
+    alive: set[Edge] = set()
+    for t, event in enumerate(stream, start=1):
+        if event.is_insertion:
+            if event.edge in alive:
+                raise InfeasibleEventError(
+                    f"event {t}: insertion of alive edge {event.edge!r}"
+                )
+            alive.add(event.edge)
+        else:
+            if event.edge not in alive:
+                raise InfeasibleEventError(
+                    f"event {t}: deletion of absent edge {event.edge!r}"
+                )
+            alive.discard(event.edge)
+
+
+def is_feasible(stream: EdgeStream) -> bool:
+    """Return whether the stream is feasible (no exception variant)."""
+    try:
+        validate_stream(stream)
+    except InfeasibleEventError:
+        return False
+    return True

@@ -1,0 +1,15 @@
+"""Shared utilities: RNG management, timing, and table rendering."""
+
+from repro.utils.rng import RngFactory, derive_seed, ensure_rng
+from repro.utils.tables import format_sections, format_table
+from repro.utils.timer import Stopwatch, Timer
+
+__all__ = [
+    "RngFactory",
+    "derive_seed",
+    "ensure_rng",
+    "format_sections",
+    "format_table",
+    "Stopwatch",
+    "Timer",
+]

@@ -1,0 +1,77 @@
+"""Fixed-width text rendering of result tables.
+
+The experiment harness reports every paper table as plain text with the
+same row/column layout as the paper, so outputs can be compared side by
+side. This module knows nothing about experiments; it only formats.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_sections"]
+
+
+def _fmt_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Floats are formatted with ``precision`` decimals; everything else is
+    ``str()``-ed. Columns are sized to their widest cell.
+    """
+    str_rows = [[_fmt_cell(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    lines.append(render_row(list(headers)))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_sections(
+    headers: Sequence[str],
+    sections: Sequence[tuple[str, Sequence[Sequence[object]]]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render several titled sections sharing one header row.
+
+    Mirrors the paper's tables, which stack an "Absolute Relative Error"
+    block, a "Mean Absolute Relative Error" block and a "Running Time"
+    block under a single column header.
+    """
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    for i, (section_title, rows) in enumerate(sections):
+        table = format_table(headers, rows, title=section_title,
+                             precision=precision)
+        parts.append(table)
+        if i != len(sections) - 1:
+            parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,25 @@
+"""Weight functions for weighted sampling: heuristic and learned."""
+
+from repro.weights.base import WeightContext, WeightFunction
+from repro.weights.features import (
+    TEMPORAL_AGGREGATIONS,
+    raw_state_vector,
+    state_dimension,
+    state_vector,
+)
+from repro.weights.heuristic import DegreeWeight, GPSHeuristicWeight, UniformWeight
+from repro.weights.learned import ActionPolicy, LearnedWeight
+
+__all__ = [
+    "WeightContext",
+    "WeightFunction",
+    "GPSHeuristicWeight",
+    "UniformWeight",
+    "DegreeWeight",
+    "LearnedWeight",
+    "ActionPolicy",
+    "state_vector",
+    "raw_state_vector",
+    "state_dimension",
+    "TEMPORAL_AGGREGATIONS",
+]

@@ -1,0 +1,64 @@
+"""Weight-function protocol for weighted sampling (Section III/IV).
+
+WSD asks, for every inserted edge, "how important is this edge?" — the
+answer is the weight W(e, R) that drives its sampling rank. A
+:class:`WeightFunction` receives a :class:`WeightContext` snapshot of
+everything observable under the streaming constraints (the new edge, the
+sampled graph, the instances the edge completes there, and the arrival
+times of sampled edges) and returns a strictly positive weight.
+
+The heuristic weights (Section III) and the learned RL policy
+(Section IV) both implement this protocol, so WSD is oblivious to how
+weights are produced.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.graph.adjacency import DynamicAdjacency
+from repro.graph.edges import Edge
+from repro.patterns.base import Instance, Pattern
+
+__all__ = ["WeightContext", "WeightFunction"]
+
+
+@dataclass(slots=True)
+class WeightContext:
+    """Everything a weight function may observe when an edge arrives.
+
+    Attributes:
+        edge: the arriving edge e = (u, v), canonical form.
+        time: the stream clock t at this insertion (1-based).
+        instances: the pattern instances completed by ``edge`` against
+            the sampled graph; each instance is the tuple of its *other*
+            edges (all currently sampled). This is H_k of Eq. (19).
+        adjacency: the sampled graph R (read-only) — provides
+            |N_k(u)|, |N_k(v)| of Eq. (19).
+        edge_times: arrival time of each sampled edge (used by the
+            temporal features of Eq. (20)–(21)).
+        pattern: the target pattern H.
+    """
+
+    edge: Edge
+    time: int
+    instances: Sequence[Instance]
+    adjacency: DynamicAdjacency
+    edge_times: Mapping[Edge, int]
+    pattern: Pattern
+
+
+class WeightFunction(abc.ABC):
+    """Maps a :class:`WeightContext` to a strictly positive weight."""
+
+    #: Short name used in experiment tables ("heuristic", "learned", ...).
+    name: str = "weight"
+
+    @abc.abstractmethod
+    def __call__(self, ctx: WeightContext) -> float:
+        """Return W(e, R) > 0 for the arriving edge."""
+
+    def reset(self) -> None:
+        """Clear any per-stream state (called between trials)."""

@@ -1,0 +1,97 @@
+"""MDP state features (Section IV-A, Eqs. 19–22).
+
+The state observed when edge e = (u, v) arrives combines:
+
+* **topological** features s^g_k = [|H_k|, |N_k(u)|, |N_k(v)|] — the
+  number of pattern instances the edge completes against the sampled
+  graph, and the sampled degrees of its endpoints (Eq. 19);
+* **temporal** features s^v_k = [v_1, ..., v_|H|] — for each position j
+  in the (arrival-ordered) edge list of an instance, the maximum arrival
+  time i_j over all completed instances (Eq. 20–21). The Table XIII
+  ablation replaces max by average.
+
+The raw state is s_k = [s^g_k, s^v_k] ∈ R^{|H|+3} (Eq. 22). Because raw
+counts and time indices are unbounded, :func:`state_vector` optionally
+normalises: log1p on counts and division by the current time on arrival
+indices — the stabilisation the paper delegates to batch normalisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.weights.base import WeightContext
+
+__all__ = [
+    "state_dimension",
+    "raw_state_vector",
+    "state_vector",
+    "TEMPORAL_AGGREGATIONS",
+]
+
+TEMPORAL_AGGREGATIONS = ("max", "avg")
+
+
+def state_dimension(pattern_num_edges: int) -> int:
+    """Dimension of the state vector: |H| + 3 (Eq. 22)."""
+    return pattern_num_edges + 3
+
+
+def raw_state_vector(
+    ctx: WeightContext, temporal_aggregation: str = "max"
+) -> np.ndarray:
+    """Compute the raw (unnormalised) state s_k of Eq. (22).
+
+    ``temporal_aggregation`` selects Eq. (20)'s max (default, WSD-L
+    (Max)) or the average variant of the Table XIII ablation
+    (WSD-L (Avg)).
+    """
+    if temporal_aggregation not in TEMPORAL_AGGREGATIONS:
+        raise ConfigurationError(
+            f"temporal_aggregation must be one of {TEMPORAL_AGGREGATIONS}, "
+            f"got {temporal_aggregation!r}"
+        )
+    u, v = ctx.edge
+    h = ctx.pattern.num_edges
+    state = np.zeros(h + 3, dtype=np.float64)
+    state[0] = len(ctx.instances)
+    state[1] = ctx.adjacency.degree(u)
+    state[2] = ctx.adjacency.degree(v)
+
+    if ctx.instances:
+        # Each instance's ordered arrival times: the other edges' stored
+        # arrival times plus the current time for e itself (which is
+        # always the latest, i_|H| = t_k).
+        per_position = np.zeros((len(ctx.instances), h), dtype=np.float64)
+        for row, instance in enumerate(ctx.instances):
+            times = sorted(ctx.edge_times[e] for e in instance)
+            times.append(ctx.time)
+            per_position[row, :] = times
+        if temporal_aggregation == "max":
+            state[3:] = per_position.max(axis=0)
+        else:
+            state[3:] = per_position.mean(axis=0)
+    return state
+
+
+def state_vector(
+    ctx: WeightContext,
+    temporal_aggregation: str = "max",
+    normalize: bool = True,
+) -> np.ndarray:
+    """Compute the (optionally normalised) state vector.
+
+    Normalisation maps counts through log1p and arrival indices to
+    recency ratios in [0, 1] (divide by the current time), keeping the
+    actor's single linear layer numerically well-behaved across stream
+    lengths. ``normalize=False`` returns the paper's raw features.
+    """
+    state = raw_state_vector(ctx, temporal_aggregation)
+    if not normalize:
+        return state
+    out = state.copy()
+    out[:3] = np.log1p(out[:3])
+    if ctx.time > 0:
+        out[3:] = out[3:] / float(ctx.time)
+    return out

@@ -1,0 +1,66 @@
+"""Heuristic weight functions (Section III / V-A).
+
+* :class:`GPSHeuristicWeight` — the paper's WSD-H weight,
+  W(e, R) = 9·|H(e)| + 1, taken from GPS [Ahmed et al.]: edges that
+  complete more pattern instances against the current reservoir are
+  deemed more important.
+* :class:`UniformWeight` — W(e, R) = 1; turns WSD into an (unweighted)
+  priority sampler, useful as a control.
+* :class:`DegreeWeight` — W(e, R) = deg_R(u) + deg_R(v) + 1; a natural
+  alternative heuristic (the "celebrity edge" intuition of the paper's
+  introduction) provided for ablations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.weights.base import WeightContext, WeightFunction
+
+__all__ = ["GPSHeuristicWeight", "UniformWeight", "DegreeWeight"]
+
+
+class GPSHeuristicWeight(WeightFunction):
+    """W(e, R) = ``slope`` · |H(e)| + ``offset`` (defaults: 9, 1)."""
+
+    name = "heuristic"
+
+    def __init__(self, slope: float = 9.0, offset: float = 1.0) -> None:
+        if offset <= 0.0:
+            raise ConfigurationError(
+                f"offset must be positive to keep weights > 0, got {offset}"
+            )
+        if slope < 0.0:
+            raise ConfigurationError(f"slope must be >= 0, got {slope}")
+        self.slope = slope
+        self.offset = offset
+
+    def __call__(self, ctx: WeightContext) -> float:
+        return self.slope * len(ctx.instances) + self.offset
+
+
+class UniformWeight(WeightFunction):
+    """W(e, R) = 1: every edge equally important."""
+
+    name = "uniform"
+
+    def __call__(self, ctx: WeightContext) -> float:
+        return 1.0
+
+
+class DegreeWeight(WeightFunction):
+    """W(e, R) = deg_R(u) + deg_R(v) + ``offset``."""
+
+    name = "degree"
+
+    def __init__(self, offset: float = 1.0) -> None:
+        if offset <= 0.0:
+            raise ConfigurationError(
+                f"offset must be positive to keep weights > 0, got {offset}"
+            )
+        self.offset = offset
+
+    def __call__(self, ctx: WeightContext) -> float:
+        u, v = ctx.edge
+        return (
+            ctx.adjacency.degree(u) + ctx.adjacency.degree(v) + self.offset
+        )

@@ -1,0 +1,88 @@
+"""WSD-L: the learned weight function (Section IV).
+
+:class:`LearnedWeight` adapts a trained policy — any object exposing
+``action(state: np.ndarray) -> float`` — into the
+:class:`~repro.weights.base.WeightFunction` protocol WSD consumes. The
+policy is typically a :class:`repro.rl.policy.Policy` produced by
+:func:`repro.rl.training.train_weight_policy`, mirroring the paper's
+deployment: train with DDPG offline, then run the frozen actor (a single
+linear layer) per arriving edge.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import PolicyError
+from repro.weights.base import WeightContext, WeightFunction
+from repro.weights.features import (
+    TEMPORAL_AGGREGATIONS,
+    state_dimension,
+    state_vector,
+)
+
+__all__ = ["LearnedWeight", "ActionPolicy"]
+
+
+class ActionPolicy(Protocol):
+    """Anything that maps a state vector to a scalar action."""
+
+    def action(self, state: np.ndarray) -> float:  # pragma: no cover
+        ...
+
+
+class LearnedWeight(WeightFunction):
+    """WSD-L: weight each edge with a trained policy's action.
+
+    Args:
+        policy: the trained actor (see :class:`repro.rl.policy.Policy`).
+        temporal_aggregation: "max" (paper default) or "avg"
+            (Table XIII ablation) for the temporal state features.
+        normalize: whether to normalise state features (see
+            :func:`repro.weights.features.state_vector`). Must match the
+            setting used during training.
+        minimum_weight: floor applied to the policy output; the actor's
+            ``ReLU(Ws+b) + 1`` construction already keeps weights >= 1,
+            so the floor only guards against foreign policies.
+    """
+
+    name = "learned"
+
+    def __init__(
+        self,
+        policy: ActionPolicy,
+        temporal_aggregation: str = "max",
+        normalize: bool = True,
+        minimum_weight: float = 1e-6,
+    ) -> None:
+        if temporal_aggregation not in TEMPORAL_AGGREGATIONS:
+            raise PolicyError(
+                f"temporal_aggregation must be one of {TEMPORAL_AGGREGATIONS}"
+            )
+        if minimum_weight <= 0.0:
+            raise PolicyError("minimum_weight must be positive")
+        self.policy = policy
+        self.temporal_aggregation = temporal_aggregation
+        self.normalize = normalize
+        self.minimum_weight = minimum_weight
+        self._expected_dim: int | None = None
+
+    def __call__(self, ctx: WeightContext) -> float:
+        state = state_vector(
+            ctx,
+            temporal_aggregation=self.temporal_aggregation,
+            normalize=self.normalize,
+        )
+        if self._expected_dim is None:
+            self._expected_dim = state_dimension(ctx.pattern.num_edges)
+        if state.shape[0] != self._expected_dim:
+            raise PolicyError(
+                f"state dimension {state.shape[0]} does not match pattern "
+                f"dimension {self._expected_dim}"
+            )
+        weight = float(self.policy.action(state))
+        if not np.isfinite(weight):
+            raise PolicyError(f"policy produced non-finite weight {weight!r}")
+        return max(weight, self.minimum_weight)

@@ -1,0 +1,116 @@
+"""Tests for local (per-vertex / per-edge) counting via observers."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.local import LocalSubgraphCounter
+from repro.graph.generators import powerlaw_cluster
+from repro.graph.stream import EdgeEvent
+from repro.patterns.exact import ExactCounter
+from repro.samplers.thinkd import ThinkD
+from repro.samplers.wsd import WSD
+from repro.streams.scenarios import light_deletion_stream
+from repro.weights.heuristic import GPSHeuristicWeight, UniformWeight
+
+
+def exact_local_triangles(stream):
+    """Per-vertex exact triangle counts at the end of the stream."""
+    counter = ExactCounter("triangle")
+    counter.process_stream(stream)
+    graph = counter.graph
+    local = {}
+    for v in graph.vertices():
+        count = 0
+        neighbours = list(graph.neighbors(v))
+        for i, a in enumerate(neighbours):
+            a_neighbours = graph.neighbors(a)
+            for b in neighbours[i + 1:]:
+                if b in a_neighbours:
+                    count += 1
+        local[v] = count
+    return local
+
+
+@pytest.fixture(scope="module")
+def workload():
+    edges = powerlaw_cluster(80, m=4, triangle_probability=0.8, rng=0)
+    return light_deletion_stream(edges, beta_l=0.15, rng=1)
+
+
+class TestLocalSubgraphCounter:
+    def test_attach_registers(self, workload):
+        sampler = WSD("triangle", 40, UniformWeight(), rng=0)
+        local = LocalSubgraphCounter().attach(sampler)
+        assert sampler.instance_observers == [local]
+
+    def test_exact_when_budget_covers_everything(self, workload):
+        sampler = WSD("triangle", 10_000, UniformWeight(), rng=0)
+        local = LocalSubgraphCounter().attach(sampler)
+        sampler.process_stream(workload)
+        expected = exact_local_triangles(workload)
+        for v, count in expected.items():
+            assert local.vertex_estimate(v) == pytest.approx(count)
+
+    def test_sum_of_vertex_estimates_is_three_estimates(self, workload):
+        """Each triangle instance credits exactly 3 vertices, so the
+        vertex sum equals 3x the global estimate."""
+        sampler = WSD("triangle", 60, GPSHeuristicWeight(), rng=1)
+        local = LocalSubgraphCounter().attach(sampler)
+        sampler.process_stream(workload)
+        total = sum(local.vertex_estimate(v) for v in local.vertices())
+        assert total == pytest.approx(3.0 * sampler.estimate)
+
+    def test_edge_tracking(self, workload):
+        sampler = WSD("triangle", 10_000, UniformWeight(), rng=0)
+        local = LocalSubgraphCounter(track_edges=True).attach(sampler)
+        sampler.process_stream(workload)
+        total = sum(local.edge_estimate(e) for e in local._edge)
+        assert total == pytest.approx(3.0 * sampler.estimate)
+
+    def test_unbiased_per_vertex(self, workload):
+        """Mean local estimate over repeated runs approaches the exact
+        local count for the heaviest vertex."""
+        expected = exact_local_triangles(workload)
+        heavy = max(expected, key=expected.get)
+        means = []
+        for seed in range(150):
+            sampler = ThinkD("triangle", 50, rng=seed)
+            local = LocalSubgraphCounter().attach(sampler)
+            sampler.process_stream(workload)
+            means.append(local.vertex_estimate(heavy))
+        mean = float(np.mean(means))
+        stderr = float(np.std(means) / np.sqrt(len(means)))
+        assert abs(mean - expected[heavy]) < max(
+            4 * stderr, 0.15 * expected[heavy]
+        )
+
+    def test_top_vertices_order(self, workload):
+        sampler = WSD("triangle", 10_000, UniformWeight(), rng=0)
+        local = LocalSubgraphCounter().attach(sampler)
+        sampler.process_stream(workload)
+        top = local.top_vertices(5)
+        values = [value for _, value in top]
+        assert values == sorted(values, reverse=True)
+        expected = exact_local_triangles(workload)
+        assert top[0][0] == max(expected, key=expected.get)
+
+    def test_reset(self):
+        local = LocalSubgraphCounter()
+        local((1, 2), ((1, 3), (2, 3)), 1.0)
+        assert len(local) == 3
+        local.reset()
+        assert len(local) == 0
+
+    def test_deletions_reduce_local_counts(self):
+        sampler = WSD("triangle", 100, UniformWeight(), rng=0)
+        local = LocalSubgraphCounter().attach(sampler)
+        events = [
+            EdgeEvent.insertion(1, 2),
+            EdgeEvent.insertion(2, 3),
+            EdgeEvent.insertion(1, 3),
+        ]
+        for event in events:
+            sampler.process(event)
+        assert local.vertex_estimate(1) == pytest.approx(1.0)
+        sampler.process(EdgeEvent.deletion(1, 2))
+        assert local.vertex_estimate(1) == pytest.approx(0.0)

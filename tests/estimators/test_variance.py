@@ -1,0 +1,131 @@
+"""Tests for variance analysis and confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.estimators.variance import (
+    bootstrap_confidence_interval,
+    normal_confidence_interval,
+    repeated_trials,
+    summarize_trials,
+)
+from repro.graph.generators import powerlaw_cluster
+from repro.patterns.exact import ExactCounter
+from repro.samplers.thinkd import ThinkD
+from repro.streams.scenarios import light_deletion_stream
+
+
+class TestNormalCI:
+    def test_contains_mean(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low, high = normal_confidence_interval(data)
+        assert low < np.mean(data) < high
+
+    def test_wider_at_higher_level(self):
+        data = list(np.random.default_rng(0).normal(size=50))
+        low95, high95 = normal_confidence_interval(data, 0.95)
+        low99, high99 = normal_confidence_interval(data, 0.99)
+        assert high99 - low99 > high95 - low95
+
+    def test_coverage_simulation(self):
+        """~95% of normal CIs over N(0,1) samples must contain 0."""
+        rng = np.random.default_rng(1)
+        covered = 0
+        runs = 400
+        for _ in range(runs):
+            data = rng.normal(size=30)
+            low, high = normal_confidence_interval(data, 0.95)
+            if low <= 0.0 <= high:
+                covered += 1
+        assert 0.90 <= covered / runs <= 0.99
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            normal_confidence_interval([1.0])
+
+    def test_invalid_level(self):
+        with pytest.raises(ConfigurationError):
+            normal_confidence_interval([1.0, 2.0], level=1.0)
+
+
+class TestBootstrapCI:
+    def test_contains_mean(self):
+        data = list(np.random.default_rng(2).normal(10.0, 1.0, size=40))
+        low, high = bootstrap_confidence_interval(data, rng=3)
+        assert low < np.mean(data) < high
+
+    def test_deterministic_given_rng(self):
+        data = [1.0, 5.0, 3.0, 2.0]
+        a = bootstrap_confidence_interval(data, rng=7)
+        b = bootstrap_confidence_interval(data, rng=7)
+        assert a == b
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_confidence_interval([1.0])
+
+
+class TestSummarize:
+    def test_fields(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        summary = summarize_trials(data)
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.ci_low < 2.5 < summary.ci_high
+        assert summary.coefficient_of_variation > 0.0
+        assert summary.covers(2.5)
+
+    def test_bootstrap_method(self):
+        summary = summarize_trials(
+            [1.0, 2.0, 3.0, 4.0], method="bootstrap", rng=0
+        )
+        assert summary.ci_low < summary.mean < summary.ci_high
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            summarize_trials([1.0, 2.0], method="magic")
+
+    def test_zero_mean_cv(self):
+        summary = summarize_trials([-1.0, 1.0, -1.0, 1.0])
+        assert summary.coefficient_of_variation == float("inf")
+
+
+class TestRepeatedTrials:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        edges = powerlaw_cluster(80, m=4, triangle_probability=0.7, rng=0)
+        stream = light_deletion_stream(edges, beta_l=0.2, rng=1)
+        truth = ExactCounter("triangle").process_stream(stream)
+        return stream, truth
+
+    def test_runs_and_varies(self, workload):
+        stream, _ = workload
+        estimates = repeated_trials(
+            lambda rng: ThinkD("triangle", 40, rng=rng), stream, trials=10
+        )
+        assert len(estimates) == 10
+        assert len(set(estimates)) > 1
+
+    def test_deterministic_given_seed(self, workload):
+        stream, _ = workload
+        factory = lambda rng: ThinkD("triangle", 40, rng=rng)  # noqa: E731
+        a = repeated_trials(factory, stream, trials=5, seed=3)
+        b = repeated_trials(factory, stream, trials=5, seed=3)
+        assert a == b
+
+    def test_ci_covers_truth(self, workload):
+        """The estimator is unbiased, so a 99% CI over many trials
+        should contain the ground truth."""
+        stream, truth = workload
+        estimates = repeated_trials(
+            lambda rng: ThinkD("triangle", 50, rng=rng), stream, trials=200
+        )
+        summary = summarize_trials(estimates, level=0.99)
+        assert summary.covers(truth)
+
+    def test_invalid_trials(self, workload):
+        stream, _ = workload
+        with pytest.raises(ConfigurationError):
+            repeated_trials(
+                lambda rng: ThinkD("triangle", 40, rng=rng), stream, trials=0
+            )

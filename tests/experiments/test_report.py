@@ -1,0 +1,67 @@
+"""Tests for the report compiler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import ARTEFACT_ORDER, compile_report, main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "table03_triangles_massive.txt").write_text("T3 CONTENT")
+    (tmp_path / "fig5_beta_sweep.txt").write_text("F5 CONTENT")
+    (tmp_path / "custom_extra.txt").write_text("EXTRA CONTENT")
+    return tmp_path
+
+
+class TestCompileReport:
+    def test_includes_present_artefacts(self, results_dir):
+        report = compile_report(results_dir)
+        assert "T3 CONTENT" in report
+        assert "F5 CONTENT" in report
+        assert "Table III" in report
+
+    def test_lists_missing(self, results_dir):
+        report = compile_report(results_dir)
+        assert "Missing artefacts" in report
+        assert "table02_wedges_massive" in report
+
+    def test_extras_appended(self, results_dir):
+        report = compile_report(results_dir)
+        assert "EXTRA CONTENT" in report
+        assert report.index("EXTRA CONTENT") > report.index("F5 CONTENT")
+
+    def test_order_follows_canonical(self, results_dir):
+        report = compile_report(results_dir)
+        assert report.index("T3 CONTENT") < report.index("F5 CONTENT")
+
+    def test_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            compile_report(tmp_path / "nope")
+
+    def test_artefact_order_complete(self):
+        # Every bench in benchmarks/ should have a slot in the order.
+        assert len(ARTEFACT_ORDER) >= 24
+
+
+class TestMain:
+    def test_writes_file(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main([str(results_dir), str(out)]) == 0
+        assert "T3 CONTENT" in out.read_text()
+
+    def test_prints_to_stdout(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        assert "T3 CONTENT" in capsys.readouterr().out
+
+    def test_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_real_results_if_available(self):
+        from pathlib import Path
+
+        results = Path(__file__).parents[2] / "benchmarks" / "results"
+        if not results.is_dir():
+            pytest.skip("benchmarks not yet run")
+        report = compile_report(results)
+        assert "Table III" in report

@@ -1,0 +1,207 @@
+"""Tests for the experiment runner and the algorithm factory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.algorithms import (
+    ALGORITHMS,
+    DYNAMIC_ALGORITHMS,
+    PolicyStore,
+    make_sampler,
+    training_dataset_for,
+)
+from repro.experiments.config import LIGHT, ExperimentConfig
+from repro.experiments.runner import (
+    compute_ground_truth,
+    run_algorithm,
+    run_cell,
+    run_sampler_trial,
+)
+from repro.graph.generators import powerlaw_cluster
+from repro.patterns.exact import ExactCounter
+from repro.rl.policy import Policy
+from repro.samplers.gps import GPS
+from repro.samplers.gps_a import GPSA
+from repro.samplers.thinkd import ThinkD
+from repro.samplers.triest import Triest
+from repro.samplers.wrs import WRS
+from repro.samplers.wsd import WSD
+from repro.streams.scenarios import light_deletion_stream
+
+
+@pytest.fixture(scope="module")
+def workload():
+    edges = powerlaw_cluster(100, m=4, triangle_probability=0.7, rng=0)
+    stream = light_deletion_stream(edges, beta_l=0.2, rng=1)
+    truth = compute_ground_truth(stream, "triangle", 10)
+    return stream, truth
+
+
+def dummy_policy():
+    return Policy(weights=np.zeros(6), bias=0.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("WSD-H", WSD),
+            ("WSD-U", WSD),
+            ("GPS-A", GPSA),
+            ("GPS", GPS),
+            ("Triest", Triest),
+            ("ThinkD", ThinkD),
+            ("WRS", WRS),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        sampler = make_sampler(name, "triangle", 20, rng=0)
+        assert isinstance(sampler, cls)
+
+    def test_wsd_l_needs_policy(self):
+        with pytest.raises(ConfigurationError):
+            make_sampler("WSD-L", "triangle", 20)
+
+    def test_wsd_l_with_policy(self):
+        sampler = make_sampler(
+            "WSD-L", "triangle", 20, policy=dummy_policy(), rng=0
+        )
+        assert isinstance(sampler, WSD)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_sampler("MAGIC", "triangle", 20)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_sampler("wsd-h", "triangle", 20), WSD)
+
+    def test_algorithm_lists(self):
+        assert set(DYNAMIC_ALGORITHMS) <= set(ALGORITHMS)
+        assert "GPS" in ALGORITHMS and "GPS" not in DYNAMIC_ALGORITHMS
+
+    def test_training_dataset_lookup(self):
+        assert training_dataset_for("cit-PT") == "cit-HE"
+        assert training_dataset_for("synthetic") == "synthetic-train"
+        with pytest.raises(ConfigurationError):
+            training_dataset_for("unknown")
+
+
+class TestGroundTruth:
+    def test_final_matches_exact(self, workload):
+        stream, truth = workload
+        assert truth.final_truth == ExactCounter(
+            "triangle"
+        ).process_stream(stream)
+
+    def test_checkpoint_count(self, workload):
+        stream, truth = workload
+        assert 10 <= len(truth.checkpoints) <= 12
+
+    def test_invalid_checkpoints(self, workload):
+        stream, _ = workload
+        with pytest.raises(ConfigurationError):
+            compute_ground_truth(stream, "triangle", 0)
+
+
+class TestRunSamplerTrial:
+    def test_estimates_align_with_checkpoints(self, workload):
+        stream, truth = workload
+        sampler = make_sampler("ThinkD", "triangle", 40, rng=1)
+        result = run_sampler_trial(sampler, stream, truth)
+        assert len(result.estimates) == len(truth.checkpoints)
+        assert result.seconds > 0.0
+        assert result.final_truth == truth.final_truth
+
+
+class TestRunAlgorithm:
+    def test_aggregates_trials(self, workload):
+        stream, truth = workload
+        result = run_algorithm(
+            "ThinkD", stream, truth, "triangle", 40, trials=4, seed=0
+        )
+        assert len(result.ares) == 4
+        assert len(result.mares) == 4
+        assert result.mean_are >= 0.0
+        assert result.std_are >= 0.0
+
+    def test_trials_differ(self, workload):
+        stream, truth = workload
+        result = run_algorithm(
+            "Triest", stream, truth, "triangle", 30, trials=4, seed=0
+        )
+        assert len(set(result.ares)) > 1
+
+    def test_deterministic_given_seed(self, workload):
+        stream, truth = workload
+        a = run_algorithm(
+            "ThinkD", stream, truth, "triangle", 40, trials=2, seed=5
+        )
+        b = run_algorithm(
+            "ThinkD", stream, truth, "triangle", 40, trials=2, seed=5
+        )
+        assert a.ares == b.ares
+
+    def test_zero_truth_rejected(self):
+        from repro.experiments.runner import GroundTruthTrace
+
+        trace = GroundTruthTrace((1,), (0,))
+        with pytest.raises(ConfigurationError):
+            run_algorithm(
+                "ThinkD",
+                light_deletion_stream([(0, 1)], beta_l=0.0, rng=0),
+                trace,
+                "triangle",
+                8,
+                trials=1,
+            )
+
+
+class TestRunCell:
+    def test_runs_multiple_algorithms(self):
+        config = ExperimentConfig(
+            dataset="cit-HE", scenario=LIGHT, dataset_scale=0.4,
+            trials=2, checkpoints=5, seed=0,
+        )
+        results = run_cell(config, ("WSD-H", "ThinkD"))
+        assert set(results) == {"WSD-H", "ThinkD"}
+
+    def test_wsd_l_with_policy(self):
+        config = ExperimentConfig(
+            dataset="cit-HE", scenario=LIGHT, dataset_scale=0.4,
+            trials=2, checkpoints=5, seed=0,
+        )
+        results = run_cell(config, ("WSD-L",), policy=dummy_policy())
+        assert results["WSD-L"].mean_are >= 0.0
+
+
+class TestPolicyStore:
+    def test_trains_and_caches(self):
+        store = PolicyStore(iterations=20, num_streams=1, dataset_scale=0.4)
+        first = store.get("cit-HE", "triangle", LIGHT)
+        second = store.get("cit-HE", "triangle", LIGHT)
+        assert first is second
+        assert store.training_seconds  # recorded
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        store = PolicyStore(
+            iterations=15, num_streams=1, dataset_scale=0.4,
+            cache_dir=tmp_path,
+        )
+        policy = store.get("cit-HE", "triangle", LIGHT)
+        fresh_store = PolicyStore(
+            iterations=15, num_streams=1, dataset_scale=0.4,
+            cache_dir=tmp_path,
+        )
+        loaded = fresh_store.get("cit-HE", "triangle", LIGHT)
+        assert np.array_equal(loaded.weights, policy.weights)
+
+    def test_aggregation_keys_distinct(self):
+        store = PolicyStore(iterations=10, num_streams=1, dataset_scale=0.4)
+        max_policy = store.get(
+            "cit-HE", "triangle", LIGHT, temporal_aggregation="max"
+        )
+        avg_policy = store.get(
+            "cit-HE", "triangle", LIGHT, temporal_aggregation="avg"
+        )
+        assert max_policy is not avg_policy

@@ -1,0 +1,189 @@
+"""Smoke tests for every table/figure regenerator (tiny configurations).
+
+These validate structure, determinism of layout, and that each paper
+artefact's entry point runs end to end; the benchmark suite runs them at
+full (scaled) size.
+"""
+
+import pytest
+
+from repro.experiments import figures, tables
+from repro.experiments.algorithms import PolicyStore
+from repro.utils.tables import format_sections, format_table
+
+
+@pytest.fixture(scope="module")
+def store():
+    """A fast-training policy store shared by the smoke tests."""
+    return PolicyStore(iterations=15, num_streams=1, dataset_scale=0.3)
+
+
+FAST = dict(trials=2, dataset_scale=0.3, seed=0)
+
+
+class TestFormatHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_format_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_sections_contains_titles(self):
+        text = format_sections(
+            ["x"], [("S1", [[1]]), ("S2", [[2]])], title="T"
+        )
+        for token in ("T", "S1", "S2"):
+            assert token in text
+
+
+class TestCountTables:
+    def test_table_counts_structure(self, store):
+        result = tables.table_counts(
+            "triangle", "light",
+            datasets=("cit-PT",),
+            algorithms=("WSD-L", "WSD-H", "Triest"),
+            policy_store=store, **FAST,
+        )
+        assert result.headers == ["Graph", "WSD-L", "WSD-H", "Triest"]
+        assert [name for name, _ in result.sections] == [
+            "ARE (%)", "MARE (%)", "Time (s)",
+        ]
+        are = result.value("ARE (%)", "cit-PT", "WSD-L")
+        assert are >= 0.0
+        assert "cit-PT" in result.format()
+
+    def test_table_counts_wedge(self, store):
+        result = tables.table_counts(
+            "wedge", "massive",
+            datasets=("cit-PT",),
+            algorithms=("WSD-H", "ThinkD"),
+            policy_store=store, **FAST,
+        )
+        assert result.value("ARE (%)", "cit-PT", "ThinkD") >= 0.0
+
+    def test_four_clique_default_datasets_drop_soc(self):
+        assert "soc-TW" not in tables.FOUR_CLIQUE_DATASETS
+        assert "soc-TW" in tables.COUNT_TABLE_DATASETS
+
+    def test_unknown_scenario_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            tables.scenario_by_name("sideways")
+
+
+class TestInsertionOnlyTable:
+    def test_structure(self, store):
+        result = tables.table_insertion_only(
+            dataset="cit-PT",
+            algorithms=("WSD-L", "GPS", "ThinkD"),
+            policy_store=store, **FAST,
+        )
+        assert result.headers[0] == "Metric"
+        assert result.value("ARE (%)", "ARE (%)", "GPS") >= 0.0
+
+
+class TestTransferabilityTable:
+    def test_structure(self, store):
+        result = tables.table_transferability(
+            "light",
+            test_datasets=("cit-PT",),
+            train_datasets=("cit-HE", "com-DB"),
+            policy_store=store, **FAST,
+        )
+        row = result.raw["ARE (%)"]["cit-PT"]
+        assert set(row) == {"cit-HE", "com-DB", "WSD-H"}
+
+
+class TestAblationTable:
+    def test_structure(self, store):
+        result = tables.table_ablation(
+            scenarios=("light",),
+            datasets=("cit-PT",),
+            policy_store=store, **FAST,
+        )
+        section = "ARE (%) — light scenario"
+        cells = result.raw[section]["cit-PT"]
+        assert set(cells) == {"WSD-L (Max)", "WSD-L (Avg)", "WSD-H"}
+
+
+class TestTrainingTimeTable:
+    def test_structure(self):
+        result = tables.table_training_time(
+            "light",
+            patterns=("triangle",),
+            train_datasets=("cit-HE",),
+            dataset_scale=0.3,
+            iterations=10,
+        )
+        assert result.value("Time (s)", "cit-HE", "triangle") > 0.0
+
+
+class TestFigures:
+    def test_scalability(self, store):
+        result = figures.figure_scalability(
+            "light", sizes=(200, 400), budget=60, trials=1,
+            policy_store=store, seed=0,
+        )
+        assert len(result.ys("WSD-L ARE (%)")) == 2
+        assert len(result.ys("WSD-H time (s)")) == 2
+        assert "events" in result.format()
+
+    def test_ordering(self, store):
+        result = figures.figure_ordering(
+            "light", dataset="cit-PT", orderings=("natural", "uar"),
+            algorithms=("WSD-H", "Triest"), trials=1, seed=0,
+            policy_store=store,
+        )
+        assert len(result.series["WSD-H"]) == 2
+
+    def test_reservoir_size(self, store):
+        result = figures.figure_reservoir_size(
+            "light", dataset="cit-PT", fractions=(0.02, 0.05),
+            algorithms=("WSD-H", "ThinkD"), trials=1, seed=0,
+            policy_store=store,
+        )
+        assert len(result.series["ThinkD"]) == 2
+
+    def test_training_size(self):
+        result = figures.figure_training_size(
+            "light", train_sizes=(100, 200), test_size=400,
+            iterations=10, trials=1, seed=0,
+        )
+        assert len(result.ys("train time (s)")) == 2
+        assert len(result.ys("ARE (%)")) == 2
+
+    def test_weight_relationship(self, store):
+        result = figures.figure_weight_relationship(
+            "light", dataset="cit-PT", runs=2, seed=0, policy_store=store,
+        )
+        series = result.series["mean weight"]
+        assert len(series) >= 1
+        assert all(weight >= 1.0 for _, weight in series)
+
+    def test_beta_sweep(self, store):
+        result = figures.figure_beta_sweep(
+            dataset="cit-PT", betas=(0.2,),
+            algorithms=("WSD-H", "Triest"), trials=1, seed=0,
+            policy_store=store,
+        )
+        assert set(result) == {"massive", "light"}
+        assert len(result["light"].series["WSD-H"]) == 1
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "fig5" in out
+
+    def test_unknown_target(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["tableX"]) == 2

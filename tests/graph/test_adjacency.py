@@ -1,0 +1,161 @@
+"""Tests for the dynamic adjacency structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EdgeExistsError, EdgeNotFoundError, SelfLoopError
+from repro.graph.adjacency import DynamicAdjacency
+
+
+@pytest.fixture
+def triangle_graph():
+    g = DynamicAdjacency()
+    g.add_edge(1, 2)
+    g.add_edge(2, 3)
+    g.add_edge(1, 3)
+    return g
+
+
+class TestMutation:
+    def test_add_edge_returns_canonical(self):
+        g = DynamicAdjacency()
+        assert g.add_edge(5, 2) == (2, 5)
+
+    def test_add_duplicate_raises(self):
+        g = DynamicAdjacency()
+        g.add_edge(1, 2)
+        with pytest.raises(EdgeExistsError):
+            g.add_edge(2, 1)
+
+    def test_add_self_loop_raises(self):
+        g = DynamicAdjacency()
+        with pytest.raises(SelfLoopError):
+            g.add_edge(1, 1)
+
+    def test_remove_edge(self, triangle_graph):
+        triangle_graph.remove_edge(1, 2)
+        assert not triangle_graph.has_edge(1, 2)
+        assert triangle_graph.num_edges == 2
+
+    def test_remove_absent_raises(self):
+        g = DynamicAdjacency()
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 2)
+
+    def test_remove_drops_isolated_vertices(self):
+        g = DynamicAdjacency()
+        g.add_edge(1, 2)
+        g.remove_edge(1, 2)
+        assert g.num_vertices == 0
+
+    def test_clear(self, triangle_graph):
+        triangle_graph.clear()
+        assert triangle_graph.num_edges == 0
+        assert triangle_graph.num_vertices == 0
+
+    def test_reinsert_after_remove(self):
+        g = DynamicAdjacency()
+        g.add_edge(1, 2)
+        g.remove_edge(1, 2)
+        g.add_edge(1, 2)
+        assert g.has_edge(1, 2)
+
+
+class TestQueries:
+    def test_has_edge_symmetric(self, triangle_graph):
+        assert triangle_graph.has_edge(1, 2)
+        assert triangle_graph.has_edge(2, 1)
+
+    def test_has_edge_self_false(self, triangle_graph):
+        assert not triangle_graph.has_edge(1, 1)
+
+    def test_neighbors(self, triangle_graph):
+        assert triangle_graph.neighbors(1) == {2, 3}
+
+    def test_neighbors_unknown_vertex(self):
+        assert DynamicAdjacency().neighbors(42) == frozenset()
+
+    def test_degree(self, triangle_graph):
+        assert triangle_graph.degree(1) == 2
+
+    def test_degree_unknown_vertex(self):
+        assert DynamicAdjacency().degree(42) == 0
+
+    def test_common_neighbors(self, triangle_graph):
+        assert triangle_graph.common_neighbors(1, 2) == {3}
+
+    def test_common_neighbors_empty(self):
+        g = DynamicAdjacency()
+        g.add_edge(1, 2)
+        assert g.common_neighbors(1, 3) == set()
+
+    def test_edges_iteration_unique(self, triangle_graph):
+        edges = list(triangle_graph.edges())
+        assert len(edges) == 3
+        assert len(set(edges)) == 3
+        assert all(a < b for a, b in edges)
+
+    def test_contains(self, triangle_graph):
+        assert (1, 2) in triangle_graph
+        assert (1, 4) not in triangle_graph
+
+    def test_len(self, triangle_graph):
+        assert len(triangle_graph) == 3
+
+    def test_vertices(self, triangle_graph):
+        assert set(triangle_graph.vertices()) == {1, 2, 3}
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_consistent_with_set_model(self, operations):
+        """Random toggles keep the structure consistent with a set model."""
+        g = DynamicAdjacency()
+        model: set[tuple[int, int]] = set()
+        for u, v in operations:
+            if u == v:
+                continue
+            edge = (min(u, v), max(u, v))
+            if edge in model:
+                g.remove_edge(u, v)
+                model.discard(edge)
+            else:
+                g.add_edge(u, v)
+                model.add(edge)
+        assert set(g.edges()) == model
+        assert g.num_edges == len(model)
+        degrees = {}
+        for a, b in model:
+            degrees[a] = degrees.get(a, 0) + 1
+            degrees[b] = degrees.get(b, 0) + 1
+        for v, d in degrees.items():
+            assert g.degree(v) == d
+        assert g.num_vertices == len(degrees)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            max_size=60,
+        ),
+        st.integers(0, 15),
+        st.integers(0, 15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_common_neighbors_matches_bruteforce(self, pairs, u, v):
+        g = DynamicAdjacency()
+        for a, b in pairs:
+            if a != b and not g.has_edge(a, b):
+                g.add_edge(a, b)
+        expected = {
+            w
+            for w in g.vertices()
+            if g.has_edge(u, w) and g.has_edge(v, w)
+        }
+        assert g.common_neighbors(u, v) == expected

@@ -1,0 +1,102 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.datasets import (
+    DATASETS,
+    TRAIN_TEST_PAIRS,
+    dataset_names,
+    load_dataset,
+    load_edge_list,
+)
+
+
+class TestRegistry:
+    def test_paper_dataset_names_present(self):
+        for name in (
+            "cit-HE", "cit-PT", "com-DB", "com-YT",
+            "soc-TX", "soc-TW", "web-SF", "web-GL", "synthetic",
+        ):
+            assert name in DATASETS
+
+    def test_train_test_pairs_cover_categories(self):
+        assert set(TRAIN_TEST_PAIRS) == {
+            "citation", "community", "social", "web", "synthetic",
+        }
+        for train, test in TRAIN_TEST_PAIRS.values():
+            assert DATASETS[train].role == "train"
+            assert DATASETS[test].role == "test"
+
+    def test_train_smaller_than_test(self):
+        for train, test in TRAIN_TEST_PAIRS.values():
+            assert (
+                DATASETS[train].base_vertices <= DATASETS[test].base_vertices
+            )
+
+    def test_dataset_names_filter(self):
+        trains = dataset_names(role="train")
+        assert "cit-HE" in trains
+        assert "cit-PT" not in trains
+
+    def test_dataset_names_all(self):
+        assert len(dataset_names()) == len(DATASETS)
+
+
+class TestLoadDataset:
+    def test_deterministic(self):
+        assert load_dataset("cit-HE") == load_dataset("cit-HE")
+
+    def test_seed_changes_instance(self):
+        assert load_dataset("cit-HE", seed=0) != load_dataset("cit-HE", seed=1)
+
+    def test_scale_changes_size(self):
+        small = load_dataset("web-SF", scale=0.5)
+        large = load_dataset("web-SF", scale=1.0)
+        assert len(small) < len(large)
+
+    def test_unknown_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("no-such-graph")
+
+    def test_edges_canonical_unique(self):
+        edges = load_dataset("soc-TX", scale=0.5)
+        assert len(edges) == len(set(edges))
+        assert all(u < v for u, v in edges)
+
+    @pytest.mark.parametrize("name", ["cit-PT", "com-YT", "soc-TW", "web-GL"])
+    def test_test_graphs_have_triangles(self, name):
+        from repro.patterns import ExactCounter
+        from repro.graph.stream import EdgeStream
+
+        edges = load_dataset(name, scale=0.4)
+        counter = ExactCounter("triangle")
+        counter.process_stream(EdgeStream.from_edges(edges))
+        assert counter.count > 0
+
+
+class TestLoadEdgeList:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n1 2\n2 3\n% other comment\n3 1\n")
+        assert load_edge_list(path) == [(1, 2), (2, 3), (1, 3)]
+
+    def test_drops_self_loops_and_duplicates(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1 1\n1 2\n2 1\n")
+        assert load_edge_list(path) == [(1, 2)]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_edge_list(tmp_path / "nope.txt")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1\n")
+        with pytest.raises(DatasetError):
+            load_edge_list(path)
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1 2 1699999999\n")
+        assert load_edge_list(path) == [(1, 2)]

@@ -1,0 +1,42 @@
+"""Tests for canonical edge representation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SelfLoopError
+from repro.graph.edges import canonical_edge
+
+
+class TestCanonicalEdge:
+    def test_orders_ascending(self):
+        assert canonical_edge(2, 1) == (1, 2)
+
+    def test_preserves_ascending(self):
+        assert canonical_edge(1, 2) == (1, 2)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(SelfLoopError):
+            canonical_edge(3, 3)
+
+    def test_string_vertices(self):
+        assert canonical_edge("b", "a") == ("a", "b")
+
+    def test_mixed_types_deterministic(self):
+        first = canonical_edge(1, "a")
+        second = canonical_edge("a", 1)
+        assert first == second
+
+    @given(st.integers(), st.integers())
+    def test_symmetric(self, u, v):
+        if u == v:
+            with pytest.raises(SelfLoopError):
+                canonical_edge(u, v)
+        else:
+            assert canonical_edge(u, v) == canonical_edge(v, u)
+
+    @given(st.integers(), st.integers())
+    def test_result_sorted(self, u, v):
+        if u != v:
+            a, b = canonical_edge(u, v)
+            assert a < b

@@ -1,0 +1,152 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import generators
+from repro.graph.adjacency import DynamicAdjacency
+
+
+def _build(edges):
+    g = DynamicAdjacency()
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+ALL_GENERATORS = [
+    lambda rng: generators.forest_fire(300, p=0.4, rng=rng),
+    lambda rng: generators.barabasi_albert(300, m=3, rng=rng),
+    lambda rng: generators.powerlaw_cluster(300, m=3, rng=rng),
+    lambda rng: generators.copying_model(300, rng=rng),
+    lambda rng: generators.planted_partition(300, rng=rng),
+    lambda rng: generators.erdos_renyi(300, 500, rng=rng),
+]
+
+
+@pytest.mark.parametrize("make", ALL_GENERATORS)
+class TestGeneratorContracts:
+    def test_no_duplicates(self, make):
+        edges = make(0)
+        assert len(edges) == len(set(edges))
+
+    def test_no_self_loops(self, make):
+        assert all(u != v for u, v in make(1))
+
+    def test_canonical_form(self, make):
+        assert all(u < v for u, v in make(2))
+
+    def test_deterministic_given_seed(self, make):
+        assert make(7) == make(7)
+
+    def test_different_seeds_differ(self, make):
+        assert make(1) != make(2)
+
+    def test_buildable(self, make):
+        g = _build(make(3))
+        assert g.num_edges > 0
+
+
+class TestForestFire:
+    def test_vertex_range(self):
+        edges = generators.forest_fire(100, p=0.4, rng=0)
+        vertices = {v for e in edges for v in e}
+        assert max(vertices) < 100
+
+    def test_connected_arrival(self):
+        """Every vertex t > 0 must link to an earlier vertex on arrival."""
+        edges = generators.forest_fire(80, p=0.3, rng=0)
+        seen = {0}
+        for u, v in edges:
+            hi, lo = max(u, v), min(u, v)
+            if hi not in seen:
+                assert lo in seen
+                seen.add(hi)
+        assert len(seen) == 80
+
+    def test_density_grows_with_p(self):
+        sparse = generators.forest_fire(400, p=0.2, rng=5)
+        dense = generators.forest_fire(400, p=0.55, rng=5)
+        assert len(dense) > len(sparse)
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            generators.forest_fire(10, p=1.5)
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            generators.forest_fire(0)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        n, m = 200, 4
+        edges = generators.barabasi_albert(n, m=m, rng=0)
+        # m seed edges + m per subsequent vertex.
+        assert len(edges) == m + (n - m - 1) * m
+
+    def test_degree_skew(self):
+        g = _build(generators.barabasi_albert(500, m=3, rng=1))
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        assert degrees[0] > 5 * np.median(degrees)
+
+    def test_n_must_exceed_m(self):
+        with pytest.raises(ConfigurationError):
+            generators.barabasi_albert(3, m=3)
+
+
+class TestPowerlawCluster:
+    def test_higher_closure_more_triangles(self):
+        from repro.patterns.matching import brute_force_count
+
+        low = _build(
+            generators.powerlaw_cluster(250, m=4, triangle_probability=0.0, rng=2)
+        )
+        high = _build(
+            generators.powerlaw_cluster(250, m=4, triangle_probability=0.95, rng=2)
+        )
+        assert brute_force_count(high, "triangle") > brute_force_count(
+            low, "triangle"
+        )
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            generators.powerlaw_cluster(10, triangle_probability=2.0)
+
+
+class TestCopyingModel:
+    def test_produces_triangles(self):
+        from repro.patterns.matching import brute_force_count
+
+        g = _build(generators.copying_model(300, copy_probability=0.8, rng=3))
+        assert brute_force_count(g, "triangle") > 0
+
+    def test_invalid_out_degree(self):
+        with pytest.raises(ConfigurationError):
+            generators.copying_model(10, out_degree=0)
+
+
+class TestPlantedPartition:
+    def test_intra_community_dominates(self):
+        edges = generators.planted_partition(
+            400, communities=4, p_in=0.2, p_out=0.001, rng=4
+        )
+        intra = sum(1 for u, v in edges if u % 4 == v % 4)
+        assert intra > 0.8 * len(edges)
+
+    def test_invalid_p_in(self):
+        with pytest.raises(ConfigurationError):
+            generators.planted_partition(10, p_in=1.5)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        assert len(generators.erdos_renyi(50, 100, rng=0)) == 100
+
+    def test_zero_edges(self):
+        assert generators.erdos_renyi(10, 0, rng=0) == []
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generators.erdos_renyi(4, 10)

@@ -1,0 +1,89 @@
+"""Tests for stream orderings (natural / UAR / RBFS)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import erdos_renyi, forest_fire
+from repro.graph.orderings import (
+    ORDERINGS,
+    natural_order,
+    order_edges,
+    rbfs_order,
+    uar_order,
+)
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return forest_fire(150, p=0.4, rng=3)
+
+
+class TestNatural:
+    def test_identity(self, edges):
+        assert natural_order(edges) == edges
+
+    def test_returns_copy(self, edges):
+        result = natural_order(edges)
+        result.append(("x", "y"))
+        assert len(edges) != len(result) or edges is not result
+
+
+class TestUAR:
+    def test_is_permutation(self, edges):
+        shuffled = uar_order(edges, rng=0)
+        assert sorted(shuffled) == sorted(edges)
+
+    def test_changes_order(self, edges):
+        assert uar_order(edges, rng=0) != edges
+
+    def test_deterministic(self, edges):
+        assert uar_order(edges, rng=5) == uar_order(edges, rng=5)
+
+
+class TestRBFS:
+    def test_is_permutation(self, edges):
+        ordered = rbfs_order(edges, rng=0)
+        assert sorted(ordered) == sorted(edges)
+
+    def test_deterministic(self, edges):
+        assert rbfs_order(edges, rng=5) == rbfs_order(edges, rng=5)
+
+    def test_bfs_locality(self, edges):
+        """Edges incident to already-seen vertices appear early: at every
+        prefix, the edge set must touch a connected vertex region."""
+        ordered = rbfs_order(edges, rng=1)
+        seen = set()
+        for i, (u, v) in enumerate(ordered):
+            if i > 0:
+                # In a connected graph (forest fire is), each new edge
+                # touches the visited region.
+                assert u in seen or v in seen
+            seen.update((u, v))
+
+    def test_covers_disconnected_components(self):
+        # Two disjoint components: both must be emitted.
+        edges = [(0, 1), (1, 2), (10, 11), (11, 12)]
+        ordered = rbfs_order(edges, rng=2)
+        assert sorted(ordered) == sorted(edges)
+
+
+class TestDispatch:
+    def test_names(self):
+        assert set(ORDERINGS) == {"natural", "uar", "rbfs"}
+
+    def test_order_edges_natural(self, edges):
+        assert order_edges(edges, "natural") == edges
+
+    def test_order_edges_case_insensitive(self, edges):
+        assert sorted(order_edges(edges, "UAR", rng=1)) == sorted(edges)
+
+    def test_unknown_ordering(self, edges):
+        with pytest.raises(ConfigurationError):
+            order_edges(edges, "zigzag")
+
+    def test_empty_edges(self):
+        assert order_edges([], "uar", rng=0) == []
+
+    def test_sparse_graph(self):
+        edges = erdos_renyi(30, 10, rng=0)
+        assert sorted(order_edges(edges, "rbfs", rng=1)) == sorted(edges)

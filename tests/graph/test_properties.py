@@ -1,0 +1,124 @@
+"""Tests for structural graph statistics (and stand-in validation)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import generators
+from repro.graph.datasets import load_dataset
+from repro.graph.properties import (
+    average_local_clustering,
+    build_graph,
+    degree_gini,
+    degree_histogram,
+    densification_exponent,
+    global_clustering,
+)
+
+
+@pytest.fixture(scope="module")
+def social_graph():
+    return build_graph(
+        generators.powerlaw_cluster(300, m=4, triangle_probability=0.8, rng=0)
+    )
+
+
+@pytest.fixture(scope="module")
+def random_graph():
+    return build_graph(generators.erdos_renyi(300, 1200, rng=0))
+
+
+class TestDegreeHistogram:
+    def test_sums_to_vertex_count(self, social_graph):
+        histogram = degree_histogram(social_graph)
+        assert sum(histogram.values()) == social_graph.num_vertices
+
+    def test_handshake_lemma(self, social_graph):
+        histogram = degree_histogram(social_graph)
+        total_degree = sum(d * c for d, c in histogram.items())
+        assert total_degree == 2 * social_graph.num_edges
+
+
+class TestDegreeGini:
+    def test_skewed_beats_uniform(self, social_graph, random_graph):
+        assert degree_gini(social_graph) > degree_gini(random_graph)
+
+    def test_regular_graph_zero(self):
+        cycle = build_graph([(i, (i + 1) % 10) for i in range(10)])
+        assert degree_gini(cycle) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.adjacency import DynamicAdjacency
+
+        with pytest.raises(ConfigurationError):
+            degree_gini(DynamicAdjacency())
+
+
+class TestClustering:
+    def test_global_matches_networkx(self, social_graph):
+        nxg = nx.Graph(list(social_graph.edges()))
+        assert global_clustering(social_graph) == pytest.approx(
+            nx.transitivity(nxg)
+        )
+
+    def test_average_local_matches_networkx(self, social_graph):
+        nxg = nx.Graph(list(social_graph.edges()))
+        assert average_local_clustering(social_graph) == pytest.approx(
+            nx.average_clustering(nxg)
+        )
+
+    def test_triangle_free_graph_zero(self):
+        star = build_graph([(0, i) for i in range(1, 8)])
+        assert global_clustering(star) == 0.0
+
+    def test_complete_graph_one(self):
+        k5 = build_graph(
+            [(a, b) for a in range(5) for b in range(a + 1, 5)]
+        )
+        assert global_clustering(k5) == pytest.approx(1.0)
+        assert average_local_clustering(k5) == pytest.approx(1.0)
+
+
+class TestDensification:
+    def test_forest_fire_densifies(self):
+        edges = generators.forest_fire(800, p=0.5, rng=1)
+        assert densification_exponent(edges) > 1.0
+
+    def test_tree_does_not_densify(self):
+        edges = [(0, i) for i in range(1, 400)]
+        assert densification_exponent(edges) == pytest.approx(1.0, abs=0.05)
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            densification_exponent([(0, 1)], samples=10)
+
+
+class TestStandInValidation:
+    """The dataset stand-ins must carry the structural signatures of
+    their categories — the properties the substitution argument in
+    DESIGN.md relies on."""
+
+    def test_social_graphs_cluster(self):
+        graph = build_graph(load_dataset("soc-TX", scale=0.6))
+        assert average_local_clustering(graph) > 0.1
+
+    def test_social_graphs_heavy_tailed(self):
+        graph = build_graph(load_dataset("soc-TX", scale=0.6))
+        er = build_graph(
+            generators.erdos_renyi(
+                graph.num_vertices, graph.num_edges, rng=0
+            )
+        )
+        assert degree_gini(graph) > degree_gini(er) + 0.1
+
+    def test_citation_graphs_densify(self):
+        edges = load_dataset("cit-PT", scale=0.6)
+        assert densification_exponent(edges) > 1.0
+
+    def test_web_graphs_heavy_tailed(self):
+        graph = build_graph(load_dataset("web-SF", scale=0.6))
+        degrees = sorted(
+            (graph.degree(v) for v in graph.vertices()), reverse=True
+        )
+        assert degrees[0] > 8 * np.median(degrees)

@@ -1,0 +1,68 @@
+"""Tests for constant-memory stream file iteration."""
+
+import pytest
+
+from repro.errors import StreamFormatError
+from repro.graph.stream import EdgeEvent, EdgeStream, iter_stream_file
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    stream = EdgeStream(
+        [
+            EdgeEvent.insertion(1, 2),
+            EdgeEvent.insertion(2, 3),
+            EdgeEvent.deletion(1, 2),
+        ]
+    )
+    path = tmp_path / "stream.txt"
+    stream.dump(path)
+    return path, stream
+
+
+class TestIterStreamFile:
+    def test_yields_same_events_as_load(self, stream_file):
+        path, stream = stream_file
+        assert list(iter_stream_file(path)) == list(stream)
+
+    def test_is_lazy(self, stream_file):
+        path, _ = stream_file
+        iterator = iter_stream_file(path)
+        first = next(iterator)
+        assert first == EdgeEvent.insertion(1, 2)
+
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("# header\n\n+ 1 2\n")
+        assert list(iter_stream_file(path)) == [EdgeEvent.insertion(1, 2)]
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("+ 1 2\n* 3 4\n")
+        iterator = iter_stream_file(path)
+        next(iterator)
+        with pytest.raises(StreamFormatError, match="line 2"):
+            next(iterator)
+
+    def test_bad_vertex_raises(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("+ one 2\n")
+        with pytest.raises(StreamFormatError):
+            list(iter_stream_file(path))
+
+    def test_sampler_consumes_iterator(self, stream_file):
+        path, stream = stream_file
+        from repro.samplers.thinkd import ThinkD
+
+        direct = ThinkD("triangle", 10, rng=0)
+        direct.process_stream(stream)
+        lazy = ThinkD("triangle", 10, rng=0)
+        lazy.process_stream(iter_stream_file(path))
+        assert lazy.estimate == direct.estimate
+        assert lazy.time == direct.time
+
+    def test_vertex_type_conversion(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("+ a b\n")
+        events = list(iter_stream_file(path, vertex_type=str))
+        assert events[0].edge == ("a", "b")

@@ -1,0 +1,122 @@
+"""Statistical integration tests of the paper's core claims at smoke scale.
+
+These complement the per-module unit tests with cross-module claims:
+each pins one row of EXPERIMENTS.md's summary table as an executable
+assertion, at a scale small enough for CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ExactCounter, build_stream, load_dataset
+from repro.experiments.runner import compute_ground_truth, run_algorithm
+from repro.samplers.gps_a import GPSA
+from repro.samplers.wsd import WSD
+from repro.streams.scenarios import light_deletion_stream
+from repro.weights.heuristic import GPSHeuristicWeight
+
+
+@pytest.fixture(scope="module")
+def citation_workload():
+    """A scaled cit-PT light-deletion stream with shared ground truth."""
+    edges = load_dataset("cit-PT", scale=0.5, seed=0)
+    stream = build_stream(edges, "light", beta=0.2, rng=1)
+    truth = compute_ground_truth(stream, "triangle", 20)
+    budget = max(8, stream.num_insertions // 25)
+    return stream, truth, budget
+
+
+class TestWeightedFamilyOrdering:
+    def test_wsd_beats_gps_a(self, citation_workload):
+        """WSD's clean deletions beat GPS-A's lazy tags (Section III-C):
+        with identical weights and ranks, mean ARE of WSD must not
+        exceed GPS-A's."""
+        stream, truth, budget = citation_workload
+        wsd = run_algorithm(
+            "WSD-H", stream, truth, "triangle", budget, trials=12, seed=0
+        )
+        gpsa = run_algorithm(
+            "GPS-A", stream, truth, "triangle", budget, trials=12, seed=0
+        )
+        assert wsd.mean_are <= gpsa.mean_are * 1.1
+
+    def test_gps_a_wastes_budget_on_ghosts(self, citation_workload):
+        """The mechanism behind the accuracy gap: GPS-A's useful sample
+        shrinks below WSD's after deletions."""
+        stream, _, budget = citation_workload
+        wsd = WSD("triangle", budget, GPSHeuristicWeight(), rng=3)
+        gpsa = GPSA("triangle", budget, GPSHeuristicWeight(), rng=3)
+        for event in stream:
+            wsd.process(event)
+            gpsa.process(event)
+        assert gpsa.num_tagged > 0
+        assert gpsa.useful_sample_size < budget
+        assert wsd.sample_size >= gpsa.useful_sample_size
+
+    def test_triest_worst_uniform_baseline(self, citation_workload):
+        """Triest's all-or-nothing counter gives the highest variance of
+        the uniform family (Tables II/III/VIII/IX)."""
+        stream, truth, budget = citation_workload
+        triest = run_algorithm(
+            "Triest", stream, truth, "triangle", budget, trials=12, seed=0
+        )
+        thinkd = run_algorithm(
+            "ThinkD", stream, truth, "triangle", budget, trials=12, seed=0
+        )
+        assert thinkd.mean_are < triest.mean_are
+
+
+class TestEstimatorConsistency:
+    def test_more_budget_less_error(self, citation_workload):
+        """Doubling M should not increase mean ARE meaningfully
+        (Figure 2b)."""
+        stream, truth, budget = citation_workload
+        small = run_algorithm(
+            "WSD-H", stream, truth, "triangle", budget, trials=10, seed=1
+        )
+        large = run_algorithm(
+            "WSD-H", stream, truth, "triangle", budget * 4, trials=10, seed=1
+        )
+        assert large.mean_are < small.mean_are
+
+    def test_estimates_scale_free_of_vertex_labels(self):
+        """Relabelling vertices must not change the estimate given the
+        same rank randomness (the algorithms never inspect labels)."""
+        edges = load_dataset("cit-HE", scale=0.4, seed=0)
+        relabelled = [(u + 10_000, v + 10_000) for u, v in edges]
+        stream_a = light_deletion_stream(edges, beta_l=0.2, rng=5)
+        stream_b = light_deletion_stream(relabelled, beta_l=0.2, rng=5)
+        a = WSD("triangle", 100, GPSHeuristicWeight(), rng=9)
+        b = WSD("triangle", 100, GPSHeuristicWeight(), rng=9)
+        a.process_stream(stream_a)
+        b.process_stream(stream_b)
+        assert a.estimate == pytest.approx(b.estimate)
+
+    def test_truth_trace_matches_independent_counter(self, citation_workload):
+        stream, truth, _ = citation_workload
+        independent = ExactCounter("triangle").process_stream(stream)
+        assert truth.final_truth == independent
+
+
+class TestVarianceStructure:
+    def test_weighted_variance_depends_on_weights(self, citation_workload):
+        """Different weight functions change the estimator's variance
+        but not its mean (unbiasedness is weight-independent)."""
+        stream, truth, budget = citation_workload
+        from repro.weights.heuristic import UniformWeight
+
+        def spread(weight_factory):
+            estimates = [
+                WSD(
+                    "triangle", budget, weight_factory(), rng=seed
+                ).process_stream(stream)
+                for seed in range(25)
+            ]
+            return np.mean(estimates), np.std(estimates)
+
+        mean_h, std_h = spread(GPSHeuristicWeight)
+        mean_u, std_u = spread(UniformWeight)
+        # Means within each other's noise band; spreads clearly differ.
+        pooled = (std_h + std_u) / np.sqrt(25)
+        assert abs(mean_h - mean_u) < 4 * pooled + 0.1 * truth.final_truth
+        assert std_h != pytest.approx(std_u, rel=0.01)

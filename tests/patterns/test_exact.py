@@ -1,0 +1,98 @@
+"""Tests for the exact incremental counter (ground truth)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi, forest_fire
+from repro.graph.stream import EdgeEvent, EdgeStream
+from repro.patterns.exact import ExactCounter, exact_count_stream
+from repro.patterns.matching import brute_force_count
+from repro.streams.scenarios import light_deletion_stream
+
+
+class TestExactCounter:
+    def test_triangle_basic(self):
+        counter = ExactCounter("triangle")
+        for u, v in [(1, 2), (2, 3), (1, 3)]:
+            counter.process(EdgeEvent.insertion(u, v))
+        assert counter.count == 1
+
+    def test_deletion_reverses(self):
+        counter = ExactCounter("triangle")
+        for u, v in [(1, 2), (2, 3), (1, 3)]:
+            counter.process(EdgeEvent.insertion(u, v))
+        counter.process(EdgeEvent.deletion(1, 3))
+        assert counter.count == 0
+
+    def test_process_returns_delta(self):
+        counter = ExactCounter("triangle")
+        counter.process(EdgeEvent.insertion(1, 2))
+        counter.process(EdgeEvent.insertion(2, 3))
+        assert counter.process(EdgeEvent.insertion(1, 3)) == 1
+        assert counter.process(EdgeEvent.deletion(1, 3)) == -1
+
+    def test_reset(self):
+        counter = ExactCounter("wedge")
+        counter.process(EdgeEvent.insertion(1, 2))
+        counter.reset()
+        assert counter.count == 0
+        assert counter.graph.num_edges == 0
+
+    def test_wedge_star(self):
+        counter = ExactCounter("wedge")
+        for leaf in range(1, 5):
+            counter.process(EdgeEvent.insertion(0, leaf))
+        # Star with 4 leaves: C(4, 2) = 6 wedges.
+        assert counter.count == 6
+
+    def test_four_clique_k4(self):
+        counter = ExactCounter("4-clique")
+        for u in range(4):
+            for v in range(u + 1, 4):
+                counter.process(EdgeEvent.insertion(u, v))
+        assert counter.count == 1
+
+    @pytest.mark.parametrize("pattern", ["triangle", "wedge", "4-clique"])
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_brute_force_under_churn(self, pattern, seed):
+        """Random insert/delete churn stays consistent with recounting."""
+        edges = erdos_renyi(14, 40, rng=seed)
+        stream = light_deletion_stream(edges, beta_l=0.5, rng=seed)
+        counter = ExactCounter(pattern)
+        for i, event in enumerate(stream):
+            counter.process(event)
+            if i % 17 == 0:
+                assert counter.count == brute_force_count(
+                    counter.graph, pattern
+                )
+        assert counter.count == brute_force_count(counter.graph, pattern)
+
+    def test_process_stream_returns_final(self):
+        edges = forest_fire(60, p=0.4, rng=1)
+        stream = EdgeStream.from_edges(edges)
+        counter = ExactCounter("triangle")
+        final = counter.process_stream(stream)
+        assert final == counter.count
+
+    def test_never_negative_on_feasible_streams(self):
+        edges = forest_fire(80, p=0.4, rng=2)
+        stream = light_deletion_stream(edges, beta_l=0.6, rng=3)
+        counter = ExactCounter("triangle")
+        for event in stream:
+            counter.process(event)
+            assert counter.count >= 0
+
+
+class TestExactCountStream:
+    def test_trace_length(self):
+        edges = forest_fire(40, p=0.4, rng=4)
+        stream = EdgeStream.from_edges(edges)
+        trace = exact_count_stream(stream, "triangle")
+        assert len(trace) == len(stream)
+
+    def test_trace_monotone_for_insertions(self):
+        edges = forest_fire(40, p=0.4, rng=5)
+        trace = exact_count_stream(EdgeStream.from_edges(edges), "wedge")
+        assert all(a <= b for a, b in zip(trace, trace[1:]))

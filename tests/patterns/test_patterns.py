@@ -1,0 +1,200 @@
+"""Tests for pattern definitions and local instance enumeration."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graph.adjacency import DynamicAdjacency
+from repro.graph.edges import canonical_edge
+from repro.patterns.cliques import FourClique, KClique, Triangle
+from repro.patterns.matching import brute_force_count, get_pattern, pattern_names
+from repro.patterns.paths import Wedge
+
+
+def build(edges):
+    g = DynamicAdjacency()
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+class TestRegistry:
+    def test_names(self):
+        assert pattern_names() == ["3-path", "4-clique", "triangle", "wedge"]
+
+    @pytest.mark.parametrize(
+        "alias,name",
+        [
+            ("triangles", "triangle"),
+            ("3-clique", "triangle"),
+            ("wedges", "wedge"),
+            ("path2", "wedge"),
+            ("4clique", "4-clique"),
+            ("four-clique", "4-clique"),
+        ],
+    )
+    def test_aliases(self, alias, name):
+        assert get_pattern(alias).name == name
+
+    def test_k_clique_resolution(self):
+        pattern = get_pattern("5-clique")
+        assert isinstance(pattern, KClique)
+        assert pattern.num_edges == 10
+
+    def test_pattern_passthrough(self):
+        triangle = Triangle()
+        assert get_pattern(triangle) is triangle
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_pattern("hexagon")
+
+    def test_kclique_requires_k_ge_3(self):
+        with pytest.raises(ConfigurationError):
+            KClique(2)
+
+    def test_equality_by_name(self):
+        assert Triangle() == KClique(3) or Triangle().name != KClique(3).name
+        assert Triangle() == Triangle()
+        assert Triangle() != Wedge()
+
+
+class TestTriangle:
+    def test_num_edges(self):
+        assert Triangle().num_edges == 3
+
+    def test_instances_simple(self):
+        g = build([(1, 3), (2, 3)])
+        instances = list(Triangle().instances_completed(g, 1, 2))
+        assert instances == [((1, 3), (2, 3))]
+
+    def test_count_matches_enumeration(self):
+        g = build([(1, 3), (2, 3), (1, 4), (2, 4), (1, 5)])
+        tri = Triangle()
+        assert tri.count_completed(g, 1, 2) == 2
+        assert len(list(tri.instances_completed(g, 1, 2))) == 2
+
+    def test_no_instances_without_common_neighbor(self):
+        g = build([(1, 3), (2, 4)])
+        assert Triangle().count_completed(g, 1, 2) == 0
+
+
+class TestWedge:
+    def test_num_edges(self):
+        assert Wedge().num_edges == 2
+
+    def test_instances(self):
+        g = build([(1, 3), (2, 4), (2, 5)])
+        instances = set(Wedge().instances_completed(g, 1, 2))
+        assert instances == {((1, 3),), ((2, 4),), ((2, 5),)}
+
+    def test_count_is_degree_sum(self):
+        g = build([(1, 3), (1, 4), (2, 5)])
+        assert Wedge().count_completed(g, 1, 2) == 3
+
+    def test_excludes_endpoint_duplicates(self):
+        # Neighbour equal to the other endpoint is skipped in
+        # enumeration (cannot happen for feasible streams, but the
+        # enumerator must not emit a degenerate wedge).
+        g = build([(1, 3)])
+        instances = list(Wedge().instances_completed(g, 1, 3))
+        assert ((1, 3),) not in instances
+
+
+class TestFourClique:
+    def test_num_edges(self):
+        assert FourClique().num_edges == 6
+
+    def test_single_instance(self):
+        # K4 minus the edge (1,2).
+        g = build([(1, 3), (1, 4), (2, 3), (2, 4), (3, 4)])
+        instances = list(FourClique().instances_completed(g, 1, 2))
+        assert len(instances) == 1
+        assert set(instances[0]) == {(1, 3), (1, 4), (2, 3), (2, 4), (3, 4)}
+
+    def test_requires_common_pair_adjacent(self):
+        # 3 and 4 both adjacent to 1 and 2, but (3,4) missing.
+        g = build([(1, 3), (1, 4), (2, 3), (2, 4)])
+        assert list(FourClique().instances_completed(g, 1, 2)) == []
+
+    def test_matches_kclique4(self):
+        g = build(
+            [(a, b) for a in range(5) for b in range(a + 1, 5)]
+        )  # K5
+        g.remove_edge(0, 1)
+        four = list(FourClique().instances_completed(g, 0, 1))
+        k4 = list(KClique(4).instances_completed(g, 0, 1))
+        assert len(four) == len(k4) == 3
+        assert {frozenset(i) for i in four} == {frozenset(i) for i in k4}
+
+
+class TestAgainstNetworkx:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_triangle_brute_force_matches_networkx(self, seed):
+        from repro.graph.generators import erdos_renyi
+
+        edges = erdos_renyi(25, 60, rng=seed)
+        g = build(edges)
+        nxg = nx.Graph(edges)
+        expected = sum(nx.triangles(nxg).values()) // 3
+        assert brute_force_count(g, "triangle") == expected
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_local_enumeration_sums_to_global(self, seed):
+        """Inserting edges one by one and summing completions equals the
+        global triangle count (the incremental-counting identity)."""
+        from repro.graph.generators import erdos_renyi
+
+        edges = erdos_renyi(20, 50, rng=seed)
+        g = DynamicAdjacency()
+        total = 0
+        tri = Triangle()
+        for u, v in edges:
+            total += tri.count_completed(g, u, v)
+            g.add_edge(u, v)
+        assert total == brute_force_count(g, "triangle")
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_wedge_identity(self, seed):
+        from repro.graph.generators import erdos_renyi
+
+        edges = erdos_renyi(15, 35, rng=seed)
+        g = DynamicAdjacency()
+        total = 0
+        wedge = Wedge()
+        for u, v in edges:
+            total += wedge.count_completed(g, u, v)
+            g.add_edge(u, v)
+        assert total == brute_force_count(g, "wedge")
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_four_clique_identity(self, seed):
+        from repro.graph.generators import erdos_renyi
+
+        edges = erdos_renyi(12, 40, rng=seed)
+        g = DynamicAdjacency()
+        total = 0
+        fc = FourClique()
+        for u, v in edges:
+            total += fc.count_completed(g, u, v)
+            g.add_edge(u, v)
+        assert total == brute_force_count(g, "4-clique")
+
+    def test_instance_edges_exist_in_adjacency(self):
+        from repro.graph.generators import erdos_renyi
+
+        edges = erdos_renyi(15, 40, rng=3)
+        g = DynamicAdjacency()
+        for u, v in edges:
+            for pattern in (Triangle(), Wedge(), FourClique()):
+                for instance in pattern.instances_completed(g, u, v):
+                    for a, b in instance:
+                        assert g.has_edge(a, b)
+                        assert canonical_edge(a, b) == (a, b)
+            g.add_edge(u, v)

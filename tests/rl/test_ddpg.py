@@ -1,0 +1,124 @@
+"""Tests for the DDPG agent: plumbing plus a learnability check."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.rl.noise import GaussianNoise
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        DDPGConfig().validate()
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ConfigurationError):
+            DDPGConfig(gamma=1.5).validate()
+
+    def test_invalid_tau(self):
+        with pytest.raises(ConfigurationError):
+            DDPGConfig(tau=0.0).validate()
+
+    def test_replay_must_hold_batch(self):
+        with pytest.raises(ConfigurationError):
+            DDPGConfig(batch_size=100, replay_capacity=10).validate()
+
+
+class TestAgentBasics:
+    def test_act_positive_and_clipped(self):
+        agent = DDPGAgent(3, rng=0)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            action = agent.act(rng.normal(size=3), explore=True)
+            assert 0.0 < action <= agent.config.max_action
+
+    def test_act_deterministic_without_exploration(self):
+        agent = DDPGAgent(3, rng=0)
+        state = np.ones(3)
+        assert agent.act(state, explore=False) == agent.act(
+            state, explore=False
+        )
+
+    def test_targets_start_as_copies(self):
+        agent = DDPGAgent(3, rng=0)
+        for main, target in zip(
+            agent.actor.parameters(), agent.target_actor.parameters()
+        ):
+            assert np.array_equal(main.value, target.value)
+
+    def test_not_ready_until_warmup(self):
+        config = DDPGConfig(warmup=10, batch_size=4)
+        agent = DDPGAgent(2, config=config, rng=0)
+        for i in range(9):
+            agent.observe(np.zeros(2), 1.0, 0.0, np.zeros(2))
+        assert not agent.ready
+        agent.observe(np.zeros(2), 1.0, 0.0, np.zeros(2))
+        assert agent.ready
+
+    def test_update_returns_losses(self):
+        config = DDPGConfig(warmup=8, batch_size=8)
+        agent = DDPGAgent(2, config=config, rng=0)
+        rng = np.random.default_rng(1)
+        for _ in range(16):
+            agent.observe(
+                rng.normal(size=2), 1.5, rng.normal(), rng.normal(size=2)
+            )
+        critic_loss, actor_loss = agent.update()
+        assert np.isfinite(critic_loss)
+        assert np.isfinite(actor_loss)
+        assert agent.updates == 1
+
+    def test_soft_update_moves_targets(self):
+        config = DDPGConfig(warmup=8, batch_size=8, tau=0.5)
+        agent = DDPGAgent(2, config=config, rng=0)
+        rng = np.random.default_rng(1)
+        for _ in range(16):
+            agent.observe(
+                rng.normal(size=2), 1.5, rng.normal(), rng.normal(size=2)
+            )
+        before = agent.target_actor.linear.weight.value.copy()
+        for _ in range(5):
+            agent.update()
+        after = agent.target_actor.linear.weight.value
+        assert not np.array_equal(before, after)
+
+
+class TestLearnability:
+    def test_learns_state_dependent_action(self):
+        """A contextual-bandit sanity check: reward = -(a - target(s))²
+        with target(s) = 1 + 2·s₀. After training, the actor's action
+        should track the target much better than at initialisation."""
+        rng = np.random.default_rng(3)
+        config = DDPGConfig(warmup=64, batch_size=64, gamma=0.0)
+        agent = DDPGAgent(
+            2, config=config,
+            noise=GaussianNoise(sigma=1.0, decay=1.0, rng=4), rng=5,
+        )
+
+        def target(state):
+            return 1.0 + 2.0 * state[0]
+
+        def evaluate():
+            states = [rng.normal(size=2) * 0.5 + 0.5 for _ in range(100)]
+            return float(
+                np.mean(
+                    [
+                        (agent.act(s, explore=False) - target(s)) ** 2
+                        for s in states
+                    ]
+                )
+            )
+
+        initial_mse = evaluate()
+        for step in range(4000):
+            state = rng.normal(size=2) * 0.5 + 0.5
+            action = agent.act(state, explore=True)
+            reward = -((action - target(state)) ** 2)
+            next_state = rng.normal(size=2) * 0.5 + 0.5
+            agent.observe(state, action, reward, next_state)
+            if agent.ready:
+                agent.update()
+        final_mse = evaluate()
+        assert final_mse < initial_mse
+        assert final_mse < 0.4

@@ -1,0 +1,178 @@
+"""Gradient checks and behaviour tests for the NN layers."""
+
+import numpy as np
+import pytest
+
+from repro.rl.layers import BatchNorm1d, Linear, ReLU, Sequential
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    """Central finite differences of a scalar function f at array x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        old = x[idx]
+        x[idx] = old + eps
+        hi = f()
+        x[idx] = old - eps
+        lo = f()
+        x[idx] = old
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 3, rng)
+        out = layer.forward(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_matches_manual(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(2, 2, rng)
+        x = np.array([[1.0, 2.0]])
+        expected = x @ layer.weight.value.T + layer.bias.value
+        assert np.allclose(layer.forward(x), expected)
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(2, 2, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_weight_gradient_check(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2))
+
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(2.0 * out)
+        numeric = numeric_gradient(loss, layer.weight.value)
+        assert np.allclose(layer.weight.grad, numeric, atol=1e-4)
+
+    def test_bias_gradient_check(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2))
+
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(2.0 * out)
+        numeric = numeric_gradient(loss, layer.bias.value)
+        assert np.allclose(layer.bias.grad, numeric, atol=1e-4)
+
+    def test_input_gradient_check(self):
+        rng = np.random.default_rng(3)
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2))
+
+        out = layer.forward(x)
+        grad_x = layer.backward(2.0 * out)
+        numeric = numeric_gradient(loss, x)
+        assert np.allclose(grad_x, numeric, atol=1e-4)
+
+
+class TestReLU:
+    def test_forward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]])
+        assert np.array_equal(relu.forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks_negative(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 3.0]])
+        relu.forward(x)
+        grad = relu.backward(np.array([[5.0, 5.0]]))
+        assert np.array_equal(grad, [[0.0, 5.0]])
+
+    def test_no_parameters(self):
+        assert ReLU().parameters() == []
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self):
+        bn = BatchNorm1d(3)
+        rng = np.random.default_rng(4)
+        x = rng.normal(loc=5.0, scale=2.0, size=(64, 3))
+        out = bn.forward(x, training=True)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-8)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_running_stats_track(self):
+        bn = BatchNorm1d(2, momentum=0.5)
+        x = np.full((16, 2), 4.0) + np.random.default_rng(5).normal(
+            size=(16, 2)
+        )
+        for _ in range(50):
+            bn.forward(x, training=True)
+        assert np.allclose(bn.running_mean, x.mean(axis=0), atol=0.2)
+
+    def test_eval_mode_uses_running_stats(self):
+        bn = BatchNorm1d(2)
+        rng = np.random.default_rng(6)
+        for _ in range(100):
+            bn.forward(rng.normal(size=(32, 2)), training=True)
+        single = bn.forward(np.zeros((1, 2)), training=False)
+        expected = (
+            bn.gamma.value
+            * (0.0 - bn.running_mean)
+            / np.sqrt(bn.running_var + bn.eps)
+            + bn.beta.value
+        )
+        assert np.allclose(single, expected)
+
+    def test_gradient_check(self):
+        bn = BatchNorm1d(3)
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(8, 3))
+        bn.gamma.value[:] = rng.normal(size=3)
+        bn.beta.value[:] = rng.normal(size=3)
+
+        def loss():
+            return float(np.sum(bn.forward(x, training=True) ** 2))
+
+        bn.zero_grad()
+        out = bn.forward(x, training=True)
+        grad_x = bn.backward(2.0 * out)
+        assert np.allclose(grad_x, numeric_gradient(loss, x), atol=1e-4)
+        # Parameter grads.
+        bn.zero_grad()
+        out = bn.forward(x, training=True)
+        bn.backward(2.0 * out)
+        assert np.allclose(
+            bn.gamma.grad, numeric_gradient(loss, bn.gamma.value), atol=1e-4
+        )
+        assert np.allclose(
+            bn.beta.grad, numeric_gradient(loss, bn.beta.value), atol=1e-4
+        )
+
+
+class TestSequential:
+    def test_chain_gradient_check(self):
+        rng = np.random.default_rng(8)
+        net = Sequential(Linear(4, 5, rng), ReLU(), Linear(5, 1, rng))
+        x = rng.normal(size=(6, 4))
+
+        def loss():
+            return float(np.sum(net.forward(x, training=True) ** 2))
+
+        out = net.forward(x, training=True)
+        grad_x = net.backward(2.0 * out)
+        assert np.allclose(grad_x, numeric_gradient(loss, x), atol=1e-4)
+
+    def test_parameters_collected(self):
+        rng = np.random.default_rng(9)
+        net = Sequential(Linear(2, 3, rng), ReLU(), Linear(3, 1, rng))
+        assert len(net.parameters()) == 4

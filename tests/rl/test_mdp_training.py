@@ -1,0 +1,178 @@
+"""Tests for the sampling MDP episode driver and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import powerlaw_cluster
+from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.rl.mdp import AgentWeight, SamplingEpisode
+from repro.rl.training import (
+    TrainingConfig,
+    make_training_streams,
+    train_weight_policy,
+)
+from repro.streams.scenarios import light_deletion_stream
+from repro.weights.features import state_dimension
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return powerlaw_cluster(120, m=4, triangle_probability=0.7, rng=0)
+
+
+@pytest.fixture(scope="module")
+def stream(edges):
+    return light_deletion_stream(edges, beta_l=0.2, rng=1)
+
+
+def make_agent(warmup=32):
+    return DDPGAgent(
+        state_dimension(3),
+        config=DDPGConfig(warmup=warmup, batch_size=32),
+        rng=0,
+    )
+
+
+class TestAgentWeight:
+    def test_records_state_and_action(self, stream):
+        agent = make_agent()
+        weight_fn = AgentWeight(agent)
+        from repro.samplers.wsd import WSD
+
+        sampler = WSD("triangle", 40, weight_fn, rng=2)
+        for event in stream[:50]:
+            sampler.process(event)
+        assert weight_fn.last_state is not None
+        assert weight_fn.last_state.shape == (6,)
+        assert weight_fn.last_action is not None
+        assert weight_fn.last_action > 0
+
+    def test_reset_clears(self, stream):
+        agent = make_agent()
+        weight_fn = AgentWeight(agent)
+        from repro.samplers.wsd import WSD
+
+        sampler = WSD("triangle", 40, weight_fn, rng=2)
+        sampler.process(stream[0])
+        weight_fn.reset()
+        assert weight_fn.last_state is None
+
+
+class TestSamplingEpisode:
+    def test_invalid_reward_scale(self):
+        with pytest.raises(ConfigurationError):
+            SamplingEpisode(make_agent(), "triangle", 40, reward_scale="huge")
+
+    def test_run_produces_transitions(self, stream):
+        agent = make_agent()
+        episode = SamplingEpisode(agent, "triangle", 40, rng=3)
+        stats = episode.run(stream, learn=False)
+        # One transition per insertion pair.
+        assert stats.transitions == stream.num_insertions - 1
+        assert len(agent.replay) == stats.transitions
+
+    def test_rewards_telescope_to_final_error(self, stream):
+        """Σ r_k = ε(t_1) − ε(t_N) (Eq. 26); with ε(t_1) measured after
+        the first insertion, the telescoped total matches first − final."""
+        agent = make_agent()
+        episode = SamplingEpisode(agent, "triangle", 40, rng=4)
+        stats = episode.run(stream, learn=False)
+        # total_reward telescopes: ε(first) − ε(final) == total.
+        assert stats.final_error >= 0.0
+        # Cross-check: replay rewards sum equals total_reward.
+        rewards = agent.replay._rewards[: len(agent.replay), 0]
+        assert float(np.sum(rewards)) == pytest.approx(stats.total_reward)
+
+    def test_learning_updates_happen(self, stream):
+        agent = make_agent(warmup=32)
+        episode = SamplingEpisode(agent, "triangle", 40, rng=5)
+        stats = episode.run(stream, learn=True, update_every=4)
+        assert stats.updates > 0
+        assert agent.updates == stats.updates
+
+    def test_max_updates_cap(self, stream):
+        agent = make_agent(warmup=32)
+        episode = SamplingEpisode(agent, "triangle", 40, rng=6)
+        stats = episode.run(stream, learn=True, update_every=1, max_updates=7)
+        assert stats.updates <= 7
+
+    def test_absolute_reward_scale(self, stream):
+        agent = make_agent()
+        episode = SamplingEpisode(
+            agent, "triangle", 40, reward_scale="absolute", rng=7
+        )
+        stats = episode.run(stream, learn=False)
+        assert np.isfinite(stats.total_reward)
+
+
+class TestMakeTrainingStreams:
+    def test_count_and_determinism(self, edges):
+        streams = make_training_streams(edges, "light", 4, beta=0.2, seed=9)
+        again = make_training_streams(edges, "light", 4, beta=0.2, seed=9)
+        assert len(streams) == 4
+        assert streams == again
+
+    def test_streams_differ_from_each_other(self, edges):
+        streams = make_training_streams(edges, "light", 3, beta=0.3, seed=9)
+        assert streams[0] != streams[1]
+
+    def test_massive_scenario(self, edges):
+        streams = make_training_streams(
+            edges, "massive", 2, alpha=0.02, beta=0.6, seed=9
+        )
+        assert any(s.num_deletions > 0 for s in streams)
+
+
+class TestTrainWeightPolicy:
+    def test_returns_policy_with_metadata(self, edges):
+        streams = make_training_streams(edges, "light", 2, beta=0.2, seed=1)
+        result = train_weight_policy(
+            streams, "triangle", 40,
+            config=TrainingConfig(iterations=30, num_streams=2),
+            seed=2,
+        )
+        assert result.policy.state_dim == 6
+        assert result.policy.metadata["pattern"] == "triangle"
+        assert result.total_updates == 30
+
+    def test_empty_streams_rejected(self):
+        with pytest.raises(ConfigurationError):
+            train_weight_policy([], "triangle", 40)
+
+    def test_invalid_config(self, edges):
+        streams = make_training_streams(edges, "light", 1, beta=0.2, seed=1)
+        with pytest.raises(ConfigurationError):
+            train_weight_policy(
+                streams, "triangle", 40,
+                config=TrainingConfig(iterations=0),
+            )
+
+    def test_deterministic_given_seed(self, edges):
+        streams = make_training_streams(edges, "light", 2, beta=0.2, seed=1)
+        config = TrainingConfig(iterations=20, num_streams=2)
+        a = train_weight_policy(streams, "triangle", 40, config=config, seed=5)
+        b = train_weight_policy(streams, "triangle", 40, config=config, seed=5)
+        assert np.array_equal(a.policy.weights, b.policy.weights)
+        assert a.policy.bias == b.policy.bias
+
+    def test_trained_policy_usable_by_wsd(self, edges, stream):
+        from repro.samplers.wsd import WSD
+        from repro.weights.learned import LearnedWeight
+
+        streams = make_training_streams(edges, "light", 2, beta=0.2, seed=1)
+        result = train_weight_policy(
+            streams, "triangle", 40,
+            config=TrainingConfig(iterations=40, num_streams=2), seed=3,
+        )
+        sampler = WSD("triangle", 40, LearnedWeight(result.policy), rng=4)
+        estimate = sampler.process_stream(stream)
+        assert np.isfinite(estimate)
+
+    def test_wedge_pattern_dimension(self, edges):
+        streams = make_training_streams(edges, "light", 1, beta=0.2, seed=1)
+        result = train_weight_policy(
+            streams, "wedge", 40,
+            config=TrainingConfig(iterations=10, num_streams=1), seed=3,
+        )
+        assert result.policy.state_dim == 5

@@ -1,0 +1,193 @@
+"""Tests for actor/critic networks, optimisers, replay, and noise."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rl.networks import ActorNetwork, CriticNetwork
+from repro.rl.noise import GaussianNoise, OrnsteinUhlenbeckNoise
+from repro.rl.optim import SGD, Adam
+from repro.rl.replay import ReplayBuffer
+from repro.rl.tensors import Parameter
+
+
+class TestActor:
+    def test_action_at_least_one(self):
+        actor = ActorNetwork(4, np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            assert actor.action(rng.normal(size=4)) >= 1.0
+
+    def test_forward_shape(self):
+        actor = ActorNetwork(4, np.random.default_rng(0))
+        out = actor.forward(np.zeros((7, 4)))
+        assert out.shape == (7, 1)
+
+    def test_relu_plus_one_formula(self):
+        actor = ActorNetwork(2, np.random.default_rng(0))
+        actor.linear.weight.value[:] = [[1.0, -1.0]]
+        actor.linear.bias.value[:] = [0.5]
+        assert actor.action(np.array([1.0, 0.0])) == pytest.approx(2.5)
+        assert actor.action(np.array([0.0, 10.0])) == pytest.approx(1.0)
+
+    def test_copy_and_soft_update(self):
+        a = ActorNetwork(3, np.random.default_rng(0))
+        b = ActorNetwork(3, np.random.default_rng(1))
+        b.copy_from(a)
+        assert np.array_equal(
+            a.linear.weight.value, b.linear.weight.value
+        )
+        old = b.linear.weight.value.copy()
+        a.linear.weight.value += 1.0
+        b.soft_update_from(a, tau=0.1)
+        expected = 0.9 * old + 0.1 * a.linear.weight.value
+        assert np.allclose(b.linear.weight.value, expected)
+
+
+class TestCritic:
+    def test_forward_shape(self):
+        critic = CriticNetwork(4, rng=np.random.default_rng(0))
+        q = critic.forward(np.zeros((8, 4)), np.zeros((8, 1)))
+        assert q.shape == (8, 1)
+
+    def test_accepts_flat_actions(self):
+        critic = CriticNetwork(4, rng=np.random.default_rng(0))
+        q = critic.forward(np.zeros((8, 4)), np.zeros(8))
+        assert q.shape == (8, 1)
+
+    def test_backward_splits_state_action(self):
+        critic = CriticNetwork(4, rng=np.random.default_rng(0))
+        q = critic.forward(
+            np.random.default_rng(1).normal(size=(8, 4)),
+            np.random.default_rng(2).normal(size=(8, 1)),
+            training=True,
+        )
+        grad_s, grad_a = critic.backward(np.ones_like(q))
+        assert grad_s.shape == (8, 4)
+        assert grad_a.shape == (8, 1)
+
+    def test_hidden_width_is_ten_by_default(self):
+        critic = CriticNetwork(4, rng=np.random.default_rng(0))
+        assert critic.hidden == 10
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        optimiser = Adam([p], lr=0.1)
+        for _ in range(500):
+            p.zero_grad()
+            p.grad += 2.0 * p.value
+            optimiser.step()
+        assert np.allclose(p.value, 0.0, atol=1e-3)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ConfigurationError):
+            Adam([], lr=0.0)
+
+    def test_bias_correction_first_step(self):
+        p = Parameter(np.array([1.0]))
+        optimiser = Adam([p], lr=0.1)
+        p.grad[:] = 1.0
+        optimiser.step()
+        # First Adam step is ~lr * sign(grad).
+        assert p.value[0] == pytest.approx(1.0 - 0.1, abs=1e-6)
+
+
+class TestSGD:
+    def test_step(self):
+        p = Parameter(np.array([2.0]))
+        optimiser = SGD([p], lr=0.5)
+        p.grad[:] = 1.0
+        optimiser.step()
+        assert p.value[0] == pytest.approx(1.5)
+
+    def test_momentum_accelerates(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([1.0]))
+        plain = SGD([p1], lr=0.1)
+        momentum = SGD([p2], lr=0.1, momentum=0.9)
+        for _ in range(5):
+            p1.grad[:] = 1.0
+            p2.grad[:] = 1.0
+            plain.step()
+            momentum.step()
+            p1.zero_grad()
+            p2.zero_grad()
+        assert p2.value[0] < p1.value[0]
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD([], momentum=1.0)
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buf = ReplayBuffer(3, capacity=10, rng=0)
+        buf.push(np.zeros(3), 1.0, 0.5, np.ones(3))
+        assert len(buf) == 1
+
+    def test_capacity_wraps(self):
+        buf = ReplayBuffer(2, capacity=4, rng=0)
+        for i in range(10):
+            buf.push(np.full(2, i), float(i), 0.0, np.zeros(2))
+        assert len(buf) == 4
+        batch = buf.sample(32)
+        # Only the last 4 states survive.
+        assert set(batch.states[:, 0].astype(int)) <= {6, 7, 8, 9}
+
+    def test_sample_shapes(self):
+        buf = ReplayBuffer(5, capacity=100, rng=0)
+        for i in range(20):
+            buf.push(np.zeros(5), 0.0, 0.0, np.zeros(5))
+        batch = buf.sample(8)
+        assert batch.states.shape == (8, 5)
+        assert batch.actions.shape == (8, 1)
+        assert batch.rewards.shape == (8, 1)
+        assert batch.next_states.shape == (8, 5)
+        assert len(batch) == 8
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            ReplayBuffer(2, capacity=4, rng=0).sample(1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ReplayBuffer(2, capacity=0)
+
+
+class TestNoise:
+    def test_gaussian_decay(self):
+        noise = GaussianNoise(sigma=1.0, decay=0.5, min_sigma=0.1, rng=0)
+        noise.reset()
+        assert noise.sigma == 0.5
+        for _ in range(10):
+            noise.reset()
+        assert noise.sigma == pytest.approx(0.1)
+
+    def test_gaussian_statistics(self):
+        noise = GaussianNoise(sigma=2.0, rng=0)
+        samples = np.array([noise.sample() for _ in range(5000)])
+        assert abs(samples.mean()) < 0.1
+        assert abs(samples.std() - 2.0) < 0.1
+
+    def test_gaussian_invalid_sigma(self):
+        with pytest.raises(ConfigurationError):
+            GaussianNoise(sigma=-1.0)
+
+    def test_ou_mean_reverts(self):
+        noise = OrnsteinUhlenbeckNoise(theta=0.5, sigma=0.0, mu=0.0, rng=0)
+        noise._x = 10.0
+        for _ in range(50):
+            noise.sample()
+        assert abs(noise._x) < 0.1
+
+    def test_ou_reset(self):
+        noise = OrnsteinUhlenbeckNoise(rng=0)
+        noise.sample()
+        noise.reset()
+        assert noise._x == noise.mu
+
+    def test_ou_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            OrnsteinUhlenbeckNoise(theta=0.0)

@@ -1,0 +1,67 @@
+"""Tests for the deployable Policy (save/load, Eq. 27 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PolicyError
+from repro.rl.networks import ActorNetwork
+from repro.rl.policy import Policy
+
+
+class TestPolicy:
+    def test_relu_plus_one(self):
+        policy = Policy(weights=np.array([1.0, -1.0]), bias=0.0)
+        assert policy.action(np.array([2.0, 0.0])) == 3.0
+        assert policy.action(np.array([0.0, 5.0])) == 1.0
+
+    def test_minimum_action_is_one(self):
+        policy = Policy(weights=np.array([-10.0]), bias=-10.0)
+        assert policy.action(np.array([100.0])) == 1.0
+
+    def test_dim_mismatch_raises(self):
+        policy = Policy(weights=np.ones(3), bias=0.0)
+        with pytest.raises(PolicyError):
+            policy.action(np.ones(4))
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(PolicyError):
+            Policy(weights=np.array([]), bias=0.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(PolicyError):
+            Policy(weights=np.array([np.nan]), bias=0.0)
+        with pytest.raises(PolicyError):
+            Policy(weights=np.array([1.0]), bias=np.inf)
+
+    def test_from_actor_matches_network(self):
+        actor = ActorNetwork(4, np.random.default_rng(0))
+        policy = Policy.from_actor(actor, metadata={"pattern": "triangle"})
+        state = np.random.default_rng(1).normal(size=4)
+        assert policy.action(state) == pytest.approx(actor.action(state))
+        assert policy.metadata["pattern"] == "triangle"
+
+    def test_save_load_round_trip(self, tmp_path):
+        policy = Policy(
+            weights=np.array([0.5, -0.25, 1.0]),
+            bias=0.125,
+            metadata={"pattern": "wedge", "iterations": 100},
+        )
+        path = tmp_path / "policy.npz"
+        policy.save(path)
+        loaded = Policy.load(path)
+        assert np.array_equal(loaded.weights, policy.weights)
+        assert loaded.bias == policy.bias
+        assert loaded.metadata == policy.metadata
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(PolicyError):
+            Policy.load(tmp_path / "missing.npz")
+
+    def test_load_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, something=np.ones(3))
+        with pytest.raises(PolicyError):
+            Policy.load(path)
+
+    def test_state_dim(self):
+        assert Policy(weights=np.ones(6), bias=0.0).state_dim == 6

@@ -1,0 +1,67 @@
+"""Tests for the shared sampler base class behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.stream import EdgeEvent
+from repro.samplers.thinkd import ThinkD
+from repro.samplers.wsd import WSD
+from repro.weights.heuristic import UniformWeight
+
+
+class TestBaseBehaviour:
+    def test_time_advances_per_event(self):
+        sampler = ThinkD("triangle", 10, rng=0)
+        assert sampler.time == 0
+        sampler.process(EdgeEvent.insertion(1, 2))
+        assert sampler.time == 1
+        sampler.process(EdgeEvent.deletion(1, 2))
+        assert sampler.time == 2
+
+    def test_process_stream_accepts_generator(self):
+        sampler = ThinkD("triangle", 10, rng=0)
+        events = (EdgeEvent.insertion(i, i + 100) for i in range(5))
+        sampler.process_stream(events)
+        assert sampler.time == 5
+
+    def test_process_stream_returns_property_estimate(self):
+        # Regression test: Triest overrides `estimate` as a property;
+        # process_stream must honour the override (not _estimate).
+        from repro.samplers.triest import Triest
+
+        sampler = Triest("triangle", 100, rng=0)
+        result = sampler.process_stream(
+            [
+                EdgeEvent.insertion(1, 2),
+                EdgeEvent.insertion(2, 3),
+                EdgeEvent.insertion(1, 3),
+            ]
+        )
+        assert result == sampler.estimate == pytest.approx(3.0 / 3.0 * 1)
+
+    def test_budget_validation_message_mentions_pattern(self):
+        with pytest.raises(ConfigurationError, match="M >= |H|"):
+            WSD("4-clique", 5, UniformWeight())
+
+    def test_repr_contains_key_fields(self):
+        sampler = WSD("triangle", 10, UniformWeight(), rng=0)
+        text = repr(sampler)
+        assert "triangle" in text
+        assert "M=10" in text
+
+    def test_observers_list_starts_empty(self):
+        sampler = ThinkD("triangle", 10, rng=0)
+        assert sampler.instance_observers == []
+
+    def test_multiple_observers_all_called(self):
+        sampler = WSD("triangle", 10, UniformWeight(), rng=0)
+        calls = {"a": 0, "b": 0}
+        sampler.instance_observers.append(
+            lambda *args: calls.__setitem__("a", calls["a"] + 1)
+        )
+        sampler.instance_observers.append(
+            lambda *args: calls.__setitem__("b", calls["b"] + 1)
+        )
+        for u, v in [(1, 2), (2, 3), (1, 3)]:
+            sampler.process(EdgeEvent.insertion(u, v))
+        assert calls["a"] == calls["b"] == 1

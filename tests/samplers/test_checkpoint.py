@@ -1,0 +1,113 @@
+"""Tests for WSD checkpoint/restore."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import powerlaw_cluster
+from repro.samplers.checkpoint import (
+    load_wsd,
+    restore_wsd,
+    save_wsd,
+    wsd_state_dict,
+)
+from repro.samplers.wsd import WSD
+from repro.streams.scenarios import light_deletion_stream
+from repro.weights.heuristic import GPSHeuristicWeight
+
+
+@pytest.fixture(scope="module")
+def stream():
+    edges = powerlaw_cluster(100, m=4, triangle_probability=0.7, rng=0)
+    return light_deletion_stream(edges, beta_l=0.3, rng=1)
+
+
+def fresh_sampler(seed=7):
+    return WSD("triangle", 40, GPSHeuristicWeight(), rng=seed)
+
+
+class TestCheckpoint:
+    def test_round_trip_preserves_state(self, stream):
+        sampler = fresh_sampler()
+        for event in stream[: len(stream) // 2]:
+            sampler.process(event)
+        state = wsd_state_dict(sampler)
+        restored = restore_wsd(state, GPSHeuristicWeight())
+        assert restored.estimate == sampler.estimate
+        assert restored.tau_p == sampler.tau_p
+        assert restored.tau_q == sampler.tau_q
+        assert restored.time == sampler.time
+        assert set(restored.sampled_edges()) == set(sampler.sampled_edges())
+
+    def test_resume_equals_uninterrupted(self, stream):
+        """Checkpoint mid-stream, restore, finish: identical to a run
+        that never stopped (same rng continuation)."""
+        half = len(stream) // 2
+        uninterrupted = fresh_sampler()
+        uninterrupted.process_stream(stream)
+
+        first = fresh_sampler()
+        for event in stream[:half]:
+            first.process(event)
+        restored = restore_wsd(
+            wsd_state_dict(first), GPSHeuristicWeight()
+        )
+        for event in stream[half:]:
+            restored.process(event)
+        assert restored.estimate == pytest.approx(uninterrupted.estimate)
+        assert set(restored.sampled_edges()) == set(
+            uninterrupted.sampled_edges()
+        )
+        assert restored.tau_q == pytest.approx(uninterrupted.tau_q)
+
+    def test_state_is_json_serialisable(self, stream):
+        sampler = fresh_sampler()
+        for event in stream[:200]:
+            sampler.process(event)
+        text = json.dumps(wsd_state_dict(sampler))
+        assert json.loads(text)["pattern"] == "triangle"
+
+    def test_file_round_trip(self, stream, tmp_path):
+        sampler = fresh_sampler()
+        for event in stream[:300]:
+            sampler.process(event)
+        path = tmp_path / "wsd.json"
+        save_wsd(sampler, path)
+        restored = load_wsd(path, GPSHeuristicWeight())
+        assert restored.estimate == sampler.estimate
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_wsd(tmp_path / "missing.json", GPSHeuristicWeight())
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_wsd(path, GPSHeuristicWeight())
+
+    def test_unsupported_format_version(self, stream):
+        sampler = fresh_sampler()
+        state = wsd_state_dict(sampler)
+        state["format"] = 999
+        with pytest.raises(ConfigurationError):
+            restore_wsd(state, GPSHeuristicWeight())
+
+    def test_string_vertices_supported(self):
+        sampler = WSD("triangle", 10, GPSHeuristicWeight(), rng=0)
+        from repro.graph.stream import EdgeEvent
+
+        sampler.process(EdgeEvent.insertion("alice", "bob"))
+        restored = restore_wsd(
+            wsd_state_dict(sampler), GPSHeuristicWeight()
+        )
+        assert ("alice", "bob") in set(restored.sampled_edges())
+
+    def test_unsupported_vertex_type_rejected(self):
+        sampler = WSD("triangle", 10, GPSHeuristicWeight(), rng=0)
+        from repro.graph.stream import EdgeEvent
+
+        sampler.process(EdgeEvent.insertion((1, 2), (3, 4)))
+        with pytest.raises(ConfigurationError):
+            wsd_state_dict(sampler)

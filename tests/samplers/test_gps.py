@@ -1,0 +1,143 @@
+"""Tests for GPS (insertion-only) and GPS-A (lazy deletion tags)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplerError
+from repro.graph.generators import forest_fire, powerlaw_cluster
+from repro.graph.stream import EdgeEvent, EdgeStream
+from repro.patterns.exact import ExactCounter
+from repro.samplers.gps import GPS
+from repro.samplers.gps_a import GPSA
+from repro.streams.scenarios import light_deletion_stream
+from repro.weights.heuristic import GPSHeuristicWeight, UniformWeight
+
+
+class TestGPS:
+    def test_rejects_deletions(self):
+        sampler = GPS("triangle", 10, UniformWeight(), rng=0)
+        sampler.process(EdgeEvent.insertion(1, 2))
+        with pytest.raises(SamplerError):
+            sampler.process(EdgeEvent.deletion(1, 2))
+
+    def test_threshold_zero_until_full(self):
+        sampler = GPS("triangle", 10, UniformWeight(), rng=0)
+        for i in range(10):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+        assert sampler.threshold == 0.0
+
+    def test_threshold_positive_after_overflow(self):
+        sampler = GPS("triangle", 5, UniformWeight(), rng=0)
+        for i in range(10):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+        assert sampler.threshold > 0.0
+
+    def test_threshold_monotone(self):
+        sampler = GPS("triangle", 5, UniformWeight(), rng=0)
+        last = 0.0
+        for i in range(50):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+            assert sampler.threshold >= last
+            last = sampler.threshold
+
+    def test_reservoir_keeps_top_ranks(self):
+        """Every sampled edge's rank must exceed the threshold r_{M+1}."""
+        sampler = GPS("triangle", 5, UniformWeight(), rng=1)
+        for i in range(50):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+        for edge in sampler.sampled_edges():
+            assert sampler._reservoir.priority(edge) > sampler.threshold
+
+    def test_unbiased_insertion_only(self):
+        edges = powerlaw_cluster(100, m=4, triangle_probability=0.7, rng=2)
+        stream = EdgeStream.from_edges(edges)
+        truth = ExactCounter("triangle").process_stream(stream)
+        estimates = [
+            GPS("triangle", 60, GPSHeuristicWeight(), rng=s).process_stream(
+                stream
+            )
+            for s in range(400)
+        ]
+        mean = float(np.mean(estimates))
+        stderr = float(np.std(estimates) / np.sqrt(len(estimates)))
+        assert abs(mean - truth) < max(4 * stderr, 0.05 * truth)
+
+    def test_budget_respected(self):
+        sampler = GPS("triangle", 7, UniformWeight(), rng=0)
+        for i in range(100):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+            assert sampler.sample_size <= 7
+
+
+class TestGPSA:
+    def test_tag_keeps_slot_occupied(self):
+        sampler = GPSA("triangle", 5, UniformWeight(), rng=0)
+        for i in range(5):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+        sampler.process(EdgeEvent.deletion(0, 100))
+        assert sampler.sample_size == 5       # ghost still occupies a slot
+        assert sampler.useful_sample_size == 4
+        assert sampler.num_tagged == 1
+
+    def test_tagged_edge_not_in_sampled_graph(self):
+        sampler = GPSA("triangle", 5, UniformWeight(), rng=0)
+        sampler.process(EdgeEvent.insertion(1, 2))
+        sampler.process(EdgeEvent.deletion(1, 2))
+        assert (1, 2) not in sampler.sampled_graph
+        assert (1, 2) not in set(sampler.sampled_edges())
+
+    def test_reinsertion_of_tagged_edge(self):
+        sampler = GPSA("triangle", 5, UniformWeight(), rng=0)
+        sampler.process(EdgeEvent.insertion(1, 2))
+        sampler.process(EdgeEvent.deletion(1, 2))
+        sampler.process(EdgeEvent.insertion(1, 2))
+        assert (1, 2) in set(sampler.sampled_edges())
+        assert sampler.num_tagged == 0
+
+    def test_deletion_of_unsampled_edge_noop_for_tags(self):
+        sampler = GPSA("triangle", 3, UniformWeight(), rng=0)
+        for i in range(30):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+        sampled = set(sampler.sampled_edges())
+        victim = next(
+            (i, i + 100) for i in range(30) if (i, i + 100) not in sampled
+        )
+        tagged_before = sampler.num_tagged
+        sampler.process(EdgeEvent.deletion(*victim))
+        assert sampler.num_tagged == tagged_before
+
+    def test_unbiased_light_deletion(self):
+        edges = powerlaw_cluster(100, m=4, triangle_probability=0.7, rng=4)
+        stream = light_deletion_stream(edges, beta_l=0.25, rng=5)
+        truth = ExactCounter("triangle").process_stream(stream)
+        assert truth > 0
+        estimates = [
+            GPSA("triangle", 60, GPSHeuristicWeight(), rng=s).process_stream(
+                stream
+            )
+            for s in range(400)
+        ]
+        mean = float(np.mean(estimates))
+        stderr = float(np.std(estimates) / np.sqrt(len(estimates)))
+        assert abs(mean - truth) < max(4 * stderr, 0.06 * truth)
+
+    def test_budget_respected_with_tags(self):
+        edges = forest_fire(120, p=0.4, rng=6)
+        stream = light_deletion_stream(edges, beta_l=0.5, rng=7)
+        sampler = GPSA("triangle", 9, UniformWeight(), rng=8)
+        for event in stream:
+            sampler.process(event)
+            assert sampler.sample_size <= 9
+            assert sampler.useful_sample_size <= sampler.sample_size
+
+    def test_matches_gps_on_insertion_only(self):
+        """With no deletions GPS-A and GPS make identical decisions given
+        the same rank randomness."""
+        edges = forest_fire(80, p=0.4, rng=9)
+        stream = EdgeStream.from_edges(edges)
+        gps = GPS("triangle", 20, GPSHeuristicWeight(), rng=11)
+        gpsa = GPSA("triangle", 20, GPSHeuristicWeight(), rng=11)
+        gps.process_stream(stream)
+        gpsa.process_stream(stream)
+        assert gps.estimate == pytest.approx(gpsa.estimate)
+        assert set(gps.sampled_edges()) == set(gpsa.sampled_edges())

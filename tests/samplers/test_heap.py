@@ -1,0 +1,157 @@
+"""Tests for the indexed min-heap."""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.samplers.heap import IndexedMinHeap
+
+
+class TestBasics:
+    def test_push_peek_pop(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 3.0)
+        heap.push("b", 1.0)
+        heap.push("c", 2.0)
+        assert heap.peek_min() == ("b", 1.0)
+        assert heap.pop_min() == ("b", 1.0)
+        assert heap.pop_min() == ("c", 2.0)
+        assert heap.pop_min() == ("a", 3.0)
+
+    def test_len_and_contains(self):
+        heap = IndexedMinHeap()
+        heap.push("x", 1.0)
+        assert len(heap) == 1
+        assert "x" in heap
+        assert "y" not in heap
+
+    def test_duplicate_key_rejected(self):
+        heap = IndexedMinHeap()
+        heap.push("x", 1.0)
+        with pytest.raises(KeyError):
+            heap.push("x", 2.0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().pop_min()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().peek_min()
+
+    def test_remove_by_key(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 3.0)
+        heap.push("b", 1.0)
+        assert heap.remove("a") == 3.0
+        assert "a" not in heap
+        assert heap.pop_min() == ("b", 1.0)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexedMinHeap().remove("nope")
+
+    def test_remove_min_element(self):
+        heap = IndexedMinHeap()
+        for key, p in [("a", 1.0), ("b", 2.0), ("c", 3.0)]:
+            heap.push(key, p)
+        heap.remove("a")
+        assert heap.peek_min() == ("b", 2.0)
+
+    def test_priority_lookup(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 7.5)
+        assert heap.priority("a") == 7.5
+        with pytest.raises(KeyError):
+            heap.priority("b")
+
+    def test_update_priority(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 5.0)
+        heap.push("b", 1.0)
+        heap.update("a", 0.5)
+        assert heap.peek_min() == ("a", 0.5)
+        heap.update("a", 9.0)
+        assert heap.peek_min() == ("b", 1.0)
+
+    def test_update_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexedMinHeap().update("a", 1.0)
+
+    def test_items_and_iter(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        assert set(heap) == {"a", "b"}
+        assert dict(heap.items()) == {"a": 1.0, "b": 2.0}
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_heapsort_matches_sorted(self, priorities):
+        heap = IndexedMinHeap()
+        for i, p in enumerate(priorities):
+            heap.push(i, p)
+        drained = [heap.pop_min()[1] for _ in range(len(priorities))]
+        assert drained == sorted(priorities)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["push", "pop", "remove"]),
+                st.integers(0, 30),
+                st.floats(0.0, 1000.0),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_against_reference_model(self, operations):
+        """Random interleavings agree with a (lazy) heapq reference."""
+        heap = IndexedMinHeap()
+        model: dict[int, float] = {}
+        for op, key, priority in operations:
+            if op == "push":
+                if key in model:
+                    continue
+                heap.push(key, priority)
+                model[key] = priority
+            elif op == "pop":
+                if not model:
+                    continue
+                popped_key, popped_priority = heap.pop_min()
+                assert popped_priority == min(model.values())
+                assert model.pop(popped_key) == popped_priority
+            else:  # remove
+                if key not in model:
+                    continue
+                assert heap.remove(key) == model.pop(key)
+            assert len(heap) == len(model)
+            if model:
+                _, current_min = heap.peek_min()
+                assert current_min == min(model.values())
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=100),
+           st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_internal_heap_invariant(self, priorities, data):
+        heap = IndexedMinHeap()
+        for i, p in enumerate(priorities):
+            heap.push(i, p)
+        # Remove a random subset, then check the array is a valid heap.
+        removable = list(range(len(priorities)))
+        k = data.draw(st.integers(0, len(removable)))
+        for key in removable[:k]:
+            heap.remove(key)
+        arr = heap._priorities
+        for i in range(len(arr)):
+            for child in (2 * i + 1, 2 * i + 2):
+                if child < len(arr):
+                    assert arr[i] <= arr[child]
+        # Position map consistent.
+        for key, pos in heap._position.items():
+            assert heap._keys[pos] == key

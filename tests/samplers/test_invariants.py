@@ -1,0 +1,194 @@
+"""Property-based invariants for every sampler over random streams.
+
+Hypothesis generates arbitrary feasible event sequences (random edge
+toggles over a small vertex set); the invariants below must hold after
+*every* event for *every* sampler:
+
+* the sample never exceeds the budget M;
+* the sampled graph mirrors the sample exactly;
+* the estimate stays finite;
+* WSD: τq <= τp whenever the reservoir has been full, and both are
+  non-decreasing;
+* observers see exactly the estimator's contributions (their sum
+  reconstructs the estimate).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.stream import EdgeEvent
+from repro.samplers.gps_a import GPSA
+from repro.samplers.thinkd import ThinkD
+from repro.samplers.thinkd_fast import ThinkDFast
+from repro.samplers.triest import Triest
+from repro.samplers.wrs import WRS
+from repro.samplers.wsd import WSD
+from repro.weights.heuristic import GPSHeuristicWeight
+
+
+@st.composite
+def feasible_streams(draw):
+    """Random feasible event sequences via edge toggling."""
+    toggles = draw(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)),
+            min_size=0,
+            max_size=150,
+        )
+    )
+    alive = set()
+    events = []
+    for u, v in toggles:
+        if u == v:
+            continue
+        edge = (min(u, v), max(u, v))
+        if edge in alive:
+            events.append(EdgeEvent.deletion(*edge))
+            alive.discard(edge)
+        else:
+            events.append(EdgeEvent.insertion(*edge))
+            alive.add(edge)
+    return events
+
+
+SAMPLER_FACTORIES = [
+    pytest.param(
+        lambda: WSD("triangle", 10, GPSHeuristicWeight(), rng=0), id="WSD"
+    ),
+    pytest.param(
+        lambda: GPSA("triangle", 10, GPSHeuristicWeight(), rng=0), id="GPSA"
+    ),
+    pytest.param(lambda: Triest("triangle", 10, rng=0), id="Triest"),
+    pytest.param(lambda: ThinkD("triangle", 10, rng=0), id="ThinkD"),
+    pytest.param(lambda: WRS("triangle", 10, rng=0), id="WRS"),
+    pytest.param(lambda: ThinkDFast("triangle", 0.5, rng=0), id="ThinkDFast"),
+]
+
+
+class TestUniversalInvariants:
+    @pytest.mark.parametrize("factory", SAMPLER_FACTORIES)
+    @given(events=feasible_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_budget_graph_and_finiteness(self, factory, events):
+        sampler = factory()
+        hard_budget = not isinstance(sampler, ThinkDFast)
+        for event in events:
+            sampler.process(event)
+            if hard_budget:
+                assert sampler.sample_size <= sampler.budget
+            assert set(sampler.sampled_edges()) == set(
+                sampler.sampled_graph.edges()
+            )
+            assert math.isfinite(sampler.estimate)
+
+    @pytest.mark.parametrize("factory", SAMPLER_FACTORIES)
+    @given(events=feasible_streams())
+    @settings(max_examples=20, deadline=None)
+    def test_sample_subset_of_alive_edges(self, factory, events):
+        sampler = factory()
+        alive = set()
+        for event in events:
+            if event.is_insertion:
+                alive.add(event.edge)
+            else:
+                alive.discard(event.edge)
+            sampler.process(event)
+            if isinstance(sampler, GPSA):
+                # GPS-A keeps tagged ghosts; only untagged edges are the
+                # useful sample.
+                sampled = set(sampler.sampled_edges())
+            else:
+                sampled = set(sampler.sampled_edges())
+            assert sampled <= alive
+
+
+class TestWSDThresholdInvariants:
+    @given(events=feasible_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_tau_monotone_and_ordered(self, events):
+        sampler = WSD("triangle", 6, GPSHeuristicWeight(), rng=1)
+        last_tau_p = 0.0
+        last_tau_q = 0.0
+        was_full = False
+        for event in events:
+            sampler.process(event)
+            assert sampler.tau_p >= last_tau_p
+            assert sampler.tau_q >= last_tau_q
+            last_tau_p, last_tau_q = sampler.tau_p, sampler.tau_q
+            was_full = was_full or sampler.sample_size == sampler.budget
+            if was_full and sampler.tau_p > 0.0:
+                assert sampler.tau_q <= sampler.tau_p
+
+    @given(events=feasible_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_ranks_exceed_tau_p_at_admission(self, events):
+        """Every reservoir entry's rank exceeded τp when admitted; since
+        τp only grows via the minimum reservoir rank, all current ranks
+        must exceed the τq threshold."""
+        sampler = WSD("triangle", 6, GPSHeuristicWeight(), rng=2)
+        for event in events:
+            sampler.process(event)
+            for edge in sampler.sampled_edges():
+                assert sampler._reservoir.priority(edge) > sampler.tau_q or (
+                    sampler.tau_q == 0.0
+                )
+
+
+class TestObserverConsistency:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            pytest.param(
+                lambda: WSD("triangle", 10, GPSHeuristicWeight(), rng=3),
+                id="WSD",
+            ),
+            pytest.param(
+                lambda: GPSA("triangle", 10, GPSHeuristicWeight(), rng=3),
+                id="GPSA",
+            ),
+            pytest.param(lambda: ThinkD("triangle", 10, rng=3), id="ThinkD"),
+            pytest.param(lambda: WRS("triangle", 10, rng=3), id="WRS"),
+            pytest.param(
+                lambda: ThinkDFast("triangle", 0.5, rng=3), id="ThinkDFast"
+            ),
+        ],
+    )
+    @given(events=feasible_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_observer_values_sum_to_estimate(self, factory, events):
+        sampler = factory()
+        seen = []
+        sampler.instance_observers.append(
+            lambda trigger, instance, value: seen.append(value)
+        )
+        for event in events:
+            sampler.process(event)
+        assert sum(seen) == pytest.approx(sampler.estimate, abs=1e-9)
+
+    @given(events=feasible_streams())
+    @settings(max_examples=20, deadline=None)
+    def test_observer_instances_reference_current_or_trigger_edges(
+        self, events
+    ):
+        sampler = WSD("triangle", 10, GPSHeuristicWeight(), rng=4)
+        records = []
+        sampler.instance_observers.append(
+            lambda trigger, instance, value: records.append(
+                (trigger, instance)
+            )
+        )
+        for event in events:
+            records.clear()
+            sampler.process(event)
+            for trigger, instance in records:
+                assert trigger == event.edge
+                # Other edges were sampled at emission time; they form a
+                # valid triangle with the trigger.
+                vertices = set(trigger)
+                for a, b in instance:
+                    vertices.update((a, b))
+                assert len(vertices) == 3

@@ -1,0 +1,105 @@
+"""Tests for rank functions: sampling law vs closed-form probability."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.samplers.ranks import (
+    ExponentialRank,
+    InverseUniformRank,
+    get_rank_function,
+)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(
+            get_rank_function("inverse-uniform"), InverseUniformRank
+        )
+        assert isinstance(get_rank_function("exponential"), ExponentialRank)
+
+    def test_passthrough(self):
+        rank = InverseUniformRank()
+        assert get_rank_function(rank) is rank
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_rank_function("bogus")
+
+
+@pytest.mark.parametrize(
+    "rank_fn", [InverseUniformRank(), ExponentialRank()],
+    ids=["inverse-uniform", "exponential"],
+)
+class TestRankContracts:
+    def test_positive_ranks(self, rank_fn):
+        rng = np.random.default_rng(0)
+        ranks = [rank_fn.rank(2.0, rng) for _ in range(200)]
+        assert all(r > 0 for r in ranks)
+
+    def test_zero_weight_rejected(self, rank_fn):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            rank_fn.rank(0.0, rng)
+
+    def test_probability_one_at_zero_threshold(self, rank_fn):
+        assert rank_fn.inclusion_probability(3.0, 0.0) == 1.0
+
+    def test_probability_monotone_in_weight(self, rank_fn):
+        threshold = 0.5
+        probs = [
+            rank_fn.inclusion_probability(w, threshold)
+            for w in (0.5, 1.0, 2.0, 4.0)
+        ]
+        assert all(a <= b for a, b in zip(probs, probs[1:]))
+
+    def test_probability_decreasing_in_threshold(self, rank_fn):
+        probs = [
+            rank_fn.inclusion_probability(1.0, t) for t in (0.1, 0.3, 0.6, 0.9)
+        ]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_probability_in_unit_interval(self, rank_fn):
+        for w in (0.2, 1.0, 10.0):
+            for t in (0.0, 0.5, 1.0, 5.0):
+                assert 0.0 <= rank_fn.inclusion_probability(w, t) <= 1.0
+
+    @pytest.mark.parametrize("weight", [0.5, 1.0, 3.0])
+    @pytest.mark.parametrize("threshold_quantile", [0.3, 0.7])
+    def test_empirical_law_matches_formula(
+        self, rank_fn, weight, threshold_quantile
+    ):
+        """Empirical P[rank > τ] matches inclusion_probability within
+        Monte-Carlo tolerance — the property every estimator relies on."""
+        rng = np.random.default_rng(42)
+        samples = np.array([rank_fn.rank(weight, rng) for _ in range(20_000)])
+        threshold = float(np.quantile(samples, threshold_quantile))
+        empirical = float(np.mean(samples > threshold))
+        expected = rank_fn.inclusion_probability(weight, threshold)
+        assert abs(empirical - expected) < 0.02
+
+
+class TestInverseUniformSpecifics:
+    def test_rank_at_least_weight(self):
+        rng = np.random.default_rng(1)
+        fn = InverseUniformRank()
+        assert all(fn.rank(3.0, rng) >= 3.0 for _ in range(100))
+
+    def test_probability_formula(self):
+        fn = InverseUniformRank()
+        assert fn.inclusion_probability(1.0, 4.0) == 0.25
+        assert fn.inclusion_probability(8.0, 4.0) == 1.0
+
+
+class TestExponentialSpecifics:
+    def test_rank_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        fn = ExponentialRank()
+        ranks = [fn.rank(2.0, rng) for _ in range(100)]
+        assert all(0.0 < r <= 1.0 for r in ranks)
+
+    def test_probability_formula(self):
+        fn = ExponentialRank()
+        assert fn.inclusion_probability(1.0, 0.25) == 0.75
+        assert fn.inclusion_probability(2.0, 0.5) == pytest.approx(0.75)
+        assert fn.inclusion_probability(1.0, 1.5) == 0.0

@@ -1,0 +1,84 @@
+"""Tests for ThinkD-FAST (Bernoulli variant)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import powerlaw_cluster
+from repro.graph.stream import EdgeEvent
+from repro.patterns.exact import ExactCounter
+from repro.samplers.thinkd_fast import ThinkDFast
+from repro.streams.scenarios import light_deletion_stream
+
+
+@pytest.fixture(scope="module")
+def workload():
+    edges = powerlaw_cluster(100, m=4, triangle_probability=0.7, rng=0)
+    stream = light_deletion_stream(edges, beta_l=0.25, rng=1)
+    truth = ExactCounter("triangle").process_stream(stream)
+    return stream, truth
+
+
+class TestThinkDFast:
+    def test_probability_validated(self):
+        with pytest.raises(ConfigurationError):
+            ThinkDFast("triangle", 0.0)
+        with pytest.raises(ConfigurationError):
+            ThinkDFast("triangle", 1.5)
+
+    def test_p_one_is_exact(self, workload):
+        stream, truth = workload
+        est = ThinkDFast("triangle", 1.0, rng=0).process_stream(stream)
+        assert est == pytest.approx(truth)
+
+    def test_sample_size_binomial(self, workload):
+        stream, _ = workload
+        p = 0.3
+        sizes = []
+        alive = stream.final_edge_count()
+        for seed in range(60):
+            sampler = ThinkDFast("triangle", p, rng=seed)
+            sampler.process_stream(stream)
+            sizes.append(sampler.sample_size)
+        assert abs(np.mean(sizes) - p * alive) < 0.12 * p * alive + 3
+
+    def test_unbiased(self, workload):
+        stream, truth = workload
+        estimates = [
+            ThinkDFast("triangle", 0.4, rng=s).process_stream(stream)
+            for s in range(400)
+        ]
+        mean = float(np.mean(estimates))
+        stderr = float(np.std(estimates) / np.sqrt(len(estimates)))
+        assert abs(mean - truth) < max(4 * stderr, 0.06 * truth)
+
+    def test_deletion_removes_sampled_edge(self):
+        sampler = ThinkDFast("triangle", 1.0, rng=0)
+        sampler.process(EdgeEvent.insertion(1, 2))
+        assert sampler.sample_size == 1
+        sampler.process(EdgeEvent.deletion(1, 2))
+        assert sampler.sample_size == 0
+
+    def test_estimate_returns_to_zero(self):
+        sampler = ThinkDFast("triangle", 1.0, rng=0)
+        events = [
+            EdgeEvent.insertion(1, 2),
+            EdgeEvent.insertion(2, 3),
+            EdgeEvent.insertion(1, 3),
+        ]
+        for event in events:
+            sampler.process(event)
+        for event in reversed(events):
+            sampler.process(EdgeEvent.deletion(*event.edge))
+        assert sampler.estimate == pytest.approx(0.0)
+
+    def test_instance_observer_sees_contributions(self, workload):
+        stream, _ = workload
+        sampler = ThinkDFast("triangle", 0.5, rng=3)
+        seen = []
+        sampler.instance_observers.append(
+            lambda trigger, instance, value: seen.append(value)
+        )
+        sampler.process_stream(stream)
+        assert seen
+        assert sum(seen) == pytest.approx(sampler.estimate)

@@ -1,0 +1,265 @@
+"""Tests for WSD: Algorithm 1 case behaviour, Lemma 1, Theorem 4."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SamplerError
+from repro.graph.generators import forest_fire, powerlaw_cluster
+from repro.graph.stream import EdgeEvent, EdgeStream
+from repro.patterns.exact import ExactCounter
+from repro.samplers.wsd import WSD
+from repro.streams.scenarios import light_deletion_stream, massive_deletion_stream
+from repro.weights.heuristic import GPSHeuristicWeight, UniformWeight
+
+
+def make_wsd(budget=50, pattern="triangle", weight=None, rng=0, **kw):
+    return WSD(pattern, budget, weight or UniformWeight(), rng=rng, **kw)
+
+
+class TestConstruction:
+    def test_budget_below_pattern_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WSD("triangle", 2, UniformWeight())
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WSD("triangle", 0, UniformWeight())
+
+    def test_initial_state(self):
+        sampler = make_wsd()
+        assert sampler.estimate == 0.0
+        assert sampler.sample_size == 0
+        assert sampler.tau_p == 0.0
+        assert sampler.tau_q == 0.0
+
+
+class TestAlgorithm1Cases:
+    def test_case1_nonfull_admits_all_initially(self):
+        """While τp = 0 and the reservoir is non-full, every edge enters."""
+        sampler = make_wsd(budget=10)
+        for i in range(5):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+        assert sampler.sample_size == 5
+        assert sampler.tau_p == 0.0
+        assert sampler.tau_q == 0.0
+
+    def test_case2_full_reservoir_keeps_size(self):
+        sampler = make_wsd(budget=5)
+        for i in range(30):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+        assert sampler.sample_size == 5
+
+    def test_case2_updates_tau_p_to_min_rank(self):
+        sampler = make_wsd(budget=5)
+        for i in range(6):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+        # After the first full insertion, τp equals the reservoir's
+        # minimum rank observed at that step — strictly positive.
+        assert sampler.tau_p > 0.0
+
+    def test_tau_q_le_tau_p_once_full(self):
+        sampler = make_wsd(budget=5)
+        for i in range(50):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+            assert sampler.tau_q <= sampler.tau_p or sampler.tau_p == 0.0
+
+    def test_tau_q_monotone_nondecreasing(self):
+        sampler = make_wsd(budget=5)
+        previous = 0.0
+        for i in range(60):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+            assert sampler.tau_q >= previous
+            previous = sampler.tau_q
+
+    def test_case3_deletion_removes_sampled_edge(self):
+        sampler = make_wsd(budget=10)
+        sampler.process(EdgeEvent.insertion(1, 2))
+        assert sampler.sample_size == 1
+        sampler.process(EdgeEvent.deletion(1, 2))
+        assert sampler.sample_size == 0
+
+    def test_case3_deletion_keeps_thresholds(self):
+        sampler = make_wsd(budget=4)
+        for i in range(20):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+        tau_p, tau_q = sampler.tau_p, sampler.tau_q
+        sampled = next(iter(sampler.sampled_edges()))
+        sampler.process(EdgeEvent.deletion(*sampled))
+        assert sampler.tau_p == tau_p
+        assert sampler.tau_q == tau_q
+
+    def test_deletion_of_unsampled_edge_is_noop_for_sample(self):
+        sampler = make_wsd(budget=3)
+        for i in range(20):
+            sampler.process(EdgeEvent.insertion(i, i + 100))
+        size = sampler.sample_size
+        # Find an inserted edge not in the reservoir.
+        sampled = set(sampler.sampled_edges())
+        victim = next(
+            (i, i + 100) for i in range(20) if (i, i + 100) not in sampled
+        )
+        sampler.process(EdgeEvent.deletion(*victim))
+        assert sampler.sample_size == size
+
+    def test_reservoir_never_exceeds_budget(self):
+        sampler = make_wsd(budget=7, weight=GPSHeuristicWeight(), rng=3)
+        edges = forest_fire(100, p=0.4, rng=1)
+        stream = light_deletion_stream(edges, beta_l=0.3, rng=2)
+        for event in stream:
+            sampler.process(event)
+            assert sampler.sample_size <= 7
+
+    def test_sampled_graph_consistent_with_reservoir(self):
+        sampler = make_wsd(budget=10, rng=3)
+        edges = forest_fire(80, p=0.4, rng=4)
+        stream = light_deletion_stream(edges, beta_l=0.4, rng=5)
+        for event in stream:
+            sampler.process(event)
+            assert set(sampler.sampled_edges()) == set(
+                sampler.sampled_graph.edges()
+            )
+
+
+class TestLemma1:
+    def test_inclusion_probability_empirical(self):
+        """Empirically, P[e in R(t)] == P[r(e) > τq] (Lemma 1 / Eq. 10).
+
+        Run the same insertion-only prefix many times and compare the
+        inclusion frequency of a fixed early edge against the average of
+        the model probability min(1, w/τq).
+        """
+        edges = [(i, i + 1000) for i in range(60)]
+        target = (5, 1005)
+        runs = 3000
+        included = 0
+        prob_sum = 0.0
+        for seed in range(runs):
+            sampler = make_wsd(budget=10, rng=seed)
+            for u, v in edges:
+                sampler.process(EdgeEvent.insertion(u, v))
+            tau_q = sampler.tau_q
+            # Uniform weights: every edge has weight 1.
+            prob_sum += min(1.0, 1.0 / tau_q) if tau_q > 0 else 1.0
+            if target in set(sampler.sampled_edges()):
+                included += 1
+        empirical = included / runs
+        model = prob_sum / runs
+        assert abs(empirical - model) < 0.03
+
+    def test_all_edges_equal_inclusion_probability(self):
+        """With equal weights, all (non-recent) edges share one
+        inclusion frequency — the property GPS loses under deletions
+        (Example 1) and WSD restores."""
+        n, budget, runs = 40, 8, 3000
+        counts = np.zeros(n)
+        for seed in range(runs):
+            sampler = make_wsd(budget=budget, rng=seed)
+            for i in range(n):
+                sampler.process(EdgeEvent.insertion(i, i + 1000))
+                # Delete an early edge mid-stream: the scenario from the
+                # paper's Example 1.
+                if i == 20:
+                    sampler.process(EdgeEvent.deletion(10, 1010))
+            for u, v in sampler.sampled_edges():
+                counts[u] += 1
+        freqs = counts / runs
+        freqs = np.delete(freqs, 10)  # the deleted edge
+        # Early edges (0..19, 21..n-1) should have statistically equal
+        # frequencies; compare min and max among settled (old) edges.
+        settled = freqs[: n - 5 - 1]
+        assert settled.max() - settled.min() < 0.06
+
+
+class TestTheorem4Unbiasedness:
+    @pytest.mark.parametrize("weight_cls", [UniformWeight, GPSHeuristicWeight])
+    def test_unbiased_triangles_light_deletion(self, weight_cls):
+        edges = powerlaw_cluster(120, m=4, triangle_probability=0.7, rng=6)
+        stream = light_deletion_stream(edges, beta_l=0.3, rng=7)
+        truth = ExactCounter("triangle").process_stream(stream)
+        assert truth > 0
+        estimates = [
+            WSD("triangle", 60, weight_cls(), rng=seed).process_stream(stream)
+            for seed in range(400)
+        ]
+        mean = float(np.mean(estimates))
+        stderr = float(np.std(estimates) / np.sqrt(len(estimates)))
+        assert abs(mean - truth) < max(4 * stderr, 0.05 * truth)
+
+    def test_unbiased_wedges_massive_deletion(self):
+        edges = forest_fire(150, p=0.45, rng=8)
+        stream = massive_deletion_stream(edges, alpha=0.02, beta_m=0.6, rng=9)
+        truth = ExactCounter("wedge").process_stream(stream)
+        assert truth > 0
+        estimates = [
+            WSD("wedge", 40, UniformWeight(), rng=seed).process_stream(stream)
+            for seed in range(400)
+        ]
+        mean = float(np.mean(estimates))
+        stderr = float(np.std(estimates) / np.sqrt(len(estimates)))
+        assert abs(mean - truth) < max(4 * stderr, 0.05 * truth)
+
+    def test_exact_when_budget_covers_stream(self):
+        """With M >= all alive edges the estimator is exact."""
+        edges = powerlaw_cluster(60, m=3, triangle_probability=0.6, rng=10)
+        stream = light_deletion_stream(edges, beta_l=0.2, rng=11)
+        truth = ExactCounter("triangle").process_stream(stream)
+        estimate = WSD(
+            "triangle", len(edges) + 10, GPSHeuristicWeight(), rng=12
+        ).process_stream(stream)
+        assert estimate == pytest.approx(truth)
+
+    def test_estimate_returns_to_zero_when_all_deleted(self):
+        events = [
+            EdgeEvent.insertion(1, 2),
+            EdgeEvent.insertion(2, 3),
+            EdgeEvent.insertion(1, 3),
+        ]
+        events += [EdgeEvent.deletion(*e.edge) for e in reversed(events)]
+        sampler = make_wsd(budget=10)
+        sampler.process_stream(EdgeStream(events))
+        assert sampler.estimate == pytest.approx(0.0)
+
+
+class TestDiagnostics:
+    def test_last_weight_tracks_insertions(self):
+        sampler = make_wsd(budget=10, weight=GPSHeuristicWeight())
+        sampler.process(EdgeEvent.insertion(1, 2))
+        assert sampler.last_weight == 1.0  # 9*0 + 1
+        sampler.process(EdgeEvent.insertion(2, 3))
+        sampler.process(EdgeEvent.insertion(1, 3))
+        assert sampler.last_weight == 10.0  # closes one triangle
+
+    def test_last_context_exposes_instances(self):
+        sampler = make_wsd(budget=10)
+        sampler.process(EdgeEvent.insertion(1, 2))
+        sampler.process(EdgeEvent.insertion(2, 3))
+        sampler.process(EdgeEvent.insertion(1, 3))
+        assert len(sampler.last_context.instances) == 1
+
+    def test_sampled_weight_lookup(self):
+        sampler = make_wsd(budget=10, weight=GPSHeuristicWeight())
+        sampler.process(EdgeEvent.insertion(1, 2))
+        assert sampler.sampled_weight((1, 2)) == 1.0
+
+    def test_exponential_rank_variant_runs(self):
+        sampler = WSD(
+            "triangle", 30, UniformWeight(), rank_fn="exponential", rng=1
+        )
+        edges = forest_fire(80, p=0.4, rng=2)
+        stream = light_deletion_stream(edges, beta_l=0.3, rng=3)
+        sampler.process_stream(stream)
+        assert np.isfinite(sampler.estimate)
+
+    def test_exponential_rank_unbiased(self):
+        edges = powerlaw_cluster(80, m=3, triangle_probability=0.7, rng=20)
+        stream = light_deletion_stream(edges, beta_l=0.2, rng=21)
+        truth = ExactCounter("triangle").process_stream(stream)
+        estimates = [
+            WSD(
+                "triangle", 50, UniformWeight(), rank_fn="exponential", rng=s
+            ).process_stream(stream)
+            for s in range(300)
+        ]
+        mean = float(np.mean(estimates))
+        stderr = float(np.std(estimates) / np.sqrt(len(estimates)))
+        assert abs(mean - truth) < max(4 * stderr, 0.08 * truth)

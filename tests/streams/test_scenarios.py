@@ -1,0 +1,140 @@
+"""Tests for the deletion-scenario stream builders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import forest_fire
+from repro.streams.scenarios import (
+    build_stream,
+    insertion_only_stream,
+    light_deletion_stream,
+    massive_deletion_stream,
+)
+from repro.streams.validate import is_feasible, validate_stream
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return forest_fire(200, p=0.45, rng=11)
+
+
+class TestInsertionOnly:
+    def test_no_deletions(self, edges):
+        stream = insertion_only_stream(edges)
+        assert stream.num_deletions == 0
+        assert stream.num_insertions == len(edges)
+
+    def test_feasible(self, edges):
+        assert is_feasible(insertion_only_stream(edges))
+
+
+class TestMassiveDeletion:
+    def test_feasible(self, edges):
+        stream = massive_deletion_stream(edges, alpha=0.05, beta_m=0.8, rng=0)
+        validate_stream(stream)
+
+    def test_zero_alpha_means_no_deletions(self, edges):
+        stream = massive_deletion_stream(edges, alpha=0.0, rng=0)
+        assert stream.num_deletions == 0
+
+    def test_deletions_happen(self, edges):
+        stream = massive_deletion_stream(edges, alpha=0.05, beta_m=0.8, rng=0)
+        assert stream.num_deletions > 0
+
+    def test_higher_beta_more_deletions(self, edges):
+        low = massive_deletion_stream(edges, alpha=0.05, beta_m=0.2, rng=3)
+        high = massive_deletion_stream(edges, alpha=0.05, beta_m=0.9, rng=3)
+        assert high.num_deletions > low.num_deletions
+
+    def test_deterministic(self, edges):
+        a = massive_deletion_stream(edges, alpha=0.03, rng=5)
+        b = massive_deletion_stream(edges, alpha=0.03, rng=5)
+        assert a == b
+
+    def test_invalid_alpha(self, edges):
+        with pytest.raises(ConfigurationError):
+            massive_deletion_stream(edges, alpha=1.5)
+
+    def test_invalid_window(self, edges):
+        with pytest.raises(ConfigurationError):
+            massive_deletion_stream(edges, alpha=0.1, deletion_window=0.0)
+
+    def test_window_limits_deletion_positions(self, edges):
+        stream = massive_deletion_stream(
+            edges, alpha=0.08, beta_m=0.9, rng=1, deletion_window=0.5
+        )
+        insertions_seen = 0
+        last_deletion_at = 0
+        for event in stream:
+            if event.is_insertion:
+                insertions_seen += 1
+            else:
+                last_deletion_at = insertions_seen
+        # Deletion bursts may only trigger within the first half of
+        # insertions (+1 because the trigger follows the insertion).
+        assert last_deletion_at <= int(0.5 * len(edges)) + 1
+
+    def test_full_window_matches_paper_construction(self, edges):
+        stream = massive_deletion_stream(
+            edges, alpha=0.05, beta_m=0.8, rng=2, deletion_window=1.0
+        )
+        validate_stream(stream)
+
+    def test_insertion_count_preserved(self, edges):
+        stream = massive_deletion_stream(edges, alpha=0.05, rng=4)
+        assert stream.num_insertions == len(edges)
+
+
+class TestLightDeletion:
+    def test_feasible(self, edges):
+        validate_stream(light_deletion_stream(edges, beta_l=0.3, rng=0))
+
+    def test_zero_beta_no_deletions(self, edges):
+        assert light_deletion_stream(edges, beta_l=0.0, rng=0).num_deletions == 0
+
+    def test_deletion_fraction_close_to_beta(self, edges):
+        beta = 0.3
+        stream = light_deletion_stream(edges, beta_l=beta, rng=1)
+        fraction = stream.num_deletions / len(edges)
+        assert abs(fraction - beta) < 0.12
+
+    def test_all_deleted_with_beta_one(self, edges):
+        stream = light_deletion_stream(edges, beta_l=1.0, rng=2)
+        assert stream.num_deletions == len(edges)
+        assert stream.final_edge_count() == 0
+
+    def test_deterministic(self, edges):
+        a = light_deletion_stream(edges, beta_l=0.2, rng=9)
+        b = light_deletion_stream(edges, beta_l=0.2, rng=9)
+        assert a == b
+
+    def test_invalid_beta(self, edges):
+        with pytest.raises(ConfigurationError):
+            light_deletion_stream(edges, beta_l=-0.1)
+
+    @given(st.floats(0.0, 1.0), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_always_feasible(self, beta, seed):
+        edges = forest_fire(60, p=0.4, rng=17)
+        stream = light_deletion_stream(edges, beta_l=beta, rng=seed)
+        assert is_feasible(stream)
+
+
+class TestBuildStream:
+    def test_dispatch_insertion_only(self, edges):
+        assert build_stream(edges, "insertion-only").num_deletions == 0
+
+    def test_dispatch_massive_defaults(self, edges):
+        stream = build_stream(edges, "massive", rng=0)
+        validate_stream(stream)
+
+    def test_dispatch_light_defaults(self, edges):
+        stream = build_stream(edges, "light", rng=0)
+        validate_stream(stream)
+
+    def test_unknown_scenario(self, edges):
+        with pytest.raises(ConfigurationError):
+            build_stream(edges, "tidal")

@@ -1,0 +1,58 @@
+"""Tests for stream feasibility validation."""
+
+import pytest
+
+from repro.errors import InfeasibleEventError
+from repro.graph.stream import EdgeEvent, EdgeStream
+from repro.streams.validate import is_feasible, validate_stream
+
+
+def stream(*events):
+    return EdgeStream(events)
+
+
+class TestValidateStream:
+    def test_empty_ok(self):
+        validate_stream(stream())
+
+    def test_insert_delete_ok(self):
+        validate_stream(
+            stream(EdgeEvent.insertion(1, 2), EdgeEvent.deletion(1, 2))
+        )
+
+    def test_reinsertion_after_delete_ok(self):
+        validate_stream(
+            stream(
+                EdgeEvent.insertion(1, 2),
+                EdgeEvent.deletion(1, 2),
+                EdgeEvent.insertion(1, 2),
+            )
+        )
+
+    def test_duplicate_insertion_rejected(self):
+        with pytest.raises(InfeasibleEventError, match="event 2"):
+            validate_stream(
+                stream(EdgeEvent.insertion(1, 2), EdgeEvent.insertion(2, 1))
+            )
+
+    def test_deletion_of_absent_rejected(self):
+        with pytest.raises(InfeasibleEventError, match="event 1"):
+            validate_stream(stream(EdgeEvent.deletion(1, 2)))
+
+    def test_double_deletion_rejected(self):
+        with pytest.raises(InfeasibleEventError):
+            validate_stream(
+                stream(
+                    EdgeEvent.insertion(1, 2),
+                    EdgeEvent.deletion(1, 2),
+                    EdgeEvent.deletion(1, 2),
+                )
+            )
+
+
+class TestIsFeasible:
+    def test_true_case(self):
+        assert is_feasible(stream(EdgeEvent.insertion(1, 2)))
+
+    def test_false_case(self):
+        assert not is_feasible(stream(EdgeEvent.deletion(1, 2)))

@@ -1,0 +1,84 @@
+"""Package-level tests: exports, errors hierarchy, metadata."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExports:
+    def test_version_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_all_names_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.graph",
+            "repro.streams",
+            "repro.patterns",
+            "repro.samplers",
+            "repro.weights",
+            "repro.rl",
+            "repro.estimators",
+            "repro.experiments",
+            "repro.utils",
+        ],
+    )
+    def test_subpackage_all_resolvable(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_py_typed_marker_shipped(self):
+        from pathlib import Path
+
+        marker = Path(repro.__file__).parent / "py.typed"
+        assert marker.exists()
+
+
+class TestErrorHierarchy:
+    ALL_ERRORS = [
+        errors.GraphError,
+        errors.EdgeExistsError,
+        errors.EdgeNotFoundError,
+        errors.SelfLoopError,
+        errors.StreamError,
+        errors.InfeasibleEventError,
+        errors.StreamFormatError,
+        errors.SamplerError,
+        errors.ReservoirFullError,
+        errors.ConfigurationError,
+        errors.PolicyError,
+        errors.DatasetError,
+    ]
+
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_graph_errors_grouped(self):
+        for exc in (
+            errors.EdgeExistsError,
+            errors.EdgeNotFoundError,
+            errors.SelfLoopError,
+        ):
+            assert issubclass(exc, errors.GraphError)
+
+    def test_stream_errors_grouped(self):
+        for exc in (errors.InfeasibleEventError, errors.StreamFormatError):
+            assert issubclass(exc, errors.StreamError)
+
+    def test_catching_base_class_works(self):
+        from repro.graph.adjacency import DynamicAdjacency
+
+        graph = DynamicAdjacency()
+        with pytest.raises(errors.ReproError):
+            graph.remove_edge(1, 2)

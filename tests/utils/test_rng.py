@@ -1,0 +1,79 @@
+"""Tests for the seeded RNG tree."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, derive_seed, ensure_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(42, "x") != derive_seed(42, "y")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_63_bit_range(self):
+        for name in ("a", "b", "c", "long-name-with-parts:3"):
+            seed = derive_seed(123, name)
+            assert 0 <= seed < 2**63
+
+    def test_no_collision_prefix_ambiguity(self):
+        # "1" + "23" vs "12" + "3" must not collide through separator.
+        assert derive_seed(1, "23") != derive_seed(12, "3")
+
+
+class TestEnsureRng:
+    def test_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_int_seed(self):
+        a = ensure_rng(5)
+        b = ensure_rng(5)
+        assert a.random() == b.random()
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestRngFactory:
+    def test_generator_stability(self):
+        factory = RngFactory(7)
+        a = factory.generator("stream")
+        b = factory.generator("stream")
+        assert a.random() == b.random()
+
+    def test_order_independence(self):
+        """The generator for a name must not depend on which other names
+        were requested before it."""
+        f1 = RngFactory(7)
+        f1.generator("first")
+        value1 = f1.generator("target").random()
+        f2 = RngFactory(7)
+        value2 = f2.generator("target").random()
+        assert value1 == value2
+
+    def test_names_independent(self):
+        factory = RngFactory(7)
+        assert (
+            factory.generator("a").random() != factory.generator("b").random()
+        )
+
+    def test_child_factories_independent(self):
+        factory = RngFactory(7)
+        a = factory.child("trial-1").generator("x")
+        b = factory.child("trial-2").generator("x")
+        assert a.random() != b.random()
+
+    def test_child_differs_from_parent(self):
+        factory = RngFactory(7)
+        child = factory.child("x")
+        assert child.seed != factory.seed
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngFactory("seed")  # type: ignore[arg-type]

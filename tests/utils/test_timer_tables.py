@@ -1,0 +1,114 @@
+"""Tests for timing utilities and table rendering."""
+
+import time
+
+import pytest
+
+from repro.utils.tables import format_sections, format_table
+from repro.utils.timer import Stopwatch, Timer
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        first = sw.elapsed
+        with sw:
+            time.sleep(0.01)
+        assert sw.elapsed > first >= 0.01
+
+    def test_double_start_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+
+class TestTimer:
+    def test_records_duration(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.01
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.seconds
+        with timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.01
+        assert timer.seconds != first
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "v"], [["a", 1.23456], ["bb", 2.0]])
+        lines = text.splitlines()
+        assert lines[0].endswith("v")
+        assert "1.235" in text  # default precision 3
+        assert "2.000" in text
+
+    def test_precision(self):
+        text = format_table(["v"], [[1.23456]], precision=1)
+        assert "1.2" in text
+
+    def test_title_and_rule(self):
+        text = format_table(["v"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_non_numeric_cells(self):
+        text = format_table(["a", "b"], [["xyz", 42]])
+        assert "xyz" in text and "42" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_rectangular_output(self):
+        text = format_table(
+            ["col", "value"], [["a", 1.0], ["long-name", 123456.789]]
+        )
+        widths = {len(line) for line in text.splitlines()}
+        assert len(widths) == 1
+
+
+class TestFormatSections:
+    def test_sections_stacked(self):
+        text = format_sections(
+            ["g", "x"],
+            [("ARE", [["d1", 1.0]]), ("Time", [["d1", 0.5]])],
+            title="T",
+        )
+        assert text.index("ARE") < text.index("Time")
+        assert text.splitlines()[0] == "T"
+
+    def test_empty_sections_ok(self):
+        text = format_sections(["g"], [])
+        assert text == ""
+
+    def test_single_section_no_trailing_blank(self):
+        text = format_sections(["g"], [("S", [["x"]])])
+        assert not text.endswith("\n\n")

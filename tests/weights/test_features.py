@@ -1,0 +1,105 @@
+"""Tests for MDP state features (Eqs. 19-22)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.adjacency import DynamicAdjacency
+from repro.patterns.cliques import Triangle
+from repro.patterns.paths import Wedge
+from repro.weights.base import WeightContext
+from repro.weights.features import (
+    raw_state_vector,
+    state_dimension,
+    state_vector,
+)
+
+
+def triangle_ctx():
+    """Edge (1,2) arrives at t=10, closing two triangles against the
+    sampled graph: via 3 (edges at times 2, 5) and via 4 (times 7, 8)."""
+    adj = DynamicAdjacency()
+    for u, v in [(1, 3), (2, 3), (1, 4), (2, 4), (5, 6)]:
+        adj.add_edge(u, v)
+    edge_times = {(1, 3): 2, (2, 3): 5, (1, 4): 7, (2, 4): 8, (5, 6): 1}
+    instances = [((1, 3), (2, 3)), ((1, 4), (2, 4))]
+    return WeightContext(
+        edge=(1, 2),
+        time=10,
+        instances=instances,
+        adjacency=adj,
+        edge_times=edge_times,
+        pattern=Triangle(),
+    )
+
+
+class TestStateDimension:
+    def test_triangle(self):
+        assert state_dimension(Triangle().num_edges) == 6
+
+    def test_wedge(self):
+        assert state_dimension(Wedge().num_edges) == 5
+
+
+class TestRawState:
+    def test_topological_block(self):
+        state = raw_state_vector(triangle_ctx())
+        assert state[0] == 2.0  # |H_k|
+        assert state[1] == 2.0  # deg(1) in sampled graph
+        assert state[2] == 2.0  # deg(2)
+
+    def test_temporal_block_max(self):
+        state = raw_state_vector(triangle_ctx(), temporal_aggregation="max")
+        # Instance times sorted: [2, 5, 10] and [7, 8, 10];
+        # positionwise max = [7, 8, 10].
+        assert list(state[3:]) == [7.0, 8.0, 10.0]
+
+    def test_temporal_block_avg(self):
+        state = raw_state_vector(triangle_ctx(), temporal_aggregation="avg")
+        assert list(state[3:]) == [4.5, 6.5, 10.0]
+
+    def test_no_instances_zero_temporal(self):
+        adj = DynamicAdjacency()
+        ctx = WeightContext(
+            edge=(1, 2), time=4, instances=[], adjacency=adj,
+            edge_times={}, pattern=Triangle(),
+        )
+        state = raw_state_vector(ctx)
+        assert list(state) == [0.0] * 6
+
+    def test_last_position_is_current_time(self):
+        state = raw_state_vector(triangle_ctx())
+        assert state[-1] == 10.0
+
+    def test_invalid_aggregation(self):
+        with pytest.raises(ConfigurationError):
+            raw_state_vector(triangle_ctx(), temporal_aggregation="median")
+
+    def test_dimension_matches_pattern(self):
+        assert raw_state_vector(triangle_ctx()).shape == (6,)
+
+
+class TestNormalisedState:
+    def test_counts_log_compressed(self):
+        state = state_vector(triangle_ctx())
+        assert state[0] == pytest.approx(np.log1p(2.0))
+
+    def test_temporal_as_recency_ratio(self):
+        state = state_vector(triangle_ctx())
+        assert state[-1] == pytest.approx(1.0)
+        assert np.all(state[3:] <= 1.0)
+
+    def test_normalize_false_returns_raw(self):
+        raw = raw_state_vector(triangle_ctx())
+        assert np.array_equal(
+            state_vector(triangle_ctx(), normalize=False), raw
+        )
+
+    def test_wedge_state_shape(self):
+        adj = DynamicAdjacency()
+        adj.add_edge(1, 3)
+        ctx = WeightContext(
+            edge=(1, 2), time=3, instances=[((1, 3),)], adjacency=adj,
+            edge_times={(1, 3): 1}, pattern=Wedge(),
+        )
+        assert state_vector(ctx).shape == (5,)

@@ -1,0 +1,68 @@
+"""Tests for the heuristic weight functions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.adjacency import DynamicAdjacency
+from repro.patterns.cliques import Triangle
+from repro.weights.base import WeightContext
+from repro.weights.heuristic import DegreeWeight, GPSHeuristicWeight, UniformWeight
+
+
+def make_ctx(instances=(), adjacency=None, edge=(1, 2), time=5):
+    adj = adjacency or DynamicAdjacency()
+    return WeightContext(
+        edge=edge,
+        time=time,
+        instances=list(instances),
+        adjacency=adj,
+        edge_times={},
+        pattern=Triangle(),
+    )
+
+
+class TestGPSHeuristicWeight:
+    def test_paper_formula(self):
+        wf = GPSHeuristicWeight()
+        assert wf(make_ctx()) == 1.0
+        assert wf(make_ctx(instances=[((1, 3), (2, 3))])) == 10.0
+        assert wf(make_ctx(instances=[((1, 3), (2, 3))] * 3)) == 28.0
+
+    def test_custom_slope_offset(self):
+        wf = GPSHeuristicWeight(slope=2.0, offset=0.5)
+        assert wf(make_ctx(instances=[((1, 3), (2, 3))])) == 2.5
+
+    def test_rejects_nonpositive_offset(self):
+        with pytest.raises(ConfigurationError):
+            GPSHeuristicWeight(offset=0.0)
+
+    def test_rejects_negative_slope(self):
+        with pytest.raises(ConfigurationError):
+            GPSHeuristicWeight(slope=-1.0)
+
+    def test_name(self):
+        assert GPSHeuristicWeight().name == "heuristic"
+
+
+class TestUniformWeight:
+    def test_always_one(self):
+        wf = UniformWeight()
+        assert wf(make_ctx()) == 1.0
+        assert wf(make_ctx(instances=[((1, 3), (2, 3))] * 5)) == 1.0
+
+
+class TestDegreeWeight:
+    def test_uses_sampled_degrees(self):
+        adj = DynamicAdjacency()
+        adj.add_edge(1, 10)
+        adj.add_edge(1, 11)
+        adj.add_edge(2, 12)
+        wf = DegreeWeight()
+        assert wf(make_ctx(adjacency=adj)) == 4.0  # 2 + 1 + 1
+
+    def test_offset_floor(self):
+        assert DegreeWeight(offset=2.0)(make_ctx()) == 2.0
+
+    def test_rejects_nonpositive_offset(self):
+        with pytest.raises(ConfigurationError):
+            DegreeWeight(offset=-1.0)

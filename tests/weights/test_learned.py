@@ -1,0 +1,80 @@
+"""Tests for the learned weight function (WSD-L adapter)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PolicyError
+from repro.graph.adjacency import DynamicAdjacency
+from repro.patterns.cliques import Triangle
+from repro.rl.policy import Policy
+from repro.weights.base import WeightContext
+from repro.weights.learned import LearnedWeight
+
+
+def ctx():
+    adj = DynamicAdjacency()
+    adj.add_edge(1, 3)
+    adj.add_edge(2, 3)
+    return WeightContext(
+        edge=(1, 2),
+        time=7,
+        instances=[((1, 3), (2, 3))],
+        adjacency=adj,
+        edge_times={(1, 3): 1, (2, 3): 2},
+        pattern=Triangle(),
+    )
+
+
+class _ConstantPolicy:
+    def __init__(self, value):
+        self.value = value
+
+    def action(self, state):
+        return self.value
+
+
+class TestLearnedWeight:
+    def test_returns_policy_action(self):
+        wf = LearnedWeight(_ConstantPolicy(3.5))
+        assert wf(ctx()) == 3.5
+
+    def test_floors_tiny_outputs(self):
+        wf = LearnedWeight(_ConstantPolicy(0.0), minimum_weight=0.5)
+        assert wf(ctx()) == 0.5
+
+    def test_rejects_nonfinite(self):
+        wf = LearnedWeight(_ConstantPolicy(float("nan")))
+        with pytest.raises(PolicyError):
+            wf(ctx())
+
+    def test_invalid_aggregation(self):
+        with pytest.raises(PolicyError):
+            LearnedWeight(_ConstantPolicy(1.0), temporal_aggregation="sum")
+
+    def test_invalid_minimum_weight(self):
+        with pytest.raises(PolicyError):
+            LearnedWeight(_ConstantPolicy(1.0), minimum_weight=0.0)
+
+    def test_with_real_policy(self):
+        policy = Policy(weights=np.ones(6), bias=0.0)
+        wf = LearnedWeight(policy)
+        weight = wf(ctx())
+        assert weight >= 1.0  # ReLU(+) + 1
+
+    def test_policy_dim_mismatch_raises(self):
+        policy = Policy(weights=np.ones(4), bias=0.0)
+        wf = LearnedWeight(policy)
+        with pytest.raises(PolicyError):
+            wf(ctx())
+
+    def test_normalize_flag_changes_state(self):
+        seen = []
+
+        class Recorder:
+            def action(self, state):
+                seen.append(state.copy())
+                return 1.0
+
+        LearnedWeight(Recorder(), normalize=True)(ctx())
+        LearnedWeight(Recorder(), normalize=False)(ctx())
+        assert not np.array_equal(seen[0], seen[1])
