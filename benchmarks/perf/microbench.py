@@ -1,0 +1,230 @@
+"""Hot-path microbenchmarks: events/sec for sampler × pattern.
+
+Unlike the ``bench_*`` experiment scripts (which regenerate paper
+tables), this harness measures raw *streaming throughput* of the
+per-event hot path on synthetic fully dynamic streams. It is the
+instrument behind ``BENCH_throughput.json`` — every perf PR reruns it
+and diffs events/sec against the recorded baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/microbench.py \
+        --output /tmp/bench.json [--quick]
+
+The harness is deliberately tolerant of older library versions (it
+falls back to event-at-a-time ``process`` when ``process_batch`` is
+missing) so it can be run against the pre-PR seed to record baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.stream import DELETE, INSERT, EdgeEvent
+from repro.samplers.gps import GPS
+from repro.samplers.gps_a import GPSA
+from repro.samplers.thinkd import ThinkD
+from repro.samplers.wrs import WRS
+from repro.samplers.wsd import WSD
+from repro.weights.heuristic import GPSHeuristicWeight
+
+#: The benchmark matrix. ``deletion_fraction`` is per-case because GPS
+#: is insertion-only. The acceptance-tracking case is ``wsd/triangle``.
+PATTERNS = ("wedge", "triangle", "4-clique")
+SAMPLERS = ("wsd", "gps", "gps-a", "wrs", "thinkd")
+
+
+def synthetic_stream(
+    num_events: int,
+    num_vertices: int = 400,
+    deletion_fraction: float = 0.2,
+    seed: int = 0,
+) -> list[EdgeEvent]:
+    """Deterministic fully dynamic stream (insertions + valid deletions).
+
+    Deletions always target a currently-alive edge so every sampler's
+    feasibility invariants hold. The event list is materialised up
+    front; construction cost is excluded from timing.
+    """
+    rng = np.random.default_rng(seed)
+    alive: list[tuple[int, int]] = []
+    alive_pos: dict[tuple[int, int], int] = {}
+    events: list[EdgeEvent] = []
+    while len(events) < num_events:
+        if alive and rng.random() < deletion_fraction:
+            i = int(rng.integers(len(alive)))
+            edge = alive[i]
+            last = alive.pop()
+            if i < len(alive):
+                alive[i] = last
+                alive_pos[last] = i
+            del alive_pos[edge]
+            events.append(EdgeEvent(DELETE, edge))
+        else:
+            u = int(rng.integers(num_vertices))
+            v = int(rng.integers(num_vertices))
+            if u == v:
+                continue
+            edge = (u, v) if u < v else (v, u)
+            if edge in alive_pos:
+                continue
+            alive_pos[edge] = len(alive)
+            alive.append(edge)
+            events.append(EdgeEvent(INSERT, edge))
+    return events
+
+
+def make_sampler(name: str, pattern: str, budget: int, seed: int):
+    """Construct one benchmark sampler with a deterministic seed."""
+    if name == "wsd":
+        return WSD(pattern, budget, GPSHeuristicWeight(), rng=seed)
+    if name == "gps":
+        return GPS(pattern, budget, GPSHeuristicWeight(), rng=seed)
+    if name == "gps-a":
+        return GPSA(pattern, budget, GPSHeuristicWeight(), rng=seed)
+    if name == "wrs":
+        return WRS(pattern, budget, rng=seed)
+    if name == "thinkd":
+        return ThinkD(pattern, budget, rng=seed)
+    raise ValueError(f"unknown sampler {name!r}")
+
+
+def feed(sampler, events) -> float:
+    """Push all events through the sampler; return elapsed seconds."""
+    batch = getattr(sampler, "process_batch", None)
+    start = time.perf_counter()
+    if batch is not None:
+        batch(events)
+    else:  # pre-PR seed fallback
+        process = sampler.process
+        for event in events:
+            process(event)
+    return time.perf_counter() - start
+
+
+def run_case(
+    sampler_name: str,
+    pattern: str,
+    events: list[EdgeEvent],
+    budget: int,
+    seed: int,
+    repeats: int,
+) -> dict:
+    """Benchmark one sampler × pattern cell; best-of-``repeats`` timing."""
+    best = float("inf")
+    estimate = None
+    for _ in range(repeats):
+        sampler = make_sampler(sampler_name, pattern, budget, seed)
+        elapsed = feed(sampler, events)
+        best = min(best, elapsed)
+        if estimate is None:
+            estimate = sampler.estimate
+        elif estimate != sampler.estimate:
+            raise AssertionError(
+                f"{sampler_name}/{pattern}: fixed-seed estimate not "
+                f"reproducible across repeats ({estimate} vs "
+                f"{sampler.estimate})"
+            )
+    return {
+        "events_per_sec": len(events) / best,
+        "seconds": best,
+        "estimate": estimate,
+        "num_events": len(events),
+    }
+
+
+def run_matrix(
+    num_events: int,
+    budget: int,
+    num_vertices: int,
+    deletion_fraction: float,
+    seed: int,
+    repeats: int,
+    samplers=SAMPLERS,
+    patterns=PATTERNS,
+) -> dict:
+    """Run the full benchmark matrix and return a JSON-able report."""
+    dynamic = synthetic_stream(
+        num_events, num_vertices, deletion_fraction, seed
+    )
+    insert_only = synthetic_stream(num_events, num_vertices, 0.0, seed)
+    # Warm-up pass: absorb interpreter/allocator cold-start so the
+    # first matrix cells are not systematically penalised.
+    feed(make_sampler("wsd", "triangle", budget, seed), dynamic[:5000])
+    results: dict[str, dict] = {}
+    for sampler_name in samplers:
+        stream = insert_only if sampler_name == "gps" else dynamic
+        for pattern in patterns:
+            key = f"{sampler_name}/{pattern}"
+            results[key] = run_case(
+                sampler_name, pattern, stream, budget, seed, repeats
+            )
+            print(
+                f"{key:>20s}: {results[key]['events_per_sec']:>12,.0f} "
+                f"events/s  (estimate={results[key]['estimate']:.4f})",
+                file=sys.stderr,
+            )
+    return {
+        "schema": "bench_throughput/v1",
+        "config": {
+            "num_events": num_events,
+            "budget": budget,
+            "num_vertices": num_vertices,
+            "deletion_fraction": deletion_fraction,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=30_000)
+    parser.add_argument("--budget", type=int, default=1_500)
+    parser.add_argument("--vertices", type=int, default=400)
+    parser.add_argument("--deletion-fraction", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: 4k events, 1 repeat (~seconds)",
+    )
+    parser.add_argument("--samplers", default=",".join(SAMPLERS))
+    parser.add_argument("--patterns", default=",".join(PATTERNS))
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.events = min(args.events, 4_000)
+        args.repeats = 1
+
+    report = run_matrix(
+        args.events,
+        args.budget,
+        args.vertices,
+        args.deletion_fraction,
+        args.seed,
+        args.repeats,
+        samplers=tuple(args.samplers.split(",")),
+        patterns=tuple(args.patterns.split(",")),
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        args.output.write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

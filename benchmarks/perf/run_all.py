@@ -1,0 +1,141 @@
+"""Tier-1 tests + throughput smoke pass → ``BENCH_throughput.json``.
+
+The perf gate for this repository: runs the tier-1 test suite, then the
+hot-path microbenchmarks (see ``microbench.py``), and writes
+``BENCH_throughput.json`` at the repo root containing
+
+* ``baseline`` — the pre-optimization numbers recorded in
+  ``benchmarks/perf/baseline_seed.json`` (measured on the seed tree
+  with the same harness);
+* ``current`` — this run's numbers;
+* ``speedup`` — events/sec ratios per sampler × pattern cell;
+* ``estimates_match`` — whether every fixed-seed estimate is identical
+  to the baseline's (bit-for-bit), the no-behaviour-change guarantee.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_all.py [--quick]
+        [--skip-tests] [--repeats N]
+
+``--quick`` runs a seconds-scale smoke pass (fewer events, 1 repeat);
+the full pass is what future PRs should diff against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+PERF_DIR = Path(__file__).resolve().parent
+REPO_ROOT = PERF_DIR.parent.parent
+BASELINE_FILE = PERF_DIR / "baseline_seed.json"
+OUTPUT_FILE = REPO_ROOT / "BENCH_throughput.json"
+
+sys.path.insert(0, str(PERF_DIR))
+
+import microbench  # noqa: E402
+
+
+def run_tier1_tests() -> bool:
+    """Run the repo's tier-1 verify command; return success."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q", "tests"],
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    return result.returncode == 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="seconds-scale smoke pass")
+    parser.add_argument("--skip-tests", action="store_true",
+                        help="benchmark only, no tier-1 pytest run")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", type=Path, default=OUTPUT_FILE)
+    args = parser.parse_args(argv)
+
+    tests_passed = None
+    if not args.skip_tests:
+        print("== tier-1 test suite ==", file=sys.stderr)
+        tests_passed = run_tier1_tests()
+        if not tests_passed:
+            print("tier-1 tests FAILED — not recording benchmark",
+                  file=sys.stderr)
+            return 1
+
+    baseline = (
+        json.loads(BASELINE_FILE.read_text(encoding="utf-8"))
+        if BASELINE_FILE.exists()
+        else None
+    )
+    config = (baseline or {}).get("config", {})
+    num_events = config.get("num_events", 30_000)
+    repeats = args.repeats
+    if args.quick:
+        num_events = min(num_events, 4_000)
+        repeats = 1
+
+    print("== throughput microbenchmarks ==", file=sys.stderr)
+    current = microbench.run_matrix(
+        num_events,
+        config.get("budget", 1_500),
+        config.get("num_vertices", 400),
+        config.get("deletion_fraction", 0.2),
+        config.get("seed", 2023),
+        repeats,
+    )
+
+    report: dict = {
+        "schema": "bench_throughput/v1",
+        "tier1_tests_passed": tests_passed,
+        "quick": args.quick,
+        "current": current,
+    }
+    if baseline is not None:
+        speedup = {}
+        estimate_match = {}
+        comparable = not args.quick  # quick mode uses fewer events
+        for key, cell in current["results"].items():
+            base_cell = baseline["results"].get(key)
+            if base_cell is None:
+                continue
+            speedup[key] = round(
+                cell["events_per_sec"] / base_cell["events_per_sec"], 3
+            )
+            if comparable:
+                # Bit-for-bit fixed-seed comparison per cell. Cells may
+                # legitimately differ in the last float bits when an
+                # optimization reorders instance *enumeration* (the
+                # contribution multiset is unchanged; addition is not
+                # associative); the tracked wsd cells must stay True.
+                estimate_match[key] = (
+                    cell["estimate"] == base_cell["estimate"]
+                )
+        report["baseline"] = baseline
+        report["speedup"] = speedup
+        report["estimate_match"] = estimate_match if comparable else None
+        report["estimates_match_all"] = (
+            all(estimate_match.values()) if comparable else None
+        )
+
+    args.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {args.output}", file=sys.stderr)
+    if baseline is not None and not args.quick:
+        wsd_tri = report["speedup"].get("wsd/triangle")
+        print(f"wsd/triangle speedup vs seed: {wsd_tri}x", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

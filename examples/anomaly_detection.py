@@ -55,7 +55,11 @@ def main() -> None:
     print(f"stream: {len(stream)} events; injected spammer vertex {spammer}")
 
     budget = max(8, stream.num_insertions // 10)
-    sampler = WSD("triangle", budget, GPSHeuristicWeight(), rng=3)
+    # capture_context=True keeps WeightContext snapshots (and therefore
+    # the per-event instance lists) available on sampler.last_context.
+    sampler = WSD(
+        "triangle", budget, GPSHeuristicWeight(), rng=3, capture_context=True
+    )
 
     # Estimated per-vertex triangle participation: every instance found
     # by the estimator credits its three vertices with the instance's

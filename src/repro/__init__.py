@@ -26,6 +26,41 @@ Quickstart::
     stream = build_stream(edges, "massive", rng=1)
     sampler = WSD("triangle", budget=500, weight_fn=GPSHeuristicWeight(), rng=2)
     estimate = sampler.process_stream(stream)
+
+Performance notes
+-----------------
+
+The per-event hot path is ``sampler.process`` →
+``pattern.instances_completed`` → ``DynamicAdjacency`` neighbourhood
+queries → rank/threshold bookkeeping, and it is engineered so the
+library streams events as fast as CPython allows while keeping
+estimates bit-identical to the naive implementation under a fixed seed:
+
+* **Batched ingestion** — ``sampler.process_batch(events)`` (which
+  ``process_stream`` routes through) pre-draws rank randomness in one
+  numpy block, hoists attribute lookups, and skips observer plumbing
+  when no observers are registered. :class:`repro.samplers.wsd.WSD`
+  additionally inlines the triangle/wedge estimators and the
+  inverse-uniform rank arithmetic.
+* **Vertex interning** — every :class:`~repro.graph.adjacency.DynamicAdjacency`
+  assigns dense int ids to vertices on first insertion
+  (:class:`~repro.graph.interning.VertexInterner`); the clique
+  enumerators order candidates by id instead of allocating ``repr``
+  strings, and ``neighbors_view`` / ``iter_neighbors`` expose the
+  adjacency sets without per-call copies.
+* **Memoized inclusion probabilities** — WSD/GPS/GPS-A cache
+  P[r(e) > τ] per sampled edge and invalidate exactly when the
+  threshold changes (``WSD.tau_q_generation`` counts those
+  transitions); weight functions that only need cheap summaries
+  declare ``needs_context = False`` so the ``WeightContext`` snapshot
+  (and its instance list) is never materialised — pass
+  ``capture_context=True`` to WSD when RL transition capture or the
+  local-counting examples need ``last_context``.
+
+Run the throughput microbenchmarks with
+``PYTHONPATH=src python benchmarks/perf/run_all.py`` (add ``--quick``
+for a seconds-scale smoke pass); results land in
+``BENCH_throughput.json`` with speedups against the recorded baseline.
 """
 
 from repro.errors import ReproError

@@ -2,12 +2,14 @@
 
 from repro.graph.adjacency import DynamicAdjacency
 from repro.graph.edges import Edge, Vertex, canonical_edge
+from repro.graph.interning import VertexInterner
 from repro.graph.stream import DELETE, INSERT, EdgeEvent, EdgeStream
 
 __all__ = [
     "DynamicAdjacency",
     "Edge",
     "Vertex",
+    "VertexInterner",
     "canonical_edge",
     "EdgeEvent",
     "EdgeStream",

@@ -6,16 +6,34 @@ graph during training / evaluation), and the pattern matchers. It
 supports O(1) expected-time edge insertion/deletion/lookup and provides
 the neighbourhood queries pattern enumeration needs (neighbours, common
 neighbours, degree).
+
+This class sits on the per-event hot path of every sampler, so it is
+written for speed:
+
+* ``neighbors_view`` / ``iter_neighbors`` expose the internal neighbour
+  set without copying (the legacy ``neighbors`` still returns a
+  defensive ``frozenset``);
+* ``common_neighbors`` is a C-level set intersection;
+* ``add_edge_canonical`` / ``remove_edge_canonical`` skip
+  re-canonicalisation when the caller already holds a canonical edge
+  (every sampler does — stream events are canonical by construction);
+* every vertex is interned to a dense int id on first insertion
+  (:class:`~repro.graph.interning.VertexInterner`), giving the pattern
+  enumerators an allocation-free, identity-consistent sort order.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.errors import EdgeExistsError, EdgeNotFoundError
 from repro.graph.edges import Edge, Vertex, canonical_edge
+from repro.graph.interning import VertexInterner
 
 __all__ = ["DynamicAdjacency"]
+
+#: Shared immutable empty neighbourhood returned for unknown vertices.
+_EMPTY: frozenset = frozenset()
 
 
 class DynamicAdjacency:
@@ -27,9 +45,12 @@ class DynamicAdjacency:
     graph G(t) of Section II).
     """
 
+    __slots__ = ("_adj", "_num_edges", "_interner")
+
     def __init__(self) -> None:
         self._adj: dict[Vertex, set[Vertex]] = {}
         self._num_edges = 0
+        self._interner = VertexInterner()
 
     # -- mutation ---------------------------------------------------------
 
@@ -40,14 +61,33 @@ class DynamicAdjacency:
         and :class:`~repro.errors.SelfLoopError` if ``u == v``.
         """
         edge = canonical_edge(u, v)
-        a, b = edge
-        neighbours = self._adj.setdefault(a, set())
-        if b in neighbours:
-            raise EdgeExistsError(f"edge {edge!r} already present")
-        neighbours.add(b)
-        self._adj.setdefault(b, set()).add(a)
-        self._num_edges += 1
+        self.add_edge_canonical(edge)
         return edge
+
+    def add_edge_canonical(self, edge: Edge) -> None:
+        """Insert an edge already in canonical form (no re-sorting).
+
+        The caller guarantees ``edge`` came from
+        :func:`~repro.graph.edges.canonical_edge` (stream events always
+        do); only the duplicate-edge check is performed here.
+        """
+        a, b = edge
+        adj = self._adj
+        neighbours = adj.get(a)
+        if neighbours is None:
+            adj[a] = {b}
+            self._interner.intern(a)
+        elif b in neighbours:
+            raise EdgeExistsError(f"edge {edge!r} already present")
+        else:
+            neighbours.add(b)
+        other = adj.get(b)
+        if other is None:
+            adj[b] = {a}
+            self._interner.intern(b)
+        else:
+            other.add(a)
+        self._num_edges += 1
 
     def remove_edge(self, u: Vertex, v: Vertex) -> Edge:
         """Delete the undirected edge ``{u, v}`` and return its canonical form.
@@ -56,24 +96,30 @@ class DynamicAdjacency:
         :class:`~repro.errors.EdgeNotFoundError` if the edge is absent.
         """
         edge = canonical_edge(u, v)
-        a, b = edge
-        neighbours = self._adj.get(a)
-        if neighbours is None or b not in neighbours:
-            raise EdgeNotFoundError(f"edge {edge!r} not present")
-        neighbours.discard(b)
-        if not neighbours:
-            del self._adj[a]
-        other = self._adj[b]
-        other.discard(a)
-        if not other:
-            del self._adj[b]
-        self._num_edges -= 1
+        self.remove_edge_canonical(edge)
         return edge
 
+    def remove_edge_canonical(self, edge: Edge) -> None:
+        """Delete an edge already in canonical form (no re-sorting)."""
+        a, b = edge
+        adj = self._adj
+        neighbours = adj.get(a)
+        if neighbours is None or b not in neighbours:
+            raise EdgeNotFoundError(f"edge {edge!r} not present")
+        neighbours.remove(b)
+        if not neighbours:
+            del adj[a]
+        other = adj[b]
+        other.remove(a)
+        if not other:
+            del adj[b]
+        self._num_edges -= 1
+
     def clear(self) -> None:
-        """Remove all edges and vertices."""
+        """Remove all edges and vertices (and reset interned ids)."""
         self._adj.clear()
         self._num_edges = 0
+        self._interner.clear()
 
     # -- queries ----------------------------------------------------------
 
@@ -85,8 +131,26 @@ class DynamicAdjacency:
         return neighbours is not None and v in neighbours
 
     def neighbors(self, v: Vertex) -> frozenset[Vertex]:
-        """Return the neighbour set of ``v`` (empty if ``v`` is unknown)."""
+        """Return a defensive copy of the neighbour set of ``v``.
+
+        Copies on every call; hot paths should use
+        :meth:`neighbors_view` or :meth:`iter_neighbors` instead.
+        """
         return frozenset(self._adj.get(v, ()))
+
+    def neighbors_view(self, v: Vertex):
+        """Return the *live* neighbour set of ``v`` without copying.
+
+        The returned set is the internal adjacency entry: it must not be
+        mutated, and it changes underneath the caller on subsequent
+        ``add_edge`` / ``remove_edge`` calls (iterate before mutating).
+        Unknown vertices yield a shared empty frozenset.
+        """
+        return self._adj.get(v, _EMPTY)
+
+    def iter_neighbors(self, v: Vertex) -> Iterator[Vertex]:
+        """Iterate the neighbours of ``v`` without copying."""
+        return iter(self._adj.get(v, ()))
 
     def degree(self, v: Vertex) -> int:
         """Return the degree of ``v`` (0 if ``v`` is unknown)."""
@@ -96,15 +160,38 @@ class DynamicAdjacency:
         """Return vertices adjacent to both ``u`` and ``v``.
 
         This is the γ(M) primitive of Theorems 3/5: for triangle
-        counting the per-event work is exactly this intersection.
+        counting the per-event work is exactly this intersection (done
+        at C level; Python's set intersection iterates the smaller
+        operand).
         """
         nu = self._adj.get(u)
-        nv = self._adj.get(v)
-        if not nu or not nv:
+        if not nu:
             return set()
-        if len(nu) > len(nv):
-            nu, nv = nv, nu
-        return {w for w in nu if w in nv}
+        nv = self._adj.get(v)
+        if not nv:
+            return set()
+        return nu & nv
+
+    # -- interning ---------------------------------------------------------
+
+    @property
+    def interner(self) -> VertexInterner:
+        """The label ↔ dense-id mapping for every vertex ever inserted."""
+        return self._interner
+
+    def vertex_id(self, v: Vertex) -> int:
+        """Dense int id of ``v`` (KeyError if ``v`` was never inserted).
+
+        Ids are assigned in first-insertion order and survive vertex
+        removal, so they provide a stable, identity-consistent total
+        order over all vertices seen so far.
+        """
+        return self._interner.id_of(v)
+
+    def sort_by_id(self, vertices: Iterable[Vertex]) -> list[Vertex]:
+        """Sort ``vertices`` by interned id — the allocation-free
+        replacement for ``sorted(..., key=repr)`` in the enumerators."""
+        return self._interner.sorted(vertices)
 
     @property
     def num_edges(self) -> int:

@@ -1,0 +1,78 @@
+"""Vertex interning: external labels → dense integer ids.
+
+Vertex labels arriving on a stream are arbitrary hashable objects
+(ints, strings, tuples...). The hot paths need two things labels cannot
+provide cheaply:
+
+* a **total order that agrees with identity** — the clique enumerators
+  sort candidate vertices to emit each instance exactly once, and
+  ordering by ``repr`` (the old scheme) both allocates a string per
+  vertex per event and can disagree with equality for exotic types;
+* **dense small ints** usable as array indices by future vectorised
+  backends.
+
+:class:`VertexInterner` assigns each label a dense id (0, 1, 2, ...) in
+first-seen order and never recycles ids, so the order is stable for the
+lifetime of the interner. :class:`~repro.graph.adjacency.DynamicAdjacency`
+owns one and interns every vertex on first insertion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.graph.edges import Vertex
+
+__all__ = ["VertexInterner"]
+
+
+class VertexInterner:
+    """Bidirectional label ↔ dense-id mapping (ids are never recycled)."""
+
+    __slots__ = ("_ids", "_labels")
+
+    def __init__(self) -> None:
+        self._ids: dict[Vertex, int] = {}
+        self._labels: list[Vertex] = []
+
+    def intern(self, label: Vertex) -> int:
+        """Return the id for ``label``, assigning the next dense id if new."""
+        ids = self._ids
+        i = ids.get(label)
+        if i is None:
+            i = len(self._labels)
+            ids[label] = i
+            self._labels.append(label)
+        return i
+
+    def id_of(self, label: Vertex) -> int:
+        """Return the id of an already-interned label (KeyError if unknown)."""
+        return self._ids[label]
+
+    def label(self, vertex_id: int) -> Vertex:
+        """Return the label interned as ``vertex_id`` (IndexError if unknown)."""
+        return self._labels[vertex_id]
+
+    @property
+    def sort_key(self) -> Callable[[Vertex], int]:
+        """A ``key=`` callable ordering interned labels by id (O(1), no
+        string allocation)."""
+        return self._ids.__getitem__
+
+    def sorted(self, labels: Iterable[Vertex]) -> list[Vertex]:
+        """Return ``labels`` sorted by interned id (first-seen order)."""
+        return sorted(labels, key=self._ids.__getitem__)
+
+    def clear(self) -> None:
+        """Forget all labels and restart ids from 0."""
+        self._ids.clear()
+        self._labels.clear()
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._ids
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"VertexInterner(size={len(self._labels)})"

@@ -81,14 +81,14 @@ def average_local_clustering(graph: DynamicAdjacency) -> float:
     """Mean of per-vertex clustering coefficients (Watts–Strogatz)."""
     coefficients = []
     for v in graph.vertices():
-        neighbours = list(graph.neighbors(v))
+        neighbours = list(graph.neighbors_view(v))
         d = len(neighbours)
         if d < 2:
             coefficients.append(0.0)
             continue
         links = 0
         for i, a in enumerate(neighbours):
-            a_neighbours = graph.neighbors(a)
+            a_neighbours = graph.neighbors_view(a)
             for b in neighbours[i + 1:]:
                 if b in a_neighbours:
                     links += 1

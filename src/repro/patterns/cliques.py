@@ -4,6 +4,14 @@ An edge {u, v} completes a k-clique for every (k-2)-subset of the
 common neighbours of u and v that is itself a clique. For k = 3 this is
 just every common neighbour; for k = 4 every *adjacent pair* of common
 neighbours — matching the per-event costs γ(M) discussed in Theorem 3.
+
+Candidate vertices are ordered by their interned dense ids
+(:meth:`~repro.graph.adjacency.DynamicAdjacency.sort_by_id`) so each
+instance is emitted exactly once. The previous scheme sorted by
+``key=repr``, which allocated a string per vertex per event and could
+disagree with identity for vertex types whose ``repr`` ordering differs
+from equality; interned ids are allocation-free and identity-consistent
+by construction.
 """
 
 from __future__ import annotations
@@ -45,10 +53,13 @@ class FourClique(Pattern):
     def instances_completed(
         self, adj: DynamicAdjacency, u: Vertex, v: Vertex
     ) -> Iterator[Instance]:
-        common = sorted(adj.common_neighbors(u, v), key=repr)
-        for i, w in enumerate(common):
-            w_neighbours = adj.neighbors(w)
-            for x in common[i + 1:]:
+        common = adj.common_neighbors(u, v)
+        if len(common) < 2:
+            return
+        ordered = adj.sort_by_id(common)
+        for i, w in enumerate(ordered):
+            w_neighbours = adj.neighbors_view(w)
+            for x in ordered[i + 1:]:
                 if x in w_neighbours:
                     yield (
                         canonical_edge(u, w),
@@ -57,6 +68,20 @@ class FourClique(Pattern):
                         canonical_edge(v, x),
                         canonical_edge(w, x),
                     )
+
+    def count_completed(
+        self, adj: DynamicAdjacency, u: Vertex, v: Vertex
+    ) -> int:
+        # Count-only fast path: adjacent pairs among the common
+        # neighbours, via C-level intersections (each pair seen twice).
+        common = adj.common_neighbors(u, v)
+        if len(common) < 2:
+            return 0
+        neighbors_view = adj.neighbors_view
+        count = 0
+        for w in common:
+            count += len(neighbors_view(w) & common)
+        return count // 2
 
 
 class KClique(Pattern):
@@ -78,8 +103,11 @@ class KClique(Pattern):
     def instances_completed(
         self, adj: DynamicAdjacency, u: Vertex, v: Vertex
     ) -> Iterator[Instance]:
-        common = sorted(adj.common_neighbors(u, v), key=repr)
         need = self.k - 2
+        raw_common = adj.common_neighbors(u, v)
+        if len(raw_common) < need:
+            return
+        common = adj.sort_by_id(raw_common)
 
         def extend(
             chosen: list[Vertex], start: int
@@ -89,7 +117,7 @@ class KClique(Pattern):
                 return
             for i in range(start, len(common)):
                 candidate = common[i]
-                neighbours = adj.neighbors(candidate)
+                neighbours = adj.neighbors_view(candidate)
                 if all(c in neighbours for c in chosen):
                     chosen.append(candidate)
                     yield from extend(chosen, i + 1)
@@ -104,3 +132,29 @@ class KClique(Pattern):
                     if edge != canonical_edge(u, v):
                         edges.append(edge)
             yield tuple(edges)
+
+    def count_completed(
+        self, adj: DynamicAdjacency, u: Vertex, v: Vertex
+    ) -> int:
+        # Count-only fast path: same search, no edge-tuple construction.
+        need = self.k - 2
+        raw_common = adj.common_neighbors(u, v)
+        if len(raw_common) < need:
+            return 0
+        common = adj.sort_by_id(raw_common)
+        neighbors_view = adj.neighbors_view
+
+        def count_extensions(chosen: list[Vertex], start: int) -> int:
+            if len(chosen) == need:
+                return 1
+            total = 0
+            for i in range(start, len(common)):
+                candidate = common[i]
+                neighbours = neighbors_view(candidate)
+                if all(c in neighbours for c in chosen):
+                    chosen.append(candidate)
+                    total += count_extensions(chosen, i + 1)
+                    chosen.pop()
+            return total
+
+        return count_extensions([], 0)

@@ -12,7 +12,7 @@ during training and evaluation.
 from __future__ import annotations
 
 from repro.graph.adjacency import DynamicAdjacency
-from repro.graph.stream import EdgeEvent, EdgeStream
+from repro.graph.stream import INSERT, EdgeEvent, EdgeStream
 from repro.patterns.base import Pattern
 from repro.patterns.matching import get_pattern
 
@@ -34,21 +34,23 @@ class ExactCounter:
 
     def process(self, event: EdgeEvent) -> int:
         """Apply one stream event; return the signed count delta."""
-        u, v = event.edge
-        if event.is_insertion:
+        edge = event.edge
+        u, v = edge
+        if event.op == INSERT:
             delta = self.pattern.count_completed(self.graph, u, v)
-            self.graph.add_edge(u, v)
+            self.graph.add_edge_canonical(edge)
             self._count += delta
             return delta
-        self.graph.remove_edge(u, v)
+        self.graph.remove_edge_canonical(edge)
         delta = self.pattern.count_completed(self.graph, u, v)
         self._count -= delta
         return -delta
 
     def process_stream(self, stream: EdgeStream) -> int:
         """Apply a whole stream; return the final count."""
+        process = self.process
         for event in stream:
-            self.process(event)
+            process(event)
         return self._count
 
     def reset(self) -> None:

@@ -31,10 +31,10 @@ class Wedge(Pattern):
     def instances_completed(
         self, adj: DynamicAdjacency, u: Vertex, v: Vertex
     ) -> Iterator[Instance]:
-        for w in adj.neighbors(u):
+        for w in adj.neighbors_view(u):
             if w != v:
                 yield (canonical_edge(u, w),)
-        for w in adj.neighbors(v):
+        for w in adj.neighbors_view(v):
             if w != u:
                 yield (canonical_edge(v, w),)
 
@@ -69,10 +69,10 @@ class ThreePath(Pattern):
         self, adj: DynamicAdjacency, u: Vertex, v: Vertex
     ) -> Iterator[Instance]:
         # Middle role: w - u - v - x.
-        for w in adj.neighbors(u):
+        for w in adj.neighbors_view(u):
             if w == v:
                 continue
-            for x in adj.neighbors(v):
+            for x in adj.neighbors_view(v):
                 if x == u or x == w:
                     continue
                 yield (canonical_edge(w, u), canonical_edge(v, x))
@@ -80,10 +80,10 @@ class ThreePath(Pattern):
         # both orientations by swapping (u, v).
         for end, inner in ((u, v), (v, u)):
             # new edge is (inner, end); path: inner - end - w - x.
-            for w in adj.neighbors(end):
+            for w in adj.neighbors_view(end):
                 if w == inner:
                     continue
-                for x in adj.neighbors(w):
+                for x in adj.neighbors_view(w):
                     if x == end or x == inner or x == w:
                         continue
                     yield (canonical_edge(end, w), canonical_edge(w, x))

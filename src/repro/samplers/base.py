@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Callable, Iterable, Iterator
+from itertools import islice
 
 import numpy as np
 
@@ -94,10 +95,39 @@ class SubgraphCountingSampler(abc.ABC):
         for observer in self.instance_observers:
             observer(trigger, instance, value)
 
+    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
+        """Consume a batch of events; return the estimate afterwards.
+
+        Semantically identical to calling :meth:`process` per event
+        (bit-identical estimates under a fixed seed), but subclasses on
+        the hot path override it to amortise per-event overhead —
+        pre-drawing rank randomness in numpy blocks, hoisting attribute
+        lookups, and skipping observer plumbing when no observers are
+        registered (see :class:`~repro.samplers.wsd.WSD`).
+        """
+        process = self.process
+        for event in events:
+            process(event)
+        return self.estimate
+
     def process_stream(self, stream: EdgeStream | Iterable[EdgeEvent]) -> float:
-        """Consume a whole stream; return the final estimate."""
-        for event in stream:
-            self.process(event)
+        """Consume a whole stream; return the final estimate.
+
+        Materialised streams are handed to :meth:`process_batch` whole;
+        lazy iterables (e.g. :func:`~repro.graph.stream.iter_stream_file`)
+        are consumed in bounded chunks so the single-pass, fixed-memory
+        contract of Section II is preserved. Chunking does not change
+        results: batches are bit-identical to per-event processing
+        regardless of their boundaries.
+        """
+        if isinstance(stream, (list, tuple, EdgeStream)):
+            return self.process_batch(stream)
+        iterator = iter(stream)
+        while True:
+            chunk = list(islice(iterator, 8192))
+            if not chunk:
+                break
+            self.process_batch(chunk)
         return self.estimate
 
     # -- introspection -------------------------------------------------------
@@ -136,7 +166,9 @@ class SampledGraphMixin:
         return self._sampled_graph
 
     def _sample_add(self, edge: Edge) -> None:
-        self._sampled_graph.add_edge(*edge)
+        # Edges reaching the sample come from stream events and are
+        # already canonical — skip re-canonicalisation.
+        self._sampled_graph.add_edge_canonical(edge)
 
     def _sample_remove(self, edge: Edge) -> None:
-        self._sampled_graph.remove_edge(*edge)
+        self._sampled_graph.remove_edge_canonical(edge)

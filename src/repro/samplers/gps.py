@@ -52,6 +52,9 @@ class GPS(SampledGraphMixin, SubgraphCountingSampler):
         # r_{M+1}: the largest rank among discarded/evicted edges, which
         # equals the (M+1)-th largest rank seen once > M edges arrived.
         self._r_m_plus_1 = 0.0
+        #: P[r(e) > r_{M+1}] per sampled edge, valid for the current
+        #: threshold; cleared whenever r_{M+1} grows.
+        self._prob_cache: dict[Edge, float] = {}
 
     @property
     def threshold(self) -> float:
@@ -60,49 +63,95 @@ class GPS(SampledGraphMixin, SubgraphCountingSampler):
 
     def inclusion_probability(self, edge: Edge) -> float:
         """P[e ∈ R(t)] = P[r(e) > r_{M+1}] for a sampled edge."""
-        weight = self._edge_weights[edge]
-        return self.rank_fn.inclusion_probability(weight, self._r_m_plus_1)
+        cache = self._prob_cache
+        p = cache.get(edge)
+        if p is None:
+            p = self.rank_fn.inclusion_probability(
+                self._edge_weights[edge], self._r_m_plus_1
+            )
+            cache[edge] = p
+        return p
+
+    def _raise_threshold(self, rank: float) -> None:
+        """r_{M+1} ← max(r_{M+1}, rank), invalidating memoized probs."""
+        if rank > self._r_m_plus_1:
+            self._r_m_plus_1 = rank
+            self._prob_cache.clear()
 
     def _instance_value(self, instance: tuple[Edge, ...]) -> float:
+        cache = self._prob_cache
+        weights = self._edge_weights
+        inc_prob = self.rank_fn.inclusion_probability
+        threshold = self._r_m_plus_1
         value = 1.0
         for other in instance:
-            value /= self.rank_fn.inclusion_probability(
-                self._edge_weights[other], self._r_m_plus_1
-            )
+            p = cache.get(other)
+            if p is None:
+                p = inc_prob(weights[other], threshold)
+                cache[other] = p
+            value /= p
         return value
 
     def _process_insertion(self, edge: Edge) -> None:
         u, v = edge
-        instances = list(
-            self.pattern.instances_completed(self._sampled_graph, u, v)
-        )
-        for instance in instances:
-            value = self._instance_value(instance)
-            self._estimate += value
-            if self.instance_observers:
-                self._emit_instance(edge, instance, value)
-
-        ctx = WeightContext(
-            edge=edge,
-            time=self._time,
-            instances=instances,
-            adjacency=self._sampled_graph,
-            edge_times=self._edge_times,
-            pattern=self.pattern,
-        )
-        weight = float(self.weight_fn(ctx))
+        wf = self.weight_fn
+        if wf.needs_context:
+            instances = list(
+                self.pattern.instances_completed(self._sampled_graph, u, v)
+            )
+            for instance in instances:
+                value = self._instance_value(instance)
+                self._estimate += value
+                if self.instance_observers:
+                    self._emit_instance(edge, instance, value)
+            ctx = WeightContext(
+                edge=edge,
+                time=self._time,
+                instances=instances,
+                adjacency=self._sampled_graph,
+                edge_times=self._edge_times,
+                pattern=self.pattern,
+            )
+            weight = float(wf(ctx))
+        else:
+            # Light path: stream the instances with hoisted lookups and
+            # the probability product computed inline — the memo dict
+            # is skipped because r_{M+1} grows on almost every
+            # full-reservoir event, so entries rarely survive long
+            # enough to be reused (values are identical either way).
+            num_instances = 0
+            observers = self.instance_observers
+            inc_prob = self.rank_fn.inclusion_probability
+            weights = self._edge_weights
+            threshold = self._r_m_plus_1
+            estimate = self._estimate
+            for instance in self.pattern.instances_completed(
+                self._sampled_graph, u, v
+            ):
+                num_instances += 1
+                value = 1.0
+                for other in instance:
+                    value /= inc_prob(weights[other], threshold)
+                estimate += value
+                if observers:
+                    self._estimate = estimate
+                    self._emit_instance(edge, instance, value)
+            self._estimate = estimate
+            weight = float(
+                wf.light_weight(num_instances, self._sampled_graph, u, v)
+            )
         rank = self.rank_fn.rank(weight, self.rng)
         if len(self._reservoir) < self.budget:
             self._admit(edge, weight, rank)
             return
-        _, min_rank = self._reservoir.peek_min()
+        min_rank = self._reservoir.min_priority()
         if rank > min_rank:
-            evicted, evicted_rank = self._reservoir.pop_min()
+            evicted, evicted_rank = self._reservoir.replace_min(edge, rank)
             self._evict(evicted)
-            self._r_m_plus_1 = max(self._r_m_plus_1, evicted_rank)
-            self._admit(edge, weight, rank)
+            self._raise_threshold(evicted_rank)
+            self._record_admission(edge, weight)
         else:
-            self._r_m_plus_1 = max(self._r_m_plus_1, rank)
+            self._raise_threshold(rank)
 
     def _process_deletion(self, edge: Edge) -> None:
         raise SamplerError(
@@ -112,6 +161,10 @@ class GPS(SampledGraphMixin, SubgraphCountingSampler):
 
     def _admit(self, edge: Edge, weight: float, rank: float) -> None:
         self._reservoir.push(edge, rank)
+        self._record_admission(edge, weight)
+
+    def _record_admission(self, edge: Edge, weight: float) -> None:
+        """Record sample state for an edge already placed in the heap."""
         self._edge_weights[edge] = weight
         self._edge_times[edge] = self._time
         self._sample_add(edge)
@@ -119,6 +172,7 @@ class GPS(SampledGraphMixin, SubgraphCountingSampler):
     def _evict(self, edge: Edge) -> None:
         del self._edge_weights[edge]
         del self._edge_times[edge]
+        self._prob_cache.pop(edge, None)
         self._sample_remove(edge)
 
     @property

@@ -54,6 +54,9 @@ class GPSA(SampledGraphMixin, SubgraphCountingSampler):
         self._edge_times: dict[Edge, int] = {}
         self._tagged: set[Edge] = set()
         self._r_m_plus_1 = 0.0
+        #: P[r(e) > r_{M+1}] per sampled edge, valid for the current
+        #: threshold; cleared whenever r_{M+1} grows.
+        self._prob_cache: dict[Edge, float] = {}
 
     @property
     def threshold(self) -> float:
@@ -65,34 +68,74 @@ class GPSA(SampledGraphMixin, SubgraphCountingSampler):
         """|R_tag|: reservoir slots wasted on deleted edges."""
         return len(self._tagged)
 
+    def _raise_threshold(self, rank: float) -> None:
+        """r_{M+1} ← max(r_{M+1}, rank), invalidating memoized probs."""
+        if rank > self._r_m_plus_1:
+            self._r_m_plus_1 = rank
+            self._prob_cache.clear()
+
     def _instance_value(self, instance: tuple[Edge, ...]) -> float:
+        cache = self._prob_cache
+        weights = self._edge_weights
+        inc_prob = self.rank_fn.inclusion_probability
+        threshold = self._r_m_plus_1
         value = 1.0
         for other in instance:
-            value /= self.rank_fn.inclusion_probability(
-                self._edge_weights[other], self._r_m_plus_1
-            )
+            p = cache.get(other)
+            if p is None:
+                p = inc_prob(weights[other], threshold)
+                cache[other] = p
+            value /= p
         return value
 
     def _process_insertion(self, edge: Edge) -> None:
         u, v = edge
-        instances = list(
-            self.pattern.instances_completed(self._sampled_graph, u, v)
-        )
-        for instance in instances:
-            value = self._instance_value(instance)
-            self._estimate += value
-            if self.instance_observers:
-                self._emit_instance(edge, instance, value)
-
-        ctx = WeightContext(
-            edge=edge,
-            time=self._time,
-            instances=instances,
-            adjacency=self._sampled_graph,
-            edge_times=self._edge_times,
-            pattern=self.pattern,
-        )
-        weight = float(self.weight_fn(ctx))
+        wf = self.weight_fn
+        if wf.needs_context:
+            instances = list(
+                self.pattern.instances_completed(self._sampled_graph, u, v)
+            )
+            for instance in instances:
+                value = self._instance_value(instance)
+                self._estimate += value
+                if self.instance_observers:
+                    self._emit_instance(edge, instance, value)
+            ctx = WeightContext(
+                edge=edge,
+                time=self._time,
+                instances=instances,
+                adjacency=self._sampled_graph,
+                edge_times=self._edge_times,
+                pattern=self.pattern,
+            )
+            weight = float(wf(ctx))
+        else:
+            # Light path: stream the instances with hoisted lookups and
+            # the probability product computed inline — the memo dict
+            # is skipped because r_{M+1} grows on almost every
+            # full-reservoir event, so entries rarely survive long
+            # enough to be reused (values are identical either way).
+            num_instances = 0
+            observers = self.instance_observers
+            inc_prob = self.rank_fn.inclusion_probability
+            weights = self._edge_weights
+            threshold = self._r_m_plus_1
+            estimate = self._estimate
+            for instance in self.pattern.instances_completed(
+                self._sampled_graph, u, v
+            ):
+                num_instances += 1
+                value = 1.0
+                for other in instance:
+                    value /= inc_prob(weights[other], threshold)
+                estimate += value
+                if observers:
+                    self._estimate = estimate
+                    self._emit_instance(edge, instance, value)
+            self._estimate = estimate
+            weight = float(
+                wf.light_weight(num_instances, self._sampled_graph, u, v)
+            )
         rank = self.rank_fn.rank(weight, self.rng)
 
         if edge in self._reservoir:
@@ -106,14 +149,14 @@ class GPSA(SampledGraphMixin, SubgraphCountingSampler):
         if len(self._reservoir) < self.budget:
             self._admit(edge, weight, rank)
             return
-        _, min_rank = self._reservoir.peek_min()
+        min_rank = self._reservoir.min_priority()
         if rank > min_rank:
-            evicted, evicted_rank = self._reservoir.pop_min()
+            evicted, evicted_rank = self._reservoir.replace_min(edge, rank)
             self._drop_state(evicted)
-            self._r_m_plus_1 = max(self._r_m_plus_1, evicted_rank)
-            self._admit(edge, weight, rank)
+            self._raise_threshold(evicted_rank)
+            self._record_admission(edge, weight)
         else:
-            self._r_m_plus_1 = max(self._r_m_plus_1, rank)
+            self._raise_threshold(rank)
 
     def _process_deletion(self, edge: Edge) -> None:
         # Tag first (removing e_t from the useful sample), then count the
@@ -122,16 +165,29 @@ class GPSA(SampledGraphMixin, SubgraphCountingSampler):
             self._tagged.add(edge)
             self._sample_remove(edge)
         u, v = edge
+        observers = self.instance_observers
+        inc_prob = self.rank_fn.inclusion_probability
+        weights = self._edge_weights
+        threshold = self._r_m_plus_1
+        estimate = self._estimate
         for instance in self.pattern.instances_completed(
             self._sampled_graph, u, v
         ):
-            value = self._instance_value(instance)
-            self._estimate -= value
-            if self.instance_observers:
+            value = 1.0
+            for other in instance:
+                value /= inc_prob(weights[other], threshold)
+            estimate -= value
+            if observers:
+                self._estimate = estimate
                 self._emit_instance(edge, instance, -value)
+        self._estimate = estimate
 
     def _admit(self, edge: Edge, weight: float, rank: float) -> None:
         self._reservoir.push(edge, rank)
+        self._record_admission(edge, weight)
+
+    def _record_admission(self, edge: Edge, weight: float) -> None:
+        """Record sample state for an edge already placed in the heap."""
         self._edge_weights[edge] = weight
         self._edge_times[edge] = self._time
         self._sample_add(edge)
@@ -139,6 +195,7 @@ class GPSA(SampledGraphMixin, SubgraphCountingSampler):
     def _drop_state(self, edge: Edge) -> None:
         del self._edge_weights[edge]
         del self._edge_times[edge]
+        self._prob_cache.pop(edge, None)
         if edge in self._tagged:
             self._tagged.discard(edge)
         else:

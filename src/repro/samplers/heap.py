@@ -7,6 +7,13 @@ library ``heapq`` cannot remove by key without lazy tombstones, which
 would violate the fixed-memory constraint, so this is a classic indexed
 binary heap: a position map gives O(1) lookup and O(log n)
 sift-up/sift-down removal.
+
+The sift loops use hole-percolation (shift parents/children into the
+hole, write the moved element once at the end) rather than pairwise
+swaps — half the list writes and position-map updates per level, which
+matters because every full-reservoir replacement (WSD Case 2.1) pays
+one sift. :meth:`replace_min` performs that replacement with a single
+sift-down instead of a ``pop_min`` + ``push`` pair.
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ class IndexedMinHeap:
     arbitrarily (heap order only guarantees the minimum).
     """
 
+    __slots__ = ("_keys", "_priorities", "_position")
+
     def __init__(self) -> None:
         self._keys: list[Hashable] = []
         self._priorities: list[float] = []
@@ -30,38 +39,49 @@ class IndexedMinHeap:
 
     # -- core helpers -------------------------------------------------------
 
-    def _swap(self, i: int, j: int) -> None:
-        self._keys[i], self._keys[j] = self._keys[j], self._keys[i]
-        self._priorities[i], self._priorities[j] = (
-            self._priorities[j],
-            self._priorities[i],
-        )
-        self._position[self._keys[i]] = i
-        self._position[self._keys[j]] = j
-
     def _sift_up(self, i: int) -> None:
+        keys, priorities, position = self._keys, self._priorities, self._position
+        key = keys[i]
+        priority = priorities[i]
         while i > 0:
             parent = (i - 1) >> 1
-            if self._priorities[i] < self._priorities[parent]:
-                self._swap(i, parent)
+            parent_priority = priorities[parent]
+            if priority < parent_priority:
+                parent_key = keys[parent]
+                keys[i] = parent_key
+                priorities[i] = parent_priority
+                position[parent_key] = i
                 i = parent
             else:
                 break
+        keys[i] = key
+        priorities[i] = priority
+        position[key] = i
 
     def _sift_down(self, i: int) -> None:
-        n = len(self._keys)
+        keys, priorities, position = self._keys, self._priorities, self._position
+        n = len(keys)
+        key = keys[i]
+        priority = priorities[i]
         while True:
-            left = 2 * i + 1
-            right = left + 1
-            smallest = i
-            if left < n and self._priorities[left] < self._priorities[smallest]:
-                smallest = left
-            if right < n and self._priorities[right] < self._priorities[smallest]:
-                smallest = right
-            if smallest == i:
+            child = 2 * i + 1
+            if child >= n:
                 break
-            self._swap(i, smallest)
-            i = smallest
+            right = child + 1
+            if right < n and priorities[right] < priorities[child]:
+                child = right
+            child_priority = priorities[child]
+            if child_priority < priority:
+                child_key = keys[child]
+                keys[i] = child_key
+                priorities[i] = child_priority
+                position[child_key] = i
+                i = child
+            else:
+                break
+        keys[i] = key
+        priorities[i] = priority
+        position[key] = i
 
     # -- public API ---------------------------------------------------------
 
@@ -80,6 +100,12 @@ class IndexedMinHeap:
             raise IndexError("peek on empty heap")
         return self._keys[0], self._priorities[0]
 
+    def min_priority(self) -> float:
+        """Return the minimum priority without removing it."""
+        if not self._priorities:
+            raise IndexError("peek on empty heap")
+        return self._priorities[0]
+
     def pop_min(self) -> tuple[Hashable, float]:
         """Remove and return (key, priority) of the minimum."""
         if not self._keys:
@@ -87,6 +113,25 @@ class IndexedMinHeap:
         result = (self._keys[0], self._priorities[0])
         self._remove_at(0)
         return result
+
+    def replace_min(self, key: Hashable, priority: float) -> tuple[Hashable, float]:
+        """Replace the minimum element with ``key`` in one sift.
+
+        Returns the evicted ``(key, priority)``. Equivalent to
+        ``pop_min()`` followed by ``push(key, priority)`` but does a
+        single sift-down — the fast path for reservoir replacement.
+        """
+        if not self._keys:
+            raise IndexError("replace_min on empty heap")
+        if key in self._position:
+            raise KeyError(f"key {key!r} already in heap")
+        old = (self._keys[0], self._priorities[0])
+        del self._position[old[0]]
+        self._keys[0] = key
+        self._priorities[0] = priority
+        self._position[key] = 0
+        self._sift_down(0)
+        return old
 
     def remove(self, key: Hashable) -> float:
         """Remove ``key`` and return its priority. Raises KeyError if absent."""
@@ -100,15 +145,19 @@ class IndexedMinHeap:
     def _remove_at(self, i: int) -> None:
         last = len(self._keys) - 1
         key = self._keys[i]
-        if i != last:
-            self._swap(i, last)
-        self._keys.pop()
-        self._priorities.pop()
         del self._position[key]
-        if i <= last - 1 and self._keys:
-            # The moved element may need to go either direction.
-            self._sift_down(i)
-            self._sift_up(i)
+        if i == last:
+            self._keys.pop()
+            self._priorities.pop()
+            return
+        moved_key = self._keys.pop()
+        moved_priority = self._priorities.pop()
+        self._keys[i] = moved_key
+        self._priorities[i] = moved_priority
+        self._position[moved_key] = i
+        # The moved element may need to go either direction.
+        self._sift_down(i)
+        self._sift_up(self._position[moved_key])
 
     def priority(self, key: Hashable) -> float:
         """Return the priority of ``key``. Raises KeyError if absent."""

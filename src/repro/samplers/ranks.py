@@ -33,6 +33,20 @@ class RankFunction(abc.ABC):
     def rank(self, weight: float, rng: np.random.Generator) -> float:
         """Draw a random rank for an edge of ``weight`` (> 0)."""
 
+    def rank_from_uniform(self, weight: float, u: float) -> float:
+        """Return the rank for ``weight`` from one raw uniform draw.
+
+        ``u`` is a value from ``rng.random()`` (i.e. in [0, 1)). Rank
+        families that implement this let the samplers pre-draw
+        randomness in numpy blocks (``rng.random(n)`` yields the exact
+        doubles of n scalar draws), which is the batched-ingestion fast
+        path; :meth:`rank` must then equal
+        ``rank_from_uniform(weight, rng.random())`` bit for bit.
+        Families without a closed form may leave this unimplemented —
+        the samplers fall back to per-event :meth:`rank` draws.
+        """
+        raise NotImplementedError
+
     @abc.abstractmethod
     def inclusion_probability(self, weight: float, threshold: float) -> float:
         """Return P[rank(weight) > threshold].
@@ -47,11 +61,13 @@ class InverseUniformRank(RankFunction):
     name = "inverse-uniform"
 
     def rank(self, weight: float, rng: np.random.Generator) -> float:
+        return self.rank_from_uniform(weight, rng.random())
+
+    def rank_from_uniform(self, weight: float, u: float) -> float:
         if weight <= 0.0:
             raise ConfigurationError(f"weight must be positive, got {weight}")
-        # rng.random() is in [0, 1); map to (0, 1] to avoid division by 0.
-        u = 1.0 - rng.random()
-        return weight / u
+        # u is in [0, 1); map to (0, 1] to avoid division by 0.
+        return weight / (1.0 - u)
 
     def inclusion_probability(self, weight: float, threshold: float) -> float:
         if threshold <= 0.0:
@@ -68,10 +84,12 @@ class ExponentialRank(RankFunction):
     name = "exponential"
 
     def rank(self, weight: float, rng: np.random.Generator) -> float:
+        return self.rank_from_uniform(weight, rng.random())
+
+    def rank_from_uniform(self, weight: float, u: float) -> float:
         if weight <= 0.0:
             raise ConfigurationError(f"weight must be positive, got {weight}")
-        u = 1.0 - rng.random()
-        return float(u ** (1.0 / weight))
+        return float((1.0 - u) ** (1.0 / weight))
 
     def inclusion_probability(self, weight: float, threshold: float) -> float:
         if threshold <= 0.0:

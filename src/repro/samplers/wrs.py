@@ -80,16 +80,27 @@ class WRS(SampledGraphMixin, SubgraphCountingSampler):
         """
         u, v = edge
         delta = 0.0
+        # The RP probability depends only on the instance's count of
+        # reservoir edges (sample size and population are fixed within
+        # one event), so memoize it per count for this event.
+        probs: dict[int, float] = {}
+        joint_prob = self._rp.joint_inclusion_probability
+        waiting_room = self._waiting_room
+        observers = self.instance_observers
         for instance in self.pattern.instances_completed(
             self._sampled_graph, u, v
         ):
-            in_reservoir = sum(
-                1 for other in instance if other not in self._waiting_room
-            )
-            p = self._rp.joint_inclusion_probability(in_reservoir)
+            in_reservoir = 0
+            for other in instance:
+                if other not in waiting_room:
+                    in_reservoir += 1
+            p = probs.get(in_reservoir)
+            if p is None:
+                p = joint_prob(in_reservoir)
+                probs[in_reservoir] = p
             if p > 0.0:
                 delta += 1.0 / p
-                if self.instance_observers:
+                if observers:
                     self._emit_instance(edge, instance, sign / p)
         return delta
 

@@ -56,9 +56,39 @@ class WeightFunction(abc.ABC):
     #: Short name used in experiment tables ("heuristic", "learned", ...).
     name: str = "weight"
 
+    #: Whether this weight function needs the full :class:`WeightContext`.
+    #: Building the context materialises the instance list and is the
+    #: single largest avoidable allocation on the samplers' insertion
+    #: path, so functions that only need cheap summaries (instance
+    #: count, degrees) set this to ``False`` and implement
+    #: :meth:`light_weight`; the samplers then skip context construction
+    #: entirely. Defaults to ``True`` (safe for subclasses that only
+    #: implement ``__call__``).
+    needs_context: bool = True
+
     @abc.abstractmethod
     def __call__(self, ctx: WeightContext) -> float:
         """Return W(e, R) > 0 for the arriving edge."""
+
+    def light_weight(
+        self,
+        num_instances: int,
+        adjacency: DynamicAdjacency,
+        u: object,
+        v: object,
+    ) -> float:
+        """Context-free fast path: weight from cheap per-event summaries.
+
+        Called by the samplers instead of ``__call__`` when
+        :attr:`needs_context` is ``False``. ``num_instances`` is
+        |H(e)| — the number of instances the arriving edge ``(u, v)``
+        completes against the sampled graph ``adjacency``. Must return
+        the same value ``__call__`` would for the equivalent context.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares needs_context=False but does "
+            "not implement light_weight()"
+        )
 
     def reset(self) -> None:
         """Clear any per-stream state (called between trials)."""

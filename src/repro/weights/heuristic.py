@@ -23,6 +23,7 @@ class GPSHeuristicWeight(WeightFunction):
     """W(e, R) = ``slope`` · |H(e)| + ``offset`` (defaults: 9, 1)."""
 
     name = "heuristic"
+    needs_context = False
 
     def __init__(self, slope: float = 9.0, offset: float = 1.0) -> None:
         if offset <= 0.0:
@@ -37,13 +38,20 @@ class GPSHeuristicWeight(WeightFunction):
     def __call__(self, ctx: WeightContext) -> float:
         return self.slope * len(ctx.instances) + self.offset
 
+    def light_weight(self, num_instances, adjacency, u, v) -> float:
+        return self.slope * num_instances + self.offset
+
 
 class UniformWeight(WeightFunction):
     """W(e, R) = 1: every edge equally important."""
 
     name = "uniform"
+    needs_context = False
 
     def __call__(self, ctx: WeightContext) -> float:
+        return 1.0
+
+    def light_weight(self, num_instances, adjacency, u, v) -> float:
         return 1.0
 
 
@@ -51,6 +59,7 @@ class DegreeWeight(WeightFunction):
     """W(e, R) = deg_R(u) + deg_R(v) + ``offset``."""
 
     name = "degree"
+    needs_context = False
 
     def __init__(self, offset: float = 1.0) -> None:
         if offset <= 0.0:
@@ -64,3 +73,6 @@ class DegreeWeight(WeightFunction):
         return (
             ctx.adjacency.degree(u) + ctx.adjacency.degree(v) + self.offset
         )
+
+    def light_weight(self, num_instances, adjacency, u, v) -> float:
+        return adjacency.degree(u) + adjacency.degree(v) + self.offset

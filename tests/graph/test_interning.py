@@ -1,0 +1,137 @@
+"""Tests for vertex interning and the zero-copy adjacency views."""
+
+import pytest
+
+from repro.graph.adjacency import DynamicAdjacency
+from repro.graph.interning import VertexInterner
+
+
+class TestVertexInterner:
+    def test_dense_ids_in_first_seen_order(self):
+        interner = VertexInterner()
+        assert interner.intern("c") == 0
+        assert interner.intern("a") == 1
+        assert interner.intern("b") == 2
+        assert interner.intern("a") == 1  # idempotent
+        assert len(interner) == 3
+
+    def test_label_roundtrip(self):
+        interner = VertexInterner()
+        for label in (10, "x", (1, 2)):
+            interner.intern(label)
+        for label in (10, "x", (1, 2)):
+            assert interner.label(interner.id_of(label)) == label
+
+    def test_id_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            VertexInterner().id_of("ghost")
+
+    def test_sorted_uses_first_seen_order_not_repr(self):
+        interner = VertexInterner()
+        # repr order would be [1, 20, 3] (strings "1" < "20" < "3");
+        # interned order is arrival order.
+        for label in (20, 3, 1):
+            interner.intern(label)
+        assert interner.sorted([1, 20, 3]) == [20, 3, 1]
+        assert sorted([1, 20, 3], key=interner.sort_key) == [20, 3, 1]
+
+    def test_contains_and_clear(self):
+        interner = VertexInterner()
+        interner.intern("a")
+        assert "a" in interner
+        interner.clear()
+        assert "a" not in interner
+        assert len(interner) == 0
+        assert interner.intern("b") == 0  # ids restart
+
+
+class TestAdjacencyInterning:
+    def test_vertices_interned_on_insertion(self):
+        adj = DynamicAdjacency()
+        adj.add_edge(5, 2)
+        adj.add_edge(2, 9)
+        # Canonical order of the first edge is (2, 5).
+        assert adj.vertex_id(2) == 0
+        assert adj.vertex_id(5) == 1
+        assert adj.vertex_id(9) == 2
+
+    def test_ids_survive_vertex_removal(self):
+        adj = DynamicAdjacency()
+        adj.add_edge(1, 2)
+        adj.remove_edge(1, 2)  # both vertices now isolated and dropped
+        assert adj.num_vertices == 0
+        assert adj.vertex_id(1) is not None  # id retained
+        adj.add_edge(1, 3)
+        assert adj.vertex_id(1) == adj.interner.id_of(1)
+
+    def test_sort_by_id_stable_total_order(self):
+        adj = DynamicAdjacency()
+        adj.add_edge("b", "a")
+        adj.add_edge("a", "c")
+        ordered = adj.sort_by_id({"a", "b", "c"})
+        assert ordered == ["a", "b", "c"]  # canonical first-insertion order
+
+    def test_clear_resets_interner(self):
+        adj = DynamicAdjacency()
+        adj.add_edge(1, 2)
+        adj.clear()
+        with pytest.raises(KeyError):
+            adj.vertex_id(1)
+
+
+class TestNeighborViews:
+    def test_view_matches_neighbors(self):
+        adj = DynamicAdjacency()
+        adj.add_edge(1, 2)
+        adj.add_edge(1, 3)
+        assert set(adj.neighbors_view(1)) == {2, 3}
+        assert adj.neighbors(1) == frozenset({2, 3})
+        assert set(adj.iter_neighbors(1)) == {2, 3}
+
+    def test_view_is_zero_copy_and_live(self):
+        adj = DynamicAdjacency()
+        adj.add_edge(1, 2)
+        view = adj.neighbors_view(1)
+        assert view is adj.neighbors_view(1)  # no per-call copy
+        adj.add_edge(1, 3)
+        assert 3 in view  # live view reflects later mutations
+
+    def test_unknown_vertex_views_empty(self):
+        adj = DynamicAdjacency()
+        assert adj.neighbors_view(99) == frozenset()
+        assert list(adj.iter_neighbors(99)) == []
+        assert adj.neighbors(99) == frozenset()
+
+    def test_neighbors_still_defensive_copy(self):
+        adj = DynamicAdjacency()
+        adj.add_edge(1, 2)
+        snapshot = adj.neighbors(1)
+        adj.add_edge(1, 3)
+        assert snapshot == frozenset({2})
+
+
+class TestCanonicalFastPaths:
+    def test_add_remove_canonical_roundtrip(self):
+        adj = DynamicAdjacency()
+        adj.add_edge_canonical((1, 2))
+        assert (1, 2) in adj
+        assert adj.num_edges == 1
+        adj.remove_edge_canonical((1, 2))
+        assert (1, 2) not in adj
+        assert adj.num_edges == 0
+        assert adj.num_vertices == 0
+
+    def test_add_canonical_duplicate_rejected(self):
+        from repro.errors import EdgeExistsError
+
+        adj = DynamicAdjacency()
+        adj.add_edge_canonical((1, 2))
+        with pytest.raises(EdgeExistsError):
+            adj.add_edge_canonical((1, 2))
+
+    def test_remove_canonical_missing_rejected(self):
+        from repro.errors import EdgeNotFoundError
+
+        adj = DynamicAdjacency()
+        with pytest.raises(EdgeNotFoundError):
+            adj.remove_edge_canonical((1, 2))

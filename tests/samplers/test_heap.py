@@ -87,6 +87,52 @@ class TestBasics:
         assert set(heap) == {"a", "b"}
         assert dict(heap.items()) == {"a": 1.0, "b": 2.0}
 
+    def test_min_priority(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 3.0)
+        heap.push("b", 1.0)
+        assert heap.min_priority() == 1.0
+        with pytest.raises(IndexError):
+            IndexedMinHeap().min_priority()
+
+    def test_replace_min(self):
+        heap = IndexedMinHeap()
+        for key, p in [("a", 1.0), ("b", 2.0), ("c", 3.0)]:
+            heap.push(key, p)
+        evicted = heap.replace_min("d", 2.5)
+        assert evicted == ("a", 1.0)
+        assert "a" not in heap
+        assert "d" in heap
+        assert len(heap) == 3
+        assert heap.peek_min() == ("b", 2.0)
+        drained = [heap.pop_min() for _ in range(3)]
+        assert drained == [("b", 2.0), ("d", 2.5), ("c", 3.0)]
+
+    def test_replace_min_matches_pop_push(self):
+        import random
+
+        random.seed(3)
+        a, b = IndexedMinHeap(), IndexedMinHeap()
+        for i in range(64):
+            p = random.random()
+            a.push(i, p)
+            b.push(i, p)
+        for i in range(64, 500):
+            p = random.random() * 2
+            evicted = a.replace_min(i, p)
+            popped = b.pop_min()
+            b.push(i, p)
+            assert evicted == popped
+            assert a.peek_min()[1] == b.peek_min()[1]
+
+    def test_replace_min_empty_or_duplicate_raises(self):
+        heap = IndexedMinHeap()
+        with pytest.raises(IndexError):
+            heap.replace_min("a", 1.0)
+        heap.push("a", 1.0)
+        with pytest.raises(KeyError):
+            heap.replace_min("a", 2.0)
+
 
 class TestPropertyBased:
     @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,

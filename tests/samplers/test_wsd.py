@@ -230,7 +230,7 @@ class TestDiagnostics:
         assert sampler.last_weight == 10.0  # closes one triangle
 
     def test_last_context_exposes_instances(self):
-        sampler = make_wsd(budget=10)
+        sampler = make_wsd(budget=10, capture_context=True)
         sampler.process(EdgeEvent.insertion(1, 2))
         sampler.process(EdgeEvent.insertion(2, 3))
         sampler.process(EdgeEvent.insertion(1, 3))
