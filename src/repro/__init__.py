@@ -39,9 +39,16 @@ estimates bit-identical to the naive implementation under a fixed seed:
 * **Batched ingestion** — ``sampler.process_batch(events)`` (which
   ``process_stream`` routes through) pre-draws rank randomness in one
   numpy block, hoists attribute lookups, and skips observer plumbing
-  when no observers are registered. :class:`repro.samplers.wsd.WSD`
-  additionally inlines the triangle/wedge estimators and the
-  inverse-uniform rank arithmetic.
+  when no observers are registered. The sampler kernels
+  (:mod:`repro.samplers.kernel`) additionally inline the
+  triangle/wedge estimators and the inverse-uniform rank arithmetic
+  for every threshold sampler (WSD, GPS, GPS-A), and ThinkD/Triest
+  inline the random-pairing arithmetic the same way.
+* **Sharded execution** — a
+  :class:`~repro.streams.executor.ShardedStreamExecutor` fans one
+  stream out to N sampler replicas (hash-partition for throughput,
+  broadcast for variance) and merges partial estimates with the
+  combiners in :mod:`repro.estimators.combine`.
 * **Vertex interning** — every :class:`~repro.graph.adjacency.DynamicAdjacency`
   assigns dense int ids to vertices on first insertion
   (:class:`~repro.graph.interning.VertexInterner`); the clique
@@ -74,7 +81,7 @@ from repro.graph.datasets import load_dataset
 from repro.patterns import ExactCounter, get_pattern
 from repro.rl import Policy, train_weight_policy
 from repro.samplers import GPS, GPSA, WRS, SubgraphCountingSampler, ThinkD, Triest, WSD
-from repro.streams import build_stream
+from repro.streams import ShardedStreamExecutor, build_stream
 from repro.weights import (
     GPSHeuristicWeight,
     LearnedWeight,
@@ -102,6 +109,7 @@ __all__ = [
     "ThinkD",
     "WRS",
     "build_stream",
+    "ShardedStreamExecutor",
     "GPSHeuristicWeight",
     "LearnedWeight",
     "UniformWeight",

@@ -1,5 +1,10 @@
 """Estimation metrics, local counting, variance analysis, and traces."""
 
+from repro.estimators.combine import (
+    combine_mean,
+    combine_partition,
+    combine_variance_weighted,
+)
 from repro.estimators.local import LocalSubgraphCounter
 from repro.estimators.metrics import (
     absolute_relative_error,
@@ -17,6 +22,9 @@ from repro.estimators.variance import (
 __all__ = [
     "absolute_relative_error",
     "mean_absolute_relative_error",
+    "combine_mean",
+    "combine_partition",
+    "combine_variance_weighted",
     "EstimateTrace",
     "run_with_trace",
     "LocalSubgraphCounter",

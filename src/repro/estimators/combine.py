@@ -1,0 +1,98 @@
+"""Combiners that merge partial estimates from sampler replicas.
+
+The sharded stream executor (:mod:`repro.streams.executor`) runs N
+independent sampler replicas and needs to fuse their partial estimates
+into one number. Three combiners cover its two execution modes:
+
+* :func:`combine_mean` — the plain average. For **broadcast** replicas
+  (every replica sees the whole stream with independent randomness)
+  each partial estimate is unbiased for the global count, so the mean
+  is unbiased with variance reduced by 1/N.
+* :func:`combine_variance_weighted` — inverse-variance weighting, the
+  minimum-variance unbiased linear combination when per-replica
+  variance estimates are available (e.g. from
+  :func:`repro.estimators.variance.repeated_trials` per replica).
+  Degenerate (zero/non-finite) variances fall back to the mean.
+* :func:`combine_partition` — the **hash-partition** merge. When the
+  stream is partitioned uniformly by edge hash, an instance with |H|
+  edges survives inside one shard iff its |H| - 1 remaining edges land
+  in the same shard as the first, so
+
+      E[Σ_i c_i(t)] = |J(t)| / N^{|H| - 1}
+
+  and the unbiased merge is ``N^{|H|-1} · Σ_i c_i(t)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "combine_mean",
+    "combine_variance_weighted",
+    "combine_partition",
+]
+
+
+def combine_mean(estimates: Sequence[float]) -> float:
+    """Average of per-replica estimates (broadcast-mode merge)."""
+    if not estimates:
+        raise ConfigurationError("need at least one estimate to combine")
+    return math.fsum(estimates) / len(estimates)
+
+
+def combine_variance_weighted(
+    estimates: Sequence[float],
+    variances: Sequence[float],
+) -> float:
+    """Inverse-variance weighted mean of per-replica estimates.
+
+    ``variances[i]`` is an estimate of Var[estimates[i]]; the weights
+    are 1/variance, the minimum-variance unbiased linear combination of
+    independent unbiased estimators. Replicas reporting non-positive or
+    non-finite variance make the weighting ill-defined, so the combiner
+    falls back to the plain mean in that case (every estimator here is
+    unbiased, so the fallback stays correct — just not minimum
+    variance).
+    """
+    if not estimates:
+        raise ConfigurationError("need at least one estimate to combine")
+    if len(estimates) != len(variances):
+        raise ConfigurationError(
+            f"{len(estimates)} estimates but {len(variances)} variances"
+        )
+    if any(not math.isfinite(v) or v <= 0.0 for v in variances):
+        return combine_mean(estimates)
+    inverse = [1.0 / v for v in variances]
+    total = math.fsum(inverse)
+    return math.fsum(w * e for w, e in zip(inverse, estimates)) / total
+
+
+def combine_partition(
+    estimates: Sequence[float],
+    num_shards: int,
+    pattern_edges: int,
+) -> float:
+    """Merge shard-local estimates of a hash-partitioned stream.
+
+    ``pattern_edges`` is |H|. With a uniform edge hash, the |H| - 1
+    other edges of an instance co-locate with its first edge with
+    probability 1/N^{|H|-1}, so the sum of shard-local estimates is
+    scaled back up by N^{|H|-1}.
+    """
+    if not estimates:
+        raise ConfigurationError("need at least one estimate to combine")
+    if num_shards < 1:
+        raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+    if len(estimates) != num_shards:
+        raise ConfigurationError(
+            f"{len(estimates)} estimates for {num_shards} shards"
+        )
+    if pattern_edges < 1:
+        raise ConfigurationError(
+            f"pattern_edges must be >= 1, got {pattern_edges}"
+        )
+    return float(num_shards ** (pattern_edges - 1)) * math.fsum(estimates)

@@ -94,6 +94,14 @@ class ExperimentConfig:
     ordering: str = "natural"
     dataset_scale: float = 1.0
     seed: int = 0
+    #: Number of sampler replicas per trial. 1 runs the classic
+    #: single-sampler path; > 1 drives a
+    #: :class:`~repro.streams.executor.ShardedStreamExecutor`.
+    shards: int = 1
+    #: Executor mode when ``shards > 1``: ``"partition"`` hash-routes
+    #: each event to one replica (throughput scale-out), ``"broadcast"``
+    #: replicates the stream (variance scale-out).
+    shard_mode: str = "partition"
 
     def validate(self) -> None:
         self.scenario.validate()
@@ -105,6 +113,13 @@ class ExperimentConfig:
             raise ConfigurationError("trials must be >= 1")
         if self.checkpoints < 1:
             raise ConfigurationError("checkpoints must be >= 1")
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.shard_mode not in {"partition", "broadcast"}:
+            raise ConfigurationError(
+                "shard_mode must be 'partition' or 'broadcast', got "
+                f"{self.shard_mode!r}"
+            )
 
     def with_changes(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""

@@ -22,7 +22,9 @@ from repro.experiments.algorithms import make_sampler
 from repro.experiments.config import ExperimentConfig
 from repro.graph.stream import EdgeStream
 from repro.patterns.exact import ExactCounter
+from repro.patterns.matching import get_pattern
 from repro.rl.policy import Policy
+from repro.streams.executor import ShardedStreamExecutor
 from repro.utils.rng import RngFactory
 from repro.utils.timer import Stopwatch
 
@@ -32,6 +34,7 @@ __all__ = [
     "AlgorithmResult",
     "compute_ground_truth",
     "run_sampler_trial",
+    "make_trial_sampler",
     "run_algorithm",
     "run_cell",
 ]
@@ -128,6 +131,54 @@ def run_sampler_trial(
     return TrialResult(tuple(estimates), watch.elapsed, truth.final_truth)
 
 
+def make_trial_sampler(
+    name: str,
+    pattern: str,
+    budget: int,
+    factory: RngFactory,
+    trial: int,
+    policy: Policy | None = None,
+    temporal_aggregation: str = "max",
+    shards: int = 1,
+    shard_mode: str = "partition",
+):
+    """Build one trial's consumer: a sampler, or a sharded executor.
+
+    With ``shards > 1`` the trial runs a
+    :class:`~repro.streams.executor.ShardedStreamExecutor` over
+    ``shards`` replicas, each seeded independently from ``factory``.
+    Partition mode splits the budget M across the replicas (total
+    memory parity with the single-sampler run, floored at |H| per
+    replica so the estimators stay defined); broadcast replicas each
+    keep the full budget, as each one samples the whole stream.
+    """
+    if shards == 1:
+        return make_sampler(
+            name,
+            pattern,
+            budget,
+            rng=factory.generator(f"{name}-trial-{trial}"),
+            policy=policy,
+            temporal_aggregation=temporal_aggregation,
+        )
+    if shard_mode == "partition":
+        shard_budget = max(get_pattern(pattern).num_edges, budget // shards)
+    else:
+        shard_budget = budget
+
+    def shard_factory(index: int):
+        return make_sampler(
+            name,
+            pattern,
+            shard_budget,
+            rng=factory.generator(f"{name}-trial-{trial}-shard-{index}"),
+            policy=policy,
+            temporal_aggregation=temporal_aggregation,
+        )
+
+    return ShardedStreamExecutor(shard_factory, shards, mode=shard_mode)
+
+
 def run_algorithm(
     name: str,
     stream: EdgeStream,
@@ -138,6 +189,8 @@ def run_algorithm(
     seed: int = 0,
     policy: Policy | None = None,
     temporal_aggregation: str = "max",
+    shards: int = 1,
+    shard_mode: str = "partition",
 ) -> AlgorithmResult:
     """Run ``trials`` independent repetitions of one algorithm."""
     if truth.final_truth == 0:
@@ -148,13 +201,16 @@ def run_algorithm(
     factory = RngFactory(seed)
     result = AlgorithmResult(name=name)
     for trial in range(trials):
-        sampler = make_sampler(
+        sampler = make_trial_sampler(
             name,
             pattern,
             budget,
-            rng=factory.generator(f"{name}-trial-{trial}"),
+            factory,
+            trial,
             policy=policy,
             temporal_aggregation=temporal_aggregation,
+            shards=shards,
+            shard_mode=shard_mode,
         )
         trial_result = run_sampler_trial(sampler, stream, truth)
         result.ares.append(
@@ -177,7 +233,9 @@ def run_cell(
 ) -> dict[str, AlgorithmResult]:
     """Run one table cell (one dataset) for several algorithms.
 
-    The stream and ground truth are computed once and shared.
+    The stream and ground truth are computed once and shared. With
+    ``config.shards > 1`` every trial runs sharded (see
+    :func:`make_trial_sampler`).
     """
     config.validate()
     stream = config.build_stream()
@@ -195,5 +253,7 @@ def run_cell(
             seed=config.seed,
             policy=policy,
             temporal_aggregation=temporal_aggregation,
+            shards=config.shards,
+            shard_mode=config.shard_mode,
         )
     return results

@@ -63,6 +63,16 @@ class VertexInterner:
         """Return ``labels`` sorted by interned id (first-seen order)."""
         return sorted(labels, key=self._ids.__getitem__)
 
+    def labels(self) -> list[Vertex]:
+        """All interned labels in id order (index == id).
+
+        This *is* the interner's full state: replaying the list through
+        :meth:`intern` reproduces identical ids, which checkpoint
+        restore relies on to keep id-ordered enumeration (and therefore
+        float accumulation order) bit-identical.
+        """
+        return list(self._labels)
+
     def clear(self) -> None:
         """Forget all labels and restart ids from 0."""
         self._ids.clear()

@@ -1,10 +1,27 @@
-"""Stream samplers: WSD, GPS, GPS-A, and the uniform baselines."""
+"""Stream samplers: WSD, GPS, GPS-A, and the uniform baselines.
+
+All samplers are built on the composable kernel layer
+(:mod:`repro.samplers.kernel`): the rank-threshold samplers instantiate
+:class:`ThresholdSamplerKernel` with a reservoir policy, the uniform
+baselines instantiate :class:`PairingSamplerKernel`, and both inherit
+the batched ingestion fast paths.
+"""
 
 from repro.samplers.base import SubgraphCountingSampler
-from repro.samplers.checkpoint import load_wsd, restore_wsd, save_wsd, wsd_state_dict
+from repro.samplers.checkpoint import (
+    load_sampler,
+    load_wsd,
+    restore_sampler,
+    restore_wsd,
+    sampler_state_dict,
+    save_sampler,
+    save_wsd,
+    wsd_state_dict,
+)
 from repro.samplers.gps import GPS
 from repro.samplers.gps_a import GPSA
 from repro.samplers.heap import IndexedMinHeap
+from repro.samplers.kernel import PairingSamplerKernel, ThresholdSamplerKernel
 from repro.samplers.random_pairing import RandomPairingReservoir
 from repro.samplers.ranks import (
     ExponentialRank,
@@ -20,6 +37,8 @@ from repro.samplers.wsd import WSD
 
 __all__ = [
     "SubgraphCountingSampler",
+    "ThresholdSamplerKernel",
+    "PairingSamplerKernel",
     "GPS",
     "GPSA",
     "WSD",
@@ -37,4 +56,8 @@ __all__ = [
     "load_wsd",
     "wsd_state_dict",
     "restore_wsd",
+    "save_sampler",
+    "load_sampler",
+    "sampler_state_dict",
+    "restore_sampler",
 ]

@@ -19,7 +19,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.graph.adjacency import DynamicAdjacency
 from repro.graph.edges import Edge
-from repro.graph.stream import EdgeEvent, EdgeStream
+from repro.graph.stream import INSERT, EdgeEvent, EdgeStream
 from repro.patterns.base import Instance, Pattern
 from repro.patterns.matching import get_pattern
 from repro.utils.rng import ensure_rng
@@ -99,15 +99,28 @@ class SubgraphCountingSampler(abc.ABC):
         """Consume a batch of events; return the estimate afterwards.
 
         Semantically identical to calling :meth:`process` per event
-        (bit-identical estimates under a fixed seed), but subclasses on
-        the hot path override it to amortise per-event overhead —
-        pre-drawing rank randomness in numpy blocks, hoisting attribute
-        lookups, and skipping observer plumbing when no observers are
-        registered (see :class:`~repro.samplers.wsd.WSD`).
+        (bit-identical estimates under a fixed seed). This default
+        already amortises the per-event dispatch — the handlers are
+        hoisted to locals and the insertion test reads ``event.op``
+        directly instead of going through the ``is_insertion`` property.
+        The hot-path kernels (:mod:`repro.samplers.kernel`) and samplers
+        override it further: pre-drawing rank randomness in numpy
+        blocks, inlining the triangle/wedge estimators, and skipping
+        observer plumbing when no observers are registered.
         """
-        process = self.process
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        insertion = self._process_insertion
+        deletion = self._process_deletion
+        time_now = self._time
+        op_insert = INSERT
         for event in events:
-            process(event)
+            time_now += 1
+            self._time = time_now
+            if event.op == op_insert:
+                insertion(event.edge)
+            else:
+                deletion(event.edge)
         return self.estimate
 
     def process_stream(self, stream: EdgeStream | Iterable[EdgeEvent]) -> float:

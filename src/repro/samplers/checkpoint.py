@@ -1,11 +1,19 @@
-"""Checkpoint / restore for WSD samplers.
+"""Checkpoint / restore for kernel-based samplers.
 
-Long-running stream consumers need to survive restarts. A WSD sampler's
-full state is small — the reservoir entries (edge, rank, weight,
-arrival time), the two thresholds, the running estimate, the clock, and
-the rank-randomness generator state — so it serialises to a compact
-JSON document. Restoring yields a sampler that continues *bit-for-bit*
-identically to one that never stopped (verified by tests).
+Long-running stream consumers need to survive restarts. A sampler's
+full state is small — for the threshold kernels (WSD, GPS, GPS-A) the
+reservoir entries (edge, rank, weight, arrival time), the thresholds
+with their generation counter, the running estimate, the clock, and the
+rank-randomness generator state; for the random-pairing kernels
+(ThinkD, Triest) the sampled edges plus the RP counters — so it
+serialises to a compact JSON document. Restoring yields a sampler that
+continues *bit-for-bit* identically to one that never stopped (verified
+by tests).
+
+The generic entry points are :func:`sampler_state_dict` /
+:func:`restore_sampler` (and the file-level :func:`save_sampler` /
+:func:`load_sampler`); the ``*_wsd`` names are kept as the historical
+WSD-specific aliases.
 
 Only JSON-representable vertex types round-trip exactly; integer and
 string vertices are supported out of the box (integers are the library
@@ -21,12 +29,42 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.graph.edges import Edge
+from repro.samplers.gps import GPS
+from repro.samplers.gps_a import GPSA
+from repro.samplers.kernel import PairingSamplerKernel, ThresholdSamplerKernel
+from repro.samplers.thinkd import ThinkD
+from repro.samplers.triest import Triest
 from repro.samplers.wsd import WSD
 from repro.weights.base import WeightFunction
 
-__all__ = ["wsd_state_dict", "restore_wsd", "save_wsd", "load_wsd"]
+__all__ = [
+    "sampler_state_dict",
+    "restore_sampler",
+    "save_sampler",
+    "load_sampler",
+    "wsd_state_dict",
+    "restore_wsd",
+    "save_wsd",
+    "load_wsd",
+]
 
-_FORMAT_VERSION = 1
+#: Version 1 was the WSD-only format; version 2 adds the ``algorithm``
+#: tag, the threshold generation counter, and the pairing-kernel states.
+_FORMAT_VERSION = 2
+
+_THRESHOLD_ALGORITHMS: dict[str, type[ThresholdSamplerKernel]] = {
+    "wsd": WSD,
+    "gps": GPS,
+    "gps-a": GPSA,
+}
+_PAIRING_ALGORITHMS: dict[str, type[PairingSamplerKernel]] = {
+    "thinkd": ThinkD,
+    "triest": Triest,
+}
+_ALGORITHM_NAMES = {
+    cls: name
+    for name, cls in {**_THRESHOLD_ALGORITHMS, **_PAIRING_ALGORITHMS}.items()
+}
 
 
 def _encode_vertex(v) -> list:
@@ -42,78 +80,212 @@ def _decode_vertex(pair: list):
     return int(value) if kind == "i" else str(value)
 
 
-def wsd_state_dict(sampler: WSD) -> dict:
-    """Extract a JSON-serialisable snapshot of a WSD sampler's state."""
-    entries = []
-    for edge, rank in sampler._reservoir.items():
-        u, v = edge
-        entries.append(
-            {
-                "u": _encode_vertex(u),
-                "v": _encode_vertex(v),
-                "rank": float(rank),
-                "weight": float(sampler._edge_weights[edge]),
-                "time": int(sampler._edge_times[edge]),
-            }
+def _encode_edge(edge: Edge) -> dict:
+    u, v = edge
+    return {"u": _encode_vertex(u), "v": _encode_vertex(v)}
+
+
+def _decode_edge(entry: dict) -> Edge:
+    return (_decode_vertex(entry["u"]), _decode_vertex(entry["v"]))
+
+
+# -- state extraction ---------------------------------------------------------
+
+
+def sampler_state_dict(sampler) -> dict:
+    """Extract a JSON-serialisable snapshot of a sampler's state.
+
+    Supports every kernel-based sampler registered for restore: WSD,
+    GPS, GPS-A (threshold kernels) and ThinkD, Triest (pairing
+    kernels).
+    """
+    name = _ALGORITHM_NAMES.get(type(sampler))
+    if name is None:
+        raise ConfigurationError(
+            f"checkpointing not supported for {type(sampler).__name__}; "
+            f"supported: {sorted(_ALGORITHM_NAMES.values())}"
         )
-    return {
+    state = {
         "format": _FORMAT_VERSION,
+        "algorithm": name,
         "pattern": sampler.pattern.name,
         "budget": sampler.budget,
-        "rank_fn": sampler.rank_fn.name,
-        "tau_p": sampler.tau_p,
-        "tau_q": sampler.tau_q,
-        "estimate": sampler.estimate,
         "time": sampler.time,
-        "reservoir": entries,
         "rng_state": sampler.rng.bit_generator.state,
+        # The vertex interner's full id order. Ids are assigned in
+        # first-seen order and survive edge eviction, so they cannot be
+        # reconstructed from the sample alone; the id-ordered clique
+        # enumerators need the exact order for the restored sampler's
+        # float accumulation to stay bit-identical. Grows with the
+        # number of vertices ever sampled.
+        "interner": [
+            _encode_vertex(v)
+            for v in sampler._sampled_graph.interner.labels()
+        ],
     }
+    if isinstance(sampler, ThresholdSamplerKernel):
+        tagged = sampler._tagged if isinstance(sampler, GPSA) else ()
+        entries = []
+        for edge, rank in sampler._reservoir.items():
+            entry = _encode_edge(edge)
+            entry["rank"] = float(rank)
+            entry["weight"] = float(sampler._edge_weights[edge])
+            entry["time"] = int(sampler._edge_times[edge])
+            if edge in tagged:
+                entry["tagged"] = True
+            entries.append(entry)
+        state["reservoir"] = entries
+        state["rank_fn"] = sampler.rank_fn.name
+        state["threshold"] = sampler.threshold
+        state["threshold_generation"] = sampler.threshold_generation
+        state["estimate"] = sampler.estimate
+        if isinstance(sampler, WSD):
+            state["tau_p"] = sampler.tau_p
+            # Historical v1 field name, kept for readability of dumps.
+            state["tau_q"] = sampler.tau_q
+    else:
+        rp = sampler._rp
+        state["sample"] = [_encode_edge(e) for e in rp]
+        state["rp"] = {
+            "d_i": rp.d_i,
+            "d_o": rp.d_o,
+            "population": rp.population,
+        }
+        if isinstance(sampler, Triest):
+            # τ is the real state; the estimate is derived at query time.
+            state["tau"] = sampler.tau
+        else:
+            state["estimate"] = sampler.estimate
+    return state
 
 
-def restore_wsd(state: dict, weight_fn: WeightFunction) -> WSD:
-    """Rebuild a WSD sampler from :func:`wsd_state_dict` output.
+# -- restoration --------------------------------------------------------------
 
-    The weight function is supplied by the caller (it may hold a learned
-    policy or other non-serialisable resources) and must match the one
-    used before checkpointing for the continuation to be meaningful.
-    """
-    if state.get("format") != _FORMAT_VERSION:
-        raise ConfigurationError(
-            f"unsupported checkpoint format: {state.get('format')!r}"
-        )
-    sampler = WSD(
-        state["pattern"],
-        int(state["budget"]),
-        weight_fn,
-        rank_fn=state["rank_fn"],
-        rng=np.random.default_rng(),
-    )
-    sampler.rng.bit_generator.state = state["rng_state"]
-    sampler._tau_p = float(state["tau_p"])
-    sampler._tau_q = float(state["tau_q"])
-    sampler._estimate = float(state["estimate"])
-    sampler._time = int(state["time"])
+
+def _restore_threshold(sampler: ThresholdSamplerKernel, state: dict) -> None:
+    sampler._threshold = float(state["threshold"])
+    # Restoring starts a fresh memo epoch: the probability cache is
+    # empty by construction, and the generation counter is restored so
+    # consumers keyed on it (see ``tau_q_generation``) stay monotone
+    # across the checkpoint boundary. Older (v1) checkpoints carry no
+    # counter — reset to zero, which is consistent with a fresh cache.
+    sampler._threshold_generation = int(state.get("threshold_generation", 0))
+    sampler._prob_cache.clear()
+    # Replay the interner first so every vertex gets its original dense
+    # id regardless of the (heap-order) reservoir walk below. Older
+    # checkpoints without the field fall back to insertion-order ids,
+    # which is correct for order-insensitive patterns (triangle, wedge)
+    # but may reorder id-sorted clique enumeration.
+    intern = sampler._sampled_graph.interner.intern
+    for pair in state.get("interner", ()):
+        intern(_decode_vertex(pair))
+    is_gpsa = isinstance(sampler, GPSA)
     for entry in state["reservoir"]:
-        edge: Edge = (
-            _decode_vertex(entry["u"]),
-            _decode_vertex(entry["v"]),
-        )
+        edge = _decode_edge(entry)
         sampler._reservoir.push(edge, float(entry["rank"]))
         sampler._edge_weights[edge] = float(entry["weight"])
         sampler._edge_times[edge] = int(entry["time"])
+        if is_gpsa and entry.get("tagged", False):
+            sampler._tagged.add(edge)
+        else:
+            sampler._sample_add(edge)
+
+
+def restore_sampler(
+    state: dict,
+    weight_fn: WeightFunction | None = None,
+) -> WSD | GPS | GPSA | ThinkD | Triest:
+    """Rebuild a sampler from :func:`sampler_state_dict` output.
+
+    For the threshold kernels the weight function is supplied by the
+    caller (it may hold a learned policy or other non-serialisable
+    resources) and must match the one used before checkpointing for the
+    continuation to be meaningful. The pairing kernels take no weight
+    function.
+    """
+    fmt = state.get("format")
+    if fmt not in (1, _FORMAT_VERSION):
+        raise ConfigurationError(f"unsupported checkpoint format: {fmt!r}")
+    if fmt == 1:
+        # v1 checkpoints predate the algorithm tag and are always WSD.
+        name = "wsd"
+    else:
+        name = state.get("algorithm")
+        if name is None:
+            raise ConfigurationError(
+                "checkpoint is missing its 'algorithm' tag (corrupt v2 "
+                "state)"
+            )
+
+    if name in _THRESHOLD_ALGORITHMS:
+        if weight_fn is None:
+            raise ConfigurationError(
+                f"restoring {name!r} requires the weight function used "
+                "before checkpointing"
+            )
+        cls = _THRESHOLD_ALGORITHMS[name]
+        sampler = cls(
+            state["pattern"],
+            int(state["budget"]),
+            weight_fn,
+            rank_fn=state["rank_fn"],
+            rng=np.random.default_rng(),
+        )
+        sampler.rng.bit_generator.state = state["rng_state"]
+        sampler._estimate = float(state["estimate"])
+        sampler._time = int(state["time"])
+        if fmt == 1:
+            # v1 stored τq under its own name and no generation counter.
+            state = dict(state)
+            state.setdefault("threshold", state["tau_q"])
+        _restore_threshold(sampler, state)
+        if isinstance(sampler, WSD):
+            sampler._tau_p = float(state.get("tau_p", 0.0))
+        return sampler
+
+    cls = _PAIRING_ALGORITHMS.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown checkpoint algorithm {name!r}; supported: "
+            f"{sorted(_ALGORITHM_NAMES.values())}"
+        )
+    sampler = cls(
+        state["pattern"], int(state["budget"]), rng=np.random.default_rng()
+    )
+    sampler.rng.bit_generator.state = state["rng_state"]
+    sampler._time = int(state["time"])
+    intern = sampler._sampled_graph.interner.intern
+    for pair in state.get("interner", ()):
+        intern(_decode_vertex(pair))
+    rp = sampler._rp
+    rp.d_i = int(state["rp"]["d_i"])
+    rp.d_o = int(state["rp"]["d_o"])
+    rp.population = int(state["rp"]["population"])
+    for entry in state["sample"]:
+        edge = _decode_edge(entry)
+        rp._add(edge)
         sampler._sample_add(edge)
+    if isinstance(sampler, Triest):
+        sampler._tau = int(state["tau"])
+    else:
+        sampler._estimate = float(state["estimate"])
     return sampler
 
 
-def save_wsd(sampler: WSD, path: str | Path) -> None:
-    """Serialise a WSD sampler's state to a JSON file."""
+# -- file round-trip ----------------------------------------------------------
+
+
+def save_sampler(sampler, path: str | Path) -> None:
+    """Serialise a sampler's state to a JSON file."""
     Path(path).write_text(
-        json.dumps(wsd_state_dict(sampler)), encoding="utf-8"
+        json.dumps(sampler_state_dict(sampler)), encoding="utf-8"
     )
 
 
-def load_wsd(path: str | Path, weight_fn: WeightFunction) -> WSD:
-    """Restore a WSD sampler from a JSON file written by :func:`save_wsd`."""
+def load_sampler(
+    path: str | Path, weight_fn: WeightFunction | None = None
+):
+    """Restore a sampler from a JSON file written by :func:`save_sampler`."""
     path = Path(path)
     if not path.exists():
         raise ConfigurationError(f"checkpoint file not found: {path}")
@@ -121,4 +293,44 @@ def load_wsd(path: str | Path, weight_fn: WeightFunction) -> WSD:
         state = json.loads(path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise ConfigurationError(f"malformed checkpoint {path}: {exc}") from exc
-    return restore_wsd(state, weight_fn)
+    return restore_sampler(state, weight_fn)
+
+
+# -- historical WSD-specific aliases ------------------------------------------
+
+
+def wsd_state_dict(sampler: WSD) -> dict:
+    """Extract a JSON-serialisable snapshot of a WSD sampler's state."""
+    if not isinstance(sampler, WSD):
+        raise ConfigurationError(
+            f"wsd_state_dict expects a WSD sampler, got "
+            f"{type(sampler).__name__}"
+        )
+    return sampler_state_dict(sampler)
+
+
+def restore_wsd(state: dict, weight_fn: WeightFunction) -> WSD:
+    """Rebuild a WSD sampler from :func:`wsd_state_dict` output."""
+    sampler = restore_sampler(state, weight_fn)
+    if not isinstance(sampler, WSD):
+        raise ConfigurationError(
+            f"checkpoint holds {state.get('algorithm')!r}, not a WSD state"
+        )
+    return sampler
+
+
+def save_wsd(sampler: WSD, path: str | Path) -> None:
+    """Serialise a WSD sampler's state to a JSON file."""
+    if not isinstance(sampler, WSD):
+        raise ConfigurationError(
+            f"save_wsd expects a WSD sampler, got {type(sampler).__name__}"
+        )
+    save_sampler(sampler, path)
+
+
+def load_wsd(path: str | Path, weight_fn: WeightFunction) -> WSD:
+    """Restore a WSD sampler from a JSON file written by :func:`save_wsd`."""
+    sampler = load_sampler(path, weight_fn)
+    if not isinstance(sampler, WSD):
+        raise ConfigurationError("checkpoint does not hold a WSD state")
+    return sampler

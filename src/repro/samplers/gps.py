@@ -12,135 +12,34 @@ is unbiased for insertion-only streams (Theorem 1). GPS rejects
 deletion events (see Example 1 of the paper for why it *cannot* support
 them); :class:`~repro.samplers.gps_a.GPSA` is the fully dynamic
 adaptation.
+
+The shared estimator/weight/reservoir plumbing — including the batched
+ingestion fast loop — lives in
+:class:`~repro.samplers.kernel.ThresholdSamplerKernel`; this class
+contributes only the GPS priority competition (evict the minimum when
+beaten, raise r_{M+1} by every discarded rank) and the insertion-only
+guard.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
-
-import numpy as np
-
 from repro.errors import SamplerError
 from repro.graph.edges import Edge
-from repro.patterns.base import Pattern
-from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
-from repro.samplers.heap import IndexedMinHeap
-from repro.samplers.ranks import RankFunction, get_rank_function
-from repro.weights.base import WeightContext, WeightFunction
+from repro.samplers.kernel import KERNEL_GPS, ThresholdSamplerKernel
 
 __all__ = ["GPS"]
 
 
-class GPS(SampledGraphMixin, SubgraphCountingSampler):
+class GPS(ThresholdSamplerKernel):
     """Graph priority sampling (insertion-only)."""
 
-    def __init__(
-        self,
-        pattern: str | Pattern,
-        budget: int,
-        weight_fn: WeightFunction,
-        rank_fn: str | RankFunction = "inverse-uniform",
-        rng: np.random.Generator | int | None = None,
-    ) -> None:
-        SubgraphCountingSampler.__init__(self, pattern, budget, rng)
-        SampledGraphMixin.__init__(self)
-        self.weight_fn = weight_fn
-        self.rank_fn = get_rank_function(rank_fn)
-        self._reservoir = IndexedMinHeap()
-        self._edge_weights: dict[Edge, float] = {}
-        self._edge_times: dict[Edge, int] = {}
-        # r_{M+1}: the largest rank among discarded/evicted edges, which
-        # equals the (M+1)-th largest rank seen once > M edges arrived.
-        self._r_m_plus_1 = 0.0
-        #: P[r(e) > r_{M+1}] per sampled edge, valid for the current
-        #: threshold; cleared whenever r_{M+1} grows.
-        self._prob_cache: dict[Edge, float] = {}
+    _policy = KERNEL_GPS
+    # r_{M+1} grows on almost every full-reservoir event, so memo
+    # entries rarely survive long enough to be reused on the per-event
+    # light paths — skip the cache there (values identical either way).
+    _memoize_light = False
 
-    @property
-    def threshold(self) -> float:
-        """The current estimator threshold r_{M+1} (0 while t <= M)."""
-        return self._r_m_plus_1
-
-    def inclusion_probability(self, edge: Edge) -> float:
-        """P[e ∈ R(t)] = P[r(e) > r_{M+1}] for a sampled edge."""
-        cache = self._prob_cache
-        p = cache.get(edge)
-        if p is None:
-            p = self.rank_fn.inclusion_probability(
-                self._edge_weights[edge], self._r_m_plus_1
-            )
-            cache[edge] = p
-        return p
-
-    def _raise_threshold(self, rank: float) -> None:
-        """r_{M+1} ← max(r_{M+1}, rank), invalidating memoized probs."""
-        if rank > self._r_m_plus_1:
-            self._r_m_plus_1 = rank
-            self._prob_cache.clear()
-
-    def _instance_value(self, instance: tuple[Edge, ...]) -> float:
-        cache = self._prob_cache
-        weights = self._edge_weights
-        inc_prob = self.rank_fn.inclusion_probability
-        threshold = self._r_m_plus_1
-        value = 1.0
-        for other in instance:
-            p = cache.get(other)
-            if p is None:
-                p = inc_prob(weights[other], threshold)
-                cache[other] = p
-            value /= p
-        return value
-
-    def _process_insertion(self, edge: Edge) -> None:
-        u, v = edge
-        wf = self.weight_fn
-        if wf.needs_context:
-            instances = list(
-                self.pattern.instances_completed(self._sampled_graph, u, v)
-            )
-            for instance in instances:
-                value = self._instance_value(instance)
-                self._estimate += value
-                if self.instance_observers:
-                    self._emit_instance(edge, instance, value)
-            ctx = WeightContext(
-                edge=edge,
-                time=self._time,
-                instances=instances,
-                adjacency=self._sampled_graph,
-                edge_times=self._edge_times,
-                pattern=self.pattern,
-            )
-            weight = float(wf(ctx))
-        else:
-            # Light path: stream the instances with hoisted lookups and
-            # the probability product computed inline — the memo dict
-            # is skipped because r_{M+1} grows on almost every
-            # full-reservoir event, so entries rarely survive long
-            # enough to be reused (values are identical either way).
-            num_instances = 0
-            observers = self.instance_observers
-            inc_prob = self.rank_fn.inclusion_probability
-            weights = self._edge_weights
-            threshold = self._r_m_plus_1
-            estimate = self._estimate
-            for instance in self.pattern.instances_completed(
-                self._sampled_graph, u, v
-            ):
-                num_instances += 1
-                value = 1.0
-                for other in instance:
-                    value /= inc_prob(weights[other], threshold)
-                estimate += value
-                if observers:
-                    self._estimate = estimate
-                    self._emit_instance(edge, instance, value)
-            self._estimate = estimate
-            weight = float(
-                wf.light_weight(num_instances, self._sampled_graph, u, v)
-            )
-        rank = self.rank_fn.rank(weight, self.rng)
+    def _insert(self, edge: Edge, weight: float, rank: float) -> None:
         if len(self._reservoir) < self.budget:
             self._admit(edge, weight, rank)
             return
@@ -158,26 +57,3 @@ class GPS(SampledGraphMixin, SubgraphCountingSampler):
             "GPS only supports insertion-only streams; use GPSA or WSD "
             "for fully dynamic streams (paper Section III-A, Example 1)"
         )
-
-    def _admit(self, edge: Edge, weight: float, rank: float) -> None:
-        self._reservoir.push(edge, rank)
-        self._record_admission(edge, weight)
-
-    def _record_admission(self, edge: Edge, weight: float) -> None:
-        """Record sample state for an edge already placed in the heap."""
-        self._edge_weights[edge] = weight
-        self._edge_times[edge] = self._time
-        self._sample_add(edge)
-
-    def _evict(self, edge: Edge) -> None:
-        del self._edge_weights[edge]
-        del self._edge_times[edge]
-        self._prob_cache.pop(edge, None)
-        self._sample_remove(edge)
-
-    @property
-    def sample_size(self) -> int:
-        return len(self._reservoir)
-
-    def sampled_edges(self) -> Iterator[Edge]:
-        return iter(self._reservoir)

@@ -10,6 +10,12 @@ sample R \\ R_tag shrinks over time — the accuracy drawback WSD removes.
 The estimator (Theorem 2) adds X_J on formations and subtracts Y_J on
 destructions, both products of 1 / P[r(e) > r_{M+1}] over the instance's
 other edges restricted to untagged sampled edges.
+
+The shared estimator/weight/reservoir plumbing — including the batched
+ingestion fast loop — lives in
+:class:`~repro.samplers.kernel.ThresholdSamplerKernel`; this class
+contributes the lazy-tag bookkeeping on top of the GPS priority
+competition.
 """
 
 from __future__ import annotations
@@ -20,15 +26,14 @@ import numpy as np
 
 from repro.graph.edges import Edge
 from repro.patterns.base import Pattern
-from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
-from repro.samplers.heap import IndexedMinHeap
-from repro.samplers.ranks import RankFunction, get_rank_function
-from repro.weights.base import WeightContext, WeightFunction
+from repro.samplers.kernel import KERNEL_GPSA, ThresholdSamplerKernel
+from repro.samplers.ranks import RankFunction
+from repro.weights.base import WeightFunction
 
 __all__ = ["GPSA"]
 
 
-class GPSA(SampledGraphMixin, SubgraphCountingSampler):
+class GPSA(ThresholdSamplerKernel):
     """GPS-A: fully dynamic GPS with lazy "DEL" tags.
 
     The sampled graph (used for pattern enumeration) contains only the
@@ -37,6 +42,9 @@ class GPSA(SampledGraphMixin, SubgraphCountingSampler):
     paper's Table II/III columns expose.
     """
 
+    _policy = KERNEL_GPSA
+    _memoize_light = False
+
     def __init__(
         self,
         pattern: str | Pattern,
@@ -44,100 +52,19 @@ class GPSA(SampledGraphMixin, SubgraphCountingSampler):
         weight_fn: WeightFunction,
         rank_fn: str | RankFunction = "inverse-uniform",
         rng: np.random.Generator | int | None = None,
+        capture_context: bool | None = None,
     ) -> None:
-        SubgraphCountingSampler.__init__(self, pattern, budget, rng)
-        SampledGraphMixin.__init__(self)
-        self.weight_fn = weight_fn
-        self.rank_fn = get_rank_function(rank_fn)
-        self._reservoir = IndexedMinHeap()
-        self._edge_weights: dict[Edge, float] = {}
-        self._edge_times: dict[Edge, int] = {}
+        super().__init__(
+            pattern, budget, weight_fn, rank_fn, rng, capture_context
+        )
         self._tagged: set[Edge] = set()
-        self._r_m_plus_1 = 0.0
-        #: P[r(e) > r_{M+1}] per sampled edge, valid for the current
-        #: threshold; cleared whenever r_{M+1} grows.
-        self._prob_cache: dict[Edge, float] = {}
-
-    @property
-    def threshold(self) -> float:
-        """The current estimator threshold r_{M+1}."""
-        return self._r_m_plus_1
 
     @property
     def num_tagged(self) -> int:
         """|R_tag|: reservoir slots wasted on deleted edges."""
         return len(self._tagged)
 
-    def _raise_threshold(self, rank: float) -> None:
-        """r_{M+1} ← max(r_{M+1}, rank), invalidating memoized probs."""
-        if rank > self._r_m_plus_1:
-            self._r_m_plus_1 = rank
-            self._prob_cache.clear()
-
-    def _instance_value(self, instance: tuple[Edge, ...]) -> float:
-        cache = self._prob_cache
-        weights = self._edge_weights
-        inc_prob = self.rank_fn.inclusion_probability
-        threshold = self._r_m_plus_1
-        value = 1.0
-        for other in instance:
-            p = cache.get(other)
-            if p is None:
-                p = inc_prob(weights[other], threshold)
-                cache[other] = p
-            value /= p
-        return value
-
-    def _process_insertion(self, edge: Edge) -> None:
-        u, v = edge
-        wf = self.weight_fn
-        if wf.needs_context:
-            instances = list(
-                self.pattern.instances_completed(self._sampled_graph, u, v)
-            )
-            for instance in instances:
-                value = self._instance_value(instance)
-                self._estimate += value
-                if self.instance_observers:
-                    self._emit_instance(edge, instance, value)
-            ctx = WeightContext(
-                edge=edge,
-                time=self._time,
-                instances=instances,
-                adjacency=self._sampled_graph,
-                edge_times=self._edge_times,
-                pattern=self.pattern,
-            )
-            weight = float(wf(ctx))
-        else:
-            # Light path: stream the instances with hoisted lookups and
-            # the probability product computed inline — the memo dict
-            # is skipped because r_{M+1} grows on almost every
-            # full-reservoir event, so entries rarely survive long
-            # enough to be reused (values are identical either way).
-            num_instances = 0
-            observers = self.instance_observers
-            inc_prob = self.rank_fn.inclusion_probability
-            weights = self._edge_weights
-            threshold = self._r_m_plus_1
-            estimate = self._estimate
-            for instance in self.pattern.instances_completed(
-                self._sampled_graph, u, v
-            ):
-                num_instances += 1
-                value = 1.0
-                for other in instance:
-                    value /= inc_prob(weights[other], threshold)
-                estimate += value
-                if observers:
-                    self._estimate = estimate
-                    self._emit_instance(edge, instance, value)
-            self._estimate = estimate
-            weight = float(
-                wf.light_weight(num_instances, self._sampled_graph, u, v)
-            )
-        rank = self.rank_fn.rank(weight, self.rng)
-
+    def _insert(self, edge: Edge, weight: float, rank: float) -> None:
         if edge in self._reservoir:
             # Re-insertion of an edge whose tagged ghost still occupies a
             # slot: the ghost carries no information, so replace it with
@@ -164,33 +91,7 @@ class GPSA(SampledGraphMixin, SubgraphCountingSampler):
         if edge in self._reservoir and edge not in self._tagged:
             self._tagged.add(edge)
             self._sample_remove(edge)
-        u, v = edge
-        observers = self.instance_observers
-        inc_prob = self.rank_fn.inclusion_probability
-        weights = self._edge_weights
-        threshold = self._r_m_plus_1
-        estimate = self._estimate
-        for instance in self.pattern.instances_completed(
-            self._sampled_graph, u, v
-        ):
-            value = 1.0
-            for other in instance:
-                value /= inc_prob(weights[other], threshold)
-            estimate -= value
-            if observers:
-                self._estimate = estimate
-                self._emit_instance(edge, instance, -value)
-        self._estimate = estimate
-
-    def _admit(self, edge: Edge, weight: float, rank: float) -> None:
-        self._reservoir.push(edge, rank)
-        self._record_admission(edge, weight)
-
-    def _record_admission(self, edge: Edge, weight: float) -> None:
-        """Record sample state for an edge already placed in the heap."""
-        self._edge_weights[edge] = weight
-        self._edge_times[edge] = self._time
-        self._sample_add(edge)
+        self._subtract_destroyed(edge)
 
     def _drop_state(self, edge: Edge) -> None:
         del self._edge_weights[edge]

@@ -8,12 +8,19 @@ would violate the fixed-memory constraint, so this is a classic indexed
 binary heap: a position map gives O(1) lookup and O(log n)
 sift-up/sift-down removal.
 
-The sift loops use hole-percolation (shift parents/children into the
-hole, write the moved element once at the end) rather than pairwise
-swaps — half the list writes and position-map updates per level, which
-matters because every full-reservoir replacement (WSD Case 2.1) pays
-one sift. :meth:`replace_min` performs that replacement with a single
-sift-down instead of a ``pop_min`` + ``push`` pair.
+Storage is a single list of ``(priority, key)`` pairs rather than two
+parallel ``_keys`` / ``_priorities`` lists: every sift level moves one
+tuple reference instead of two list entries, halving the list writes
+per level on :meth:`replace_min` — the operation every full-reservoir
+replacement (WSD Case 2.1) pays. (Measured on CPython 3.11 the halved
+writes are offset by the tuple-element reads, landing within a few
+percent of the parallel-list layout — see the ROADMAP perf notes; the
+pair layout is kept for its simpler invariants and single-allocation
+entries.) The sift loops use hole-percolation (shift parents/children
+into the hole, write the moved element once at the end) rather than
+pairwise swaps. Comparisons are always on the priority alone (never
+tuple-vs-tuple, which would fall back to comparing keys on priority
+ties and could raise ``TypeError`` for mixed key types).
 """
 
 from __future__ import annotations
@@ -30,58 +37,61 @@ class IndexedMinHeap:
     arbitrarily (heap order only guarantees the minimum).
     """
 
-    __slots__ = ("_keys", "_priorities", "_position")
+    __slots__ = ("_heap", "_position")
 
     def __init__(self) -> None:
-        self._keys: list[Hashable] = []
-        self._priorities: list[float] = []
+        #: The heap array: ``(priority, key)`` pairs in heap order.
+        self._heap: list[tuple[float, Hashable]] = []
         self._position: dict[Hashable, int] = {}
 
     # -- core helpers -------------------------------------------------------
 
     def _sift_up(self, i: int) -> None:
-        keys, priorities, position = self._keys, self._priorities, self._position
-        key = keys[i]
-        priority = priorities[i]
+        heap, position = self._heap, self._position
+        entry = heap[i]
+        priority = entry[0]
         while i > 0:
             parent = (i - 1) >> 1
-            parent_priority = priorities[parent]
-            if priority < parent_priority:
-                parent_key = keys[parent]
-                keys[i] = parent_key
-                priorities[i] = parent_priority
-                position[parent_key] = i
+            parent_entry = heap[parent]
+            if priority < parent_entry[0]:
+                heap[i] = parent_entry
+                position[parent_entry[1]] = i
                 i = parent
             else:
                 break
-        keys[i] = key
-        priorities[i] = priority
-        position[key] = i
+        heap[i] = entry
+        position[entry[1]] = i
 
     def _sift_down(self, i: int) -> None:
-        keys, priorities, position = self._keys, self._priorities, self._position
-        n = len(keys)
-        key = keys[i]
-        priority = priorities[i]
+        heap, position = self._heap, self._position
+        n = len(heap)
+        entry = heap[i]
+        priority = entry[0]
         while True:
             child = 2 * i + 1
             if child >= n:
                 break
+            # Fetch each candidate entry once; compare on the priority
+            # slot only (never whole tuples — a priority tie must not
+            # fall back to comparing keys).
+            child_entry = heap[child]
+            child_priority = child_entry[0]
             right = child + 1
-            if right < n and priorities[right] < priorities[child]:
-                child = right
-            child_priority = priorities[child]
+            if right < n:
+                right_entry = heap[right]
+                right_priority = right_entry[0]
+                if right_priority < child_priority:
+                    child = right
+                    child_entry = right_entry
+                    child_priority = right_priority
             if child_priority < priority:
-                child_key = keys[child]
-                keys[i] = child_key
-                priorities[i] = child_priority
-                position[child_key] = i
+                heap[i] = child_entry
+                position[child_entry[1]] = i
                 i = child
             else:
                 break
-        keys[i] = key
-        priorities[i] = priority
-        position[key] = i
+        heap[i] = entry
+        position[entry[1]] = i
 
     # -- public API ---------------------------------------------------------
 
@@ -89,30 +99,30 @@ class IndexedMinHeap:
         """Insert ``key`` with ``priority``. Raises if the key exists."""
         if key in self._position:
             raise KeyError(f"key {key!r} already in heap")
-        self._keys.append(key)
-        self._priorities.append(priority)
-        self._position[key] = len(self._keys) - 1
-        self._sift_up(len(self._keys) - 1)
+        self._heap.append((priority, key))
+        self._position[key] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
 
     def peek_min(self) -> tuple[Hashable, float]:
         """Return (key, priority) of the minimum without removing it."""
-        if not self._keys:
+        if not self._heap:
             raise IndexError("peek on empty heap")
-        return self._keys[0], self._priorities[0]
+        priority, key = self._heap[0]
+        return key, priority
 
     def min_priority(self) -> float:
         """Return the minimum priority without removing it."""
-        if not self._priorities:
+        if not self._heap:
             raise IndexError("peek on empty heap")
-        return self._priorities[0]
+        return self._heap[0][0]
 
     def pop_min(self) -> tuple[Hashable, float]:
         """Remove and return (key, priority) of the minimum."""
-        if not self._keys:
+        if not self._heap:
             raise IndexError("pop on empty heap")
-        result = (self._keys[0], self._priorities[0])
+        priority, key = self._heap[0]
         self._remove_at(0)
-        return result
+        return key, priority
 
     def replace_min(self, key: Hashable, priority: float) -> tuple[Hashable, float]:
         """Replace the minimum element with ``key`` in one sift.
@@ -121,58 +131,54 @@ class IndexedMinHeap:
         ``pop_min()`` followed by ``push(key, priority)`` but does a
         single sift-down — the fast path for reservoir replacement.
         """
-        if not self._keys:
+        if not self._heap:
             raise IndexError("replace_min on empty heap")
         if key in self._position:
             raise KeyError(f"key {key!r} already in heap")
-        old = (self._keys[0], self._priorities[0])
-        del self._position[old[0]]
-        self._keys[0] = key
-        self._priorities[0] = priority
+        old_priority, old_key = self._heap[0]
+        del self._position[old_key]
+        self._heap[0] = (priority, key)
         self._position[key] = 0
         self._sift_down(0)
-        return old
+        return old_key, old_priority
 
     def remove(self, key: Hashable) -> float:
         """Remove ``key`` and return its priority. Raises KeyError if absent."""
         i = self._position.get(key)
         if i is None:
             raise KeyError(f"key {key!r} not in heap")
-        priority = self._priorities[i]
+        priority = self._heap[i][0]
         self._remove_at(i)
         return priority
 
     def _remove_at(self, i: int) -> None:
-        last = len(self._keys) - 1
-        key = self._keys[i]
-        del self._position[key]
+        heap = self._heap
+        last = len(heap) - 1
+        del self._position[heap[i][1]]
         if i == last:
-            self._keys.pop()
-            self._priorities.pop()
+            heap.pop()
             return
-        moved_key = self._keys.pop()
-        moved_priority = self._priorities.pop()
-        self._keys[i] = moved_key
-        self._priorities[i] = moved_priority
-        self._position[moved_key] = i
+        moved = heap.pop()
+        heap[i] = moved
+        self._position[moved[1]] = i
         # The moved element may need to go either direction.
         self._sift_down(i)
-        self._sift_up(self._position[moved_key])
+        self._sift_up(self._position[moved[1]])
 
     def priority(self, key: Hashable) -> float:
         """Return the priority of ``key``. Raises KeyError if absent."""
         i = self._position.get(key)
         if i is None:
             raise KeyError(f"key {key!r} not in heap")
-        return self._priorities[i]
+        return self._heap[i][0]
 
     def update(self, key: Hashable, priority: float) -> None:
         """Change the priority of an existing key."""
         i = self._position.get(key)
         if i is None:
             raise KeyError(f"key {key!r} not in heap")
-        old = self._priorities[i]
-        self._priorities[i] = priority
+        old = self._heap[i][0]
+        self._heap[i] = (priority, key)
         if priority < old:
             self._sift_up(i)
         else:
@@ -182,15 +188,15 @@ class IndexedMinHeap:
         return key in self._position
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return len(self._heap)
 
     def __iter__(self) -> Iterator[Hashable]:
         """Iterate keys in arbitrary (heap-internal) order."""
-        return iter(list(self._keys))
+        return iter([key for _, key in self._heap])
 
     def items(self) -> Iterator[tuple[Hashable, float]]:
         """Iterate (key, priority) pairs in arbitrary order."""
-        return iter(list(zip(self._keys, self._priorities)))
+        return iter([(key, priority) for priority, key in self._heap])
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"IndexedMinHeap(size={len(self)})"

@@ -1,0 +1,970 @@
+"""Composable sampler kernel: the shared plumbing behind every sampler.
+
+Every algorithm in this library is one of two sampling designs plus an
+estimator rule:
+
+* **Rank-threshold reservoirs** (WSD, GPS, GPS-A): a min-priority heap
+  over random ranks r(e) = f(w(e)), an estimator threshold (τq for WSD,
+  r_{M+1} for GPS/GPS-A), Horvitz-Thompson instance values
+  ∏ 1 / P[r(e) > threshold], and a weight function deciding each edge's
+  rank distribution. :class:`ThresholdSamplerKernel` owns all of that —
+  the weight computation (context-heavy and context-free paths), the
+  memoized inclusion probabilities keyed on a threshold generation
+  counter, the reservoir bookkeeping, and the batched ingestion fast
+  loop — while subclasses contribute only their *reservoir policy*: what
+  happens when an edge's rank competes for a slot, and what a deletion
+  event does.
+
+* **Uniform reservoirs** (ThinkD, Triest, WRS): a random-pairing sample
+  (or a waiting room composed with one) with closed-form joint inclusion
+  probabilities. :class:`PairingSamplerKernel` owns the shared reservoir
+  state and introspection; the estimator rules differ enough per
+  algorithm (HT-before-sampling, τ-counter, waiting-room mixing) that
+  each subclass keeps its own update but inherits the kernel's batched
+  driver.
+
+The batched ingestion path (:meth:`ThresholdSamplerKernel.process_batch`)
+generalises the PR-1 WSD fast loop to every threshold sampler: rank
+randomness for a whole batch is pre-drawn in one numpy block
+(``rng.random(n)`` yields the exact doubles of n scalar draws), the
+triangle/wedge estimators are inlined, and the reservoir policy is
+dispatched on a hoisted integer — so estimates stay bit-identical to
+event-at-a-time :meth:`process` under a fixed seed, for all policies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EdgeExistsError, SamplerError
+from repro.graph.edges import Edge, canonical_edge
+from repro.graph.stream import INSERT, EdgeEvent
+from repro.patterns.base import Pattern
+from repro.patterns.cliques import Triangle
+from repro.patterns.paths import Wedge
+from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
+from repro.samplers.heap import IndexedMinHeap
+from repro.samplers.random_pairing import RandomPairingReservoir
+from repro.samplers.ranks import (
+    InverseUniformRank,
+    RankFunction,
+    get_rank_function,
+)
+from repro.weights.base import WeightContext, WeightFunction
+from repro.weights.heuristic import GPSHeuristicWeight, UniformWeight
+
+__all__ = [
+    "ThresholdSamplerKernel",
+    "PairingSamplerKernel",
+    "KERNEL_WSD",
+    "KERNEL_GPS",
+    "KERNEL_GPSA",
+]
+
+#: Reservoir-policy dispatch codes for the batched fast loop. Subclasses
+#: of :class:`ThresholdSamplerKernel` set ``_policy`` to one of these.
+KERNEL_WSD = 1
+KERNEL_GPS = 2
+KERNEL_GPSA = 3
+
+
+class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
+    """Shared kernel of the rank-threshold samplers (WSD, GPS, GPS-A).
+
+    Owns the reservoir heap, per-edge weight/arrival-time state, the
+    estimator threshold with its generation-counted probability memo,
+    the weight-function dispatch (context-heavy vs light paths), and the
+    batched ingestion loop. Subclasses define:
+
+    * ``_policy`` — the batched-loop dispatch code (``KERNEL_WSD`` /
+      ``KERNEL_GPS`` / ``KERNEL_GPSA``);
+    * ``_memoize_light`` — whether the per-event light paths use the
+      probability memo (WSD's τq is stable between Case 2 transitions,
+      so memoization pays; GPS's r_{M+1} grows on almost every
+      full-reservoir event, so entries rarely survive — values are
+      identical either way);
+    * :meth:`_insert` — the reservoir policy for an arriving edge whose
+      weight and rank are already computed;
+    * :meth:`_process_deletion` — the deletion rule.
+
+    Args:
+        pattern: the subgraph pattern H ("triangle", "wedge",
+            "4-clique", or a :class:`~repro.patterns.base.Pattern`).
+        budget: M, the maximum number of reservoir slots.
+        weight_fn: the weight function W(e, R).
+        rank_fn: the rank family r = f(w); defaults to the paper's
+            ``w/u`` inverse-uniform ranks.
+        rng: seed or generator driving the rank randomness.
+        capture_context: force building (and exposing via
+            :attr:`last_context`) the :class:`WeightContext` for every
+            insertion even when the weight function does not need it —
+            required by RL transition capture and the local-counting
+            examples. Default ``None`` builds the context only when
+            ``weight_fn.needs_context`` is true.
+    """
+
+    #: Batched-loop reservoir-policy dispatch; subclasses must override.
+    _policy = 0
+    #: Whether the per-event light paths use the probability memo.
+    _memoize_light = True
+
+    def __init__(
+        self,
+        pattern: str | Pattern,
+        budget: int,
+        weight_fn: WeightFunction,
+        rank_fn: str | RankFunction = "inverse-uniform",
+        rng: np.random.Generator | int | None = None,
+        capture_context: bool | None = None,
+    ) -> None:
+        SubgraphCountingSampler.__init__(self, pattern, budget, rng)
+        SampledGraphMixin.__init__(self)
+        self.weight_fn = weight_fn
+        self.rank_fn = get_rank_function(rank_fn)
+        self._reservoir = IndexedMinHeap()
+        self._edge_weights: dict[Edge, float] = {}
+        self._edge_times: dict[Edge, int] = {}
+        #: The estimator threshold: τq for WSD, r_{M+1} for GPS/GPS-A.
+        self._threshold = 0.0
+        #: P[r(e) > threshold] per sampled edge, valid for the current
+        #: threshold generation; cleared whenever the threshold changes.
+        self._prob_cache: dict[Edge, float] = {}
+        self._threshold_generation = 0
+        self._capture_context = (
+            weight_fn.needs_context if capture_context is None
+            else capture_context
+        )
+        #: Most recent WeightContext (exposed for RL transition capture).
+        #: Only maintained when the context path is active — pass
+        #: ``capture_context=True`` to guarantee it; on the light path it
+        #: stays ``None``.
+        self.last_context: WeightContext | None = None
+        #: Weight assigned to the most recent insertion (for diagnostics
+        #: and the Figure 2(d)/4(d) weight-vs-count analysis).
+        self.last_weight: float | None = None
+
+    # -- threshold bookkeeping ------------------------------------------------
+
+    @property
+    def threshold(self) -> float:
+        """The current estimator threshold (τq / r_{M+1})."""
+        return self._threshold
+
+    @property
+    def threshold_generation(self) -> int:
+        """Number of estimator-threshold changes so far.
+
+        The memoized inclusion probabilities are valid within one
+        generation and invalidated exactly when this counter bumps.
+        """
+        return self._threshold_generation
+
+    def _set_threshold(self, value: float) -> None:
+        """Set the threshold, invalidating the memo iff it changed."""
+        if value != self._threshold:
+            self._threshold = value
+            self._threshold_generation += 1
+            self._prob_cache.clear()
+
+    def _raise_threshold(self, rank: float) -> None:
+        """threshold ← max(threshold, rank), invalidating the memo."""
+        if rank > self._threshold:
+            self._threshold = rank
+            self._threshold_generation += 1
+            self._prob_cache.clear()
+
+    def inclusion_probability(self, edge: Edge) -> float:
+        """P[e ∈ R(t)] = P[r(e) > threshold] for a sampled edge."""
+        cache = self._prob_cache
+        p = cache.get(edge)
+        if p is None:
+            p = self.rank_fn.inclusion_probability(
+                self._edge_weights[edge], self._threshold
+            )
+            cache[edge] = p
+        return p
+
+    # -- estimator (Algorithm 2 / Theorems 1 & 2) ------------------------------
+
+    def _instance_value(self, instance: tuple[Edge, ...]) -> float:
+        """∏_{e ∈ J\\e_t} 1 / P[r(e) > threshold] for one instance."""
+        cache = self._prob_cache
+        weights = self._edge_weights
+        inc_prob = self.rank_fn.inclusion_probability
+        threshold = self._threshold
+        value = 1.0
+        for other in instance:
+            p = cache.get(other)
+            if p is None:
+                p = inc_prob(weights[other], threshold)
+                cache[other] = p
+            value /= p
+        return value
+
+    # -- event handlers ---------------------------------------------------------
+
+    def _process_insertion(self, edge: Edge) -> None:
+        u, v = edge
+        wf = self.weight_fn
+        if self._capture_context or wf.needs_context:
+            instances = list(
+                self.pattern.instances_completed(self._sampled_graph, u, v)
+            )
+            for instance in instances:
+                value = self._instance_value(instance)
+                self._estimate += value
+                if self.instance_observers:
+                    self._emit_instance(edge, instance, value)
+            ctx = WeightContext(
+                edge=edge,
+                time=self._time,
+                instances=instances,
+                adjacency=self._sampled_graph,
+                edge_times=self._edge_times,
+                pattern=self.pattern,
+            )
+            self.last_context = ctx
+            weight = float(wf(ctx))
+        else:
+            # Light path: stream the instances, never materialise the
+            # context — heuristic weights only need cheap summaries.
+            num_instances = 0
+            observers = self.instance_observers
+            inc_prob = self.rank_fn.inclusion_probability
+            weights = self._edge_weights
+            threshold = self._threshold
+            estimate = self._estimate
+            if self._memoize_light:
+                cache = self._prob_cache
+                cache_get = cache.get
+                for instance in self.pattern.instances_completed(
+                    self._sampled_graph, u, v
+                ):
+                    num_instances += 1
+                    value = 1.0
+                    for other in instance:
+                        p = cache_get(other)
+                        if p is None:
+                            p = inc_prob(weights[other], threshold)
+                            cache[other] = p
+                        value /= p
+                    estimate += value
+                    if observers:
+                        self._estimate = estimate
+                        self._emit_instance(edge, instance, value)
+            else:
+                for instance in self.pattern.instances_completed(
+                    self._sampled_graph, u, v
+                ):
+                    num_instances += 1
+                    value = 1.0
+                    for other in instance:
+                        value /= inc_prob(weights[other], threshold)
+                    estimate += value
+                    if observers:
+                        self._estimate = estimate
+                        self._emit_instance(edge, instance, value)
+            self._estimate = estimate
+            weight = float(
+                wf.light_weight(num_instances, self._sampled_graph, u, v)
+            )
+        self.last_weight = weight
+        rank = self.rank_fn.rank(weight, self.rng)
+        self._insert(edge, weight, rank)
+
+    def _insert(self, edge: Edge, weight: float, rank: float) -> None:
+        """Reservoir policy: place (or reject) an edge with known rank."""
+        raise NotImplementedError
+
+    def _subtract_destroyed(self, edge: Edge) -> None:
+        """Subtract the values of the instances destroyed by ``edge``.
+
+        Enumerates against the sampled graph (which must already reflect
+        the deletion's effect on the sample) so ``edge`` never appears
+        as an "other" edge.
+        """
+        u, v = edge
+        observers = self.instance_observers
+        inc_prob = self.rank_fn.inclusion_probability
+        weights = self._edge_weights
+        threshold = self._threshold
+        estimate = self._estimate
+        if self._memoize_light:
+            cache = self._prob_cache
+            cache_get = cache.get
+            for instance in self.pattern.instances_completed(
+                self._sampled_graph, u, v
+            ):
+                value = 1.0
+                for other in instance:
+                    p = cache_get(other)
+                    if p is None:
+                        p = inc_prob(weights[other], threshold)
+                        cache[other] = p
+                    value /= p
+                estimate -= value
+                if observers:
+                    self._estimate = estimate
+                    self._emit_instance(edge, instance, -value)
+        else:
+            for instance in self.pattern.instances_completed(
+                self._sampled_graph, u, v
+            ):
+                value = 1.0
+                for other in instance:
+                    value /= inc_prob(weights[other], threshold)
+                estimate -= value
+                if observers:
+                    self._estimate = estimate
+                    self._emit_instance(edge, instance, -value)
+        self._estimate = estimate
+
+    # -- reservoir bookkeeping ----------------------------------------------------
+
+    def _admit(self, edge: Edge, weight: float, rank: float) -> None:
+        self._reservoir.push(edge, rank)
+        self._record_admission(edge, weight)
+
+    def _record_admission(self, edge: Edge, weight: float) -> None:
+        """Record sample state for an edge already placed in the heap."""
+        self._edge_weights[edge] = weight
+        self._edge_times[edge] = self._time
+        self._sample_add(edge)
+
+    def _evict(self, edge: Edge) -> None:
+        del self._edge_weights[edge]
+        del self._edge_times[edge]
+        self._prob_cache.pop(edge, None)
+        self._sample_remove(edge)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def sample_size(self) -> int:
+        return len(self._reservoir)
+
+    def sampled_edges(self) -> Iterator[Edge]:
+        return iter(self._reservoir)
+
+    def sampled_weight(self, edge: Edge) -> float:
+        """Return the stored weight of a sampled edge."""
+        return self._edge_weights[edge]
+
+    # -- batched ingestion -------------------------------------------------------
+
+    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
+        """Consume a batch of events with amortised per-event overhead.
+
+        Bit-identical to event-at-a-time :meth:`process` under a fixed
+        seed for every reservoir policy: the rank randomness for all
+        insertions is pre-drawn in one numpy block (the exact doubles
+        scalar draws would produce) and the same floating-point
+        operations run in the same order. The hoisted fast loop engages
+        when no context capture is requested, the weight function is
+        context-free, no observers are registered, and the rank family
+        supports ``rank_from_uniform``; otherwise it falls back to the
+        per-event path. If an event raises mid-batch, state reflects the
+        events processed so far but the pre-drawn randomness of the
+        remaining insertions is already consumed.
+        """
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        wf = self.weight_fn
+        fast = (
+            not self._capture_context
+            and not wf.needs_context
+            and not self.instance_observers
+        )
+        if fast:
+            try:
+                rfu = self.rank_fn.rank_from_uniform
+                rfu(1.0, 0.0)
+            except NotImplementedError:
+                fast = False
+        if not fast:
+            return SubgraphCountingSampler.process_batch(self, events)
+
+        policy = self._policy
+        # Estimator dispatch: the triangle and wedge enumerations are
+        # inlined below (no generator machinery, no instance tuples);
+        # other patterns go through ``instances_completed``. The inlined
+        # loops visit the same instances in the same order with the same
+        # floating-point operations, so estimates stay bit-identical.
+        pattern_type = type(self.pattern)
+        mode = (
+            1 if pattern_type is Triangle else 2 if pattern_type is Wedge
+            else 0
+        )
+        # Weight / rank dispatch: the stock heuristic weight and the
+        # paper's inverse-uniform ranks are inlined the same way (their
+        # light_weight / rank_from_uniform are pure arithmetic).
+        wmode = 0
+        w_slope = w_offset = 0.0
+        if type(wf) is GPSHeuristicWeight:
+            wmode = 1
+            w_slope = wf.slope
+            w_offset = wf.offset
+        elif type(wf) is UniformWeight:
+            wmode = 2
+            w_offset = 1.0
+
+        # Pre-draw one uniform per insertion in a single numpy block
+        # (the count costs one C-level pass over the ops). For the
+        # inverse-uniform family the 1-u mapping to (0, 1] is done
+        # vectorised, as are the ranks of zero-instance insertions
+        # (whose weight is the constant ``w_offset``) — all the same
+        # IEEE operations the scalar path performs, element by element.
+        num_insertions = [event.op for event in events].count(INSERT)
+        uniforms = (
+            self.rng.random(num_insertions) if num_insertions else None
+        )
+        inline_iu = type(self.rank_fn) is InverseUniformRank
+        denominators = base_ranks = None
+        ui = 0
+        next_uniform = iter(()).__next__
+        if uniforms is not None:
+            if inline_iu:
+                block = 1.0 - uniforms
+                denominators = block.tolist()
+                if wmode:
+                    base_ranks = (w_offset / block).tolist()
+            else:
+                next_uniform = iter(uniforms.tolist()).__next__
+
+        # Hoisted hot-loop state. Plain floats/ints are tracked locally
+        # and written back in ``finally``; containers are aliased.
+        instances_completed = self.pattern.instances_completed
+        light_weight = wf.light_weight
+        inc_prob = self.rank_fn.inclusion_probability
+        canonical = canonical_edge
+        graph = self._sampled_graph
+        adj = graph._adj
+        intern = graph._interner.intern
+        reservoir = self._reservoir
+        res_positions = reservoir._position
+        res_heap = reservoir._heap
+        res_push = reservoir.push
+        res_replace_min = reservoir.replace_min
+        res_remove = reservoir.remove
+        cache = self._prob_cache
+        cache_get = cache.get
+        weights = self._edge_weights
+        edge_times = self._edge_times
+        budget = self.budget
+        res_size = len(res_positions)
+        estimate = self._estimate
+        time_now = self._time
+        threshold = self._threshold
+        generation = self._threshold_generation
+        weight = self.last_weight
+        # Policy dispatch hoisted to plain booleans (one truth test per
+        # event instead of repeated integer comparisons).
+        is_wsd = policy == KERNEL_WSD
+        is_gps = policy == KERNEL_GPS
+        tau_p = self._tau_p if is_wsd else 0.0
+        tagged = None if is_wsd or is_gps else self._tagged
+
+        op_insert = INSERT
+        try:
+            for event in events:
+                time_now += 1
+                edge = event.edge
+                u, v = edge
+                if event.op == op_insert:
+                    # -- estimate before sampling (Algorithm 2 / Thm 1/2).
+                    num_instances = 0
+                    if mode == 1:  # triangle
+                        try:
+                            nu = adj[u]
+                            nv = adj[v]
+                        except KeyError:
+                            nv = None
+                        # isdisjoint() skips the result-set allocation
+                        # on the (common) zero-instance events.
+                        if nv and not nu.isdisjoint(nv):
+                            for w in nu & nv:
+                                num_instances += 1
+                                # Inline canonicalisation: w is a
+                                # neighbour, so w != u and w != v; the
+                                # fallback covers unorderable labels.
+                                try:
+                                    e1 = (u, w) if u < w else (w, u)
+                                    e2 = (v, w) if v < w else (w, v)
+                                except TypeError:
+                                    e1 = canonical(u, w)
+                                    e2 = canonical(v, w)
+                                if inline_iu:
+                                    # min(1, w/θ) computed directly —
+                                    # cheaper than the memo dict when θ
+                                    # churns, bit-identical either way.
+                                    if threshold > 0.0:
+                                        p1 = weights[e1] / threshold
+                                        if p1 > 1.0:
+                                            p1 = 1.0
+                                        p2 = weights[e2] / threshold
+                                        if p2 > 1.0:
+                                            p2 = 1.0
+                                        estimate += 1.0 / p1 / p2
+                                    else:
+                                        estimate += 1.0
+                                else:
+                                    p1 = cache_get(e1)
+                                    if p1 is None:
+                                        p1 = inc_prob(weights[e1], threshold)
+                                        cache[e1] = p1
+                                    p2 = cache_get(e2)
+                                    if p2 is None:
+                                        p2 = inc_prob(weights[e2], threshold)
+                                        cache[e2] = p2
+                                    estimate += 1.0 / p1 / p2
+                    elif mode == 2:  # wedge
+                        for centre, tip in ((u, v), (v, u)):
+                            nc = adj.get(centre)
+                            if nc:
+                                for w in nc:
+                                    if w != tip:
+                                        num_instances += 1
+                                        try:
+                                            e = (
+                                                (centre, w)
+                                                if centre < w
+                                                else (w, centre)
+                                            )
+                                        except TypeError:
+                                            e = canonical(centre, w)
+                                        if inline_iu:
+                                            if threshold > 0.0:
+                                                p = weights[e] / threshold
+                                                if p > 1.0:
+                                                    p = 1.0
+                                                estimate += 1.0 / p
+                                            else:
+                                                estimate += 1.0
+                                        else:
+                                            p = cache_get(e)
+                                            if p is None:
+                                                p = inc_prob(
+                                                    weights[e], threshold
+                                                )
+                                                cache[e] = p
+                                            estimate += 1.0 / p
+                    else:
+                        for instance in instances_completed(graph, u, v):
+                            num_instances += 1
+                            value = 1.0
+                            for other in instance:
+                                p = cache_get(other)
+                                if p is None:
+                                    p = inc_prob(weights[other], threshold)
+                                    cache[other] = p
+                                value /= p
+                            estimate += value
+                    if inline_iu:
+                        if wmode and not num_instances:
+                            # Constant-weight insertion: the rank was
+                            # already computed in the numpy block.
+                            weight = w_offset
+                            rank = base_ranks[ui]
+                        else:
+                            if wmode == 1:
+                                weight = w_slope * num_instances + w_offset
+                            elif wmode == 2:
+                                weight = 1.0
+                            else:
+                                weight = float(
+                                    light_weight(num_instances, graph, u, v)
+                                )
+                                if weight <= 0.0:
+                                    raise ConfigurationError(
+                                        "weight must be positive, got "
+                                        f"{weight}"
+                                    )
+                            rank = weight / denominators[ui]
+                        ui += 1
+                    else:
+                        if wmode == 1:
+                            weight = w_slope * num_instances + w_offset
+                        elif wmode == 2:
+                            weight = 1.0
+                        else:
+                            weight = float(
+                                light_weight(num_instances, graph, u, v)
+                            )
+                        rank = rfu(weight, next_uniform())
+                    # -- reservoir policy. The sampled-graph updates are
+                    # inlined (the canonical-edge dict operations of
+                    # ``add/remove_edge_canonical``) so the hot loop
+                    # keeps every name a plain local — a closure would
+                    # demote ``adj`` to a cell variable for the whole
+                    # loop, estimator included.
+                    if is_wsd:
+                        # Algorithm 1's insert cases.
+                        if res_size < budget:
+                            if rank > tau_p:  # Case 1.1
+                                res_push(edge, rank)
+                                res_size += 1
+                                weights[edge] = weight
+                                edge_times[edge] = time_now
+                                s = adj.get(u)
+                                if s is None:
+                                    adj[u] = {v}
+                                    intern(u)
+                                elif v in s:
+                                    raise EdgeExistsError(
+                                        f"edge {edge!r} already present"
+                                    )
+                                else:
+                                    s.add(v)
+                                s = adj.get(v)
+                                if s is None:
+                                    adj[v] = {u}
+                                    intern(v)
+                                else:
+                                    s.add(u)
+                                # Written through eagerly so custom
+                                # patterns and weight functions observing
+                                # the live graph see a coherent count.
+                                graph._num_edges += 1
+                        else:
+                            min_rank = res_heap[0][0]
+                            tau_p = min_rank
+                            if rank > min_rank:  # Case 2.1
+                                evicted, _ = res_replace_min(edge, rank)
+                                del weights[evicted]
+                                del edge_times[evicted]
+                                cache.pop(evicted, None)
+                                a, b = evicted
+                                s = adj[a]
+                                s.remove(b)
+                                if not s:
+                                    del adj[a]
+                                s = adj[b]
+                                s.remove(a)
+                                if not s:
+                                    del adj[b]
+                                weights[edge] = weight
+                                edge_times[edge] = time_now
+                                s = adj.get(u)
+                                if s is None:
+                                    adj[u] = {v}
+                                    intern(u)
+                                elif v in s:
+                                    raise EdgeExistsError(
+                                        f"edge {edge!r} already present"
+                                    )
+                                else:
+                                    s.add(v)
+                                s = adj.get(v)
+                                if s is None:
+                                    adj[v] = {u}
+                                    intern(v)
+                                else:
+                                    s.add(u)
+                                if tau_p != threshold:
+                                    threshold = tau_p
+                                    generation += 1
+                                    cache.clear()
+                            elif rank > threshold:  # Case 2.2
+                                threshold = rank
+                                generation += 1
+                                cache.clear()
+                            # Case 2.3: discard silently.
+                    else:
+                        # GPS / GPS-A priority competition.
+                        if tagged is not None and edge in res_positions:
+                            # Re-insertion over a tagged ghost: replace
+                            # it with the fresh arrival (the one
+                            # departure from pure laziness needed to
+                            # keep edge keys unique).
+                            res_remove(edge)
+                            res_size -= 1
+                            del weights[edge]
+                            del edge_times[edge]
+                            cache.pop(edge, None)
+                            if edge in tagged:
+                                tagged.discard(edge)
+                            else:
+                                s = adj[u]
+                                s.remove(v)
+                                if not s:
+                                    del adj[u]
+                                s = adj[v]
+                                s.remove(u)
+                                if not s:
+                                    del adj[v]
+                                graph._num_edges -= 1
+                        if res_size < budget:
+                            res_push(edge, rank)
+                            res_size += 1
+                            weights[edge] = weight
+                            edge_times[edge] = time_now
+                            s = adj.get(u)
+                            if s is None:
+                                adj[u] = {v}
+                                intern(u)
+                            elif v in s:
+                                raise EdgeExistsError(
+                                    f"edge {edge!r} already present"
+                                )
+                            else:
+                                s.add(v)
+                            s = adj.get(v)
+                            if s is None:
+                                adj[v] = {u}
+                                intern(v)
+                            else:
+                                s.add(u)
+                            graph._num_edges += 1
+                        else:
+                            min_rank = res_heap[0][0]
+                            if rank > min_rank:
+                                evicted, evicted_rank = res_replace_min(
+                                    edge, rank
+                                )
+                                del weights[evicted]
+                                del edge_times[evicted]
+                                cache.pop(evicted, None)
+                                if tagged is not None and evicted in tagged:
+                                    tagged.discard(evicted)
+                                    # A ghost freed a slot: the useful
+                                    # sample grows by one edge.
+                                    graph._num_edges += 1
+                                else:
+                                    a, b = evicted
+                                    s = adj[a]
+                                    s.remove(b)
+                                    if not s:
+                                        del adj[a]
+                                    s = adj[b]
+                                    s.remove(a)
+                                    if not s:
+                                        del adj[b]
+                                if evicted_rank > threshold:
+                                    threshold = evicted_rank
+                                    generation += 1
+                                    cache.clear()
+                                weights[edge] = weight
+                                edge_times[edge] = time_now
+                                s = adj.get(u)
+                                if s is None:
+                                    adj[u] = {v}
+                                    intern(u)
+                                elif v in s:
+                                    raise EdgeExistsError(
+                                        f"edge {edge!r} already present"
+                                    )
+                                else:
+                                    s.add(v)
+                                s = adj.get(v)
+                                if s is None:
+                                    adj[v] = {u}
+                                    intern(v)
+                                else:
+                                    s.add(u)
+                            elif rank > threshold:
+                                threshold = rank
+                                generation += 1
+                                cache.clear()
+                else:
+                    # -- deletion.
+                    if is_wsd:
+                        # Case 3 first: removing e_t from the reservoir
+                        # does not change any other edge's membership or
+                        # τq, and it keeps e_t from appearing as an
+                        # "other" edge during enumeration below.
+                        if edge in res_positions:
+                            res_remove(edge)
+                            res_size -= 1
+                            del weights[edge]
+                            del edge_times[edge]
+                            cache.pop(edge, None)
+                            s = adj[u]
+                            s.remove(v)
+                            if not s:
+                                del adj[u]
+                            s = adj[v]
+                            s.remove(u)
+                            if not s:
+                                del adj[v]
+                            graph._num_edges -= 1
+                    elif is_gps:
+                        raise SamplerError(
+                            "GPS only supports insertion-only streams; use "
+                            "GPSA or WSD for fully dynamic streams (paper "
+                            "Section III-A, Example 1)"
+                        )
+                    else:  # GPS-A: tag first, keep the slot occupied.
+                        if edge in res_positions and edge not in tagged:
+                            tagged.add(edge)
+                            s = adj[u]
+                            s.remove(v)
+                            if not s:
+                                del adj[u]
+                            s = adj[v]
+                            s.remove(u)
+                            if not s:
+                                del adj[v]
+                            graph._num_edges -= 1
+                    if mode == 1:  # triangle
+                        try:
+                            nu = adj[u]
+                            nv = adj[v]
+                        except KeyError:
+                            nv = None
+                        # isdisjoint() skips the result-set allocation
+                        # on the (common) zero-instance events.
+                        if nv and not nu.isdisjoint(nv):
+                            for w in nu & nv:
+                                try:
+                                    e1 = (u, w) if u < w else (w, u)
+                                    e2 = (v, w) if v < w else (w, v)
+                                except TypeError:
+                                    e1 = canonical(u, w)
+                                    e2 = canonical(v, w)
+                                if inline_iu:
+                                    if threshold > 0.0:
+                                        p1 = weights[e1] / threshold
+                                        if p1 > 1.0:
+                                            p1 = 1.0
+                                        p2 = weights[e2] / threshold
+                                        if p2 > 1.0:
+                                            p2 = 1.0
+                                        estimate -= 1.0 / p1 / p2
+                                    else:
+                                        estimate -= 1.0
+                                else:
+                                    p1 = cache_get(e1)
+                                    if p1 is None:
+                                        p1 = inc_prob(weights[e1], threshold)
+                                        cache[e1] = p1
+                                    p2 = cache_get(e2)
+                                    if p2 is None:
+                                        p2 = inc_prob(weights[e2], threshold)
+                                        cache[e2] = p2
+                                    estimate -= 1.0 / p1 / p2
+                    elif mode == 2:  # wedge
+                        for centre, tip in ((u, v), (v, u)):
+                            nc = adj.get(centre)
+                            if nc:
+                                for w in nc:
+                                    if w != tip:
+                                        try:
+                                            e = (
+                                                (centre, w)
+                                                if centre < w
+                                                else (w, centre)
+                                            )
+                                        except TypeError:
+                                            e = canonical(centre, w)
+                                        if inline_iu:
+                                            if threshold > 0.0:
+                                                p = weights[e] / threshold
+                                                if p > 1.0:
+                                                    p = 1.0
+                                                estimate -= 1.0 / p
+                                            else:
+                                                estimate -= 1.0
+                                        else:
+                                            p = cache_get(e)
+                                            if p is None:
+                                                p = inc_prob(
+                                                    weights[e], threshold
+                                                )
+                                                cache[e] = p
+                                            estimate -= 1.0 / p
+                    else:
+                        for instance in instances_completed(graph, u, v):
+                            value = 1.0
+                            for other in instance:
+                                p = cache_get(other)
+                                if p is None:
+                                    p = inc_prob(weights[other], threshold)
+                                    cache[other] = p
+                                value /= p
+                            estimate -= value
+        finally:
+            self._estimate = estimate
+            self._time = time_now
+            self._threshold = threshold
+            self._threshold_generation = generation
+            self.last_weight = weight
+            if policy == KERNEL_WSD:
+                self._tau_p = tau_p
+        return estimate
+
+
+class PairingSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
+    """Shared kernel of the uniform (random-pairing) samplers.
+
+    Owns the :class:`RandomPairingReservoir` and the sampled-graph
+    bookkeeping that ThinkD, Triest and (for its reservoir half) WRS all
+    duplicate. Subclasses keep their estimator rules — the designs
+    differ in *when* the estimate moves, not in how the sample is kept.
+
+    Args:
+        pattern: the target pattern H.
+        budget: M, the reported storage budget.
+        rng: seed or generator.
+        reservoir_capacity: capacity of the RP reservoir; defaults to
+            ``budget`` (WRS passes its post-waiting-room remainder).
+    """
+
+    def __init__(
+        self,
+        pattern: str | Pattern,
+        budget: int,
+        rng: np.random.Generator | int | None = None,
+        reservoir_capacity: int | None = None,
+    ) -> None:
+        SubgraphCountingSampler.__init__(self, pattern, budget, rng)
+        SampledGraphMixin.__init__(self)
+        self._rp = RandomPairingReservoir(
+            budget if reservoir_capacity is None else reservoir_capacity,
+            self.rng,
+        )
+
+    def _batch_counter(self):
+        """A hoisted ``count(u, v)`` closure for the batched loops.
+
+        Counts the pattern instances an edge ``{u, v}`` completes
+        against the sampled graph, with the triangle/wedge cases
+        inlined on the graph's raw adjacency dict (identical values to
+        ``pattern.count_completed``). Shared by the ThinkD and Triest
+        batched ingestion overrides; the random-pairing skeletons
+        around it stay per-sampler because each interleaves its own
+        estimator/τ updates between the rng-order-sensitive steps.
+        """
+        pattern_type = type(self.pattern)
+        mode = (
+            1 if pattern_type is Triangle else 2 if pattern_type is Wedge
+            else 0
+        )
+        count_completed = self.pattern.count_completed
+        graph = self._sampled_graph
+        adj = graph._adj
+
+        def count(u, v):
+            if mode == 1:  # triangle
+                nu = adj.get(u)
+                if not nu:
+                    return 0
+                nv = adj.get(v)
+                if not nv or nu.isdisjoint(nv):
+                    return 0
+                return len(nu & nv)
+            if mode == 2:  # wedge
+                nu = adj.get(u)
+                nv = adj.get(v)
+                return (len(nu) if nu else 0) + (len(nv) if nv else 0)
+            return count_completed(graph, u, v)
+
+        return count
+
+    @property
+    def sample_size(self) -> int:
+        return len(self._rp)
+
+    def sampled_edges(self) -> Iterator[Edge]:
+        return iter(self._rp)

@@ -10,34 +10,29 @@ its |H| - 1 other edges are sampled, computed from the realised sample
 size s and alive population n (the RP uniformity guarantee):
 
     1 / ∏_{j<|H|-1} (s - j)/(n - j).
+
+Reservoir state and introspection come from
+:class:`~repro.samplers.kernel.PairingSamplerKernel`; the batched
+ingestion override inlines the triangle/wedge counting and the
+random-pairing arithmetic (bit-identical to per-event processing under
+a fixed seed — the RP randomness is consumed in exactly the same
+order).
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable
 
-import numpy as np
-
+from repro.errors import ConfigurationError
 from repro.graph.edges import Edge
-from repro.patterns.base import Pattern
-from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
-from repro.samplers.random_pairing import RandomPairingReservoir
+from repro.graph.stream import INSERT, EdgeEvent
+from repro.samplers.kernel import PairingSamplerKernel
 
 __all__ = ["ThinkD"]
 
 
-class ThinkD(SampledGraphMixin, SubgraphCountingSampler):
+class ThinkD(PairingSamplerKernel):
     """ThinkD-ACC: update the estimate before the sampling decision."""
-
-    def __init__(
-        self,
-        pattern: str | Pattern,
-        budget: int,
-        rng: np.random.Generator | int | None = None,
-    ) -> None:
-        SubgraphCountingSampler.__init__(self, pattern, budget, rng)
-        SampledGraphMixin.__init__(self)
-        self._rp = RandomPairingReservoir(budget, self.rng)
 
     def _delta_from_edge(self, edge: Edge, sign: float = 1.0) -> float:
         """Weighted count of instances ``edge`` completes in the sample.
@@ -91,9 +86,123 @@ class ThinkD(SampledGraphMixin, SubgraphCountingSampler):
             self._sample_remove(edge)
         self._estimate -= self._delta_from_edge(edge, sign=-1.0)
 
-    @property
-    def sample_size(self) -> int:
-        return len(self._rp)
+    # -- batched ingestion -------------------------------------------------------
 
-    def sampled_edges(self) -> Iterator[Edge]:
-        return iter(self._rp)
+    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
+        """Consume a batch with the RP arithmetic and counting inlined.
+
+        Bit-identical to event-at-a-time :meth:`process` under a fixed
+        seed: the random-pairing reservoir consumes its randomness in
+        exactly the same order (its decisions are data-dependent, so the
+        uniforms cannot be pre-drawn as a block the way the rank
+        samplers do) and the estimator performs the same floating-point
+        operations. Falls back to the per-event path when observers are
+        registered.
+        """
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        if self.instance_observers:
+            return PairingSamplerKernel.process_batch(self, events)
+
+        count = self._batch_counter()
+        k = self.pattern.num_edges - 1
+        graph = self._sampled_graph
+        add_edge = graph.add_edge_canonical
+        remove_edge = graph.remove_edge_canonical
+        rp = self._rp
+        items = rp._items
+        index = rp._index
+        rp_add = rp._add
+        rp_remove = rp._remove
+        evict_random = rp._evict_random
+        rng_random = self.rng.random
+        capacity = rp.capacity
+        estimate = self._estimate
+        time_now = self._time
+        d_i = rp.d_i
+        d_o = rp.d_o
+        population = rp.population
+
+        op_insert = INSERT
+        try:
+            for event in events:
+                time_now += 1
+                edge = event.edge
+                u, v = edge
+                if event.op == op_insert:
+                    # -- think: count completions against the sample.
+                    c = count(u, v)
+                    if c:
+                        s = len(items)
+                        n = population
+                        if s >= k and n >= k:
+                            if k == 1:
+                                p = 1.0 * (s / n)
+                            elif k == 2:
+                                p = 1.0 * (s / n)
+                                p *= (s - 1) / (n - 1)
+                            else:
+                                p = 1.0
+                                for j in range(k):
+                                    p *= (s - j) / (n - j)
+                            if p > 0.0:
+                                estimate += c / p
+                    # -- random pairing insert (same rng consumption
+                    # order — and the same duplicate guard, raised
+                    # before any reservoir mutation — as
+                    # RandomPairingReservoir.insert).
+                    if edge in index:
+                        raise ConfigurationError(
+                            f"item {edge!r} already sampled"
+                        )
+                    population += 1
+                    uncompensated = d_i + d_o
+                    if uncompensated == 0:
+                        if len(items) < capacity:
+                            rp_add(edge)
+                            add_edge(edge)
+                        elif rng_random() < capacity / population:
+                            evicted = evict_random()
+                            rp_add(edge)
+                            remove_edge(evicted)
+                            add_edge(edge)
+                        # else: not sampled.
+                    elif rng_random() < d_i / uncompensated:
+                        d_i -= 1
+                        rp_add(edge)
+                        add_edge(edge)
+                    else:
+                        d_o -= 1
+                else:
+                    # -- deletion: sample/population first, then count
+                    # the destroyed instances post-deletion.
+                    population -= 1
+                    if edge in index:
+                        rp_remove(edge)
+                        d_i += 1
+                        remove_edge(edge)
+                    else:
+                        d_o += 1
+                    c = count(u, v)
+                    if c:
+                        s = len(items)
+                        n = population
+                        if s >= k and n >= k:
+                            if k == 1:
+                                p = 1.0 * (s / n)
+                            elif k == 2:
+                                p = 1.0 * (s / n)
+                                p *= (s - 1) / (n - 1)
+                            else:
+                                p = 1.0
+                                for j in range(k):
+                                    p *= (s - j) / (n - j)
+                            if p > 0.0:
+                                estimate -= c / p
+        finally:
+            self._estimate = estimate
+            self._time = time_now
+            rp.d_i = d_i
+            rp.d_o = d_o
+            rp.population = population
+        return estimate

@@ -18,12 +18,13 @@ expose it directly instead of guessing stream sizes, honouring the
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.graph.edges import Edge
+from repro.graph.stream import INSERT, EdgeEvent
 from repro.patterns.base import Pattern
 from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
 
@@ -89,6 +90,62 @@ class ThinkDFast(SampledGraphMixin, SubgraphCountingSampler):
             self._sample.discard(edge)
             self._sample_remove(edge)
         self._estimate -= self._delta_from_edge(edge, sign=-1.0)
+
+    # -- batched ingestion -------------------------------------------------------
+
+    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
+        """Consume a batch with the Bernoulli draws pre-drawn in a block.
+
+        Every insertion consumes exactly one uniform regardless of the
+        outcome, so — unlike the random-pairing reservoirs — the
+        randomness *can* be pre-drawn in one numpy block
+        (``rng.random(n)`` yields the exact doubles of n scalar draws).
+        Bit-identical to per-event :meth:`process` under a fixed seed;
+        falls back to the generic path when observers are registered.
+        """
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        if self.instance_observers:
+            return SubgraphCountingSampler.process_batch(self, events)
+        num_insertions = [event.op for event in events].count(INSERT)
+        next_uniform = (
+            iter(self.rng.random(num_insertions).tolist()).__next__
+            if num_insertions
+            else iter(()).__next__
+        )
+        probability = self.sampling_probability
+        instance_value = self._instance_value
+        count_completed = self.pattern.count_completed
+        graph = self._sampled_graph
+        add_edge = graph.add_edge_canonical
+        remove_edge = graph.remove_edge_canonical
+        sample = self._sample
+        estimate = self._estimate
+        time_now = self._time
+        op_insert = INSERT
+        try:
+            for event in events:
+                time_now += 1
+                edge = event.edge
+                u, v = edge
+                if event.op == op_insert:
+                    count = count_completed(graph, u, v)
+                    if count:
+                        estimate += count * instance_value
+                    if next_uniform() < probability:
+                        sample.add(edge)
+                        add_edge(edge)
+                else:
+                    if edge in sample:
+                        sample.discard(edge)
+                        remove_edge(edge)
+                    count = count_completed(graph, u, v)
+                    if count:
+                        estimate -= count * instance_value
+        finally:
+            self._estimate = estimate
+            self._time = time_now
+        return estimate
 
     @property
     def sample_size(self) -> int:

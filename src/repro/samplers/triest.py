@@ -13,34 +13,31 @@ sampled:
 
 The paper generalises Triest from triangles to arbitrary patterns the
 same way we do here (the probability argument only uses |H|).
+
+Reservoir state and introspection come from
+:class:`~repro.samplers.kernel.PairingSamplerKernel`; the batched
+ingestion override inlines the triangle/wedge counting and the
+random-pairing arithmetic (bit-identical to per-event processing under
+a fixed seed).
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable
 
-import numpy as np
-
+from repro.errors import ConfigurationError
 from repro.graph.edges import Edge
-from repro.patterns.base import Pattern
-from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
-from repro.samplers.random_pairing import RandomPairingReservoir
+from repro.graph.stream import INSERT, EdgeEvent
+from repro.samplers.kernel import PairingSamplerKernel
 
 __all__ = ["Triest"]
 
 
-class Triest(SampledGraphMixin, SubgraphCountingSampler):
+class Triest(PairingSamplerKernel):
     """Triest-FD with uniform sampling via random pairing."""
 
-    def __init__(
-        self,
-        pattern: str | Pattern,
-        budget: int,
-        rng: np.random.Generator | int | None = None,
-    ) -> None:
-        SubgraphCountingSampler.__init__(self, pattern, budget, rng)
-        SampledGraphMixin.__init__(self)
-        self._rp = RandomPairingReservoir(budget, self.rng)
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
         # τ: number of alive instances entirely within the sample.
         self._tau = 0
 
@@ -77,9 +74,85 @@ class Triest(SampledGraphMixin, SubgraphCountingSampler):
             self._sample_remove(edge)
             self._tau -= self._count_with_sample(edge)
 
-    @property
-    def sample_size(self) -> int:
-        return len(self._rp)
+    # -- batched ingestion -------------------------------------------------------
 
-    def sampled_edges(self) -> Iterator[Edge]:
-        return iter(self._rp)
+    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
+        """Consume a batch with the RP arithmetic and counting inlined.
+
+        Bit-identical to event-at-a-time :meth:`process` under a fixed
+        seed (τ is integral; the random-pairing randomness is consumed
+        in exactly the same order).
+        """
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        count = self._batch_counter()
+        graph = self._sampled_graph
+        add_edge = graph.add_edge_canonical
+        remove_edge = graph.remove_edge_canonical
+        rp = self._rp
+        items = rp._items
+        index = rp._index
+        rp_add = rp._add
+        rp_remove = rp._remove
+        evict_random = rp._evict_random
+        rng_random = self.rng.random
+        capacity = rp.capacity
+        tau = self._tau
+        time_now = self._time
+        d_i = rp.d_i
+        d_o = rp.d_o
+        population = rp.population
+
+        op_insert = INSERT
+        try:
+            for event in events:
+                time_now += 1
+                edge = event.edge
+                if event.op == op_insert:
+                    # -- random pairing insert (same rng consumption
+                    # order — and the same duplicate guard, raised
+                    # before any reservoir mutation — as
+                    # RandomPairingReservoir.insert), with the τ
+                    # updates spliced in at the sample transitions.
+                    if edge in index:
+                        raise ConfigurationError(
+                            f"item {edge!r} already sampled"
+                        )
+                    population += 1
+                    uncompensated = d_i + d_o
+                    if uncompensated == 0:
+                        if len(items) < capacity:
+                            rp_add(edge)
+                            tau += count(*edge)
+                            add_edge(edge)
+                        elif rng_random() < capacity / population:
+                            evicted = evict_random()
+                            rp_add(edge)
+                            remove_edge(evicted)
+                            tau -= count(*evicted)
+                            tau += count(*edge)
+                            add_edge(edge)
+                        # else: not sampled.
+                    elif rng_random() < d_i / uncompensated:
+                        d_i -= 1
+                        rp_add(edge)
+                        tau += count(*edge)
+                        add_edge(edge)
+                    else:
+                        d_o -= 1
+                else:
+                    population -= 1
+                    if edge in index:
+                        rp_remove(edge)
+                        d_i += 1
+                        remove_edge(edge)
+                        tau -= count(*edge)
+                    else:
+                        d_o += 1
+        finally:
+            self._tau = tau
+            self._time = time_now
+            rp.d_i = d_i
+            rp.d_o = d_o
+            rp.population = population
+        return self.estimate

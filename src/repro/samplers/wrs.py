@@ -15,25 +15,29 @@ deletion removes the edge from whichever half holds it. The estimator is
 ThinkD-style (update before sampling): an instance found when edge e
 arrives contributes ∏ 1/p(e') over its other edges, where p(e') = 1 for
 waiting-room edges and the joint RP probability for reservoir edges.
+
+The reservoir half and the introspection plumbing come from
+:class:`~repro.samplers.kernel.PairingSamplerKernel` (instantiated with
+the post-waiting-room capacity); batched ingestion uses the kernel's
+hoisted driver — the per-instance waiting-room/reservoir classification
+keeps the estimator on the generic path.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from collections.abc import Iterator
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.graph.edges import Edge
 from repro.patterns.base import Pattern
-from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
-from repro.samplers.random_pairing import RandomPairingReservoir
+from repro.samplers.kernel import PairingSamplerKernel
 
 __all__ = ["WRS"]
 
 
-class WRS(SampledGraphMixin, SubgraphCountingSampler):
+class WRS(PairingSamplerKernel):
     """Waiting-room sampling (fully dynamic variant).
 
     Args:
@@ -51,22 +55,23 @@ class WRS(SampledGraphMixin, SubgraphCountingSampler):
         waiting_room_fraction: float = 0.1,
         rng: np.random.Generator | int | None = None,
     ) -> None:
-        SubgraphCountingSampler.__init__(self, pattern, budget, rng)
-        SampledGraphMixin.__init__(self)
         if not 0.0 < waiting_room_fraction < 1.0:
             raise ConfigurationError(
                 "waiting_room_fraction must be in (0, 1), got "
                 f"{waiting_room_fraction}"
             )
-        self.waiting_room_capacity = max(1, int(budget * waiting_room_fraction))
-        reservoir_capacity = budget - self.waiting_room_capacity
+        waiting_room_capacity = max(1, int(budget * waiting_room_fraction))
+        reservoir_capacity = budget - waiting_room_capacity
         if reservoir_capacity < 1:
             raise ConfigurationError(
                 f"budget M={budget} leaves no room for the reservoir"
             )
+        super().__init__(
+            pattern, budget, rng, reservoir_capacity=reservoir_capacity
+        )
+        self.waiting_room_capacity = waiting_room_capacity
         # FIFO of the most recent edges; dict preserves insertion order.
         self._waiting_room: OrderedDict[Edge, int] = OrderedDict()
-        self._rp = RandomPairingReservoir(reservoir_capacity, self.rng)
 
     # -- estimation --------------------------------------------------------------
 
@@ -141,7 +146,7 @@ class WRS(SampledGraphMixin, SubgraphCountingSampler):
     def sample_size(self) -> int:
         return len(self._waiting_room) + len(self._rp)
 
-    def sampled_edges(self) -> Iterator[Edge]:
+    def sampled_edges(self):
         yield from self._waiting_room
         yield from self._rp
 

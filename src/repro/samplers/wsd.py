@@ -25,52 +25,23 @@ insertion (deletion) adds (subtracts) ∏_{e ∈ J\\e_t} 1 / P[r(e) > τq]
 for every instance J completed (destroyed) by e_t together with sampled
 edges. Theorem 4 proves unbiasedness for any M ≥ |H|.
 
-Hot-path engineering (the estimates are bit-identical to the naive
-implementation under a fixed seed):
-
-* **Memoized inclusion probabilities.** P[r(e) > τq] depends only on a
-  sampled edge's weight and τq, so values are cached per edge and the
-  cache is invalidated exactly when τq changes (Case 2.1/2.2) — a
-  generation counter (:attr:`tau_q_generation`) exposes those
-  transitions. ``_instance_value`` is then a dict lookup per edge
-  instead of repeated rank-function calls.
-* **Context guard.** The :class:`WeightContext` snapshot materialises
-  the instance list; it is only built when the weight function declares
-  ``needs_context`` or the caller asked for ``capture_context`` (RL
-  transition capture). Heuristic weight functions take the light path.
-* **Batched ingestion.** :meth:`process_batch` pre-draws the rank
-  randomness for a whole batch in one numpy block (``rng.random(n)``
-  yields the exact doubles of n scalar draws) and runs a loop with
-  hoisted attribute lookups and no observer plumbing when no observers
-  are registered.
+All of the estimator plumbing — the context-heavy/light weight paths,
+the memoized inclusion probabilities keyed on a threshold generation
+counter, and the batched ingestion fast loop — lives in
+:class:`~repro.samplers.kernel.ThresholdSamplerKernel`; this class
+contributes exactly Algorithm 1's reservoir policy (the insert cases
+and the Case 3 deletion rule) plus the τp/τq naming of the paper.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
-
-import numpy as np
-
-from repro.errors import ConfigurationError, EdgeExistsError
-from repro.graph.edges import Edge, canonical_edge
-from repro.graph.stream import INSERT, EdgeEvent
-from repro.patterns.base import Pattern
-from repro.patterns.cliques import Triangle
-from repro.patterns.paths import Wedge
-from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
-from repro.samplers.heap import IndexedMinHeap
-from repro.samplers.ranks import (
-    InverseUniformRank,
-    RankFunction,
-    get_rank_function,
-)
-from repro.weights.base import WeightContext, WeightFunction
-from repro.weights.heuristic import GPSHeuristicWeight, UniformWeight
+from repro.graph.edges import Edge
+from repro.samplers.kernel import KERNEL_WSD, ThresholdSamplerKernel
 
 __all__ = ["WSD"]
 
 
-class WSD(SampledGraphMixin, SubgraphCountingSampler):
+class WSD(ThresholdSamplerKernel):
     """The WSD sampler + unbiased estimator (Algorithms 1 and 2).
 
     Args:
@@ -90,40 +61,14 @@ class WSD(SampledGraphMixin, SubgraphCountingSampler):
             ``weight_fn.needs_context`` is true.
     """
 
-    def __init__(
-        self,
-        pattern: str | Pattern,
-        budget: int,
-        weight_fn: WeightFunction,
-        rank_fn: str | RankFunction = "inverse-uniform",
-        rng: np.random.Generator | int | None = None,
-        capture_context: bool | None = None,
-    ) -> None:
-        SubgraphCountingSampler.__init__(self, pattern, budget, rng)
-        SampledGraphMixin.__init__(self)
-        self.weight_fn = weight_fn
-        self.rank_fn = get_rank_function(rank_fn)
-        self._reservoir = IndexedMinHeap()
-        self._edge_weights: dict[Edge, float] = {}
-        self._edge_times: dict[Edge, int] = {}
+    _policy = KERNEL_WSD
+    # τq is stable between Case 2 transitions, so the probability memo
+    # pays for itself on the per-event light paths.
+    _memoize_light = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
         self._tau_p = 0.0
-        self._tau_q = 0.0
-        #: P[r(e) > τq] per sampled edge, valid for the current τq
-        #: generation; cleared whenever τq changes.
-        self._prob_cache: dict[Edge, float] = {}
-        self._tau_q_generation = 0
-        self._capture_context = (
-            weight_fn.needs_context if capture_context is None
-            else capture_context
-        )
-        #: Most recent WeightContext (exposed for RL transition capture).
-        #: Only maintained when the context path is active — pass
-        #: ``capture_context=True`` to guarantee it; on the light path it
-        #: stays ``None``.
-        self.last_context: WeightContext | None = None
-        #: Weight assigned to the most recent insertion (for diagnostics
-        #: and the Figure 2(d)/4(d) weight-vs-count analysis).
-        self.last_weight: float | None = None
 
     # -- thresholds -----------------------------------------------------------
 
@@ -135,7 +80,7 @@ class WSD(SampledGraphMixin, SubgraphCountingSampler):
     @property
     def tau_q(self) -> float:
         """The probability rank threshold τq of Eq. (10)."""
-        return self._tau_q
+        return self._threshold
 
     @property
     def tau_q_generation(self) -> int:
@@ -144,86 +89,9 @@ class WSD(SampledGraphMixin, SubgraphCountingSampler):
         The memoized inclusion probabilities are valid within one
         generation and invalidated exactly when this counter bumps.
         """
-        return self._tau_q_generation
+        return self._threshold_generation
 
-    def inclusion_probability(self, edge: Edge) -> float:
-        """P[e ∈ R(t)] = P[r(e) > τq] for a currently sampled edge."""
-        cache = self._prob_cache
-        p = cache.get(edge)
-        if p is None:
-            p = self.rank_fn.inclusion_probability(
-                self._edge_weights[edge], self._tau_q
-            )
-            cache[edge] = p
-        return p
-
-    def _set_tau_q(self, value: float) -> None:
-        """Update τq, invalidating the probability cache iff it changed."""
-        if value != self._tau_q:
-            self._tau_q = value
-            self._tau_q_generation += 1
-            self._prob_cache.clear()
-
-    # -- estimator (Algorithm 2) ----------------------------------------------
-
-    def _instance_value(self, instance: tuple[Edge, ...]) -> float:
-        """∏_{e ∈ J\\e_t} 1 / P[r(e) > τq] for one instance."""
-        cache = self._prob_cache
-        weights = self._edge_weights
-        inc_prob = self.rank_fn.inclusion_probability
-        tau_q = self._tau_q
-        value = 1.0
-        for other in instance:
-            p = cache.get(other)
-            if p is None:
-                p = inc_prob(weights[other], tau_q)
-                cache[other] = p
-            value /= p
-        return value
-
-    # -- event handlers ---------------------------------------------------------
-
-    def _process_insertion(self, edge: Edge) -> None:
-        u, v = edge
-        wf = self.weight_fn
-        if self._capture_context or wf.needs_context:
-            instances = list(
-                self.pattern.instances_completed(self._sampled_graph, u, v)
-            )
-            for instance in instances:
-                value = self._instance_value(instance)
-                self._estimate += value
-                if self.instance_observers:
-                    self._emit_instance(edge, instance, value)
-            ctx = WeightContext(
-                edge=edge,
-                time=self._time,
-                instances=instances,
-                adjacency=self._sampled_graph,
-                edge_times=self._edge_times,
-                pattern=self.pattern,
-            )
-            self.last_context = ctx
-            weight = float(wf(ctx))
-        else:
-            # Light path: stream the instances, never materialise the
-            # context — heuristic weights only need cheap summaries.
-            num_instances = 0
-            observers = self.instance_observers
-            for instance in self.pattern.instances_completed(
-                self._sampled_graph, u, v
-            ):
-                num_instances += 1
-                value = self._instance_value(instance)
-                self._estimate += value
-                if observers:
-                    self._emit_instance(edge, instance, value)
-            weight = float(
-                wf.light_weight(num_instances, self._sampled_graph, u, v)
-            )
-        self.last_weight = weight
-        rank = self.rank_fn.rank(weight, self.rng)
-        self._insert(edge, weight, rank)
+    # -- reservoir policy (Algorithm 1) ----------------------------------------
 
     def _insert(self, edge: Edge, weight: float, rank: float) -> None:
         """Algorithm 1's ``insert`` function (Cases 1 and 2)."""
@@ -239,10 +107,10 @@ class WSD(SampledGraphMixin, SubgraphCountingSampler):
         if rank > min_rank:  # Case 2.1: replace the minimum.
             evicted, _ = self._reservoir.replace_min(edge, rank)
             self._evict(evicted)
-            self._admit_replaced(edge, weight)
-            self._set_tau_q(self._tau_p)
-        elif rank > self._tau_q:  # Case 2.2: near miss raises τq.
-            self._set_tau_q(rank)
+            self._record_admission(edge, weight)
+            self._set_threshold(self._tau_p)
+        elif rank > self._threshold:  # Case 2.2: near miss raises τq.
+            self._set_threshold(rank)
         # Case 2.3: discard silently.
 
     def _process_deletion(self, edge: Edge) -> None:
@@ -252,458 +120,4 @@ class WSD(SampledGraphMixin, SubgraphCountingSampler):
         if edge in self._reservoir:
             self._reservoir.remove(edge)
             self._evict(edge)
-        u, v = edge
-        observers = self.instance_observers
-        for instance in self.pattern.instances_completed(
-            self._sampled_graph, u, v
-        ):
-            value = self._instance_value(instance)
-            self._estimate -= value
-            if observers:
-                self._emit_instance(edge, instance, -value)
-
-    # -- batched ingestion -------------------------------------------------------
-
-    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
-        """Consume a batch of events with amortised per-event overhead.
-
-        Bit-identical to event-at-a-time :meth:`process` under a fixed
-        seed: the rank randomness for all insertions is pre-drawn in one
-        numpy block (the exact doubles scalar draws would produce) and
-        the same floating-point operations run in the same order. The
-        hoisted fast loop engages when no context capture is requested,
-        the weight function is context-free, no observers are
-        registered, and the rank family supports ``rank_from_uniform``;
-        otherwise it falls back to the per-event path. If an event
-        raises mid-batch, state reflects the events processed so far but
-        the pre-drawn randomness of the remaining insertions is already
-        consumed.
-        """
-        if not isinstance(events, (list, tuple)):
-            events = list(events)
-        wf = self.weight_fn
-        fast = (
-            not self._capture_context
-            and not wf.needs_context
-            and not self.instance_observers
-        )
-        if fast:
-            try:
-                rfu = self.rank_fn.rank_from_uniform
-                rfu(1.0, 0.0)
-            except NotImplementedError:
-                fast = False
-        if not fast:
-            process = self.process
-            for event in events:
-                process(event)
-            return self._estimate
-
-        # Estimator dispatch: the triangle and wedge enumerations are
-        # inlined below (no generator machinery, no instance tuples);
-        # other patterns go through ``instances_completed``. The inlined
-        # loops visit the same instances in the same order with the same
-        # floating-point operations, so estimates stay bit-identical.
-        pattern_type = type(self.pattern)
-        mode = (
-            1 if pattern_type is Triangle else 2 if pattern_type is Wedge
-            else 0
-        )
-        # Weight / rank dispatch: the stock heuristic weight and the
-        # paper's inverse-uniform ranks are inlined the same way (their
-        # light_weight / rank_from_uniform are pure arithmetic).
-        wmode = 0
-        w_slope = w_offset = 0.0
-        if type(wf) is GPSHeuristicWeight:
-            wmode = 1
-            w_slope = wf.slope
-            w_offset = wf.offset
-        elif type(wf) is UniformWeight:
-            wmode = 2
-            w_offset = 1.0
-
-        # Pre-draw one uniform per insertion in a single numpy block
-        # (the count costs one C-level pass over the ops). For the
-        # inverse-uniform family the 1-u mapping to (0, 1] is done
-        # vectorised, as are the ranks of zero-instance insertions
-        # (whose weight is the constant ``w_offset``) — all the same
-        # IEEE operations the scalar path performs, element by element.
-        num_insertions = [event.op for event in events].count(INSERT)
-        uniforms = (
-            self.rng.random(num_insertions) if num_insertions else None
-        )
-        inline_iu = type(self.rank_fn) is InverseUniformRank
-        denominators = base_ranks = None
-        ui = 0
-        next_uniform = iter(()).__next__
-        if uniforms is not None:
-            if inline_iu:
-                block = 1.0 - uniforms
-                denominators = block.tolist()
-                if wmode:
-                    base_ranks = (w_offset / block).tolist()
-            else:
-                next_uniform = iter(uniforms.tolist()).__next__
-
-        # Hoisted hot-loop state. Plain floats/ints are tracked locally
-        # and written back in ``finally``; containers are aliased.
-        instances_completed = self.pattern.instances_completed
-        light_weight = wf.light_weight
-        inc_prob = self.rank_fn.inclusion_probability
-        canonical = canonical_edge
-        graph = self._sampled_graph
-        adj = graph._adj
-        intern = graph._interner.intern
-        reservoir = self._reservoir
-        res_positions = reservoir._position
-        res_priorities = reservoir._priorities
-        res_push = reservoir.push
-        res_replace_min = reservoir.replace_min
-        res_remove = reservoir.remove
-        cache = self._prob_cache
-        cache_get = cache.get
-        weights = self._edge_weights
-        edge_times = self._edge_times
-        budget = self.budget
-        res_size = len(res_positions)
-        estimate = self._estimate
-        time_now = self._time
-        tau_p = self._tau_p
-        tau_q = self._tau_q
-        generation = self._tau_q_generation
-        weight = self.last_weight
-
-        try:
-            for event in events:
-                time_now += 1
-                edge = event.edge
-                u, v = edge
-                if event.op == INSERT:
-                    # -- Algorithm 2: estimate before sampling.
-                    num_instances = 0
-                    if mode == 1:  # triangle
-                        try:
-                            nu = adj[u]
-                            nv = adj[v]
-                        except KeyError:
-                            nv = None
-                        # isdisjoint() skips the result-set allocation
-                        # on the (common) zero-instance events.
-                        if nv and not nu.isdisjoint(nv):
-                            for w in nu & nv:
-                                num_instances += 1
-                                # Inline canonicalisation: w is a
-                                # neighbour, so w != u and w != v; the
-                                # fallback covers unorderable labels.
-                                try:
-                                    e1 = (u, w) if u < w else (w, u)
-                                    e2 = (v, w) if v < w else (w, v)
-                                except TypeError:
-                                    e1 = canonical(u, w)
-                                    e2 = canonical(v, w)
-                                if inline_iu:
-                                    # min(1, w/τq) computed directly —
-                                    # cheaper than the memo dict when τq
-                                    # churns, bit-identical either way.
-                                    if tau_q > 0.0:
-                                        p1 = weights[e1] / tau_q
-                                        if p1 > 1.0:
-                                            p1 = 1.0
-                                        p2 = weights[e2] / tau_q
-                                        if p2 > 1.0:
-                                            p2 = 1.0
-                                        estimate += 1.0 / p1 / p2
-                                    else:
-                                        estimate += 1.0
-                                else:
-                                    p1 = cache_get(e1)
-                                    if p1 is None:
-                                        p1 = inc_prob(weights[e1], tau_q)
-                                        cache[e1] = p1
-                                    p2 = cache_get(e2)
-                                    if p2 is None:
-                                        p2 = inc_prob(weights[e2], tau_q)
-                                        cache[e2] = p2
-                                    estimate += 1.0 / p1 / p2
-                    elif mode == 2:  # wedge
-                        for centre, tip in ((u, v), (v, u)):
-                            nc = adj.get(centre)
-                            if nc:
-                                for w in nc:
-                                    if w != tip:
-                                        num_instances += 1
-                                        try:
-                                            e = (
-                                                (centre, w)
-                                                if centre < w
-                                                else (w, centre)
-                                            )
-                                        except TypeError:
-                                            e = canonical(centre, w)
-                                        if inline_iu:
-                                            if tau_q > 0.0:
-                                                p = weights[e] / tau_q
-                                                if p > 1.0:
-                                                    p = 1.0
-                                                estimate += 1.0 / p
-                                            else:
-                                                estimate += 1.0
-                                        else:
-                                            p = cache_get(e)
-                                            if p is None:
-                                                p = inc_prob(
-                                                    weights[e], tau_q
-                                                )
-                                                cache[e] = p
-                                            estimate += 1.0 / p
-                    else:
-                        for instance in instances_completed(graph, u, v):
-                            num_instances += 1
-                            value = 1.0
-                            for other in instance:
-                                p = cache_get(other)
-                                if p is None:
-                                    p = inc_prob(weights[other], tau_q)
-                                    cache[other] = p
-                                value /= p
-                            estimate += value
-                    if inline_iu:
-                        if wmode and not num_instances:
-                            # Constant-weight insertion: the rank was
-                            # already computed in the numpy block.
-                            weight = w_offset
-                            rank = base_ranks[ui]
-                        else:
-                            if wmode == 1:
-                                weight = w_slope * num_instances + w_offset
-                            elif wmode == 2:
-                                weight = 1.0
-                            else:
-                                weight = float(
-                                    light_weight(num_instances, graph, u, v)
-                                )
-                                if weight <= 0.0:
-                                    raise ConfigurationError(
-                                        "weight must be positive, got "
-                                        f"{weight}"
-                                    )
-                            rank = weight / denominators[ui]
-                        ui += 1
-                    else:
-                        if wmode == 1:
-                            weight = w_slope * num_instances + w_offset
-                        elif wmode == 2:
-                            weight = 1.0
-                        else:
-                            weight = float(
-                                light_weight(num_instances, graph, u, v)
-                            )
-                        rank = rfu(weight, next_uniform())
-                    # -- Algorithm 1: the insert cases.
-                    if res_size < budget:
-                        if rank > tau_p:  # Case 1.1
-                            res_push(edge, rank)
-                            res_size += 1
-                            weights[edge] = weight
-                            edge_times[edge] = time_now
-                            s = adj.get(u)
-                            if s is None:
-                                adj[u] = {v}
-                                intern(u)
-                            elif v in s:
-                                raise EdgeExistsError(
-                                    f"edge {edge!r} already present"
-                                )
-                            else:
-                                s.add(v)
-                            s = adj.get(v)
-                            if s is None:
-                                adj[v] = {u}
-                                intern(v)
-                            else:
-                                s.add(u)
-                            # Written through eagerly so custom patterns
-                            # and weight functions observing the live
-                            # graph see a coherent edge count.
-                            graph._num_edges += 1
-                    else:
-                        min_rank = res_priorities[0]
-                        tau_p = min_rank
-                        if rank > min_rank:  # Case 2.1
-                            evicted, _ = res_replace_min(edge, rank)
-                            del weights[evicted]
-                            del edge_times[evicted]
-                            cache.pop(evicted, None)
-                            # Inline sampled-graph remove + add (the
-                            # canonical-edge dict operations, with the
-                            # edge-count delta restored in ``finally``).
-                            a, b = evicted
-                            s = adj[a]
-                            s.remove(b)
-                            if not s:
-                                del adj[a]
-                            s = adj[b]
-                            s.remove(a)
-                            if not s:
-                                del adj[b]
-                            weights[edge] = weight
-                            edge_times[edge] = time_now
-                            s = adj.get(u)
-                            if s is None:
-                                adj[u] = {v}
-                                intern(u)
-                            elif v in s:
-                                raise EdgeExistsError(
-                                    f"edge {edge!r} already present"
-                                )
-                            else:
-                                s.add(v)
-                            s = adj.get(v)
-                            if s is None:
-                                adj[v] = {u}
-                                intern(v)
-                            else:
-                                s.add(u)
-                            if tau_p != tau_q:
-                                tau_q = tau_p
-                                generation += 1
-                                cache.clear()
-                        elif rank > tau_q:  # Case 2.2
-                            tau_q = rank
-                            generation += 1
-                            cache.clear()
-                        # Case 2.3: discard silently.
-                else:
-                    # -- Case 3 (deletion): reservoir first, then count
-                    # the destroyed instances.
-                    if edge in res_positions:
-                        res_remove(edge)
-                        res_size -= 1
-                        del weights[edge]
-                        del edge_times[edge]
-                        cache.pop(edge, None)
-                        s = adj[u]
-                        s.remove(v)
-                        if not s:
-                            del adj[u]
-                        s = adj[v]
-                        s.remove(u)
-                        if not s:
-                            del adj[v]
-                        graph._num_edges -= 1
-                    if mode == 1:  # triangle
-                        try:
-                            nu = adj[u]
-                            nv = adj[v]
-                        except KeyError:
-                            nv = None
-                        # isdisjoint() skips the result-set allocation
-                        # on the (common) zero-instance events.
-                        if nv and not nu.isdisjoint(nv):
-                            for w in nu & nv:
-                                try:
-                                    e1 = (u, w) if u < w else (w, u)
-                                    e2 = (v, w) if v < w else (w, v)
-                                except TypeError:
-                                    e1 = canonical(u, w)
-                                    e2 = canonical(v, w)
-                                if inline_iu:
-                                    if tau_q > 0.0:
-                                        p1 = weights[e1] / tau_q
-                                        if p1 > 1.0:
-                                            p1 = 1.0
-                                        p2 = weights[e2] / tau_q
-                                        if p2 > 1.0:
-                                            p2 = 1.0
-                                        estimate -= 1.0 / p1 / p2
-                                    else:
-                                        estimate -= 1.0
-                                else:
-                                    p1 = cache_get(e1)
-                                    if p1 is None:
-                                        p1 = inc_prob(weights[e1], tau_q)
-                                        cache[e1] = p1
-                                    p2 = cache_get(e2)
-                                    if p2 is None:
-                                        p2 = inc_prob(weights[e2], tau_q)
-                                        cache[e2] = p2
-                                    estimate -= 1.0 / p1 / p2
-                    elif mode == 2:  # wedge
-                        for centre, tip in ((u, v), (v, u)):
-                            nc = adj.get(centre)
-                            if nc:
-                                for w in nc:
-                                    if w != tip:
-                                        try:
-                                            e = (
-                                                (centre, w)
-                                                if centre < w
-                                                else (w, centre)
-                                            )
-                                        except TypeError:
-                                            e = canonical(centre, w)
-                                        if inline_iu:
-                                            if tau_q > 0.0:
-                                                p = weights[e] / tau_q
-                                                if p > 1.0:
-                                                    p = 1.0
-                                                estimate -= 1.0 / p
-                                            else:
-                                                estimate -= 1.0
-                                        else:
-                                            p = cache_get(e)
-                                            if p is None:
-                                                p = inc_prob(
-                                                    weights[e], tau_q
-                                                )
-                                                cache[e] = p
-                                            estimate -= 1.0 / p
-                    else:
-                        for instance in instances_completed(graph, u, v):
-                            value = 1.0
-                            for other in instance:
-                                p = cache_get(other)
-                                if p is None:
-                                    p = inc_prob(weights[other], tau_q)
-                                    cache[other] = p
-                                value /= p
-                            estimate -= value
-        finally:
-            self._estimate = estimate
-            self._time = time_now
-            self._tau_p = tau_p
-            self._tau_q = tau_q
-            self._tau_q_generation = generation
-            self.last_weight = weight
-        return estimate
-
-    # -- reservoir bookkeeping ----------------------------------------------------
-
-    def _admit(self, edge: Edge, weight: float, rank: float) -> None:
-        self._reservoir.push(edge, rank)
-        self._admit_replaced(edge, weight)
-
-    def _admit_replaced(self, edge: Edge, weight: float) -> None:
-        """Record sample state for an edge already placed in the heap."""
-        self._edge_weights[edge] = weight
-        self._edge_times[edge] = self._time
-        self._sample_add(edge)
-
-    def _evict(self, edge: Edge) -> None:
-        del self._edge_weights[edge]
-        del self._edge_times[edge]
-        self._prob_cache.pop(edge, None)
-        self._sample_remove(edge)
-
-    # -- introspection ------------------------------------------------------------
-
-    @property
-    def sample_size(self) -> int:
-        return len(self._reservoir)
-
-    def sampled_edges(self) -> Iterator[Edge]:
-        return iter(self._reservoir)
-
-    def sampled_weight(self, edge: Edge) -> float:
-        """Return the stored weight of a sampled edge."""
-        return self._edge_weights[edge]
+        self._subtract_destroyed(edge)

@@ -1,10 +1,16 @@
-"""Fully dynamic stream construction and validation."""
+"""Fully dynamic stream construction, validation, and sharded execution."""
 
+from repro.streams.executor import (
+    ShardedStreamExecutor,
+    default_shard_key,
+    partition_events,
+)
 from repro.streams.scenarios import (
     build_stream,
     insertion_only_stream,
     light_deletion_stream,
     massive_deletion_stream,
+    partition_stream,
 )
 from repro.streams.validate import is_feasible, validate_stream
 
@@ -13,6 +19,10 @@ __all__ = [
     "insertion_only_stream",
     "light_deletion_stream",
     "massive_deletion_stream",
+    "partition_stream",
     "is_feasible",
     "validate_stream",
+    "ShardedStreamExecutor",
+    "default_shard_key",
+    "partition_events",
 ]

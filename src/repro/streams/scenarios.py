@@ -17,11 +17,14 @@ deleted while alive, and only re-inserted after deletion.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.graph.edges import Edge
 from repro.graph.stream import EdgeEvent, EdgeStream
+from repro.streams.executor import default_shard_key, partition_events
 from repro.utils.rng import ensure_rng
 
 __all__ = [
@@ -29,6 +32,7 @@ __all__ = [
     "massive_deletion_stream",
     "light_deletion_stream",
     "build_stream",
+    "partition_stream",
 ]
 
 
@@ -168,3 +172,24 @@ def build_stream(
     raise ConfigurationError(
         f"unknown scenario {scenario!r}; choose insertion-only, massive, light"
     )
+
+
+def partition_stream(
+    stream: EdgeStream,
+    num_shards: int,
+    shard_key: Callable[[Edge], int] = default_shard_key,
+) -> list[EdgeStream]:
+    """Hash-partition a stream into ``num_shards`` feasible sub-streams.
+
+    The materialised counterpart of what the
+    :class:`~repro.streams.executor.ShardedStreamExecutor` does on the
+    fly: every edge routes to ``shard_key(edge) % num_shards``, so each
+    sub-stream preserves event order, receives every deletion in the
+    shard that saw the insertion, and is therefore itself feasible
+    (Section II). Useful for pre-splitting a scenario stream across
+    worker processes or files.
+    """
+    return [
+        EdgeStream(bucket)
+        for bucket in partition_events(stream, num_shards, shard_key)
+    ]

@@ -1,0 +1,80 @@
+"""Tests for the partial-estimate combiners."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.estimators.combine import (
+    combine_mean,
+    combine_partition,
+    combine_variance_weighted,
+)
+
+
+class TestMean:
+    def test_plain_average(self):
+        assert combine_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_single_estimate_identity(self):
+        assert combine_mean([7.5]) == 7.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            combine_mean([])
+
+
+class TestVarianceWeighted:
+    def test_equal_variances_reduce_to_mean(self):
+        estimates = [10.0, 14.0, 12.0]
+        assert combine_variance_weighted(
+            estimates, [2.0, 2.0, 2.0]
+        ) == pytest.approx(combine_mean(estimates))
+
+    def test_low_variance_replica_dominates(self):
+        merged = combine_variance_weighted([100.0, 0.0], [1e-6, 1e6])
+        assert merged == pytest.approx(100.0, rel=1e-6)
+
+    def test_weights_are_inverse_variance(self):
+        # w1 : w2 = 2 : 1 for variances 1 : 2.
+        merged = combine_variance_weighted([3.0, 9.0], [1.0, 2.0])
+        assert merged == pytest.approx((2.0 * 3.0 + 1.0 * 9.0) / 3.0)
+
+    def test_degenerate_variance_falls_back_to_mean(self):
+        estimates = [5.0, 15.0]
+        for bad in (0.0, -1.0, math.inf, math.nan):
+            assert combine_variance_weighted(
+                estimates, [1.0, bad]
+            ) == pytest.approx(10.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            combine_variance_weighted([1.0, 2.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            combine_variance_weighted([], [])
+
+
+class TestPartition:
+    def test_triangle_scale_is_n_squared(self):
+        # |H| = 3 → scale N^2; shard-local sums of 4 shards.
+        merged = combine_partition([1.0, 2.0, 3.0, 4.0], 4, 3)
+        assert merged == pytest.approx(16.0 * 10.0)
+
+    def test_wedge_scale_is_n(self):
+        merged = combine_partition([5.0, 5.0], 2, 2)
+        assert merged == pytest.approx(2.0 * 10.0)
+
+    def test_single_shard_is_identity(self):
+        assert combine_partition([42.0], 1, 3) == pytest.approx(42.0)
+
+    def test_shard_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            combine_partition([1.0, 2.0], 3, 3)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            combine_partition([], 0, 3)
+        with pytest.raises(ConfigurationError):
+            combine_partition([1.0], 1, 0)

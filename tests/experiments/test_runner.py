@@ -157,6 +157,101 @@ class TestRunAlgorithm:
             )
 
 
+class TestShardedRuns:
+    def test_partition_run_matches_handbuilt_executor(self, workload):
+        """The runner's sharded path must reproduce, seed for seed, a
+        hand-built executor: same per-shard budget split (M // N), same
+        RngFactory keys, same merge. Catches any wiring regression
+        (dropped rescale, identical shard seeds, wrong budget) exactly
+        rather than through a statistical bound."""
+        from repro.experiments.runner import make_sampler
+        from repro.streams.executor import ShardedStreamExecutor
+        from repro.utils.rng import RngFactory
+
+        stream, truth = workload
+        result = run_algorithm(
+            "WSD-H", stream, truth, "triangle", 40, trials=1, seed=0,
+            shards=4, shard_mode="partition",
+        )
+        factory = RngFactory(0)
+        executor = ShardedStreamExecutor(
+            lambda i: make_sampler(
+                "WSD-H", "triangle", 10,
+                rng=factory.generator(f"WSD-H-trial-0-shard-{i}"),
+            ),
+            4,
+        )
+        for event in stream:
+            executor.process(event)
+        from repro.estimators.metrics import absolute_relative_error
+
+        expected_are = absolute_relative_error(
+            executor.estimate, truth.final_truth
+        )
+        assert result.ares == [pytest.approx(expected_are)]
+
+    def test_broadcast_mode_runs(self, workload):
+        stream, truth = workload
+        result = run_algorithm(
+            "ThinkD", stream, truth, "triangle", 40, trials=2, seed=0,
+            shards=4, shard_mode="broadcast",
+        )
+        assert len(result.ares) == 2
+        # Trials with distinct seeds must not collapse to one value.
+        assert len(set(result.ares)) > 1
+
+    def test_shard_replicas_seeded_independently(self, workload):
+        from repro.experiments.runner import make_trial_sampler
+        from repro.utils.rng import RngFactory
+
+        stream, _ = workload
+        executor = make_trial_sampler(
+            "WSD-H", "triangle", 160, RngFactory(0), 0,
+            shards=4, shard_mode="broadcast",
+        )
+        executor.process_stream(stream)
+        partials = executor.shard_estimates()
+        # Identically-seeded replicas would all report the same number,
+        # silently losing the variance reduction broadcast exists for.
+        assert len(set(partials)) > 1
+
+    def test_make_trial_sampler_splits_partition_budget(self):
+        from repro.experiments.runner import make_trial_sampler
+        from repro.utils.rng import RngFactory
+
+        executor = make_trial_sampler(
+            "WSD-H", "triangle", 40, RngFactory(0), 0,
+            shards=4, shard_mode="partition",
+        )
+        assert executor.num_shards == 4
+        assert all(shard.budget == 10 for shard in executor.shards)
+        # Broadcast replicas each keep the full budget.
+        executor = make_trial_sampler(
+            "WSD-H", "triangle", 40, RngFactory(0), 0,
+            shards=4, shard_mode="broadcast",
+        )
+        assert all(shard.budget == 40 for shard in executor.shards)
+
+    def test_partition_budget_floor_is_pattern_size(self):
+        from repro.experiments.runner import make_trial_sampler
+        from repro.utils.rng import RngFactory
+
+        executor = make_trial_sampler(
+            "WSD-H", "4-clique", 8, RngFactory(0), 0,
+            shards=4, shard_mode="partition",
+        )
+        # 8 // 4 = 2 < |H| = 6 → floored at 6 so estimators stay defined.
+        assert all(shard.budget == 6 for shard in executor.shards)
+
+    def test_sharded_config_validates(self):
+        config = ExperimentConfig(shards=0)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+        config = ExperimentConfig(shards=2, shard_mode="scatter")
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+
 class TestRunCell:
     def test_runs_multiple_algorithms(self):
         config = ExperimentConfig(
@@ -165,6 +260,14 @@ class TestRunCell:
         )
         results = run_cell(config, ("WSD-H", "ThinkD"))
         assert set(results) == {"WSD-H", "ThinkD"}
+
+    def test_sharded_cell_runs(self):
+        config = ExperimentConfig(
+            dataset="cit-HE", scenario=LIGHT, dataset_scale=0.4,
+            trials=2, checkpoints=5, seed=0, shards=4,
+        )
+        results = run_cell(config, ("WSD-H",))
+        assert results["WSD-H"].mean_are >= 0.0
 
     def test_wsd_l_with_policy(self):
         config = ExperimentConfig(

@@ -1,4 +1,4 @@
-"""Tests for WSD checkpoint/restore."""
+"""Tests for sampler checkpoint/restore (WSD and the kernel family)."""
 
 import json
 
@@ -6,9 +6,14 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.graph.generators import powerlaw_cluster
+from repro.samplers import GPS, GPSA, ThinkD, Triest
 from repro.samplers.checkpoint import (
+    load_sampler,
     load_wsd,
+    restore_sampler,
     restore_wsd,
+    sampler_state_dict,
+    save_sampler,
     save_wsd,
     wsd_state_dict,
 )
@@ -41,11 +46,12 @@ class TestCheckpoint:
         assert set(restored.sampled_edges()) == set(sampler.sampled_edges())
 
     def test_resume_equals_uninterrupted(self, stream):
-        """Checkpoint mid-stream, restore, finish: identical to a run
-        that never stopped (same rng continuation)."""
+        """Checkpoint mid-stream, restore, finish: *bit-identical* to a
+        run that never stopped (same rng continuation, same floats)."""
         half = len(stream) // 2
         uninterrupted = fresh_sampler()
-        uninterrupted.process_stream(stream)
+        for event in stream:
+            uninterrupted.process(event)
 
         first = fresh_sampler()
         for event in stream[:half]:
@@ -55,11 +61,73 @@ class TestCheckpoint:
         )
         for event in stream[half:]:
             restored.process(event)
-        assert restored.estimate == pytest.approx(uninterrupted.estimate)
+        assert restored.estimate == uninterrupted.estimate
         assert set(restored.sampled_edges()) == set(
             uninterrupted.sampled_edges()
         )
-        assert restored.tau_q == pytest.approx(uninterrupted.tau_q)
+        assert restored.tau_p == uninterrupted.tau_p
+        assert restored.tau_q == uninterrupted.tau_q
+
+    def test_resume_batch_path_bit_identical(self, stream):
+        """The restored sampler's batched fast path continues exactly
+        like the uninterrupted batched run — the regression guard for
+        stale memoized state after restore."""
+        half = len(stream) // 2
+        uninterrupted = fresh_sampler()
+        uninterrupted.process_batch(list(stream))
+
+        first = fresh_sampler()
+        first.process_batch(list(stream[:half]))
+        restored = restore_wsd(wsd_state_dict(first), GPSHeuristicWeight())
+        restored.process_batch(list(stream[half:]))
+        assert restored.estimate == uninterrupted.estimate
+        assert restored.tau_q == uninterrupted.tau_q
+
+    def test_generation_counter_restored(self, stream):
+        """The τq generation counter round-trips, so consumers keyed on
+        it see a monotone counter across the checkpoint boundary, and
+        the probability memo starts empty (no stale entries)."""
+        sampler = fresh_sampler()
+        for event in stream[: len(stream) // 2]:
+            sampler.process(event)
+        assert sampler.tau_q_generation > 0
+        restored = restore_wsd(wsd_state_dict(sampler), GPSHeuristicWeight())
+        assert restored.tau_q_generation == sampler.tau_q_generation
+        assert restored._prob_cache == {}
+        # Probabilities recomputed after restore match the originals.
+        for edge in sampler.sampled_edges():
+            assert restored.inclusion_probability(
+                edge
+            ) == sampler.inclusion_probability(edge)
+
+    def test_v1_checkpoint_still_restores(self, stream):
+        """Format-1 (WSD-only) checkpoints written before the kernel
+        refactor restore correctly: τq maps onto the kernel threshold
+        and the missing generation counter resets to zero."""
+        sampler = fresh_sampler()
+        for event in stream[:300]:
+            sampler.process(event)
+        state = wsd_state_dict(sampler)
+        v1 = {
+            "format": 1,
+            "pattern": state["pattern"],
+            "budget": state["budget"],
+            "rank_fn": state["rank_fn"],
+            "tau_p": state["tau_p"],
+            "tau_q": state["tau_q"],
+            "estimate": state["estimate"],
+            "time": state["time"],
+            "reservoir": [
+                {k: e[k] for k in ("u", "v", "rank", "weight", "time")}
+                for e in state["reservoir"]
+            ],
+            "rng_state": state["rng_state"],
+        }
+        restored = restore_wsd(v1, GPSHeuristicWeight())
+        assert restored.estimate == sampler.estimate
+        assert restored.tau_q == sampler.tau_q
+        assert restored.tau_q_generation == 0
+        assert set(restored.sampled_edges()) == set(sampler.sampled_edges())
 
     def test_state_is_json_serialisable(self, stream):
         sampler = fresh_sampler()
@@ -111,3 +179,187 @@ class TestCheckpoint:
         sampler.process(EdgeEvent.insertion((1, 2), (3, 4)))
         with pytest.raises(ConfigurationError):
             wsd_state_dict(sampler)
+
+
+def _insertion_only(stream):
+    return [e for e in stream if e.is_insertion]
+
+
+class TestKernelCheckpoints:
+    """Generic save/restore for every kernel-based sampler."""
+
+    @pytest.mark.parametrize(
+        "factory,needs_weight_fn",
+        [
+            (lambda: WSD("triangle", 40, GPSHeuristicWeight(), rng=9), True),
+            (lambda: GPSA("triangle", 40, GPSHeuristicWeight(), rng=9), True),
+            (lambda: ThinkD("triangle", 40, rng=9), False),
+            (lambda: Triest("triangle", 40, rng=9), False),
+        ],
+        ids=["wsd", "gps-a", "thinkd", "triest"],
+    )
+    def test_resume_equals_uninterrupted(
+        self, stream, factory, needs_weight_fn
+    ):
+        """Checkpoint mid-stream, restore, finish: bit-identical."""
+        half = len(stream) // 2
+        uninterrupted = factory()
+        for event in stream:
+            uninterrupted.process(event)
+
+        first = factory()
+        for event in stream[:half]:
+            first.process(event)
+        weight_fn = GPSHeuristicWeight() if needs_weight_fn else None
+        restored = restore_sampler(sampler_state_dict(first), weight_fn)
+        for event in stream[half:]:
+            restored.process(event)
+        assert restored.estimate == uninterrupted.estimate
+        assert set(restored.sampled_edges()) == set(
+            uninterrupted.sampled_edges()
+        )
+        assert restored.sample_size == uninterrupted.sample_size
+        assert restored.time == uninterrupted.time
+
+    def test_4clique_resume_bit_identical(self):
+        """Id-order-sensitive patterns (the clique enumerators sort by
+        interned vertex id) stay bit-identical across restore: the
+        checkpoint persists the interner's id order, so the restored
+        sampler's enumeration — and float accumulation — order matches
+        a run that never stopped."""
+        from repro.graph.generators import powerlaw_cluster
+        from repro.streams.scenarios import light_deletion_stream
+
+        edges = powerlaw_cluster(80, m=10, triangle_probability=0.9, rng=4)
+        clique_stream = light_deletion_stream(edges, beta_l=0.2, rng=2)
+        half = len(clique_stream) // 2
+
+        uninterrupted = WSD("4-clique", 200, GPSHeuristicWeight(), rng=4)
+        for event in clique_stream:
+            uninterrupted.process(event)
+
+        first = WSD("4-clique", 200, GPSHeuristicWeight(), rng=4)
+        for event in clique_stream[:half]:
+            first.process(event)
+        restored = restore_sampler(
+            sampler_state_dict(first), GPSHeuristicWeight()
+        )
+        # The interner round-trips exactly (ids survive edge eviction,
+        # so the reservoir alone could not reconstruct them).
+        original = first._sampled_graph.interner
+        cloned = restored._sampled_graph.interner
+        assert cloned.labels() == original.labels()
+        for event in clique_stream[half:]:
+            restored.process(event)
+        assert restored.estimate == uninterrupted.estimate
+
+    def test_gps_resume_insertion_only(self, stream):
+        events = _insertion_only(stream)
+        half = len(events) // 2
+        uninterrupted = GPS("triangle", 40, GPSHeuristicWeight(), rng=9)
+        for event in events:
+            uninterrupted.process(event)
+        first = GPS("triangle", 40, GPSHeuristicWeight(), rng=9)
+        for event in events[:half]:
+            first.process(event)
+        restored = restore_sampler(
+            sampler_state_dict(first), GPSHeuristicWeight()
+        )
+        assert isinstance(restored, GPS)
+        assert restored.threshold == first.threshold
+        assert restored.threshold_generation == first.threshold_generation
+        for event in events[half:]:
+            restored.process(event)
+        assert restored.estimate == uninterrupted.estimate
+        assert restored.threshold == uninterrupted.threshold
+
+    def test_gpsa_tags_round_trip(self, stream):
+        sampler = GPSA("triangle", 40, GPSHeuristicWeight(), rng=4)
+        for event in stream:
+            sampler.process(event)
+        assert sampler.num_tagged > 0, "fixture should tag some edges"
+        restored = restore_sampler(
+            sampler_state_dict(sampler), GPSHeuristicWeight()
+        )
+        assert restored.num_tagged == sampler.num_tagged
+        assert restored.useful_sample_size == sampler.useful_sample_size
+        assert restored._tagged == sampler._tagged
+        assert set(restored.sampled_edges()) == set(sampler.sampled_edges())
+
+    def test_thinkd_rp_counters_round_trip(self, stream):
+        sampler = ThinkD("triangle", 40, rng=3)
+        for event in stream:
+            sampler.process(event)
+        restored = restore_sampler(sampler_state_dict(sampler))
+        assert restored._rp.d_i == sampler._rp.d_i
+        assert restored._rp.d_o == sampler._rp.d_o
+        assert restored._rp.population == sampler._rp.population
+        assert restored.estimate == sampler.estimate
+
+    def test_triest_tau_round_trips(self, stream):
+        sampler = Triest("triangle", 40, rng=3)
+        for event in stream:
+            sampler.process(event)
+        restored = restore_sampler(sampler_state_dict(sampler))
+        assert restored.tau == sampler.tau
+        assert restored.estimate == sampler.estimate
+
+    @pytest.mark.parametrize(
+        "factory,needs_weight_fn",
+        [
+            (lambda: GPSA("triangle", 30, GPSHeuristicWeight(), rng=6), True),
+            (lambda: ThinkD("triangle", 30, rng=6), False),
+        ],
+        ids=["gps-a", "thinkd"],
+    )
+    def test_file_round_trip(self, stream, tmp_path, factory, needs_weight_fn):
+        sampler = factory()
+        for event in stream[:400]:
+            sampler.process(event)
+        path = tmp_path / "sampler.json"
+        save_sampler(sampler, path)
+        weight_fn = GPSHeuristicWeight() if needs_weight_fn else None
+        restored = load_sampler(path, weight_fn)
+        assert type(restored) is type(sampler)
+        assert restored.estimate == sampler.estimate
+        assert restored.time == sampler.time
+
+    def test_threshold_restore_requires_weight_fn(self, stream):
+        sampler = GPSA("triangle", 30, GPSHeuristicWeight(), rng=1)
+        for event in stream[:100]:
+            sampler.process(event)
+        with pytest.raises(ConfigurationError):
+            restore_sampler(sampler_state_dict(sampler))
+
+    def test_unknown_algorithm_tag_rejected(self, stream):
+        sampler = ThinkD("triangle", 30, rng=0)
+        for event in stream[:50]:
+            sampler.process(event)
+        state = sampler_state_dict(sampler)
+        state["algorithm"] = "wrs"  # valid sampler, not checkpointable
+        with pytest.raises(ConfigurationError):
+            restore_sampler(state)
+        state["algorithm"] = "corrupted"
+        with pytest.raises(ConfigurationError):
+            restore_sampler(state)
+        # A v2 state that lost its tag entirely is corrupt, not WSD.
+        del state["algorithm"]
+        with pytest.raises(ConfigurationError):
+            restore_sampler(state)
+
+    def test_unsupported_sampler_rejected(self):
+        from repro.samplers import ThinkDFast
+
+        sampler = ThinkDFast("triangle", 0.5, rng=0)
+        with pytest.raises(ConfigurationError):
+            sampler_state_dict(sampler)
+
+    def test_wsd_aliases_reject_other_algorithms(self, stream):
+        thinkd = ThinkD("triangle", 30, rng=0)
+        with pytest.raises(ConfigurationError):
+            wsd_state_dict(thinkd)
+        gpsa = GPSA("triangle", 30, GPSHeuristicWeight(), rng=0)
+        for event in stream[:50]:
+            gpsa.process(event)
+        with pytest.raises(ConfigurationError):
+            restore_wsd(sampler_state_dict(gpsa), GPSHeuristicWeight())

@@ -18,6 +18,8 @@ from repro.samplers.gps import GPS
 from repro.samplers.gps_a import GPSA
 from repro.samplers.ranks import RankFunction
 from repro.samplers.thinkd import ThinkD
+from repro.samplers.thinkd_fast import ThinkDFast
+from repro.samplers.triest import Triest
 from repro.samplers.wrs import WRS
 from repro.samplers.wsd import WSD
 from repro.weights.heuristic import (
@@ -241,21 +243,61 @@ class TestBatchEquivalence:
         assert direct_log == batched_log
         assert direct.estimate == batched.estimate
 
-    def test_gps_insertion_only_bit_identical(self):
+    @pytest.mark.parametrize("pattern", ["wedge", "triangle", "4-clique"])
+    def test_gps_insertion_only_bit_identical(self, pattern):
         events = [e for e in dynamic_stream(400, deletion_fraction=0.0,
                                             seed=17)]
-        one = GPS("triangle", 50, GPSHeuristicWeight(), rng=3)
-        two = GPS("triangle", 50, GPSHeuristicWeight(), rng=3)
+        one = GPS(pattern, 50, GPSHeuristicWeight(), rng=3)
+        two = GPS(pattern, 50, GPSHeuristicWeight(), rng=3)
         for event in events:
             one.process(event)
         two.process_batch(events)
         assert _pairwise_state(one) == _pairwise_state(two)
         assert one.threshold == two.threshold
+        assert one.threshold_generation == two.threshold_generation
+
+    def test_gps_exponential_rank_bit_identical(self):
+        events = [e for e in dynamic_stream(400, deletion_fraction=0.0,
+                                            seed=20)]
+        one = GPS("triangle", 50, UniformWeight(), rank_fn="exponential",
+                  rng=6)
+        two = GPS("triangle", 50, UniformWeight(), rank_fn="exponential",
+                  rng=6)
+        for event in events:
+            one.process(event)
+        two.process_batch(events)
+        assert _pairwise_state(one) == _pairwise_state(two)
+
+    @pytest.mark.parametrize("pattern", ["wedge", "triangle", "4-clique"])
+    def test_gpsa_bit_identical(self, pattern):
+        events = dynamic_stream(500, seed=18)
+        one = GPSA(pattern, 50, GPSHeuristicWeight(), rng=4)
+        two = GPSA(pattern, 50, GPSHeuristicWeight(), rng=4)
+        for event in events:
+            one.process(event)
+        two.process_batch(events)
+        assert _pairwise_state(one) == _pairwise_state(two)
+        assert one.threshold == two.threshold
+        assert one.num_tagged == two.num_tagged
+        assert one.useful_sample_size == two.useful_sample_size
+
+    @pytest.mark.parametrize("pattern", ["wedge", "triangle", "4-clique"])
+    @pytest.mark.parametrize("sampler_cls", [ThinkD, Triest])
+    def test_pairing_samplers_bit_identical(self, sampler_cls, pattern):
+        events = dynamic_stream(500, seed=18)
+        one = sampler_cls(pattern, 50, rng=4)
+        two = sampler_cls(pattern, 50, rng=4)
+        for event in events:
+            one.process(event)
+        two.process_batch(events)
+        assert _pairwise_state(one) == _pairwise_state(two)
 
     @pytest.mark.parametrize("sampler_factory", [
         lambda: GPSA("triangle", 50, GPSHeuristicWeight(), rng=4),
         lambda: WRS("triangle", 50, rng=4),
         lambda: ThinkD("triangle", 50, rng=4),
+        lambda: Triest("triangle", 50, rng=4),
+        lambda: ThinkDFast("triangle", 0.4, rng=4),
     ])
     def test_dynamic_baselines_bit_identical(self, sampler_factory):
         events = dynamic_stream(500, seed=18)
@@ -265,6 +307,55 @@ class TestBatchEquivalence:
             one.process(event)
         two.process_batch(events)
         assert _pairwise_state(one) == _pairwise_state(two)
+
+    @pytest.mark.parametrize("sampler_factory", [
+        lambda: GPSA("triangle", 40, GPSHeuristicWeight(), rng=9),
+        lambda: ThinkD("triangle", 40, rng=9),
+        lambda: Triest("triangle", 40, rng=9),
+        lambda: ThinkDFast("triangle", 0.4, rng=9),
+    ])
+    def test_batch_boundaries_do_not_matter(self, sampler_factory):
+        events = dynamic_stream(500, seed=13)
+        one = sampler_factory()
+        two = sampler_factory()
+        one.process_batch(events)
+        for chunk_start in range(0, len(events), 37):
+            two.process_batch(events[chunk_start:chunk_start + 37])
+        assert _pairwise_state(one) == _pairwise_state(two)
+
+    def test_thinkd_observer_fallback_same_estimate(self):
+        events = dynamic_stream(300, seed=21)
+        plain = ThinkD("triangle", 40, rng=5)
+        observed = ThinkD("triangle", 40, rng=5)
+        log = []
+        observed.instance_observers.append(
+            lambda trigger, inst, value: log.append(value)
+        )
+        plain.process_batch(events)
+        observed.process_batch(events)
+        # The observer path sums 1/p per instance while the count path
+        # computes count/p — same value up to float associativity.
+        assert plain.estimate == pytest.approx(observed.estimate, rel=1e-12)
+        assert log  # the fallback path still emits
+
+    @pytest.mark.parametrize("sampler_cls", [ThinkD, Triest])
+    def test_batched_duplicate_insert_guard(self, sampler_cls):
+        """The batched RP loops enforce the same duplicate-insertion
+        guard as RandomPairingReservoir.insert — raised before any
+        reservoir mutation, like the per-event path."""
+        from repro.errors import ConfigurationError
+
+        events = [
+            EdgeEvent.insertion(1, 2),
+            EdgeEvent.insertion(2, 3),
+            EdgeEvent.insertion(1, 2),  # infeasible re-insertion
+        ]
+        sampler = sampler_cls("triangle", 10, rng=0)
+        with pytest.raises(ConfigurationError):
+            sampler.process_batch(events)
+        rp = sampler._rp
+        assert len(rp._items) == len(set(rp._items)) == 2
+        assert rp.population == 2
 
     def test_process_stream_routes_through_batch(self):
         events = dynamic_stream(300, seed=19)

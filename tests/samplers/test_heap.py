@@ -193,11 +193,33 @@ class TestPropertyBased:
         k = data.draw(st.integers(0, len(removable)))
         for key in removable[:k]:
             heap.remove(key)
-        arr = heap._priorities
+        # The pair-tuple layout stores (priority, key) entries in one
+        # array; the heap property holds on the priority slot.
+        arr = heap._heap
         for i in range(len(arr)):
             for child in (2 * i + 1, 2 * i + 2):
                 if child < len(arr):
-                    assert arr[i] <= arr[child]
-        # Position map consistent.
+                    assert arr[i][0] <= arr[child][0]
+        # Position map consistent with the entry layout.
         for key, pos in heap._position.items():
-            assert heap._keys[pos] == key
+            assert heap._heap[pos][1] == key
+            assert heap.priority(key) == heap._heap[pos][0]
+
+    def test_pair_tuple_layout(self):
+        """White-box: entries are (priority, key) pairs in a single list."""
+        heap = IndexedMinHeap()
+        heap.push("a", 2.0)
+        heap.push("b", 1.0)
+        assert heap._heap[0] == (1.0, "b")
+        assert set(heap._heap) == {(1.0, "b"), (2.0, "a")}
+
+    def test_priority_ties_with_uncomparable_keys(self):
+        """Equal priorities must never fall back to comparing keys."""
+        heap = IndexedMinHeap()
+        heap.push("str-key", 1.0)
+        heap.push(("tuple", "key"), 1.0)
+        heap.push(7, 1.0)
+        heap.push(frozenset({1}), 0.5)
+        assert heap.pop_min() == (frozenset({1}), 0.5)
+        drained = {heap.pop_min()[0] for _ in range(3)}
+        assert drained == {"str-key", ("tuple", "key"), 7}
