@@ -15,10 +15,19 @@ hot-path microbenchmarks (see ``microbench.py``), and writes
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_all.py [--quick]
-        [--skip-tests] [--repeats N]
+        [--skip-tests] [--repeats N] [--shards N]
+        [--backend serial|process|both]
 
 ``--quick`` runs a seconds-scale smoke pass (fewer events, 1 repeat);
 the full pass is what future PRs should diff against.
+
+``--shards N`` adds sharded-executor cells (WSD/triangle, partition
+mode) to the report. With ``--backend both`` (the default) the cell
+runs under the serial *and* the process backend and the report gains a
+``sharded.parity`` flag — the two backends must produce bit-identical
+estimates under the fixed seed, and the run **exits nonzero** when they
+do not. This is the CI tripwire for the process backend's
+result-identity contract.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 PERF_DIR = Path(__file__).resolve().parent
@@ -38,6 +48,77 @@ OUTPUT_FILE = REPO_ROOT / "BENCH_throughput.json"
 sys.path.insert(0, str(PERF_DIR))
 
 import microbench  # noqa: E402
+
+
+def run_sharded_cells(
+    num_events: int,
+    budget: int,
+    num_vertices: int,
+    deletion_fraction: float,
+    seed: int,
+    shards: int,
+    backends: tuple[str, ...],
+) -> dict:
+    """Benchmark the sharded WSD/triangle cell under each backend.
+
+    Every backend run re-derives the same SeedSequence-spawned shard
+    generators from the same root seed, so the estimates must match
+    bit-for-bit across backends (``parity``); events/sec is recorded
+    per backend the same way the single-sampler matrix records it.
+    """
+    from repro.samplers.wsd import WSD
+    from repro.streams.executor import ShardedStreamExecutor
+    from repro.utils.rng import spawn_generators
+    from repro.weights.heuristic import GPSHeuristicWeight
+
+    events = microbench.synthetic_stream(
+        num_events, num_vertices, deletion_fraction, seed
+    )
+    shard_budget = max(3, budget // shards)
+    cells: dict[str, dict] = {}
+    for backend in backends:
+        shard_rngs = spawn_generators(seed, shards)
+        executor = ShardedStreamExecutor(
+            lambda i: WSD(
+                "triangle", shard_budget, GPSHeuristicWeight(),
+                rng=shard_rngs[i],
+            ),
+            shards,
+            mode="partition",
+            executor_backend=backend,
+        )
+        # Warm the fleet outside the timed window: an empty batch
+        # triggers the lazy worker spawn + checkpoint shipping (no-op
+        # on the serial backend), so both backends time pure streaming
+        # ingestion. Teardown/harvest is excluded on both sides too.
+        executor.process_batch([])
+        start = time.perf_counter()
+        executor.process_stream(events)
+        estimate = executor.estimate  # process backend: final barrier
+        elapsed = time.perf_counter() - start
+        executor.close()
+        cells[backend] = {
+            "events_per_sec": len(events) / elapsed,
+            "seconds": elapsed,
+            "estimate": estimate,
+            "num_events": len(events),
+        }
+        print(
+            f"  sharded wsd/triangle x{shards} [{backend:>7s}]: "
+            f"{cells[backend]['events_per_sec']:>12,.0f} events/s  "
+            f"(estimate={estimate:.4f})",
+            file=sys.stderr,
+        )
+    estimates = {cell["estimate"] for cell in cells.values()}
+    return {
+        "sampler": "wsd",
+        "pattern": "triangle",
+        "mode": "partition",
+        "shards": shards,
+        "shard_budget": shard_budget,
+        "cells": cells,
+        "parity": len(estimates) == 1,
+    }
 
 
 def run_tier1_tests() -> bool:
@@ -60,6 +141,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="benchmark only, no tier-1 pytest run")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--output", type=Path, default=OUTPUT_FILE)
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="also run a sharded wsd/triangle cell with N replicas "
+             "(0 = skip)",
+    )
+    parser.add_argument(
+        "--backend", choices=("serial", "process", "both"), default="both",
+        help="executor backend(s) for the sharded cell; 'both' asserts "
+             "serial-vs-process estimate parity",
+    )
     args = parser.parse_args(argv)
 
     tests_passed = None
@@ -99,6 +190,34 @@ def main(argv: list[str] | None = None) -> int:
         "quick": args.quick,
         "current": current,
     }
+
+    parity_failed = False
+    if args.shards > 0:
+        print("== sharded executor cells ==", file=sys.stderr)
+        backends = (
+            ("serial", "process") if args.backend == "both"
+            else (args.backend,)
+        )
+        sharded = run_sharded_cells(
+            num_events,
+            config.get("budget", 1_500),
+            config.get("num_vertices", 400),
+            config.get("deletion_fraction", 0.2),
+            config.get("seed", 2023),
+            args.shards,
+            backends,
+        )
+        report["sharded"] = sharded
+        if len(backends) > 1 and not sharded["parity"]:
+            parity_failed = True
+            print(
+                "serial-vs-process estimate MISMATCH: "
+                + ", ".join(
+                    f"{name}={cell['estimate']!r}"
+                    for name, cell in sharded["cells"].items()
+                ),
+                file=sys.stderr,
+            )
     if baseline is not None:
         speedup = {}
         estimate_match = {}
@@ -134,6 +253,12 @@ def main(argv: list[str] | None = None) -> int:
     if baseline is not None and not args.quick:
         wsd_tri = report["speedup"].get("wsd/triangle")
         print(f"wsd/triangle speedup vs seed: {wsd_tri}x", file=sys.stderr)
+    if parity_failed:
+        print(
+            "FAILED: sharded process backend diverged from serial",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

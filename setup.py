@@ -1,4 +1,10 @@
-"""Setuptools shim for environments without PEP 660 support."""
+"""Setuptools shim for environments without PEP 660 support.
+
+All metadata lives in ``pyproject.toml`` (including the ``numpy``
+install requirement and the ``[test]`` extra that CI installs via
+``pip install -e .[test]``); this file only enables legacy editable
+installs.
+"""
 from setuptools import setup
 
 setup()

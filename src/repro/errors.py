@@ -57,6 +57,25 @@ class ReservoirFullError(SamplerError):
     """Raised when forcing an item into a full fixed-size reservoir."""
 
 
+class ExecutorError(ReproError):
+    """Base class for sharded-executor errors."""
+
+
+class WorkerCrashError(ExecutorError):
+    """Raised when a shard worker process dies or reports a failure.
+
+    Carries the shard index and, when the worker managed to report one,
+    the original exception's message and traceback text. The surviving
+    shards keep their state; the crashed shard can be respawned from its
+    latest checkpoint via
+    :meth:`~repro.streams.executor.ShardedStreamExecutor.restart_shard`.
+    """
+
+    def __init__(self, shard_index: int, message: str) -> None:
+        super().__init__(f"shard {shard_index}: {message}")
+        self.shard_index = shard_index
+
+
 class ConfigurationError(ReproError):
     """Raised for invalid user-supplied configuration values."""
 

@@ -102,6 +102,11 @@ class ExperimentConfig:
     #: each event to one replica (throughput scale-out), ``"broadcast"``
     #: replicates the stream (variance scale-out).
     shard_mode: str = "partition"
+    #: Executor backend when ``shards > 1``: ``"serial"`` drives the
+    #: replicas inline, ``"process"`` runs each replica in a worker
+    #: process (result-identical under fixed seeds; see
+    #: :class:`~repro.streams.executor.ShardedStreamExecutor`).
+    executor_backend: str = "serial"
 
     def validate(self) -> None:
         self.scenario.validate()
@@ -119,6 +124,19 @@ class ExperimentConfig:
             raise ConfigurationError(
                 "shard_mode must be 'partition' or 'broadcast', got "
                 f"{self.shard_mode!r}"
+            )
+        if self.executor_backend not in {"serial", "process"}:
+            raise ConfigurationError(
+                "executor_backend must be 'serial' or 'process', got "
+                f"{self.executor_backend!r}"
+            )
+        if self.executor_backend == "process" and self.shards == 1:
+            # The unsharded trial path runs a bare in-process sampler;
+            # silently ignoring the requested backend would be worse
+            # than refusing.
+            raise ConfigurationError(
+                "executor_backend='process' requires shards > 1 (an "
+                "unsharded cell runs a single in-process sampler)"
             )
 
     def with_changes(self, **kwargs) -> "ExperimentConfig":

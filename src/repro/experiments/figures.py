@@ -41,7 +41,6 @@ from repro.rl.training import (
 from repro.utils.rng import RngFactory
 from repro.utils.tables import format_table
 from repro.utils.timer import Timer
-from repro.weights.learned import LearnedWeight
 
 __all__ = [
     "FigureResult",

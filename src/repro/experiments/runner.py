@@ -25,7 +25,7 @@ from repro.patterns.exact import ExactCounter
 from repro.patterns.matching import get_pattern
 from repro.rl.policy import Policy
 from repro.streams.executor import ShardedStreamExecutor
-from repro.utils.rng import RngFactory
+from repro.utils.rng import RngFactory, derive_seed, spawn_generators
 from repro.utils.timer import Stopwatch
 
 __all__ = [
@@ -113,16 +113,40 @@ def compute_ground_truth(
 def run_sampler_trial(
     sampler, stream: EdgeStream, truth: GroundTruthTrace
 ) -> TrialResult:
-    """Run one sampler over the stream, sampling estimates at checkpoints."""
+    """Run one sampler over the stream, sampling estimates at checkpoints.
+
+    Consumers exposing ``close()`` (the process-backend executor) are
+    closed when the trial ends, successfully or not, so worker
+    processes never outlive their trial. The stopwatch brackets both
+    the per-event ingestion *and* the checkpoint estimate reads: for
+    the process backend an estimate read is the synchronisation barrier
+    where the pipelined ingestion actually completes, so excluding it
+    would record enqueue-side time only and make the reported seconds
+    incomparable with serial rows.
+    """
     targets = set(truth.checkpoints)
     estimates: list[float] = []
     watch = Stopwatch()
     n = len(stream)
-    for i, event in enumerate(stream, start=1):
-        with watch:
-            sampler.process(event)
-        if i in targets:
-            estimates.append(sampler.estimate)
+    close = getattr(sampler, "close", None)
+    try:
+        for i, event in enumerate(stream, start=1):
+            with watch:
+                sampler.process(event)
+            if i in targets:
+                with watch:
+                    estimates.append(sampler.estimate)
+    except BaseException:
+        # The trial failure is the interesting exception; a teardown
+        # failure on top of it is suppressed so it cannot mask it.
+        if close is not None:
+            try:
+                close()
+            except Exception:
+                pass
+        raise
+    if close is not None:
+        close()  # clean trial: a teardown failure is a real failure
     if len(estimates) != len(truth.checkpoints):
         raise ConfigurationError(
             f"checkpoint mismatch: {len(estimates)} estimates vs "
@@ -141,16 +165,22 @@ def make_trial_sampler(
     temporal_aggregation: str = "max",
     shards: int = 1,
     shard_mode: str = "partition",
+    executor_backend: str = "serial",
 ):
     """Build one trial's consumer: a sampler, or a sharded executor.
 
     With ``shards > 1`` the trial runs a
     :class:`~repro.streams.executor.ShardedStreamExecutor` over
-    ``shards`` replicas, each seeded independently from ``factory``.
-    Partition mode splits the budget M across the replicas (total
-    memory parity with the single-sampler run, floored at |H| per
-    replica so the estimators stay defined); broadcast replicas each
-    keep the full budget, as each one samples the whole stream.
+    ``shards`` replicas. Per-shard generators are spawned from one
+    trial-level root via :func:`~repro.utils.rng.spawn_generators`
+    (``numpy.random.SeedSequence.spawn``), so the replica randomness is
+    a pure function of ``(seed, algorithm, trial, shard index)`` — the
+    same for the serial and process backends, which is what makes the
+    two result-identical. Partition mode splits the budget M across the
+    replicas (total memory parity with the single-sampler run, floored
+    at |H| per replica so the estimators stay defined); broadcast
+    replicas each keep the full budget, as each one samples the whole
+    stream.
     """
     if shards == 1:
         return make_sampler(
@@ -166,17 +196,26 @@ def make_trial_sampler(
     else:
         shard_budget = budget
 
+    shard_rngs = spawn_generators(
+        derive_seed(factory.seed, f"{name}-trial-{trial}"), shards
+    )
+
     def shard_factory(index: int):
         return make_sampler(
             name,
             pattern,
             shard_budget,
-            rng=factory.generator(f"{name}-trial-{trial}-shard-{index}"),
+            rng=shard_rngs[index],
             policy=policy,
             temporal_aggregation=temporal_aggregation,
         )
 
-    return ShardedStreamExecutor(shard_factory, shards, mode=shard_mode)
+    return ShardedStreamExecutor(
+        shard_factory,
+        shards,
+        mode=shard_mode,
+        executor_backend=executor_backend,
+    )
 
 
 def run_algorithm(
@@ -191,6 +230,7 @@ def run_algorithm(
     temporal_aggregation: str = "max",
     shards: int = 1,
     shard_mode: str = "partition",
+    executor_backend: str = "serial",
 ) -> AlgorithmResult:
     """Run ``trials`` independent repetitions of one algorithm."""
     if truth.final_truth == 0:
@@ -211,6 +251,7 @@ def run_algorithm(
             temporal_aggregation=temporal_aggregation,
             shards=shards,
             shard_mode=shard_mode,
+            executor_backend=executor_backend,
         )
         trial_result = run_sampler_trial(sampler, stream, truth)
         result.ares.append(
@@ -255,5 +296,6 @@ def run_cell(
             temporal_aggregation=temporal_aggregation,
             shards=config.shards,
             shard_mode=config.shard_mode,
+            executor_backend=config.executor_backend,
         )
     return results

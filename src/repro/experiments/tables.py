@@ -28,7 +28,6 @@ from repro.experiments.runner import (
     run_algorithm,
     run_cell,
 )
-from repro.graph.datasets import TRAIN_TEST_PAIRS
 from repro.utils.tables import format_sections
 
 __all__ = [

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.graph.edges import Edge
 from repro.graph.stream import EdgeStream

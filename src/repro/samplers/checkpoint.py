@@ -5,10 +5,12 @@ full state is small — for the threshold kernels (WSD, GPS, GPS-A) the
 reservoir entries (edge, rank, weight, arrival time), the thresholds
 with their generation counter, the running estimate, the clock, and the
 rank-randomness generator state; for the random-pairing kernels
-(ThinkD, Triest) the sampled edges plus the RP counters — so it
-serialises to a compact JSON document. Restoring yields a sampler that
-continues *bit-for-bit* identically to one that never stopped (verified
-by tests).
+(ThinkD, Triest, WRS) the sampled edges plus the RP counters (and, for
+WRS, the waiting-room FIFO) — so it serialises to a compact JSON
+document. Restoring yields a sampler that continues *bit-for-bit*
+identically to one that never stopped (verified by tests). This is also
+the transport the process-parallel executor uses to ship shard replicas
+into worker processes (:mod:`repro.streams.workers`).
 
 The generic entry points are :func:`sampler_state_dict` /
 :func:`restore_sampler` (and the file-level :func:`save_sampler` /
@@ -32,8 +34,10 @@ from repro.graph.edges import Edge
 from repro.samplers.gps import GPS
 from repro.samplers.gps_a import GPSA
 from repro.samplers.kernel import PairingSamplerKernel, ThresholdSamplerKernel
+from repro.samplers.random_pairing import RandomPairingReservoir
 from repro.samplers.thinkd import ThinkD
 from repro.samplers.triest import Triest
+from repro.samplers.wrs import WRS
 from repro.samplers.wsd import WSD
 from repro.weights.base import WeightFunction
 
@@ -50,6 +54,8 @@ __all__ = [
 
 #: Version 1 was the WSD-only format; version 2 adds the ``algorithm``
 #: tag, the threshold generation counter, and the pairing-kernel states.
+#: WRS states are version-2 documents with extra (algorithm-gated)
+#: fields, so the number did not need to move for them.
 _FORMAT_VERSION = 2
 
 _THRESHOLD_ALGORITHMS: dict[str, type[ThresholdSamplerKernel]] = {
@@ -60,6 +66,7 @@ _THRESHOLD_ALGORITHMS: dict[str, type[ThresholdSamplerKernel]] = {
 _PAIRING_ALGORITHMS: dict[str, type[PairingSamplerKernel]] = {
     "thinkd": ThinkD,
     "triest": Triest,
+    "wrs": WRS,
 }
 _ALGORITHM_NAMES = {
     cls: name
@@ -96,7 +103,7 @@ def sampler_state_dict(sampler) -> dict:
     """Extract a JSON-serialisable snapshot of a sampler's state.
 
     Supports every kernel-based sampler registered for restore: WSD,
-    GPS, GPS-A (threshold kernels) and ThinkD, Triest (pairing
+    GPS, GPS-A (threshold kernels) and ThinkD, Triest, WRS (pairing
     kernels).
     """
     name = _ALGORITHM_NAMES.get(type(sampler))
@@ -145,13 +152,28 @@ def sampler_state_dict(sampler) -> dict:
             state["tau_q"] = sampler.tau_q
     else:
         rp = sampler._rp
+        # The reservoir's internal list order feeds future eviction
+        # index draws, so the sample is serialised in list order and
+        # replayed the same way on restore.
         state["sample"] = [_encode_edge(e) for e in rp]
         state["rp"] = {
             "d_i": rp.d_i,
             "d_o": rp.d_o,
             "population": rp.population,
         }
-        if isinstance(sampler, Triest):
+        if isinstance(sampler, WRS):
+            # The waiting-room FIFO order decides which edge exits next,
+            # so it is serialised in insertion order too. The capacity
+            # split is stored explicitly: the constructor derives it
+            # from a fraction, and int truncation must not re-round it
+            # differently on restore.
+            state["waiting_room"] = [
+                [_encode_edge(e), int(t)]
+                for e, t in sampler._waiting_room.items()
+            ]
+            state["waiting_room_capacity"] = sampler.waiting_room_capacity
+            state["estimate"] = sampler.estimate
+        elif isinstance(sampler, Triest):
             # τ is the real state; the estimate is derived at query time.
             state["tau"] = sampler.tau
         else:
@@ -249,9 +271,25 @@ def restore_sampler(
             f"unknown checkpoint algorithm {name!r}; supported: "
             f"{sorted(_ALGORITHM_NAMES.values())}"
         )
+    if cls is WRS and "waiting_room_capacity" not in state:
+        raise ConfigurationError(
+            "checkpoint tagged 'wrs' is missing its waiting-room state "
+            "(corrupt or mislabelled document)"
+        )
     sampler = cls(
         state["pattern"], int(state["budget"]), rng=np.random.default_rng()
     )
+    if isinstance(sampler, WRS):
+        # Re-impose the checkpointed budget split before any state is
+        # replayed: the constructor derived its own waiting-room size
+        # from the default fraction. The reservoir is rebuilt with the
+        # stored capacity around the sampler's own generator (the same
+        # sharing the constructor sets up), still empty at this point.
+        wr_capacity = int(state["waiting_room_capacity"])
+        sampler.waiting_room_capacity = wr_capacity
+        sampler._rp = RandomPairingReservoir(
+            int(state["budget"]) - wr_capacity, sampler.rng
+        )
     sampler.rng.bit_generator.state = state["rng_state"]
     sampler._time = int(state["time"])
     intern = sampler._sampled_graph.interner.intern
@@ -265,7 +303,13 @@ def restore_sampler(
         edge = _decode_edge(entry)
         rp._add(edge)
         sampler._sample_add(edge)
-    if isinstance(sampler, Triest):
+    if isinstance(sampler, WRS):
+        for entry, arrival in state["waiting_room"]:
+            edge = _decode_edge(entry)
+            sampler._waiting_room[edge] = int(arrival)
+            sampler._sample_add(edge)
+        sampler._estimate = float(state["estimate"])
+    elif isinstance(sampler, Triest):
         sampler._tau = int(state["tau"])
     else:
         sampler._estimate = float(state["estimate"])

@@ -5,6 +5,7 @@ from repro.streams.executor import (
     default_shard_key,
     partition_events,
 )
+from repro.streams.workers import ShardWorker, decode_events, encode_events
 from repro.streams.scenarios import (
     build_stream,
     insertion_only_stream,
@@ -23,6 +24,9 @@ __all__ = [
     "is_feasible",
     "validate_stream",
     "ShardedStreamExecutor",
+    "ShardWorker",
     "default_shard_key",
     "partition_events",
+    "encode_events",
+    "decode_events",
 ]

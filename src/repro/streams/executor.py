@@ -22,6 +22,20 @@ the executor covers both with the same driver:
 Replicas are ordinary :class:`~repro.samplers.base.SubgraphCountingSampler`
 instances driven through their batched ingestion path, so every kernel
 fast loop applies shard-locally.
+
+Both modes run under either of two **backends**:
+
+* ``executor_backend="serial"`` — every replica lives in this process
+  and is driven inline (the PR-2 behaviour; zero overhead, no
+  parallelism).
+* ``executor_backend="process"`` — every replica runs in its own worker
+  process (:mod:`repro.streams.workers`), fed event chunks over a
+  bounded queue so ingestion pipelines with the parent's stream
+  iteration. Replicas are still *constructed* in the parent and shipped
+  as checkpoints, so a process run consumes exactly the randomness of
+  the serial run: **under fixed seeds the two backends produce
+  identical estimates** (the load-bearing contract, tested per sampler
+  and per mode).
 """
 
 from __future__ import annotations
@@ -30,7 +44,7 @@ import zlib
 from collections.abc import Callable, Iterable, Sequence
 from itertools import islice
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCrashError
 from repro.estimators.combine import (
     combine_mean,
     combine_partition,
@@ -39,11 +53,16 @@ from repro.estimators.combine import (
 from repro.graph.edges import Edge
 from repro.graph.stream import EdgeEvent, EdgeStream
 from repro.samplers.base import SubgraphCountingSampler
+from repro.samplers.checkpoint import restore_sampler, sampler_state_dict
+from repro.streams.workers import ShardWorker, encode_events
 
 __all__ = ["ShardedStreamExecutor", "default_shard_key", "partition_events"]
 
 #: Executor execution modes.
 _MODES = ("partition", "broadcast")
+
+#: Executor backends.
+_BACKENDS = ("serial", "process")
 
 
 def default_shard_key(edge: Edge) -> int:
@@ -108,6 +127,22 @@ class ShardedStreamExecutor:
         mode: ``"partition"`` (hash-route each event to one shard) or
             ``"broadcast"`` (every shard sees every event).
         shard_key: edge → int routing hash (partition mode only).
+        executor_backend: ``"serial"`` (inline replicas) or
+            ``"process"`` (one worker process per replica, launched
+            lazily on first ingestion). The process backend requires the
+            replicas to be checkpointable
+            (:func:`~repro.samplers.checkpoint.sampler_state_dict`) and
+            their weight functions picklable.
+        mp_context: multiprocessing context or start-method name for the
+            process backend; ``None`` uses the platform default. State
+            ships as checkpoints either way, so results do not depend
+            on the start method.
+        chunk_size: events per dispatched batch chunk (process backend).
+            Chunk boundaries never change results — batched ingestion is
+            bit-identical regardless of batching — so this is purely a
+            latency/throughput knob.
+        queue_depth: per-worker bound on undelivered chunks before
+            ingestion blocks (the pipelining backpressure).
     """
 
     def __init__(
@@ -116,6 +151,10 @@ class ShardedStreamExecutor:
         num_shards: int,
         mode: str = "partition",
         shard_key: Callable[[Edge], int] = default_shard_key,
+        executor_backend: str = "serial",
+        mp_context=None,
+        chunk_size: int = 2048,
+        queue_depth: int = 8,
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError(
@@ -125,9 +164,22 @@ class ShardedStreamExecutor:
             raise ConfigurationError(
                 f"mode must be one of {_MODES}, got {mode!r}"
             )
+        if executor_backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"executor_backend must be one of {_BACKENDS}, got "
+                f"{executor_backend!r}"
+            )
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
         self.num_shards = num_shards
         self.mode = mode
         self.shard_key = shard_key
+        self.executor_backend = executor_backend
+        self._mp_context = mp_context
+        self._chunk_size = chunk_size
+        self._queue_depth = queue_depth
         self.shards: list[SubgraphCountingSampler] = [
             sampler_factory(i) for i in range(num_shards)
         ]
@@ -137,11 +189,76 @@ class ShardedStreamExecutor:
                 f"shards must share one pattern, got {sorted(patterns)}"
             )
         self.pattern = self.shards[0].pattern
+        #: Live worker handles (process backend, after lazy start).
+        self._workers: list[ShardWorker] | None = None
+        #: Events buffered in the parent, not yet dispatched to workers.
+        self._pending: list[EdgeEvent] = []
+        #: Last shard checkpoints harvested by :meth:`snapshot`.
+        self._snapshots: list[dict] | None = None
+        self._worker_times: list[int] = []
+        self._worker_estimates: list[float] = []
+        self._synced = False
+
+    # -- process-backend lifecycle ------------------------------------------
+
+    @property
+    def _process_active(self) -> bool:
+        return self._workers is not None
+
+    def _ensure_workers(self) -> None:
+        """Lazily launch the worker fleet (process backend only).
+
+        Every replica is snapshotted through the checkpoint layer and
+        restored inside its worker, so worker-side state is bit-identical
+        to the parent replica at launch. From this point on the workers
+        hold the authoritative state; ``self.shards`` is refreshed from
+        their final checkpoints on :meth:`close`.
+        """
+        if self.executor_backend != "process" or self._workers is not None:
+            return
+        workers: list[ShardWorker] = []
+        try:
+            for index, shard in enumerate(self.shards):
+                workers.append(
+                    ShardWorker(
+                        index,
+                        sampler_state_dict(shard),
+                        weight_fn=getattr(shard, "weight_fn", None),
+                        mp_context=self._mp_context,
+                        queue_depth=self._queue_depth,
+                    )
+                )
+        except BaseException:
+            for worker in workers:
+                worker.kill()
+            raise
+        self._workers = workers
+        self._synced = False
+
+    def _spawn_worker(self, index: int, state: dict) -> ShardWorker:
+        return ShardWorker(
+            index,
+            state,
+            weight_fn=getattr(self.shards[index], "weight_fn", None),
+            mp_context=self._mp_context,
+            queue_depth=self._queue_depth,
+        )
 
     # -- ingestion ----------------------------------------------------------
 
     def process(self, event: EdgeEvent) -> None:
-        """Consume one stream event."""
+        """Consume one stream event.
+
+        On the process backend the event is buffered and dispatched in
+        chunks; it is guaranteed to be applied by the next estimate /
+        snapshot / time query (which flush the buffer first).
+        """
+        if self.executor_backend == "process":
+            self._ensure_workers()
+            self._pending.append(event)
+            if len(self._pending) >= self._chunk_size:
+                self._flush_pending()
+            return
         if self.mode == "partition":
             self.shards[
                 self.shard_key(event.edge) % self.num_shards
@@ -150,16 +267,16 @@ class ShardedStreamExecutor:
             for shard in self.shards:
                 shard.process(event)
 
-    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
-        """Consume a batch of events; return the merged estimate.
-
-        Partition mode groups the batch into per-shard sub-batches
-        (order-preserving) and drives each replica through its batched
-        fast path once; broadcast mode hands every replica the whole
-        batch.
-        """
-        if not isinstance(events, (list, tuple)):
-            events = list(events)
+    def _ingest(self, events: list[EdgeEvent]) -> None:
+        """Route a batch to the replicas without computing the estimate."""
+        if self.executor_backend == "process":
+            self._ensure_workers()
+            if self._pending:
+                self._flush_pending()
+            chunk_size = self._chunk_size
+            for start in range(0, len(events), chunk_size):
+                self._dispatch(events[start:start + chunk_size])
+            return
         if self.mode == "partition":
             buckets = partition_events(events, self.num_shards, self.shard_key)
             for shard, bucket in zip(self.shards, buckets):
@@ -168,6 +285,38 @@ class ShardedStreamExecutor:
         else:
             for shard in self.shards:
                 shard.process_batch(events)
+
+    def _dispatch(self, events: list[EdgeEvent]) -> None:
+        """Ship one chunk to the worker fleet (process backend)."""
+        workers = self._workers
+        if self.mode == "partition":
+            buckets = partition_events(events, self.num_shards, self.shard_key)
+            for worker, bucket in zip(workers, buckets):
+                if bucket:
+                    worker.send_batch(encode_events(bucket))
+        else:
+            payload = encode_events(events)
+            for worker in workers:
+                worker.send_batch(payload)
+        self._synced = False
+
+    def _flush_pending(self) -> None:
+        pending, self._pending = self._pending, []
+        self._dispatch(pending)
+
+    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
+        """Consume a batch of events; return the merged estimate.
+
+        Partition mode groups the batch into per-shard sub-batches
+        (order-preserving) and drives each replica through its batched
+        fast path once; broadcast mode hands every replica the whole
+        batch. On the process backend, returning the estimate is a
+        synchronisation point — prefer :meth:`process_stream` (one final
+        barrier) when ingesting large streams.
+        """
+        if not isinstance(events, list):
+            events = list(events)
+        self._ingest(events)
         return self.estimate
 
     def process_stream(
@@ -176,23 +325,156 @@ class ShardedStreamExecutor:
         """Consume a whole stream; return the merged final estimate.
 
         Lazy iterables are consumed in bounded chunks (the same
-        single-pass, fixed-memory contract as the samplers').
+        single-pass, fixed-memory contract as the samplers'). On the
+        process backend the chunks are dispatched without intermediate
+        barriers, so the parent's iteration pipelines with the workers'
+        ingestion; the single synchronisation happens at the end.
         """
         if isinstance(stream, (list, tuple, EdgeStream)):
-            self.process_batch(list(stream))
+            if not isinstance(stream, list):
+                stream = list(stream)
+            self._ingest(stream)
             return self.estimate
         iterator = iter(stream)
         while True:
             chunk = list(islice(iterator, 8192))
             if not chunk:
                 break
-            self.process_batch(chunk)
+            self._ingest(chunk)
         return self.estimate
+
+    # -- worker synchronisation ---------------------------------------------
+
+    def _sync(self) -> None:
+        """Flush buffered events and barrier every worker.
+
+        After this returns, ``_worker_times`` / ``_worker_estimates``
+        reflect every event handed to the executor so far.
+        """
+        if self._pending:
+            self._flush_pending()
+        if self._synced:
+            return
+        times: list[int] = []
+        estimates: list[float] = []
+        for worker in self._workers:
+            _, _, shard_time, shard_estimate = worker.request("sync")
+            times.append(shard_time)
+            estimates.append(shard_estimate)
+        self._worker_times = times
+        self._worker_estimates = estimates
+        self._synced = True
+
+    # -- checkpointing / crash recovery --------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """Checkpoint every shard; return the per-shard state dicts.
+
+        The states come from the generic checkpoint layer
+        (:func:`~repro.samplers.checkpoint.sampler_state_dict`) and are
+        JSON-serialisable. On the process backend the buffer is flushed
+        and every worker barriered first, so the snapshot covers every
+        event handed to the executor; the result is also retained as the
+        restart point for :meth:`restart_shard`.
+        """
+        if self._process_active:
+            self._sync()
+            states = [
+                worker.request("snapshot")[2] for worker in self._workers
+            ]
+        else:
+            states = [sampler_state_dict(shard) for shard in self.shards]
+        self._snapshots = states
+        return states
+
+    def restart_shard(self, index: int, state: dict | None = None) -> None:
+        """Respawn one crashed (or killed) worker from a checkpoint.
+
+        ``state`` defaults to the shard's entry in the latest
+        :meth:`snapshot`. Only the named shard is rebuilt — the other
+        workers keep their live state, so recovery never replays their
+        events. Events dispatched to the shard *after* the checkpoint
+        was taken are lost; callers coordinate snapshots with ingestion
+        (e.g. snapshot at batch boundaries) to bound that window.
+        """
+        if not self._process_active:
+            raise ConfigurationError(
+                "restart_shard requires a started process backend"
+            )
+        if not 0 <= index < self.num_shards:
+            raise ConfigurationError(
+                f"shard index {index} out of range [0, {self.num_shards})"
+            )
+        if state is None:
+            if self._snapshots is None:
+                raise ConfigurationError(
+                    f"no checkpoint to restart shard {index} from; call "
+                    "snapshot() (or pass state=) first"
+                )
+            state = self._snapshots[index]
+        self._workers[index].kill()
+        self._workers[index] = self._spawn_worker(index, state)
+        self._synced = False
+
+    def close(self) -> None:
+        """Stop the worker fleet, harvesting final state into the parent.
+
+        Each worker's final checkpoint is restored over the parent-side
+        replica, so after ``close()`` the executor keeps answering
+        ``estimate`` / ``shard_estimates`` / ``time`` queries serially
+        with exactly the workers' final state. A worker found dead is
+        replaced by its entry in the latest :meth:`snapshot` when one
+        exists (its parent replica otherwise keeps the pre-crash state
+        it had), and the first such crash is re-raised once every worker
+        has been stopped. Idempotent; a no-op on the serial backend.
+        """
+        if not self._process_active:
+            return
+        first_crash: WorkerCrashError | None = None
+        try:
+            if self._pending:
+                self._flush_pending()
+        except WorkerCrashError as exc:
+            first_crash = exc
+        workers, self._workers = self._workers, None
+        for index, worker in enumerate(workers):
+            try:
+                final_state = worker.stop()
+            except WorkerCrashError as exc:
+                worker.kill()
+                if first_crash is None:
+                    first_crash = exc
+                if self._snapshots is not None:
+                    final_state = self._snapshots[index]
+                else:
+                    continue
+            self.shards[index] = restore_sampler(
+                final_state,
+                getattr(self.shards[index], "weight_fn", None),
+            )
+        self._pending.clear()
+        self._synced = False
+        if first_crash is not None:
+            raise first_crash
+
+    def __enter__(self) -> "ShardedStreamExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.close()
+        except WorkerCrashError:
+            # Don't mask an in-flight exception with the teardown's.
+            if exc_type is None:
+                raise
 
     # -- merged estimation --------------------------------------------------
 
     def shard_estimates(self) -> list[float]:
         """The raw per-shard partial estimates."""
+        if self._process_active:
+            self._sync()
+            return list(self._worker_estimates)
         return [shard.estimate for shard in self.shards]
 
     def merged_estimate(
@@ -228,13 +510,26 @@ class ShardedStreamExecutor:
         separate counter) keeps the value consistent with actual shard
         state even when a shard raises mid-batch.
         """
+        if self._process_active:
+            self._sync()
+            clocks = self._worker_times
+        else:
+            clocks = [shard.time for shard in self.shards]
         if self.mode == "partition":
-            return sum(shard.time for shard in self.shards)
-        return max(shard.time for shard in self.shards)
+            return sum(clocks)
+        return max(clocks)
 
-    def __repr__(self) -> str:  # pragma: no cover - trivial
+    def __repr__(self) -> str:
+        # Never synchronise (or raise) from a repr: with live workers
+        # the clock/estimate reads are barriers, so show the cached
+        # values and flag their staleness instead.
+        if self._process_active and (self._pending or not self._synced):
+            state = "unsynced"
+        else:
+            state = f"t={self.time}, estimate={self.estimate:.3f}"
         return (
             f"ShardedStreamExecutor(mode={self.mode!r}, "
-            f"shards={self.num_shards}, pattern={self.pattern.name!r}, "
-            f"t={self.time}, estimate={self.estimate:.3f})"
+            f"shards={self.num_shards}, "
+            f"backend={self.executor_backend!r}, "
+            f"pattern={self.pattern.name!r}, {state})"
         )

@@ -1,0 +1,293 @@
+"""Checkpoint-backed shard workers for the process-parallel executor.
+
+The :class:`~repro.streams.executor.ShardedStreamExecutor` scales a
+sampler to N replicas; this module hosts one replica per **worker
+process** so the replicas actually run in parallel and ingestion is
+pipeline-asynchronous with the parent's stream iteration. Three design
+rules keep the parallel run *result-identical* to the serial one:
+
+* **State travels as checkpoints.** A worker never constructs its
+  sampler from scratch: the parent builds every replica (so all
+  randomness derives in one place), snapshots it through the generic
+  checkpoint layer (:func:`~repro.samplers.checkpoint.sampler_state_dict`)
+  and ships the state dict; the worker rebuilds a bit-identical
+  continuation via :func:`~repro.samplers.checkpoint.restore_sampler`.
+  The same transport serves mid-run snapshots, final-state harvest, and
+  crash-restart of a single shard. Because nothing depends on inherited
+  parent memory, workers are safe under every multiprocessing start
+  method, ``spawn`` included.
+* **Events travel as cheap tuples.** Stream events cross the process
+  boundary as ``(is_insertion, u, v)`` tuples of interned vertex labels
+  (plain ints for every built-in dataset) batched into chunks — far
+  cheaper to pickle than :class:`~repro.graph.stream.EdgeEvent`
+  dataclass instances, at no fidelity loss since both ends re-derive
+  the canonical event.
+* **The weight function is pickled up front.** Threshold samplers need
+  their weight function re-supplied on restore; it is pickled in the
+  parent *regardless of start method* so a configuration that would
+  fail under ``spawn`` fails identically (and immediately) under
+  ``fork``.
+
+The wire protocol is a strict request/reply sequence per worker:
+``("batch", payload)`` messages carry event chunks and generate no
+reply (a bounded inbox provides backpressure); ``("sync", token)``,
+``("snapshot", token)`` and ``("stop", token)`` each produce exactly
+one tagged reply. A worker that raises reports ``("error", ...)`` with
+the formatted traceback and exits; the parent surfaces it as
+:class:`~repro.errors.WorkerCrashError` naming the shard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue
+import time
+import traceback
+from collections.abc import Iterable, Sequence
+
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.graph.stream import DELETE, INSERT, EdgeEvent
+from repro.samplers.checkpoint import restore_sampler, sampler_state_dict
+
+__all__ = ["ShardWorker", "encode_events", "decode_events"]
+
+#: Seconds between liveness checks while blocked on a full inbox or an
+#: empty outbox. Small enough that a crashed worker surfaces promptly,
+#: large enough that healthy waits stay cheap.
+_POLL_SECONDS = 0.2
+
+
+# -- event wire format --------------------------------------------------------
+
+
+def encode_events(events: Iterable[EdgeEvent]) -> list[tuple]:
+    """Encode events as pickle-cheap ``(is_insertion, u, v)`` tuples."""
+    op_insert = INSERT
+    return [
+        (event.op == op_insert,) + event.edge for event in events
+    ]
+
+
+def decode_events(payload: Iterable[tuple]) -> list[EdgeEvent]:
+    """Rebuild :class:`EdgeEvent` values from :func:`encode_events` output."""
+    insert, delete = INSERT, DELETE
+    return [
+        EdgeEvent(insert if is_insertion else delete, (u, v))
+        for is_insertion, u, v in payload
+    ]
+
+
+# -- worker process entry point -----------------------------------------------
+
+
+def _worker_main(shard_index, state, weight_blob, inbox, outbox):
+    """Run one shard replica: restore, serve the message loop, report.
+
+    Top-level (not a closure) so it is importable — and therefore
+    picklable — under the ``spawn`` start method.
+    """
+    try:
+        weight_fn = (
+            None if weight_blob is None else pickle.loads(weight_blob)
+        )
+        sampler = restore_sampler(state, weight_fn)
+        while True:
+            message = inbox.get()
+            tag = message[0]
+            if tag == "batch":
+                sampler.process_batch(decode_events(message[1]))
+            elif tag == "sync":
+                outbox.put(
+                    ("sync", message[1], sampler.time, sampler.estimate)
+                )
+            elif tag == "snapshot":
+                outbox.put(
+                    ("snapshot", message[1], sampler_state_dict(sampler))
+                )
+            elif tag == "stop":
+                outbox.put(
+                    ("stop", message[1], sampler_state_dict(sampler))
+                )
+                return
+            else:
+                raise RuntimeError(f"unknown worker message tag {tag!r}")
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        outbox.put(
+            (
+                "error",
+                None,
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            )
+        )
+
+
+# -- parent-side handle -------------------------------------------------------
+
+
+class ShardWorker:
+    """Parent-side handle for one shard replica in a worker process.
+
+    Args:
+        shard_index: position of this replica in the executor.
+        state: the replica's checkpoint
+            (:func:`~repro.samplers.checkpoint.sampler_state_dict`).
+        weight_fn: the replica's weight function, or ``None`` for the
+            pairing samplers. Pickled here, in the parent, so the
+            spawn-safety contract is enforced uniformly.
+        mp_context: a :mod:`multiprocessing` context or start-method
+            name (``"fork"`` / ``"spawn"`` / ``"forkserver"``); ``None``
+            uses the platform default.
+        queue_depth: bound on the inbox queue — how many undelivered
+            batch chunks the parent may run ahead of this worker before
+            ingestion blocks (the pipelining backpressure).
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        state: dict,
+        weight_fn=None,
+        mp_context=None,
+        queue_depth: int = 8,
+    ) -> None:
+        if queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {queue_depth}"
+            )
+        if mp_context is None or isinstance(mp_context, str):
+            mp_context = multiprocessing.get_context(mp_context)
+        try:
+            weight_blob = (
+                None if weight_fn is None else pickle.dumps(weight_fn)
+            )
+        except Exception as exc:
+            raise ConfigurationError(
+                f"shard {shard_index}: weight function "
+                f"{type(weight_fn).__name__} is not picklable; the "
+                "process backend ships it to the worker — use a "
+                "picklable weight function or the serial backend"
+            ) from exc
+        self.shard_index = shard_index
+        self._inbox = mp_context.Queue(maxsize=queue_depth)
+        self._outbox = mp_context.Queue()
+        self._token = 0
+        self._failure: str | None = None
+        self.process = mp_context.Process(
+            target=_worker_main,
+            args=(shard_index, state, weight_blob, self._inbox, self._outbox),
+            name=f"repro-shard-{shard_index}",
+            daemon=True,
+        )
+        self.process.start()
+
+    # -- liveness ----------------------------------------------------------
+
+    def is_alive(self) -> bool:
+        """Whether the worker process is still running."""
+        return self.process.is_alive()
+
+    def _crash(self) -> WorkerCrashError:
+        message = self._failure or "worker process died unexpectedly"
+        return WorkerCrashError(self.shard_index, message)
+
+    def _raise_if_failed(self, reply=None) -> None:
+        """Record and raise a worker-reported failure, if ``reply`` is one."""
+        if reply is not None and reply[0] == "error":
+            self._failure = reply[2]
+            raise self._crash()
+
+    # -- protocol ----------------------------------------------------------
+
+    def send_batch(self, payload: Sequence[tuple]) -> None:
+        """Enqueue one encoded event chunk (blocks on backpressure)."""
+        self._put(("batch", payload))
+
+    def request(self, tag: str):
+        """Send a ``tag`` request and block for its matching reply."""
+        token = self._token = self._token + 1
+        self._put((tag, token))
+        reply = self._get()
+        if reply[0] != tag or reply[1] != token:
+            self._failure = (
+                f"protocol violation: expected ({tag!r}, {token}) reply, "
+                f"got {reply[:2]!r}"
+            )
+            raise self._crash()
+        return reply
+
+    def stop(self, timeout: float = 10.0) -> dict:
+        """Stop the worker cleanly; return its final checkpoint state."""
+        reply = self.request("stop")
+        self.process.join(timeout)
+        return reply[2]
+
+    def kill(self) -> None:
+        """Terminate the worker immediately, discarding its state."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=5.0)
+        # The queues hold a feeder thread each; cancel the join so a
+        # killed worker can never wedge interpreter shutdown on
+        # undelivered items.
+        for q in (self._inbox, self._outbox):
+            q.cancel_join_thread()
+            q.close()
+
+    # -- queue plumbing ----------------------------------------------------
+
+    def _drain_after_death(self):
+        """Final drain once the process is seen dead.
+
+        The worker's ``("error", ...)`` report (or a last reply) can
+        still be in flight through the queue's feeder thread for a
+        moment after the process exits, so poll briefly before giving
+        up — otherwise the real traceback is lost and the caller only
+        learns "died unexpectedly". Returns a reply or ``None``.
+        """
+        deadline = time.monotonic() + 1.0
+        while time.monotonic() < deadline:
+            try:
+                return self._outbox.get_nowait()
+            except queue.Empty:
+                time.sleep(0.02)
+        return None
+
+    def _put(self, message) -> None:
+        if self._failure is not None:
+            raise self._crash()
+        while True:
+            try:
+                self._inbox.put(message, timeout=_POLL_SECONDS)
+                return
+            except queue.Full:
+                # The only out-of-band traffic a blocked inbox can
+                # coincide with is a failure report (batches produce no
+                # replies, and requests are awaited synchronously).
+                try:
+                    self._raise_if_failed(self._outbox.get_nowait())
+                except queue.Empty:
+                    pass
+                if not self.process.is_alive():
+                    self._raise_if_failed(self._drain_after_death())
+                    raise self._crash() from None
+
+    def _get(self):
+        while True:
+            try:
+                reply = self._outbox.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                if self._failure is not None:
+                    raise self._crash() from None
+                if not self.process.is_alive():
+                    reply = self._drain_after_death()
+                    if reply is None:
+                        raise self._crash() from None
+                else:
+                    continue
+            self._raise_if_failed(reply)
+            return reply
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        status = "alive" if self.is_alive() else "dead"
+        return f"ShardWorker(shard={self.shard_index}, {status})"

@@ -15,7 +15,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["RngFactory", "ensure_rng", "derive_seed"]
+__all__ = ["RngFactory", "ensure_rng", "derive_seed", "spawn_generators"]
 
 _MASK_63 = (1 << 63) - 1
 
@@ -29,6 +29,23 @@ def derive_seed(root_seed: int, name: str) -> int:
     """
     digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") & _MASK_63
+
+
+def spawn_generators(root_seed: int, n: int) -> list[np.random.Generator]:
+    """Return ``n`` independent generators spawned from one root seed.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, numpy's supported way
+    to derive statistically independent child streams: the children are
+    a pure function of ``(root_seed, index)``, stable across platforms
+    and Python versions. This is the per-shard seeding scheme of the
+    sharded executor — because the derivation happens once in the
+    parent, a ``process``-backend run draws exactly the same randomness
+    as a ``serial`` run of the same root seed.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    children = np.random.SeedSequence(root_seed).spawn(n)
+    return [np.random.default_rng(child) for child in children]
 
 
 def ensure_rng(

@@ -66,6 +66,18 @@ class TestExperimentConfig:
         with pytest.raises(ConfigurationError):
             ExperimentConfig(trials=0).validate()
 
+    def test_executor_backend_validated(self):
+        ExperimentConfig(shards=2, executor_backend="process").validate()
+        ExperimentConfig(executor_backend="serial").validate()
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(executor_backend="threads").validate()
+
+    def test_process_backend_requires_sharding(self):
+        """shards=1 runs a bare sampler, so a requested process backend
+        would be silently ignored — refused instead."""
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(shards=1, executor_backend="process").validate()
+
     def test_with_changes(self):
         config = ExperimentConfig(dataset="cit-PT")
         changed = config.with_changes(dataset="com-YT", trials=3)

@@ -161,23 +161,23 @@ class TestShardedRuns:
     def test_partition_run_matches_handbuilt_executor(self, workload):
         """The runner's sharded path must reproduce, seed for seed, a
         hand-built executor: same per-shard budget split (M // N), same
-        RngFactory keys, same merge. Catches any wiring regression
-        (dropped rescale, identical shard seeds, wrong budget) exactly
-        rather than through a statistical bound."""
+        SeedSequence-spawned shard generators, same merge. Catches any
+        wiring regression (dropped rescale, identical shard seeds,
+        wrong budget) exactly rather than through a statistical
+        bound."""
         from repro.experiments.runner import make_sampler
         from repro.streams.executor import ShardedStreamExecutor
-        from repro.utils.rng import RngFactory
+        from repro.utils.rng import derive_seed, spawn_generators
 
         stream, truth = workload
         result = run_algorithm(
             "WSD-H", stream, truth, "triangle", 40, trials=1, seed=0,
             shards=4, shard_mode="partition",
         )
-        factory = RngFactory(0)
+        shard_rngs = spawn_generators(derive_seed(0, "WSD-H-trial-0"), 4)
         executor = ShardedStreamExecutor(
             lambda i: make_sampler(
-                "WSD-H", "triangle", 10,
-                rng=factory.generator(f"WSD-H-trial-0-shard-{i}"),
+                "WSD-H", "triangle", 10, rng=shard_rngs[i],
             ),
             4,
         )
@@ -250,6 +250,40 @@ class TestShardedRuns:
         config = ExperimentConfig(shards=2, shard_mode="scatter")
         with pytest.raises(ConfigurationError):
             config.validate()
+        config = ExperimentConfig(shards=2, executor_backend="threads")
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    @pytest.mark.parametrize("shard_mode", ["partition", "broadcast"])
+    def test_process_backend_matches_serial_exactly(self, workload, shard_mode):
+        """executor_backend='process' is a deployment choice, not a
+        statistical one: the runner's aggregated metrics must equal the
+        serial backend's bit for bit under the same seed."""
+        stream, truth = workload
+        serial = run_algorithm(
+            "WSD-H", stream, truth, "triangle", 40, trials=2, seed=3,
+            shards=2, shard_mode=shard_mode, executor_backend="serial",
+        )
+        process = run_algorithm(
+            "WSD-H", stream, truth, "triangle", 40, trials=2, seed=3,
+            shards=2, shard_mode=shard_mode, executor_backend="process",
+        )
+        assert process.ares == serial.ares
+        assert process.mares == serial.mares
+
+    def test_process_backend_trial_closes_executor(self, workload):
+        from repro.experiments.runner import make_trial_sampler, run_sampler_trial
+        from repro.utils.rng import RngFactory
+
+        stream, truth = workload
+        executor = make_trial_sampler(
+            "WSD-H", "triangle", 40, RngFactory(0), 0,
+            shards=2, shard_mode="partition", executor_backend="process",
+        )
+        run_sampler_trial(executor, stream, truth)
+        # Workers are gone; the harvested replicas answer serially.
+        assert executor._workers is None
+        assert executor.time == len(stream)
 
 
 class TestRunCell:

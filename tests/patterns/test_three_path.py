@@ -1,7 +1,6 @@
 """Tests for the 3-path pattern (extension beyond the paper)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.graph.generators import forest_fire, powerlaw_cluster
-from repro.graph.stream import EdgeEvent, EdgeStream
+from repro.graph.stream import EdgeEvent
 from repro.patterns.exact import ExactCounter
 from repro.samplers.thinkd import ThinkD
 from repro.samplers.triest import Triest

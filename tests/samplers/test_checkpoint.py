@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.graph.generators import powerlaw_cluster
-from repro.samplers import GPS, GPSA, ThinkD, Triest
+from repro.samplers import GPS, GPSA, WRS, ThinkD, Triest
 from repro.samplers.checkpoint import (
     load_sampler,
     load_wsd,
@@ -195,8 +195,9 @@ class TestKernelCheckpoints:
             (lambda: GPSA("triangle", 40, GPSHeuristicWeight(), rng=9), True),
             (lambda: ThinkD("triangle", 40, rng=9), False),
             (lambda: Triest("triangle", 40, rng=9), False),
+            (lambda: WRS("triangle", 40, rng=9), False),
         ],
-        ids=["wsd", "gps-a", "thinkd", "triest"],
+        ids=["wsd", "gps-a", "thinkd", "triest", "wrs"],
     )
     def test_resume_equals_uninterrupted(
         self, stream, factory, needs_weight_fn
@@ -296,6 +297,56 @@ class TestKernelCheckpoints:
         assert restored._rp.population == sampler._rp.population
         assert restored.estimate == sampler.estimate
 
+    def test_wrs_waiting_room_round_trips(self, stream):
+        """WRS state splits across the waiting-room FIFO and the RP
+        reservoir; both halves round-trip with their order (FIFO exit
+        order and eviction-index order) intact."""
+        sampler = WRS("triangle", 40, rng=3)
+        for event in stream:
+            sampler.process(event)
+        assert sampler.waiting_room_size > 0
+        restored = restore_sampler(sampler_state_dict(sampler))
+        assert isinstance(restored, WRS)
+        assert restored.waiting_room_capacity == sampler.waiting_room_capacity
+        assert restored._rp.capacity == sampler._rp.capacity
+        assert list(restored._waiting_room.items()) == list(
+            sampler._waiting_room.items()
+        )
+        assert list(restored._rp) == list(sampler._rp)
+        assert restored._rp.population == sampler._rp.population
+        assert restored.estimate == sampler.estimate
+        assert restored.sample_size == sampler.sample_size
+
+    def test_wrs_custom_fraction_capacity_restored_exactly(self, stream):
+        """A non-default waiting_room_fraction must survive restore:
+        the capacity is stored, not re-derived from the default
+        fraction."""
+        sampler = WRS("triangle", 40, waiting_room_fraction=0.4, rng=5)
+        for event in stream[:300]:
+            sampler.process(event)
+        restored = restore_sampler(sampler_state_dict(sampler))
+        assert restored.waiting_room_capacity == 16
+        assert restored._rp.capacity == 24
+        for event in stream[300:500]:
+            sampler.process(event)
+            restored.process(event)
+        assert restored.estimate == sampler.estimate
+
+    def test_wrs_resume_batched_path_bit_identical(self, stream):
+        """The restored WRS continues bit-identically through the
+        batched ingestion driver too."""
+        half = len(stream) // 2
+        uninterrupted = WRS("triangle", 40, rng=11)
+        uninterrupted.process_batch(list(stream))
+        first = WRS("triangle", 40, rng=11)
+        first.process_batch(list(stream[:half]))
+        restored = restore_sampler(sampler_state_dict(first))
+        restored.process_batch(list(stream[half:]))
+        assert restored.estimate == uninterrupted.estimate
+        assert set(restored.sampled_edges()) == set(
+            uninterrupted.sampled_edges()
+        )
+
     def test_triest_tau_round_trips(self, stream):
         sampler = Triest("triangle", 40, rng=3)
         for event in stream:
@@ -336,7 +387,9 @@ class TestKernelCheckpoints:
         for event in stream[:50]:
             sampler.process(event)
         state = sampler_state_dict(sampler)
-        state["algorithm"] = "wrs"  # valid sampler, not checkpointable
+        # Relabelling a ThinkD state as WRS leaves the waiting-room
+        # fields missing; the restore must reject it cleanly.
+        state["algorithm"] = "wrs"
         with pytest.raises(ConfigurationError):
             restore_sampler(state)
         state["algorithm"] = "corrupted"

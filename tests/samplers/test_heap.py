@@ -1,7 +1,5 @@
 """Tests for the indexed min-heap."""
 
-import heapq
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -15,7 +15,6 @@ toggles over a small vertex set); the invariants below must hold after
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

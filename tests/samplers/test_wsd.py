@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, SamplerError
+from repro.errors import ConfigurationError
 from repro.graph.generators import forest_fire, powerlaw_cluster
 from repro.graph.stream import EdgeEvent, EdgeStream
 from repro.patterns.exact import ExactCounter

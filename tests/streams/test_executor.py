@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.graph.generators import powerlaw_cluster
-from repro.graph.stream import EdgeEvent, EdgeStream
+from repro.graph.stream import EdgeEvent
 from repro.patterns.exact import ExactCounter
 from repro.samplers import GPS, WSD, ThinkD
 from repro.streams import (

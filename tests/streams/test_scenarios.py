@@ -1,6 +1,5 @@
 """Tests for the deletion-scenario stream builders."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import RngFactory, derive_seed, ensure_rng
+from repro.utils.rng import (
+    RngFactory,
+    derive_seed,
+    ensure_rng,
+    spawn_generators,
+)
 
 
 class TestDeriveSeed:
@@ -77,3 +82,31 @@ class TestRngFactory:
     def test_non_int_seed_rejected(self):
         with pytest.raises(TypeError):
             RngFactory("seed")  # type: ignore[arg-type]
+
+
+class TestSpawnGenerators:
+    def test_deterministic(self):
+        a = [g.random() for g in spawn_generators(42, 4)]
+        b = [g.random() for g in spawn_generators(42, 4)]
+        assert a == b
+
+    def test_children_independent(self):
+        draws = [g.random() for g in spawn_generators(42, 8)]
+        assert len(set(draws)) == 8
+
+    def test_root_seed_matters(self):
+        a = [g.random() for g in spawn_generators(1, 3)]
+        b = [g.random() for g in spawn_generators(2, 3)]
+        assert a != b
+
+    def test_prefix_stability(self):
+        """Spawning more children never changes the earlier ones — a
+        sharded run can grow its replica count without reseeding the
+        existing shards."""
+        small = [g.random() for g in spawn_generators(7, 2)]
+        large = [g.random() for g in spawn_generators(7, 5)]
+        assert large[:2] == small
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, 0)
