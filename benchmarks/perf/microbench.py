@@ -27,7 +27,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.graph.stream import DELETE, INSERT, EdgeEvent
+from repro.graph.stream import DELETE, INSERT, EdgeEvent, EventBlock
+from repro.samplers import kernel as _kernel
 from repro.samplers.gps import GPS
 from repro.samplers.gps_a import GPSA
 from repro.samplers.thinkd import ThinkD
@@ -39,6 +40,20 @@ from repro.weights.heuristic import GPSHeuristicWeight
 #: is insertion-only. The acceptance-tracking case is ``wsd/triangle``.
 PATTERNS = ("wedge", "triangle", "4-clique")
 SAMPLERS = ("wsd", "gps", "gps-a", "wrs", "thinkd")
+
+#: Named implementation variants for interleaved A/B comparisons
+#: (``run_ab_matrix``): ``feed`` picks the batch representation handed
+#: to ``process_batch`` and ``wedge_vector`` toggles the aggregated
+#: wedge-delta estimator at sampler construction. ``old`` reproduces
+#: the pre-columnar pipeline (tuple events, per-neighbour wedge loop);
+#: ``new`` is the current default path. ``events``/``block`` isolate
+#: the representation change alone.
+VARIANTS: dict[str, dict] = {
+    "old": {"feed": "events", "wedge_vector": False},
+    "new": {"feed": "block", "wedge_vector": True},
+    "events": {"feed": "events", "wedge_vector": True},
+    "block": {"feed": "block", "wedge_vector": True},
+}
 
 
 def synthetic_stream(
@@ -137,6 +152,107 @@ def run_case(
         "seconds": best,
         "estimate": estimate,
         "num_events": len(events),
+    }
+
+
+def run_ab_matrix(
+    variant_a: str,
+    variant_b: str,
+    num_events: int,
+    budget: int,
+    num_vertices: int,
+    deletion_fraction: float,
+    seed: int,
+    repeats: int,
+    samplers=SAMPLERS,
+    patterns=PATTERNS,
+) -> dict:
+    """Interleaved A/B comparison of two implementation variants.
+
+    The recording box drifts ±10–20% between sessions (see ROADMAP),
+    so comparing cells across *recorded files* conflates code and host.
+    This harness alternates the two variants repeat by repeat inside
+    one process — both sides see the same thermal/allocator state, so
+    the per-cell ratio isolates the code change. Per-variant timing is
+    best-of-``repeats``, like the main matrix.
+    """
+    for name in (variant_a, variant_b):
+        if name not in VARIANTS:
+            raise ValueError(
+                f"unknown variant {name!r}; known: {sorted(VARIANTS)}"
+            )
+    dynamic = synthetic_stream(
+        num_events, num_vertices, deletion_fraction, seed
+    )
+    insert_only = synthetic_stream(num_events, num_vertices, 0.0, seed)
+    blocks = {
+        id(dynamic): EventBlock.from_events(dynamic),
+        id(insert_only): EventBlock.from_events(insert_only),
+    }
+    feed(make_sampler("wsd", "triangle", budget, seed), dynamic[:5000])
+
+    def run_one(variant: str, sampler_name: str, pattern: str, stream):
+        spec = VARIANTS[variant]
+        previous = _kernel.set_wedge_vectorization(spec["wedge_vector"])
+        try:
+            sampler = make_sampler(sampler_name, pattern, budget, seed)
+        finally:
+            _kernel.set_wedge_vectorization(previous)
+        payload = (
+            blocks[id(stream)] if spec["feed"] == "block" else stream
+        )
+        start = time.perf_counter()
+        sampler.process_batch(payload)
+        return time.perf_counter() - start, sampler.estimate
+
+    results: dict[str, dict] = {}
+    for sampler_name in samplers:
+        stream = insert_only if sampler_name == "gps" else dynamic
+        for pattern in patterns:
+            key = f"{sampler_name}/{pattern}"
+            best = {variant_a: float("inf"), variant_b: float("inf")}
+            estimates: dict[str, float] = {}
+            for _ in range(repeats):
+                # Alternate within each repeat so drift during the run
+                # hits both variants symmetrically.
+                for variant in (variant_a, variant_b):
+                    elapsed, estimate = run_one(
+                        variant, sampler_name, pattern, stream
+                    )
+                    best[variant] = min(best[variant], elapsed)
+                    estimates[variant] = estimate
+            cell = {
+                variant: {
+                    "events_per_sec": len(stream) / best[variant],
+                    "seconds": best[variant],
+                    "estimate": estimates[variant],
+                }
+                for variant in (variant_a, variant_b)
+            }
+            cell["speedup"] = round(
+                best[variant_a] / best[variant_b], 3
+            )
+            results[key] = cell
+            print(
+                f"{key:>20s}: {variant_a} "
+                f"{cell[variant_a]['events_per_sec']:>12,.0f} ev/s  "
+                f"{variant_b} "
+                f"{cell[variant_b]['events_per_sec']:>12,.0f} ev/s  "
+                f"({variant_b}/{variant_a} = {cell['speedup']:.3f}x)",
+                file=sys.stderr,
+            )
+    return {
+        "schema": "bench_ab/v1",
+        "variants": [variant_a, variant_b],
+        "config": {
+            "num_events": num_events,
+            "budget": budget,
+            "num_vertices": num_vertices,
+            "deletion_fraction": deletion_fraction,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "results": results,
     }
 
 

@@ -16,18 +16,32 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_all.py [--quick]
         [--skip-tests] [--repeats N] [--shards N]
-        [--backend serial|process|both]
+        [--backend serial|process|both] [--transport auto|shm|queue]
+        [--min-process-ratio X] [--ab OLD,NEW]
 
 ``--quick`` runs a seconds-scale smoke pass (fewer events, 1 repeat);
 the full pass is what future PRs should diff against.
 
 ``--shards N`` adds sharded-executor cells (WSD/triangle, partition
-mode) to the report. With ``--backend both`` (the default) the cell
-runs under the serial *and* the process backend and the report gains a
-``sharded.parity`` flag — the two backends must produce bit-identical
-estimates under the fixed seed, and the run **exits nonzero** when they
-do not. This is the CI tripwire for the process backend's
-result-identity contract.
+mode, columnar stream) to the report. With ``--backend both`` (the
+default) the cell runs under the serial *and* the process backend and
+the report gains a ``sharded.parity`` flag — the two backends must
+produce bit-identical estimates under the fixed seed, and the run
+**exits nonzero** when they do not. This is the CI tripwire for the
+process backend's result-identity contract. ``--min-process-ratio X``
+additionally fails the run when the process backend's throughput drops
+below ``X``× the serial backend's on that cell (the perf ratchet for
+the shared-memory transport).
+
+``--ab OLD,NEW`` runs the whole matrix as an interleaved A/B of two
+implementation variants in one process (see
+``microbench.VARIANTS``) — the drift-robust way to compare a code
+change on this host, recorded under the report's ``ab`` key.
+
+Estimate comparison against the recorded baseline is tolerance-aware:
+``estimate_match`` accepts relative drift up to 1e-6 (float-ordering
+differences from estimator reorganisations, e.g. the aggregated wedge
+delta), while ``estimate_exact`` records the bit-for-bit comparison.
 """
 
 from __future__ import annotations
@@ -58,14 +72,21 @@ def run_sharded_cells(
     seed: int,
     shards: int,
     backends: tuple[str, ...],
+    transport: str = "auto",
+    repeats: int = 3,
 ) -> dict:
     """Benchmark the sharded WSD/triangle cell under each backend.
 
     Every backend run re-derives the same SeedSequence-spawned shard
     generators from the same root seed, so the estimates must match
     bit-for-bit across backends (``parity``); events/sec is recorded
-    per backend the same way the single-sampler matrix records it.
+    per backend the same way the single-sampler matrix records it. The
+    stream is fed columnar (one ``EventBlock``), which is the intended
+    production shape: the serial backend partitions it vectorised, the
+    process backend ships the sub-blocks through the shared-memory
+    transport (per ``transport``).
     """
+    from repro.graph.stream import EventBlock
     from repro.samplers.wsd import WSD
     from repro.streams.executor import ShardedStreamExecutor
     from repro.utils.rng import spawn_generators
@@ -74,32 +95,48 @@ def run_sharded_cells(
     events = microbench.synthetic_stream(
         num_events, num_vertices, deletion_fraction, seed
     )
+    block = EventBlock.from_events(events)
     shard_budget = max(3, budget // shards)
     cells: dict[str, dict] = {}
     for backend in backends:
-        shard_rngs = spawn_generators(seed, shards)
-        executor = ShardedStreamExecutor(
-            lambda i: WSD(
-                "triangle", shard_budget, GPSHeuristicWeight(),
-                rng=shard_rngs[i],
-            ),
-            shards,
-            mode="partition",
-            executor_backend=backend,
-        )
-        # Warm the fleet outside the timed window: an empty batch
-        # triggers the lazy worker spawn + checkpoint shipping (no-op
-        # on the serial backend), so both backends time pure streaming
-        # ingestion. Teardown/harvest is excluded on both sides too.
-        executor.process_batch([])
-        start = time.perf_counter()
-        executor.process_stream(events)
-        estimate = executor.estimate  # process backend: final barrier
-        elapsed = time.perf_counter() - start
-        executor.close()
+        best = float("inf")
+        estimate = None
+        for _ in range(max(1, repeats)):
+            shard_rngs = spawn_generators(seed, shards)
+            executor = ShardedStreamExecutor(
+                lambda i: WSD(
+                    "triangle", shard_budget, GPSHeuristicWeight(),
+                    rng=shard_rngs[i],
+                ),
+                shards,
+                mode="partition",
+                executor_backend=backend,
+                transport=transport,
+            )
+            # Warm the fleet outside the timed window: an empty batch
+            # triggers the lazy worker spawn + checkpoint shipping
+            # (no-op on the serial backend), so both backends time pure
+            # streaming ingestion. Teardown/harvest is excluded on both
+            # sides too. Best-of-``repeats`` like the main matrix —
+            # the single-vCPU recording box jitters scheduler-heavy
+            # runs far more than single-process ones.
+            executor.process_batch([])
+            start = time.perf_counter()
+            executor.process_stream(block)
+            run_estimate = executor.estimate  # process: final barrier
+            elapsed = time.perf_counter() - start
+            executor.close()
+            best = min(best, elapsed)
+            if estimate is None:
+                estimate = run_estimate
+            elif estimate != run_estimate:
+                raise AssertionError(
+                    f"sharded {backend}: fixed-seed estimate not "
+                    f"reproducible across repeats"
+                )
         cells[backend] = {
-            "events_per_sec": len(events) / elapsed,
-            "seconds": elapsed,
+            "events_per_sec": len(events) / best,
+            "seconds": best,
             "estimate": estimate,
             "num_events": len(events),
         }
@@ -116,6 +153,7 @@ def run_sharded_cells(
         "mode": "partition",
         "shards": shards,
         "shard_budget": shard_budget,
+        "transport": transport,
         "cells": cells,
         "parity": len(estimates) == 1,
     }
@@ -150,6 +188,21 @@ def main(argv: list[str] | None = None) -> int:
         "--backend", choices=("serial", "process", "both"), default="both",
         help="executor backend(s) for the sharded cell; 'both' asserts "
              "serial-vs-process estimate parity",
+    )
+    parser.add_argument(
+        "--transport", choices=("auto", "shm", "queue"), default="auto",
+        help="worker transport for the sharded cell's process backend",
+    )
+    parser.add_argument(
+        "--min-process-ratio", type=float, default=0.0,
+        help="fail when the sharded process backend's events/sec falls "
+             "below this fraction of the serial backend's (0 = off)",
+    )
+    parser.add_argument(
+        "--ab", default=None, metavar="OLD,NEW",
+        help="also run the matrix as an interleaved A/B of two named "
+             "variants in one process (e.g. 'old,new'); see "
+             "microbench.VARIANTS",
     )
     args = parser.parse_args(argv)
 
@@ -191,21 +244,48 @@ def main(argv: list[str] | None = None) -> int:
         "current": current,
     }
 
+    if args.ab:
+        try:
+            variant_a, variant_b = args.ab.split(",")
+        except ValueError:
+            parser.error("--ab expects two comma-separated variant names")
+        print(
+            f"== interleaved A/B matrix ({variant_a} vs {variant_b}) ==",
+            file=sys.stderr,
+        )
+        report["ab"] = microbench.run_ab_matrix(
+            variant_a.strip(),
+            variant_b.strip(),
+            num_events,
+            config.get("budget", 1_500),
+            config.get("num_vertices", 400),
+            config.get("deletion_fraction", 0.2),
+            config.get("seed", 2023),
+            repeats,
+        )
+
     parity_failed = False
+    ratio_failed = False
     if args.shards > 0:
         print("== sharded executor cells ==", file=sys.stderr)
         backends = (
             ("serial", "process") if args.backend == "both"
             else (args.backend,)
         )
+        # The sharded cell always runs at full stream size (subsecond
+        # either way): at --quick's 4k events the per-chunk round-trip
+        # latency dominates and the process/serial ratio stops meaning
+        # anything — exactly the number --min-process-ratio gates on.
         sharded = run_sharded_cells(
-            num_events,
+            config.get("num_events", 30_000),
             config.get("budget", 1_500),
             config.get("num_vertices", 400),
             config.get("deletion_fraction", 0.2),
             config.get("seed", 2023),
             args.shards,
             backends,
+            transport=args.transport,
+            repeats=repeats,
         )
         report["sharded"] = sharded
         if len(backends) > 1 and not sharded["parity"]:
@@ -218,9 +298,27 @@ def main(argv: list[str] | None = None) -> int:
                 ),
                 file=sys.stderr,
             )
+        if (
+            args.min_process_ratio > 0.0
+            and {"serial", "process"} <= sharded["cells"].keys()
+        ):
+            ratio = (
+                sharded["cells"]["process"]["events_per_sec"]
+                / sharded["cells"]["serial"]["events_per_sec"]
+            )
+            sharded["process_serial_ratio"] = round(ratio, 3)
+            if ratio < args.min_process_ratio:
+                ratio_failed = True
+                print(
+                    f"sharded process backend at {ratio:.2f}x serial, "
+                    f"below the --min-process-ratio "
+                    f"{args.min_process_ratio} ratchet",
+                    file=sys.stderr,
+                )
     if baseline is not None:
         speedup = {}
         estimate_match = {}
+        estimate_exact = {}
         comparable = not args.quick  # quick mode uses fewer events
         for key, cell in current["results"].items():
             base_cell = baseline["results"].get(key)
@@ -230,17 +328,27 @@ def main(argv: list[str] | None = None) -> int:
                 cell["events_per_sec"] / base_cell["events_per_sec"], 3
             )
             if comparable:
-                # Bit-for-bit fixed-seed comparison per cell. Cells may
-                # legitimately differ in the last float bits when an
-                # optimization reorders instance *enumeration* (the
-                # contribution multiset is unchanged; addition is not
-                # associative); the tracked wsd cells must stay True.
-                estimate_match[key] = (
+                # Fixed-seed comparison per cell. ``estimate_exact`` is
+                # the bit-for-bit check; ``estimate_match`` additionally
+                # accepts relative drift up to 1e-6 — cells legitimately
+                # differ in the last float bits when an optimization
+                # regroups estimator arithmetic (the contribution
+                # multiset is unchanged; addition is not associative),
+                # e.g. the aggregated wedge delta. Anything beyond the
+                # tolerance is a real behaviour change.
+                estimate_exact[key] = (
                     cell["estimate"] == base_cell["estimate"]
+                )
+                estimate_match[key] = estimate_exact[key] or (
+                    abs(cell["estimate"] - base_cell["estimate"])
+                    <= 1e-6 * max(
+                        abs(base_cell["estimate"]), abs(cell["estimate"])
+                    )
                 )
         report["baseline"] = baseline
         report["speedup"] = speedup
         report["estimate_match"] = estimate_match if comparable else None
+        report["estimate_exact"] = estimate_exact if comparable else None
         report["estimates_match_all"] = (
             all(estimate_match.values()) if comparable else None
         )
@@ -256,6 +364,12 @@ def main(argv: list[str] | None = None) -> int:
     if parity_failed:
         print(
             "FAILED: sharded process backend diverged from serial",
+            file=sys.stderr,
+        )
+        return 1
+    if ratio_failed:
+        print(
+            "FAILED: sharded process backend below the throughput ratchet",
             file=sys.stderr,
         )
         return 1

@@ -76,7 +76,7 @@ from repro.estimators import (
     mean_absolute_relative_error,
     run_with_trace,
 )
-from repro.graph import DynamicAdjacency, EdgeEvent, EdgeStream
+from repro.graph import DynamicAdjacency, EdgeEvent, EdgeStream, EventBlock
 from repro.graph.datasets import load_dataset
 from repro.patterns import ExactCounter, get_pattern
 from repro.rl import Policy, train_weight_policy
@@ -96,6 +96,7 @@ __all__ = [
     "DynamicAdjacency",
     "EdgeEvent",
     "EdgeStream",
+    "EventBlock",
     "load_dataset",
     "ExactCounter",
     "get_pattern",

@@ -107,6 +107,11 @@ class ExperimentConfig:
     #: process (result-identical under fixed seeds; see
     #: :class:`~repro.streams.executor.ShardedStreamExecutor`).
     executor_backend: str = "serial"
+    #: Worker transport for the process backend: ``"auto"`` ships
+    #: columnar event blocks through shared memory (queue fallback per
+    #: chunk), ``"shm"`` forces shared memory, ``"queue"`` forces the
+    #: legacy pickled path. Result-identical either way.
+    executor_transport: str = "auto"
 
     def validate(self) -> None:
         self.scenario.validate()
@@ -129,6 +134,11 @@ class ExperimentConfig:
             raise ConfigurationError(
                 "executor_backend must be 'serial' or 'process', got "
                 f"{self.executor_backend!r}"
+            )
+        if self.executor_transport not in {"auto", "shm", "queue"}:
+            raise ConfigurationError(
+                "executor_transport must be 'auto', 'shm' or 'queue', "
+                f"got {self.executor_transport!r}"
             )
         if self.executor_backend == "process" and self.shards == 1:
             # The unsharded trial path runs a bare in-process sampler;

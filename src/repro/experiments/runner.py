@@ -166,6 +166,7 @@ def make_trial_sampler(
     shards: int = 1,
     shard_mode: str = "partition",
     executor_backend: str = "serial",
+    executor_transport: str = "auto",
 ):
     """Build one trial's consumer: a sampler, or a sharded executor.
 
@@ -215,6 +216,7 @@ def make_trial_sampler(
         shards,
         mode=shard_mode,
         executor_backend=executor_backend,
+        transport=executor_transport,
     )
 
 
@@ -231,6 +233,7 @@ def run_algorithm(
     shards: int = 1,
     shard_mode: str = "partition",
     executor_backend: str = "serial",
+    executor_transport: str = "auto",
 ) -> AlgorithmResult:
     """Run ``trials`` independent repetitions of one algorithm."""
     if truth.final_truth == 0:
@@ -252,6 +255,7 @@ def run_algorithm(
             shards=shards,
             shard_mode=shard_mode,
             executor_backend=executor_backend,
+            executor_transport=executor_transport,
         )
         trial_result = run_sampler_trial(sampler, stream, truth)
         result.ares.append(
@@ -297,5 +301,6 @@ def run_cell(
             shards=config.shards,
             shard_mode=config.shard_mode,
             executor_backend=config.executor_backend,
+            executor_transport=config.executor_transport,
         )
     return results

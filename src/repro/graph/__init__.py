@@ -3,7 +3,7 @@
 from repro.graph.adjacency import DynamicAdjacency
 from repro.graph.edges import Edge, Vertex, canonical_edge
 from repro.graph.interning import VertexInterner
-from repro.graph.stream import DELETE, INSERT, EdgeEvent, EdgeStream
+from repro.graph.stream import DELETE, INSERT, EdgeEvent, EdgeStream, EventBlock
 
 __all__ = [
     "DynamicAdjacency",
@@ -13,6 +13,7 @@ __all__ = [
     "canonical_edge",
     "EdgeEvent",
     "EdgeStream",
+    "EventBlock",
     "INSERT",
     "DELETE",
 ]

@@ -7,19 +7,36 @@ a simple one-event-per-line text format::
 
     + 12 57
     - 12 57
+
+:class:`EventBlock` is the columnar twin of :class:`EdgeStream`: the
+same events as a struct of numpy arrays (``is_insert``, ``u``, ``v``),
+which is what the samplers' batched fast loops and the process
+executor's shared-memory transport consume. Blocks carry int64 vertex
+labels only — streams with other label types stay on the
+:class:`EdgeEvent` path.
 """
 
 from __future__ import annotations
 
 import io
+import struct
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
+import numpy as np
+
 from repro.errors import StreamFormatError
 from repro.graph.edges import Edge, Vertex, canonical_edge
 
-__all__ = ["INSERT", "DELETE", "EdgeEvent", "EdgeStream", "iter_stream_file"]
+__all__ = [
+    "INSERT",
+    "DELETE",
+    "EdgeEvent",
+    "EdgeStream",
+    "EventBlock",
+    "iter_stream_file",
+]
 
 INSERT = "+"
 DELETE = "-"
@@ -175,6 +192,245 @@ class EdgeStream(Sequence[EdgeEvent]):
     def load(cls, path: str | Path, vertex_type: type = int) -> "EdgeStream":
         """Read the text format from ``path``."""
         return cls.loads(Path(path).read_text(encoding="utf-8"), vertex_type)
+
+    def to_block(self) -> "EventBlock":
+        """Columnar view of this stream (int vertex labels required)."""
+        return EventBlock.from_events(self._events)
+
+
+#: Wire header of an encoded :class:`EventBlock`: magic + event count.
+_BLOCK_MAGIC = b"EVB1"
+_BLOCK_HEADER = struct.Struct("<4sQ")
+
+
+class EventBlock:
+    """A columnar batch of edge events (struct of numpy arrays).
+
+    The arrays are parallel: event ``t`` is an insertion of edge
+    ``(u[t], v[t])`` when ``is_insert[t]`` is true, a deletion
+    otherwise. Edges are canonical (``u < v``) by construction — the
+    constructor canonicalises vectorised unless told the input already
+    is. Only int64 vertex labels are supported (the library convention;
+    every built-in dataset and generator uses ints) — streams with
+    other label types stay on the :class:`EdgeEvent` tuple path.
+
+    Blocks are what the batched sampler kernels consume natively
+    (``process_batch`` accepts either representation and produces
+    bit-identical results for either under a fixed seed) and what the
+    process executor's shared-memory transport ships between processes
+    (:meth:`write_into` / :meth:`from_buffer`, no pickling involved).
+    """
+
+    __slots__ = ("is_insert", "u", "v")
+
+    def __init__(self, is_insert, u, v, *, canonical: bool = False) -> None:
+        is_insert = np.ascontiguousarray(is_insert, dtype=np.bool_)
+        u = self._as_int64(u)
+        v = self._as_int64(v)
+        if not (len(is_insert) == len(u) == len(v)):
+            raise ValueError(
+                "column length mismatch: "
+                f"{len(is_insert)}/{len(u)}/{len(v)}"
+            )
+        if len(u) and bool((u == v).any()):
+            from repro.errors import SelfLoopError
+
+            raise SelfLoopError("EventBlock contains a self-loop event")
+        if not canonical and len(u):
+            lo = np.minimum(u, v)
+            hi = np.maximum(u, v)
+            u, v = lo, hi
+        self.is_insert = is_insert
+        self.u = u
+        self.v = v
+
+    @staticmethod
+    def _as_int64(column) -> np.ndarray:
+        arr = np.asarray(column)
+        if arr.dtype == np.int64:
+            return np.ascontiguousarray(arr)
+        if arr.size == 0:
+            # An empty list coerces to float64; there is nothing to
+            # lose in an empty cast.
+            return np.empty(0, dtype=np.int64)
+        try:
+            return np.ascontiguousarray(arr.astype(np.int64, casting="safe"))
+        except TypeError as exc:
+            raise TypeError(
+                "EventBlock requires int64-compatible vertex labels, got "
+                f"dtype {arr.dtype}"
+            ) from exc
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.is_insert)
+
+    def __iter__(self) -> Iterator[EdgeEvent]:
+        insert, delete = INSERT, DELETE
+        for is_ins, u, v in zip(
+            self.is_insert.tolist(), self.u.tolist(), self.v.tolist()
+        ):
+            yield EdgeEvent(insert if is_ins else delete, (u, v))
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return EventBlock(
+                self.is_insert[index],
+                self.u[index],
+                self.v[index],
+                canonical=True,
+            )
+        is_ins = bool(self.is_insert[index])
+        return EdgeEvent(
+            INSERT if is_ins else DELETE,
+            (int(self.u[index]), int(self.v[index])),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventBlock):
+            return NotImplemented
+        return (
+            np.array_equal(self.is_insert, other.is_insert)
+            and np.array_equal(self.u, other.u)
+            and np.array_equal(self.v, other.v)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"EventBlock(events={len(self)}, "
+            f"insertions={self.num_insertions})"
+        )
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def num_insertions(self) -> int:
+        """|A|: number of insertion events (one C-level pass)."""
+        return int(np.count_nonzero(self.is_insert))
+
+    @property
+    def num_deletions(self) -> int:
+        """|D|: number of deletion events."""
+        return len(self) - self.num_insertions
+
+    # -- conversion ---------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events: Iterable[EdgeEvent]) -> "EventBlock":
+        """Build a block from :class:`EdgeEvent` values (int labels)."""
+        ops: list[bool] = []
+        us: list = []
+        vs: list = []
+        op_insert = INSERT
+        for event in events:
+            ops.append(event.op == op_insert)
+            u, v = event.edge
+            us.append(u)
+            vs.append(v)
+        # One conversion per column; non-int labels surface as the
+        # object/str/float dtypes _as_int64 rejects. Events are
+        # canonical by EdgeEvent construction.
+        return cls(
+            ops, np.asarray(us), np.asarray(vs), canonical=True
+        )
+
+    @classmethod
+    def from_triples(
+        cls, triples: Iterable[tuple[bool, int, int]]
+    ) -> "EventBlock":
+        """Build a block from raw ``(is_insert, u, v)`` triples."""
+        ops: list[bool] = []
+        us: list[int] = []
+        vs: list[int] = []
+        for is_ins, u, v in triples:
+            ops.append(is_ins)
+            us.append(u)
+            vs.append(v)
+        return cls(ops, us, vs)
+
+    def to_stream(self) -> EdgeStream:
+        """Materialise the block as an :class:`EdgeStream`."""
+        return EdgeStream(iter(self))
+
+    def columns(self) -> tuple[list, list, list]:
+        """The three columns as plain Python lists (one C-level pass
+        each) — the form the batched mega-loops iterate."""
+        return self.is_insert.tolist(), self.u.tolist(), self.v.tolist()
+
+    def edges(self) -> list[Edge]:
+        """The canonical edge tuples, one per event."""
+        return list(zip(self.u.tolist(), self.v.tolist()))
+
+    def concat(self, other: "EventBlock") -> "EventBlock":
+        """Return the concatenation of this block and ``other``."""
+        return EventBlock(
+            np.concatenate([self.is_insert, other.is_insert]),
+            np.concatenate([self.u, other.u]),
+            np.concatenate([self.v, other.v]),
+            canonical=True,
+        )
+
+    # -- wire format (shared-memory transport) ------------------------------
+
+    @staticmethod
+    def byte_size(num_events: int) -> int:
+        """Encoded size in bytes of a block of ``num_events`` events."""
+        return _BLOCK_HEADER.size + 17 * num_events
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded size of this block in bytes."""
+        return self.byte_size(len(self))
+
+    def write_into(self, buf) -> int:
+        """Encode into a writable buffer; return the bytes written.
+
+        The native-endianness layout is header, then the ``is_insert``
+        bytes, then the ``u`` and ``v`` int64 columns — a straight
+        memcpy per column, no pickling. Intended for same-machine
+        transport (shared memory); :meth:`from_buffer` reverses it.
+        """
+        n = len(self)
+        mv = memoryview(buf).cast("B")
+        header = _BLOCK_HEADER.size
+        mv[:header] = _BLOCK_HEADER.pack(_BLOCK_MAGIC, n)
+        if n:
+            mv[header:header + n] = self.is_insert.view(np.uint8).data
+            offset = header + n
+            mv[offset:offset + 8 * n] = self.u.view(np.uint8).data
+            offset += 8 * n
+            mv[offset:offset + 8 * n] = self.v.view(np.uint8).data
+        return self.byte_size(n)
+
+    def to_bytes(self) -> bytes:
+        """Encode to a standalone bytes object."""
+        out = bytearray(self.nbytes)
+        self.write_into(out)
+        return bytes(out)
+
+    @classmethod
+    def from_buffer(cls, buf, offset: int = 0) -> "EventBlock":
+        """Decode a block written by :meth:`write_into` / :meth:`to_bytes`.
+
+        The returned arrays own their memory (copied out of ``buf``),
+        so the source buffer — e.g. a shared-memory slot — may be
+        reused immediately.
+        """
+        mv = memoryview(buf).cast("B")
+        header = _BLOCK_HEADER.size
+        magic, n = _BLOCK_HEADER.unpack(mv[offset:offset + header])
+        if magic != _BLOCK_MAGIC:
+            raise StreamFormatError(
+                f"bad EventBlock magic {magic!r} (corrupt payload)"
+            )
+        start = offset + header
+        is_insert = np.frombuffer(mv, dtype=np.bool_, count=n, offset=start)
+        u = np.frombuffer(mv, dtype=np.int64, count=n, offset=start + n)
+        v = np.frombuffer(
+            mv, dtype=np.int64, count=n, offset=start + 9 * n
+        )
+        return cls(is_insert.copy(), u.copy(), v.copy(), canonical=True)
 
 
 def iter_stream_file(

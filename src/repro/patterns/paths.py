@@ -14,12 +14,13 @@ requires its local enumeration.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from heapq import heappop, heappush
 
 from repro.graph.adjacency import DynamicAdjacency
-from repro.graph.edges import Vertex, canonical_edge
+from repro.graph.edges import Edge, Vertex, canonical_edge
 from repro.patterns.base import Instance, Pattern
 
-__all__ = ["Wedge", "ThreePath"]
+__all__ = ["Wedge", "ThreePath", "WedgeDeltaTracker"]
 
 
 class Wedge(Pattern):
@@ -46,6 +47,161 @@ class Wedge(Pattern):
         # already be adjacent through stale callers; guard in tests, not
         # here, to keep the hot path branch-free.
         return count
+
+
+class WedgeDeltaTracker:
+    """O(1) wedge-delta arithmetic for the rank-threshold samplers.
+
+    A wedge event on edge {u, v} contributes, per neighbour w of a
+    centre c ∈ {u, v}, one term 1 / P[r(e) > τ] for the sampled edge
+    e = {c, w}. Under the paper's inverse-uniform ranks that
+    probability is ``min(1, w(e)/τ)``, so the per-centre sum splits
+    into *heavy* incident edges (weight ≥ τ, term exactly 1) and
+    *light* ones (term τ/w(e)):
+
+        Σ_w 1/p({c, w})  =  H(c) + τ · L(c),
+        H(c) = #{heavy incident sampled edges},
+        L(c) = Σ_light 1 / w(e).
+
+    Both aggregates are maintained incrementally per vertex, so the
+    wedge estimator needs no per-neighbour loop at all. The threshold
+    of these samplers is non-decreasing over a run, so an edge can only
+    migrate heavy → light; a min-heap of heavy edges keyed by weight
+    pops exactly the edges crossing each raise — every sampled edge
+    migrates at most once per admission, keeping maintenance amortised
+    O(1) per event. (A threshold *decrease* — possible only through
+    manual state surgery, never through stream processing — triggers a
+    full rebuild.)
+
+    The sum ``H + τ·L`` groups float terms differently from the
+    per-instance loop it replaces, so estimates agree with the scalar
+    path only up to float associativity; they are exactly reproducible
+    against *this* path, which both the per-event and the batched
+    ingestion routes use.
+    """
+
+    __slots__ = ("heavy_count", "light_inv", "threshold",
+                 "_entries", "_heavy_heap", "_token")
+
+    def __init__(self) -> None:
+        #: Per-vertex count of heavy incident sampled edges.
+        self.heavy_count: dict[Vertex, int] = {}
+        #: Per-vertex Σ 1/w(e) over light incident sampled edges.
+        self.light_inv: dict[Vertex, float] = {}
+        self.threshold = 0.0
+        #: edge → (weight, admission token, is_heavy).
+        self._entries: dict[Edge, tuple[float, int, bool]] = {}
+        #: Heavy edges as (weight, token, edge); entries go stale on
+        #: removal and are skipped (token check) when popped.
+        self._heavy_heap: list[tuple[float, int, Edge]] = []
+        self._token = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, edge: Edge, weight: float) -> None:
+        """Track a newly sampled edge of known weight."""
+        u, v = edge
+        token = self._token = self._token + 1
+        threshold = self.threshold
+        if threshold <= 0.0 or weight >= threshold:
+            self._entries[edge] = (weight, token, True)
+            hc = self.heavy_count
+            hc[u] = hc.get(u, 0) + 1
+            hc[v] = hc.get(v, 0) + 1
+            heappush(self._heavy_heap, (weight, token, edge))
+        else:
+            self._entries[edge] = (weight, token, False)
+            inv = 1.0 / weight
+            li = self.light_inv
+            li[u] = li.get(u, 0.0) + inv
+            li[v] = li.get(v, 0.0) + inv
+
+    def remove(self, edge: Edge) -> None:
+        """Stop tracking an edge leaving the sampled graph."""
+        weight, _, heavy = self._entries.pop(edge)
+        u, v = edge
+        if heavy:
+            hc = self.heavy_count
+            for c in (u, v):
+                left = hc[c] - 1
+                if left:
+                    hc[c] = left
+                else:
+                    del hc[c]
+            # The heap entry goes stale; compact when stale entries
+            # dominate so long streams stay bounded.
+            if len(self._heavy_heap) > 2 * len(self._entries) + 64:
+                self._compact()
+        else:
+            inv = 1.0 / weight
+            li = self.light_inv
+            for c in (u, v):
+                left = li[c] - inv
+                if left == 0.0:
+                    del li[c]
+                else:
+                    li[c] = left
+
+    def raise_threshold(self, value: float) -> None:
+        """τ ← value (≥ current τ); migrate newly light edges."""
+        self.threshold = value
+        heap = self._heavy_heap
+        if not heap or heap[0][0] >= value:
+            return
+        entries = self._entries
+        hc = self.heavy_count
+        li = self.light_inv
+        while heap and heap[0][0] < value:
+            weight, token, edge = heappop(heap)
+            entry = entries.get(edge)
+            if entry is None or entry[1] != token:
+                continue  # stale: the edge left the sample (or re-entered)
+            entries[edge] = (weight, token, False)
+            inv = 1.0 / weight
+            for c in edge:
+                left = hc[c] - 1
+                if left:
+                    hc[c] = left
+                else:
+                    del hc[c]
+                li[c] = li.get(c, 0.0) + inv
+
+    def set_threshold(self, value: float) -> None:
+        """Set τ to an arbitrary value (rebuilds on a decrease)."""
+        if value >= self.threshold:
+            self.raise_threshold(value)
+            return
+        entries = list(self._entries.items())
+        self.heavy_count.clear()
+        self.light_inv.clear()
+        self._entries.clear()
+        self._heavy_heap.clear()
+        self.threshold = value
+        for edge, (weight, _, _) in entries:
+            self.add(edge, weight)
+
+    def _compact(self) -> None:
+        entries = self._entries
+        self._heavy_heap = sorted(
+            (weight, token, edge)
+            for edge, (weight, token, heavy) in entries.items()
+            if heavy
+        )
+
+    def delta(self, u: Vertex, v: Vertex) -> float:
+        """Σ 1/p over the wedges completed (or destroyed) by {u, v}.
+
+        Evaluated against the current sampled graph, which must not
+        contain the edge {u, v} itself (the samplers guarantee this:
+        insertions estimate before sampling, deletions remove first).
+        """
+        hc = self.heavy_count
+        li = self.light_inv
+        return (
+            hc.get(u, 0) + hc.get(v, 0)
+            + self.threshold * (li.get(u, 0.0) + li.get(v, 0.0))
+        )
 
 
 class ThreePath(Pattern):

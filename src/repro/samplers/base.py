@@ -19,7 +19,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.graph.adjacency import DynamicAdjacency
 from repro.graph.edges import Edge
-from repro.graph.stream import INSERT, EdgeEvent, EdgeStream
+from repro.graph.stream import INSERT, EdgeEvent, EdgeStream, EventBlock
 from repro.patterns.base import Instance, Pattern
 from repro.patterns.matching import get_pattern
 from repro.utils.rng import ensure_rng
@@ -95,24 +95,39 @@ class SubgraphCountingSampler(abc.ABC):
         for observer in self.instance_observers:
             observer(trigger, instance, value)
 
-    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
+    def process_batch(
+        self, events: EventBlock | Iterable[EdgeEvent]
+    ) -> float:
         """Consume a batch of events; return the estimate afterwards.
 
         Semantically identical to calling :meth:`process` per event
-        (bit-identical estimates under a fixed seed). This default
-        already amortises the per-event dispatch — the handlers are
-        hoisted to locals and the insertion test reads ``event.op``
-        directly instead of going through the ``is_insertion`` property.
-        The hot-path kernels (:mod:`repro.samplers.kernel`) and samplers
-        override it further: pre-drawing rank randomness in numpy
-        blocks, inlining the triangle/wedge estimators, and skipping
-        observer plumbing when no observers are registered.
+        (bit-identical estimates under a fixed seed). Accepts either an
+        :class:`EdgeEvent` iterable or a columnar
+        :class:`~repro.graph.stream.EventBlock` (whose columns are
+        unpacked in one C-level pass each); results are bit-identical
+        across the two representations. This default already amortises
+        the per-event dispatch — the handlers are hoisted to locals and
+        the insertion test reads ``event.op`` directly instead of going
+        through the ``is_insertion`` property. The hot-path kernels
+        (:mod:`repro.samplers.kernel`) and samplers override it
+        further: pre-drawing rank randomness in numpy blocks, inlining
+        the triangle/wedge estimators, and skipping observer plumbing
+        when no observers are registered.
         """
-        if not isinstance(events, (list, tuple)):
-            events = list(events)
         insertion = self._process_insertion
         deletion = self._process_deletion
         time_now = self._time
+        if isinstance(events, EventBlock):
+            for is_ins, u, v in zip(*events.columns()):
+                time_now += 1
+                self._time = time_now
+                if is_ins:
+                    insertion((u, v))
+                else:
+                    deletion((u, v))
+            return self.estimate
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
         op_insert = INSERT
         for event in events:
             time_now += 1
@@ -123,17 +138,21 @@ class SubgraphCountingSampler(abc.ABC):
                 deletion(event.edge)
         return self.estimate
 
-    def process_stream(self, stream: EdgeStream | Iterable[EdgeEvent]) -> float:
+    def process_stream(
+        self, stream: EdgeStream | EventBlock | Iterable[EdgeEvent]
+    ) -> float:
         """Consume a whole stream; return the final estimate.
 
-        Materialised streams are handed to :meth:`process_batch` whole;
-        lazy iterables (e.g. :func:`~repro.graph.stream.iter_stream_file`)
-        are consumed in bounded chunks so the single-pass, fixed-memory
-        contract of Section II is preserved. Chunking does not change
-        results: batches are bit-identical to per-event processing
-        regardless of their boundaries.
+        Materialised streams (and columnar
+        :class:`~repro.graph.stream.EventBlock` batches) are handed to
+        :meth:`process_batch` whole; lazy iterables (e.g.
+        :func:`~repro.graph.stream.iter_stream_file`) are consumed in
+        bounded chunks so the single-pass, fixed-memory contract of
+        Section II is preserved. Chunking does not change results:
+        batches are bit-identical to per-event processing regardless of
+        their boundaries.
         """
-        if isinstance(stream, (list, tuple, EdgeStream)):
+        if isinstance(stream, (list, tuple, EdgeStream, EventBlock)):
             return self.process_batch(stream)
         iterator = iter(stream)
         while True:

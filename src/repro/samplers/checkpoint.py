@@ -146,6 +146,19 @@ def sampler_state_dict(sampler) -> dict:
         state["threshold"] = sampler.threshold
         state["threshold_generation"] = sampler.threshold_generation
         state["estimate"] = sampler.estimate
+        if sampler._wedge_tracker is not None:
+            # The light-side inverse-weight sums accumulate incremental
+            # float residue over a run (x + a - a need not equal x), so
+            # a restore that merely re-added the surviving edges would
+            # continue a hair off the uninterrupted run. Serialising
+            # the per-vertex sums keeps wedge continuations
+            # bit-identical; the integer heavy counts and the
+            # classification are exact functions of the restored
+            # reservoir and need no extra state.
+            state["wedge_light_inv"] = [
+                [_encode_vertex(c), float(value)]
+                for c, value in sampler._wedge_tracker.light_inv.items()
+            ]
         if isinstance(sampler, WSD):
             state["tau_p"] = sampler.tau_p
             # Historical v1 field name, kept for readability of dumps.
@@ -186,6 +199,11 @@ def sampler_state_dict(sampler) -> dict:
 
 def _restore_threshold(sampler: ThresholdSamplerKernel, state: dict) -> None:
     sampler._threshold = float(state["threshold"])
+    if sampler._wedge_tracker is not None:
+        # Seed the (still empty) wedge-delta aggregates with the
+        # restored threshold so the reservoir replay below classifies
+        # each edge against it.
+        sampler._wedge_tracker.set_threshold(sampler._threshold)
     # Restoring starts a fresh memo epoch: the probability cache is
     # empty by construction, and the generation counter is restored so
     # consumers keyed on it (see ``tau_q_generation``) stay monotone
@@ -211,6 +229,18 @@ def _restore_threshold(sampler: ThresholdSamplerKernel, state: dict) -> None:
             sampler._tagged.add(edge)
         else:
             sampler._sample_add(edge)
+    if (
+        sampler._wedge_tracker is not None
+        and "wedge_light_inv" in state
+    ):
+        # Overwrite the rebuilt (clean) light sums with the serialised
+        # ones so the continuation reproduces the uninterrupted run's
+        # float state bit for bit. Checkpoints without the field (older
+        # dumps) keep the clean rebuild — same values up to residue.
+        sampler._wedge_tracker.light_inv = {
+            _decode_vertex(pair): float(value)
+            for pair, value in state["wedge_light_inv"]
+        }
 
 
 def restore_sampler(
@@ -308,6 +338,9 @@ def restore_sampler(
             edge = _decode_edge(entry)
             sampler._waiting_room[edge] = int(arrival)
             sampler._sample_add(edge)
+        # The wedge-delta degree aggregates mirror the FIFO just
+        # repopulated above.
+        sampler._rebuild_wr_degrees()
         sampler._estimate = float(state["estimate"])
     elif isinstance(sampler, Triest):
         sampler._tau = int(state["tau"])

@@ -40,10 +40,10 @@ import numpy as np
 
 from repro.errors import ConfigurationError, EdgeExistsError, SamplerError
 from repro.graph.edges import Edge, canonical_edge
-from repro.graph.stream import INSERT, EdgeEvent
+from repro.graph.stream import INSERT, EdgeEvent, EventBlock
 from repro.patterns.base import Pattern
 from repro.patterns.cliques import Triangle
-from repro.patterns.paths import Wedge
+from repro.patterns.paths import Wedge, WedgeDeltaTracker
 from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
 from repro.samplers.heap import IndexedMinHeap
 from repro.samplers.random_pairing import RandomPairingReservoir
@@ -61,6 +61,8 @@ __all__ = [
     "KERNEL_WSD",
     "KERNEL_GPS",
     "KERNEL_GPSA",
+    "set_wedge_vectorization",
+    "batch_columns",
 ]
 
 #: Reservoir-policy dispatch codes for the batched fast loop. Subclasses
@@ -68,6 +70,47 @@ __all__ = [
 KERNEL_WSD = 1
 KERNEL_GPS = 2
 KERNEL_GPSA = 3
+
+#: Whether new wedge samplers get the O(1) aggregated wedge-delta
+#: estimator (see :class:`~repro.patterns.paths.WedgeDeltaTracker`).
+#: Module-level so the A/B benchmark harness can run the scalar
+#: per-neighbour path against the vectorised one in a single process.
+_WEDGE_VECTORIZATION = True
+
+
+def set_wedge_vectorization(enabled: bool) -> bool:
+    """Toggle the aggregated wedge-delta fast path; return the old value.
+
+    Read at *sampler construction* time: samplers built while disabled
+    keep the scalar per-neighbour estimator for their whole lifetime
+    (the two paths group float terms differently, so mixing them inside
+    one sampler would break per-event/batched bit-identity).
+    """
+    global _WEDGE_VECTORIZATION
+    previous = _WEDGE_VECTORIZATION
+    _WEDGE_VECTORIZATION = bool(enabled)
+    return previous
+
+
+def batch_columns(events) -> tuple[list, list, list]:
+    """Normalise a batch to ``(is_insert, u, v)`` parallel lists.
+
+    :class:`EventBlock` inputs convert with one C-level pass per
+    column; :class:`EdgeEvent` sequences are unpacked once up front so
+    the mega-loops iterate plain scalars either way.
+    """
+    if isinstance(events, EventBlock):
+        return events.columns()
+    ops: list[bool] = []
+    us: list = []
+    vs: list = []
+    op_insert = INSERT
+    for event in events:
+        ops.append(event.op == op_insert)
+        u, v = event.edge
+        us.append(u)
+        vs.append(v)
+    return ops, us, vs
 
 
 class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
@@ -136,6 +179,19 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
             weight_fn.needs_context if capture_context is None
             else capture_context
         )
+        #: O(1) wedge-delta aggregates (per-vertex heavy counts + light
+        #: inverse-weight sums); only built when the pattern is the
+        #: wedge and the rank family is the paper's inverse-uniform one
+        #: (whose inclusion probability the aggregation is derived for).
+        self._wedge_tracker = (
+            WedgeDeltaTracker()
+            if (
+                _WEDGE_VECTORIZATION
+                and type(self.pattern) is Wedge
+                and type(self.rank_fn) is InverseUniformRank
+            )
+            else None
+        )
         #: Most recent WeightContext (exposed for RL transition capture).
         #: Only maintained when the context path is active — pass
         #: ``capture_context=True`` to guarantee it; on the light path it
@@ -167,6 +223,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
             self._threshold = value
             self._threshold_generation += 1
             self._prob_cache.clear()
+            if self._wedge_tracker is not None:
+                self._wedge_tracker.set_threshold(value)
 
     def _raise_threshold(self, rank: float) -> None:
         """threshold ← max(threshold, rank), invalidating the memo."""
@@ -174,6 +232,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
             self._threshold = rank
             self._threshold_generation += 1
             self._prob_cache.clear()
+            if self._wedge_tracker is not None:
+                self._wedge_tracker.raise_threshold(rank)
 
     def inclusion_probability(self, edge: Edge) -> float:
         """P[e ∈ R(t)] = P[r(e) > threshold] for a sampled edge."""
@@ -227,6 +287,23 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
             )
             self.last_context = ctx
             weight = float(wf(ctx))
+        elif (
+            self._wedge_tracker is not None and not self.instance_observers
+        ):
+            # Vectorised wedge path: the per-vertex aggregates replace
+            # the per-neighbour loop, and the instance count is just the
+            # degree sum (the arriving edge is never in the sampled
+            # graph, so no tip exclusion is needed).
+            adj = self._sampled_graph._adj
+            nc = adj.get(u)
+            num_instances = len(nc) if nc else 0
+            nc = adj.get(v)
+            if nc:
+                num_instances += len(nc)
+            self._estimate += self._wedge_tracker.delta(u, v)
+            weight = float(
+                wf.light_weight(num_instances, self._sampled_graph, u, v)
+            )
         else:
             # Light path: stream the instances, never materialise the
             # context — heuristic weights only need cheap summaries.
@@ -287,6 +364,9 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
         """
         u, v = edge
         observers = self.instance_observers
+        if self._wedge_tracker is not None and not observers:
+            self._estimate -= self._wedge_tracker.delta(u, v)
+            return
         inc_prob = self.rank_fn.inclusion_probability
         weights = self._edge_weights
         threshold = self._threshold
@@ -339,6 +419,22 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
         self._prob_cache.pop(edge, None)
         self._sample_remove(edge)
 
+    # The wedge-delta aggregates mirror the sampled graph exactly, so
+    # they are maintained at the same choke points pattern enumeration
+    # depends on. ``_sample_add`` runs after ``_edge_weights`` is set
+    # (both on admission and on checkpoint restore), which is where the
+    # tracker reads the weight from.
+
+    def _sample_add(self, edge: Edge) -> None:
+        self._sampled_graph.add_edge_canonical(edge)
+        if self._wedge_tracker is not None:
+            self._wedge_tracker.add(edge, self._edge_weights[edge])
+
+    def _sample_remove(self, edge: Edge) -> None:
+        self._sampled_graph.remove_edge_canonical(edge)
+        if self._wedge_tracker is not None:
+            self._wedge_tracker.remove(edge)
+
     # -- introspection ------------------------------------------------------------
 
     @property
@@ -354,8 +450,15 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
 
     # -- batched ingestion -------------------------------------------------------
 
-    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
+    def process_batch(
+        self, events: EventBlock | Iterable[EdgeEvent]
+    ) -> float:
         """Consume a batch of events with amortised per-event overhead.
+
+        Accepts an :class:`~repro.graph.stream.EventBlock` (the
+        columnar representation — insertion counting and column
+        extraction are C-level passes) or any :class:`EdgeEvent`
+        iterable; results are bit-identical across representations.
 
         Bit-identical to event-at-a-time :meth:`process` under a fixed
         seed for every reservoir policy: the rank randomness for all
@@ -369,7 +472,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
         events processed so far but the pre-drawn randomness of the
         remaining insertions is already consumed.
         """
-        if not isinstance(events, (list, tuple)):
+        is_block = isinstance(events, EventBlock)
+        if not is_block and not isinstance(events, (list, tuple)):
             events = list(events)
         wf = self.weight_fn
         fast = (
@@ -385,6 +489,13 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                 fast = False
         if not fast:
             return SubgraphCountingSampler.process_batch(self, events)
+
+        if is_block:
+            ops, us, vs = events.columns()
+            num_insertions = events.num_insertions
+        else:
+            ops, us, vs = batch_columns(events)
+            num_insertions = sum(ops)
 
         policy = self._policy
         # Estimator dispatch: the triangle and wedge enumerations are
@@ -410,13 +521,11 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
             wmode = 2
             w_offset = 1.0
 
-        # Pre-draw one uniform per insertion in a single numpy block
-        # (the count costs one C-level pass over the ops). For the
-        # inverse-uniform family the 1-u mapping to (0, 1] is done
-        # vectorised, as are the ranks of zero-instance insertions
+        # Pre-draw one uniform per insertion in a single numpy block.
+        # For the inverse-uniform family the 1-u mapping to (0, 1] is
+        # done vectorised, as are the ranks of zero-instance insertions
         # (whose weight is the constant ``w_offset``) — all the same
         # IEEE operations the scalar path performs, element by element.
-        num_insertions = [event.op for event in events].count(INSERT)
         uniforms = (
             self.rng.random(num_insertions) if num_insertions else None
         )
@@ -465,14 +574,24 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
         is_gps = policy == KERNEL_GPS
         tau_p = self._tau_p if is_wsd else 0.0
         tagged = None if is_wsd or is_gps else self._tagged
+        # Wedge-delta aggregates: when present (wedge pattern +
+        # inverse-uniform ranks) the mode-2 estimator is O(1) per event
+        # and the tracker is maintained inline at every sampled-graph
+        # mutation and threshold change below.
+        wt = self._wedge_tracker
+        if wt is not None:
+            wt_add = wt.add
+            wt_remove = wt.remove
+            wt_raise = wt.raise_threshold
+            wt_delta = wt.delta
+        else:
+            wt_add = wt_remove = wt_raise = wt_delta = None
 
-        op_insert = INSERT
         try:
-            for event in events:
+            for is_ins, u, v in zip(ops, us, vs):
                 time_now += 1
-                edge = event.edge
-                u, v = edge
-                if event.op == op_insert:
+                edge = (u, v)
+                if is_ins:
                     # -- estimate before sampling (Algorithm 2 / Thm 1/2).
                     num_instances = 0
                     if mode == 1:  # triangle
@@ -520,36 +639,52 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                         cache[e2] = p2
                                     estimate += 1.0 / p1 / p2
                     elif mode == 2:  # wedge
-                        for centre, tip in ((u, v), (v, u)):
-                            nc = adj.get(centre)
+                        if wt is not None:
+                            # O(1): degree sum + per-vertex aggregates
+                            # (the arriving edge is never in the
+                            # sampled graph, so no tip exclusion).
+                            nc = adj.get(u)
                             if nc:
-                                for w in nc:
-                                    if w != tip:
-                                        num_instances += 1
-                                        try:
-                                            e = (
-                                                (centre, w)
-                                                if centre < w
-                                                else (w, centre)
-                                            )
-                                        except TypeError:
-                                            e = canonical(centre, w)
-                                        if inline_iu:
-                                            if threshold > 0.0:
-                                                p = weights[e] / threshold
-                                                if p > 1.0:
-                                                    p = 1.0
-                                                estimate += 1.0 / p
-                                            else:
-                                                estimate += 1.0
-                                        else:
-                                            p = cache_get(e)
-                                            if p is None:
-                                                p = inc_prob(
-                                                    weights[e], threshold
+                                num_instances = len(nc)
+                            nc = adj.get(v)
+                            if nc:
+                                num_instances += len(nc)
+                            estimate += wt_delta(u, v)
+                        else:
+                            for centre, tip in ((u, v), (v, u)):
+                                nc = adj.get(centre)
+                                if nc:
+                                    for w in nc:
+                                        if w != tip:
+                                            num_instances += 1
+                                            try:
+                                                e = (
+                                                    (centre, w)
+                                                    if centre < w
+                                                    else (w, centre)
                                                 )
-                                                cache[e] = p
-                                            estimate += 1.0 / p
+                                            except TypeError:
+                                                e = canonical(centre, w)
+                                            if inline_iu:
+                                                if threshold > 0.0:
+                                                    p = (
+                                                        weights[e]
+                                                        / threshold
+                                                    )
+                                                    if p > 1.0:
+                                                        p = 1.0
+                                                    estimate += 1.0 / p
+                                                else:
+                                                    estimate += 1.0
+                                            else:
+                                                p = cache_get(e)
+                                                if p is None:
+                                                    p = inc_prob(
+                                                        weights[e],
+                                                        threshold,
+                                                    )
+                                                    cache[e] = p
+                                                estimate += 1.0 / p
                     else:
                         for instance in instances_completed(graph, u, v):
                             num_instances += 1
@@ -627,6 +762,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                 # patterns and weight functions observing
                                 # the live graph see a coherent count.
                                 graph._num_edges += 1
+                                if wt is not None:
+                                    wt_add(edge, weight)
                         else:
                             min_rank = res_heap[0][0]
                             tau_p = min_rank
@@ -662,14 +799,21 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                     intern(v)
                                 else:
                                     s.add(u)
+                                if wt is not None:
+                                    wt_remove(evicted)
+                                    wt_add(edge, weight)
                                 if tau_p != threshold:
                                     threshold = tau_p
                                     generation += 1
                                     cache.clear()
+                                    if wt is not None:
+                                        wt_raise(threshold)
                             elif rank > threshold:  # Case 2.2
                                 threshold = rank
                                 generation += 1
                                 cache.clear()
+                                if wt is not None:
+                                    wt_raise(threshold)
                             # Case 2.3: discard silently.
                     else:
                         # GPS / GPS-A priority competition.
@@ -695,6 +839,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                 if not s:
                                     del adj[v]
                                 graph._num_edges -= 1
+                                if wt is not None:
+                                    wt_remove(edge)
                         if res_size < budget:
                             res_push(edge, rank)
                             res_size += 1
@@ -717,6 +863,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                             else:
                                 s.add(u)
                             graph._num_edges += 1
+                            if wt is not None:
+                                wt_add(edge, weight)
                         else:
                             min_rank = res_heap[0][0]
                             if rank > min_rank:
@@ -741,10 +889,14 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                     s.remove(a)
                                     if not s:
                                         del adj[b]
+                                    if wt is not None:
+                                        wt_remove(evicted)
                                 if evicted_rank > threshold:
                                     threshold = evicted_rank
                                     generation += 1
                                     cache.clear()
+                                    if wt is not None:
+                                        wt_raise(threshold)
                                 weights[edge] = weight
                                 edge_times[edge] = time_now
                                 s = adj.get(u)
@@ -763,10 +915,14 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                     intern(v)
                                 else:
                                     s.add(u)
+                                if wt is not None:
+                                    wt_add(edge, weight)
                             elif rank > threshold:
                                 threshold = rank
                                 generation += 1
                                 cache.clear()
+                                if wt is not None:
+                                    wt_raise(threshold)
                 else:
                     # -- deletion.
                     if is_wsd:
@@ -789,6 +945,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                             if not s:
                                 del adj[v]
                             graph._num_edges -= 1
+                            if wt is not None:
+                                wt_remove(edge)
                     elif is_gps:
                         raise SamplerError(
                             "GPS only supports insertion-only streams; use "
@@ -807,6 +965,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                             if not s:
                                 del adj[v]
                             graph._num_edges -= 1
+                            if wt is not None:
+                                wt_remove(edge)
                     if mode == 1:  # triangle
                         try:
                             nu = adj[u]
@@ -845,35 +1005,42 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                         cache[e2] = p2
                                     estimate -= 1.0 / p1 / p2
                     elif mode == 2:  # wedge
-                        for centre, tip in ((u, v), (v, u)):
-                            nc = adj.get(centre)
-                            if nc:
-                                for w in nc:
-                                    if w != tip:
-                                        try:
-                                            e = (
-                                                (centre, w)
-                                                if centre < w
-                                                else (w, centre)
-                                            )
-                                        except TypeError:
-                                            e = canonical(centre, w)
-                                        if inline_iu:
-                                            if threshold > 0.0:
-                                                p = weights[e] / threshold
-                                                if p > 1.0:
-                                                    p = 1.0
-                                                estimate -= 1.0 / p
-                                            else:
-                                                estimate -= 1.0
-                                        else:
-                                            p = cache_get(e)
-                                            if p is None:
-                                                p = inc_prob(
-                                                    weights[e], threshold
+                        if wt is not None:
+                            estimate -= wt_delta(u, v)
+                        else:
+                            for centre, tip in ((u, v), (v, u)):
+                                nc = adj.get(centre)
+                                if nc:
+                                    for w in nc:
+                                        if w != tip:
+                                            try:
+                                                e = (
+                                                    (centre, w)
+                                                    if centre < w
+                                                    else (w, centre)
                                                 )
-                                                cache[e] = p
-                                            estimate -= 1.0 / p
+                                            except TypeError:
+                                                e = canonical(centre, w)
+                                            if inline_iu:
+                                                if threshold > 0.0:
+                                                    p = (
+                                                        weights[e]
+                                                        / threshold
+                                                    )
+                                                    if p > 1.0:
+                                                        p = 1.0
+                                                    estimate -= 1.0 / p
+                                                else:
+                                                    estimate -= 1.0
+                                            else:
+                                                p = cache_get(e)
+                                                if p is None:
+                                                    p = inc_prob(
+                                                        weights[e],
+                                                        threshold,
+                                                    )
+                                                    cache[e] = p
+                                                estimate -= 1.0 / p
                     else:
                         for instance in instances_completed(graph, u, v):
                             value = 1.0

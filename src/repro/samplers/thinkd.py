@@ -25,8 +25,8 @@ from collections.abc import Iterable
 
 from repro.errors import ConfigurationError
 from repro.graph.edges import Edge
-from repro.graph.stream import INSERT, EdgeEvent
-from repro.samplers.kernel import PairingSamplerKernel
+from repro.graph.stream import EdgeEvent, EventBlock
+from repro.samplers.kernel import PairingSamplerKernel, batch_columns
 
 __all__ = ["ThinkD"]
 
@@ -88,21 +88,25 @@ class ThinkD(PairingSamplerKernel):
 
     # -- batched ingestion -------------------------------------------------------
 
-    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
+    def process_batch(
+        self, events: EventBlock | Iterable[EdgeEvent]
+    ) -> float:
         """Consume a batch with the RP arithmetic and counting inlined.
 
-        Bit-identical to event-at-a-time :meth:`process` under a fixed
-        seed: the random-pairing reservoir consumes its randomness in
-        exactly the same order (its decisions are data-dependent, so the
-        uniforms cannot be pre-drawn as a block the way the rank
-        samplers do) and the estimator performs the same floating-point
-        operations. Falls back to the per-event path when observers are
-        registered.
+        Accepts an :class:`~repro.graph.stream.EventBlock` or any
+        :class:`EdgeEvent` iterable. Bit-identical to event-at-a-time
+        :meth:`process` under a fixed seed: the random-pairing
+        reservoir consumes its randomness in exactly the same order
+        (its decisions are data-dependent, so the uniforms cannot be
+        pre-drawn as a block the way the rank samplers do) and the
+        estimator performs the same floating-point operations. Falls
+        back to the per-event path when observers are registered.
         """
-        if not isinstance(events, (list, tuple)):
+        if not isinstance(events, (list, tuple, EventBlock)):
             events = list(events)
         if self.instance_observers:
             return PairingSamplerKernel.process_batch(self, events)
+        ops, us, vs = batch_columns(events)
 
         count = self._batch_counter()
         k = self.pattern.num_edges - 1
@@ -123,13 +127,11 @@ class ThinkD(PairingSamplerKernel):
         d_o = rp.d_o
         population = rp.population
 
-        op_insert = INSERT
         try:
-            for event in events:
+            for is_ins, u, v in zip(ops, us, vs):
                 time_now += 1
-                edge = event.edge
-                u, v = edge
-                if event.op == op_insert:
+                edge = (u, v)
+                if is_ins:
                     # -- think: count completions against the sample.
                     c = count(u, v)
                     if c:

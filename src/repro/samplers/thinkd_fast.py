@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.graph.edges import Edge
-from repro.graph.stream import INSERT, EdgeEvent
+from repro.graph.stream import EdgeEvent, EventBlock
 from repro.patterns.base import Pattern
 from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
 
@@ -93,7 +93,9 @@ class ThinkDFast(SampledGraphMixin, SubgraphCountingSampler):
 
     # -- batched ingestion -------------------------------------------------------
 
-    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
+    def process_batch(
+        self, events: EventBlock | Iterable[EdgeEvent]
+    ) -> float:
         """Consume a batch with the Bernoulli draws pre-drawn in a block.
 
         Every insertion consumes exactly one uniform regardless of the
@@ -103,11 +105,19 @@ class ThinkDFast(SampledGraphMixin, SubgraphCountingSampler):
         Bit-identical to per-event :meth:`process` under a fixed seed;
         falls back to the generic path when observers are registered.
         """
-        if not isinstance(events, (list, tuple)):
+        from repro.samplers.kernel import batch_columns
+
+        is_block = isinstance(events, EventBlock)
+        if not is_block and not isinstance(events, (list, tuple)):
             events = list(events)
         if self.instance_observers:
             return SubgraphCountingSampler.process_batch(self, events)
-        num_insertions = [event.op for event in events].count(INSERT)
+        if is_block:
+            ops, us, vs = events.columns()
+            num_insertions = events.num_insertions
+        else:
+            ops, us, vs = batch_columns(events)
+            num_insertions = sum(ops)
         next_uniform = (
             iter(self.rng.random(num_insertions).tolist()).__next__
             if num_insertions
@@ -122,13 +132,11 @@ class ThinkDFast(SampledGraphMixin, SubgraphCountingSampler):
         sample = self._sample
         estimate = self._estimate
         time_now = self._time
-        op_insert = INSERT
         try:
-            for event in events:
+            for is_ins, u, v in zip(ops, us, vs):
                 time_now += 1
-                edge = event.edge
-                u, v = edge
-                if event.op == op_insert:
+                edge = (u, v)
+                if is_ins:
                     count = count_completed(graph, u, v)
                     if count:
                         estimate += count * instance_value

@@ -27,8 +27,8 @@ from collections.abc import Iterable
 
 from repro.errors import ConfigurationError
 from repro.graph.edges import Edge
-from repro.graph.stream import INSERT, EdgeEvent
-from repro.samplers.kernel import PairingSamplerKernel
+from repro.graph.stream import EdgeEvent, EventBlock
+from repro.samplers.kernel import PairingSamplerKernel, batch_columns
 
 __all__ = ["Triest"]
 
@@ -76,15 +76,20 @@ class Triest(PairingSamplerKernel):
 
     # -- batched ingestion -------------------------------------------------------
 
-    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
+    def process_batch(
+        self, events: EventBlock | Iterable[EdgeEvent]
+    ) -> float:
         """Consume a batch with the RP arithmetic and counting inlined.
 
-        Bit-identical to event-at-a-time :meth:`process` under a fixed
-        seed (τ is integral; the random-pairing randomness is consumed
-        in exactly the same order).
+        Accepts an :class:`~repro.graph.stream.EventBlock` or any
+        :class:`EdgeEvent` iterable. Bit-identical to event-at-a-time
+        :meth:`process` under a fixed seed (τ is integral; the
+        random-pairing randomness is consumed in exactly the same
+        order).
         """
-        if not isinstance(events, (list, tuple)):
+        if not isinstance(events, (list, tuple, EventBlock)):
             events = list(events)
+        ops, us, vs = batch_columns(events)
         count = self._batch_counter()
         graph = self._sampled_graph
         add_edge = graph.add_edge_canonical
@@ -103,12 +108,11 @@ class Triest(PairingSamplerKernel):
         d_o = rp.d_o
         population = rp.population
 
-        op_insert = INSERT
         try:
-            for event in events:
+            for is_ins, u, v in zip(ops, us, vs):
                 time_now += 1
-                edge = event.edge
-                if event.op == op_insert:
+                edge = (u, v)
+                if is_ins:
                     # -- random pairing insert (same rng consumption
                     # order — and the same duplicate guard, raised
                     # before any reservoir mutation — as

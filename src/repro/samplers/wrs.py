@@ -18,21 +18,31 @@ waiting-room edges and the joint RP probability for reservoir edges.
 
 The reservoir half and the introspection plumbing come from
 :class:`~repro.samplers.kernel.PairingSamplerKernel` (instantiated with
-the post-waiting-room capacity); batched ingestion uses the kernel's
-hoisted driver — the per-instance waiting-room/reservoir classification
-keeps the estimator on the generic path.
+the post-waiting-room capacity); batched ingestion inlines the
+waiting-room FIFO, the random-pairing arithmetic and the
+triangle/wedge estimators the same way the other pairing samplers do
+(bit-identical to per-event processing under a fixed seed). For the
+wedge pattern the per-instance waiting-room classification collapses
+to degree arithmetic: a wedge has one "other" edge, so the delta is
+``#waiting-room incident edges + #reservoir incident edges / P[1]``,
+maintained O(1) via per-vertex waiting-room degrees.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Iterable
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.graph.edges import Edge
+from repro.graph.edges import Edge, canonical_edge
+from repro.graph.stream import EdgeEvent, EventBlock
 from repro.patterns.base import Pattern
-from repro.samplers.kernel import PairingSamplerKernel
+from repro.patterns.cliques import Triangle
+from repro.patterns.paths import Wedge
+from repro.samplers import kernel as _kernel
+from repro.samplers.kernel import PairingSamplerKernel, batch_columns
 
 __all__ = ["WRS"]
 
@@ -72,8 +82,60 @@ class WRS(PairingSamplerKernel):
         self.waiting_room_capacity = waiting_room_capacity
         # FIFO of the most recent edges; dict preserves insertion order.
         self._waiting_room: OrderedDict[Edge, int] = OrderedDict()
+        #: Per-vertex count of incident *waiting-room* edges — the O(1)
+        #: wedge-delta state (reservoir degrees follow by subtraction
+        #: from the sampled-graph degree). Only maintained for the
+        #: wedge pattern.
+        self._wr_degrees: dict | None = (
+            {}
+            if _kernel._WEDGE_VECTORIZATION and type(self.pattern) is Wedge
+            else None
+        )
+
+    def _rebuild_wr_degrees(self) -> None:
+        """Recompute the waiting-room degree aggregates from scratch.
+
+        Needed after checkpoint restore, which repopulates the
+        waiting-room FIFO directly.
+        """
+        if self._wr_degrees is None:
+            return
+        wrdeg: dict = {}
+        for u, v in self._waiting_room:
+            wrdeg[u] = wrdeg.get(u, 0) + 1
+            wrdeg[v] = wrdeg.get(v, 0) + 1
+        self._wr_degrees = wrdeg
 
     # -- estimation --------------------------------------------------------------
+
+    def _wedge_delta(self, u, v) -> float:
+        """O(1) wedge delta via waiting-room degree arithmetic.
+
+        Every wedge completed by {u, v} has exactly one other edge,
+        incident to its centre: waiting-room edges contribute 1 each,
+        reservoir edges 1/P[one specific reservoir edge sampled]. The
+        sampled graph never contains {u, v} at evaluation time, so the
+        per-centre totals are plain degrees.
+        """
+        adj = self._sampled_graph._adj
+        wrdeg = self._wr_degrees
+        nc = adj.get(u)
+        du = len(nc) if nc else 0
+        nc = adj.get(v)
+        dv = len(nc) if nc else 0
+        wu = wrdeg.get(u, 0)
+        wv = wrdeg.get(v, 0)
+        in_reservoir = (du - wu) + (dv - wv)
+        delta = float(wu + wv)
+        if in_reservoir:
+            rp = self._rp
+            s = len(rp._items)
+            n = rp.population
+            if s >= 1 and n >= 1:
+                p = s / n
+                if p > 0.0:
+                    delta += in_reservoir / p
+        return delta
 
     def _delta_from_edge(self, edge: Edge, sign: float = 1.0) -> float:
         """Weighted count of instances ``edge`` completes in the sample.
@@ -84,6 +146,8 @@ class WRS(PairingSamplerKernel):
         observers see; the returned magnitude is unsigned.
         """
         u, v = edge
+        if self._wr_degrees is not None and not self.instance_observers:
+            return self._wedge_delta(u, v)
         delta = 0.0
         # The RP probability depends only on the instance's count of
         # reservoir edges (sample size and population are fixed within
@@ -111,16 +175,30 @@ class WRS(PairingSamplerKernel):
 
     # -- event handlers -------------------------------------------------------------
 
+    def _wr_adjust(self, edge: Edge, delta: int) -> None:
+        """Adjust the per-vertex waiting-room degrees for one edge."""
+        wrdeg = self._wr_degrees
+        for c in edge:
+            left = wrdeg.get(c, 0) + delta
+            if left:
+                wrdeg[c] = left
+            else:
+                wrdeg.pop(c, None)
+
     def _process_insertion(self, edge: Edge) -> None:
         self._estimate += self._delta_from_edge(edge)
         # Admit to the waiting room unconditionally.
         self._waiting_room[edge] = self._time
         self._sample_add(edge)
+        if self._wr_degrees is not None:
+            self._wr_adjust(edge, 1)
         if len(self._waiting_room) <= self.waiting_room_capacity:
             return
         # Oldest edge exits the waiting room and joins the reservoir
         # population; random pairing decides whether it stays sampled.
         oldest, _ = self._waiting_room.popitem(last=False)
+        if self._wr_degrees is not None:
+            self._wr_adjust(oldest, -1)
         added, evicted = self._rp.insert(oldest)
         if evicted is not None:
             self._sample_remove(evicted)
@@ -133,12 +211,222 @@ class WRS(PairingSamplerKernel):
         # reservoir population and must go through random pairing.
         if edge in self._waiting_room:
             del self._waiting_room[edge]
+            if self._wr_degrees is not None:
+                self._wr_adjust(edge, -1)
             self._sample_remove(edge)
         else:
             removed = self._rp.delete(edge)
             if removed:
                 self._sample_remove(edge)
         self._estimate -= self._delta_from_edge(edge, sign=-1.0)
+
+    # -- batched ingestion -------------------------------------------------------
+
+    def process_batch(
+        self, events: EventBlock | Iterable[EdgeEvent]
+    ) -> float:
+        """Consume a batch with the WR/RP arithmetic and counting inlined.
+
+        Bit-identical to event-at-a-time :meth:`process` under a fixed
+        seed: the random-pairing reservoir consumes its randomness in
+        exactly the same order and the estimator performs the same
+        floating-point operations (the wedge pattern through the O(1)
+        degree aggregates, the triangle through an inlined
+        common-neighbour loop, other patterns through the generic
+        enumeration — all with the same per-event probability memo).
+        Falls back to the per-event driver when observers are
+        registered.
+        """
+        is_block = isinstance(events, EventBlock)
+        if not is_block and not isinstance(events, (list, tuple)):
+            events = list(events)
+        if self.instance_observers:
+            return PairingSamplerKernel.process_batch(self, events)
+        ops, us, vs = batch_columns(events)
+
+        pattern = self.pattern
+        mode = 1 if type(pattern) is Triangle else (
+            2 if self._wr_degrees is not None else 0
+        )
+        instances_completed = pattern.instances_completed
+        wedge_delta = self._wedge_delta
+        graph = self._sampled_graph
+        adj = graph._adj
+        add_edge = graph.add_edge_canonical
+        remove_edge = graph.remove_edge_canonical
+        canonical = canonical_edge
+        waiting_room = self._waiting_room
+        wr_capacity = self.waiting_room_capacity
+        wrdeg = self._wr_degrees
+        rp = self._rp
+        rp_items = rp._items
+        rp_index = rp._index
+        rp_add = rp._add
+        rp_remove = rp._remove
+        evict_random = rp._evict_random
+        joint_prob = rp.joint_inclusion_probability
+        rng_random = self.rng.random
+        capacity = rp.capacity
+        estimate = self._estimate
+        time_now = self._time
+
+        try:
+            for is_ins, u, v in zip(ops, us, vs):
+                time_now += 1
+                edge = (u, v)
+                if is_ins:
+                    # -- estimate before sampling (update-on-arrival).
+                    if mode == 2:
+                        estimate += wedge_delta(u, v)
+                    elif mode == 1:
+                        delta = 0.0
+                        nu = adj.get(u)
+                        nv = adj.get(v)
+                        if nu and nv and not nu.isdisjoint(nv):
+                            probs: dict = {}
+                            probs_get = probs.get
+                            for w in nu & nv:
+                                try:
+                                    e1 = (u, w) if u < w else (w, u)
+                                    e2 = (v, w) if v < w else (w, v)
+                                except TypeError:
+                                    e1 = canonical(u, w)
+                                    e2 = canonical(v, w)
+                                ir = (e1 not in waiting_room) + (
+                                    e2 not in waiting_room
+                                )
+                                p = probs_get(ir)
+                                if p is None:
+                                    p = joint_prob(ir)
+                                    probs[ir] = p
+                                if p > 0.0:
+                                    delta += 1.0 / p
+                        estimate += delta
+                    else:
+                        delta = 0.0
+                        probs = {}
+                        probs_get = probs.get
+                        for instance in instances_completed(graph, u, v):
+                            ir = 0
+                            for other in instance:
+                                if other not in waiting_room:
+                                    ir += 1
+                            p = probs_get(ir)
+                            if p is None:
+                                p = joint_prob(ir)
+                                probs[ir] = p
+                            if p > 0.0:
+                                delta += 1.0 / p
+                        estimate += delta
+                    # -- waiting-room admission (unconditional).
+                    waiting_room[edge] = time_now
+                    add_edge(edge)
+                    if wrdeg is not None:
+                        wrdeg[u] = wrdeg.get(u, 0) + 1
+                        wrdeg[v] = wrdeg.get(v, 0) + 1
+                    if len(waiting_room) > wr_capacity:
+                        # Oldest exits to the reservoir population;
+                        # random pairing decides whether it stays
+                        # sampled (same rng consumption order — and the
+                        # same duplicate guard — as
+                        # RandomPairingReservoir.insert).
+                        oldest, _ = waiting_room.popitem(last=False)
+                        if wrdeg is not None:
+                            for c in oldest:
+                                left = wrdeg[c] - 1
+                                if left:
+                                    wrdeg[c] = left
+                                else:
+                                    del wrdeg[c]
+                        if oldest in rp_index:
+                            raise ConfigurationError(
+                                f"item {oldest!r} already sampled"
+                            )
+                        rp.population += 1
+                        uncompensated = rp.d_i + rp.d_o
+                        if uncompensated == 0:
+                            if len(rp_items) < capacity:
+                                rp_add(oldest)
+                            elif rng_random() < capacity / rp.population:
+                                evicted = evict_random()
+                                rp_add(oldest)
+                                remove_edge(evicted)
+                            else:
+                                remove_edge(oldest)
+                        elif rng_random() < rp.d_i / uncompensated:
+                            rp.d_i -= 1
+                            rp_add(oldest)
+                        else:
+                            rp.d_o -= 1
+                            remove_edge(oldest)
+                else:
+                    # -- deletion: remove from whichever half holds the
+                    # edge, then weigh the destroyed instances against
+                    # the post-deletion state.
+                    if edge in waiting_room:
+                        del waiting_room[edge]
+                        if wrdeg is not None:
+                            for c in edge:
+                                left = wrdeg[c] - 1
+                                if left:
+                                    wrdeg[c] = left
+                                else:
+                                    del wrdeg[c]
+                        remove_edge(edge)
+                    else:
+                        rp.population -= 1
+                        if edge in rp_index:
+                            rp_remove(edge)
+                            rp.d_i += 1
+                            remove_edge(edge)
+                        else:
+                            rp.d_o += 1
+                    if mode == 2:
+                        estimate -= wedge_delta(u, v)
+                    elif mode == 1:
+                        delta = 0.0
+                        nu = adj.get(u)
+                        nv = adj.get(v)
+                        if nu and nv and not nu.isdisjoint(nv):
+                            probs = {}
+                            probs_get = probs.get
+                            for w in nu & nv:
+                                try:
+                                    e1 = (u, w) if u < w else (w, u)
+                                    e2 = (v, w) if v < w else (w, v)
+                                except TypeError:
+                                    e1 = canonical(u, w)
+                                    e2 = canonical(v, w)
+                                ir = (e1 not in waiting_room) + (
+                                    e2 not in waiting_room
+                                )
+                                p = probs_get(ir)
+                                if p is None:
+                                    p = joint_prob(ir)
+                                    probs[ir] = p
+                                if p > 0.0:
+                                    delta += 1.0 / p
+                        estimate -= delta
+                    else:
+                        delta = 0.0
+                        probs = {}
+                        probs_get = probs.get
+                        for instance in instances_completed(graph, u, v):
+                            ir = 0
+                            for other in instance:
+                                if other not in waiting_room:
+                                    ir += 1
+                            p = probs_get(ir)
+                            if p is None:
+                                p = joint_prob(ir)
+                                probs[ir] = p
+                            if p > 0.0:
+                                delta += 1.0 / p
+                        estimate -= delta
+        finally:
+            self._estimate = estimate
+            self._time = time_now
+        return estimate
 
     # -- introspection ------------------------------------------------------------------
 

@@ -3,7 +3,9 @@
 from repro.streams.executor import (
     ShardedStreamExecutor,
     default_shard_key,
+    partition_block,
     partition_events,
+    vectorized_edge_hash,
 )
 from repro.streams.workers import ShardWorker, decode_events, encode_events
 from repro.streams.scenarios import (
@@ -26,7 +28,9 @@ __all__ = [
     "ShardedStreamExecutor",
     "ShardWorker",
     "default_shard_key",
+    "partition_block",
     "partition_events",
+    "vectorized_edge_hash",
     "encode_events",
     "decode_events",
 ]

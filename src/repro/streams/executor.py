@@ -44,6 +44,8 @@ import zlib
 from collections.abc import Callable, Iterable, Sequence
 from itertools import islice
 
+import numpy as np
+
 from repro.errors import ConfigurationError, WorkerCrashError
 from repro.estimators.combine import (
     combine_mean,
@@ -51,18 +53,27 @@ from repro.estimators.combine import (
     combine_variance_weighted,
 )
 from repro.graph.edges import Edge
-from repro.graph.stream import EdgeEvent, EdgeStream
+from repro.graph.stream import EdgeEvent, EdgeStream, EventBlock
 from repro.samplers.base import SubgraphCountingSampler
 from repro.samplers.checkpoint import restore_sampler, sampler_state_dict
 from repro.streams.workers import ShardWorker, encode_events
 
-__all__ = ["ShardedStreamExecutor", "default_shard_key", "partition_events"]
+__all__ = [
+    "ShardedStreamExecutor",
+    "default_shard_key",
+    "partition_events",
+    "partition_block",
+    "vectorized_edge_hash",
+]
 
 #: Executor execution modes.
 _MODES = ("partition", "broadcast")
 
 #: Executor backends.
 _BACKENDS = ("serial", "process")
+
+#: Worker transports for the process backend.
+_TRANSPORTS = ("auto", "shm", "queue")
 
 
 def default_shard_key(edge: Edge) -> int:
@@ -109,6 +120,81 @@ def partition_events(
     return buckets
 
 
+# CPython's tuple hash (xxHash-flavoured, pyhash.c) reimplemented over
+# uint64 columns so a whole EventBlock routes in a few numpy passes.
+# The constants and steps mirror the C implementation exactly; parity
+# with ``hash((u, v))`` is locked down by tests.
+_XXPRIME_1 = np.uint64(11400714785074694791)
+_XXPRIME_2 = np.uint64(14029467366897019727)
+_XXPRIME_5 = np.uint64(2870177450012600261)
+#: hash(n) = n mod (2^61 - 1) for non-negative Python ints.
+_PYHASH_MODULUS = np.uint64((1 << 61) - 1)
+_ROT = np.uint64(31)
+_INV_ROT = np.uint64(33)
+
+
+def vectorized_edge_hash(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """``hash((u, v))`` for int64 column pairs, as CPython computes it.
+
+    Only non-negative labels are supported (the library convention;
+    checked by the caller) — negative ints hash through a sign-folding
+    rule that is not worth vectorising.
+    """
+    with np.errstate(over="ignore"):
+        acc = np.full(u.shape, _XXPRIME_5, dtype=np.uint64)
+        for lane in (
+            u.astype(np.uint64) % _PYHASH_MODULUS,
+            v.astype(np.uint64) % _PYHASH_MODULUS,
+        ):
+            acc += lane * _XXPRIME_2
+            acc = (acc << _ROT) | (acc >> _INV_ROT)
+            acc *= _XXPRIME_1
+        acc += np.uint64(2) ^ (_XXPRIME_5 ^ np.uint64(3527539))
+    result = acc.view(np.int64).copy()
+    result[result == -1] = 1546275796
+    return result
+
+
+def partition_block(
+    block: EventBlock,
+    num_shards: int,
+    shard_key: Callable[[Edge], int] = default_shard_key,
+) -> list[EventBlock]:
+    """Columnar :func:`partition_events`: split a block into sub-blocks.
+
+    With the default shard key and non-negative labels the routing hash
+    for the whole block is computed in a handful of numpy passes
+    (identical values to ``default_shard_key`` edge by edge, so mixed
+    block/event pipelines route consistently); custom keys fall back to
+    a per-edge loop. Each sub-block preserves event order, so it is a
+    feasible sub-stream exactly like the event-list variant's buckets.
+    """
+    if num_shards < 1:
+        raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+    u, v = block.u, block.v
+    if (
+        shard_key is default_shard_key
+        and (len(u) == 0 or (int(u.min()) >= 0 and int(v.min()) >= 0))
+    ):
+        routes = np.mod(vectorized_edge_hash(u, v), num_shards)
+    else:
+        routes = np.fromiter(
+            (
+                shard_key((eu, ev)) % num_shards
+                for eu, ev in zip(u.tolist(), v.tolist())
+            ),
+            dtype=np.int64,
+            count=len(u),
+        )
+    is_insert = block.is_insert
+    return [
+        EventBlock(
+            is_insert[mask], u[mask], v[mask], canonical=True
+        )
+        for mask in (routes == shard for shard in range(num_shards))
+    ]
+
+
 class ShardedStreamExecutor:
     """Drive N sampler replicas over one stream and merge their estimates.
 
@@ -140,9 +226,19 @@ class ShardedStreamExecutor:
         chunk_size: events per dispatched batch chunk (process backend).
             Chunk boundaries never change results — batched ingestion is
             bit-identical regardless of batching — so this is purely a
-            latency/throughput knob.
+            latency/throughput knob. The default (8192, one
+            shared-memory slot per chunk) favours throughput; lower it
+            when estimate reads must observe ingestion promptly.
         queue_depth: per-worker bound on undelivered chunks before
             ingestion blocks (the pipelining backpressure).
+        transport: how event chunks reach the workers (process backend).
+            ``"shm"`` ships encoded
+            :class:`~repro.graph.stream.EventBlock` payloads through a
+            per-worker shared-memory slot ring (no per-chunk pickling);
+            ``"queue"`` is the legacy pickled-tuple path; ``"auto"``
+            (default) uses shared memory and falls back to the queue
+            per chunk for streams whose vertex labels cannot ride an
+            int64 block. Results are bit-identical across transports.
     """
 
     def __init__(
@@ -153,8 +249,9 @@ class ShardedStreamExecutor:
         shard_key: Callable[[Edge], int] = default_shard_key,
         executor_backend: str = "serial",
         mp_context=None,
-        chunk_size: int = 2048,
+        chunk_size: int = 8192,
         queue_depth: int = 8,
+        transport: str = "auto",
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError(
@@ -173,10 +270,16 @@ class ShardedStreamExecutor:
             raise ConfigurationError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
+        if transport not in _TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {_TRANSPORTS}, got "
+                f"{transport!r}"
+            )
         self.num_shards = num_shards
         self.mode = mode
         self.shard_key = shard_key
         self.executor_backend = executor_backend
+        self.transport = transport
         self._mp_context = mp_context
         self._chunk_size = chunk_size
         self._queue_depth = queue_depth
@@ -226,6 +329,8 @@ class ShardedStreamExecutor:
                         weight_fn=getattr(shard, "weight_fn", None),
                         mp_context=self._mp_context,
                         queue_depth=self._queue_depth,
+                        transport=self.transport,
+                        chunk_hint=self._chunk_size,
                     )
                 )
         except BaseException:
@@ -242,6 +347,8 @@ class ShardedStreamExecutor:
             weight_fn=getattr(self.shards[index], "weight_fn", None),
             mp_context=self._mp_context,
             queue_depth=self._queue_depth,
+            transport=self.transport,
+            chunk_hint=self._chunk_size,
         )
 
     # -- ingestion ----------------------------------------------------------
@@ -267,7 +374,7 @@ class ShardedStreamExecutor:
             for shard in self.shards:
                 shard.process(event)
 
-    def _ingest(self, events: list[EdgeEvent]) -> None:
+    def _ingest(self, events: list[EdgeEvent] | EventBlock) -> None:
         """Route a batch to the replicas without computing the estimate."""
         if self.executor_backend == "process":
             self._ensure_workers()
@@ -278,6 +385,14 @@ class ShardedStreamExecutor:
                 self._dispatch(events[start:start + chunk_size])
             return
         if self.mode == "partition":
+            if isinstance(events, EventBlock):
+                block_buckets = partition_block(
+                    events, self.num_shards, self.shard_key
+                )
+                for shard, bucket in zip(self.shards, block_buckets):
+                    if len(bucket):
+                        shard.process_batch(bucket)
+                return
             buckets = partition_events(events, self.num_shards, self.shard_key)
             for shard, bucket in zip(self.shards, buckets):
                 if bucket:
@@ -286,41 +401,93 @@ class ShardedStreamExecutor:
             for shard in self.shards:
                 shard.process_batch(events)
 
-    def _dispatch(self, events: list[EdgeEvent]) -> None:
-        """Ship one chunk to the worker fleet (process backend)."""
+    def _dispatch(self, events: list[EdgeEvent] | EventBlock) -> None:
+        """Ship one chunk to the worker fleet (process backend).
+
+        Chunks travel as encoded :class:`EventBlock` payloads over the
+        shared-memory transport whenever the labels allow it (always,
+        for int-vertex streams); otherwise they fall back to the
+        pickled-tuple queue path. Either way both ends process the
+        identical event sequence, so results do not depend on the
+        transport.
+        """
         workers = self._workers
-        if self.mode == "partition":
-            buckets = partition_events(events, self.num_shards, self.shard_key)
-            for worker, bucket in zip(workers, buckets):
-                if bucket:
-                    worker.send_batch(encode_events(bucket))
+        force_queue = self.transport == "queue"
+        block: EventBlock | None
+        if isinstance(events, EventBlock):
+            block = events
+        elif force_queue:
+            block = None
         else:
-            payload = encode_events(events)
-            for worker in workers:
-                worker.send_batch(payload)
+            try:
+                block = EventBlock.from_events(events)
+            except TypeError:
+                block = None
+        if self.mode == "partition":
+            if block is not None:
+                block_buckets = partition_block(
+                    block, self.num_shards, self.shard_key
+                )
+                for worker, bucket in zip(workers, block_buckets):
+                    if len(bucket):
+                        if force_queue:
+                            # A block-shaped bucket still honours the
+                            # forced legacy wire format: tuple payloads
+                            # over the queue.
+                            worker.send_batch(
+                                list(zip(*bucket.columns()))
+                            )
+                        else:
+                            worker.send_block(bucket)
+            else:
+                buckets = partition_events(
+                    events, self.num_shards, self.shard_key
+                )
+                for worker, bucket in zip(workers, buckets):
+                    if bucket:
+                        worker.send_batch(encode_events(bucket))
+        else:
+            if block is not None:
+                payload = (
+                    list(zip(*block.columns())) if force_queue else None
+                )
+                for worker in workers:
+                    if force_queue:
+                        worker.send_batch(payload)
+                    else:
+                        worker.send_block(block)
+            else:
+                payload = encode_events(events)
+                for worker in workers:
+                    worker.send_batch(payload)
         self._synced = False
 
     def _flush_pending(self) -> None:
         pending, self._pending = self._pending, []
         self._dispatch(pending)
 
-    def process_batch(self, events: Iterable[EdgeEvent]) -> float:
+    def process_batch(
+        self, events: EventBlock | Iterable[EdgeEvent]
+    ) -> float:
         """Consume a batch of events; return the merged estimate.
 
-        Partition mode groups the batch into per-shard sub-batches
-        (order-preserving) and drives each replica through its batched
-        fast path once; broadcast mode hands every replica the whole
-        batch. On the process backend, returning the estimate is a
-        synchronisation point — prefer :meth:`process_stream` (one final
-        barrier) when ingesting large streams.
+        Accepts a columnar :class:`~repro.graph.stream.EventBlock` or
+        any :class:`EdgeEvent` iterable (results are bit-identical
+        across representations). Partition mode groups the batch into
+        per-shard sub-batches (order-preserving) and drives each
+        replica through its batched fast path once; broadcast mode
+        hands every replica the whole batch. On the process backend,
+        returning the estimate is a synchronisation point — prefer
+        :meth:`process_stream` (one final barrier) when ingesting large
+        streams.
         """
-        if not isinstance(events, list):
+        if not isinstance(events, (list, EventBlock)):
             events = list(events)
         self._ingest(events)
         return self.estimate
 
     def process_stream(
-        self, stream: EdgeStream | Iterable[EdgeEvent]
+        self, stream: EdgeStream | EventBlock | Iterable[EdgeEvent]
     ) -> float:
         """Consume a whole stream; return the merged final estimate.
 
@@ -330,8 +497,8 @@ class ShardedStreamExecutor:
         barriers, so the parent's iteration pipelines with the workers'
         ingestion; the single synchronisation happens at the end.
         """
-        if isinstance(stream, (list, tuple, EdgeStream)):
-            if not isinstance(stream, list):
+        if isinstance(stream, (list, tuple, EdgeStream, EventBlock)):
+            if not isinstance(stream, (list, EventBlock)):
                 stream = list(stream)
             self._ingest(stream)
             return self.estimate

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.graph.edges import Edge
-from repro.graph.stream import EdgeEvent, EdgeStream
+from repro.graph.stream import DELETE, INSERT, EdgeEvent, EdgeStream, EventBlock
 from repro.streams.executor import default_shard_key, partition_events
 from repro.utils.rng import ensure_rng
 
@@ -36,8 +36,37 @@ __all__ = [
 ]
 
 
-def insertion_only_stream(edges: list[Edge]) -> EdgeStream:
-    """Build an insertion-only stream from an ordered edge list."""
+def _materialise(
+    events: list[tuple[str, Edge]], columnar: bool
+) -> EdgeStream | EventBlock:
+    """Build the requested stream representation from (op, edge) pairs.
+
+    The scenario builders produce raw pairs; the columnar path packs
+    them straight into an :class:`EventBlock` (canonicalised
+    vectorised, int labels required) while the default path constructs
+    the classic :class:`EdgeStream` — identical events either way.
+    """
+    if not columnar:
+        return EdgeStream(EdgeEvent(op, edge) for op, edge in events)
+    insert = INSERT
+    return EventBlock(
+        [op == insert for op, _ in events],
+        [edge[0] for _, edge in events],
+        [edge[1] for _, edge in events],
+    )
+
+
+def insertion_only_stream(
+    edges: list[Edge], columnar: bool = False
+) -> EdgeStream | EventBlock:
+    """Build an insertion-only stream from an ordered edge list.
+
+    ``columnar=True`` returns the numpy-columnar
+    :class:`~repro.graph.stream.EventBlock` form instead of an
+    :class:`EdgeStream` (same events; int vertex labels required).
+    """
+    if columnar:
+        return _materialise([(INSERT, edge) for edge in edges], True)
     return EdgeStream.from_edges(edges)
 
 
@@ -47,7 +76,8 @@ def massive_deletion_stream(
     beta_m: float = 0.8,
     rng: np.random.Generator | int | None = None,
     deletion_window: float = 0.8,
-) -> EdgeStream:
+    columnar: bool = False,
+) -> EdgeStream | EventBlock:
     """Build a massive-deletion stream (Section V-A, [Triest]).
 
     ``alpha`` is the per-insertion probability that a massive deletion
@@ -74,7 +104,7 @@ def massive_deletion_stream(
             f"deletion_window must be in (0, 1], got {deletion_window}"
         )
     gen = ensure_rng(rng)
-    events: list[EdgeEvent] = []
+    events: list[tuple[str, Edge]] = []
     alive: list[Edge] = []
     alive_set: set[Edge] = set()
     window_end = int(deletion_window * len(edges))
@@ -84,7 +114,7 @@ def massive_deletion_stream(
             # re-inserted edge after deletion is fine; a duplicate alive
             # edge would be infeasible, so skip it.
             continue
-        events.append(EdgeEvent("+", edge))
+        events.append((INSERT, edge))
         alive.append(edge)
         alive_set.add(edge)
         in_window = i < window_end
@@ -93,19 +123,20 @@ def massive_deletion_stream(
             deaths = gen.random(len(alive)) < beta_m
             for e, dead in zip(alive, deaths):
                 if dead:
-                    events.append(EdgeEvent("-", e))
+                    events.append((DELETE, e))
                     alive_set.discard(e)
                 else:
                     survivors.append(e)
             alive = survivors
-    return EdgeStream(events)
+    return _materialise(events, columnar)
 
 
 def light_deletion_stream(
     edges: list[Edge],
     beta_l: float = 0.2,
     rng: np.random.Generator | int | None = None,
-) -> EdgeStream:
+    columnar: bool = False,
+) -> EdgeStream | EventBlock:
     """Build a light-deletion stream (Section V-A, [WRS]).
 
     Each edge has probability ``beta_l`` of being deleted at a random
@@ -116,30 +147,29 @@ def light_deletion_stream(
     if not 0.0 <= beta_l <= 1.0:
         raise ConfigurationError(f"beta_l must be in [0, 1], got {beta_l}")
     gen = ensure_rng(rng)
-    slots: list[list[EdgeEvent]] = [
-        [EdgeEvent("+", edge)] for edge in edges
+    slots: list[list[tuple[str, Edge]]] = [
+        [(INSERT, edge)] for edge in edges
     ]
     # A deletion scheduled "after position i" is appended to the pending
     # list of a random later slot (or to the very end of the stream).
-    tail: list[EdgeEvent] = []
+    tail: list[tuple[str, Edge]] = []
     n = len(edges)
     for i, edge in enumerate(edges):
         if gen.random() >= beta_l:
             continue
         position = int(gen.integers(i, n + 1))
-        deletion = EdgeEvent("-", edge)
         if position >= n:
-            tail.append(deletion)
+            tail.append((DELETE, edge))
         else:
             # Append after the insertion at `position` (which is > i or
             # == i, in which case the deletion directly follows its own
             # insertion — still feasible).
-            slots[position].append(deletion)
-    events: list[EdgeEvent] = []
+            slots[position].append((DELETE, edge))
+    events: list[tuple[str, Edge]] = []
     for slot in slots:
         events.extend(slot)
     events.extend(tail)
-    return EdgeStream(events)
+    return _materialise(events, columnar)
 
 
 def build_stream(
@@ -149,26 +179,33 @@ def build_stream(
     beta: float | None = None,
     rng: np.random.Generator | int | None = None,
     deletion_window: float = 0.8,
-) -> EdgeStream:
+    columnar: bool = False,
+) -> EdgeStream | EventBlock:
     """Dispatch to a scenario builder by name.
 
     ``scenario`` is ``"insertion-only"``, ``"massive"`` or ``"light"``.
     For ``massive``, ``alpha`` defaults to 4 massive-deletion events per
     stream (4/len) and ``beta`` to 0.8; for ``light``, ``beta`` defaults
     to 0.2 — the paper's default parameters, rescaled.
+
+    ``columnar=True`` yields the same events as a numpy-columnar
+    :class:`~repro.graph.stream.EventBlock` (the builders draw the same
+    randomness either way, so the two representations are
+    event-for-event identical).
     """
     name = scenario.lower()
     if name in {"insertion-only", "insert", "insertion_only"}:
-        return insertion_only_stream(edges)
+        return insertion_only_stream(edges, columnar=columnar)
     if name == "massive":
         eff_alpha = alpha if alpha is not None else min(1.0, 4.0 / max(len(edges), 1))
         eff_beta = beta if beta is not None else 0.8
         return massive_deletion_stream(
-            edges, eff_alpha, eff_beta, rng, deletion_window=deletion_window
+            edges, eff_alpha, eff_beta, rng,
+            deletion_window=deletion_window, columnar=columnar,
         )
     if name == "light":
         eff_beta = beta if beta is not None else 0.2
-        return light_deletion_stream(edges, eff_beta, rng)
+        return light_deletion_stream(edges, eff_beta, rng, columnar=columnar)
     raise ConfigurationError(
         f"unknown scenario {scenario!r}; choose insertion-only, massive, light"
     )

@@ -16,12 +16,20 @@ rules keep the parallel run *result-identical* to the serial one:
   crash-restart of a single shard. Because nothing depends on inherited
   parent memory, workers are safe under every multiprocessing start
   method, ``spawn`` included.
-* **Events travel as cheap tuples.** Stream events cross the process
-  boundary as ``(is_insertion, u, v)`` tuples of interned vertex labels
-  (plain ints for every built-in dataset) batched into chunks — far
-  cheaper to pickle than :class:`~repro.graph.stream.EdgeEvent`
-  dataclass instances, at no fidelity loss since both ends re-derive
-  the canonical event.
+* **Events travel columnar through shared memory.** Stream chunks
+  cross the process boundary as encoded
+  :class:`~repro.graph.stream.EventBlock` payloads written into a
+  per-worker ring of shared-memory slots — a memcpy per column, no
+  pickling, and the worker feeds the decoded block straight into the
+  sampler's columnar fast loop without ever materialising
+  :class:`~repro.graph.stream.EdgeEvent` objects. The bounded inbox
+  queue still carries the (tiny) ``("batch_shm", slot, nbytes)``
+  control messages, so backpressure and ordering are unchanged.
+  Streams whose vertex labels cannot ride an int64 block fall back,
+  chunk by chunk, to the legacy pickled-``(is_insertion, u, v)``-tuple
+  path (``transport="queue"`` forces it) — the event sequence the
+  replica sees is identical either way, so results do not depend on
+  the transport.
 * **The weight function is pickled up front.** Threshold samplers need
   their weight function re-supplied on restore; it is pickled in the
   parent *regardless of start method* so a configuration that would
@@ -29,11 +37,12 @@ rules keep the parallel run *result-identical* to the serial one:
   ``fork``.
 
 The wire protocol is a strict request/reply sequence per worker:
-``("batch", payload)`` messages carry event chunks and generate no
-reply (a bounded inbox provides backpressure); ``("sync", token)``,
-``("snapshot", token)`` and ``("stop", token)`` each produce exactly
-one tagged reply. A worker that raises reports ``("error", ...)`` with
-the formatted traceback and exits; the parent surfaces it as
+``("batch", payload)`` / ``("block", bytes)`` / ``("batch_shm", slot,
+nbytes)`` messages carry event chunks and generate no reply (a bounded
+inbox provides backpressure); ``("sync", token)``, ``("snapshot",
+token)`` and ``("stop", token)`` each produce exactly one tagged reply.
+A worker that raises reports ``("error", ...)`` with the formatted
+traceback and exits; the parent surfaces it as
 :class:`~repro.errors.WorkerCrashError` naming the shard.
 """
 
@@ -46,9 +55,16 @@ import time
 import traceback
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError, WorkerCrashError
-from repro.graph.stream import DELETE, INSERT, EdgeEvent
+from repro.graph.stream import DELETE, INSERT, EdgeEvent, EventBlock
 from repro.samplers.checkpoint import restore_sampler, sampler_state_dict
+
+try:  # pragma: no cover - import guard for exotic builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
 
 __all__ = ["ShardWorker", "encode_events", "decode_events"]
 
@@ -56,6 +72,38 @@ __all__ = ["ShardWorker", "encode_events", "decode_events"]
 #: empty outbox. Small enough that a crashed worker surfaces promptly,
 #: large enough that healthy waits stay cheap.
 _POLL_SECONDS = 0.2
+
+#: Seconds between liveness checks while waiting for a shared-memory
+#: slot to free up. Slots recycle at chunk-processing speed, so this
+#: wait is the shm transport's backpressure — poll fast.
+_SLOT_POLL_SECONDS = 0.0005
+
+
+def _attach_shm(name: str):
+    """Attach to an existing segment without resource-tracker tracking.
+
+    On POSIX every process that *opens* a segment registers it with a
+    resource tracker (until 3.13's ``track=False``): under ``spawn``
+    the worker's own tracker would unlink the parent's segment when the
+    worker exits, and under ``fork`` the shared tracker's books would
+    be unbalanced. The segment has exactly one owner — the parent, who
+    created it and deterministically unlinks it — so the worker must
+    attach untracked: via ``track=False`` where available, else by
+    suppressing the register call for the duration of the attach (the
+    worker is single-threaded at this point).
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
 
 
 # -- event wire format --------------------------------------------------------
@@ -81,22 +129,46 @@ def decode_events(payload: Iterable[tuple]) -> list[EdgeEvent]:
 # -- worker process entry point -----------------------------------------------
 
 
-def _worker_main(shard_index, state, weight_blob, inbox, outbox):
+def _worker_main(
+    shard_index, state, weight_blob, inbox, outbox, shm_spec=None
+):
     """Run one shard replica: restore, serve the message loop, report.
 
-    Top-level (not a closure) so it is importable — and therefore
-    picklable — under the ``spawn`` start method.
+    ``shm_spec`` is ``(segment name, num_slots, slot_bytes)`` when the
+    parent set up the shared-memory transport (the segment starts with
+    one slot-state byte per slot, then the slot payload area). Top-level
+    (not a closure) so it is importable — and therefore picklable —
+    under the ``spawn`` start method.
     """
+    shm = None
     try:
         weight_fn = (
             None if weight_blob is None else pickle.loads(weight_blob)
         )
         sampler = restore_sampler(state, weight_fn)
+        flags = None
+        num_slots = slot_bytes = 0
+        if shm_spec is not None:
+            name, num_slots, slot_bytes = shm_spec
+            shm = _attach_shm(name)
+            flags = np.frombuffer(shm.buf, dtype=np.uint8, count=num_slots)
         while True:
             message = inbox.get()
             tag = message[0]
-            if tag == "batch":
+            if tag == "batch_shm":
+                slot = message[1]
+                # Copy the block out of the slot, then free the slot
+                # *before* processing so the parent can refill it while
+                # the sampler works — that overlap is the pipeline.
+                block = EventBlock.from_buffer(
+                    shm.buf, num_slots + slot * slot_bytes
+                )
+                flags[slot] = 0
+                sampler.process_batch(block)
+            elif tag == "batch":
                 sampler.process_batch(decode_events(message[1]))
+            elif tag == "block":
+                sampler.process_batch(EventBlock.from_buffer(message[1]))
             elif tag == "sync":
                 outbox.put(
                     ("sync", message[1], sampler.time, sampler.estimate)
@@ -120,6 +192,13 @@ def _worker_main(shard_index, state, weight_blob, inbox, outbox):
                 f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
             )
         )
+    finally:
+        if shm is not None:
+            flags = None
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
 
 
 # -- parent-side handle -------------------------------------------------------
@@ -141,6 +220,13 @@ class ShardWorker:
         queue_depth: bound on the inbox queue — how many undelivered
             batch chunks the parent may run ahead of this worker before
             ingestion blocks (the pipelining backpressure).
+        transport: ``"shm"`` (shared-memory slot ring for
+            :class:`~repro.graph.stream.EventBlock` chunks),
+            ``"queue"`` (legacy pickled payloads), or ``"auto"``
+            (shared memory when available, per-chunk queue fallback for
+            non-int labels). Bit-identical results either way.
+        chunk_hint: the executor's chunk size — sizes the shared-memory
+            slots so one dispatched chunk always fits one slot.
     """
 
     def __init__(
@@ -150,10 +236,17 @@ class ShardWorker:
         weight_fn=None,
         mp_context=None,
         queue_depth: int = 8,
+        transport: str = "auto",
+        chunk_hint: int = 2048,
     ) -> None:
         if queue_depth < 1:
             raise ConfigurationError(
                 f"queue_depth must be >= 1, got {queue_depth}"
+            )
+        if transport not in ("auto", "shm", "queue"):
+            raise ConfigurationError(
+                f"transport must be 'auto', 'shm' or 'queue', got "
+                f"{transport!r}"
             )
         if mp_context is None or isinstance(mp_context, str):
             mp_context = multiprocessing.get_context(mp_context)
@@ -173,13 +266,55 @@ class ShardWorker:
         self._outbox = mp_context.Queue()
         self._token = 0
         self._failure: str | None = None
-        self.process = mp_context.Process(
-            target=_worker_main,
-            args=(shard_index, state, weight_blob, self._inbox, self._outbox),
-            name=f"repro-shard-{shard_index}",
-            daemon=True,
-        )
-        self.process.start()
+        # -- shared-memory slot ring ------------------------------------
+        # Layout: one state byte per slot (0 = free, 1 = in flight;
+        # written by exactly one side each, so no torn updates), then
+        # ``num_slots`` fixed-size payload slots. Slot count exceeds the
+        # queue depth so the parent never waits on a slot while the
+        # inbox still has room.
+        self._shm = None
+        self._slot_flags = None
+        self._num_slots = 0
+        self._slot_bytes = 0
+        self._next_slot = 0
+        shm_spec = None
+        if transport in ("auto", "shm") and _shared_memory is not None:
+            num_slots = queue_depth + 2
+            slot_bytes = EventBlock.byte_size(max(1, chunk_hint))
+            try:
+                self._shm = _shared_memory.SharedMemory(
+                    create=True, size=num_slots * (1 + slot_bytes)
+                )
+            except Exception:
+                if transport == "shm":
+                    raise
+                self._shm = None  # auto: fall back to the queue path
+            if self._shm is not None:
+                self._shm.buf[:num_slots] = bytes(num_slots)
+                self._slot_flags = np.frombuffer(
+                    self._shm.buf, dtype=np.uint8, count=num_slots
+                )
+                self._num_slots = num_slots
+                self._slot_bytes = slot_bytes
+                shm_spec = (self._shm.name, num_slots, slot_bytes)
+        elif transport == "shm" and _shared_memory is None:
+            raise ConfigurationError(
+                "transport='shm' requires multiprocessing.shared_memory"
+            )
+        try:
+            self.process = mp_context.Process(
+                target=_worker_main,
+                args=(
+                    shard_index, state, weight_blob,
+                    self._inbox, self._outbox, shm_spec,
+                ),
+                name=f"repro-shard-{shard_index}",
+                daemon=True,
+            )
+            self.process.start()
+        except BaseException:
+            self._release_shm()
+            raise
 
     # -- liveness ----------------------------------------------------------
 
@@ -203,6 +338,50 @@ class ShardWorker:
         """Enqueue one encoded event chunk (blocks on backpressure)."""
         self._put(("batch", payload))
 
+    def send_block(self, block: EventBlock) -> None:
+        """Ship one columnar event chunk (blocks on backpressure).
+
+        Rides the shared-memory slot ring when available; otherwise the
+        encoded block travels through the queue (still no per-event
+        pickling and no worker-side ``EdgeEvent`` construction). Blocks
+        larger than a slot are split — chunk boundaries never change
+        results.
+        """
+        if self._shm is None:
+            self._put(("block", block.to_bytes()))
+            return
+        nbytes = block.nbytes
+        if nbytes > self._slot_bytes:
+            header = EventBlock.byte_size(0)
+            per_slot = max(1, (self._slot_bytes - header) // 17)
+            for start in range(0, len(block), per_slot):
+                self.send_block(block[start:start + per_slot])
+            return
+        slot = self._next_slot
+        self._wait_slot_free(slot)
+        offset = self._num_slots + slot * self._slot_bytes
+        block.write_into(
+            memoryview(self._shm.buf)[offset:offset + nbytes]
+        )
+        self._slot_flags[slot] = 1
+        self._put(("batch_shm", slot, nbytes))
+        self._next_slot = (slot + 1) % self._num_slots
+
+    def _wait_slot_free(self, slot: int) -> None:
+        """Block until the worker has drained ``slot`` (liveness-checked)."""
+        if self._failure is not None:
+            raise self._crash()
+        flags = self._slot_flags
+        while flags[slot]:
+            try:
+                self._raise_if_failed(self._outbox.get_nowait())
+            except queue.Empty:
+                pass
+            if not self.process.is_alive():
+                self._raise_if_failed(self._drain_after_death())
+                raise self._crash() from None
+            time.sleep(_SLOT_POLL_SECONDS)
+
     def request(self, tag: str):
         """Send a ``tag`` request and block for its matching reply."""
         token = self._token = self._token + 1
@@ -218,8 +397,13 @@ class ShardWorker:
 
     def stop(self, timeout: float = 10.0) -> dict:
         """Stop the worker cleanly; return its final checkpoint state."""
-        reply = self.request("stop")
+        try:
+            reply = self.request("stop")
+        except WorkerCrashError:
+            self._release_shm()
+            raise
         self.process.join(timeout)
+        self._release_shm()
         return reply[2]
 
     def kill(self) -> None:
@@ -233,6 +417,32 @@ class ShardWorker:
         for q in (self._inbox, self._outbox):
             q.cancel_join_thread()
             q.close()
+        self._release_shm()
+
+    def _release_shm(self) -> None:
+        """Close and unlink the slot ring (idempotent; parent owns it)."""
+        shm, self._shm = self._shm, None
+        self._slot_flags = None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - defensive
+            return
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        # Drop the flags view before the segment so SharedMemory's own
+        # finaliser never sees exported buffers (a worker abandoned
+        # without stop()/kill() — e.g. after a crash test — still
+        # releases its slot ring).
+        try:
+            self._release_shm()
+        except Exception:
+            pass
 
     # -- queue plumbing ----------------------------------------------------
 

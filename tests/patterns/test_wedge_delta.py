@@ -1,0 +1,105 @@
+"""WedgeDeltaTracker: the O(1) aggregated wedge-delta state machine."""
+
+import pytest
+
+from repro.patterns.paths import WedgeDeltaTracker
+
+
+def brute_delta(edges, threshold, u, v):
+    """Reference: Σ over incident sampled edges of 1/min(1, w/τ)."""
+    total = 0.0
+    for (a, b), w in edges.items():
+        for centre in (u, v):
+            if centre in (a, b):
+                p = 1.0 if threshold <= 0.0 else min(1.0, w / threshold)
+                total += 1.0 / p
+    return total
+
+
+class TestTracker:
+    def test_zero_threshold_counts_degrees(self):
+        t = WedgeDeltaTracker()
+        t.add((1, 2), 5.0)
+        t.add((1, 3), 0.25)
+        assert t.delta(1, 9) == 2.0
+        assert t.delta(2, 3) == 2.0
+        assert t.delta(7, 9) == 0.0
+
+    def test_heavy_light_split(self):
+        t = WedgeDeltaTracker()
+        t.add((1, 2), 8.0)
+        t.add((1, 3), 2.0)
+        t.raise_threshold(4.0)  # edge (1,3) migrates to light
+        # delta(1, x) = 1 (heavy) + 4 * (1/2) = 3
+        assert t.delta(1, 9) == pytest.approx(3.0)
+        # weight == threshold stays heavy (p = 1 exactly)
+        t.add((4, 5), 4.0)
+        assert t.delta(4, 9) == 1.0
+
+    def test_matches_brute_force_through_random_history(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        t = WedgeDeltaTracker()
+        live = {}
+        threshold = 0.0
+        for step in range(4000):
+            action = rng.random()
+            if action < 0.5 or not live:
+                u = int(rng.integers(30))
+                v = int(rng.integers(30))
+                if u == v:
+                    continue
+                edge = (min(u, v), max(u, v))
+                if edge in live:
+                    continue
+                w = float(rng.uniform(0.1, 20.0))
+                live[edge] = w
+                t.add(edge, w)
+            elif action < 0.8:
+                edge = list(live)[int(rng.integers(len(live)))]
+                del live[edge]
+                t.remove(edge)
+            else:
+                threshold += float(rng.uniform(0.0, 0.5))
+                t.raise_threshold(threshold)
+            if step % 500 == 0:
+                a, b = int(rng.integers(30)), int(rng.integers(30))
+                expected = brute_delta(live, threshold, a, b) if a != b \
+                    else None
+                if expected is not None:
+                    assert t.delta(a, b) == pytest.approx(
+                        expected, rel=1e-9, abs=1e-9
+                    )
+
+    def test_removal_then_readd_with_same_weight(self):
+        # Stale heap entries must not double-migrate a re-added edge.
+        t = WedgeDeltaTracker()
+        t.add((1, 2), 5.0)
+        t.remove((1, 2))
+        t.add((1, 2), 5.0)
+        t.raise_threshold(6.0)
+        assert t.delta(1, 9) == pytest.approx(6.0 / 5.0)
+        assert t.heavy_count == {}
+
+    def test_threshold_decrease_rebuilds(self):
+        t = WedgeDeltaTracker()
+        t.add((1, 2), 2.0)
+        t.raise_threshold(10.0)
+        assert t.delta(1, 9) == pytest.approx(5.0)
+        t.set_threshold(1.0)  # decrease: everything reclassifies heavy
+        assert t.delta(1, 9) == 1.0
+
+    def test_len_tracks_live_edges(self):
+        t = WedgeDeltaTracker()
+        t.add((1, 2), 1.0)
+        t.add((2, 3), 1.0)
+        t.remove((1, 2))
+        assert len(t) == 1
+
+    def test_compaction_bounds_stale_heap_entries(self):
+        t = WedgeDeltaTracker()
+        for i in range(500):
+            t.add((i, i + 1000), 5.0)
+            t.remove((i, i + 1000))
+        assert len(t._heavy_heap) <= 2 * len(t._entries) + 64

@@ -1,0 +1,275 @@
+"""Columnar ingestion parity and the vectorised wedge estimator.
+
+Two contracts introduced by the columnar event pipeline:
+
+1. feeding an :class:`EventBlock` through ``process_batch`` /
+   ``process_stream`` is bit-identical to feeding the equivalent
+   :class:`EdgeEvent` sequence — for every sampler, every pattern, and
+   regardless of chunk boundaries;
+2. the aggregated wedge-delta estimator (threshold kernels + WRS)
+   leaves the sampling trajectory untouched and agrees with the scalar
+   per-neighbour path up to float associativity, while per-event and
+   batched ingestion stay bit-identical to each other on either path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.stream import EdgeEvent, EventBlock
+from repro.samplers import kernel
+from repro.samplers.gps import GPS
+from repro.samplers.gps_a import GPSA
+from repro.samplers.thinkd import ThinkD
+from repro.samplers.thinkd_fast import ThinkDFast
+from repro.samplers.triest import Triest
+from repro.samplers.wrs import WRS
+from repro.samplers.wsd import WSD
+from repro.streams.scenarios import (
+    build_stream,
+    light_deletion_stream,
+    massive_deletion_stream,
+)
+from repro.weights.heuristic import GPSHeuristicWeight, UniformWeight
+
+
+def dynamic_stream(num_events=600, num_vertices=40, deletion_fraction=0.3,
+                   seed=0):
+    rng = np.random.default_rng(seed)
+    alive = []
+    events = []
+    while len(events) < num_events:
+        if alive and rng.random() < deletion_fraction:
+            i = int(rng.integers(len(alive)))
+            events.append(EdgeEvent.deletion(*alive.pop(i)))
+        else:
+            u = int(rng.integers(num_vertices))
+            v = int(rng.integers(num_vertices))
+            if u == v:
+                continue
+            edge = (u, v) if u < v else (v, u)
+            if edge in alive:
+                continue
+            alive.append(edge)
+            events.append(EdgeEvent.insertion(*edge))
+    return events
+
+
+#: The 8 samplers of the fixed-seed matrix (× 3 patterns × two
+#: ingestion modes = the 48 tracked cells).
+SAMPLER_FACTORIES = [
+    ("wsd-h", lambda p: WSD(p, 60, GPSHeuristicWeight(), rng=42), True),
+    ("wsd-u", lambda p: WSD(p, 60, UniformWeight(), rng=42), True),
+    ("gps", lambda p: GPS(p, 60, GPSHeuristicWeight(), rng=42), False),
+    ("gps-a", lambda p: GPSA(p, 60, GPSHeuristicWeight(), rng=42), True),
+    ("thinkd", lambda p: ThinkD(p, 60, rng=42), True),
+    ("triest", lambda p: Triest(p, 60, rng=42), True),
+    ("wrs", lambda p: WRS(p, 60, rng=42), True),
+    ("thinkd-fast", lambda p: ThinkDFast(p, 0.4, rng=42), True),
+]
+
+
+def state_of(sampler):
+    return (
+        sampler.estimate,
+        sampler.time,
+        sampler.sample_size,
+        sorted(map(repr, sampler.sampled_edges())),
+    )
+
+
+class TestColumnarParity:
+    @pytest.mark.parametrize("pattern", ["wedge", "triangle", "4-clique"])
+    @pytest.mark.parametrize(
+        "name,factory,dynamic", SAMPLER_FACTORIES,
+        ids=[row[0] for row in SAMPLER_FACTORIES],
+    )
+    def test_block_matches_events_and_per_event(
+        self, name, factory, dynamic, pattern
+    ):
+        events = dynamic_stream(
+            600, deletion_fraction=0.3 if dynamic else 0.0, seed=11
+        )
+        block = EventBlock.from_events(events)
+        per_event = factory(pattern)
+        batched = factory(pattern)
+        columnar = factory(pattern)
+        for event in events:
+            per_event.process(event)
+        batched.process_batch(events)
+        columnar.process_batch(block)
+        assert state_of(per_event) == state_of(batched) == state_of(columnar)
+
+    def test_block_chunk_boundaries_do_not_matter(self):
+        events = dynamic_stream(500, seed=13)
+        block = EventBlock.from_events(events)
+        whole = WSD("triangle", 40, GPSHeuristicWeight(), rng=9)
+        chunked = WSD("triangle", 40, GPSHeuristicWeight(), rng=9)
+        whole.process_batch(block)
+        for start in range(0, len(block), 37):
+            chunked.process_batch(block[start:start + 37])
+        assert state_of(whole) == state_of(chunked)
+
+    def test_mixed_block_and_event_ingestion(self):
+        events = dynamic_stream(300, seed=14)
+        block = EventBlock.from_events(events)
+        reference = WSD("triangle", 30, GPSHeuristicWeight(), rng=2)
+        mixed = WSD("triangle", 30, GPSHeuristicWeight(), rng=2)
+        reference.process_batch(events)
+        mixed.process_batch(block[:100])
+        mixed.process_batch(events[100:200])
+        mixed.process_batch(block[200:])
+        assert state_of(reference) == state_of(mixed)
+
+    def test_process_stream_accepts_block(self):
+        events = dynamic_stream(300, seed=19)
+        sampler = WSD("triangle", 30, GPSHeuristicWeight(), rng=1)
+        other = WSD("triangle", 30, GPSHeuristicWeight(), rng=1)
+        sampler.process_stream(EventBlock.from_events(events))
+        other.process_stream(events)
+        assert sampler.estimate == other.estimate
+
+    def test_generic_driver_accepts_block(self):
+        # Observers force the per-event fallback driver; it must accept
+        # blocks too and emit identical contributions.
+        events = dynamic_stream(300, seed=16)
+        direct, columnar = [], []
+        one = WSD("triangle", 40, GPSHeuristicWeight(), rng=8)
+        two = WSD("triangle", 40, GPSHeuristicWeight(), rng=8)
+        one.instance_observers.append(
+            lambda trigger, inst, value: direct.append((trigger, value))
+        )
+        two.instance_observers.append(
+            lambda trigger, inst, value: columnar.append((trigger, value))
+        )
+        one.process_batch(events)
+        two.process_batch(EventBlock.from_events(events))
+        assert direct == columnar
+        assert one.estimate == two.estimate
+
+
+class TestColumnarScenarios:
+    def test_massive_deletion_columnar_identical(self):
+        edges = [(i, i + 1) for i in range(300)]
+        stream = massive_deletion_stream(edges, alpha=0.05, rng=7)
+        block = massive_deletion_stream(edges, alpha=0.05, rng=7,
+                                        columnar=True)
+        assert isinstance(block, EventBlock)
+        assert block.to_stream() == stream
+
+    def test_light_deletion_columnar_identical(self):
+        edges = [(i, i + 1) for i in range(300)]
+        stream = light_deletion_stream(edges, beta_l=0.3, rng=5)
+        block = light_deletion_stream(edges, beta_l=0.3, rng=5,
+                                      columnar=True)
+        assert block.to_stream() == stream
+
+    @pytest.mark.parametrize("scenario", ["insertion-only", "massive",
+                                          "light"])
+    def test_build_stream_columnar(self, scenario):
+        edges = [(i, (i * 7 + 1) % 211) for i in range(200)
+                 if i != (i * 7 + 1) % 211]
+        stream = build_stream(edges, scenario, rng=3)
+        block = build_stream(edges, scenario, rng=3, columnar=True)
+        assert block.to_stream() == stream
+
+
+class TestWedgeVectorization:
+    def _toggle(self, enabled):
+        return kernel.set_wedge_vectorization(enabled)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: WSD("wedge", 60, GPSHeuristicWeight(), rng=42),
+            lambda: GPSA("wedge", 60, GPSHeuristicWeight(), rng=42),
+            lambda: WRS("wedge", 60, rng=42),
+        ],
+        ids=["wsd", "gps-a", "wrs"],
+    )
+    def test_scalar_and_vector_paths_agree(self, factory):
+        events = dynamic_stream(800, seed=21)
+        previous = self._toggle(False)
+        try:
+            scalar = factory()
+        finally:
+            self._toggle(previous)
+        vector = factory()
+        scalar.process_batch(events)
+        vector.process_batch(events)
+        # The sampling trajectory is identical (the estimate never
+        # feeds back into sampling decisions)...
+        assert sorted(scalar.sampled_edges()) == sorted(
+            vector.sampled_edges()
+        )
+        assert scalar.time == vector.time
+        # ...and the estimates agree up to float associativity.
+        assert vector.estimate == pytest.approx(
+            scalar.estimate, rel=1e-9
+        )
+
+    def test_tracker_only_for_wedge_and_inverse_uniform(self):
+        assert WSD(
+            "triangle", 30, UniformWeight(), rng=0
+        )._wedge_tracker is None
+        assert WSD(
+            "wedge", 30, UniformWeight(), rng=0
+        )._wedge_tracker is not None
+        assert WSD(
+            "wedge", 30, UniformWeight(), rank_fn="exponential", rng=0
+        )._wedge_tracker is None
+
+    def test_toggle_read_at_construction(self):
+        previous = self._toggle(False)
+        try:
+            sampler = WSD("wedge", 30, UniformWeight(), rng=0)
+        finally:
+            self._toggle(previous)
+        assert sampler._wedge_tracker is None
+        assert WSD("wedge", 30, UniformWeight(), rng=0)._wedge_tracker \
+            is not None
+
+    def test_wedge_estimate_consistency_with_observers(self):
+        # Observers force the per-instance path; the aggregate path
+        # must agree with what the observers saw.
+        events = dynamic_stream(500, seed=23)
+        plain = WSD("wedge", 50, GPSHeuristicWeight(), rng=5)
+        observed = WSD("wedge", 50, GPSHeuristicWeight(), rng=5)
+        contributions = []
+        observed.instance_observers.append(
+            lambda trigger, inst, value: contributions.append(value)
+        )
+        plain.process_batch(events)
+        observed.process_batch(events)
+        assert contributions
+        assert plain.estimate == pytest.approx(observed.estimate, rel=1e-9)
+
+    def test_wrs_wedge_checkpoint_restores_aggregates(self):
+        from repro.samplers.checkpoint import restore_sampler, \
+            sampler_state_dict
+
+        events = dynamic_stream(600, seed=31)
+        sampler = WRS("wedge", 50, rng=3)
+        sampler.process_batch(events[:300])
+        resumed = restore_sampler(sampler_state_dict(sampler))
+        assert resumed._wr_degrees == sampler._wr_degrees
+        sampler.process_batch(events[300:])
+        resumed.process_batch(events[300:])
+        assert resumed.estimate == sampler.estimate
+
+    def test_wsd_wedge_checkpoint_restores_tracker(self):
+        from repro.samplers.checkpoint import restore_sampler, \
+            sampler_state_dict
+
+        events = dynamic_stream(600, seed=33)
+        sampler = WSD("wedge", 50, GPSHeuristicWeight(), rng=3)
+        sampler.process_batch(events[:300])
+        resumed = restore_sampler(
+            sampler_state_dict(sampler), GPSHeuristicWeight()
+        )
+        assert resumed._wedge_tracker.threshold == \
+            sampler._wedge_tracker.threshold
+        assert resumed._wedge_tracker.heavy_count == \
+            sampler._wedge_tracker.heavy_count
+        sampler.process_batch(events[300:])
+        resumed.process_batch(events[300:])
+        assert resumed.estimate == sampler.estimate

@@ -1,0 +1,195 @@
+"""Shared-memory worker transport: zero-pickle event chunks.
+
+The process backend's chunks travel as encoded ``EventBlock`` payloads
+through a per-worker shared-memory slot ring. The contracts:
+
+* bit-identical results across transports (``shm`` vs the legacy
+  ``queue``) and across input representations (event lists vs blocks);
+* chunk/slot boundaries never change results (a block larger than a
+  slot is split transparently);
+* the crash-restart path (checkpoint snapshot → kill → respawn) works
+  unchanged over the shm transport;
+* streams whose labels cannot ride an int64 block fall back to the
+  queue path per chunk, transparently.
+"""
+
+import pytest
+
+from repro.graph.generators import powerlaw_cluster
+from repro.graph.stream import EdgeEvent, EventBlock
+from repro.samplers import WSD, ThinkD
+from repro.streams import ShardedStreamExecutor, build_stream
+from repro.streams.workers import ShardWorker
+from repro.samplers.checkpoint import sampler_state_dict
+from repro.utils.rng import spawn_generators
+from repro.weights.heuristic import GPSHeuristicWeight
+
+
+@pytest.fixture(scope="module")
+def stream():
+    edges = powerlaw_cluster(150, m=4, triangle_probability=0.6, rng=0)
+    return list(build_stream(edges, "light", rng=3))
+
+
+@pytest.fixture(scope="module")
+def block(stream):
+    return EventBlock.from_events(stream)
+
+
+def build_executor(backend, transport="auto", seed=17, shards=2, **kwargs):
+    rngs = spawn_generators(seed, shards)
+    return ShardedStreamExecutor(
+        lambda i: WSD("triangle", 60, GPSHeuristicWeight(), rng=rngs[i]),
+        shards,
+        mode="partition",
+        executor_backend=backend,
+        transport=transport,
+        **kwargs,
+    )
+
+
+class TestTransportParity:
+    def test_shm_matches_serial_and_queue(self, stream, block):
+        serial = build_executor("serial")
+        serial.process_stream(block)
+        estimates = {"serial": serial.estimate}
+        for transport in ("shm", "queue"):
+            for payload in (stream, block):
+                with build_executor(
+                    "process", transport, chunk_size=64
+                ) as executor:
+                    executor.process_stream(payload)
+                    estimates[f"{transport}/{type(payload).__name__}"] = (
+                        executor.estimate
+                    )
+        assert len(set(estimates.values())) == 1, estimates
+
+    def test_slot_boundaries_do_not_change_results(self, block):
+        reference = None
+        # chunk_size 16 with the default slot sizing, and a whole-block
+        # dispatch that must be split across slots internally.
+        for chunk_size in (16, 4096):
+            with build_executor(
+                "process", "shm", chunk_size=chunk_size
+            ) as executor:
+                executor.process_stream(block)
+                estimate = executor.estimate
+            if reference is None:
+                reference = estimate
+            assert estimate == reference
+
+    def test_oversize_block_is_split_across_slots(self, stream, block):
+        # A worker whose slots hold only 8 events must transparently
+        # slice a whole-stream block — same result as per-event local
+        # processing.
+        reference = WSD("triangle", 60, GPSHeuristicWeight(), rng=3)
+        worker = ShardWorker(
+            0, sampler_state_dict(reference), GPSHeuristicWeight(),
+            transport="shm", chunk_hint=8,
+        )
+        try:
+            local = WSD("triangle", 60, GPSHeuristicWeight(), rng=3)
+            local.process_batch(stream)
+            worker.send_block(block)  # hundreds of events, 8 per slot
+            _, _, shard_time, shard_estimate = worker.request("sync")
+            assert shard_time == local.time
+            assert shard_estimate == local.estimate
+        finally:
+            worker.kill()
+
+    def test_mixed_label_stream_falls_back_per_chunk(self):
+        events = [EdgeEvent.insertion("a", "b"), EdgeEvent.insertion("b", "c"),
+                  EdgeEvent.insertion("a", "c"), EdgeEvent.deletion("a", "b")]
+        rngs = spawn_generators(5, 2)
+
+        def factory(i):
+            return ThinkD("triangle", 30, rng=rngs[i])
+
+        serial = ShardedStreamExecutor(factory, 2, mode="partition")
+        serial.process_stream(events)
+        rngs = spawn_generators(5, 2)
+        with ShardedStreamExecutor(
+            factory, 2, mode="partition",
+            executor_backend="process", transport="auto",
+        ) as proc:
+            proc.process_stream(events)
+            assert proc.estimate == serial.estimate
+
+    def test_forced_queue_never_allocates_shm(self, stream):
+        with build_executor("process", "queue", chunk_size=64) as executor:
+            executor.process_stream(stream)
+            for worker in executor._workers:
+                assert worker._shm is None
+
+    def test_shm_transport_allocates_ring(self, stream):
+        with build_executor("process", "shm", chunk_size=64) as executor:
+            executor.process_stream(stream)
+            for worker in executor._workers:
+                assert worker._shm is not None
+                assert worker._num_slots > 0
+
+
+class TestCrashRestartOverShm:
+    def test_snapshot_kill_restart_is_bit_identical(self, stream, block):
+        serial = build_executor("serial")
+        serial.process_stream(block)
+        with build_executor(
+            "process", "shm", chunk_size=64
+        ) as executor:
+            executor.process_batch(block[:len(block) // 2])
+            executor.snapshot()
+            # Kill one worker mid-run and restart it from the snapshot.
+            executor._workers[0].process.kill()
+            executor._workers[0].process.join(5.0)
+            executor.restart_shard(0)
+            executor.process_batch(block[len(block) // 2:])
+            assert executor.estimate == serial.estimate
+
+    def test_close_harvests_over_shm(self, stream):
+        executor = build_executor("process", "shm", chunk_size=64)
+        executor.process_stream(stream)
+        expected = executor.estimate
+        executor.close()
+        # Post-close queries answer serially from harvested state, and
+        # every slot ring has been released.
+        assert executor.estimate == expected
+        assert all(w._shm is None for w in (executor._workers or []) or [])
+
+
+class TestWorkerShmUnit:
+    def test_send_block_round_trip(self, stream):
+        reference = WSD("triangle", 60, GPSHeuristicWeight(), rng=3)
+        worker = ShardWorker(
+            0, sampler_state_dict(reference), GPSHeuristicWeight(),
+            transport="shm", chunk_hint=32,
+        )
+        try:
+            local = WSD("triangle", 60, GPSHeuristicWeight(), rng=3)
+            local.process_batch(stream)
+            block = EventBlock.from_events(stream)
+            for start in range(0, len(block), 32):
+                worker.send_block(block[start:start + 32])
+            _, _, shard_time, shard_estimate = worker.request("sync")
+            assert shard_time == local.time
+            assert shard_estimate == local.estimate
+        finally:
+            worker.kill()
+
+    def test_slot_ring_released_on_kill(self):
+        reference = WSD("triangle", 20, GPSHeuristicWeight(), rng=1)
+        worker = ShardWorker(
+            0, sampler_state_dict(reference), GPSHeuristicWeight(),
+            transport="shm",
+        )
+        name = worker._shm.name
+        worker.kill()
+        assert worker._shm is None
+        from multiprocessing import shared_memory
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_bad_transport_rejected(self):
+        reference = WSD("triangle", 20, GPSHeuristicWeight(), rng=1)
+        state = sampler_state_dict(reference)
+        with pytest.raises(Exception):
+            ShardWorker(0, state, GPSHeuristicWeight(), transport="carrier")
