@@ -42,35 +42,58 @@ PATTERNS = ("wedge", "triangle", "4-clique")
 SAMPLERS = ("wsd", "gps", "gps-a", "wrs", "thinkd")
 
 #: Named implementation variants for interleaved A/B comparisons
-#: (``run_ab_matrix``): ``feed`` picks the batch representation handed
-#: to ``process_batch`` and ``wedge_vector`` toggles the aggregated
-#: wedge-delta estimator at sampler construction. ``old`` reproduces
-#: the pre-columnar pipeline (tuple events, per-neighbour wedge loop);
-#: ``new`` is the current default path. ``events``/``block`` isolate
-#: the representation change alone.
+#: (``run_ab_matrix`` / ``run_ab_dense``): ``feed`` picks the batch
+#: representation handed to ``process_batch``, ``wedge_vector`` toggles
+#: the aggregated wedge-delta estimator, and ``arena`` toggles the
+#: sampled-graph arena (sorted slabs + payload lanes behind the
+#: vectorised triangle delta) — both construction-time switches.
+#: ``old`` reproduces the pre-columnar, pre-arena pipeline; ``new`` is
+#: the current default path. ``events``/``block`` isolate the
+#: representation change alone.
 VARIANTS: dict[str, dict] = {
-    "old": {"feed": "events", "wedge_vector": False},
-    "new": {"feed": "block", "wedge_vector": True},
-    "events": {"feed": "events", "wedge_vector": True},
-    "block": {"feed": "block", "wedge_vector": True},
+    "old": {"feed": "events", "wedge_vector": False, "arena": False},
+    "new": {"feed": "block", "wedge_vector": True, "arena": True},
+    "events": {"feed": "events", "wedge_vector": True, "arena": True},
+    "block": {"feed": "block", "wedge_vector": True, "arena": True},
+}
+
+#: Steady-state dense-regime config for the triangle-delta A/B
+#: (``run_ab_dense``): the graph is pre-filled to reservoir capacity
+#: (untimed), then throughput is measured over a churn phase whose
+#: density stays constant — the regime where the per-event cost is the
+#: γ(M) common-neighbour work of Theorems 3/5 rather than reservoir
+#: bookkeeping. The default 30k-event matrix (~7 mean degree) cannot
+#: exercise that cost at all: ~87% of its events have zero common
+#: neighbours, so it measures everything *except* the triangle delta.
+DENSE_AB_CONFIG = {
+    "num_vertices": 600,
+    "budget": 100_000,
+    "num_fill": 120_000,
+    "num_events": 40_000,
+    "seed": 2023,
+    "samplers": ("wsd", "gps", "gps-a", "wrs"),
+}
+
+#: Seconds-scale variant for CI (one cell, smaller graph).
+DENSE_AB_QUICK_CONFIG = {
+    "num_vertices": 400,
+    "budget": 40_000,
+    "num_fill": 55_000,
+    "num_events": 20_000,
+    "seed": 2023,
+    "samplers": ("wsd",),
 }
 
 
-def synthetic_stream(
+def _extend_stream(
+    rng,
+    alive: list,
+    alive_pos: dict,
+    num_vertices: int,
     num_events: int,
-    num_vertices: int = 400,
-    deletion_fraction: float = 0.2,
-    seed: int = 0,
+    deletion_fraction: float,
 ) -> list[EdgeEvent]:
-    """Deterministic fully dynamic stream (insertions + valid deletions).
-
-    Deletions always target a currently-alive edge so every sampler's
-    feasibility invariants hold. The event list is materialised up
-    front; construction cost is excluded from timing.
-    """
-    rng = np.random.default_rng(seed)
-    alive: list[tuple[int, int]] = []
-    alive_pos: dict[tuple[int, int], int] = {}
+    """Append ``num_events`` valid events, mutating the alive state."""
     events: list[EdgeEvent] = []
     while len(events) < num_events:
         if alive and rng.random() < deletion_fraction:
@@ -94,6 +117,66 @@ def synthetic_stream(
             alive.append(edge)
             events.append(EdgeEvent(INSERT, edge))
     return events
+
+
+def synthetic_stream(
+    num_events: int,
+    num_vertices: int = 400,
+    deletion_fraction: float = 0.2,
+    seed: int = 0,
+) -> list[EdgeEvent]:
+    """Deterministic fully dynamic stream (insertions + valid deletions).
+
+    Deletions always target a currently-alive edge so every sampler's
+    feasibility invariants hold. The event list is materialised up
+    front; construction cost is excluded from timing.
+    """
+    return _extend_stream(
+        np.random.default_rng(seed), [], {}, num_vertices, num_events,
+        deletion_fraction,
+    )
+
+
+def steady_state_stream(
+    num_fill: int,
+    num_events: int,
+    num_vertices: int,
+    seed: int = 0,
+    churn_deletion_fraction: float = 0.5,
+) -> tuple[list[EdgeEvent], list[EdgeEvent]]:
+    """A warm-up fill phase plus a constant-density churn phase.
+
+    The fill phase is pure insertions (fed untimed, so the measured
+    window starts with the sampled graph at its working density); the
+    churn phase balances insertions and deletions
+    (``churn_deletion_fraction`` = 0.5) so density — and therefore the
+    per-event common-neighbour cost — stays stationary. A
+    ``churn_deletion_fraction`` of 0.0 yields the insertion-only
+    continuation GPS needs.
+    """
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    # _extend_stream rejection-samples unused pairs: a request that
+    # needs more distinct alive edges than the complete graph holds
+    # would spin forever instead of erroring, so bound it here (with
+    # headroom — rejection sampling near the ceiling is quadratic).
+    worst_alive = num_fill + num_events  # all insertions, none deleted
+    if worst_alive > 0.95 * max_edges:
+        raise ValueError(
+            f"{worst_alive} potential insertions cannot fit "
+            f"{num_vertices} vertices ({max_edges} possible edges); "
+            "raise num_vertices or lower the event counts"
+        )
+    rng = np.random.default_rng(seed)
+    alive: list = []
+    alive_pos: dict = {}
+    fill = _extend_stream(
+        rng, alive, alive_pos, num_vertices, num_fill, 0.0
+    )
+    churn = _extend_stream(
+        rng, alive, alive_pos, num_vertices, num_events,
+        churn_deletion_fraction,
+    )
+    return fill, churn
 
 
 def make_sampler(name: str, pattern: str, budget: int, seed: int):
@@ -155,6 +238,37 @@ def run_case(
     }
 
 
+def _make_variant_sampler(
+    variant: str, sampler_name: str, pattern: str, budget: int, seed: int
+):
+    """Construct a sampler under a variant's construction-time toggles."""
+    spec = VARIANTS[variant]
+    prev_wedge = _kernel.set_wedge_vectorization(spec["wedge_vector"])
+    prev_arena = _kernel.set_arena_acceleration(spec["arena"])
+    try:
+        return make_sampler(sampler_name, pattern, budget, seed)
+    finally:
+        _kernel.set_wedge_vectorization(prev_wedge)
+        _kernel.set_arena_acceleration(prev_arena)
+
+
+def _estimate_flags(estimates: dict) -> dict:
+    """Exact / tolerance comparison of two variants' estimates.
+
+    The variants reorganise estimator float arithmetic (aggregated
+    wedge delta, arena triangle delta), so bit-equality is not expected
+    — agreement within 1e-6 relative is the behaviour contract, and a
+    violation means a real divergence, not noise.
+    """
+    a, b = estimates.values()
+    exact = a == b
+    return {
+        "estimate_exact": exact,
+        "estimate_match": exact
+        or abs(a - b) <= 1e-6 * max(abs(a), abs(b)),
+    }
+
+
 def run_ab_matrix(
     variant_a: str,
     variant_b: str,
@@ -192,14 +306,12 @@ def run_ab_matrix(
     feed(make_sampler("wsd", "triangle", budget, seed), dynamic[:5000])
 
     def run_one(variant: str, sampler_name: str, pattern: str, stream):
-        spec = VARIANTS[variant]
-        previous = _kernel.set_wedge_vectorization(spec["wedge_vector"])
-        try:
-            sampler = make_sampler(sampler_name, pattern, budget, seed)
-        finally:
-            _kernel.set_wedge_vectorization(previous)
+        sampler = _make_variant_sampler(
+            variant, sampler_name, pattern, budget, seed
+        )
         payload = (
-            blocks[id(stream)] if spec["feed"] == "block" else stream
+            blocks[id(stream)]
+            if VARIANTS[variant]["feed"] == "block" else stream
         )
         start = time.perf_counter()
         sampler.process_batch(payload)
@@ -232,6 +344,7 @@ def run_ab_matrix(
             cell["speedup"] = round(
                 best[variant_a] / best[variant_b], 3
             )
+            cell.update(_estimate_flags(estimates))
             results[key] = cell
             print(
                 f"{key:>20s}: {variant_a} "
@@ -251,6 +364,123 @@ def run_ab_matrix(
             "deletion_fraction": deletion_fraction,
             "seed": seed,
             "repeats": repeats,
+        },
+        "results": results,
+    }
+
+
+def run_ab_dense(
+    variant_a: str,
+    variant_b: str,
+    num_fill: int,
+    num_events: int,
+    budget: int,
+    num_vertices: int,
+    seed: int,
+    repeats: int,
+    samplers=("wsd", "gps", "gps-a", "wrs"),
+) -> dict:
+    """Interleaved A/B of the *steady-state dense* triangle cells.
+
+    Measures the triangle hot path where it actually dominates: the
+    sampled graph is pre-filled past reservoir capacity (untimed, so
+    the thresholds are live), then throughput is timed over a
+    constant-density churn phase. Mean degree sits in the hundreds, so
+    the per-event cost is the γ(M) common-neighbour work — the cost
+    the arena's sorted-slab intersection vectorises. The default
+    samplers are exactly those whose scalar triangle delta is a
+    per-element Python loop (WSD / GPS / GPS-A weight-product, WRS
+    membership classification); ThinkD and Triest count via one
+    C-level set intersection and are excluded for the same reason
+    thinkd/wedge sat out the PR-4 wedge A/B — there is no Python loop
+    to remove, and their numbers would only measure arena maintenance.
+    4-clique cells are likewise absent: their cost is output-sensitive
+    enumeration (the arena only accelerates the u-v intersection
+    preamble), covered by the standard matrix instead.
+    """
+    for name in (variant_a, variant_b):
+        if name not in VARIANTS:
+            raise ValueError(
+                f"unknown variant {name!r}; known: {sorted(VARIANTS)}"
+            )
+    fill, churn = steady_state_stream(
+        num_fill, num_events, num_vertices, seed,
+        churn_deletion_fraction=0.5,
+    )
+    streams_needed = [fill, churn]
+    if "gps" in samplers:
+        # The insertion-only continuation (GPS cannot see deletions) is
+        # the costlier stream to generate — near the complete-graph
+        # ceiling rejection sampling dominates — so build it only when
+        # a GPS cell will actually consume it.
+        fill_ins, churn_ins = steady_state_stream(
+            num_fill, num_events, num_vertices, seed,
+            churn_deletion_fraction=0.0,
+        )
+        streams_needed += [fill_ins, churn_ins]
+    payloads = {}
+    for stream in streams_needed:
+        payloads[id(stream)] = {
+            "events": stream,
+            "block": EventBlock.from_events(stream),
+        }
+
+    def run_one(variant: str, sampler_name: str, streams):
+        sampler = _make_variant_sampler(
+            variant, sampler_name, "triangle", budget, seed
+        )
+        feed_kind = VARIANTS[variant]["feed"]
+        warm, timed = streams
+        sampler.process_batch(payloads[id(warm)][feed_kind])
+        start = time.perf_counter()
+        sampler.process_batch(payloads[id(timed)][feed_kind])
+        return time.perf_counter() - start, sampler.estimate
+
+    results: dict[str, dict] = {}
+    for sampler_name in samplers:
+        streams = (
+            (fill_ins, churn_ins) if sampler_name == "gps"
+            else (fill, churn)
+        )
+        key = f"{sampler_name}/triangle"
+        best = {variant_a: float("inf"), variant_b: float("inf")}
+        estimates: dict[str, float] = {}
+        for _ in range(max(1, repeats)):
+            for variant in (variant_a, variant_b):
+                elapsed, estimate = run_one(variant, sampler_name, streams)
+                best[variant] = min(best[variant], elapsed)
+                estimates[variant] = estimate
+        cell = {
+            variant: {
+                "events_per_sec": num_events / best[variant],
+                "seconds": best[variant],
+                "estimate": estimates[variant],
+            }
+            for variant in (variant_a, variant_b)
+        }
+        cell["speedup"] = round(best[variant_a] / best[variant_b], 3)
+        cell.update(_estimate_flags(estimates))
+        results[key] = cell
+        print(
+            f"{key:>20s} [dense]: {variant_a} "
+            f"{cell[variant_a]['events_per_sec']:>10,.0f} ev/s  "
+            f"{variant_b} "
+            f"{cell[variant_b]['events_per_sec']:>10,.0f} ev/s  "
+            f"({variant_b}/{variant_a} = {cell['speedup']:.3f}x)",
+            file=sys.stderr,
+        )
+    return {
+        "schema": "bench_ab_dense/v1",
+        "variants": [variant_a, variant_b],
+        "config": {
+            "num_fill": num_fill,
+            "num_events": num_events,
+            "budget": budget,
+            "num_vertices": num_vertices,
+            "churn_deletion_fraction": 0.5,
+            "seed": seed,
+            "repeats": repeats,
+            "samplers": list(samplers),
         },
         "results": results,
     }

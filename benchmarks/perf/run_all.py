@@ -36,7 +36,16 @@ the shared-memory transport).
 ``--ab OLD,NEW`` runs the whole matrix as an interleaved A/B of two
 implementation variants in one process (see
 ``microbench.VARIANTS``) — the drift-robust way to compare a code
-change on this host, recorded under the report's ``ab`` key.
+change on this host, recorded under the report's ``ab`` key — plus the
+*steady-state dense* triangle cells (``microbench.run_ab_dense``,
+recorded under ``ab_dense``): graph pre-filled past reservoir
+capacity, throughput timed over a constant-density churn phase, which
+is the regime where the γ(M) triangle delta dominates the event cost.
+Any A/B cell whose two estimates disagree beyond 1e-6 relative fails
+the run. ``--min-ab-ratio X`` additionally fails the run when the
+dense ``wsd/triangle`` cell's NEW/OLD speedup falls below ``X`` — the
+CI ratchet for the arena triangle hot path, analogous to
+``--min-process-ratio``.
 
 Estimate comparison against the recorded baseline is tolerance-aware:
 ``estimate_match`` accepts relative drift up to 1e-6 (float-ordering
@@ -201,10 +210,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--ab", default=None, metavar="OLD,NEW",
         help="also run the matrix as an interleaved A/B of two named "
-             "variants in one process (e.g. 'old,new'); see "
+             "variants in one process (e.g. 'old,new'), plus the "
+             "steady-state dense triangle cells; see "
              "microbench.VARIANTS",
     )
+    parser.add_argument(
+        "--min-ab-ratio", type=float, default=0.0,
+        help="fail when the dense wsd/triangle A/B speedup (NEW over "
+             "OLD) falls below this ratio (0 = off; requires --ab)",
+    )
     args = parser.parse_args(argv)
+    if args.min_ab_ratio > 0.0 and not args.ab:
+        parser.error("--min-ab-ratio requires --ab")
 
     tests_passed = None
     if not args.skip_tests:
@@ -263,6 +280,67 @@ def main(argv: list[str] | None = None) -> int:
             config.get("seed", 2023),
             repeats,
         )
+        dense_cfg = (
+            microbench.DENSE_AB_QUICK_CONFIG if args.quick
+            else microbench.DENSE_AB_CONFIG
+        )
+        print(
+            "== steady-state dense triangle A/B "
+            f"({variant_a} vs {variant_b}) ==",
+            file=sys.stderr,
+        )
+        report["ab_dense"] = microbench.run_ab_dense(
+            variant_a.strip(),
+            variant_b.strip(),
+            dense_cfg["num_fill"],
+            dense_cfg["num_events"],
+            dense_cfg["budget"],
+            dense_cfg["num_vertices"],
+            dense_cfg["seed"],
+            # The dense cells time long steady-state windows (far less
+            # jittery than the sparse micro cells), so cap the repeats
+            # to keep the recorded run minutes-scale.
+            1 if args.quick else min(repeats, 2),
+            samplers=dense_cfg["samplers"],
+        )
+
+    ab_estimates_failed = False
+    ab_ratio_failed = False
+    for section in ("ab", "ab_dense"):
+        for key, cell in report.get(section, {}).get("results", {}).items():
+            if cell.get("estimate_match") is False:
+                ab_estimates_failed = True
+                print(
+                    f"{section} {key}: variant estimates diverge beyond "
+                    "1e-6 relative: "
+                    + ", ".join(
+                        f"{v}={cell[v]['estimate']!r}"
+                        for v in report[section]["variants"]
+                    ),
+                    file=sys.stderr,
+                )
+    if args.min_ab_ratio > 0.0:
+        gate_cell = (
+            report.get("ab_dense", {}).get("results", {})
+            .get("wsd/triangle")
+        )
+        if gate_cell is None:
+            # Fail closed: a ratchet whose gate cell vanished protects
+            # nothing and must not pass green.
+            ab_ratio_failed = True
+            print(
+                "--min-ab-ratio set but the dense wsd/triangle gate "
+                "cell is missing from the report",
+                file=sys.stderr,
+            )
+        elif gate_cell["speedup"] < args.min_ab_ratio:
+            ab_ratio_failed = True
+            print(
+                f"dense wsd/triangle A/B at {gate_cell['speedup']}x, "
+                f"below the --min-ab-ratio {args.min_ab_ratio} "
+                "ratchet",
+                file=sys.stderr,
+            )
 
     parity_failed = False
     ratio_failed = False
@@ -370,6 +448,18 @@ def main(argv: list[str] | None = None) -> int:
     if ratio_failed:
         print(
             "FAILED: sharded process backend below the throughput ratchet",
+            file=sys.stderr,
+        )
+        return 1
+    if ab_estimates_failed:
+        print(
+            "FAILED: A/B variant estimates diverged beyond tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    if ab_ratio_failed:
+        print(
+            "FAILED: dense triangle A/B below the throughput ratchet",
             file=sys.stderr,
         )
         return 1

@@ -1,11 +1,14 @@
 """Graph substrate: adjacency, edges, streams, generators, datasets."""
 
-from repro.graph.adjacency import DynamicAdjacency
+from repro.graph.adjacency import DEFAULT_SLAB_CUTOFF, DynamicAdjacency
+from repro.graph.arena import AdjacencyArena
 from repro.graph.edges import Edge, Vertex, canonical_edge
 from repro.graph.interning import VertexInterner
 from repro.graph.stream import DELETE, INSERT, EdgeEvent, EdgeStream, EventBlock
 
 __all__ = [
+    "AdjacencyArena",
+    "DEFAULT_SLAB_CUTOFF",
     "DynamicAdjacency",
     "Edge",
     "Vertex",

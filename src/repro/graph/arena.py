@@ -1,0 +1,466 @@
+"""Numpy-native sampled-graph arena: dynamic sorted-CSR neighbour slabs.
+
+:class:`AdjacencyArena` stores, for a chosen subset of vertices, the
+neighbourhood as a **sorted int64 slab** inside one growable arena
+buffer, with **parallel payload lanes** aligned slot-for-slot with the
+neighbour ids (per-edge inclusion weight for the threshold kernels,
+per-edge sample membership for the pairing kernels). Two slabs
+intersect with ``searchsorted`` + a gather instead of a per-element
+Python loop, which is what turns the triangle delta — γ(M) of
+Theorems 3/5, the per-event cost of the paper's headline pattern —
+into a handful of C-level array passes.
+
+Design points (all load-bearing for the samplers' bit-identity
+contracts):
+
+* **Dense-id domain.** Slabs are keyed by the interned dense vertex id
+  and *store* dense neighbour ids, so the arena works for any hashable
+  label type and the slab order (ascending dense id) is a pure function
+  of the slab's live content — rebuilding a slab from the same edge set
+  always reproduces the same array, which checkpoint restore relies on.
+* **Amortised doubling.** Each slab owns a power-of-two capacity region
+  of the arena; outgrowing it relocates the slab to the arena tail with
+  doubled capacity (compacting away tombstones on the way). The arena
+  buffer itself doubles when the tail reaches the end, after first
+  squeezing out garbage regions when they dominate.
+* **Tombstoned deletions.** Removing a neighbour flips its slot in the
+  ``alive`` lane (O(log d) for the position probe, no tail shift). The
+  id stays in place, so the slab remains sorted and probe-able, and a
+  re-inserted edge resurrects its old slot in O(1). Dead slots are
+  folded out per-vertex when they reach half the slab or when a query
+  touches the slab — queries therefore always intersect live,
+  duplicate-free, sorted arrays and never mask.
+* **Sentinel padding.** Unused capacity holds ``int64 max``, and every
+  slab keeps at least one pad slot, so ``searchsorted`` results can be
+  used as gather indices without a bounds-clipping pass.
+
+The arena never decides *which* vertices deserve slabs — that policy
+(a degree cutoff with hysteresis) lives in
+:class:`~repro.graph.adjacency.DynamicAdjacency` so the dict-of-sets
+substrate stays authoritative and sparse vertices pay nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AdjacencyArena"]
+
+#: Sentinel filling unused slab capacity; compares greater than every
+#: real dense id, so searchsorted probes into padding never match.
+_PAD = np.iinfo(np.int64).max
+
+
+class _Slab:
+    """Bookkeeping for one vertex's region of the arena."""
+
+    __slots__ = ("off", "size", "cap", "dead")
+
+    def __init__(self, off: int, size: int, cap: int, dead: int = 0) -> None:
+        self.off = off
+        self.size = size  # used slots, live + dead
+        self.cap = cap
+        self.dead = dead
+
+
+def _pow2_at_least(n: int) -> int:
+    """Smallest power of two >= max(n, 2)."""
+    return 1 << max(1, (n - 1).bit_length())
+
+
+class AdjacencyArena:
+    """Per-vertex sorted neighbour slabs + payload lanes in one buffer.
+
+    All ids are dense interned vertex ids (non-negative ints below
+    :data:`_PAD`). Payloads are float64; their meaning belongs to the
+    caller (edge weight, sample membership, ...).
+    """
+
+    def __init__(self, initial_capacity: int = 1024) -> None:
+        if initial_capacity < 4:
+            raise ConfigurationError(
+                f"initial_capacity must be >= 4, got {initial_capacity}"
+            )
+        n = _pow2_at_least(initial_capacity)
+        self._ids = np.full(n, _PAD, dtype=np.int64)
+        self._lane = np.zeros(n, dtype=np.float64)
+        self._alive = np.zeros(n, dtype=bool)
+        self._slabs: dict[int, _Slab] = {}
+        self._tail = 0  # next free arena slot
+        self._garbage = 0  # slots abandoned by relocation / drop
+
+    # -- introspection -----------------------------------------------------
+
+    def __contains__(self, vertex_id: int) -> bool:
+        return vertex_id in self._slabs
+
+    def __len__(self) -> int:
+        return len(self._slabs)
+
+    def slab_ids(self) -> list[int]:
+        """Dense ids of the vertices currently holding a slab."""
+        return list(self._slabs)
+
+    def live_degree(self, vertex_id: int) -> int:
+        """Number of live neighbours in ``vertex_id``'s slab."""
+        slab = self._slabs[vertex_id]
+        return slab.size - slab.dead
+
+    def live_items(self, vertex_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the live ``(neighbour ids, payloads)`` of a slab."""
+        slab = self._slabs[vertex_id]
+        if slab.dead:
+            self._compact(slab)
+        lo, hi = slab.off, slab.off + slab.size
+        return self._ids[lo:hi].copy(), self._lane[lo:hi].copy()
+
+    @property
+    def capacity(self) -> int:
+        """Total arena slots currently allocated."""
+        return len(self._ids)
+
+    @property
+    def garbage(self) -> int:
+        """Arena slots abandoned by slab relocation or drop."""
+        return self._garbage
+
+    # -- allocation --------------------------------------------------------
+
+    def _ensure_room(self, cap: int) -> None:
+        """Make ``cap`` contiguous slots available at the tail."""
+        if self._tail + cap <= len(self._ids):
+            return
+        if self._garbage * 2 >= self._tail:
+            self.compact_arena()
+            if self._tail + cap <= len(self._ids):
+                return
+        n = len(self._ids)
+        need = self._tail + cap
+        while n < need:
+            n *= 2
+        ids = np.full(n, _PAD, dtype=np.int64)
+        lane = np.zeros(n, dtype=np.float64)
+        alive = np.zeros(n, dtype=bool)
+        tail = self._tail
+        ids[:tail] = self._ids[:tail]
+        lane[:tail] = self._lane[:tail]
+        alive[:tail] = self._alive[:tail]
+        self._ids = ids
+        self._lane = lane
+        self._alive = alive
+
+    def compact_arena(self) -> None:
+        """Squeeze out all garbage regions (slabs keep their capacity).
+
+        Tombstones inside live slabs are dropped on the way, so this is
+        also the arena-wide compaction sweep. Slabs are repacked in
+        offset order; relative order is preserved, so every copy moves
+        data left and basic-slice assignment (memmove semantics) is
+        safe.
+        """
+        slabs = sorted(self._slabs.values(), key=lambda s: s.off)
+        ids, lane, alive = self._ids, self._lane, self._alive
+        write = 0
+        for slab in slabs:
+            lo, hi = slab.off, slab.off + slab.size
+            if slab.dead:
+                mask = alive[lo:hi]
+                live_ids = ids[lo:hi][mask]
+                live_lane = lane[lo:hi][mask]
+                k = len(live_ids)
+            else:
+                live_ids = ids[lo:hi]
+                live_lane = lane[lo:hi]
+                k = slab.size
+            cap = slab.cap
+            ids[write:write + k] = live_ids
+            lane[write:write + k] = live_lane
+            alive[write:write + k] = True
+            ids[write + k:write + cap] = _PAD
+            alive[write + k:write + cap] = False
+            slab.off = write
+            slab.size = k
+            slab.dead = 0
+            write += cap
+        self._tail = write
+        self._garbage = 0
+
+    # -- per-slab operations ----------------------------------------------
+
+    def build(
+        self, vertex_id: int, ids: np.ndarray, payloads: np.ndarray
+    ) -> None:
+        """Install a slab from sorted unique dense ids + aligned payloads."""
+        if vertex_id in self._slabs:
+            raise ConfigurationError(
+                f"vertex {vertex_id} already has a slab"
+            )
+        k = len(ids)
+        cap = _pow2_at_least(k + 1)
+        self._ensure_room(cap)
+        off = self._tail
+        self._ids[off:off + k] = ids
+        self._lane[off:off + k] = payloads
+        self._alive[off:off + k] = True
+        self._ids[off + k:off + cap] = _PAD
+        self._alive[off + k:off + cap] = False
+        self._tail = off + cap
+        self._slabs[vertex_id] = _Slab(off, k, cap)
+
+    def drop(self, vertex_id: int) -> None:
+        """Free a slab (its region becomes garbage, or tail space)."""
+        slab = self._slabs.pop(vertex_id)
+        lo = slab.off
+        self._ids[lo:lo + slab.size] = _PAD
+        self._alive[lo:lo + slab.size] = False
+        if slab.off + slab.cap == self._tail:
+            self._tail = slab.off
+        else:
+            self._garbage += slab.cap
+
+    def _position(self, slab: _Slab, neighbour_id: int) -> int:
+        """Slot index of ``neighbour_id`` within the slab, or -1.
+
+        Dead slots keep their id in place, so the slab is always sorted
+        and the probe finds live and tombstoned entries alike; callers
+        check the ``alive`` lane when liveness matters.
+        """
+        lo = slab.off
+        view = self._ids[lo:lo + slab.size]
+        pos = int(np.searchsorted(view, neighbour_id))
+        if pos < slab.size and int(view[pos]) == neighbour_id:
+            return pos
+        return -1
+
+    def insert(
+        self, vertex_id: int, neighbour_id: int, payload: float
+    ) -> None:
+        """Sorted-insert a live neighbour (resurrecting a tombstone)."""
+        slab = self._slabs[vertex_id]
+        pos = self._position(slab, neighbour_id)
+        if pos >= 0:
+            at = slab.off + pos
+            if self._alive[at]:
+                raise ConfigurationError(
+                    f"neighbour {neighbour_id} already present in slab "
+                    f"{vertex_id}"
+                )
+            self._alive[at] = True
+            self._lane[at] = payload
+            slab.dead -= 1
+            return
+        if slab.size + 1 >= slab.cap:
+            self._grow_slab(vertex_id, slab)
+        # Recompute against the (possibly relocated/compacted) slab.
+        pos = int(np.searchsorted(
+            self._ids[slab.off:slab.off + slab.size], neighbour_id
+        ))
+        ids, lane, alive = self._ids, self._lane, self._alive
+        at = slab.off + pos
+        end = slab.off + slab.size
+        ids[at + 1:end + 1] = ids[at:end]
+        lane[at + 1:end + 1] = lane[at:end]
+        alive[at + 1:end + 1] = alive[at:end]
+        ids[at] = neighbour_id
+        lane[at] = payload
+        alive[at] = True
+        slab.size += 1
+
+    def remove(self, vertex_id: int, neighbour_id: int) -> int:
+        """Tombstone a live neighbour; return the live degree left."""
+        slab = self._slabs[vertex_id]
+        pos = self._position(slab, neighbour_id)
+        if pos < 0 or not self._alive[slab.off + pos]:
+            raise ConfigurationError(
+                f"neighbour {neighbour_id} not present in slab {vertex_id}"
+            )
+        self._alive[slab.off + pos] = False
+        slab.dead += 1
+        if slab.dead * 2 >= slab.size:
+            self._compact(slab)
+        return slab.size - slab.dead
+
+    def set_payload(
+        self, vertex_id: int, neighbour_id: int, payload: float
+    ) -> None:
+        """Overwrite the payload of a live neighbour slot."""
+        slab = self._slabs[vertex_id]
+        pos = self._position(slab, neighbour_id)
+        if pos < 0 or not self._alive[slab.off + pos]:
+            raise ConfigurationError(
+                f"neighbour {neighbour_id} not present in slab {vertex_id}"
+            )
+        self._lane[slab.off + pos] = payload
+
+    def payload(self, vertex_id: int, neighbour_id: int) -> float:
+        """Payload of a live neighbour slot (ConfigurationError if absent)."""
+        slab = self._slabs[vertex_id]
+        pos = self._position(slab, neighbour_id)
+        if pos < 0 or not self._alive[slab.off + pos]:
+            raise ConfigurationError(
+                f"neighbour {neighbour_id} not present in slab {vertex_id}"
+            )
+        return float(self._lane[slab.off + pos])
+
+    def _compact(self, slab: _Slab) -> None:
+        """Fold tombstones out of one slab (in place, order-preserving)."""
+        lo, hi = slab.off, slab.off + slab.size
+        mask = self._alive[lo:hi]
+        k = int(np.count_nonzero(mask))
+        self._ids[lo:lo + k] = self._ids[lo:hi][mask]
+        self._lane[lo:lo + k] = self._lane[lo:hi][mask]
+        self._alive[lo:lo + k] = True
+        self._ids[lo + k:hi] = _PAD
+        self._alive[lo + k:hi] = False
+        slab.size = k
+        slab.dead = 0
+
+    def _grow_slab(self, vertex_id: int, slab: _Slab) -> None:
+        """Relocate a full slab to the tail with doubled capacity."""
+        lo, hi = slab.off, slab.off + slab.size
+        if slab.dead:
+            mask = self._alive[lo:hi]
+            live_ids = self._ids[lo:hi][mask]
+            live_lane = self._lane[lo:hi][mask]
+        else:
+            live_ids = self._ids[lo:hi].copy()
+            live_lane = self._lane[lo:hi].copy()
+        k = len(live_ids)
+        new_cap = _pow2_at_least(max(slab.cap * 2, k + 2))
+        self._ids[lo:hi] = _PAD
+        self._alive[lo:hi] = False
+        if lo + slab.cap == self._tail:
+            self._tail = lo
+        else:
+            self._garbage += slab.cap
+        # Unregister while making room: a compact_arena() inside
+        # _ensure_room must not repack this slab's abandoned region.
+        del self._slabs[vertex_id]
+        self._ensure_room(new_cap)
+        self._slabs[vertex_id] = slab
+        off = self._tail
+        self._ids[off:off + k] = live_ids
+        self._lane[off:off + k] = live_lane
+        self._alive[off:off + k] = True
+        self._ids[off + k:off + new_cap] = _PAD
+        self._alive[off + k:off + new_cap] = False
+        self._tail = off + new_cap
+        slab.off = off
+        slab.size = k
+        slab.cap = new_cap
+        slab.dead = 0  # relocation dropped the tombstones
+
+    # -- intersections -----------------------------------------------------
+
+    def _query_views(
+        self, u_id: int, v_id: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Live sorted views of both slabs: (a_padded, lane_a, b, lane_b).
+
+        ``a`` is the longer slab including one pad slot (so searchsorted
+        probes need no bounds clipping); ``b`` the shorter, live-only.
+        Slabs with tombstones are compacted first, so the views are
+        live, strictly sorted, and duplicate-free.
+        """
+        slabs = self._slabs
+        su = slabs[u_id]
+        sv = slabs[v_id]
+        if su.dead:
+            self._compact(su)
+        if sv.dead:
+            self._compact(sv)
+        if su.size < sv.size:
+            su, sv = sv, su
+        ids, lane = self._ids, self._lane
+        lo_a, lo_b = su.off, sv.off
+        return (
+            ids[lo_a:lo_a + su.size + 1],
+            lane[lo_a:lo_a + su.size],
+            ids[lo_b:lo_b + sv.size],
+            lane[lo_b:lo_b + sv.size],
+        )
+
+    def common_count(self, u_id: int, v_id: int) -> int:
+        """|N(u) ∩ N(v)| over the two slabs."""
+        a, _la, b, _lb = self._query_views(u_id, v_id)
+        if len(b) == 0 or len(a) == 1:
+            return 0
+        hit = a[np.searchsorted(a, b)] == b
+        return int(np.count_nonzero(hit))
+
+    def common_payloads(
+        self, u_id: int, v_id: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Payload pairs over the common neighbourhood.
+
+        Returns ``(pa, pb)`` where ``pa[k]`` / ``pb[k]`` are the two
+        edge payloads of the k-th common neighbour (ascending dense
+        id). Which endpoint is which side is unspecified — callers
+        combine the lanes symmetrically.
+        """
+        a, la, b, lb = self._query_views(u_id, v_id)
+        if len(b) == 0 or len(a) == 1:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty
+        idx = np.searchsorted(a, b)
+        hit = a[idx] == b
+        return la[idx[hit]], lb[hit]
+
+    def common_ids(self, u_id: int, v_id: int) -> np.ndarray:
+        """Dense ids of the common neighbours (ascending)."""
+        a, _la, b, _lb = self._query_views(u_id, v_id)
+        if len(b) == 0 or len(a) == 1:
+            return np.empty(0, dtype=np.int64)
+        hit = a[np.searchsorted(a, b)] == b
+        return b[hit]
+
+    def clear(self) -> None:
+        """Drop every slab and reset the arena."""
+        self._ids[:self._tail] = _PAD
+        self._alive[:self._tail] = False
+        self._slabs.clear()
+        self._tail = 0
+        self._garbage = 0
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any structural invariant is broken.
+
+        Test hook: used slots ascend strictly (live and dead ids
+        together stay sorted and unique), padding holds the sentinel,
+        capacities are powers of two with at least one pad slot,
+        regions never overlap, and the garbage account matches the
+        layout.
+        """
+        regions = []
+        for vid, slab in self._slabs.items():
+            assert slab.cap >= slab.size + 1, (vid, slab.size, slab.cap)
+            assert slab.cap == _pow2_at_least(slab.cap), slab.cap
+            lo, hi = slab.off, slab.off + slab.size
+            used = self._ids[lo:hi]
+            dead = ~self._alive[lo:hi]
+            assert int(np.count_nonzero(dead)) == slab.dead, vid
+            assert slab.dead * 2 < max(slab.size, 1), (
+                f"slab {vid} missed its compaction trigger"
+            )
+            assert np.all(np.diff(used) > 0), f"slab {vid} not sorted"
+            assert np.all(used < _PAD), f"slab {vid} holds the sentinel"
+            pad = self._ids[hi:slab.off + slab.cap]
+            assert np.all(pad == _PAD), f"slab {vid} padding dirty"
+            assert not np.any(self._alive[hi:slab.off + slab.cap]), vid
+            regions.append((slab.off, slab.off + slab.cap))
+        regions.sort()
+        for (s1, e1), (s2, _e2) in zip(regions, regions[1:]):
+            assert e1 <= s2, "slab regions overlap"
+        assert all(e <= self._tail for _s, e in regions)
+        used_slots = sum(e - s for s, e in regions)
+        assert self._tail - used_slots == self._garbage, (
+            self._tail, used_slots, self._garbage
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"AdjacencyArena(slabs={len(self._slabs)}, "
+            f"tail={self._tail}/{len(self._ids)}, garbage={self._garbage})"
+        )

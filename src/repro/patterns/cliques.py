@@ -35,13 +35,21 @@ class Triangle(Pattern):
     def instances_completed(
         self, adj: DynamicAdjacency, u: Vertex, v: Vertex
     ) -> Iterator[Instance]:
+        # Deliberately the plain set intersection: the batched kernel
+        # loops inline ``nu & nv`` and rely on iterating the *same*
+        # order here (identical set contents constructed the same way
+        # iterate identically), so per-event and batched estimates
+        # stay bit-for-bit equal for every rank family.
         for w in adj.common_neighbors(u, v):
             yield (canonical_edge(u, w), canonical_edge(v, w))
 
     def count_completed(
         self, adj: DynamicAdjacency, u: Vertex, v: Vertex
     ) -> int:
-        return len(adj.common_neighbors(u, v))
+        # count_common routes through the arena slabs (searchsorted
+        # intersection) when both endpoints hold one; exact-int either
+        # way, so sampler trajectories cannot depend on the routing.
+        return adj.count_common(u, v)
 
 
 class FourClique(Pattern):
@@ -53,7 +61,14 @@ class FourClique(Pattern):
     def instances_completed(
         self, adj: DynamicAdjacency, u: Vertex, v: Vertex
     ) -> Iterator[Instance]:
-        common = adj.common_neighbors(u, v)
+        # The arena helper intersects the sorted slabs where both
+        # endpoints are dense (None → plain set path); sort_by_id then
+        # normalises the order either way, so emission order — and
+        # therefore downstream float accumulation — is identical no
+        # matter which path computed the set.
+        common = adj.arena_common_neighbors(u, v)
+        if common is None:
+            common = adj.common_neighbors(u, v)
         if len(common) < 2:
             return
         ordered = adj.sort_by_id(common)
@@ -74,7 +89,11 @@ class FourClique(Pattern):
     ) -> int:
         # Count-only fast path: adjacent pairs among the common
         # neighbours, via C-level intersections (each pair seen twice).
-        common = adj.common_neighbors(u, v)
+        # The u-v intersection itself reuses the sorted slabs when the
+        # endpoints are dense.
+        common = adj.arena_common_neighbors(u, v)
+        if common is None:
+            common = adj.common_neighbors(u, v)
         if len(common) < 2:
             return 0
         neighbors_view = adj.neighbors_view
@@ -104,7 +123,9 @@ class KClique(Pattern):
         self, adj: DynamicAdjacency, u: Vertex, v: Vertex
     ) -> Iterator[Instance]:
         need = self.k - 2
-        raw_common = adj.common_neighbors(u, v)
+        raw_common = adj.arena_common_neighbors(u, v)
+        if raw_common is None:
+            raw_common = adj.common_neighbors(u, v)
         if len(raw_common) < need:
             return
         common = adj.sort_by_id(raw_common)
@@ -138,7 +159,9 @@ class KClique(Pattern):
     ) -> int:
         # Count-only fast path: same search, no edge-tuple construction.
         need = self.k - 2
-        raw_common = adj.common_neighbors(u, v)
+        raw_common = adj.arena_common_neighbors(u, v)
+        if raw_common is None:
+            raw_common = adj.common_neighbors(u, v)
         if len(raw_common) < need:
             return 0
         common = adj.sort_by_id(raw_common)

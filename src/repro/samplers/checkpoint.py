@@ -55,8 +55,14 @@ __all__ = [
 #: Version 1 was the WSD-only format; version 2 adds the ``algorithm``
 #: tag, the threshold generation counter, and the pairing-kernel states.
 #: WRS states are version-2 documents with extra (algorithm-gated)
-#: fields, so the number did not need to move for them.
-_FORMAT_VERSION = 2
+#: fields, so the number did not need to move for them. Version 3 adds
+#: the ``arena`` block (slab cutoff + the exact slabbed-vertex set):
+#: slab *membership* is history-dependent (hysteresis keeps a slab down
+#: to half the cutoff), so a v2 document — which still loads — can
+#: under-slab the restored graph and the continuation may regroup a few
+#: float additions; v3 restores are bit-identical continuations.
+_FORMAT_VERSION = 3
+_SUPPORTED_FORMATS = (1, 2, 3)
 
 _THRESHOLD_ALGORITHMS: dict[str, type[ThresholdSamplerKernel]] = {
     "wsd": WSD,
@@ -130,6 +136,19 @@ def sampler_state_dict(sampler) -> dict:
             for v in sampler._sampled_graph.interner.labels()
         ],
     }
+    graph = sampler._sampled_graph
+    if graph.arena is not None:
+        # Slab membership is trajectory state, not derivable from the
+        # sample: hysteresis keeps a slab while the degree sits in
+        # [cutoff/2, cutoff), and which path computes a delta decides
+        # its float grouping. Record cutoff + the exact slabbed set so
+        # the restored sampler routes queries identically.
+        state["arena"] = {
+            "cutoff": graph.slab_cutoff,
+            "slabbed": [
+                _encode_vertex(v) for v in graph.slabbed_vertices()
+            ],
+        }
     if isinstance(sampler, ThresholdSamplerKernel):
         tagged = sampler._tagged if isinstance(sampler, GPSA) else ()
         entries = []
@@ -197,6 +216,41 @@ def sampler_state_dict(sampler) -> dict:
 # -- restoration --------------------------------------------------------------
 
 
+def _arena_pre_restore(sampler, state: dict) -> None:
+    """Re-impose the checkpointed slab cutoff before any replay.
+
+    The cutoff decides where slabs are built *during* the replay below,
+    so it must match the recording run's before the first edge lands.
+    Checkpoints without an arena block (v1/v2, or arena-less samplers)
+    leave the construction-time configuration untouched; ditto when the
+    restored sampler was built with arena acceleration disabled (the
+    switch must match the recording run for bit-identity, the same
+    contract the wedge toggle has).
+    """
+    info = state.get("arena")
+    graph = sampler._sampled_graph
+    if info is None or graph.arena is None:
+        return
+    graph.enable_arena(graph._payload_fn, cutoff=int(info["cutoff"]))
+
+
+def _arena_post_restore(sampler, state: dict) -> None:
+    """Force the slabbed-vertex set to exactly the recorded one.
+
+    Replay rebuilds slabs only where the final degree reaches the
+    cutoff; vertices the recording run kept slabbed through hysteresis
+    are built here (and anything extra dropped) so the adaptive query
+    routing — hence float grouping — continues identically.
+    """
+    info = state.get("arena")
+    graph = sampler._sampled_graph
+    if info is None or graph.arena is None:
+        return
+    graph.sync_arena_slabs(
+        _decode_vertex(pair) for pair in info["slabbed"]
+    )
+
+
 def _restore_threshold(sampler: ThresholdSamplerKernel, state: dict) -> None:
     sampler._threshold = float(state["threshold"])
     if sampler._wedge_tracker is not None:
@@ -219,6 +273,7 @@ def _restore_threshold(sampler: ThresholdSamplerKernel, state: dict) -> None:
     intern = sampler._sampled_graph.interner.intern
     for pair in state.get("interner", ()):
         intern(_decode_vertex(pair))
+    _arena_pre_restore(sampler, state)
     is_gpsa = isinstance(sampler, GPSA)
     for entry in state["reservoir"]:
         edge = _decode_edge(entry)
@@ -241,6 +296,7 @@ def _restore_threshold(sampler: ThresholdSamplerKernel, state: dict) -> None:
             _decode_vertex(pair): float(value)
             for pair, value in state["wedge_light_inv"]
         }
+    _arena_post_restore(sampler, state)
 
 
 def restore_sampler(
@@ -256,7 +312,7 @@ def restore_sampler(
     function.
     """
     fmt = state.get("format")
-    if fmt not in (1, _FORMAT_VERSION):
+    if fmt not in _SUPPORTED_FORMATS:
         raise ConfigurationError(f"unsupported checkpoint format: {fmt!r}")
     if fmt == 1:
         # v1 checkpoints predate the algorithm tag and are always WSD.
@@ -325,6 +381,7 @@ def restore_sampler(
     intern = sampler._sampled_graph.interner.intern
     for pair in state.get("interner", ()):
         intern(_decode_vertex(pair))
+    _arena_pre_restore(sampler, state)
     rp = sampler._rp
     rp.d_i = int(state["rp"]["d_i"])
     rp.d_o = int(state["rp"]["d_o"])
@@ -346,6 +403,7 @@ def restore_sampler(
         sampler._tau = int(state["tau"])
     else:
         sampler._estimate = float(state["estimate"])
+    _arena_post_restore(sampler, state)
     return sampler
 
 

@@ -42,7 +42,7 @@ from repro.errors import ConfigurationError, EdgeExistsError, SamplerError
 from repro.graph.edges import Edge, canonical_edge
 from repro.graph.stream import INSERT, EdgeEvent, EventBlock
 from repro.patterns.base import Pattern
-from repro.patterns.cliques import Triangle
+from repro.patterns.cliques import FourClique, KClique, Triangle
 from repro.patterns.paths import Wedge, WedgeDeltaTracker
 from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
 from repro.samplers.heap import IndexedMinHeap
@@ -62,6 +62,8 @@ __all__ = [
     "KERNEL_GPS",
     "KERNEL_GPSA",
     "set_wedge_vectorization",
+    "set_arena_acceleration",
+    "set_arena_cutoff",
     "batch_columns",
 ]
 
@@ -90,6 +92,69 @@ def set_wedge_vectorization(enabled: bool) -> bool:
     previous = _WEDGE_VECTORIZATION
     _WEDGE_VECTORIZATION = bool(enabled)
     return previous
+
+
+#: Whether new clique samplers mirror their sampled graph into an
+#: :class:`~repro.graph.arena.AdjacencyArena` (sorted neighbour slabs +
+#: payload lanes for the vectorised triangle delta). Module-level for
+#: the same reason as the wedge switch: the A/B benchmark harness runs
+#: the scalar set-intersection path against the arena path in one
+#: process.
+_ARENA_ACCELERATION = True
+
+#: Degree at which a vertex earns an arena slab; ``None`` uses
+#: :data:`repro.graph.adjacency.DEFAULT_SLAB_CUTOFF`. Tests lower it to
+#: exercise the vectorised paths on small graphs.
+_ARENA_CUTOFF: int | None = None
+
+
+def set_arena_acceleration(enabled: bool) -> bool:
+    """Toggle the sampled-graph arena fast paths; return the old value.
+
+    Read at *sampler construction* time, like
+    :func:`set_wedge_vectorization`: samplers built while disabled keep
+    the scalar set-intersection estimators for their whole lifetime
+    (the arena path regroups the per-instance float sums, so mixing the
+    two inside one sampler would break per-event/batched bit-identity).
+    """
+    global _ARENA_ACCELERATION
+    previous = _ARENA_ACCELERATION
+    _ARENA_ACCELERATION = bool(enabled)
+    return previous
+
+
+def set_arena_cutoff(cutoff: int | None) -> int | None:
+    """Set the slab-earning degree for new samplers; return the old value.
+
+    ``None`` restores the library default. Construction-time, and part
+    of a sampler's trajectory contract: two runs (or a checkpointed
+    continuation — the v3 format records it) must use the same cutoff
+    for their adaptive query routing, and therefore their float
+    accumulation order, to agree.
+    """
+    global _ARENA_CUTOFF
+    previous = _ARENA_CUTOFF
+    _ARENA_CUTOFF = cutoff if cutoff is None else int(cutoff)
+    return previous
+
+
+def _arena_triangle_delta(wa, wb, threshold: float) -> float:
+    """Triangle estimator delta over gathered weight lanes.
+
+    The vectorised form of the scalar loop's
+    ``estimate += 1 / min(1, w1/θ) / min(1, w2/θ)`` accumulation:
+    element order is ascending dense id and the reduction is numpy's
+    pairwise sum, so the value can differ from the scalar path in the
+    last float bits (same contribution multiset, different grouping) —
+    which is why arena routing is fixed at construction time and both
+    the per-event and the batched path call *this* function.
+    """
+    if threshold > 0.0:
+        p = np.minimum(wa / threshold, 1.0)
+        p *= np.minimum(wb / threshold, 1.0)
+        np.divide(1.0, p, out=p)
+        return float(p.sum())
+    return float(len(wa))
 
 
 def batch_columns(events) -> tuple[list, list, list]:
@@ -192,6 +257,24 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
             )
             else None
         )
+        #: Arena mirror of the sampled graph for the clique patterns:
+        #: the weight lane feeds the vectorised triangle delta (only
+        #: derived for the paper's inverse-uniform ranks, whose
+        #: inclusion probability is min(1, w/θ)), and the sorted slabs
+        #: accelerate the 4-/k-clique common-neighbour intersections
+        #: for any rank family.
+        self._tri_arena = (
+            _ARENA_ACCELERATION
+            and type(self.pattern) is Triangle
+            and type(self.rank_fn) is InverseUniformRank
+        )
+        if self._tri_arena or (
+            _ARENA_ACCELERATION
+            and isinstance(self.pattern, (FourClique, KClique))
+        ):
+            self._sampled_graph.enable_arena(
+                self._arena_payload, cutoff=_ARENA_CUTOFF
+            )
         #: Most recent WeightContext (exposed for RL transition capture).
         #: Only maintained when the context path is active — pass
         #: ``capture_context=True`` to guarantee it; on the light path it
@@ -304,6 +387,26 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
             weight = float(
                 wf.light_weight(num_instances, self._sampled_graph, u, v)
             )
+        elif (
+            self._tri_arena
+            and not self.instance_observers
+            and (pair := self._sampled_graph.common_payloads(u, v))
+            is not None
+        ):
+            # Vectorised triangle path: both endpoints hold arena
+            # slabs, so the common-neighbour weights arrive as two
+            # gathered lanes and the delta is one array expression
+            # (same routing rule and same float grouping as the
+            # batched loop — both call _arena_triangle_delta).
+            wa, wb = pair
+            num_instances = len(wa)
+            if num_instances:
+                self._estimate += _arena_triangle_delta(
+                    wa, wb, self._threshold
+                )
+            weight = float(
+                wf.light_weight(num_instances, self._sampled_graph, u, v)
+            )
         else:
             # Light path: stream the instances, never materialise the
             # context — heuristic weights only need cheap summaries.
@@ -367,6 +470,15 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
         if self._wedge_tracker is not None and not observers:
             self._estimate -= self._wedge_tracker.delta(u, v)
             return
+        if self._tri_arena and not observers:
+            pair = self._sampled_graph.common_payloads(u, v)
+            if pair is not None:
+                wa, wb = pair
+                if len(wa):
+                    self._estimate -= _arena_triangle_delta(
+                        wa, wb, self._threshold
+                    )
+                return
         inc_prob = self.rank_fn.inclusion_probability
         weights = self._edge_weights
         threshold = self._threshold
@@ -426,7 +538,15 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
     # tracker reads the weight from.
 
     def _sample_add(self, edge: Edge) -> None:
-        self._sampled_graph.add_edge_canonical(edge)
+        # The weight doubles as the arena payload-lane value (ignored
+        # when no arena is enabled); it is invariant while the edge is
+        # sampled, so the lane stays coherent across τq/r_{M+1}
+        # generation bumps without any invalidation sweep — the
+        # vectorised delta recomputes min(1, w/θ) against the *current*
+        # threshold at query time, exactly like the scalar path.
+        self._sampled_graph.add_edge_canonical(
+            edge, self._edge_weights[edge]
+        )
         if self._wedge_tracker is not None:
             self._wedge_tracker.add(edge, self._edge_weights[edge])
 
@@ -434,6 +554,10 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
         self._sampled_graph.remove_edge_canonical(edge)
         if self._wedge_tracker is not None:
             self._wedge_tracker.remove(edge)
+
+    def _arena_payload(self, u, v) -> float:
+        """Lane value of an existing sampled edge (slab builds)."""
+        return self._edge_weights[canonical_edge(u, v)]
 
     # -- introspection ------------------------------------------------------------
 
@@ -586,6 +710,29 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
             wt_delta = wt.delta
         else:
             wt_add = wt_remove = wt_raise = wt_delta = None
+        # Arena hooks: ``note_add`` / ``note_remove`` mirror the inlined
+        # sampled-graph mutations into the sorted slabs (cheap dict
+        # probes when no endpoint is slabbed), and ``cp`` gathers the
+        # weight lanes over the common neighbourhood for the vectorised
+        # mode-1 delta (None return → scalar fallback per event).
+        # ``arena_slabs`` is the live slab dict (never reassigned): its
+        # truthiness is the ~ns-scale gate that keeps sparse runs —
+        # where no vertex ever earns a slab — off both the query helper
+        # and the maintenance hooks. Additions must also fire on a
+        # cutoff crossing (the *first* slab), hence the degree test at
+        # the add sites; removals can only matter once a slab exists.
+        arena = graph._arena
+        if arena is not None:
+            note_add = graph._note_add
+            note_remove = graph._note_remove
+            arena_slabs = arena._slabs
+            slab_cut = graph._slab_cutoff
+        else:
+            note_add = note_remove = None
+            arena_slabs = None
+            slab_cut = 0
+        cp = graph.common_payloads if self._tri_arena else None
+        tri_delta = _arena_triangle_delta
 
         try:
             for is_ins, u, v in zip(ops, us, vs):
@@ -595,11 +742,24 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                     # -- estimate before sampling (Algorithm 2 / Thm 1/2).
                     num_instances = 0
                     if mode == 1:  # triangle
-                        try:
-                            nu = adj[u]
-                            nv = adj[v]
-                        except KeyError:
-                            nv = None
+                        pair = cp(u, v) if arena_slabs else None
+                        if pair is not None:
+                            # Vectorised: searchsorted intersection of
+                            # the two sorted slabs + one gathered array
+                            # expression over the weight lanes.
+                            wa = pair[0]
+                            num_instances = len(wa)
+                            if num_instances:
+                                estimate += tri_delta(
+                                    wa, pair[1], threshold
+                                )
+                            nv = None  # scalar loop below stays off
+                        else:
+                            try:
+                                nu = adj[u]
+                                nv = adj[v]
+                            except KeyError:
+                                nv = None
                         # isdisjoint() skips the result-set allocation
                         # on the (common) zero-instance events.
                         if nv and not nu.isdisjoint(nv):
@@ -764,6 +924,12 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                 graph._num_edges += 1
                                 if wt is not None:
                                     wt_add(edge, weight)
+                                if note_add is not None and (
+                                    arena_slabs
+                                    or len(adj[u]) >= slab_cut
+                                    or len(adj[v]) >= slab_cut
+                                ):
+                                    note_add(u, v, weight)
                         else:
                             min_rank = res_heap[0][0]
                             tau_p = min_rank
@@ -781,6 +947,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                 s.remove(a)
                                 if not s:
                                     del adj[b]
+                                if note_remove is not None and arena_slabs:
+                                    note_remove(a, b)
                                 weights[edge] = weight
                                 edge_times[edge] = time_now
                                 s = adj.get(u)
@@ -802,6 +970,12 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                 if wt is not None:
                                     wt_remove(evicted)
                                     wt_add(edge, weight)
+                                if note_add is not None and (
+                                    arena_slabs
+                                    or len(adj[u]) >= slab_cut
+                                    or len(adj[v]) >= slab_cut
+                                ):
+                                    note_add(u, v, weight)
                                 if tau_p != threshold:
                                     threshold = tau_p
                                     generation += 1
@@ -841,6 +1015,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                 graph._num_edges -= 1
                                 if wt is not None:
                                     wt_remove(edge)
+                                if note_remove is not None and arena_slabs:
+                                    note_remove(u, v)
                         if res_size < budget:
                             res_push(edge, rank)
                             res_size += 1
@@ -865,6 +1041,12 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                             graph._num_edges += 1
                             if wt is not None:
                                 wt_add(edge, weight)
+                            if note_add is not None and (
+                                arena_slabs
+                                or len(adj[u]) >= slab_cut
+                                or len(adj[v]) >= slab_cut
+                            ):
+                                note_add(u, v, weight)
                         else:
                             min_rank = res_heap[0][0]
                             if rank > min_rank:
@@ -891,6 +1073,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                         del adj[b]
                                     if wt is not None:
                                         wt_remove(evicted)
+                                    if note_remove is not None and arena_slabs:
+                                        note_remove(a, b)
                                 if evicted_rank > threshold:
                                     threshold = evicted_rank
                                     generation += 1
@@ -917,6 +1101,12 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                     s.add(u)
                                 if wt is not None:
                                     wt_add(edge, weight)
+                                if note_add is not None and (
+                                    arena_slabs
+                                    or len(adj[u]) >= slab_cut
+                                    or len(adj[v]) >= slab_cut
+                                ):
+                                    note_add(u, v, weight)
                             elif rank > threshold:
                                 threshold = rank
                                 generation += 1
@@ -947,6 +1137,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                             graph._num_edges -= 1
                             if wt is not None:
                                 wt_remove(edge)
+                            if note_remove is not None and arena_slabs:
+                                note_remove(u, v)
                     elif is_gps:
                         raise SamplerError(
                             "GPS only supports insertion-only streams; use "
@@ -967,12 +1159,23 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                             graph._num_edges -= 1
                             if wt is not None:
                                 wt_remove(edge)
+                            if note_remove is not None and arena_slabs:
+                                note_remove(u, v)
                     if mode == 1:  # triangle
-                        try:
-                            nu = adj[u]
-                            nv = adj[v]
-                        except KeyError:
-                            nv = None
+                        pair = cp(u, v) if arena_slabs else None
+                        if pair is not None:
+                            wa = pair[0]
+                            if len(wa):
+                                estimate -= tri_delta(
+                                    wa, pair[1], threshold
+                                )
+                            nv = None  # scalar loop below stays off
+                        else:
+                            try:
+                                nu = adj[u]
+                                nv = adj[v]
+                            except KeyError:
+                                nv = None
                         # isdisjoint() skips the result-set allocation
                         # on the (common) zero-instance events.
                         if nv and not nu.isdisjoint(nv):
@@ -1091,6 +1294,14 @@ class PairingSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
             budget if reservoir_capacity is None else reservoir_capacity,
             self.rng,
         )
+        # No arena here: the plain RP kernels (ThinkD, Triest) count
+        # common neighbours with one C-level set intersection — there
+        # is no per-element Python loop for the slabs to beat, and the
+        # measured arena path is a net loss for them at every density
+        # (the same reason thinkd/wedge sat out the PR-4 wedge
+        # vectorisation). WRS — whose triangle delta *does* run a
+        # per-instance Python membership loop — enables the arena in
+        # its own constructor with the waiting-room membership lane.
 
     def _batch_counter(self):
         """A hoisted ``count(u, v)`` closure for the batched loops.

@@ -39,12 +39,45 @@ from repro.errors import ConfigurationError
 from repro.graph.edges import Edge, canonical_edge
 from repro.graph.stream import EdgeEvent, EventBlock
 from repro.patterns.base import Pattern
-from repro.patterns.cliques import Triangle
+from repro.patterns.cliques import FourClique, KClique, Triangle
 from repro.patterns.paths import Wedge
 from repro.samplers import kernel as _kernel
 from repro.samplers.kernel import PairingSamplerKernel, batch_columns
 
 __all__ = ["WRS"]
+
+
+def _arena_wr_delta(m1, m2, joint_prob) -> float:
+    """Triangle delta over gathered waiting-room membership lanes.
+
+    ``m1`` / ``m2`` hold 1.0 for waiting-room edges, 0.0 for reservoir
+    edges; an instance with ``ir`` reservoir edges contributes
+    ``1 / joint_prob(ir)``, so the vectorised form buckets the common
+    neighbours by ``ir`` (two count_nonzero passes) and accumulates the
+    classes in ascending-``ir`` order. Both the per-event and the
+    batched path call *this* function, which is what keeps them
+    bit-identical to each other (grouping by class regroups the float
+    additions relative to the scalar loop, hence the construction-time
+    arena switch).
+    """
+    s = m1 + m2
+    n0 = int(np.count_nonzero(s == 2.0))  # both edges in the WR
+    n2 = int(np.count_nonzero(s == 0.0))  # both in the reservoir
+    n1 = len(s) - n0 - n2
+    delta = 0.0
+    if n0:
+        p = joint_prob(0)
+        if p > 0.0:
+            delta += n0 / p
+    if n1:
+        p = joint_prob(1)
+        if p > 0.0:
+            delta += n1 / p
+    if n2:
+        p = joint_prob(2)
+        if p > 0.0:
+            delta += n2 / p
+    return delta
 
 
 class WRS(PairingSamplerKernel):
@@ -90,6 +123,34 @@ class WRS(PairingSamplerKernel):
             {}
             if _kernel._WEDGE_VECTORIZATION and type(self.pattern) is Wedge
             else None
+        )
+        # Unlike ThinkD/Triest (pure C-level counts), WRS classifies
+        # every instance edge by waiting-room membership in a Python
+        # loop — exactly the shape the arena's payload lane vectorises.
+        if _kernel._ARENA_ACCELERATION and isinstance(
+            self.pattern, (Triangle, FourClique, KClique)
+        ):
+            self._sampled_graph.enable_arena(
+                self._arena_payload, cutoff=_kernel._ARENA_CUTOFF
+            )
+        #: Vectorised triangle delta via the arena's membership lane.
+        self._tri_membership = (
+            self._sampled_graph.arena is not None
+            and type(self.pattern) is Triangle
+        )
+
+    def _arena_payload(self, u, v) -> float:
+        """Membership lane value of an existing edge (slab builds)."""
+        edge = canonical_edge(u, v)
+        return 1.0 if edge in self._waiting_room else 0.0
+
+    def _sample_add(self, edge: Edge) -> None:
+        # The membership lane must reflect which half holds the edge at
+        # insertion time: live insertions and checkpointed WR entries
+        # are already in the FIFO when this runs; restored reservoir
+        # edges are not (and never will be), so they land as 0.0.
+        self._sampled_graph.add_edge_canonical(
+            edge, 1.0 if edge in self._waiting_room else 0.0
         )
 
     def _rebuild_wr_degrees(self) -> None:
@@ -148,6 +209,12 @@ class WRS(PairingSamplerKernel):
         u, v = edge
         if self._wr_degrees is not None and not self.instance_observers:
             return self._wedge_delta(u, v)
+        if self._tri_membership and not self.instance_observers:
+            pair = self._sampled_graph.common_payloads(u, v)
+            if pair is not None:
+                return _arena_wr_delta(
+                    pair[0], pair[1], self._rp.joint_inclusion_probability
+                )
         delta = 0.0
         # The RP probability depends only on the instance's count of
         # reservoir edges (sample size and population are fixed within
@@ -204,6 +271,10 @@ class WRS(PairingSamplerKernel):
             self._sample_remove(evicted)
         if not added:
             self._sample_remove(oldest)
+        elif self._sampled_graph._arena is not None:
+            # Still sampled, but now on the reservoir side: flip its
+            # membership lane so the vectorised delta stays coherent.
+            self._sampled_graph.set_edge_payload(oldest, 0.0)
 
     def _process_deletion(self, edge: Edge) -> None:
         # Remove the edge from whichever half holds it. Every alive edge
@@ -254,6 +325,16 @@ class WRS(PairingSamplerKernel):
         adj = graph._adj
         add_edge = graph.add_edge_canonical
         remove_edge = graph.remove_edge_canonical
+        if self._tri_membership:
+            cp = graph.common_payloads
+            arena_slabs = graph._arena._slabs
+        else:
+            cp = None
+            arena_slabs = None
+        wr_delta = _arena_wr_delta
+        set_payload = (
+            graph.set_edge_payload if graph._arena is not None else None
+        )
         canonical = canonical_edge
         waiting_room = self._waiting_room
         wr_capacity = self.waiting_room_capacity
@@ -278,6 +359,10 @@ class WRS(PairingSamplerKernel):
                     # -- estimate before sampling (update-on-arrival).
                     if mode == 2:
                         estimate += wedge_delta(u, v)
+                    elif mode == 1 and arena_slabs and (
+                        (pair := cp(u, v)) is not None
+                    ):
+                        estimate += wr_delta(pair[0], pair[1], joint_prob)
                     elif mode == 1:
                         delta = 0.0
                         nu = adj.get(u)
@@ -347,15 +432,21 @@ class WRS(PairingSamplerKernel):
                         if uncompensated == 0:
                             if len(rp_items) < capacity:
                                 rp_add(oldest)
+                                if set_payload is not None:
+                                    set_payload(oldest, 0.0)
                             elif rng_random() < capacity / rp.population:
                                 evicted = evict_random()
                                 rp_add(oldest)
+                                if set_payload is not None:
+                                    set_payload(oldest, 0.0)
                                 remove_edge(evicted)
                             else:
                                 remove_edge(oldest)
                         elif rng_random() < rp.d_i / uncompensated:
                             rp.d_i -= 1
                             rp_add(oldest)
+                            if set_payload is not None:
+                                set_payload(oldest, 0.0)
                         else:
                             rp.d_o -= 1
                             remove_edge(oldest)
@@ -383,6 +474,10 @@ class WRS(PairingSamplerKernel):
                             rp.d_o += 1
                     if mode == 2:
                         estimate -= wedge_delta(u, v)
+                    elif mode == 1 and arena_slabs and (
+                        (pair := cp(u, v)) is not None
+                    ):
+                        estimate -= wr_delta(pair[0], pair[1], joint_prob)
                     elif mode == 1:
                         delta = 0.0
                         nu = adj.get(u)

@@ -1,0 +1,249 @@
+"""Unit tests for the sorted-CSR adjacency arena.
+
+Covers the structural invariants the samplers' bit-identity contracts
+lean on: sorted/unique live slabs, tombstone accounting, power-of-two
+capacity growth at the boundaries, per-vertex and arena-wide
+compaction, sentinel padding, and the intersection queries against a
+brute-force reference.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.arena import _PAD, AdjacencyArena, _pow2_at_least
+
+
+def build(arena, vid, items):
+    """Install a slab from a {neighbour: payload} dict."""
+    ids = sorted(items)
+    arena.build(
+        vid,
+        np.array(ids, dtype=np.int64),
+        np.array([items[i] for i in ids], dtype=np.float64),
+    )
+
+
+class TestSlabBasics:
+    def test_build_and_query(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {3: 0.5, 7: 1.5, 9: 2.5})
+        assert 0 in arena
+        assert arena.live_degree(0) == 3
+        ids, lane = arena.live_items(0)
+        assert ids.tolist() == [3, 7, 9]
+        assert lane.tolist() == [0.5, 1.5, 2.5]
+        arena.check_invariants()
+
+    def test_insert_keeps_sorted_order(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {})
+        for n in (5, 1, 9, 3, 7):
+            arena.insert(0, n, float(n))
+        ids, lane = arena.live_items(0)
+        assert ids.tolist() == [1, 3, 5, 7, 9]
+        assert lane.tolist() == [1.0, 3.0, 5.0, 7.0, 9.0]
+        arena.check_invariants()
+
+    def test_duplicate_insert_rejected(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {4: 1.0})
+        with pytest.raises(ConfigurationError):
+            arena.insert(0, 4, 2.0)
+
+    def test_remove_missing_rejected(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {4: 1.0})
+        with pytest.raises(ConfigurationError):
+            arena.remove(0, 5)
+
+    def test_double_build_rejected(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {1: 1.0})
+        with pytest.raises(ConfigurationError):
+            build(arena, 0, {2: 1.0})
+
+    def test_payload_roundtrip(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {2: 1.0, 4: 2.0})
+        arena.set_payload(0, 4, 9.0)
+        assert arena.payload(0, 4) == 9.0
+        assert arena.payload(0, 2) == 1.0
+        with pytest.raises(ConfigurationError):
+            arena.set_payload(0, 6, 1.0)
+
+
+class TestTombstones:
+    def test_remove_tombstones_then_resurrect(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {k: float(k) for k in range(10, 40)})
+        assert arena.remove(0, 20) == 29
+        # The slot is dead but the id stays in place (slab still probes).
+        slab = arena._slabs[0]
+        assert slab.dead == 1
+        # Re-inserting resurrects the slot in place with the new payload.
+        arena.insert(0, 20, 99.0)
+        assert slab.dead == 0
+        assert arena.payload(0, 20) == 99.0
+        assert arena.live_degree(0) == 30
+        arena.check_invariants()
+
+    def test_half_dead_triggers_compaction(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {k: float(k) for k in range(16)})
+        for k in range(8):
+            arena.remove(0, k)
+        slab = arena._slabs[0]
+        assert slab.dead == 0  # compaction fired at the 50% mark
+        assert slab.size == 8
+        ids, _ = arena.live_items(0)
+        assert ids.tolist() == list(range(8, 16))
+        arena.check_invariants()
+
+    def test_queries_see_only_live_entries(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {1: 1.0, 2: 2.0, 3: 3.0})
+        build(arena, 1, {1: 10.0, 2: 20.0, 4: 40.0})
+        arena.remove(0, 2)
+        assert arena.common_count(0, 1) == 1
+        assert arena.common_ids(0, 1).tolist() == [1]
+        pa, pb = arena.common_payloads(0, 1)
+        assert sorted([pa.tolist(), pb.tolist()]) == [[1.0], [10.0]]
+
+
+class TestGrowth:
+    def test_power_of_two_boundary_growth(self):
+        """Filling a slab to capacity relocates it with doubled cap."""
+        arena = AdjacencyArena()
+        build(arena, 0, {})
+        caps = set()
+        for n in range(200):
+            arena.insert(0, n, float(n))
+            slab = arena._slabs[0]
+            caps.add(slab.cap)
+            assert slab.cap == _pow2_at_least(slab.cap)
+            assert slab.cap >= slab.size + 1  # always one pad slot
+            arena.check_invariants()
+        assert caps == {2, 4, 8, 16, 32, 64, 128, 256}
+        ids, _ = arena.live_items(0)
+        assert ids.tolist() == list(range(200))
+
+    def test_arena_buffer_doubles(self):
+        arena = AdjacencyArena(initial_capacity=4)
+        for vid in range(8):
+            build(arena, vid, {k: 1.0 for k in range(10)})
+        assert arena.capacity >= 8 * 16
+        arena.check_invariants()
+
+    def test_relocation_compacts_tombstones(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {k: float(k) for k in range(15)})  # cap 16, full
+        arena.remove(0, 3)  # 1 dead of 15 — below the 50% trigger
+        arena.insert(0, 100, 1.0)  # forces relocation (size+1 == cap)
+        slab = arena._slabs[0]
+        assert slab.dead == 0
+        ids, _ = arena.live_items(0)
+        assert ids.tolist() == [k for k in range(15) if k != 3] + [100]
+        arena.check_invariants()
+
+    def test_drop_reclaims_tail_and_counts_garbage(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {1: 1.0})
+        build(arena, 1, {2: 2.0})
+        tail = arena._tail
+        arena.drop(1)  # tail slab: tail pointer rewinds
+        assert arena._tail < tail
+        assert arena.garbage == 0
+        build(arena, 2, {3: 3.0})
+        arena.drop(0)  # interior slab: becomes garbage
+        assert arena.garbage > 0
+        arena.check_invariants()
+
+    def test_compact_arena_squeezes_garbage(self):
+        arena = AdjacencyArena()
+        for vid in range(6):
+            build(arena, vid, {k: float(vid) for k in range(20)})
+        for vid in (1, 3):
+            arena.drop(vid)
+        arena.compact_arena()
+        assert arena.garbage == 0
+        for vid in (0, 2, 4, 5):
+            ids, lane = arena.live_items(vid)
+            assert ids.tolist() == list(range(20))
+            assert set(lane.tolist()) == {float(vid)}
+        arena.check_invariants()
+
+    def test_sentinel_padding_preserved(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {k: 1.0 for k in range(5)})
+        slab = arena._slabs[0]
+        pad = arena._ids[slab.off + slab.size:slab.off + slab.cap]
+        assert np.all(pad == _PAD)
+
+
+class TestIntersections:
+    def test_matches_brute_force(self):
+        rng = random.Random(5)
+        arena = AdjacencyArena(initial_capacity=8)
+        ref: dict[int, dict[int, float]] = {}
+        for vid in range(6):
+            items = {
+                n: rng.random() for n in rng.sample(range(60), 25)
+            }
+            ref[vid] = items
+            build(arena, vid, items)
+        # Mutate a bit so tombstones and growth are in play.
+        for _ in range(120):
+            vid = rng.randrange(6)
+            if ref[vid] and rng.random() < 0.5:
+                n = rng.choice(list(ref[vid]))
+                del ref[vid][n]
+                arena.remove(vid, n)
+            else:
+                n = rng.randrange(60)
+                if n in ref[vid]:
+                    continue
+                ref[vid][n] = rng.random()
+                arena.insert(vid, n, ref[vid][n])
+        for a in range(6):
+            for b in range(6):
+                if a == b:
+                    continue
+                want = sorted(set(ref[a]) & set(ref[b]))
+                assert arena.common_ids(a, b).tolist() == want
+                assert arena.common_count(a, b) == len(want)
+                pa, pb = arena.common_payloads(a, b)
+                got = sorted(
+                    sorted(x) for x in zip(pa.tolist(), pb.tolist())
+                )
+                assert got == sorted(
+                    sorted((ref[a][c], ref[b][c])) for c in want
+                )
+        arena.check_invariants()
+
+    def test_empty_and_disjoint(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {})
+        build(arena, 1, {5: 1.0})
+        build(arena, 2, {6: 2.0})
+        assert arena.common_count(0, 1) == 0
+        assert arena.common_count(1, 2) == 0
+        pa, pb = arena.common_payloads(1, 2)
+        assert len(pa) == 0 and len(pb) == 0
+        assert arena.common_ids(0, 2).tolist() == []
+
+
+class TestClear:
+    def test_clear_resets(self):
+        arena = AdjacencyArena()
+        build(arena, 0, {1: 1.0})
+        arena.clear()
+        assert len(arena) == 0
+        assert arena._tail == 0
+        assert arena.garbage == 0
+        build(arena, 0, {2: 2.0})  # usable again
+        assert arena.live_degree(0) == 1

@@ -299,3 +299,34 @@ def test_worker_processes_reaped_promptly(streams):
             break
         time.sleep(0.05)
     assert all(w.process.exitcode == 0 for w in workers)
+
+
+class TestArenaParity:
+    """Serial==process bit-identity with the sampled-graph arena live.
+
+    Workers restore replicas from v3 checkpoints, which carry the slab
+    cutoff and the slabbed-vertex set — so a low cutoff set in the
+    parent must reproduce the parent's adaptive triangle routing inside
+    every worker, or the estimates drift apart.
+    """
+
+    def test_wsd_triangle_with_slabs(self, streams):
+        from repro.samplers import kernel as kernel_mod
+
+        previous = kernel_mod.set_arena_cutoff(4)
+        try:
+            make = SAMPLER_CASES[0][2]  # wsd-h / triangle
+            stream = streams["light"]
+            serial = run_serial(make, "partition", stream)
+            # The low cutoff must actually produce slabs in a replica.
+            assert any(
+                len(r._sampled_graph.arena) > 0 for r in serial.shards
+            )
+            with build_executor(
+                make, "process", "partition", chunk_size=64
+            ) as proc:
+                proc.process_stream(stream)
+                assert proc.estimate == serial.estimate
+                assert proc.shard_estimates() == serial.shard_estimates()
+        finally:
+            kernel_mod.set_arena_cutoff(previous)
