@@ -49,12 +49,32 @@ SAMPLERS = ("wsd", "gps", "gps-a", "wrs", "thinkd")
 #: vectorised triangle delta) — both construction-time switches.
 #: ``old`` reproduces the pre-columnar, pre-arena pipeline; ``new`` is
 #: the current default path. ``events``/``block`` isolate the
-#: representation change alone.
+#: representation change alone. The ``learned`` field swaps the
+#: heuristic weight for a deterministic frozen WSD-L actor served via
+#: the legacy WeightContext path (``"context"``) or the kernels' block
+#: path (``"block"``): both draw the identical sampling trajectory
+#: under a fixed seed (the bit-identity contract), so their ratio
+#: isolates the cost of context materialisation + instance re-walks.
 VARIANTS: dict[str, dict] = {
     "old": {"feed": "events", "wedge_vector": False, "arena": False},
     "new": {"feed": "block", "wedge_vector": True, "arena": True},
     "events": {"feed": "events", "wedge_vector": True, "arena": True},
     "block": {"feed": "block", "wedge_vector": True, "arena": True},
+    "learned-ctx": {
+        "feed": "block", "wedge_vector": True, "arena": True,
+        "learned": "context",
+    },
+    "learned-block": {
+        "feed": "block", "wedge_vector": True, "arena": True,
+        "learned": "block",
+    },
+}
+
+#: The WSD-L A/B cells ``run_all.py --ab`` records (context-path vs
+#: block-path serving of the same frozen actor).
+LEARNED_AB_CONFIG = {
+    "samplers": ("wsd",),
+    "patterns": ("triangle", "wedge"),
 }
 
 #: Steady-state dense-regime config for the triangle-delta A/B
@@ -238,6 +258,24 @@ def run_case(
     }
 
 
+def _learned_weight(pattern: str, block_serving: bool):
+    """A deterministic frozen WSD-L actor for the learned A/B cells.
+
+    Handcrafted parameters, not a training run: positive weights keep
+    the temporal features live (ReLU active on every event) so the
+    context path pays its full feature-construction cost, and the bench
+    stays reproducible without shipping a trained artifact.
+    """
+    from repro.patterns.matching import get_pattern
+    from repro.rl.policy import FrozenPolicy
+    from repro.weights.features import state_dimension
+    from repro.weights.learned import LearnedWeight
+
+    dim = state_dimension(get_pattern(pattern).num_edges)
+    policy = FrozenPolicy(np.linspace(0.05, 0.45, dim), 0.1)
+    return LearnedWeight(policy, block_serving=block_serving)
+
+
 def _make_variant_sampler(
     variant: str, sampler_name: str, pattern: str, budget: int, seed: int
 ):
@@ -246,6 +284,18 @@ def _make_variant_sampler(
     prev_wedge = _kernel.set_wedge_vectorization(spec["wedge_vector"])
     prev_arena = _kernel.set_arena_acceleration(spec["arena"])
     try:
+        learned = spec.get("learned")
+        if learned is not None:
+            if sampler_name != "wsd":
+                raise ValueError(
+                    "learned variants are WSD-only (WSD-L), got "
+                    f"{sampler_name!r}"
+                )
+            return WSD(
+                pattern, budget,
+                _learned_weight(pattern, learned == "block"),
+                rng=seed,
+            )
         return make_sampler(sampler_name, pattern, budget, seed)
     finally:
         _kernel.set_wedge_vectorization(prev_wedge)

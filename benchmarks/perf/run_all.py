@@ -40,12 +40,16 @@ change on this host, recorded under the report's ``ab`` key — plus the
 *steady-state dense* triangle cells (``microbench.run_ab_dense``,
 recorded under ``ab_dense``): graph pre-filled past reservoir
 capacity, throughput timed over a constant-density churn phase, which
-is the regime where the γ(M) triangle delta dominates the event cost.
-Any A/B cell whose two estimates disagree beyond 1e-6 relative fails
-the run. ``--min-ab-ratio X`` additionally fails the run when the
-dense ``wsd/triangle`` cell's NEW/OLD speedup falls below ``X`` — the
-CI ratchet for the arena triangle hot path, analogous to
-``--min-process-ratio``.
+is the regime where the γ(M) triangle delta dominates the event cost —
+plus the WSD-L serving cells (``ab_learned``): the same frozen actor
+served through the legacy WeightContext path vs the kernels' block
+path on the wsd/triangle and wsd/wedge cells, whose speedup is the
+learned fast path's headline number. Any A/B cell whose two estimates
+disagree beyond 1e-6 relative fails the run. ``--min-ab-ratio X``
+additionally fails the run when the dense ``wsd/triangle`` cell's
+NEW/OLD speedup — or any ``ab_learned`` cell's block-over-context
+speedup — falls below ``X``, the CI ratchet for the arena and WSD-L
+hot paths, analogous to ``--min-process-ratio``.
 
 Estimate comparison against the recorded baseline is tolerance-aware:
 ``estimate_match`` accepts relative drift up to 1e-6 (float-ordering
@@ -303,10 +307,26 @@ def main(argv: list[str] | None = None) -> int:
             1 if args.quick else min(repeats, 2),
             samplers=dense_cfg["samplers"],
         )
+        print(
+            "== WSD-L serving A/B (learned-ctx vs learned-block) ==",
+            file=sys.stderr,
+        )
+        report["ab_learned"] = microbench.run_ab_matrix(
+            "learned-ctx",
+            "learned-block",
+            num_events,
+            config.get("budget", 1_500),
+            config.get("num_vertices", 400),
+            config.get("deletion_fraction", 0.2),
+            config.get("seed", 2023),
+            repeats,
+            samplers=microbench.LEARNED_AB_CONFIG["samplers"],
+            patterns=microbench.LEARNED_AB_CONFIG["patterns"],
+        )
 
     ab_estimates_failed = False
     ab_ratio_failed = False
-    for section in ("ab", "ab_dense"):
+    for section in ("ab", "ab_dense", "ab_learned"):
         for key, cell in report.get(section, {}).get("results", {}).items():
             if cell.get("estimate_match") is False:
                 ab_estimates_failed = True
@@ -341,6 +361,20 @@ def main(argv: list[str] | None = None) -> int:
                 "ratchet",
                 file=sys.stderr,
             )
+        # The WSD-L serving cells ride the same ratchet: the block
+        # path must beat the context path by at least the gate on
+        # every recorded cell.
+        for key, cell in (
+            report.get("ab_learned", {}).get("results", {}).items()
+        ):
+            if cell["speedup"] < args.min_ab_ratio:
+                ab_ratio_failed = True
+                print(
+                    f"wsd-l {key} serving A/B at {cell['speedup']}x, "
+                    f"below the --min-ab-ratio {args.min_ab_ratio} "
+                    "ratchet",
+                    file=sys.stderr,
+                )
 
     parity_failed = False
     ratio_failed = False

@@ -1,21 +1,33 @@
 #!/usr/bin/env python3
-"""Train a WSD-L weight policy with DDPG and deploy it (Section IV).
+"""Train a WSD-L weight policy, freeze it, and serve it (Section IV).
 
-Reproduces the paper's offline-training / online-deployment split:
+Reproduces the paper's offline-training / online-deployment split, now
+with the explicit train → freeze → serve pipeline:
 
-1. build training streams from a *training* graph (cit-HE) under the
-   light-deletion scenario;
-2. train the DDPG agent — the actor is a single linear layer producing
-   each arriving edge's weight (Eq. 27), the reward is the decrease in
-   estimation error (Eq. 25);
-3. freeze the actor into a Policy, save it to disk;
-4. evaluate WSD-L vs WSD-H on the same-category *test* graph (cit-PT),
-   as in Tables II/III.
+1. **Train**: build training streams from a *training* graph (cit-HE)
+   under the light-deletion scenario and run DDPG — the actor is a
+   single linear layer producing each arriving edge's weight (Eq. 27),
+   the reward is the decrease in estimation error (Eq. 25);
+2. **Freeze**: pin the trained actor into a
+   :class:`~repro.rl.policy.FrozenPolicy` — the serving artifact with a
+   fixed evaluation order — and round-trip it through ``.npz``, the
+   paper's "hardcode θ = {W, b} into the runtime" step;
+3. **Serve**: a frozen policy switches :class:`LearnedWeight` onto the
+   kernels' block path automatically (state features assembled inline
+   from the estimator walk, no per-event WeightContext), which is how
+   WSD-L runs at streaming rates; the trajectory is bit-identical to
+   the legacy context path under the same seed;
+4. **Inspect**: reproduce the Figure 2(d) relationship — the learned
+   weight grows with the number of pattern instances the arriving edge
+   completes, which is exactly why weighted sampling beats uniform;
+5. **Evaluate** WSD-L vs WSD-H on the same-category *test* graph
+   (cit-PT), as in Tables II/III.
 
 Run:  python examples/train_wsd_l.py
 """
 
 import tempfile
+from collections import defaultdict
 from pathlib import Path
 
 import numpy as np
@@ -24,12 +36,12 @@ from repro import (
     ExactCounter,
     GPSHeuristicWeight,
     LearnedWeight,
-    Policy,
     WSD,
     build_stream,
     load_dataset,
 )
 from repro.estimators import absolute_relative_error
+from repro.rl.policy import FrozenPolicy
 from repro.rl.training import (
     TrainingConfig,
     make_training_streams,
@@ -48,6 +60,9 @@ def main() -> None:
           f"{len(streams)} streams")
 
     # 2. Train (300 DDPG updates; the paper uses 1,000 at full scale).
+    # Training is seed-reproducible: exploration noise, network init,
+    # and replay sampling each draw from an independent child stream of
+    # the one seed below.
     budget = max(8, len(train_edges) // 25)
     result = train_weight_policy(
         streams,
@@ -61,15 +76,22 @@ def main() -> None:
     print(f"actor weights: {np.round(result.policy.weights, 3)}, "
           f"bias {result.policy.bias:.3f}")
 
-    # 3. Persist and reload — the deployable artefact is tiny.
+    # 3. Freeze + persist: the deployable artifact is a FrozenPolicy —
+    # same parameters, pinned evaluation order (the block-serving
+    # bit-identity contract). ``.npz`` round-trips it in a few hundred
+    # bytes.
+    frozen = result.policy.freeze()
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "wsd_l_citation_triangle.npz"
-        result.policy.save(path)
-        policy = Policy.load(path)
-        print(f"policy saved/reloaded from {path.name} "
+        frozen.save(path)
+        policy = FrozenPolicy.load(path)
+        print(f"frozen policy saved/reloaded from {path.name} "
               f"({path.stat().st_size} bytes)")
 
-    # 4. Evaluate on the held-out test graph of the same category.
+    # 4. Serve on the held-out test graph. A FrozenPolicy turns block
+    # serving on automatically — LearnedWeight skips WeightContext
+    # construction and evaluates the actor from the kernels' inline
+    # state summaries.
     test_edges = load_dataset("cit-PT", seed=0)
     stream = build_stream(test_edges, "light", beta=0.2, rng=3)
     truth = ExactCounter("triangle").process_stream(stream)
@@ -77,6 +99,33 @@ def main() -> None:
     print(f"\ntest graph cit-PT: {len(stream)} events, "
           f"truth = {truth} triangles, M = {test_budget}")
 
+    serving = LearnedWeight(policy)
+    print(f"block serving: {serving.block_serving} "
+          "(frozen actor -> fast path)")
+
+    # Figure 2(d): the learned weight vs the number of triangles the
+    # arriving edge completes. The state observer sees every served
+    # (raw state, time) pair; replaying them through the vectorised
+    # block evaluator yields the exact per-event weights to bucket.
+    rows, times = [], []
+    serving.state_observer = lambda row, t: (rows.append(row),
+                                             times.append(t))
+    sampler = WSD("triangle", test_budget, serving, rng=0)
+    estimate = sampler.process_stream(stream)
+    serving.state_observer = None
+    weights = serving.weights_for_block(np.array(rows), times)
+    weight_by_count: dict[int, list[float]] = defaultdict(list)
+    for row, weight in zip(rows, weights):
+        weight_by_count[int(row[0])].append(float(weight))
+    print(f"WSD-L estimate: {estimate:.1f} "
+          f"(ARE {absolute_relative_error(estimate, truth):.2f}%)")
+    print("weight vs completed-triangle count (Figure 2(d)):")
+    for count in sorted(weight_by_count)[:6]:
+        bucket = weight_by_count[count]
+        print(f"  |H_k| = {count}: mean weight "
+              f"{np.mean(bucket):8.3f}  ({len(bucket)} edges)")
+
+    # 5. WSD-L vs WSD-H over repeated trials (Tables II/III).
     trials = 10
     for name, weight_factory in (
         ("WSD-L", lambda: LearnedWeight(policy)),

@@ -74,7 +74,8 @@ class DynamicAdjacency:
 
     __slots__ = (
         "_adj", "_num_edges", "_interner",
-        "_arena", "_slab_cutoff", "_slab_hyst", "_payload_fn",
+        "_arena", "_slab_cutoff", "_slab_hyst",
+        "_payload_fn", "_payload2_fn",
     )
 
     def __init__(self) -> None:
@@ -86,6 +87,7 @@ class DynamicAdjacency:
         self._slab_cutoff = DEFAULT_SLAB_CUTOFF
         self._slab_hyst = DEFAULT_SLAB_CUTOFF // 2
         self._payload_fn = None
+        self._payload2_fn = None
 
     # -- mutation ---------------------------------------------------------
 
@@ -99,15 +101,19 @@ class DynamicAdjacency:
         self.add_edge_canonical(edge)
         return edge
 
-    def add_edge_canonical(self, edge: Edge, payload: float = 1.0) -> None:
+    def add_edge_canonical(
+        self, edge: Edge, payload: float = 1.0, payload2: float = 0.0
+    ) -> None:
         """Insert an edge already in canonical form (no re-sorting).
 
         The caller guarantees ``edge`` came from
         :func:`~repro.graph.edges.canonical_edge` (stream events always
         do); only the duplicate-edge check is performed here.
         ``payload`` is the per-edge arena-lane value (edge weight,
-        sample membership, ...); it is ignored unless an arena is
-        enabled and an endpoint holds (or now earns) a slab.
+        sample membership, ...) and ``payload2`` the second-lane value
+        (per-edge arrival time) for arenas with that lane active; both
+        are ignored unless an arena is enabled and an endpoint holds
+        (or now earns) a slab.
         """
         a, b = edge
         adj = self._adj
@@ -137,7 +143,7 @@ class DynamicAdjacency:
                 and len(neighbours) >= self._slab_cutoff
             )
         ):
-            self._note_add(a, b, payload)
+            self._note_add(a, b, payload, payload2)
 
     def remove_edge(self, u: Vertex, v: Vertex) -> Edge:
         """Delete the undirected edge ``{u, v}`` and return its canonical form.
@@ -182,6 +188,7 @@ class DynamicAdjacency:
         self,
         payload_fn=None,
         cutoff: int | None = None,
+        payload2_fn=None,
     ) -> None:
         """Mirror high-degree neighbourhoods into sorted payload slabs.
 
@@ -189,7 +196,11 @@ class DynamicAdjacency:
         *existing* edge when a vertex's slab is first built (incremental
         inserts carry their payload through
         :meth:`add_edge_canonical`); ``None`` fills lanes with 1.0.
-        ``cutoff`` is the slab-earning degree (default
+        ``payload2_fn(u, w) -> float``, when given, activates the
+        arena's second payload lane (e.g. per-edge arrival time) and
+        fills it the same way at slab build; incremental inserts carry
+        their lane-2 value through ``add_edge_canonical``'s
+        ``payload2``. ``cutoff`` is the slab-earning degree (default
         :data:`DEFAULT_SLAB_CUTOFF`); a slab is dropped again when its
         live degree falls below ``cutoff // 2`` (hysteresis, so a
         vertex oscillating at the boundary does not thrash
@@ -202,8 +213,11 @@ class DynamicAdjacency:
             self._slab_cutoff = int(cutoff)
             self._slab_hyst = max(1, int(cutoff) // 2)
         self._payload_fn = payload_fn
+        self._payload2_fn = payload2_fn
         if self._arena is None:
             self._arena = AdjacencyArena()
+        if payload2_fn is not None:
+            self._arena.ensure_lane2()
         for v, neighbours in self._adj.items():
             if len(neighbours) >= self._slab_cutoff:
                 i = self._interner.id_of(v)
@@ -238,9 +252,18 @@ class DynamicAdjacency:
             lane = np.ones(k, dtype=np.float64)
         else:
             lane = np.fromiter((pf(v, p[1]) for p in pairs), np.float64, k)
-        self._arena.build(vertex_id, ids, lane)
+        pf2 = self._payload2_fn
+        if pf2 is None:
+            self._arena.build(vertex_id, ids, lane)
+        else:
+            lane2 = np.fromiter(
+                (pf2(v, p[1]) for p in pairs), np.float64, k
+            )
+            self._arena.build(vertex_id, ids, lane, lane2)
 
-    def _note_add(self, a: Vertex, b: Vertex, payload: float) -> None:
+    def _note_add(
+        self, a: Vertex, b: Vertex, payload: float, payload2: float = 0.0
+    ) -> None:
         """Arena maintenance after ``{a, b}`` entered the sets.
 
         Exposed (underscored) for the sampler mega-loops, which inline
@@ -252,11 +275,11 @@ class DynamicAdjacency:
         ia = idmap[a]
         ib = idmap[b]
         if ia in arena:
-            arena.insert(ia, ib, payload)
+            arena.insert(ia, ib, payload, payload2)
         elif len(self._adj[a]) >= self._slab_cutoff:
             self._build_slab(a, ia)
         if ib in arena:
-            arena.insert(ib, ia, payload)
+            arena.insert(ib, ia, payload, payload2)
         elif len(self._adj[b]) >= self._slab_cutoff:
             self._build_slab(b, ib)
 
@@ -438,6 +461,32 @@ class DynamicAdjacency:
         if iv not in arena:
             return None
         return arena.common_payloads(iu, iv)
+
+    def common_payloads2(self, u: Vertex, v: Vertex):
+        """Both payload lanes over N(u) ∩ N(v), or ``None``.
+
+        Like :meth:`common_payloads` but returns ``(pa, pb, qa, qb)``
+        with the second-lane values of the same slots (requires an
+        arena enabled with ``payload2_fn``). ``None`` under the same
+        conditions — the caller then runs its scalar loop.
+        """
+        arena = self._arena
+        if arena is None or not arena._slabs:
+            return None
+        nu = self._adj.get(u)
+        if nu is None or len(nu) < self._slab_hyst:
+            return None
+        nv = self._adj.get(v)
+        if nv is None or len(nv) < self._slab_hyst:
+            return None
+        idmap = self._interner._ids
+        iu = idmap[u]
+        if iu not in arena:
+            return None
+        iv = idmap[v]
+        if iv not in arena:
+            return None
+        return arena.common_payloads2(iu, iv)
 
     def arena_common_neighbors(self, u: Vertex, v: Vertex):
         """Common neighbours as a label set via the slabs, or ``None``.

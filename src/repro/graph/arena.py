@@ -86,10 +86,33 @@ class AdjacencyArena:
         n = _pow2_at_least(initial_capacity)
         self._ids = np.full(n, _PAD, dtype=np.int64)
         self._lane = np.zeros(n, dtype=np.float64)
+        #: Optional second payload lane (e.g. per-edge arrival time),
+        #: aligned slot-for-slot with ``_ids`` like ``_lane``. ``None``
+        #: until :meth:`ensure_lane2` — single-lane callers pay nothing.
+        self._lane2: np.ndarray | None = None
         self._alive = np.zeros(n, dtype=bool)
         self._slabs: dict[int, _Slab] = {}
         self._tail = 0  # next free arena slot
         self._garbage = 0  # slots abandoned by relocation / drop
+
+    def ensure_lane2(self) -> None:
+        """Allocate the second payload lane (idempotent).
+
+        Must be called before any slab exists: the lane starts zeroed,
+        and slots written before the lane existed would silently read
+        back 0.0 rather than their true payload.
+        """
+        if self._lane2 is not None:
+            return
+        if self._slabs:
+            raise ConfigurationError(
+                "ensure_lane2() must run before slabs are built"
+            )
+        self._lane2 = np.zeros(len(self._ids), dtype=np.float64)
+
+    @property
+    def has_lane2(self) -> bool:
+        return self._lane2 is not None
 
     # -- introspection -----------------------------------------------------
 
@@ -147,6 +170,10 @@ class AdjacencyArena:
         ids[:tail] = self._ids[:tail]
         lane[:tail] = self._lane[:tail]
         alive[:tail] = self._alive[:tail]
+        if self._lane2 is not None:
+            lane2 = np.zeros(n, dtype=np.float64)
+            lane2[:tail] = self._lane2[:tail]
+            self._lane2 = lane2
         self._ids = ids
         self._lane = lane
         self._alive = alive
@@ -162,6 +189,7 @@ class AdjacencyArena:
         """
         slabs = sorted(self._slabs.values(), key=lambda s: s.off)
         ids, lane, alive = self._ids, self._lane, self._alive
+        lane2 = self._lane2
         write = 0
         for slab in slabs:
             lo, hi = slab.off, slab.off + slab.size
@@ -169,10 +197,14 @@ class AdjacencyArena:
                 mask = alive[lo:hi]
                 live_ids = ids[lo:hi][mask]
                 live_lane = lane[lo:hi][mask]
+                if lane2 is not None:
+                    lane2[write:write + len(live_ids)] = lane2[lo:hi][mask]
                 k = len(live_ids)
             else:
                 live_ids = ids[lo:hi]
                 live_lane = lane[lo:hi]
+                if lane2 is not None:
+                    lane2[write:write + slab.size] = lane2[lo:hi]
                 k = slab.size
             cap = slab.cap
             ids[write:write + k] = live_ids
@@ -190,7 +222,11 @@ class AdjacencyArena:
     # -- per-slab operations ----------------------------------------------
 
     def build(
-        self, vertex_id: int, ids: np.ndarray, payloads: np.ndarray
+        self,
+        vertex_id: int,
+        ids: np.ndarray,
+        payloads: np.ndarray,
+        payloads2: np.ndarray | None = None,
     ) -> None:
         """Install a slab from sorted unique dense ids + aligned payloads."""
         if vertex_id in self._slabs:
@@ -203,6 +239,10 @@ class AdjacencyArena:
         off = self._tail
         self._ids[off:off + k] = ids
         self._lane[off:off + k] = payloads
+        if self._lane2 is not None:
+            self._lane2[off:off + k] = (
+                0.0 if payloads2 is None else payloads2
+            )
         self._alive[off:off + k] = True
         self._ids[off + k:off + cap] = _PAD
         self._alive[off + k:off + cap] = False
@@ -235,11 +275,16 @@ class AdjacencyArena:
         return -1
 
     def insert(
-        self, vertex_id: int, neighbour_id: int, payload: float
+        self,
+        vertex_id: int,
+        neighbour_id: int,
+        payload: float,
+        payload2: float = 0.0,
     ) -> None:
         """Sorted-insert a live neighbour (resurrecting a tombstone)."""
         slab = self._slabs[vertex_id]
         pos = self._position(slab, neighbour_id)
+        lane2 = self._lane2
         if pos >= 0:
             at = slab.off + pos
             if self._alive[at]:
@@ -249,10 +294,13 @@ class AdjacencyArena:
                 )
             self._alive[at] = True
             self._lane[at] = payload
+            if lane2 is not None:
+                lane2[at] = payload2
             slab.dead -= 1
             return
         if slab.size + 1 >= slab.cap:
             self._grow_slab(vertex_id, slab)
+            lane2 = self._lane2  # _ensure_room may have reallocated it
         # Recompute against the (possibly relocated/compacted) slab.
         pos = int(np.searchsorted(
             self._ids[slab.off:slab.off + slab.size], neighbour_id
@@ -262,6 +310,9 @@ class AdjacencyArena:
         end = slab.off + slab.size
         ids[at + 1:end + 1] = ids[at:end]
         lane[at + 1:end + 1] = lane[at:end]
+        if lane2 is not None:
+            lane2[at + 1:end + 1] = lane2[at:end]
+            lane2[at] = payload2
         alive[at + 1:end + 1] = alive[at:end]
         ids[at] = neighbour_id
         lane[at] = payload
@@ -311,6 +362,8 @@ class AdjacencyArena:
         k = int(np.count_nonzero(mask))
         self._ids[lo:lo + k] = self._ids[lo:hi][mask]
         self._lane[lo:lo + k] = self._lane[lo:hi][mask]
+        if self._lane2 is not None:
+            self._lane2[lo:lo + k] = self._lane2[lo:hi][mask]
         self._alive[lo:lo + k] = True
         self._ids[lo + k:hi] = _PAD
         self._alive[lo + k:hi] = False
@@ -324,9 +377,15 @@ class AdjacencyArena:
             mask = self._alive[lo:hi]
             live_ids = self._ids[lo:hi][mask]
             live_lane = self._lane[lo:hi][mask]
+            live_lane2 = (
+                None if self._lane2 is None else self._lane2[lo:hi][mask]
+            )
         else:
             live_ids = self._ids[lo:hi].copy()
             live_lane = self._lane[lo:hi].copy()
+            live_lane2 = (
+                None if self._lane2 is None else self._lane2[lo:hi].copy()
+            )
         k = len(live_ids)
         new_cap = _pow2_at_least(max(slab.cap * 2, k + 2))
         self._ids[lo:hi] = _PAD
@@ -343,6 +402,8 @@ class AdjacencyArena:
         off = self._tail
         self._ids[off:off + k] = live_ids
         self._lane[off:off + k] = live_lane
+        if live_lane2 is not None:
+            self._lane2[off:off + k] = live_lane2
         self._alive[off:off + k] = True
         self._ids[off + k:off + new_cap] = _PAD
         self._alive[off + k:off + new_cap] = False
@@ -408,6 +469,41 @@ class AdjacencyArena:
         hit = a[idx] == b
         return la[idx[hit]], lb[hit]
 
+    def common_payloads2(
+        self, u_id: int, v_id: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Both payload lanes over the common neighbourhood.
+
+        Like :meth:`common_payloads` but also gathers the second lane:
+        returns ``(pa, pb, qa, qb)`` with ``qa``/``qb`` the lane-2
+        payloads of the same slots, from one shared ``searchsorted``
+        probe. Requires :meth:`ensure_lane2`.
+        """
+        slabs = self._slabs
+        su = slabs[u_id]
+        sv = slabs[v_id]
+        if su.dead:
+            self._compact(su)
+        if sv.dead:
+            self._compact(sv)
+        if su.size < sv.size:
+            su, sv = sv, su
+        ids, lane, lane2 = self._ids, self._lane, self._lane2
+        lo_a, lo_b = su.off, sv.off
+        a = ids[lo_a:lo_a + su.size + 1]
+        b = ids[lo_b:lo_b + sv.size]
+        if len(b) == 0 or len(a) == 1:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty, empty, empty
+        idx = np.searchsorted(a, b)
+        hit = a[idx] == b
+        sel_a = idx[hit]
+        la = lane[lo_a:lo_a + su.size]
+        lb = lane[lo_b:lo_b + sv.size]
+        l2a = lane2[lo_a:lo_a + su.size]
+        l2b = lane2[lo_b:lo_b + sv.size]
+        return la[sel_a], lb[hit], l2a[sel_a], l2b[hit]
+
     def common_ids(self, u_id: int, v_id: int) -> np.ndarray:
         """Dense ids of the common neighbours (ascending)."""
         a, _la, b, _lb = self._query_views(u_id, v_id)
@@ -433,6 +529,8 @@ class AdjacencyArena:
         regions never overlap, and the garbage account matches the
         layout.
         """
+        if self._lane2 is not None:
+            assert len(self._lane2) == len(self._ids), "lane2 misaligned"
         regions = []
         for vid, slab in self._slabs.items():
             assert slab.cap >= slab.size + 1, (vid, slab.size, slab.cap)

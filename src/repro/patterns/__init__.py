@@ -5,6 +5,7 @@ from repro.patterns.cliques import FourClique, KClique, Triangle
 from repro.patterns.exact import ExactCounter, exact_count_stream
 from repro.patterns.matching import brute_force_count, get_pattern, pattern_names
 from repro.patterns.paths import ThreePath, Wedge
+from repro.patterns.temporal import ArrivalTimeTracker
 
 __all__ = [
     "Instance",
@@ -14,6 +15,7 @@ __all__ = [
     "KClique",
     "Wedge",
     "ThreePath",
+    "ArrivalTimeTracker",
     "ExactCounter",
     "exact_count_stream",
     "brute_force_count",

@@ -61,6 +61,7 @@ class DDPGAgent:
         config: DDPGConfig | None = None,
         noise: NoiseProcess | None = None,
         rng: np.random.Generator | int | None = None,
+        replay_rng: np.random.Generator | int | None = None,
     ) -> None:
         self.config = config or DDPGConfig()
         self.config.validate()
@@ -82,8 +83,16 @@ class DDPGAgent:
         self.critic_optim = Adam(
             self.critic.parameters(), lr=self.config.critic_lr
         )
+        # Replay sampling gets its own stream when the caller provides
+        # one: with a shared ``rng``, adding or reordering any other
+        # draw (an extra layer init, a fallback-noise sample) would
+        # silently shift every subsequent mini-batch selection, breaking
+        # seed-for-seed reproducibility of training runs across
+        # otherwise-unrelated code changes.
         self.replay = ReplayBuffer(
-            state_dim, capacity=self.config.replay_capacity, rng=self.rng
+            state_dim,
+            capacity=self.config.replay_capacity,
+            rng=self.rng if replay_rng is None else ensure_rng(replay_rng),
         )
         self.noise = noise or GaussianNoise(rng=self.rng)
         self.updates = 0

@@ -17,7 +17,7 @@ import numpy as np
 from repro.errors import PolicyError
 from repro.rl.networks import ActorNetwork
 
-__all__ = ["Policy"]
+__all__ = ["Policy", "FrozenPolicy"]
 
 
 class Policy:
@@ -68,6 +68,10 @@ class Policy:
         bias = float(actor.linear.bias.value.reshape(-1)[0])
         return cls(weight, bias, metadata)
 
+    def freeze(self) -> "FrozenPolicy":
+        """Return the serving-grade :class:`FrozenPolicy` of this actor."""
+        return FrozenPolicy(self.weights, self.bias, self.metadata)
+
     # -- persistence ----------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
@@ -96,6 +100,79 @@ class Policy:
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
-            f"Policy(dim={self.state_dim}, bias={self.bias:.4f}, "
-            f"metadata={self.metadata})"
+            f"{type(self).__name__}(dim={self.state_dim}, "
+            f"bias={self.bias:.4f}, metadata={self.metadata})"
         )
+
+
+class FrozenPolicy(Policy):
+    """A :class:`Policy` with a pinned evaluation order for serving.
+
+    The serving contract of the block-weight protocol is that the same
+    state produces the *bit-identical* weight whether it is evaluated
+    one edge at a time (the kernel's scalar serving path, the legacy
+    context path) or as a whole block (``actions``). The base class's
+    ``weights @ state`` goes through BLAS, whose accumulation grouping
+    is unspecified; this subclass evaluates the dot product as an
+    explicit left-to-right scalar chain and the block method as the
+    elementwise column accumulation of exactly that chain, so all three
+    routes perform the same IEEE operations in the same order.
+
+    ``.npz`` round-trips through the inherited :meth:`Policy.save` /
+    :meth:`Policy.load` (the format stores only parameters + metadata,
+    so ``FrozenPolicy.load(...)`` rehydrates the serving class).
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        bias: float,
+        metadata: dict | None = None,
+    ) -> None:
+        Policy.__init__(self, weights, bias, metadata)
+        #: Python-float copies of the parameters: the scalar serving
+        #: chain stays in pure-CPython float arithmetic (bit-identical
+        #: to the numpy scalar ops, without per-element ufunc dispatch).
+        self._wlist = self.weights.tolist()
+
+    def action(self, state: np.ndarray) -> float:
+        """Eq. (27) with the +1 offset, fixed-order accumulation."""
+        state = np.asarray(state, dtype=np.float64).reshape(-1)
+        if state.size != self.weights.size:
+            raise PolicyError(
+                f"state dim {state.size} != policy dim {self.weights.size}"
+            )
+        return self.action_from_values(state.tolist())
+
+    def action_from_values(self, values) -> float:
+        """The scalar serving chain over a list of Python floats.
+
+        No dimension check — the kernel's serving path validates once
+        at bind time and calls this with trusted per-event features.
+        """
+        acc = 0.0
+        for w, s in zip(self._wlist, values):
+            acc += w * s
+        pre = acc + self.bias
+        return (pre if pre > 0.0 else 0.0) + 1.0
+
+    def actions(self, states: np.ndarray) -> np.ndarray:
+        """Block serving: ``relu(S @ W + b) + 1`` over ``(n, dim)`` states.
+
+        Evaluated by column accumulation — elementwise the same
+        multiply/add sequence as :meth:`action_from_values` — so
+        ``actions(S)[k]`` is bit-identical to ``action(S[k])``.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        if states.ndim != 2 or states.shape[1] != self.weights.size:
+            raise PolicyError(
+                f"states must have shape (n, {self.weights.size}), got "
+                f"{states.shape}"
+            )
+        acc = np.zeros(states.shape[0], dtype=np.float64)
+        for j, w in enumerate(self._wlist):
+            acc += w * states[:, j]
+        acc += self.bias
+        np.maximum(acc, 0.0, out=acc)
+        acc += 1.0
+        return acc

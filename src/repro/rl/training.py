@@ -21,7 +21,7 @@ from repro.rl.mdp import EpisodeStats, SamplingEpisode
 from repro.rl.noise import GaussianNoise
 from repro.rl.policy import Policy
 from repro.streams.scenarios import build_stream
-from repro.utils.rng import RngFactory
+from repro.utils.rng import RngFactory, derive_seed, spawn_generators
 from repro.weights.features import state_dimension
 
 __all__ = ["TrainingConfig", "TrainingResult", "train_weight_policy", "make_training_streams"]
@@ -116,15 +116,23 @@ def train_weight_policy(
     dim = state_dimension(pat.num_edges)
     factory = RngFactory(seed)
 
+    # One SeedSequence spawn per stochastic role: exploration noise,
+    # network initialisation, and replay mini-batch selection each get
+    # an independent child stream, so a fixed seed reproduces training
+    # bit-for-bit and no role's draw count can perturb another's.
+    noise_rng, agent_rng, replay_rng = spawn_generators(
+        derive_seed(seed, "ddpg"), 3
+    )
     agent = DDPGAgent(
         dim,
         config=config.ddpg,
         noise=GaussianNoise(
             sigma=config.noise_sigma,
             decay=config.noise_decay,
-            rng=factory.generator("noise"),
+            rng=noise_rng,
         ),
-        rng=factory.generator("agent"),
+        rng=agent_rng,
+        replay_rng=replay_rng,
     )
     episode = SamplingEpisode(
         agent,

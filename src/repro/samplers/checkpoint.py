@@ -61,8 +61,14 @@ __all__ = [
 #: to half the cutoff), so a v2 document — which still loads — can
 #: under-slab the restored graph and the continuation may regroup a few
 #: float additions; v3 restores are bit-identical continuations.
-_FORMAT_VERSION = 3
-_SUPPORTED_FORMATS = (1, 2, 3)
+#: Version 4 adds the WSD-L serving state: the ``learned_weight`` block
+#: (frozen actor parameters + feature settings, letting
+#: :func:`restore_sampler` rebuild the weight function when the caller
+#: does not pass one) and the ``arrival_tracker`` per-vertex aggregates
+#: (integer sums/maxes — the replay rebuilds them exactly, the stored
+#: copy is the same belt-and-braces overwrite ``wedge_light_inv`` gets).
+_FORMAT_VERSION = 4
+_SUPPORTED_FORMATS = (1, 2, 3, 4)
 
 _THRESHOLD_ALGORITHMS: dict[str, type[ThresholdSamplerKernel]] = {
     "wsd": WSD,
@@ -100,6 +106,70 @@ def _encode_edge(edge: Edge) -> dict:
 
 def _decode_edge(entry: dict) -> Edge:
     return (_decode_vertex(entry["u"]), _decode_vertex(entry["v"]))
+
+
+# -- WSD-L serving state ------------------------------------------------------
+
+
+def _learned_weight_state(weight_fn) -> dict | None:
+    """Serialise a learned weight function, or ``None`` if not one.
+
+    The actor is a single linear layer, so the whole serving artifact —
+    parameters plus the feature settings that must match training — fits
+    in a few JSON fields. Imported lazily: this module loads during
+    ``repro.samplers`` initialisation, before ``repro.rl`` (which
+    imports the samplers back) can be touched at module level.
+    """
+    from repro.rl.policy import Policy
+    from repro.weights.learned import LearnedWeight
+
+    if not isinstance(weight_fn, LearnedWeight):
+        return None
+    policy = weight_fn.policy
+    if not isinstance(policy, Policy):
+        # Foreign policy objects (training-time actors, test doubles)
+        # have no declared parameter layout; the caller must re-supply
+        # the weight function on restore, as before v4.
+        return None
+    return {
+        "weights": [float(w) for w in policy.weights],
+        "bias": policy.bias,
+        "metadata": policy.metadata,
+        "frozen": _is_frozen(policy),
+        "temporal_aggregation": weight_fn.temporal_aggregation,
+        "normalize": weight_fn.normalize,
+        "minimum_weight": weight_fn.minimum_weight,
+        "block_serving": weight_fn.block_serving,
+    }
+
+
+def _is_frozen(policy) -> bool:
+    from repro.rl.policy import FrozenPolicy
+
+    return isinstance(policy, FrozenPolicy)
+
+
+def _learned_weight_from_state(state: dict):
+    """Rebuild the checkpointed learned weight function, if any."""
+    info = state.get("learned_weight")
+    if info is None:
+        return None
+    from repro.rl.policy import FrozenPolicy, Policy
+    from repro.weights.learned import LearnedWeight
+
+    cls = FrozenPolicy if info.get("frozen", True) else Policy
+    policy = cls(
+        np.asarray(info["weights"], dtype=np.float64),
+        float(info["bias"]),
+        info.get("metadata"),
+    )
+    return LearnedWeight(
+        policy,
+        temporal_aggregation=info.get("temporal_aggregation", "max"),
+        normalize=bool(info.get("normalize", True)),
+        minimum_weight=float(info.get("minimum_weight", 1e-6)),
+        block_serving=bool(info.get("block_serving", False)),
+    )
 
 
 # -- state extraction ---------------------------------------------------------
@@ -182,6 +252,14 @@ def sampler_state_dict(sampler) -> dict:
             state["tau_p"] = sampler.tau_p
             # Historical v1 field name, kept for readability of dumps.
             state["tau_q"] = sampler.tau_q
+        learned = _learned_weight_state(sampler.weight_fn)
+        if learned is not None:
+            state["learned_weight"] = learned
+        if getattr(sampler, "_att", None) is not None:
+            state["arrival_tracker"] = [
+                [_encode_vertex(v), int(s), int(m)]
+                for v, (s, m) in sampler._att.aggregates().items()
+            ]
     else:
         rp = sampler._rp
         # The reservoir's internal list order feeds future eviction
@@ -231,7 +309,11 @@ def _arena_pre_restore(sampler, state: dict) -> None:
     graph = sampler._sampled_graph
     if info is None or graph.arena is None:
         return
-    graph.enable_arena(graph._payload_fn, cutoff=int(info["cutoff"]))
+    graph.enable_arena(
+        graph._payload_fn,
+        cutoff=int(info["cutoff"]),
+        payload2_fn=graph._payload2_fn,
+    )
 
 
 def _arena_post_restore(sampler, state: dict) -> None:
@@ -296,6 +378,18 @@ def _restore_threshold(sampler: ThresholdSamplerKernel, state: dict) -> None:
             _decode_vertex(pair): float(value)
             for pair, value in state["wedge_light_inv"]
         }
+    if sampler._att is not None and "arrival_tracker" in state:
+        # The replay above already rebuilt the tracker exactly (integer
+        # sums are order-independent); the stored aggregates overwrite
+        # it anyway, mirroring the ``wedge_light_inv`` idiom, so a
+        # hand-edited or partially replayed document still restores the
+        # recorded serving state.
+        sampler._att.load_aggregates(
+            {
+                _decode_vertex(pair): (int(s), int(m))
+                for pair, s, m in state["arrival_tracker"]
+            }
+        )
     _arena_post_restore(sampler, state)
 
 
@@ -308,8 +402,11 @@ def restore_sampler(
     For the threshold kernels the weight function is supplied by the
     caller (it may hold a learned policy or other non-serialisable
     resources) and must match the one used before checkpointing for the
-    continuation to be meaningful. The pairing kernels take no weight
-    function.
+    continuation to be meaningful. v4 checkpoints of WSD-L samplers
+    embed the actor parameters, so ``weight_fn`` may be omitted there —
+    the learned weight function is rebuilt from the document (an
+    explicitly supplied one still wins). The pairing kernels take no
+    weight function.
     """
     fmt = state.get("format")
     if fmt not in _SUPPORTED_FORMATS:
@@ -326,6 +423,11 @@ def restore_sampler(
             )
 
     if name in _THRESHOLD_ALGORITHMS:
+        if weight_fn is None:
+            # v4 learned-weight checkpoints embed the frozen actor, so
+            # WSD-L shards restore without the caller re-supplying the
+            # weight function (the process executor relies on this).
+            weight_fn = _learned_weight_from_state(state)
         if weight_fn is None:
             raise ConfigurationError(
                 f"restoring {name!r} requires the weight function used "

@@ -44,6 +44,7 @@ from repro.graph.stream import INSERT, EdgeEvent, EventBlock
 from repro.patterns.base import Pattern
 from repro.patterns.cliques import FourClique, KClique, Triangle
 from repro.patterns.paths import Wedge, WedgeDeltaTracker
+from repro.patterns.temporal import ArrivalTimeTracker
 from repro.samplers.base import SampledGraphMixin, SubgraphCountingSampler
 from repro.samplers.heap import IndexedMinHeap
 from repro.samplers.random_pairing import RandomPairingReservoir
@@ -230,7 +231,21 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
         SubgraphCountingSampler.__init__(self, pattern, budget, rng)
         SampledGraphMixin.__init__(self)
         self.weight_fn = weight_fn
+        # One-time pattern announcement: weight functions validate
+        # pattern-dependent invariants here (e.g. the learned policy's
+        # state dimension against |H|+3) instead of per event.
+        weight_fn.bind_pattern(self.pattern)
         self.rank_fn = get_rank_function(rank_fn)
+        #: Block-serving learned weight (WSD-L fast path), or ``None``.
+        #: When set, insertions bypass both the WeightContext and the
+        #: light_weight paths: the kernels assemble the raw state
+        #: features (instance count, degrees, per-position temporal
+        #: aggregates) inline from summaries the estimator walk already
+        #: produces and call ``state_weight`` per event.
+        self._learned = (
+            weight_fn if getattr(weight_fn, "block_serving", False)
+            else None
+        )
         self._reservoir = IndexedMinHeap()
         self._edge_weights: dict[Edge, float] = {}
         self._edge_times: dict[Edge, int] = {}
@@ -272,9 +287,36 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
             _ARENA_ACCELERATION
             and isinstance(self.pattern, (FourClique, KClique))
         ):
+            # WSD-L's triangle state features need each common
+            # neighbour's two edge *times* next to its two edge
+            # weights, so learned triangle samplers activate the
+            # arena's second payload lane (filled from the same
+            # per-edge state at slab build, carried inline on insert).
             self._sampled_graph.enable_arena(
-                self._arena_payload, cutoff=_ARENA_CUTOFF
+                self._arena_payload,
+                cutoff=_ARENA_CUTOFF,
+                payload2_fn=(
+                    self._arena_time
+                    if (self._tri_arena and self._learned is not None)
+                    else None
+                ),
             )
+        #: Per-vertex arrival-time aggregates (sum + max over incident
+        #: sampled edges) for the wedge learned path: the wedge's
+        #: per-position temporal features reduce to per-vertex
+        #: aggregates (the instance set of an arriving edge is exactly
+        #: the incident sampled edges of its endpoints), so the state
+        #: vector costs O(1) per event instead of a neighbour walk.
+        #: Maintained at the same sampled-graph choke points as the
+        #: wedge-delta tracker.
+        self._att = (
+            ArrivalTimeTracker()
+            if (
+                self._learned is not None
+                and self._wedge_tracker is not None
+            )
+            else None
+        )
         #: Most recent WeightContext (exposed for RL transition capture).
         #: Only maintained when the context path is active — pass
         #: ``capture_context=True`` to guarantee it; on the light path it
@@ -351,13 +393,25 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
     def _process_insertion(self, edge: Edge) -> None:
         u, v = edge
         wf = self.weight_fn
-        if self._capture_context or wf.needs_context:
+        if self._capture_context or wf.needs_context or (
+            self._learned is not None and self.instance_observers
+        ):
+            edge_times = self._edge_times
             instances = list(
                 self.pattern.instances_completed(self._sampled_graph, u, v)
             )
+            # Context-needing weight functions walk the instances again
+            # for the temporal features; collect each instance's sorted
+            # arrival times during the estimator pass so the state
+            # builder consumes them instead of re-enumerating.
+            inst_times = [] if wf.needs_context else None
             for instance in instances:
                 value = self._instance_value(instance)
                 self._estimate += value
+                if inst_times is not None:
+                    inst_times.append(
+                        sorted(edge_times[other] for other in instance)
+                    )
                 if self.instance_observers:
                     self._emit_instance(edge, instance, value)
             ctx = WeightContext(
@@ -365,11 +419,194 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                 time=self._time,
                 instances=instances,
                 adjacency=self._sampled_graph,
-                edge_times=self._edge_times,
+                edge_times=edge_times,
                 pattern=self.pattern,
+                instance_times=inst_times,
             )
             self.last_context = ctx
             weight = float(wf(ctx))
+        elif self._learned is not None:
+            # WSD-L block path, one event: the estimator pass below
+            # produces the state features as a side effect — instance
+            # count, sampled degrees, and the per-position temporal
+            # aggregates of Eq. (20)-(21) — and the frozen policy maps
+            # them to the weight via ``state_weight``. Branch structure,
+            # float operations, and adaptive routing are mirrored
+            # exactly by the batched mega-loop's learned section, which
+            # is what keeps per-event and batched runs bit-identical.
+            lw = self._learned
+            graph = self._sampled_graph
+            adj = graph._adj
+            time_now = self._time
+            threshold = self._threshold
+            use_avg = lw.temporal_aggregation == "avg"
+            nu = adj.get(u)
+            deg_u = len(nu) if nu else 0
+            nv = adj.get(v)
+            deg_v = len(nv) if nv else 0
+            if self._wedge_tracker is not None:
+                # O(1): instance set == incident sampled edges of both
+                # endpoints (the arriving edge is never sampled yet),
+                # so the wedge's temporal features are per-vertex
+                # aggregates from the arrival-time tracker.
+                num_instances = deg_u + deg_v
+                self._estimate += self._wedge_tracker.delta(u, v)
+                if not num_instances:
+                    positions = None
+                elif use_avg:
+                    positions = (
+                        float(self._att.sum_pair(u, v)) / num_instances,
+                        float(time_now),
+                    )
+                else:
+                    positions = (
+                        float(self._att.max_pair(u, v)),
+                        float(time_now),
+                    )
+            elif type(self.pattern) is Triangle:
+                estimate = self._estimate
+                pair = (
+                    graph.common_payloads2(u, v) if self._tri_arena
+                    else None
+                )
+                if pair is not None:
+                    wa, wb, ta, tb = pair
+                    num_instances = len(wa)
+                    if num_instances:
+                        estimate += _arena_triangle_delta(
+                            wa, wb, threshold
+                        )
+                        mins = np.minimum(ta, tb)
+                        maxs = np.maximum(ta, tb)
+                        if use_avg:
+                            positions = (
+                                float(mins.sum()) / num_instances,
+                                float(maxs.sum()) / num_instances,
+                                float(time_now),
+                            )
+                        else:
+                            positions = (
+                                float(mins.max()),
+                                float(maxs.max()),
+                                float(time_now),
+                            )
+                    else:
+                        positions = None
+                else:
+                    num_instances = 0
+                    a1 = a2 = 0  # per-position int sums or maxes
+                    if nu and nv and not nu.isdisjoint(nv):
+                        inline_iu = (
+                            type(self.rank_fn) is InverseUniformRank
+                        )
+                        inc_prob = self.rank_fn.inclusion_probability
+                        cache = self._prob_cache
+                        cache_get = cache.get
+                        weights = self._edge_weights
+                        edge_times = self._edge_times
+                        for w in nu & nv:
+                            num_instances += 1
+                            try:
+                                e1 = (u, w) if u < w else (w, u)
+                                e2 = (v, w) if v < w else (w, v)
+                            except TypeError:
+                                e1 = canonical_edge(u, w)
+                                e2 = canonical_edge(v, w)
+                            t1 = edge_times[e1]
+                            t2 = edge_times[e2]
+                            if t1 > t2:
+                                t1, t2 = t2, t1
+                            if use_avg:
+                                a1 += t1
+                                a2 += t2
+                            else:
+                                if t1 > a1:
+                                    a1 = t1
+                                if t2 > a2:
+                                    a2 = t2
+                            if inline_iu:
+                                if threshold > 0.0:
+                                    p1 = weights[e1] / threshold
+                                    if p1 > 1.0:
+                                        p1 = 1.0
+                                    p2 = weights[e2] / threshold
+                                    if p2 > 1.0:
+                                        p2 = 1.0
+                                    estimate += 1.0 / p1 / p2
+                                else:
+                                    estimate += 1.0
+                            else:
+                                p1 = cache_get(e1)
+                                if p1 is None:
+                                    p1 = inc_prob(weights[e1], threshold)
+                                    cache[e1] = p1
+                                p2 = cache_get(e2)
+                                if p2 is None:
+                                    p2 = inc_prob(weights[e2], threshold)
+                                    cache[e2] = p2
+                                estimate += 1.0 / p1 / p2
+                    if not num_instances:
+                        positions = None
+                    elif use_avg:
+                        positions = (
+                            float(a1) / num_instances,
+                            float(a2) / num_instances,
+                            float(time_now),
+                        )
+                    else:
+                        positions = (
+                            float(a1), float(a2), float(time_now)
+                        )
+                self._estimate = estimate
+            else:
+                # Generic pattern: one fused pass collects the
+                # estimator values and the per-position time
+                # aggregates (all integers, so any accumulation
+                # grouping reproduces the reference matrix exactly).
+                estimate = self._estimate
+                num_instances = 0
+                acc = [0] * (self.pattern.num_edges - 1)
+                inc_prob = self.rank_fn.inclusion_probability
+                cache = self._prob_cache
+                cache_get = cache.get
+                weights = self._edge_weights
+                edge_times = self._edge_times
+                for instance in self.pattern.instances_completed(
+                    graph, u, v
+                ):
+                    num_instances += 1
+                    value = 1.0
+                    times = []
+                    for other in instance:
+                        p = cache_get(other)
+                        if p is None:
+                            p = inc_prob(weights[other], threshold)
+                            cache[other] = p
+                        value /= p
+                        times.append(edge_times[other])
+                    estimate += value
+                    times.sort()
+                    if use_avg:
+                        for j, tv in enumerate(times):
+                            acc[j] += tv
+                    else:
+                        for j, tv in enumerate(times):
+                            if tv > acc[j]:
+                                acc[j] = tv
+                self._estimate = estimate
+                if not num_instances:
+                    positions = None
+                elif use_avg:
+                    positions = [
+                        float(a) / num_instances for a in acc
+                    ]
+                    positions.append(float(time_now))
+                else:
+                    positions = [float(a) for a in acc]
+                    positions.append(float(time_now))
+            weight = lw.state_weight(
+                num_instances, deg_u, deg_v, time_now, positions
+            )
         elif (
             self._wedge_tracker is not None and not self.instance_observers
         ):
@@ -543,21 +780,34 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
         # sampled, so the lane stays coherent across τq/r_{M+1}
         # generation bumps without any invalidation sweep — the
         # vectorised delta recomputes min(1, w/θ) against the *current*
-        # threshold at query time, exactly like the scalar path.
+        # threshold at query time, exactly like the scalar path. The
+        # arrival time rides along as the second lane value (ignored
+        # unless the learned triangle path activated that lane).
         self._sampled_graph.add_edge_canonical(
-            edge, self._edge_weights[edge]
+            edge, self._edge_weights[edge], self._edge_times[edge]
         )
         if self._wedge_tracker is not None:
             self._wedge_tracker.add(edge, self._edge_weights[edge])
+        if self._att is not None:
+            # Runs after ``_edge_times`` is set (admission and
+            # checkpoint replay both guarantee it), so replay rebuilds
+            # the aggregates exactly.
+            self._att.add(edge, self._edge_times[edge])
 
     def _sample_remove(self, edge: Edge) -> None:
         self._sampled_graph.remove_edge_canonical(edge)
         if self._wedge_tracker is not None:
             self._wedge_tracker.remove(edge)
+        if self._att is not None:
+            self._att.remove(edge)
 
     def _arena_payload(self, u, v) -> float:
         """Lane value of an existing sampled edge (slab builds)."""
         return self._edge_weights[canonical_edge(u, v)]
+
+    def _arena_time(self, u, v) -> float:
+        """Second-lane value (arrival time) of a sampled edge."""
+        return float(self._edge_times[canonical_edge(u, v)])
 
     # -- introspection ------------------------------------------------------------
 
@@ -733,6 +983,28 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
             slab_cut = 0
         cp = graph.common_payloads if self._tri_arena else None
         tri_delta = _arena_triangle_delta
+        # WSD-L block serving: ``lw_sw`` evaluates the frozen policy on
+        # the state features the estimator pass assembles inline; the
+        # arrival-time tracker (wedge) and the arena's time lane
+        # (triangle) supply the temporal aggregates in O(1)/vectorised
+        # form. All hooks mirror the per-event learned branch exactly.
+        lw = self._learned
+        lw_sw = lw.state_weight if lw is not None else None
+        lw_avg = lw is not None and lw.temporal_aggregation == "avg"
+        h_other = self.pattern.num_edges - 1
+        att = self._att
+        if att is not None:
+            att_add = att.add
+            att_remove = att.remove
+            att_max_pair = att.max_pair
+            att_sum_pair = att.sum_pair
+        else:
+            att_add = att_remove = att_max_pair = att_sum_pair = None
+        cp2 = (
+            graph.common_payloads2
+            if (self._tri_arena and lw is not None)
+            else None
+        )
 
         try:
             for is_ins, u, v in zip(ops, us, vs):
@@ -741,7 +1013,162 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                 if is_ins:
                     # -- estimate before sampling (Algorithm 2 / Thm 1/2).
                     num_instances = 0
-                    if mode == 1:  # triangle
+                    if lw_sw is not None:
+                        # WSD-L: estimator pass + state features fused.
+                        nu = adj.get(u)
+                        deg_u = len(nu) if nu else 0
+                        nv = adj.get(v)
+                        deg_v = len(nv) if nv else 0
+                        if wt is not None:  # wedge
+                            num_instances = deg_u + deg_v
+                            estimate += wt_delta(u, v)
+                            if not num_instances:
+                                positions = None
+                            elif lw_avg:
+                                positions = (
+                                    float(att_sum_pair(u, v))
+                                    / num_instances,
+                                    float(time_now),
+                                )
+                            else:
+                                positions = (
+                                    float(att_max_pair(u, v)),
+                                    float(time_now),
+                                )
+                        elif mode == 1:  # triangle
+                            pair = cp2(u, v) if arena_slabs else None
+                            if pair is not None:
+                                wa, wb, ta, tb = pair
+                                num_instances = len(wa)
+                                if num_instances:
+                                    estimate += tri_delta(
+                                        wa, wb, threshold
+                                    )
+                                    mins = np.minimum(ta, tb)
+                                    maxs = np.maximum(ta, tb)
+                                    if lw_avg:
+                                        positions = (
+                                            float(mins.sum())
+                                            / num_instances,
+                                            float(maxs.sum())
+                                            / num_instances,
+                                            float(time_now),
+                                        )
+                                    else:
+                                        positions = (
+                                            float(mins.max()),
+                                            float(maxs.max()),
+                                            float(time_now),
+                                        )
+                                else:
+                                    positions = None
+                            else:
+                                a1 = a2 = 0
+                                if nu and nv and not nu.isdisjoint(nv):
+                                    for w in nu & nv:
+                                        num_instances += 1
+                                        try:
+                                            e1 = (
+                                                (u, w) if u < w else (w, u)
+                                            )
+                                            e2 = (
+                                                (v, w) if v < w else (w, v)
+                                            )
+                                        except TypeError:
+                                            e1 = canonical(u, w)
+                                            e2 = canonical(v, w)
+                                        t1 = edge_times[e1]
+                                        t2 = edge_times[e2]
+                                        if t1 > t2:
+                                            t1, t2 = t2, t1
+                                        if lw_avg:
+                                            a1 += t1
+                                            a2 += t2
+                                        else:
+                                            if t1 > a1:
+                                                a1 = t1
+                                            if t2 > a2:
+                                                a2 = t2
+                                        if inline_iu:
+                                            if threshold > 0.0:
+                                                p1 = (
+                                                    weights[e1] / threshold
+                                                )
+                                                if p1 > 1.0:
+                                                    p1 = 1.0
+                                                p2 = (
+                                                    weights[e2] / threshold
+                                                )
+                                                if p2 > 1.0:
+                                                    p2 = 1.0
+                                                estimate += 1.0 / p1 / p2
+                                            else:
+                                                estimate += 1.0
+                                        else:
+                                            p1 = cache_get(e1)
+                                            if p1 is None:
+                                                p1 = inc_prob(
+                                                    weights[e1], threshold
+                                                )
+                                                cache[e1] = p1
+                                            p2 = cache_get(e2)
+                                            if p2 is None:
+                                                p2 = inc_prob(
+                                                    weights[e2], threshold
+                                                )
+                                                cache[e2] = p2
+                                            estimate += 1.0 / p1 / p2
+                                if not num_instances:
+                                    positions = None
+                                elif lw_avg:
+                                    positions = (
+                                        float(a1) / num_instances,
+                                        float(a2) / num_instances,
+                                        float(time_now),
+                                    )
+                                else:
+                                    positions = (
+                                        float(a1),
+                                        float(a2),
+                                        float(time_now),
+                                    )
+                        else:  # generic pattern
+                            acc = [0] * (h_other)
+                            for instance in instances_completed(
+                                graph, u, v
+                            ):
+                                num_instances += 1
+                                value = 1.0
+                                times = []
+                                for other in instance:
+                                    p = cache_get(other)
+                                    if p is None:
+                                        p = inc_prob(
+                                            weights[other], threshold
+                                        )
+                                        cache[other] = p
+                                    value /= p
+                                    times.append(edge_times[other])
+                                estimate += value
+                                times.sort()
+                                if lw_avg:
+                                    for j, tv in enumerate(times):
+                                        acc[j] += tv
+                                else:
+                                    for j, tv in enumerate(times):
+                                        if tv > acc[j]:
+                                            acc[j] = tv
+                            if not num_instances:
+                                positions = None
+                            elif lw_avg:
+                                positions = [
+                                    float(a) / num_instances for a in acc
+                                ]
+                                positions.append(float(time_now))
+                            else:
+                                positions = [float(a) for a in acc]
+                                positions.append(float(time_now))
+                    elif mode == 1:  # triangle
                         pair = cp(u, v) if arena_slabs else None
                         if pair is not None:
                             # Vectorised: searchsorted intersection of
@@ -856,7 +1283,24 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                     cache[other] = p
                                 value /= p
                             estimate += value
-                    if inline_iu:
+                    if lw_sw is not None:
+                        # WSD-L weight from the fused state features;
+                        # the rank consumes the same pre-drawn uniform
+                        # the scalar path would (weights feed back into
+                        # the trajectory, so serving is per event — the
+                        # saving is skipping context materialisation
+                        # and instance re-walks, not batching the
+                        # policy itself).
+                        weight = lw_sw(
+                            num_instances, deg_u, deg_v, time_now,
+                            positions,
+                        )
+                        if inline_iu:
+                            rank = weight / denominators[ui]
+                            ui += 1
+                        else:
+                            rank = rfu(weight, next_uniform())
+                    elif inline_iu:
                         if wmode and not num_instances:
                             # Constant-weight insertion: the rank was
                             # already computed in the numpy block.
@@ -924,12 +1368,14 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                 graph._num_edges += 1
                                 if wt is not None:
                                     wt_add(edge, weight)
+                                    if att_add is not None:
+                                        att_add(edge, time_now)
                                 if note_add is not None and (
                                     arena_slabs
                                     or len(adj[u]) >= slab_cut
                                     or len(adj[v]) >= slab_cut
                                 ):
-                                    note_add(u, v, weight)
+                                    note_add(u, v, weight, time_now)
                         else:
                             min_rank = res_heap[0][0]
                             tau_p = min_rank
@@ -970,12 +1416,15 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                 if wt is not None:
                                     wt_remove(evicted)
                                     wt_add(edge, weight)
+                                    if att_add is not None:
+                                        att_remove(evicted)
+                                        att_add(edge, time_now)
                                 if note_add is not None and (
                                     arena_slabs
                                     or len(adj[u]) >= slab_cut
                                     or len(adj[v]) >= slab_cut
                                 ):
-                                    note_add(u, v, weight)
+                                    note_add(u, v, weight, time_now)
                                 if tau_p != threshold:
                                     threshold = tau_p
                                     generation += 1
@@ -1015,6 +1464,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                 graph._num_edges -= 1
                                 if wt is not None:
                                     wt_remove(edge)
+                                    if att_remove is not None:
+                                        att_remove(edge)
                                 if note_remove is not None and arena_slabs:
                                     note_remove(u, v)
                         if res_size < budget:
@@ -1041,12 +1492,14 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                             graph._num_edges += 1
                             if wt is not None:
                                 wt_add(edge, weight)
+                                if att_add is not None:
+                                    att_add(edge, time_now)
                             if note_add is not None and (
                                 arena_slabs
                                 or len(adj[u]) >= slab_cut
                                 or len(adj[v]) >= slab_cut
                             ):
-                                note_add(u, v, weight)
+                                note_add(u, v, weight, time_now)
                         else:
                             min_rank = res_heap[0][0]
                             if rank > min_rank:
@@ -1073,6 +1526,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                         del adj[b]
                                     if wt is not None:
                                         wt_remove(evicted)
+                                        if att_remove is not None:
+                                            att_remove(evicted)
                                     if note_remove is not None and arena_slabs:
                                         note_remove(a, b)
                                 if evicted_rank > threshold:
@@ -1101,12 +1556,14 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                                     s.add(u)
                                 if wt is not None:
                                     wt_add(edge, weight)
+                                    if att_add is not None:
+                                        att_add(edge, time_now)
                                 if note_add is not None and (
                                     arena_slabs
                                     or len(adj[u]) >= slab_cut
                                     or len(adj[v]) >= slab_cut
                                 ):
-                                    note_add(u, v, weight)
+                                    note_add(u, v, weight, time_now)
                             elif rank > threshold:
                                 threshold = rank
                                 generation += 1
@@ -1137,6 +1594,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                             graph._num_edges -= 1
                             if wt is not None:
                                 wt_remove(edge)
+                                if att_remove is not None:
+                                    att_remove(edge)
                             if note_remove is not None and arena_slabs:
                                 note_remove(u, v)
                     elif is_gps:
@@ -1159,6 +1618,8 @@ class ThresholdSamplerKernel(SampledGraphMixin, SubgraphCountingSampler):
                             graph._num_edges -= 1
                             if wt is not None:
                                 wt_remove(edge)
+                                if att_remove is not None:
+                                    att_remove(edge)
                             if note_remove is not None and arena_slabs:
                                 note_remove(u, v)
                     if mode == 1:  # triangle

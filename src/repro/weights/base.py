@@ -40,6 +40,14 @@ class WeightContext:
         edge_times: arrival time of each sampled edge (used by the
             temporal features of Eq. (20)–(21)).
         pattern: the target pattern H.
+        instance_times: optional prefetched arrival times, one sorted
+            row per entry of ``instances`` (the *other* edges' times,
+            ascending, without the arriving edge's own time). The
+            samplers fill this while they walk the instances for the
+            estimator, so feature extraction
+            (:func:`repro.weights.features.raw_state_vector`) does not
+            enumerate the instance edges a second time. ``None`` means
+            "not prefetched" — consumers fall back to ``edge_times``.
     """
 
     edge: Edge
@@ -48,6 +56,7 @@ class WeightContext:
     adjacency: DynamicAdjacency
     edge_times: Mapping[Edge, int]
     pattern: Pattern
+    instance_times: Sequence[Sequence[int]] | None = None
 
 
 class WeightFunction(abc.ABC):
@@ -66,9 +75,63 @@ class WeightFunction(abc.ABC):
     #: implement ``__call__``).
     needs_context: bool = True
 
+    #: Whether this weight function serves from the kernels' *block*
+    #: path: per-event state summaries (instance count, degrees,
+    #: per-position temporal aggregates) assembled inside the batched
+    #: mega-loop, evaluated via :meth:`state_weight` — no
+    #: :class:`WeightContext`, no instance re-enumeration. Functions
+    #: that set this must implement :meth:`state_weight` and
+    #: :meth:`weights_for_block` and produce weights bit-identical to
+    #: ``__call__`` on the equivalent context.
+    block_serving: bool = False
+
     @abc.abstractmethod
     def __call__(self, ctx: WeightContext) -> float:
         """Return W(e, R) > 0 for the arriving edge."""
+
+    def bind_pattern(self, pattern: Pattern) -> None:
+        """One-time construction hook: the samplers announce H here.
+
+        Lets weight functions validate pattern-dependent invariants
+        (e.g. the policy's state dimension against ``|H| + 3``) once
+        instead of per event. Default: no-op.
+        """
+
+    def state_weight(
+        self,
+        num_instances: int,
+        deg_u: int,
+        deg_v: int,
+        time: int,
+        positions: tuple | None,
+    ) -> float:
+        """Block-path analogue of :meth:`light_weight` with state features.
+
+        ``positions`` carries the raw per-position temporal aggregates
+        v_1 .. v_|H| of Eq. (20)–(21) (``None`` when ``num_instances``
+        is zero — the reference state leaves them at 0). Must return
+        the same value ``__call__`` would for the equivalent context.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares block_serving=True but does "
+            "not implement state_weight()"
+        )
+
+    def weights_for_block(self, states, times):
+        """Vectorised serving over a raw ``(n, |H|+3)`` state matrix.
+
+        The batched analogue of :meth:`light_weight`: given the raw
+        state rows of ``n`` insertion events and their stream clocks,
+        return the ``n`` weights as a float64 array — row k
+        bit-identical to what :meth:`state_weight` produced for event
+        k. Used to audit a recorded trajectory block-wise; the live
+        kernels call :meth:`state_weight` per event because each weight
+        feeds back into the sampled graph the next state is read from.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares block_serving=True but does "
+            "not implement weights_for_block()"
+        )
 
     def light_weight(
         self,

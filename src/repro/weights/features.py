@@ -27,6 +27,8 @@ __all__ = [
     "state_dimension",
     "raw_state_vector",
     "state_vector",
+    "normalize_state",
+    "normalize_states",
     "TEMPORAL_AGGREGATIONS",
 ]
 
@@ -64,10 +66,19 @@ def raw_state_vector(
         # arrival times plus the current time for e itself (which is
         # always the latest, i_|H| = t_k).
         per_position = np.zeros((len(ctx.instances), h), dtype=np.float64)
-        for row, instance in enumerate(ctx.instances):
-            times = sorted(ctx.edge_times[e] for e in instance)
-            times.append(ctx.time)
-            per_position[row, :] = times
+        prefetched = ctx.instance_times
+        if prefetched is not None:
+            # The sampler already collected each instance's sorted
+            # times while walking the instances for the estimator —
+            # consume them instead of re-enumerating the edges.
+            for row, times in enumerate(prefetched):
+                per_position[row, : h - 1] = times
+            per_position[:, h - 1] = ctx.time
+        else:
+            for row, instance in enumerate(ctx.instances):
+                times = sorted(ctx.edge_times[e] for e in instance)
+                times.append(ctx.time)
+                per_position[row, :] = times
         if temporal_aggregation == "max":
             state[3:] = per_position.max(axis=0)
         else:
@@ -90,8 +101,46 @@ def state_vector(
     state = raw_state_vector(ctx, temporal_aggregation)
     if not normalize:
         return state
+    return normalize_state(state, ctx.time)
+
+
+def normalize_state(state: np.ndarray, time: int) -> np.ndarray:
+    """Normalise one raw state row (log1p counts, time-ratio positions).
+
+    Shared by :func:`state_vector` and the learned-weight serving
+    paths; keeping the arithmetic in one place is what makes the
+    context path and the block path bit-identical.
+    """
     out = state.copy()
     out[:3] = np.log1p(out[:3])
-    if ctx.time > 0:
-        out[3:] = out[3:] / float(ctx.time)
+    if time > 0:
+        out[3:] = out[3:] / float(time)
+    return out
+
+
+def normalize_states(states: np.ndarray, times) -> np.ndarray:
+    """Normalise a raw ``(n, |H|+3)`` state matrix, one clock per row.
+
+    Row k is bit-identical to ``normalize_state(states[k], times[k])``:
+    ``np.log1p`` and the division are elementwise, so the vectorised
+    pass performs the same IEEE operations per element as the per-row
+    calls.
+    """
+    states = np.asarray(states, dtype=np.float64)
+    if states.ndim != 2 or states.shape[1] < 3:
+        raise ConfigurationError(
+            f"states must have shape (n, |H|+3), got {states.shape}"
+        )
+    times = np.asarray(times, dtype=np.float64).reshape(-1)
+    if times.shape[0] != states.shape[0]:
+        raise ConfigurationError(
+            f"got {states.shape[0]} state rows but {times.shape[0]} clocks"
+        )
+    out = states.copy()
+    out[:, :3] = np.log1p(out[:, :3])
+    positive = times > 0
+    if positive.all():
+        out[:, 3:] /= times[:, None]
+    elif positive.any():
+        out[positive, 3:] /= times[positive, None]
     return out

@@ -7,20 +7,42 @@ policy is typically a :class:`repro.rl.policy.Policy` produced by
 :func:`repro.rl.training.train_weight_policy`, mirroring the paper's
 deployment: train with DDPG offline, then run the frozen actor (a single
 linear layer) per arriving edge.
+
+Two serving modes exist:
+
+* **Context path** (any policy): the sampler materialises a
+  :class:`~repro.weights.base.WeightContext` per insertion and
+  ``__call__`` builds the state vector from it. This is the legacy
+  route and the one RL training uses (it needs the context anyway).
+* **Block path** (:class:`~repro.rl.policy.FrozenPolicy` only): the
+  sampler kernels assemble the raw state features inline — instance
+  counts and temporal aggregates fall out of the estimator walk they
+  already do — and call :meth:`state_weight` per event, skipping
+  context construction and instance re-enumeration entirely.
+  :meth:`weights_for_block` replays a whole recorded state matrix
+  through the same arithmetic in one vectorised pass. Both routes are
+  bit-identical to ``__call__`` by construction (same normalisation
+  ufunc, same fixed-order actor accumulation), which is what lets a
+  context-path and a block-path run of the same seed produce the same
+  sampling trajectory.
 """
 
 from __future__ import annotations
 
+from math import isfinite
 from typing import Protocol
 
 import numpy as np
 
 from repro.errors import PolicyError
+from repro.patterns.base import Pattern
 from repro.weights.base import WeightContext, WeightFunction
 from repro.weights.features import (
     TEMPORAL_AGGREGATIONS,
+    normalize_state,
+    normalize_states,
+    raw_state_vector,
     state_dimension,
-    state_vector,
 )
 
 __all__ = ["LearnedWeight", "ActionPolicy"]
@@ -31,6 +53,19 @@ class ActionPolicy(Protocol):
 
     def action(self, state: np.ndarray) -> float:  # pragma: no cover
         ...
+
+
+def _serving_grade(policy) -> bool:
+    """Whether ``policy`` implements the pinned-order serving protocol.
+
+    Duck-typed on purpose (``repro.weights`` must not import
+    ``repro.rl`` at module level — the rl package imports the samplers,
+    which import this package): :class:`repro.rl.policy.FrozenPolicy`
+    is the canonical implementation.
+    """
+    return callable(getattr(policy, "action_from_values", None)) and (
+        callable(getattr(policy, "actions", None))
+    )
 
 
 class LearnedWeight(WeightFunction):
@@ -46,6 +81,13 @@ class LearnedWeight(WeightFunction):
         minimum_weight: floor applied to the policy output; the actor's
             ``ReLU(Ws+b) + 1`` construction already keeps weights >= 1,
             so the floor only guards against foreign policies.
+        block_serving: serve from the kernels' block path (raw state
+            summaries, no WeightContext). Requires a
+            :class:`~repro.rl.policy.FrozenPolicy` (its pinned
+            evaluation order is the bit-identity contract); ``None``
+            (default) auto-enables exactly when the policy is one.
+            Pass ``False`` to force the legacy context path (the A/B
+            benchmarks do, to measure the block path against it).
     """
 
     name = "learned"
@@ -56,6 +98,7 @@ class LearnedWeight(WeightFunction):
         temporal_aggregation: str = "max",
         normalize: bool = True,
         minimum_weight: float = 1e-6,
+        block_serving: bool | None = None,
     ) -> None:
         if temporal_aggregation not in TEMPORAL_AGGREGATIONS:
             raise PolicyError(
@@ -63,26 +106,146 @@ class LearnedWeight(WeightFunction):
             )
         if minimum_weight <= 0.0:
             raise PolicyError("minimum_weight must be positive")
+        frozen = _serving_grade(policy)
+        if block_serving is None:
+            block_serving = frozen
+        elif block_serving and not frozen:
+            raise PolicyError(
+                "block serving requires a FrozenPolicy (its pinned "
+                "evaluation order is what makes the block path "
+                "bit-identical to the context path); freeze the policy "
+                "first or pass block_serving=False"
+            )
         self.policy = policy
         self.temporal_aggregation = temporal_aggregation
         self.normalize = normalize
         self.minimum_weight = minimum_weight
+        self.block_serving = bool(block_serving)
+        # Block-served weights never ask for a context, so the kernels'
+        # fast gate opens; the context path still works (and produces
+        # bit-identical weights) when a caller forces capture_context.
+        self.needs_context = not self.block_serving
         self._expected_dim: int | None = None
+        #: Memoised scalar ``np.log1p`` results: the count features are
+        #: small repeated integers, so the serving path pays one dict
+        #: probe instead of a ufunc dispatch per feature. Values are
+        #: the exact floats the vectorised ``np.log1p`` produces.
+        self._log1p_cache: dict[float, float] = {}
+        #: Optional hook called with ``(raw_state_row, time)`` for every
+        #: served event, on both paths — the test harness collects the
+        #: rows to audit :meth:`weights_for_block` against the per-event
+        #: weights. ``None`` (default) costs one attribute test.
+        self.state_observer = None
+
+    # -- construction-time validation -------------------------------------
+
+    def bind_pattern(self, pattern: Pattern) -> None:
+        """Validate the policy dimension against ``|H| + 3`` once.
+
+        Called by the sampler kernels at construction, replacing the
+        historical per-event shape check in ``__call__``.
+        """
+        dim = state_dimension(pattern.num_edges)
+        policy_dim = getattr(self.policy, "state_dim", None)
+        if policy_dim is not None and policy_dim != dim:
+            raise PolicyError(
+                f"policy dimension {policy_dim} does not match pattern "
+                f"dimension {dim} (|H|+3 for {pattern.name!r})"
+            )
+        self._expected_dim = dim
+
+    # -- context path ------------------------------------------------------
 
     def __call__(self, ctx: WeightContext) -> float:
-        state = state_vector(
-            ctx,
-            temporal_aggregation=self.temporal_aggregation,
-            normalize=self.normalize,
+        state = raw_state_vector(
+            ctx, temporal_aggregation=self.temporal_aggregation
         )
-        if self._expected_dim is None:
-            self._expected_dim = state_dimension(ctx.pattern.num_edges)
-        if state.shape[0] != self._expected_dim:
-            raise PolicyError(
-                f"state dimension {state.shape[0]} does not match pattern "
-                f"dimension {self._expected_dim}"
-            )
+        if self.state_observer is not None:
+            self.state_observer(state.copy(), ctx.time)
+        if self.normalize:
+            state = normalize_state(state, ctx.time)
         weight = float(self.policy.action(state))
-        if not np.isfinite(weight):
+        if not isfinite(weight):
             raise PolicyError(f"policy produced non-finite weight {weight!r}")
         return max(weight, self.minimum_weight)
+
+    # -- block path --------------------------------------------------------
+
+    def state_weight(
+        self,
+        num_instances: int,
+        deg_u: int,
+        deg_v: int,
+        time: int,
+        positions: tuple | None,
+    ) -> float:
+        """Scalar serving from the kernels' inline state summaries.
+
+        ``positions`` holds the raw temporal aggregates v_1 .. v_|H|
+        (``None`` ≡ all zero, the ``num_instances == 0`` reference
+        state). Arithmetic is pinned to the context path's: scalar
+        ``np.log1p`` (memoised — numpy's log1p is self-consistent
+        between its scalar and array loops, unlike ``math.log1p``),
+        per-element division by the clock, and the frozen actor's
+        fixed-order accumulation chain.
+        """
+        if self.normalize:
+            cache = self._log1p_cache
+            try:
+                a = cache[num_instances]
+            except KeyError:
+                a = cache[num_instances] = float(np.log1p(num_instances))
+            try:
+                b = cache[deg_u]
+            except KeyError:
+                b = cache[deg_u] = float(np.log1p(deg_u))
+            try:
+                c = cache[deg_v]
+            except KeyError:
+                c = cache[deg_v] = float(np.log1p(deg_v))
+            values = [a, b, c]
+            if positions is None:
+                values += [0.0] * (self._expected_dim - 3)
+            elif time > 0:
+                ft = float(time)
+                values += [p / ft for p in positions]
+            else:
+                values += list(positions)
+        else:
+            values = [float(num_instances), float(deg_u), float(deg_v)]
+            if positions is None:
+                values += [0.0] * (self._expected_dim - 3)
+            else:
+                values += list(positions)
+        if self.state_observer is not None:
+            raw = [float(num_instances), float(deg_u), float(deg_v)]
+            raw += (
+                [0.0] * (self._expected_dim - 3)
+                if positions is None
+                else list(positions)
+            )
+            self.state_observer(np.array(raw, dtype=np.float64), time)
+        weight = self.policy.action_from_values(values)
+        if not isfinite(weight):
+            raise PolicyError(f"policy produced non-finite weight {weight!r}")
+        return max(weight, self.minimum_weight)
+
+    def weights_for_block(self, states, times) -> np.ndarray:
+        """Vectorised serving over raw state rows (trajectory audit).
+
+        Row k is bit-identical to the :meth:`state_weight` /
+        ``__call__`` result for event k: the normalisation is the
+        elementwise matrix form of the scalar arithmetic and the frozen
+        actor's ``actions`` is the column accumulation of its scalar
+        chain.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        if self.normalize:
+            states = normalize_states(states, times)
+        weights = self.policy.actions(states)
+        if not np.all(np.isfinite(weights)):
+            raise PolicyError("policy produced non-finite block weights")
+        return np.maximum(weights, self.minimum_weight)
+
+    def reset(self) -> None:
+        self._log1p_cache.clear()

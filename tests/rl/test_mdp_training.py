@@ -156,6 +156,45 @@ class TestTrainWeightPolicy:
         assert np.array_equal(a.policy.weights, b.policy.weights)
         assert a.policy.bias == b.policy.bias
 
+    def test_different_seeds_train_different_policies(self, edges):
+        streams = make_training_streams(edges, "light", 2, beta=0.2, seed=1)
+        config = TrainingConfig(iterations=20, num_streams=2)
+        a = train_weight_policy(streams, "triangle", 40, config=config, seed=5)
+        b = train_weight_policy(streams, "triangle", 40, config=config, seed=6)
+        assert not (
+            np.array_equal(a.policy.weights, b.policy.weights)
+            and a.policy.bias == b.policy.bias
+        )
+
+    def test_replay_rng_decoupled_from_agent_rng(self):
+        """With a dedicated replay stream, unrelated draws from the
+        agent's generator must not shift mini-batch selection — the
+        property that keeps training seed-stable across code changes."""
+
+        def sampled_states(extra_draws, replay_rng):
+            agent = DDPGAgent(
+                5, config=DDPGConfig(warmup=4, batch_size=4),
+                rng=0, replay_rng=replay_rng,
+            )
+            rng = np.random.default_rng(1)
+            for _ in range(16):
+                agent.observe(
+                    rng.normal(size=5), 1.0, 0.5, rng.normal(size=5)
+                )
+            if extra_draws:
+                agent.rng.normal(size=extra_draws)
+            return agent.replay.sample(4).states
+
+        assert np.array_equal(
+            sampled_states(0, replay_rng=7), sampled_states(3, replay_rng=7)
+        )
+        # The legacy sharing (replay_rng=None) is exactly the coupling
+        # the dedicated stream removes.
+        assert not np.array_equal(
+            sampled_states(0, replay_rng=None),
+            sampled_states(3, replay_rng=None),
+        )
+
     def test_trained_policy_usable_by_wsd(self, edges, stream):
         from repro.samplers.wsd import WSD
         from repro.weights.learned import LearnedWeight

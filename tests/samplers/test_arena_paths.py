@@ -205,7 +205,7 @@ class TestCheckpointV3:
         first = MAKERS[name]("triangle")
         first.process_batch(events[:half])
         state = sampler_state_dict(first)
-        assert state["format"] == 3
+        assert state["format"] == 4  # current format still carries arena state
         weight_fn = (
             first.weight_fn if hasattr(first, "weight_fn") else None
         )

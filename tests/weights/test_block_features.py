@@ -1,0 +1,201 @@
+"""Block-path state features vs the per-event context path (WSD-L).
+
+The serving contract of the block-weight protocol: the raw state rows
+the kernels assemble inline (instance counts, degrees, incremental
+temporal aggregates) are *bit-identical* to the rows
+:func:`~repro.weights.features.raw_state_vector` builds from a captured
+:class:`~repro.weights.base.WeightContext`, and the vectorised
+:meth:`~repro.weights.learned.LearnedWeight.weights_for_block` replay of
+those rows reproduces every per-event weight bit for bit. Both are
+audited here across all three registered patterns, both temporal
+aggregations, and insertion-only as well as deletion-heavy streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.stream import EdgeEvent, EventBlock
+from repro.rl.policy import FrozenPolicy
+from repro.samplers.gps_a import GPSA
+from repro.samplers.wsd import WSD
+from repro.weights.features import (
+    normalize_state,
+    normalize_states,
+    state_dimension,
+)
+from repro.weights.learned import LearnedWeight
+
+#: pattern name -> number of pattern edges |H| (state dim = |H| + 3).
+PATTERNS = {"wedge": 2, "triangle": 3, "4-clique": 6}
+AGGREGATIONS = ("max", "avg")
+
+
+def dynamic_stream(num_events=700, num_vertices=40, deletion_fraction=0.3,
+                   seed=0):
+    rng = np.random.default_rng(seed)
+    alive = []
+    events = []
+    while len(events) < num_events:
+        if alive and rng.random() < deletion_fraction:
+            i = int(rng.integers(len(alive)))
+            events.append(EdgeEvent.deletion(*alive.pop(i)))
+        else:
+            u = int(rng.integers(num_vertices))
+            v = int(rng.integers(num_vertices))
+            if u == v:
+                continue
+            edge = (u, v) if u < v else (v, u)
+            if edge in alive:
+                continue
+            alive.append(edge)
+            events.append(EdgeEvent.insertion(*edge))
+    return events
+
+
+def make_policy(dim):
+    # Positive weights so temporal features actually move the action
+    # (a near-zero actor would hide aggregation bugs behind ReLU).
+    return FrozenPolicy(np.linspace(0.05, 0.45, dim), 0.1)
+
+
+def collect_states(pattern, agg, events, block_serving, batched=False,
+                   sampler_cls=WSD, seed=7):
+    """Run a WSD-L sampler and harvest every served raw state row."""
+    dim = state_dimension(PATTERNS[pattern])
+    lw = LearnedWeight(
+        make_policy(dim), temporal_aggregation=agg,
+        block_serving=block_serving,
+    )
+    rows, times = [], []
+
+    def observer(row, time):
+        rows.append(row)
+        times.append(time)
+
+    lw.state_observer = observer
+    sampler = sampler_cls(pattern, 40, lw, rng=np.random.default_rng(seed))
+    if batched:
+        sampler.process_batch(EventBlock.from_events(events))
+    else:
+        for event in events:
+            sampler.process(event)
+    return sampler, np.array(rows), np.array(times)
+
+
+class TestBlockStateFeatures:
+    @pytest.mark.parametrize("agg", AGGREGATIONS)
+    @pytest.mark.parametrize("pattern", sorted(PATTERNS))
+    @pytest.mark.parametrize("deletion_fraction", [0.0, 0.3])
+    def test_inline_rows_match_context_rows(
+        self, pattern, agg, deletion_fraction
+    ):
+        """The kernels' inline summaries equal the context-built state.
+
+        The context path re-enumerates instances into a WeightContext
+        and builds the row with ``raw_state_vector``; the block path
+        assembles the same row from the estimator walk it already does.
+        Bit-identical rows for every served insertion, per-event and
+        batched alike.
+        """
+        events = dynamic_stream(deletion_fraction=deletion_fraction, seed=5)
+        _, ctx_rows, ctx_times = collect_states(
+            pattern, agg, events, block_serving=False
+        )
+        _, blk_rows, blk_times = collect_states(
+            pattern, agg, events, block_serving=True
+        )
+        _, bat_rows, bat_times = collect_states(
+            pattern, agg, events, block_serving=True, batched=True
+        )
+        assert ctx_rows.shape == blk_rows.shape == bat_rows.shape
+        assert np.array_equal(ctx_times, blk_times)
+        assert np.array_equal(ctx_rows, blk_rows)
+        assert np.array_equal(blk_times, bat_times)
+        assert np.array_equal(blk_rows, bat_rows)
+
+    @pytest.mark.parametrize("agg", AGGREGATIONS)
+    @pytest.mark.parametrize("pattern", sorted(PATTERNS))
+    def test_weights_for_block_matches_per_event(self, pattern, agg):
+        """Vectorised replay of the trajectory == per-event serving."""
+        events = dynamic_stream(deletion_fraction=0.25, seed=9)
+        _, rows, times = collect_states(
+            pattern, agg, events, block_serving=True
+        )
+        dim = state_dimension(PATTERNS[pattern])
+        lw = LearnedWeight(make_policy(dim), temporal_aggregation=agg)
+        block_weights = lw.weights_for_block(rows, times)
+        per_event = np.array(
+            [
+                lw.policy.action(normalize_state(row, int(t)))
+                for row, t in zip(rows, times)
+            ]
+        )
+        assert np.array_equal(block_weights, per_event)
+
+    def test_gpsa_inline_rows_match_context_rows(self):
+        """The lazy-deletion kernel serves the same rows as WSD's path."""
+        events = dynamic_stream(deletion_fraction=0.3, seed=21)
+        _, ctx_rows, ctx_times = collect_states(
+            "wedge", "max", events, block_serving=False, sampler_cls=GPSA
+        )
+        _, blk_rows, blk_times = collect_states(
+            "wedge", "max", events, block_serving=True, sampler_cls=GPSA
+        )
+        assert np.array_equal(ctx_times, blk_times)
+        assert np.array_equal(ctx_rows, blk_rows)
+
+    def test_arena_inline_rows_match_context_rows(self):
+        """Triangle rows stay bit-identical when slabs serve the probe.
+
+        A low cutoff forces the arena's lane-2 (arrival time) path for
+        the temporal features; the shared searchsorted intersection must
+        produce the same mins/maxes the scalar dict walk does.
+        """
+        events = dynamic_stream(
+            num_events=900, num_vertices=30, deletion_fraction=0.2, seed=3
+        )
+        for agg in AGGREGATIONS:
+            _, ctx_rows, _ = collect_states(
+                "triangle", agg, events, block_serving=False
+            )
+            dim = state_dimension(PATTERNS["triangle"])
+            lw = LearnedWeight(make_policy(dim), temporal_aggregation=agg)
+            rows, times = [], []
+            lw.state_observer = lambda row, t: (rows.append(row),
+                                                times.append(t))
+            sampler = WSD("triangle", 40, lw, rng=np.random.default_rng(7))
+            graph = sampler._sampled_graph
+            graph.enable_arena(
+                graph._payload_fn, cutoff=4, payload2_fn=graph._payload2_fn
+            )
+            for event in events:
+                sampler.process(event)
+            assert list(graph.slabbed_vertices())  # the slab path ran
+            assert np.array_equal(ctx_rows, np.array(rows))
+
+
+class TestNormalizeStates:
+    def test_matrix_matches_per_row(self):
+        rng = np.random.default_rng(0)
+        states = rng.integers(0, 50, size=(32, 6)).astype(np.float64)
+        times = rng.integers(1, 100, size=32)
+        out = normalize_states(states, times)
+        for k in range(32):
+            row = normalize_state(states[k], int(times[k]))
+            assert np.array_equal(out[k], row)
+
+    def test_zero_time_rows_skip_division(self):
+        states = np.ones((3, 5))
+        times = [0, 4, 0]
+        out = normalize_states(states, times)
+        assert np.array_equal(out[0, 3:], states[0, 3:])
+        assert np.array_equal(out[2, 3:], states[2, 3:])
+        assert np.array_equal(out[1, 3:], states[1, 3:] / 4.0)
+
+    def test_shape_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            normalize_states(np.ones(5), [1])
+        with pytest.raises(ConfigurationError):
+            normalize_states(np.ones((2, 5)), [1, 2, 3])
