@@ -16,8 +16,9 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_all.py [--quick]
         [--skip-tests] [--repeats N] [--shards N]
-        [--backend serial|process|both] [--transport auto|shm|queue]
-        [--min-process-ratio X] [--ab OLD,NEW]
+        [--backend serial|process|both|remote]
+        [--transport auto|shm|queue] [--hosts N]
+        [--min-process-ratio X] [--min-remote-ratio X] [--ab OLD,NEW]
 
 ``--quick`` runs a seconds-scale smoke pass (fewer events, 1 repeat);
 the full pass is what future PRs should diff against.
@@ -32,6 +33,19 @@ process backend's result-identity contract. ``--min-process-ratio X``
 additionally fails the run when the process backend's throughput drops
 below ``X``× the serial backend's on that cell (the perf ratchet for
 the shared-memory transport).
+
+``--backend remote`` runs the cell under the serial and the **remote**
+backend instead: ``--hosts N`` (default 2) local shard host agents are
+spawned for the duration (localhost stand-ins for N machines), shards
+are leased across them over TCP, and the same bit-identity parity flag
+gates the run — the distributed tier's result-identity tripwire.
+``--min-remote-ratio X`` is the matching (deliberately low, on a
+single box) throughput ratchet.
+
+Every report records ``host`` metadata (python version, platform, CPU
+count, wall-clock timestamp) so the documented ±10–20% cross-session
+drift on the recording box is interpretable when comparing recorded
+files.
 
 ``--ab OLD,NEW`` runs the whole matrix as an interleaved A/B of two
 implementation variants in one process (see
@@ -62,9 +76,11 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 PERF_DIR = Path(__file__).resolve().parent
@@ -87,6 +103,7 @@ def run_sharded_cells(
     backends: tuple[str, ...],
     transport: str = "auto",
     repeats: int = 3,
+    hosts: tuple[str, ...] = (),
 ) -> dict:
     """Benchmark the sharded WSD/triangle cell under each backend.
 
@@ -97,7 +114,8 @@ def run_sharded_cells(
     stream is fed columnar (one ``EventBlock``), which is the intended
     production shape: the serial backend partitions it vectorised, the
     process backend ships the sub-blocks through the shared-memory
-    transport (per ``transport``).
+    transport (per ``transport``), and the remote backend ships them as
+    TCP frames to the shard host agents in ``hosts``.
     """
     from repro.graph.stream import EventBlock
     from repro.samplers.wsd import WSD
@@ -125,6 +143,7 @@ def run_sharded_cells(
                 mode="partition",
                 executor_backend=backend,
                 transport=transport,
+                hosts=hosts if backend == "remote" else None,
             )
             # Warm the fleet outside the timed window: an empty batch
             # triggers the lazy worker spawn + checkpoint shipping
@@ -167,6 +186,7 @@ def run_sharded_cells(
         "shards": shards,
         "shard_budget": shard_budget,
         "transport": transport,
+        "num_hosts": len(hosts) or None,
         "cells": cells,
         "parity": len(estimates) == 1,
     }
@@ -198,18 +218,32 @@ def main(argv: list[str] | None = None) -> int:
              "(0 = skip)",
     )
     parser.add_argument(
-        "--backend", choices=("serial", "process", "both"), default="both",
+        "--backend",
+        choices=("serial", "process", "both", "remote"),
+        default="both",
         help="executor backend(s) for the sharded cell; 'both' asserts "
-             "serial-vs-process estimate parity",
+             "serial-vs-process estimate parity, 'remote' asserts "
+             "serial-vs-remote parity across --hosts local host agents",
     )
     parser.add_argument(
         "--transport", choices=("auto", "shm", "queue"), default="auto",
         help="worker transport for the sharded cell's process backend",
     )
     parser.add_argument(
+        "--hosts", type=int, default=2,
+        help="number of local shard host agents to spawn for "
+             "--backend remote (localhost stand-ins for N machines)",
+    )
+    parser.add_argument(
         "--min-process-ratio", type=float, default=0.0,
         help="fail when the sharded process backend's events/sec falls "
              "below this fraction of the serial backend's (0 = off)",
+    )
+    parser.add_argument(
+        "--min-remote-ratio", type=float, default=0.0,
+        help="fail when the sharded remote backend's events/sec falls "
+             "below this fraction of the serial backend's (0 = off; "
+             "requires --backend remote)",
     )
     parser.add_argument(
         "--ab", default=None, metavar="OLD,NEW",
@@ -226,6 +260,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.min_ab_ratio > 0.0 and not args.ab:
         parser.error("--min-ab-ratio requires --ab")
+    if args.min_remote_ratio > 0.0 and args.backend != "remote":
+        parser.error("--min-remote-ratio requires --backend remote")
+    if args.hosts < 1:
+        parser.error("--hosts must be >= 1")
 
     tests_passed = None
     if not args.skip_tests:
@@ -262,6 +300,15 @@ def main(argv: list[str] | None = None) -> int:
         "schema": "bench_throughput/v1",
         "tier1_tests_passed": tests_passed,
         "quick": args.quick,
+        # Recording-box context: the documented ±10–20% cross-session
+        # drift is only interpretable when each file says what box and
+        # when. Purely descriptive — never compared or gated on.
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "timestamp": datetime.now(timezone.utc).isoformat(),
+        },
         "current": current,
     }
 
@@ -380,51 +427,76 @@ def main(argv: list[str] | None = None) -> int:
     ratio_failed = False
     if args.shards > 0:
         print("== sharded executor cells ==", file=sys.stderr)
-        backends = (
-            ("serial", "process") if args.backend == "both"
-            else (args.backend,)
-        )
-        # The sharded cell always runs at full stream size (subsecond
-        # either way): at --quick's 4k events the per-chunk round-trip
-        # latency dominates and the process/serial ratio stops meaning
-        # anything — exactly the number --min-process-ratio gates on.
-        sharded = run_sharded_cells(
-            config.get("num_events", 30_000),
-            config.get("budget", 1_500),
-            config.get("num_vertices", 400),
-            config.get("deletion_fraction", 0.2),
-            config.get("seed", 2023),
-            args.shards,
-            backends,
-            transport=args.transport,
-            repeats=repeats,
-        )
+        if args.backend == "both":
+            backends = ("serial", "process")
+        elif args.backend == "remote":
+            backends = ("serial", "remote")
+        else:
+            backends = (args.backend,)
+        host_handles = []
+        host_addresses: tuple[str, ...] = ()
+        if "remote" in backends:
+            from repro.streams.host import spawn_local_host
+
+            host_handles = [
+                spawn_local_host() for _ in range(args.hosts)
+            ]
+            host_addresses = tuple(h.address for h in host_handles)
+            print(
+                f"  spawned {len(host_handles)} local shard host "
+                f"agent(s): {', '.join(host_addresses)}",
+                file=sys.stderr,
+            )
+        try:
+            # The sharded cell always runs at full stream size
+            # (subsecond either way): at --quick's 4k events the
+            # per-chunk round-trip latency dominates and the
+            # parallel/serial ratio stops meaning anything — exactly
+            # the number the --min-*-ratio flags gate on.
+            sharded = run_sharded_cells(
+                config.get("num_events", 30_000),
+                config.get("budget", 1_500),
+                config.get("num_vertices", 400),
+                config.get("deletion_fraction", 0.2),
+                config.get("seed", 2023),
+                args.shards,
+                backends,
+                transport=args.transport,
+                repeats=repeats,
+                hosts=host_addresses,
+            )
+        finally:
+            for handle in host_handles:
+                handle.stop()
         report["sharded"] = sharded
         if len(backends) > 1 and not sharded["parity"]:
             parity_failed = True
             print(
-                "serial-vs-process estimate MISMATCH: "
+                "serial-vs-parallel estimate MISMATCH: "
                 + ", ".join(
                     f"{name}={cell['estimate']!r}"
                     for name, cell in sharded["cells"].items()
                 ),
                 file=sys.stderr,
             )
-        if (
-            args.min_process_ratio > 0.0
-            and {"serial", "process"} <= sharded["cells"].keys()
+        for flag, other in (
+            (args.min_process_ratio, "process"),
+            (args.min_remote_ratio, "remote"),
         ):
+            if not (
+                flag > 0.0 and {"serial", other} <= sharded["cells"].keys()
+            ):
+                continue
             ratio = (
-                sharded["cells"]["process"]["events_per_sec"]
+                sharded["cells"][other]["events_per_sec"]
                 / sharded["cells"]["serial"]["events_per_sec"]
             )
-            sharded["process_serial_ratio"] = round(ratio, 3)
-            if ratio < args.min_process_ratio:
+            sharded[f"{other}_serial_ratio"] = round(ratio, 3)
+            if ratio < flag:
                 ratio_failed = True
                 print(
-                    f"sharded process backend at {ratio:.2f}x serial, "
-                    f"below the --min-process-ratio "
-                    f"{args.min_process_ratio} ratchet",
+                    f"sharded {other} backend at {ratio:.2f}x serial, "
+                    f"below the --min-{other}-ratio {flag} ratchet",
                     file=sys.stderr,
                 )
     if baseline is not None:
@@ -475,13 +547,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wsd/triangle speedup vs seed: {wsd_tri}x", file=sys.stderr)
     if parity_failed:
         print(
-            "FAILED: sharded process backend diverged from serial",
+            "FAILED: sharded parallel backend diverged from serial",
             file=sys.stderr,
         )
         return 1
     if ratio_failed:
         print(
-            "FAILED: sharded process backend below the throughput ratchet",
+            "FAILED: sharded parallel backend below the throughput "
+            "ratchet",
             file=sys.stderr,
         )
         return 1

@@ -61,6 +61,19 @@ class ExecutorError(ReproError):
     """Base class for sharded-executor errors."""
 
 
+class ProtocolError(ExecutorError):
+    """Raised when a wire frame fails validation.
+
+    Every frame of the shard-transport wire format (and every framed
+    checkpoint payload) carries a magic tag, a protocol version, and a
+    declared length. A frame that is truncated, carries the wrong
+    magic, declares an absurd length, or speaks a different protocol
+    version fails loudly with this error instead of deserialising
+    garbage — and version mismatches are rejected at connection
+    handshake, before any payload is exchanged.
+    """
+
+
 class WorkerCrashError(ExecutorError):
     """Raised when a shard worker process dies or reports a failure.
 

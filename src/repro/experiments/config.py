@@ -104,7 +104,9 @@ class ExperimentConfig:
     shard_mode: str = "partition"
     #: Executor backend when ``shards > 1``: ``"serial"`` drives the
     #: replicas inline, ``"process"`` runs each replica in a worker
-    #: process (result-identical under fixed seeds; see
+    #: process, ``"remote"`` leases each replica onto a shard host
+    #: agent from :attr:`executor_hosts` (all result-identical under
+    #: fixed seeds; see
     #: :class:`~repro.streams.executor.ShardedStreamExecutor`).
     executor_backend: str = "serial"
     #: Worker transport for the process backend: ``"auto"`` ships
@@ -112,6 +114,19 @@ class ExperimentConfig:
     #: chunk), ``"shm"`` forces shared memory, ``"queue"`` forces the
     #: legacy pickled path. Result-identical either way.
     executor_transport: str = "auto"
+    #: Shard host agent addresses (``"host:port"``) for the remote
+    #: backend; required for, and only valid with,
+    #: ``executor_backend="remote"``.
+    executor_hosts: tuple[str, ...] = ()
+    #: Liveness-poll granularity for blocked worker waits; ``None``
+    #: keeps the library default (0.2s).
+    executor_poll_seconds: float | None = None
+    #: Liveness-poll granularity for shared-memory slot waits; ``None``
+    #: keeps the library default (0.5ms).
+    executor_slot_poll_seconds: float | None = None
+    #: Timeout for a clean worker stop at teardown; ``None`` keeps the
+    #: library default (10s).
+    executor_stop_timeout: float | None = None
 
     def validate(self) -> None:
         self.scenario.validate()
@@ -130,24 +145,42 @@ class ExperimentConfig:
                 "shard_mode must be 'partition' or 'broadcast', got "
                 f"{self.shard_mode!r}"
             )
-        if self.executor_backend not in {"serial", "process"}:
+        if self.executor_backend not in {"serial", "process", "remote"}:
             raise ConfigurationError(
-                "executor_backend must be 'serial' or 'process', got "
-                f"{self.executor_backend!r}"
+                "executor_backend must be 'serial', 'process' or "
+                f"'remote', got {self.executor_backend!r}"
             )
         if self.executor_transport not in {"auto", "shm", "queue"}:
             raise ConfigurationError(
                 "executor_transport must be 'auto', 'shm' or 'queue', "
                 f"got {self.executor_transport!r}"
             )
-        if self.executor_backend == "process" and self.shards == 1:
+        if self.executor_backend != "serial" and self.shards == 1:
             # The unsharded trial path runs a bare in-process sampler;
             # silently ignoring the requested backend would be worse
             # than refusing.
             raise ConfigurationError(
-                "executor_backend='process' requires shards > 1 (an "
-                "unsharded cell runs a single in-process sampler)"
+                f"executor_backend={self.executor_backend!r} requires "
+                "shards > 1 (an unsharded cell runs a single in-process "
+                "sampler)"
             )
+        if self.executor_backend == "remote" and not self.executor_hosts:
+            raise ConfigurationError(
+                "executor_backend='remote' requires executor_hosts "
+                "(shard host agent addresses)"
+            )
+        if self.executor_hosts and self.executor_backend != "remote":
+            raise ConfigurationError(
+                "executor_hosts is only valid with "
+                "executor_backend='remote'"
+            )
+        for knob, value in (
+            ("executor_poll_seconds", self.executor_poll_seconds),
+            ("executor_slot_poll_seconds", self.executor_slot_poll_seconds),
+            ("executor_stop_timeout", self.executor_stop_timeout),
+        ):
+            if value is not None and not value > 0:
+                raise ConfigurationError(f"{knob} must be > 0, got {value!r}")
 
     def with_changes(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""

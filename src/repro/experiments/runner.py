@@ -167,6 +167,10 @@ def make_trial_sampler(
     shard_mode: str = "partition",
     executor_backend: str = "serial",
     executor_transport: str = "auto",
+    executor_hosts: tuple[str, ...] = (),
+    executor_poll_seconds: float | None = None,
+    executor_slot_poll_seconds: float | None = None,
+    executor_stop_timeout: float | None = None,
 ):
     """Build one trial's consumer: a sampler, or a sharded executor.
 
@@ -217,6 +221,10 @@ def make_trial_sampler(
         mode=shard_mode,
         executor_backend=executor_backend,
         transport=executor_transport,
+        hosts=executor_hosts or None,
+        poll_seconds=executor_poll_seconds,
+        slot_poll_seconds=executor_slot_poll_seconds,
+        stop_timeout=executor_stop_timeout,
     )
 
 
@@ -234,6 +242,10 @@ def run_algorithm(
     shard_mode: str = "partition",
     executor_backend: str = "serial",
     executor_transport: str = "auto",
+    executor_hosts: tuple[str, ...] = (),
+    executor_poll_seconds: float | None = None,
+    executor_slot_poll_seconds: float | None = None,
+    executor_stop_timeout: float | None = None,
 ) -> AlgorithmResult:
     """Run ``trials`` independent repetitions of one algorithm."""
     if truth.final_truth == 0:
@@ -256,6 +268,10 @@ def run_algorithm(
             shard_mode=shard_mode,
             executor_backend=executor_backend,
             executor_transport=executor_transport,
+            executor_hosts=executor_hosts,
+            executor_poll_seconds=executor_poll_seconds,
+            executor_slot_poll_seconds=executor_slot_poll_seconds,
+            executor_stop_timeout=executor_stop_timeout,
         )
         trial_result = run_sampler_trial(sampler, stream, truth)
         result.ares.append(
@@ -302,5 +318,9 @@ def run_cell(
             shard_mode=config.shard_mode,
             executor_backend=config.executor_backend,
             executor_transport=config.executor_transport,
+            executor_hosts=config.executor_hosts,
+            executor_poll_seconds=config.executor_poll_seconds,
+            executor_slot_poll_seconds=config.executor_slot_poll_seconds,
+            executor_stop_timeout=config.executor_stop_timeout,
         )
     return results

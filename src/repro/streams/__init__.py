@@ -7,7 +7,13 @@ from repro.streams.executor import (
     partition_events,
     vectorized_edge_hash,
 )
-from repro.streams.workers import ShardWorker, decode_events, encode_events
+from repro.streams.transport import ShardTransport, TcpShardTransport
+from repro.streams.workers import (
+    ProcessShardTransport,
+    ShardWorker,
+    decode_events,
+    encode_events,
+)
 from repro.streams.scenarios import (
     build_stream,
     insertion_only_stream,
@@ -16,6 +22,22 @@ from repro.streams.scenarios import (
     partition_stream,
 )
 from repro.streams.validate import is_feasible, validate_stream
+
+_HOST_EXPORTS = ("HostAgent", "spawn_local_host")
+
+
+def __getattr__(name: str):
+    # The host-agent module doubles as the ``python -m
+    # repro.streams.host`` CLI; importing it eagerly here would make
+    # runpy warn about the module already being in sys.modules, so the
+    # two host exports resolve lazily instead.
+    if name in _HOST_EXPORTS:
+        from repro.streams import host
+
+        return getattr(host, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 __all__ = [
     "build_stream",
@@ -27,6 +49,11 @@ __all__ = [
     "validate_stream",
     "ShardedStreamExecutor",
     "ShardWorker",
+    "ShardTransport",
+    "ProcessShardTransport",
+    "TcpShardTransport",
+    "HostAgent",
+    "spawn_local_host",
     "default_shard_key",
     "partition_block",
     "partition_events",

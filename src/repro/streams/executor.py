@@ -36,6 +36,18 @@ Both modes run under either of two **backends**:
   the serial run: **under fixed seeds the two backends produce
   identical estimates** (the load-bearing contract, tested per sampler
   and per mode).
+* ``executor_backend="remote"`` — every replica is **leased onto a
+  shard host agent** (:mod:`repro.streams.host`) over TCP, with this
+  executor acting as the coordinator: it assigns shards to ``hosts``
+  round-robin, routes event blocks through the same deterministic
+  partitioner, maps connection loss onto
+  :class:`~repro.errors.WorkerCrashError` / :meth:`restart_shard`, and
+  supports **elastic membership** — :meth:`add_host` /
+  :meth:`drain_host` move shards between hosts by a snapshot barrier +
+  checkpoint handoff, never replaying events on surviving shards. The
+  replicas still restore from parent-shipped checkpoints and see the
+  identical event sequence, so the bit-identity contract extends to
+  serial == process == remote.
 """
 
 from __future__ import annotations
@@ -70,7 +82,10 @@ __all__ = [
 _MODES = ("partition", "broadcast")
 
 #: Executor backends.
-_BACKENDS = ("serial", "process")
+_BACKENDS = ("serial", "process", "remote")
+
+#: Backends whose replicas live behind ShardWorker handles.
+_WORKER_BACKENDS = ("process", "remote")
 
 #: Worker transports for the process backend.
 _TRANSPORTS = ("auto", "shm", "queue")
@@ -239,6 +254,21 @@ class ShardedStreamExecutor:
             (default) uses shared memory and falls back to the queue
             per chunk for streams whose vertex labels cannot ride an
             int64 block. Results are bit-identical across transports.
+        hosts: shard host agent addresses (``"host:port"``) for the
+            remote backend; shards are leased across them round-robin
+            at launch (shard *routing* stays ``hash % num_shards`` —
+            membership changes move replicas between hosts, never
+            re-route events). Required for, and only valid with,
+            ``executor_backend="remote"``.
+        poll_seconds: liveness-poll granularity for blocked worker
+            waits (full inbox / awaited reply); ``None`` keeps the
+            library default (0.2s).
+        slot_poll_seconds: liveness-poll granularity for shared-memory
+            slot waits (the shm transport's backpressure); ``None``
+            keeps the library default (0.5ms).
+        stop_timeout: seconds a clean worker stop may take before
+            teardown stops waiting on the process; ``None`` keeps the
+            library default (10s).
     """
 
     def __init__(
@@ -252,6 +282,10 @@ class ShardedStreamExecutor:
         chunk_size: int = 8192,
         queue_depth: int = 8,
         transport: str = "auto",
+        hosts: Sequence[str] | None = None,
+        poll_seconds: float | None = None,
+        slot_poll_seconds: float | None = None,
+        stop_timeout: float | None = None,
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError(
@@ -275,6 +309,30 @@ class ShardedStreamExecutor:
                 f"transport must be one of {_TRANSPORTS}, got "
                 f"{transport!r}"
             )
+        if executor_backend == "remote":
+            if not hosts:
+                raise ConfigurationError(
+                    "executor_backend='remote' requires hosts=[...] "
+                    "(shard host agent addresses)"
+                )
+            if len(set(hosts)) != len(hosts):
+                raise ConfigurationError(
+                    f"duplicate addresses in hosts={list(hosts)!r}"
+                )
+        elif hosts:
+            raise ConfigurationError(
+                "hosts= is only valid with executor_backend='remote', "
+                f"got backend {executor_backend!r}"
+            )
+        for knob, value in (
+            ("poll_seconds", poll_seconds),
+            ("slot_poll_seconds", slot_poll_seconds),
+            ("stop_timeout", stop_timeout),
+        ):
+            if value is not None and not value > 0:
+                raise ConfigurationError(
+                    f"{knob} must be > 0, got {value!r}"
+                )
         self.num_shards = num_shards
         self.mode = mode
         self.shard_key = shard_key
@@ -283,6 +341,13 @@ class ShardedStreamExecutor:
         self._mp_context = mp_context
         self._chunk_size = chunk_size
         self._queue_depth = queue_depth
+        self._poll_seconds = poll_seconds
+        self._slot_poll_seconds = slot_poll_seconds
+        self._stop_timeout = stop_timeout
+        #: Host membership (remote backend); mutated by add/drain.
+        self._hosts: list[str] = list(hosts or ())
+        #: Current shard → host placement (remote backend, after launch).
+        self._assignment: list[str] | None = None
         self.shards: list[SubgraphCountingSampler] = [
             sampler_factory(i) for i in range(num_shards)
         ]
@@ -302,35 +367,45 @@ class ShardedStreamExecutor:
         self._worker_estimates: list[float] = []
         self._synced = False
 
-    # -- process-backend lifecycle ------------------------------------------
+    # -- worker-backend lifecycle --------------------------------------------
+
+    @property
+    def _uses_workers(self) -> bool:
+        return self.executor_backend in _WORKER_BACKENDS
 
     @property
     def _process_active(self) -> bool:
         return self._workers is not None
 
     def _ensure_workers(self) -> None:
-        """Lazily launch the worker fleet (process backend only).
+        """Lazily launch the worker fleet (process/remote backends).
 
         Every replica is snapshotted through the checkpoint layer and
         restored inside its worker, so worker-side state is bit-identical
         to the parent replica at launch. From this point on the workers
         hold the authoritative state; ``self.shards`` is refreshed from
-        their final checkpoints on :meth:`close`.
+        their final checkpoints on :meth:`close`. On the remote backend
+        the fleet launch is also the lease placement: shard *i* goes to
+        ``hosts[i % len(hosts)]``.
         """
-        if self.executor_backend != "process" or self._workers is not None:
+        if not self._uses_workers or self._workers is not None:
             return
+        if self.executor_backend == "remote":
+            self._assignment = [
+                self._hosts[i % len(self._hosts)]
+                for i in range(self.num_shards)
+            ]
         workers: list[ShardWorker] = []
         try:
             for index, shard in enumerate(self.shards):
                 workers.append(
-                    ShardWorker(
+                    self._spawn_worker(
                         index,
                         sampler_state_dict(shard),
-                        weight_fn=getattr(shard, "weight_fn", None),
-                        mp_context=self._mp_context,
-                        queue_depth=self._queue_depth,
-                        transport=self.transport,
-                        chunk_hint=self._chunk_size,
+                        host=(
+                            None if self._assignment is None
+                            else self._assignment[index]
+                        ),
                     )
                 )
         except BaseException:
@@ -340,7 +415,9 @@ class ShardedStreamExecutor:
         self._workers = workers
         self._synced = False
 
-    def _spawn_worker(self, index: int, state: dict) -> ShardWorker:
+    def _spawn_worker(
+        self, index: int, state: dict, host: str | None = None
+    ) -> ShardWorker:
         return ShardWorker(
             index,
             state,
@@ -349,6 +426,12 @@ class ShardedStreamExecutor:
             queue_depth=self._queue_depth,
             transport=self.transport,
             chunk_hint=self._chunk_size,
+            host=host,
+            poll_seconds=self._poll_seconds,
+            slot_poll_seconds=self._slot_poll_seconds,
+            stop_timeout=(
+                10.0 if self._stop_timeout is None else self._stop_timeout
+            ),
         )
 
     # -- ingestion ----------------------------------------------------------
@@ -356,11 +439,12 @@ class ShardedStreamExecutor:
     def process(self, event: EdgeEvent) -> None:
         """Consume one stream event.
 
-        On the process backend the event is buffered and dispatched in
-        chunks; it is guaranteed to be applied by the next estimate /
-        snapshot / time query (which flush the buffer first).
+        On the process/remote backends the event is buffered and
+        dispatched in chunks; it is guaranteed to be applied by the
+        next estimate / snapshot / time query (which flush the buffer
+        first).
         """
-        if self.executor_backend == "process":
+        if self._uses_workers:
             self._ensure_workers()
             self._pending.append(event)
             if len(self._pending) >= self._chunk_size:
@@ -376,7 +460,7 @@ class ShardedStreamExecutor:
 
     def _ingest(self, events: list[EdgeEvent] | EventBlock) -> None:
         """Route a batch to the replicas without computing the estimate."""
-        if self.executor_backend == "process":
+        if self._uses_workers:
             self._ensure_workers()
             if self._pending:
                 self._flush_pending()
@@ -554,7 +638,12 @@ class ShardedStreamExecutor:
         self._snapshots = states
         return states
 
-    def restart_shard(self, index: int, state: dict | None = None) -> None:
+    def restart_shard(
+        self,
+        index: int,
+        state: dict | None = None,
+        host: str | None = None,
+    ) -> None:
         """Respawn one crashed (or killed) worker from a checkpoint.
 
         ``state`` defaults to the shard's entry in the latest
@@ -563,15 +652,31 @@ class ShardedStreamExecutor:
         events. Events dispatched to the shard *after* the checkpoint
         was taken are lost; callers coordinate snapshots with ingestion
         (e.g. snapshot at batch boundaries) to bound that window.
+
+        On the remote backend, ``host`` re-places the shard (e.g. onto
+        a surviving host after its old host died); it must be a current
+        member, and defaults to the shard's existing placement.
         """
         if not self._process_active:
             raise ConfigurationError(
-                "restart_shard requires a started process backend"
+                "restart_shard requires a started process or remote "
+                "backend"
             )
         if not 0 <= index < self.num_shards:
             raise ConfigurationError(
                 f"shard index {index} out of range [0, {self.num_shards})"
             )
+        if host is not None:
+            if self.executor_backend != "remote":
+                raise ConfigurationError(
+                    "restart_shard(host=...) is only valid with "
+                    "executor_backend='remote'"
+                )
+            if host not in self._hosts:
+                raise ConfigurationError(
+                    f"host {host!r} is not a member; current hosts: "
+                    f"{self._hosts}"
+                )
         if state is None:
             if self._snapshots is None:
                 raise ConfigurationError(
@@ -579,9 +684,139 @@ class ShardedStreamExecutor:
                     "snapshot() (or pass state=) first"
                 )
             state = self._snapshots[index]
+        if self._assignment is not None:
+            if host is not None:
+                self._assignment[index] = host
+            host = self._assignment[index]
         self._workers[index].kill()
-        self._workers[index] = self._spawn_worker(index, state)
+        self._workers[index] = self._spawn_worker(index, state, host=host)
         self._synced = False
+
+    # -- elastic membership (remote backend) ----------------------------------
+
+    @property
+    def hosts(self) -> tuple[str, ...]:
+        """Current host membership (remote backend; empty otherwise)."""
+        return tuple(self._hosts)
+
+    def shard_hosts(self) -> list[str] | None:
+        """Current shard → host placement (``None`` before launch)."""
+        return None if self._assignment is None else list(self._assignment)
+
+    def _host_load(self, address: str) -> int:
+        return sum(1 for placed in self._assignment if placed == address)
+
+    def _move_shard(self, index: int, target: str) -> None:
+        """Hand one shard to ``target`` by checkpoint handoff.
+
+        ``stop()`` is the per-shard snapshot barrier: the old replica
+        drains its inbox in order, ships its final checkpoint, and ends
+        its lease; the new replica restores from exactly that state on
+        the target host. No other shard is touched — survivors never
+        replay — and the shard's event routing is unchanged (routing is
+        ``hash % num_shards``; only placement moved), so the stream
+        continues bit-identically.
+        """
+        state = self._workers[index].stop()
+        self._workers[index] = self._spawn_worker(index, state, host=target)
+        self._assignment[index] = target
+        self._synced = False
+
+    def add_host(self, address: str) -> list[int]:
+        """Join ``address`` to the fleet and rebalance shards onto it.
+
+        Moves shards (highest index first, from the most-loaded hosts)
+        until the new host holds ``num_shards // len(hosts)`` replicas
+        — each move a snapshot-barrier checkpoint handoff that never
+        replays surviving shards. Returns the moved shard indices (may
+        be empty: before launch the new host simply participates in the
+        initial placement; with more hosts than shards there is nothing
+        to move).
+        """
+        if self.executor_backend != "remote":
+            raise ConfigurationError(
+                "add_host requires executor_backend='remote'"
+            )
+        if address in self._hosts:
+            raise ConfigurationError(
+                f"host {address!r} is already a member"
+            )
+        self._hosts.append(address)
+        if self._workers is None:
+            return []
+        if self._pending:
+            self._flush_pending()
+        target_load = self.num_shards // len(self._hosts)
+        moved: list[int] = []
+        while self._host_load(address) < target_load:
+            donor = max(
+                (h for h in self._hosts if h != address),
+                key=lambda h: (
+                    self._host_load(h),
+                    -self._hosts.index(h),
+                ),
+            )
+            index = max(
+                i for i, placed in enumerate(self._assignment)
+                if placed == donor
+            )
+            self._move_shard(index, address)
+            moved.append(index)
+        return moved
+
+    def drain_host(self, address: str) -> list[int]:
+        """Move every shard off ``address`` and drop it from the fleet.
+
+        Each shard hands off to the least-loaded remaining host by
+        snapshot-barrier checkpoint handoff (survivors never replay).
+        Returns the moved shard indices. The drained host's agent is
+        *not* contacted beyond the clean lease stops — shutting the
+        agent process down is the caller's business.
+        """
+        if self.executor_backend != "remote":
+            raise ConfigurationError(
+                "drain_host requires executor_backend='remote'"
+            )
+        if address not in self._hosts:
+            raise ConfigurationError(
+                f"host {address!r} is not a member; current hosts: "
+                f"{self._hosts}"
+            )
+        if len(self._hosts) == 1:
+            raise ConfigurationError(
+                f"cannot drain {address!r}: it is the only host"
+            )
+        moved: list[int] = []
+        if self._workers is not None:
+            if self._pending:
+                self._flush_pending()
+            remaining = [h for h in self._hosts if h != address]
+            for index, placed in enumerate(self._assignment):
+                if placed != address:
+                    continue
+                target = min(
+                    remaining,
+                    key=lambda h: (
+                        self._host_load(h),
+                        remaining.index(h),
+                    ),
+                )
+                self._move_shard(index, target)
+                moved.append(index)
+        self._hosts.remove(address)
+        return moved
+
+    def shard_times(self) -> list[int]:
+        """Per-shard event clocks (events each replica has consumed).
+
+        A worker-backend read is a synchronisation barrier, exactly
+        like :attr:`time`. Exposed so recovery and elasticity tests can
+        assert that surviving shards were never replayed.
+        """
+        if self._process_active:
+            self._sync()
+            return list(self._worker_times)
+        return [shard.time for shard in self.shards]
 
     def close(self) -> None:
         """Stop the worker fleet, harvesting final state into the parent.

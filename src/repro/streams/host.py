@@ -1,0 +1,322 @@
+"""Shard host agent: hosts leased shard replicas behind a TCP socket.
+
+One agent per machine (``python -m repro.streams.host --listen
+HOST:PORT``) turns that machine into capacity for a
+:class:`~repro.streams.executor.ShardedStreamExecutor` running with
+``executor_backend="remote"``. The coordinator connects once per shard
+it places here, and each connection is one **lease**: a handshake, the
+shard's framed checkpoint state plus pickled weight function, then the
+ordinary worker protocol (event blocks, ``sync``/``snapshot``/``stop``)
+until the session ends. Replicas are restored with
+:func:`~repro.samplers.checkpoint.restore_sampler` and driven through
+the same :func:`~repro.streams.workers.handle_shard_message` dispatch
+as local worker processes — the replica cannot tell which tier it runs
+in, which is what keeps remote results bit-identical to serial ones.
+
+Each lease runs in its own thread, so one agent hosts any number of
+shards (subject to Python's GIL — on a many-core host, run several
+agents). A replica's lifetime is its connection's lifetime: a clean
+``stop`` ships the final checkpoint back and ends the session; a
+dropped connection discards the replica (the coordinator restarts it
+elsewhere from the retained snapshot). Failures inside the replica are
+reported as ``("error", ...)`` frames with the formatted traceback,
+exactly like a worker process reports through its outbox.
+
+Security: leases carry **pickled** payloads (the weight function,
+control tuples). Only run an agent on a network where every peer that
+can reach the port is trusted — this is cluster-internal plumbing, the
+same trust a worker process places in its parent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import socket
+import threading
+import traceback
+
+from repro.errors import ProtocolError
+from repro.samplers.checkpoint import (
+    restore_sampler,
+    state_from_wire,
+    state_to_wire,
+)
+from repro.streams.transport import (
+    FRAME_BLOCK,
+    FRAME_CONTROL,
+    FRAME_HELLO,
+    block_from_frame,
+    expect_hello,
+    hello_payload,
+    parse_address,
+    read_frame,
+    write_frame,
+)
+from repro.streams.workers import handle_shard_message
+
+__all__ = ["HostAgent", "spawn_local_host", "main"]
+
+#: Accept-loop poll granularity; bounds how long shutdown() can lag.
+_ACCEPT_POLL_SECONDS = 0.2
+
+
+def _send_control(sock: socket.socket, reply: tuple) -> None:
+    write_frame(
+        sock, FRAME_CONTROL,
+        pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL),
+    )
+
+
+class HostAgent:
+    """Accepts shard leases and serves one replica per connection.
+
+    Args:
+        host: interface to bind (default loopback — binding a routable
+            interface is an explicit opt-in, see the module's security
+            note).
+        port: TCP port; ``0`` picks a free one (the resolved address is
+            available as :attr:`address`).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+        )
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self._listener.settimeout(_ACCEPT_POLL_SECONDS)
+        bound_host, bound_port = self._listener.getsockname()[:2]
+        #: The resolved ``"host:port"`` this agent listens on.
+        self.address = f"{bound_host}:{bound_port}"
+        self._shutdown = threading.Event()
+        self._sessions: set[socket.socket] = set()
+        self._lock = threading.Lock()
+
+    # -- serving -----------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept leases until :meth:`shutdown` (blocks the caller)."""
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except TimeoutError:
+                    continue
+                except OSError:
+                    break  # listener closed under us by shutdown()
+                with self._lock:
+                    self._sessions.add(conn)
+                threading.Thread(
+                    target=self._serve_lease,
+                    args=(conn,),
+                    name="repro-shard-lease",
+                    daemon=True,
+                ).start()
+        finally:
+            self._listener.close()
+
+    def shutdown(self) -> None:
+        """Stop accepting and drop every active lease."""
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        with self._lock:
+            sessions, self._sessions = self._sessions, set()
+        for conn in sessions:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    # -- one lease ---------------------------------------------------------
+
+    def _serve_lease(self, conn: socket.socket) -> None:
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            expect_hello(conn, peer="coordinator")
+            write_frame(conn, FRAME_HELLO, hello_payload("host"))
+            sampler = self._accept_lease(conn)
+            if sampler is not None:
+                self._serve_replica(conn, sampler)
+        except Exception as exc:  # noqa: BLE001 - reported on the wire
+            # Report the failure on the wire if the socket still works;
+            # either way the lease (and its replica) ends here.
+            self._report_error(conn, exc)
+        finally:
+            with self._lock:
+                self._sessions.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    def _accept_lease(self, conn: socket.socket):
+        """Restore the leased replica; reply with acceptance."""
+        frame = read_frame(conn)
+        if frame is None:
+            return None  # coordinator went away before leasing
+        kind, payload = frame
+        if kind != FRAME_CONTROL:
+            raise ProtocolError(
+                f"expected a lease control frame, got kind {kind}"
+            )
+        message = pickle.loads(payload)
+        if message[0] != "lease":
+            raise ProtocolError(
+                f"expected a lease, got {message[0]!r}"
+            )
+        _, shard_index, state_wire, weight_blob = message
+        state = state_from_wire(state_wire)
+        weight_fn = (
+            None if weight_blob is None else pickle.loads(weight_blob)
+        )
+        sampler = restore_sampler(state, weight_fn)
+        _send_control(conn, ("lease", shard_index, "ok"))
+        return sampler
+
+    def _serve_replica(self, conn: socket.socket, sampler) -> None:
+        """Drive the replica's message loop until stop or disconnect."""
+        while True:
+            frame = read_frame(conn)
+            if frame is None:
+                return  # coordinator dropped the lease; discard replica
+            kind, payload = frame
+            if kind == FRAME_BLOCK:
+                sampler.process_batch(block_from_frame(payload))
+                continue
+            if kind != FRAME_CONTROL:
+                raise ProtocolError(
+                    f"unexpected frame kind {kind} inside a lease"
+                )
+            reply, done = handle_shard_message(
+                sampler, pickle.loads(payload)
+            )
+            if reply is not None:
+                # Checkpoint states travel framed (magic + version +
+                # CRC) so corruption fails loudly coordinator-side.
+                if reply[0] in ("snapshot", "stop"):
+                    reply = reply[:2] + (state_to_wire(reply[2]),)
+                _send_control(conn, reply)
+            if done:
+                return
+
+    def _report_error(self, conn: socket.socket, exc: BaseException) -> None:
+        try:
+            _send_control(
+                conn,
+                (
+                    "error",
+                    None,
+                    f"{type(exc).__name__}: {exc}\n"
+                    f"{traceback.format_exc()}",
+                ),
+            )
+        except OSError:  # the connection itself is gone
+            pass
+
+
+# -- process helper for tests and benchmarks ----------------------------------
+
+
+def _host_agent_main(host: str, port: int, address_pipe) -> None:
+    """Entry point for :func:`spawn_local_host` (top-level: spawn-safe)."""
+    agent = HostAgent(host, port)
+    address_pipe.send(agent.address)
+    address_pipe.close()
+    agent.serve_forever()
+
+
+class LocalHostHandle:
+    """A host agent running in a child process on this machine.
+
+    Exposes the pieces tests and benchmarks need: the resolved
+    :attr:`address` to lease against, the raw :attr:`process` (so fault
+    tests can ``kill()`` it mid-stream), and :meth:`stop` for cleanup.
+    """
+
+    def __init__(self, process, address: str) -> None:
+        self.process = process
+        self.address = address
+
+    def stop(self) -> None:
+        """Tear the agent down (hard — leases just drop)."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(timeout=5.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        status = "alive" if self.process.is_alive() else "dead"
+        return f"LocalHostHandle(address={self.address!r}, {status})"
+
+
+def spawn_local_host(mp_context=None) -> LocalHostHandle:
+    """Start a host agent in a child process; return its handle.
+
+    The localhost stand-in for a real remote machine: tests and the
+    benchmark harness spawn N of these to get an N-host topology on one
+    box. The agent binds a free loopback port; the resolved address is
+    read back through a pipe before this returns.
+    """
+    import multiprocessing
+
+    if mp_context is None or isinstance(mp_context, str):
+        mp_context = multiprocessing.get_context(mp_context)
+    recv_end, send_end = mp_context.Pipe(duplex=False)
+    process = mp_context.Process(
+        target=_host_agent_main,
+        args=("127.0.0.1", 0, send_end),
+        name="repro-shard-host",
+        daemon=True,
+    )
+    process.start()
+    send_end.close()
+    if not recv_end.poll(timeout=30.0):
+        process.terminate()
+        raise RuntimeError("host agent did not report its address")
+    address = recv_end.recv()
+    recv_end.close()
+    return LocalHostHandle(process, address)
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    """``python -m repro.streams.host --listen HOST:PORT``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.streams.host",
+        description=(
+            "Run a shard host agent: accepts shard leases from a "
+            "ShardedStreamExecutor coordinator (executor_backend="
+            "'remote') and hosts the replicas. Trusted networks only."
+        ),
+    )
+    parser.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help=(
+            "interface and port to listen on (port 0 picks a free "
+            "port; default %(default)s)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    host, port = parse_address(args.listen)
+    agent = HostAgent(host, port)
+    print(f"shard host agent listening on {agent.address}", flush=True)
+    try:
+        agent.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        agent.shutdown()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

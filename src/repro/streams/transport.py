@@ -1,0 +1,506 @@
+"""Shard transports: how a coordinator reaches a shard replica.
+
+The :class:`~repro.streams.workers.ShardWorker` protocol layer (strict
+request/reply, crash surfacing, token matching) is transport-agnostic;
+this module defines the :class:`ShardTransport` interface it drives and
+the *network* implementation. Three transports exist:
+
+* the bounded-queue and shared-memory slot-ring paths of the process
+  backend (:class:`~repro.streams.workers.ProcessShardTransport`,
+  which lives next to the worker entry point it spawns);
+* :class:`TcpShardTransport` (here) — the same protocol over a TCP
+  connection to a shard **host agent** (:mod:`repro.streams.host`),
+  which is what makes shard replicas location-transparent in fact: a
+  replica restored from a shipped checkpoint behind a socket behaves
+  bit-identically to one in a local worker process.
+
+Wire format (stdlib only — ``socket`` + ``struct`` + ``pickle``):
+every frame is a fixed header (magic, protocol version byte, frame
+kind, payload length) followed by exactly ``length`` payload bytes.
+A truncated frame, a wrong magic, an absurd declared length, or a
+cross-version frame raises :class:`~repro.errors.ProtocolError`
+instead of deserialising garbage, and version mismatches are rejected
+at the HELLO handshake before any payload is exchanged. Three frame
+kinds carry the whole protocol:
+
+* ``HELLO`` — handshake metadata (JSON), exchanged once per
+  connection in both directions;
+* ``BLOCK`` — one encoded :class:`~repro.graph.stream.EventBlock`
+  (the PR-4 ``write_into``/``from_buffer`` wire format, reused
+  byte-for-byte), with the declared event count cross-checked against
+  the frame length;
+* ``CONTROL`` — a pickled protocol tuple: batch chunks for non-int
+  label streams, ``sync``/``snapshot``/``stop`` requests and replies,
+  the initial shard lease, and error reports. Checkpoint states inside
+  control tuples travel framed by
+  :func:`~repro.samplers.checkpoint.state_to_wire` (magic + version +
+  CRC-32), so state corruption also fails loudly.
+
+Backpressure: the host agent reads and processes one frame at a time,
+so an ingesting coordinator can run ahead of a shard only by what the
+kernel socket buffers hold — a fixed bound, playing the role the
+bounded inbox queue plays for the process backend. Ordering and the
+strict request/reply discipline are identical across transports, which
+is why serial == process == remote bit-identity holds.
+
+Trust model: control frames are **pickled** (and leases carry pickled
+weight functions), so a host agent must only ever listen on a network
+where every peer is trusted — the same trust the process backend
+places in its parent. This is a cluster-internal transport, not a
+public API surface.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.graph.stream import EventBlock
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ShardTransport",
+    "TransportClosed",
+    "TcpShardTransport",
+    "parse_address",
+    "read_frame",
+    "write_frame",
+    "FRAME_HELLO",
+    "FRAME_CONTROL",
+    "FRAME_BLOCK",
+]
+
+#: Version byte carried by every frame; bumped on any incompatible
+#: wire-format change. Mismatches are rejected at handshake.
+PROTOCOL_VERSION = 1
+
+#: Frame header: magic, protocol version, frame kind, payload length.
+_FRAME_MAGIC = b"RSX1"
+_FRAME_HEADER = struct.Struct("<4sBBxxQ")
+
+FRAME_HELLO = 0
+FRAME_CONTROL = 1
+FRAME_BLOCK = 2
+_FRAME_KINDS = (FRAME_HELLO, FRAME_CONTROL, FRAME_BLOCK)
+
+#: Upper bound on a declared payload length. Far above any real frame
+#: (event chunks are slot-ring sized, checkpoints are compact JSON);
+#: its job is to turn a garbage header into a loud ProtocolError
+#: instead of a multi-gigabyte allocation.
+_MAX_FRAME_BYTES = 1 << 31
+
+
+class TransportClosed(Exception):
+    """Internal signal: the peer is gone (or reported a failure).
+
+    Transports raise this from :meth:`ShardTransport.send` /
+    :meth:`ShardTransport.recv`; the protocol layer
+    (:class:`~repro.streams.workers.ShardWorker`) converts it into a
+    :class:`~repro.errors.WorkerCrashError` naming the shard. Never
+    part of the public API.
+    """
+
+    def __init__(self, failure: str | None = None) -> None:
+        super().__init__(failure or "transport closed")
+        #: The peer's error report (formatted traceback text) when one
+        #: was salvaged before the connection died, else ``None``.
+        self.failure = failure
+
+
+class ShardTransport(ABC):
+    """One shard replica's message pipe, launch included.
+
+    A transport owns the *whole* path to a replica: constructing it
+    brings the replica up at the far end (spawning a worker process, or
+    leasing the shard onto a remote host agent from its checkpoint) and
+    tearing it down releases every resource. The protocol layer above
+    is identical for every implementation — that is the point: the
+    executor cannot tell a local worker from a remote one.
+
+    Contracts every implementation honours:
+
+    * :meth:`send` blocks on backpressure and raises
+      :class:`TransportClosed` (carrying any salvaged error report)
+      when the peer is dead;
+    * :meth:`recv` blocks for the next reply and raises
+      :class:`TransportClosed` when the peer dies with no reply left;
+      error reports travel as ordinary ``("error", ...)`` replies;
+    * message order is preserved, and chunk/framing boundaries never
+      change what the replica computes.
+    """
+
+    #: Position of this replica in the executor (for error messages).
+    shard_index: int
+
+    @abstractmethod
+    def send(self, message: tuple) -> None:
+        """Ship one protocol message (blocks on backpressure)."""
+
+    def send_block(self, block: EventBlock) -> None:
+        """Ship one columnar event chunk (optimised per transport)."""
+        self.send(("block", block.to_bytes()))
+
+    @abstractmethod
+    def recv(self) -> tuple:
+        """Block for the peer's next reply."""
+
+    @abstractmethod
+    def is_alive(self) -> bool:
+        """Whether the peer is believed reachable."""
+
+    @abstractmethod
+    def kill(self) -> None:
+        """Force-terminate the peer side and release local resources."""
+
+    @abstractmethod
+    def release(self) -> None:
+        """Release local resources after a clean stop (idempotent)."""
+
+    def join(self, timeout: float) -> None:
+        """Wait for the peer to wind down after a clean stop."""
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split a ``"host:port"`` string, validating the port."""
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"host address must look like 'host:port', got {address!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"bad port in host address {address!r}"
+        ) from exc
+    if not 0 <= port <= 65535:
+        raise ConfigurationError(f"port out of range in {address!r}")
+    return host, port
+
+
+# -- frame plumbing -----------------------------------------------------------
+
+
+def write_frame(sock: socket.socket, kind: int, payload) -> None:
+    """Send one framed payload (header + exact payload bytes)."""
+    header = _FRAME_HEADER.pack(
+        _FRAME_MAGIC, PROTOCOL_VERSION, kind, len(payload)
+    )
+    sock.sendall(header)
+    if len(payload):
+        sock.sendall(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes:
+    """Read exactly ``n`` bytes, tolerating timeout-based liveness polls.
+
+    A clean EOF *between* frames (``at_boundary``) returns ``b""`` so
+    the caller can treat it as a session end; EOF mid-frame is a
+    truncation and raises :class:`~repro.errors.ProtocolError`.
+    """
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        try:
+            chunk = sock.recv(n - got)
+        except TimeoutError:
+            # Liveness poll: nothing arrived this tick, keep waiting.
+            continue
+        if not chunk:
+            if at_boundary and not chunks:
+                return b""
+            raise ProtocolError(
+                f"truncated frame: connection closed after {got} of "
+                f"{n} bytes"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> tuple[int, bytes] | None:
+    """Read one frame; ``None`` on a clean close between frames.
+
+    Validates the magic, the protocol version, the frame kind, and the
+    declared length (the payload read is exact, so a peer that died
+    mid-frame surfaces as a truncation) — any violation raises
+    :class:`~repro.errors.ProtocolError`.
+    """
+    header_bytes = _recv_exact(sock, _FRAME_HEADER.size, at_boundary=True)
+    if not header_bytes:
+        return None
+    magic, version, kind, length = _FRAME_HEADER.unpack(header_bytes)
+    if magic != _FRAME_MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"peer speaks protocol version {version}, this build speaks "
+            f"{PROTOCOL_VERSION}; refusing the frame"
+        )
+    if kind not in _FRAME_KINDS:
+        raise ProtocolError(f"unknown frame kind {kind}")
+    if length > _MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame declares an absurd payload length ({length} bytes)"
+        )
+    payload = _recv_exact(sock, length, at_boundary=False) if length else b""
+    return kind, payload
+
+
+def hello_payload(role: str) -> bytes:
+    """The JSON handshake payload (version is also in every header)."""
+    return json.dumps(
+        {"protocol": PROTOCOL_VERSION, "role": role}
+    ).encode("utf-8")
+
+
+def expect_hello(sock: socket.socket, *, peer: str) -> dict:
+    """Read the peer's HELLO frame; reject anything else.
+
+    The frame header already carries (and :func:`read_frame` already
+    checks) the version byte, so a cross-version peer is rejected here
+    — at handshake — before any pickled payload is touched.
+    """
+    frame = read_frame(sock)
+    if frame is None:
+        raise ProtocolError(f"{peer} closed the connection before HELLO")
+    kind, payload = frame
+    if kind != FRAME_HELLO:
+        raise ProtocolError(
+            f"expected HELLO from {peer}, got frame kind {kind}"
+        )
+    try:
+        meta = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed HELLO payload from {peer}") from exc
+    if meta.get("protocol") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"{peer} speaks protocol {meta.get('protocol')!r}, this "
+            f"build speaks {PROTOCOL_VERSION}"
+        )
+    return meta
+
+
+def block_from_frame(payload: bytes) -> EventBlock:
+    """Decode a BLOCK frame payload with an explicit length cross-check.
+
+    The embedded :class:`EventBlock` header declares an event count;
+    requiring the frame length to match exactly turns a truncated or
+    padded payload into a :class:`~repro.errors.ProtocolError` rather
+    than an out-of-bounds read or silently dropped events.
+    """
+    try:
+        block = EventBlock.from_buffer(payload)
+    except (ValueError, struct.error) as exc:
+        raise ProtocolError(f"undecodable EventBlock frame: {exc}") from exc
+    if EventBlock.byte_size(len(block)) != len(payload):
+        raise ProtocolError(
+            f"EventBlock frame length mismatch: {len(payload)} payload "
+            f"bytes for a declared {len(block)}-event block"
+        )
+    return block
+
+
+# -- TCP client transport -----------------------------------------------------
+
+
+class TcpShardTransport(ShardTransport):
+    """Reach a shard replica hosted by a remote agent over TCP.
+
+    Constructing the transport performs the whole bring-up: connect,
+    exchange HELLO handshakes (version-checked both ways), then lease
+    the shard — ship its framed checkpoint state and pickled weight
+    function — and wait for the host's acceptance. From then on the
+    message protocol is exactly the process backend's; checkpoint
+    states in ``snapshot``/``stop`` replies arrive framed and are
+    decoded (integrity-checked) here, so the protocol layer above sees
+    plain state dicts on every transport.
+
+    Args:
+        shard_index: position of this replica in the executor.
+        state: the replica's checkpoint (ships framed).
+        weight_blob: the replica's pickled weight function, or ``None``.
+        address: the host agent's ``"host:port"``.
+        poll_seconds: receive-side liveness poll granularity.
+        connect_timeout: seconds allowed for connect + handshake +
+            lease acceptance.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        state: dict,
+        weight_blob: bytes | None,
+        address: str,
+        poll_seconds: float = 0.2,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        from repro.samplers.checkpoint import state_to_wire
+
+        self.shard_index = shard_index
+        self.address = address
+        self._poll_seconds = poll_seconds
+        self._closed = False
+        self._sock: socket.socket | None = None
+        host, port = parse_address(address)
+        try:
+            sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise TransportClosed(
+                f"cannot connect to shard host {address}: {exc}"
+            ) from exc
+        self._sock = sock
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            write_frame(sock, FRAME_HELLO, hello_payload("coordinator"))
+            expect_hello(sock, peer=f"shard host {address}")
+            self.send(
+                ("lease", shard_index, state_to_wire(state), weight_blob)
+            )
+            reply = self.recv()
+            if reply[0] == "error":
+                raise TransportClosed(reply[2])
+            if reply[:2] != ("lease", shard_index):
+                raise ProtocolError(
+                    f"shard host {address} answered the lease with "
+                    f"{reply[:2]!r}"
+                )
+            sock.settimeout(None)
+        except BaseException:
+            self._closed = True
+            sock.close()
+            raise
+
+    # -- protocol ----------------------------------------------------------
+
+    def send(self, message: tuple) -> None:
+        if self._closed:
+            raise TransportClosed()
+        sock = self._sock
+        try:
+            sock.settimeout(None)  # sends block on backpressure
+            if message[0] == "block":
+                write_frame(sock, FRAME_BLOCK, message[1])
+            else:
+                write_frame(
+                    sock, FRAME_CONTROL,
+                    pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL),
+                )
+        except OSError:
+            # The host may have shipped an error report before dying;
+            # salvage it so the caller learns the real traceback.
+            failure = self._drain_error()
+            self._shutdown()
+            raise TransportClosed(failure) from None
+
+    def send_block(self, block: EventBlock) -> None:
+        self.send(("block", block.to_bytes()))
+
+    def recv(self) -> tuple:
+        if self._closed:
+            raise TransportClosed()
+        sock = self._sock
+        sock.settimeout(self._poll_seconds)
+        try:
+            frame = read_frame(sock)
+        except (ProtocolError, OSError) as exc:
+            self._shutdown()
+            raise TransportClosed(
+                f"connection to shard host {self.address} broke: {exc}"
+            ) from None
+        if frame is None:
+            self._shutdown()
+            raise TransportClosed(
+                f"shard host {self.address} closed the connection"
+            )
+        return self._decode_control(frame)
+
+    def _decode_control(self, frame: tuple[int, bytes]) -> tuple:
+        from repro.samplers.checkpoint import state_from_wire
+
+        kind, payload = frame
+        if kind != FRAME_CONTROL:
+            self._shutdown()
+            raise TransportClosed(
+                f"unexpected frame kind {kind} from shard host "
+                f"{self.address} (expected a control reply)"
+            )
+        try:
+            reply = pickle.loads(payload)
+        except Exception as exc:
+            self._shutdown()
+            raise TransportClosed(
+                f"undecodable reply from shard host {self.address}: {exc}"
+            ) from None
+        # Checkpoint-bearing replies carry framed states; decode them
+        # here so every transport hands the protocol layer plain dicts.
+        if reply[0] in ("snapshot", "stop") and isinstance(reply[2], bytes):
+            try:
+                reply = reply[:2] + (state_from_wire(reply[2]),)
+            except ProtocolError as exc:
+                self._shutdown()
+                raise TransportClosed(
+                    f"shard host {self.address} shipped a corrupt "
+                    f"checkpoint frame: {exc}"
+                ) from None
+        return reply
+
+    def _drain_error(self) -> str | None:
+        """Fish a pending ``("error", ...)`` reply out of the socket."""
+        sock = self._sock
+        if sock is None:
+            return None
+        try:
+            sock.settimeout(1.0)
+            while True:
+                frame = read_frame(sock)
+                if frame is None:
+                    return None
+                kind, payload = frame
+                if kind != FRAME_CONTROL:
+                    continue
+                reply = pickle.loads(payload)
+                if reply[0] == "error":
+                    return reply[2]
+        except Exception:
+            return None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def is_alive(self) -> bool:
+        return not self._closed
+
+    def _shutdown(self) -> None:
+        self._closed = True
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    def kill(self) -> None:
+        # Dropping the connection is the kill: the host agent tears the
+        # leased replica down when its session socket dies.
+        self._shutdown()
+
+    def release(self) -> None:
+        self._shutdown()
+
+    def join(self, timeout: float) -> None:
+        # The remote replica lives in the host agent's process; after a
+        # clean stop reply there is nothing left to wait for here.
+        return
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        status = "closed" if self._closed else "open"
+        return (
+            f"TcpShardTransport(shard={self.shard_index}, "
+            f"host={self.address!r}, {status})"
+        )

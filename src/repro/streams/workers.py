@@ -1,4 +1,4 @@
-"""Checkpoint-backed shard workers for the process-parallel executor.
+"""Checkpoint-backed shard workers for the parallel executor.
 
 The :class:`~repro.streams.executor.ShardedStreamExecutor` scales a
 sampler to N replicas; this module hosts one replica per **worker
@@ -44,6 +44,18 @@ token)`` and ``("stop", token)`` each produce exactly one tagged reply.
 A worker that raises reports ``("error", ...)`` with the formatted
 traceback and exits; the parent surfaces it as
 :class:`~repro.errors.WorkerCrashError` naming the shard.
+
+Since the distributed tier landed, that protocol is layered over an
+explicit :class:`~repro.streams.transport.ShardTransport` interface:
+:class:`ShardWorker` owns the request/reply discipline, token matching
+and crash surfacing, while the transport owns *where the replica runs
+and how bytes reach it*. :class:`ProcessShardTransport` (here) is the
+local tier — bounded queues plus the shared-memory slot ring —
+spawning the worker process itself;
+:class:`~repro.streams.transport.TcpShardTransport` leases the replica
+onto a remote host agent over a socket. The protocol layer cannot tell
+them apart, which is what makes serial == process == remote
+bit-identity a transport property rather than a per-backend proof.
 """
 
 from __future__ import annotations
@@ -53,6 +65,7 @@ import pickle
 import queue
 import time
 import traceback
+from collections import deque
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -60,22 +73,35 @@ import numpy as np
 from repro.errors import ConfigurationError, WorkerCrashError
 from repro.graph.stream import DELETE, INSERT, EdgeEvent, EventBlock
 from repro.samplers.checkpoint import restore_sampler, sampler_state_dict
+from repro.streams.transport import (
+    ShardTransport,
+    TcpShardTransport,
+    TransportClosed,
+)
 
 try:  # pragma: no cover - import guard for exotic builds
     from multiprocessing import shared_memory as _shared_memory
 except ImportError:  # pragma: no cover
     _shared_memory = None
 
-__all__ = ["ShardWorker", "encode_events", "decode_events"]
+__all__ = [
+    "ShardWorker",
+    "ProcessShardTransport",
+    "encode_events",
+    "decode_events",
+    "handle_shard_message",
+]
 
-#: Seconds between liveness checks while blocked on a full inbox or an
-#: empty outbox. Small enough that a crashed worker surfaces promptly,
-#: large enough that healthy waits stay cheap.
+#: Default seconds between liveness checks while blocked on a full inbox
+#: or an empty outbox. Small enough that a crashed worker surfaces
+#: promptly, large enough that healthy waits stay cheap. Configurable
+#: per executor via the ``poll_seconds`` kwarg.
 _POLL_SECONDS = 0.2
 
-#: Seconds between liveness checks while waiting for a shared-memory
-#: slot to free up. Slots recycle at chunk-processing speed, so this
-#: wait is the shm transport's backpressure — poll fast.
+#: Default seconds between liveness checks while waiting for a
+#: shared-memory slot to free up. Slots recycle at chunk-processing
+#: speed, so this wait is the shm transport's backpressure — poll fast.
+#: Configurable per executor via the ``slot_poll_seconds`` kwarg.
 _SLOT_POLL_SECONDS = 0.0005
 
 
@@ -126,6 +152,38 @@ def decode_events(payload: Iterable[tuple]) -> list[EdgeEvent]:
     ]
 
 
+# -- replica-side message dispatch --------------------------------------------
+
+
+def handle_shard_message(sampler, message: tuple):
+    """Apply one protocol message to a hosted replica.
+
+    The single source of truth for replica-side semantics, shared by the
+    local worker process (:func:`_worker_main`) and the network host
+    agent (:mod:`repro.streams.host`) so both tiers process the exact
+    same event sequence the exact same way. Returns ``(reply, done)``:
+    ``reply`` is the tagged reply tuple to ship back (``None`` for
+    batch messages, which generate no reply) and ``done`` is whether
+    this message ends the replica's session. Transport-specific
+    messages (``"batch_shm"``) are handled by the caller before
+    delegating here.
+    """
+    tag = message[0]
+    if tag == "batch":
+        sampler.process_batch(decode_events(message[1]))
+    elif tag == "block":
+        sampler.process_batch(EventBlock.from_buffer(message[1]))
+    elif tag == "sync":
+        return ("sync", message[1], sampler.time, sampler.estimate), False
+    elif tag == "snapshot":
+        return ("snapshot", message[1], sampler_state_dict(sampler)), False
+    elif tag == "stop":
+        return ("stop", message[1], sampler_state_dict(sampler)), True
+    else:
+        raise RuntimeError(f"unknown worker message tag {tag!r}")
+    return None, False
+
+
 # -- worker process entry point -----------------------------------------------
 
 
@@ -154,8 +212,7 @@ def _worker_main(
             flags = np.frombuffer(shm.buf, dtype=np.uint8, count=num_slots)
         while True:
             message = inbox.get()
-            tag = message[0]
-            if tag == "batch_shm":
+            if message[0] == "batch_shm":
                 slot = message[1]
                 # Copy the block out of the slot, then free the slot
                 # *before* processing so the parent can refill it while
@@ -165,25 +222,12 @@ def _worker_main(
                 )
                 flags[slot] = 0
                 sampler.process_batch(block)
-            elif tag == "batch":
-                sampler.process_batch(decode_events(message[1]))
-            elif tag == "block":
-                sampler.process_batch(EventBlock.from_buffer(message[1]))
-            elif tag == "sync":
-                outbox.put(
-                    ("sync", message[1], sampler.time, sampler.estimate)
-                )
-            elif tag == "snapshot":
-                outbox.put(
-                    ("snapshot", message[1], sampler_state_dict(sampler))
-                )
-            elif tag == "stop":
-                outbox.put(
-                    ("stop", message[1], sampler_state_dict(sampler))
-                )
+                continue
+            reply, done = handle_shard_message(sampler, message)
+            if reply is not None:
+                outbox.put(reply)
+            if done:
                 return
-            else:
-                raise RuntimeError(f"unknown worker message tag {tag!r}")
     except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
         outbox.put(
             (
@@ -201,71 +245,59 @@ def _worker_main(
                 pass
 
 
-# -- parent-side handle -------------------------------------------------------
+# -- local process transport --------------------------------------------------
 
 
-class ShardWorker:
-    """Parent-side handle for one shard replica in a worker process.
+class ProcessShardTransport(ShardTransport):
+    """Local tier: a worker process fed by queues + a shm slot ring.
+
+    Constructing the transport spawns the worker process (restoring the
+    replica from its shipped checkpoint) and, unless disabled, a ring
+    of shared-memory slots for columnar event chunks. The bounded inbox
+    queue is the backpressure: :meth:`send` blocks when the worker is
+    ``queue_depth`` undelivered chunks behind, while polling for death
+    so a crashed worker surfaces as :class:`TransportClosed` (carrying
+    the worker's error report when one was salvaged) instead of a hang.
 
     Args:
         shard_index: position of this replica in the executor.
-        state: the replica's checkpoint
-            (:func:`~repro.samplers.checkpoint.sampler_state_dict`).
-        weight_fn: the replica's weight function, or ``None`` for the
-            pairing samplers. Pickled here, in the parent, so the
-            spawn-safety contract is enforced uniformly.
-        mp_context: a :mod:`multiprocessing` context or start-method
-            name (``"fork"`` / ``"spawn"`` / ``"forkserver"``); ``None``
-            uses the platform default.
+        state: the replica's checkpoint state dict.
+        weight_blob: the replica's pickled weight function, or ``None``.
+        mp_context: a :mod:`multiprocessing` context (already resolved
+            by the caller).
         queue_depth: bound on the inbox queue — how many undelivered
             batch chunks the parent may run ahead of this worker before
-            ingestion blocks (the pipelining backpressure).
-        transport: ``"shm"`` (shared-memory slot ring for
-            :class:`~repro.graph.stream.EventBlock` chunks),
-            ``"queue"`` (legacy pickled payloads), or ``"auto"``
-            (shared memory when available, per-chunk queue fallback for
-            non-int labels). Bit-identical results either way.
-        chunk_hint: the executor's chunk size — sizes the shared-memory
-            slots so one dispatched chunk always fits one slot.
+            ingestion blocks.
+        transport: ``"shm"``, ``"queue"``, or ``"auto"`` — whether
+            event chunks ride the slot ring or the queue.
+        chunk_hint: the executor's chunk size — sizes the slots so one
+            dispatched chunk always fits one slot.
+        poll_seconds: liveness-poll granularity for queue waits.
+        slot_poll_seconds: liveness-poll granularity for slot waits.
     """
 
     def __init__(
         self,
         shard_index: int,
         state: dict,
-        weight_fn=None,
-        mp_context=None,
+        weight_blob: bytes | None,
+        mp_context,
         queue_depth: int = 8,
         transport: str = "auto",
         chunk_hint: int = 2048,
+        poll_seconds: float = _POLL_SECONDS,
+        slot_poll_seconds: float = _SLOT_POLL_SECONDS,
     ) -> None:
-        if queue_depth < 1:
-            raise ConfigurationError(
-                f"queue_depth must be >= 1, got {queue_depth}"
-            )
-        if transport not in ("auto", "shm", "queue"):
-            raise ConfigurationError(
-                f"transport must be 'auto', 'shm' or 'queue', got "
-                f"{transport!r}"
-            )
-        if mp_context is None or isinstance(mp_context, str):
-            mp_context = multiprocessing.get_context(mp_context)
-        try:
-            weight_blob = (
-                None if weight_fn is None else pickle.dumps(weight_fn)
-            )
-        except Exception as exc:
-            raise ConfigurationError(
-                f"shard {shard_index}: weight function "
-                f"{type(weight_fn).__name__} is not picklable; the "
-                "process backend ships it to the worker — use a "
-                "picklable weight function or the serial backend"
-            ) from exc
         self.shard_index = shard_index
+        self._poll_seconds = poll_seconds
+        self._slot_poll_seconds = slot_poll_seconds
         self._inbox = mp_context.Queue(maxsize=queue_depth)
         self._outbox = mp_context.Queue()
-        self._token = 0
-        self._failure: str | None = None
+        # Replies popped while hunting for an error report during a
+        # blocked send. The protocol invariant says there should never
+        # be one (batches generate no replies; requests are awaited
+        # synchronously), but stashing beats silently dropping.
+        self._pending: deque[tuple] = deque()
         # -- shared-memory slot ring ------------------------------------
         # Layout: one state byte per slot (0 = free, 1 = in flight;
         # written by exactly one side each, so no torn updates), then
@@ -313,30 +345,57 @@ class ShardWorker:
             )
             self.process.start()
         except BaseException:
-            self._release_shm()
+            self.release()
             raise
 
     # -- liveness ----------------------------------------------------------
 
     def is_alive(self) -> bool:
-        """Whether the worker process is still running."""
         return self.process.is_alive()
 
-    def _crash(self) -> WorkerCrashError:
-        message = self._failure or "worker process died unexpectedly"
-        return WorkerCrashError(self.shard_index, message)
+    def _check_reply(self, reply) -> None:
+        """Classify a reply popped while blocked in :meth:`send`."""
+        if reply is None:
+            return
+        if reply[0] == "error":
+            raise TransportClosed(reply[2])
+        self._pending.append(reply)
 
-    def _raise_if_failed(self, reply=None) -> None:
-        """Record and raise a worker-reported failure, if ``reply`` is one."""
-        if reply is not None and reply[0] == "error":
-            self._failure = reply[2]
-            raise self._crash()
+    def _drain_after_death(self):
+        """Final drain once the process is seen dead.
+
+        The worker's ``("error", ...)`` report (or a last reply) can
+        still be in flight through the queue's feeder thread for a
+        moment after the process exits, so poll briefly before giving
+        up — otherwise the real traceback is lost and the caller only
+        learns "died unexpectedly". Returns a reply or ``None``.
+        """
+        deadline = time.monotonic() + 1.0
+        while time.monotonic() < deadline:
+            try:
+                return self._outbox.get_nowait()
+            except queue.Empty:
+                time.sleep(0.02)
+        return None
 
     # -- protocol ----------------------------------------------------------
 
-    def send_batch(self, payload: Sequence[tuple]) -> None:
-        """Enqueue one encoded event chunk (blocks on backpressure)."""
-        self._put(("batch", payload))
+    def send(self, message: tuple) -> None:
+        while True:
+            try:
+                self._inbox.put(message, timeout=self._poll_seconds)
+                return
+            except queue.Full:
+                # The only out-of-band traffic a blocked inbox can
+                # coincide with is a failure report (batches produce no
+                # replies, and requests are awaited synchronously).
+                try:
+                    self._check_reply(self._outbox.get_nowait())
+                except queue.Empty:
+                    pass
+                if not self.process.is_alive():
+                    self._check_reply(self._drain_after_death())
+                    raise TransportClosed() from None
 
     def send_block(self, block: EventBlock) -> None:
         """Ship one columnar event chunk (blocks on backpressure).
@@ -348,7 +407,7 @@ class ShardWorker:
         results.
         """
         if self._shm is None:
-            self._put(("block", block.to_bytes()))
+            self.send(("block", block.to_bytes()))
             return
         nbytes = block.nbytes
         if nbytes > self._slot_bytes:
@@ -364,50 +423,41 @@ class ShardWorker:
             memoryview(self._shm.buf)[offset:offset + nbytes]
         )
         self._slot_flags[slot] = 1
-        self._put(("batch_shm", slot, nbytes))
+        self.send(("batch_shm", slot, nbytes))
         self._next_slot = (slot + 1) % self._num_slots
 
     def _wait_slot_free(self, slot: int) -> None:
         """Block until the worker has drained ``slot`` (liveness-checked)."""
-        if self._failure is not None:
-            raise self._crash()
         flags = self._slot_flags
         while flags[slot]:
             try:
-                self._raise_if_failed(self._outbox.get_nowait())
+                self._check_reply(self._outbox.get_nowait())
             except queue.Empty:
                 pass
             if not self.process.is_alive():
-                self._raise_if_failed(self._drain_after_death())
-                raise self._crash() from None
-            time.sleep(_SLOT_POLL_SECONDS)
+                self._check_reply(self._drain_after_death())
+                raise TransportClosed() from None
+            time.sleep(self._slot_poll_seconds)
 
-    def request(self, tag: str):
-        """Send a ``tag`` request and block for its matching reply."""
-        token = self._token = self._token + 1
-        self._put((tag, token))
-        reply = self._get()
-        if reply[0] != tag or reply[1] != token:
-            self._failure = (
-                f"protocol violation: expected ({tag!r}, {token}) reply, "
-                f"got {reply[:2]!r}"
-            )
-            raise self._crash()
-        return reply
+    def recv(self) -> tuple:
+        if self._pending:
+            return self._pending.popleft()
+        while True:
+            try:
+                return self._outbox.get(timeout=self._poll_seconds)
+            except queue.Empty:
+                if not self.process.is_alive():
+                    reply = self._drain_after_death()
+                    if reply is None:
+                        raise TransportClosed() from None
+                    return reply
 
-    def stop(self, timeout: float = 10.0) -> dict:
-        """Stop the worker cleanly; return its final checkpoint state."""
-        try:
-            reply = self.request("stop")
-        except WorkerCrashError:
-            self._release_shm()
-            raise
+    # -- lifecycle ----------------------------------------------------------
+
+    def join(self, timeout: float) -> None:
         self.process.join(timeout)
-        self._release_shm()
-        return reply[2]
 
     def kill(self) -> None:
-        """Terminate the worker immediately, discarding its state."""
         if self.process.is_alive():
             self.process.kill()
         self.process.join(timeout=5.0)
@@ -417,9 +467,9 @@ class ShardWorker:
         for q in (self._inbox, self._outbox):
             q.cancel_join_thread()
             q.close()
-        self._release_shm()
+        self.release()
 
-    def _release_shm(self) -> None:
+    def release(self) -> None:
         """Close and unlink the slot ring (idempotent; parent owns it)."""
         shm, self._shm = self._shm, None
         self._slot_flags = None
@@ -440,64 +490,241 @@ class ShardWorker:
         # without stop()/kill() — e.g. after a crash test — still
         # releases its slot ring).
         try:
-            self._release_shm()
+            self.release()
         except Exception:
             pass
 
-    # -- queue plumbing ----------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        status = "alive" if self.is_alive() else "dead"
+        return f"ProcessShardTransport(shard={self.shard_index}, {status})"
 
-    def _drain_after_death(self):
-        """Final drain once the process is seen dead.
 
-        The worker's ``("error", ...)`` report (or a last reply) can
-        still be in flight through the queue's feeder thread for a
-        moment after the process exits, so poll briefly before giving
-        up — otherwise the real traceback is lost and the caller only
-        learns "died unexpectedly". Returns a reply or ``None``.
-        """
-        deadline = time.monotonic() + 1.0
-        while time.monotonic() < deadline:
-            try:
-                return self._outbox.get_nowait()
-            except queue.Empty:
-                time.sleep(0.02)
-        return None
+# -- parent-side handle -------------------------------------------------------
 
-    def _put(self, message) -> None:
+
+class ShardWorker:
+    """Parent-side handle for one shard replica, wherever it runs.
+
+    The protocol layer: strict request/reply with token matching,
+    crash bookkeeping, and the clean-stop handshake — all on top of a
+    :class:`~repro.streams.transport.ShardTransport`. By default the
+    replica runs in a local worker process
+    (:class:`ProcessShardTransport`); pass ``host="host:port"`` to
+    lease it onto a remote host agent instead
+    (:class:`~repro.streams.transport.TcpShardTransport`). Either way
+    the replica sees the identical message sequence, so results are
+    transport-independent.
+
+    Args:
+        shard_index: position of this replica in the executor.
+        state: the replica's checkpoint
+            (:func:`~repro.samplers.checkpoint.sampler_state_dict`).
+        weight_fn: the replica's weight function, or ``None`` for the
+            pairing samplers. Pickled here, in the parent, so the
+            spawn-safety contract is enforced uniformly.
+        mp_context: a :mod:`multiprocessing` context or start-method
+            name (``"fork"`` / ``"spawn"`` / ``"forkserver"``); ``None``
+            uses the platform default. Ignored for remote workers.
+        queue_depth: bound on the inbox queue — how many undelivered
+            batch chunks the parent may run ahead of this worker before
+            ingestion blocks (the pipelining backpressure). Remote
+            workers get the equivalent bound from the kernel socket
+            buffer.
+        transport: ``"shm"`` (shared-memory slot ring for
+            :class:`~repro.graph.stream.EventBlock` chunks),
+            ``"queue"`` (legacy pickled payloads), or ``"auto"``
+            (shared memory when available, per-chunk queue fallback for
+            non-int labels). Bit-identical results either way. Ignored
+            for remote workers (blocks ride TCP frames).
+        chunk_hint: the executor's chunk size — sizes the shared-memory
+            slots so one dispatched chunk always fits one slot.
+        host: ``"host:port"`` of a running shard host agent
+            (:mod:`repro.streams.host`); when given, the replica is
+            leased there instead of spawning a local process.
+        poll_seconds: liveness-poll granularity for blocked waits;
+            ``None`` uses the module default.
+        slot_poll_seconds: liveness-poll granularity for shm slot
+            waits; ``None`` uses the module default.
+        stop_timeout: default timeout for :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        state: dict,
+        weight_fn=None,
+        mp_context=None,
+        queue_depth: int = 8,
+        transport: str = "auto",
+        chunk_hint: int = 2048,
+        host: str | None = None,
+        poll_seconds: float | None = None,
+        slot_poll_seconds: float | None = None,
+        stop_timeout: float = 10.0,
+    ) -> None:
+        if queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {queue_depth}"
+            )
+        if transport not in ("auto", "shm", "queue"):
+            raise ConfigurationError(
+                f"transport must be 'auto', 'shm' or 'queue', got "
+                f"{transport!r}"
+            )
+        try:
+            weight_blob = (
+                None if weight_fn is None else pickle.dumps(weight_fn)
+            )
+        except Exception as exc:
+            raise ConfigurationError(
+                f"shard {shard_index}: weight function "
+                f"{type(weight_fn).__name__} is not picklable; the "
+                "parallel backends ship it to the worker — use a "
+                "picklable weight function or the serial backend"
+            ) from exc
+        self.shard_index = shard_index
+        self.host = host
+        self._token = 0
+        self._failure: str | None = None
+        self._stop_timeout = stop_timeout
+        if poll_seconds is None:
+            poll_seconds = _POLL_SECONDS
+        if slot_poll_seconds is None:
+            slot_poll_seconds = _SLOT_POLL_SECONDS
+        try:
+            if host is not None:
+                self.transport: ShardTransport = TcpShardTransport(
+                    shard_index, state, weight_blob, host,
+                    poll_seconds=poll_seconds,
+                )
+            else:
+                if mp_context is None or isinstance(mp_context, str):
+                    mp_context = multiprocessing.get_context(mp_context)
+                self.transport = ProcessShardTransport(
+                    shard_index, state, weight_blob, mp_context,
+                    queue_depth=queue_depth,
+                    transport=transport,
+                    chunk_hint=chunk_hint,
+                    poll_seconds=poll_seconds,
+                    slot_poll_seconds=slot_poll_seconds,
+                )
+        except TransportClosed as exc:
+            self._failure = exc.failure or "worker failed to start"
+            raise self._crash() from None
+
+    # -- back-compat surface ------------------------------------------------
+    # Pre-refactor callers (and tests) reached the process handle and
+    # the shm ring directly on the worker; keep those names working by
+    # delegating to the transport.
+
+    @property
+    def process(self):
+        return self.transport.process
+
+    @property
+    def _shm(self):
+        return getattr(self.transport, "_shm", None)
+
+    @property
+    def _num_slots(self) -> int:
+        return getattr(self.transport, "_num_slots", 0)
+
+    @property
+    def _slot_bytes(self) -> int:
+        return getattr(self.transport, "_slot_bytes", 0)
+
+    # -- liveness ----------------------------------------------------------
+
+    def is_alive(self) -> bool:
+        """Whether the worker's replica is believed reachable."""
+        return self._failure is None and self.transport.is_alive()
+
+    def _crash(self) -> WorkerCrashError:
+        message = self._failure or "worker process died unexpectedly"
+        return WorkerCrashError(self.shard_index, message)
+
+    def _closed(self, exc: TransportClosed) -> WorkerCrashError:
+        """Record a transport death and convert it to the public error."""
+        if self._failure is None:
+            self._failure = exc.failure or "worker process died unexpectedly"
+        return self._crash()
+
+    def _raise_if_failed(self, reply=None) -> None:
+        """Record and raise a worker-reported failure, if ``reply`` is one."""
+        if reply is not None and reply[0] == "error":
+            self._failure = reply[2]
+            raise self._crash()
+
+    # -- protocol ----------------------------------------------------------
+
+    def send_batch(self, payload: Sequence[tuple]) -> None:
+        """Enqueue one encoded event chunk (blocks on backpressure)."""
         if self._failure is not None:
             raise self._crash()
-        while True:
-            try:
-                self._inbox.put(message, timeout=_POLL_SECONDS)
-                return
-            except queue.Full:
-                # The only out-of-band traffic a blocked inbox can
-                # coincide with is a failure report (batches produce no
-                # replies, and requests are awaited synchronously).
-                try:
-                    self._raise_if_failed(self._outbox.get_nowait())
-                except queue.Empty:
-                    pass
-                if not self.process.is_alive():
-                    self._raise_if_failed(self._drain_after_death())
-                    raise self._crash() from None
+        try:
+            self.transport.send(("batch", payload))
+        except TransportClosed as exc:
+            raise self._closed(exc) from None
+
+    def send_block(self, block: EventBlock) -> None:
+        """Ship one columnar event chunk (blocks on backpressure)."""
+        if self._failure is not None:
+            raise self._crash()
+        try:
+            self.transport.send_block(block)
+        except TransportClosed as exc:
+            raise self._closed(exc) from None
 
     def _get(self):
-        while True:
-            try:
-                reply = self._outbox.get(timeout=_POLL_SECONDS)
-            except queue.Empty:
-                if self._failure is not None:
-                    raise self._crash() from None
-                if not self.process.is_alive():
-                    reply = self._drain_after_death()
-                    if reply is None:
-                        raise self._crash() from None
-                else:
-                    continue
-            self._raise_if_failed(reply)
-            return reply
+        try:
+            reply = self.transport.recv()
+        except TransportClosed as exc:
+            raise self._closed(exc) from None
+        self._raise_if_failed(reply)
+        return reply
+
+    def request(self, tag: str):
+        """Send a ``tag`` request and block for its matching reply."""
+        if self._failure is not None:
+            raise self._crash()
+        token = self._token = self._token + 1
+        try:
+            self.transport.send((tag, token))
+        except TransportClosed as exc:
+            raise self._closed(exc) from None
+        reply = self._get()
+        if reply[0] != tag or reply[1] != token:
+            self._failure = (
+                f"protocol violation: expected ({tag!r}, {token}) reply, "
+                f"got {reply[:2]!r}"
+            )
+            raise self._crash()
+        return reply
+
+    def stop(self, timeout: float | None = None) -> dict:
+        """Stop the worker cleanly; return its final checkpoint state."""
+        if timeout is None:
+            timeout = self._stop_timeout
+        try:
+            reply = self.request("stop")
+        except WorkerCrashError:
+            self.transport.release()
+            raise
+        self.transport.join(timeout)
+        self.transport.release()
+        return reply[2]
+
+    def kill(self) -> None:
+        """Terminate the worker immediately, discarding its state."""
+        self.transport.kill()
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.transport.release()
+        except Exception:
+            pass
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         status = "alive" if self.is_alive() else "dead"
-        return f"ShardWorker(shard={self.shard_index}, {status})"
+        where = f", host={self.host!r}" if self.host else ""
+        return f"ShardWorker(shard={self.shard_index}{where}, {status})"
