@@ -119,7 +119,7 @@ def run_sharded_cells(
     """
     from repro.graph.stream import EventBlock
     from repro.samplers.wsd import WSD
-    from repro.streams.executor import ShardedStreamExecutor
+    from repro.streams.executor import ExecutorOptions, ShardedStreamExecutor
     from repro.utils.rng import spawn_generators
     from repro.weights.heuristic import GPSHeuristicWeight
 
@@ -141,9 +141,11 @@ def run_sharded_cells(
                 ),
                 shards,
                 mode="partition",
-                executor_backend=backend,
-                transport=transport,
-                hosts=hosts if backend == "remote" else None,
+                options=ExecutorOptions(
+                    backend=backend,
+                    transport=transport,
+                    hosts=hosts if backend == "remote" else (),
+                ),
             )
             # Warm the fleet outside the timed window: an empty batch
             # triggers the lazy worker spawn + checkpoint shipping

@@ -1,0 +1,146 @@
+"""Service-tier smoke gate: hosted ingest rate + serial parity.
+
+Boots a :class:`~repro.streams.service.CountingService` on a loopback
+port (serial backend — this gate measures the *service plumbing*, not
+the sharded executor, which has its own gates in ``run_all.py``),
+pushes an anomaly-detection-shaped workload through the TCP ingestion
+front as columnar blocks, checkpoints mid-stream, and then:
+
+* FAILS if the hosted estimate is not **bit-identical** to the same
+  events fed to ``repro.open_stream`` with the same ``(config, name)``
+  — the service tier's core contract;
+* FAILS if the socket ingest rate falls below ``--min-ingest-rate``
+  events/sec (deliberately far below what any real machine records, so
+  only a collapse — e.g. an accidental per-event round trip on the
+  block path — trips it);
+* writes ``BENCH_service_smoke.json`` for the CI artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/service_smoke.py \
+        --quick --min-ingest-rate 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import repro
+from repro import build_stream
+from repro.graph.generators import powerlaw_cluster
+from repro.streams.ingest import ServiceClient
+from repro.streams.service import CountingService, ServiceConfig, StreamConfig
+
+STREAM_NAME = "smoke-feed"
+
+
+def build_workload(quick: bool):
+    n = 600 if quick else 3_000
+    edges = powerlaw_cluster(n, m=5, triangle_probability=0.6, rng=0)
+    stream = build_stream(edges, "light", beta=0.15, rng=1)
+    events = list(stream)
+    budget = max(8, stream.num_insertions // 5)
+    config = StreamConfig(
+        algorithm="WSD-H", pattern="triangle", budget=budget, seed=3
+    )
+    return events, config
+
+
+def run(args: argparse.Namespace) -> dict:
+    events, config = build_workload(args.quick)
+
+    with repro.open_stream(config, name=STREAM_NAME) as session:
+        session.ingest(events)
+        serial_estimate = session.queries.estimate()
+
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as tmp_state:
+        return _run_hosted(args, events, config, serial_estimate, tmp_state)
+
+
+def _run_hosted(args, events, config, serial_estimate, tmp_state) -> dict:
+    service = CountingService(
+        ServiceConfig(state_dir=Path(tmp_state), checkpoint_interval=None)
+    )
+    address = service.start()
+    client = ServiceClient(address)
+    client.create_stream(STREAM_NAME, config)
+
+    chunk = args.chunk
+    start = time.perf_counter()
+    for offset in range(0, len(events), chunk):
+        client.send_events(events[offset:offset + chunk])
+        if offset and offset // chunk == (len(events) // chunk) // 2:
+            client.checkpoint()  # mid-stream durability on the clock
+    clock = client.time()  # barrier: all blocks applied
+    elapsed = time.perf_counter() - start
+
+    hosted_estimate = client.estimate()
+    client.close()
+    service.stop()
+
+    rate = clock / elapsed if elapsed > 0 else float("inf")
+    return {
+        "events": clock,
+        "expected_events": len(events),
+        "seconds": round(elapsed, 6),
+        "events_per_sec": round(rate, 1),
+        "hosted_estimate": hosted_estimate,
+        "serial_estimate": serial_estimate,
+        "bit_identical": hosted_estimate == serial_estimate,
+        "config": config.to_dict(),
+        "chunk": chunk,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="seconds-scale workload for CI")
+    parser.add_argument("--chunk", type=int, default=1024,
+                        help="events per block push")
+    parser.add_argument("--min-ingest-rate", type=float, default=0.0,
+                        help="fail if socket ingest rate (events/sec) "
+                             "falls below this floor")
+    parser.add_argument("--output", default="BENCH_service_smoke.json")
+    args = parser.parse_args(argv)
+
+    result = run(args)
+    Path(args.output).write_text(json.dumps(result, indent=2, sort_keys=True))
+    print(
+        f"service smoke: {result['events']} events over the socket in "
+        f"{result['seconds']:.3f}s ({result['events_per_sec']:,.0f} ev/s)"
+    )
+    print(
+        f"hosted estimate {result['hosted_estimate']:.6f} vs serial "
+        f"{result['serial_estimate']:.6f}: "
+        f"{'bit-identical' if result['bit_identical'] else 'MISMATCH'}"
+    )
+
+    failed = False
+    if result["events"] != result["expected_events"]:
+        print(f"FAIL: service applied {result['events']} of "
+              f"{result['expected_events']} events", file=sys.stderr)
+        failed = True
+    if not result["bit_identical"]:
+        print("FAIL: hosted estimate diverged from the serial reference",
+              file=sys.stderr)
+        failed = True
+    if result["events_per_sec"] < args.min_ingest_rate:
+        print(f"FAIL: ingest rate {result['events_per_sec']:,.0f} ev/s "
+              f"below the {args.min_ingest_rate:,.0f} ev/s floor",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,21 +1,28 @@
 #!/usr/bin/env python3
-"""Streaming anomaly detection via triangle-to-degree ratios.
+"""Streaming anomaly detection, hosted on the counting service.
 
 The paper's introduction motivates subgraph counting with spam/anomaly
 detection [Kang et al.]: normal accounts have mild triangle-count to
 degree ratios, while spammers link many otherwise-unconnected accounts
-— high degree, almost no triangles. This example monitors a social
-stream with a *local* variant of the WSD machinery:
+— high degree, almost no triangles. This example is the first *hosted*
+workload of the counting-as-a-service tier:
 
-* a WSD sampler maintains a weighted edge sample of the stream;
-* per-vertex triangle participation is estimated from the sampled
-  instances (each instance contributes its inverse inclusion
-  probability to its three vertices);
-* vertices whose estimated triangles-per-degree-pair ratio is far below
-  the population are flagged.
+* a :class:`~repro.streams.service.CountingService` runs on localhost
+  with a WSD-H stream that tracks per-vertex local triangle counts
+  (``track_local=True`` — each counted instance credits its inverse
+  inclusion probability to its three vertices, Triest-local style);
+* a client pushes the social stream over the TCP ingestion front as
+  columnar event blocks, exactly as a production feed would;
+* while ingestion continues, the client queries ``local_counts`` for
+  the vertices it tracks degrees for, and flags the vertex whose
+  estimated triangles-per-degree-pair ratio is far below the
+  population.
 
 A synthetic "spammer" is injected: one vertex that connects to many
-random users who share no mutual edges.
+random users who share no mutual edges. Because the stream's randomness
+is a pure function of ``(config.seed, stream name)``, re-running the
+same workload in-process with :func:`repro.open_stream` reproduces the
+hosted numbers bit for bit.
 
 Run:  python examples/anomaly_detection.py
 """
@@ -24,9 +31,14 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro import WSD, GPSHeuristicWeight, build_stream
+import repro
+from repro import build_stream
 from repro.graph.edges import canonical_edge
 from repro.graph.generators import powerlaw_cluster
+from repro.streams.ingest import ServiceClient
+from repro.streams.service import CountingService, ServiceConfig, StreamConfig
+
+STREAM_NAME = "social-feed"
 
 
 def inject_spammer(edges, fan_out=60, rng=None):
@@ -50,57 +62,58 @@ def inject_spammer(edges, fan_out=60, rng=None):
 
 def main() -> None:
     edges = powerlaw_cluster(1_500, m=6, triangle_probability=0.8, rng=0)
-    edges, spammer = inject_spammer(edges, fan_out=60, rng=1)
+    edges, spammer = inject_spammer(edges, fan_out=100, rng=1)
     stream = build_stream(edges, "light", beta=0.1, rng=2)
-    print(f"stream: {len(stream)} events; injected spammer vertex {spammer}")
+    events = list(stream)
+    print(f"stream: {len(events)} events; injected spammer vertex {spammer}")
 
-    budget = max(8, stream.num_insertions // 10)
-    # capture_context=True keeps WeightContext snapshots (and therefore
-    # the per-event instance lists) available on sampler.last_context.
-    sampler = WSD(
-        "triangle", budget, GPSHeuristicWeight(), rng=3, capture_context=True
+    budget = max(8, stream.num_insertions // 4)
+    config = StreamConfig(
+        algorithm="WSD-H",
+        pattern="triangle",
+        budget=budget,
+        seed=3,
+        track_local=True,
     )
 
-    # Estimated per-vertex triangle participation: every instance found
-    # by the estimator credits its three vertices with the instance's
-    # inverse-probability value.
-    local_triangles: dict[object, float] = defaultdict(float)
+    # Host the stream: a service on a loopback port, one tenant.
+    service = CountingService(ServiceConfig(listen="127.0.0.1:0"))
+    address = service.start()
+    print(f"counting service listening on {address}")
+    client = ServiceClient(address)
+    client.create_stream(STREAM_NAME, config)
+
+    # The client tracks degrees itself (cheap, exact) and feeds the
+    # service in block-sized pushes, querying as it goes.
     degree: dict[object, int] = defaultdict(int)
+    chunk = 1024
+    for start in range(0, len(events), chunk):
+        batch = events[start:start + chunk]
+        for event in batch:
+            u, v = event.edge
+            step = 1 if event.is_insertion else -1
+            degree[u] += step
+            degree[v] += step
+        client.send_events(batch)  # fire-and-forget columnar push
+        if start // chunk % 4 == 3:
+            stats = client.stats()  # barrier: a consistent snapshot
+            print(
+                f"  clock={stats['clock']:6d} "
+                f"global triangle estimate={stats['estimate']:10.1f}"
+            )
 
-    for event in stream:
-        u, v = event.edge
-        if event.is_insertion:
-            degree[u] += 1
-            degree[v] += 1
-        else:
-            degree[u] -= 1
-            degree[v] -= 1
-        before = sampler.estimate
-        sampler.process(event)
-        delta = sampler.estimate - before
-        if delta != 0.0 and sampler.last_context is not None:
-            for instance in (
-                sampler.last_context.instances if event.is_insertion else ()
-            ):
-                vertices = {u, v}
-                for a, b in instance:
-                    vertices.update((a, b))
-                share = delta / max(
-                    1, len(sampler.last_context.instances)
-                )
-                for vertex in vertices:
-                    local_triangles[vertex] += share
-
-    # Anomaly score: degree-pair count vs estimated triangle share.
+    # Anomaly score: degree-pair count vs estimated local triangles,
+    # served by the stream's local counter.
+    suspects = [vertex for vertex, d in degree.items() if d >= 40]
+    local = client.local_counts(suspects)
     print(f"\n{'vertex':>8s} {'degree':>7s} {'est. local tri':>15s} "
           f"{'ratio':>9s}")
     scored = []
-    for vertex, d in degree.items():
-        if d < 25:
-            continue
+    for vertex in suspects:
+        d = degree[vertex]
         pairs = d * (d - 1) / 2
-        ratio = local_triangles.get(vertex, 0.0) / pairs
-        scored.append((ratio, vertex, d, local_triangles.get(vertex, 0.0)))
+        tri = float(local[vertex])
+        scored.append((tri / pairs, vertex, d, tri))
     scored.sort()
     for ratio, vertex, d, tri in scored[:5]:
         marker = "  <-- injected spammer" if vertex == spammer else ""
@@ -110,6 +123,21 @@ def main() -> None:
     print(
         f"\nlowest triangle/degree ratio: vertex {flagged} "
         f"({'correctly flags the spammer' if flagged == spammer else 'spammer not ranked first'})"
+    )
+
+    hosted_estimate = client.estimate()
+    client.close()
+    service.stop()
+
+    # The parity contract: the same named config, run in-process,
+    # reproduces the hosted stream bit for bit.
+    with repro.open_stream(config, name=STREAM_NAME) as session:
+        session.ingest(events)
+        serial_estimate = session.queries.estimate()
+    match = "bit-identical" if serial_estimate == hosted_estimate else "MISMATCH"
+    print(
+        f"hosted estimate {hosted_estimate:.6f} vs in-process "
+        f"{serial_estimate:.6f}: {match}"
     )
 
 

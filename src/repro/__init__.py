@@ -70,7 +70,7 @@ for a seconds-scale smoke pass); results land in
 ``BENCH_throughput.json`` with speedups against the recorded baseline.
 """
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.estimators import (
     absolute_relative_error,
     mean_absolute_relative_error,
@@ -82,6 +82,7 @@ from repro.patterns import ExactCounter, get_pattern
 from repro.rl import Policy, train_weight_policy
 from repro.samplers import GPS, GPSA, WRS, SubgraphCountingSampler, ThinkD, Triest, WSD
 from repro.streams import ShardedStreamExecutor, build_stream
+from repro.streams.executor import ExecutorOptions
 from repro.weights import (
     GPSHeuristicWeight,
     LearnedWeight,
@@ -90,6 +91,68 @@ from repro.weights import (
 )
 
 __version__ = "1.0.0"
+
+#: Service-tier names resolved lazily: the service/ingest modules
+#: double as ``python -m`` CLIs (runpy), and the heavyweight parts of
+#: the tier should not tax ``import repro``.
+_SERVICE_EXPORTS = (
+    "StreamConfig",
+    "StreamSession",
+    "ServiceConfig",
+    "CountingService",
+    "ServiceClient",
+    "StreamQueries",
+    "StreamSnapshot",
+)
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from repro import streams
+
+        return getattr(streams, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def open_stream(
+    config=None,
+    *,
+    name: str = "default",
+    executor: ExecutorOptions | None = None,
+    state_dir=None,
+    **config_fields,
+):
+    """Open a ready-to-ingest counting stream (the front door).
+
+    Builds a :class:`~repro.streams.service.StreamSession` — the same
+    object the hosted service tier runs per tenant — directly in this
+    process. Pass a :class:`~repro.streams.service.StreamConfig`, or
+    its fields as keyword arguments::
+
+        session = repro.open_stream(algorithm="WSD-H", pattern="triangle",
+                                    budget=20_000, seed=7)
+        session.ingest(events)
+        session.queries.estimate()
+
+    ``(config.seed, name)`` determines the stream's randomness, so a
+    session opened with the same config *and the same name* as a hosted
+    stream reproduces it bit for bit — that is the parity contract the
+    service's tests and smoke gates check. ``executor`` selects the
+    backend (:class:`~repro.streams.executor.ExecutorOptions`;
+    defaults to serial); ``state_dir`` makes
+    :meth:`~repro.streams.service.StreamSession.checkpoint` durable.
+    """
+    from repro.streams.service import StreamConfig, StreamSession
+
+    if config is None:
+        config = StreamConfig(**config_fields)
+    elif config_fields:
+        raise ConfigurationError(
+            "pass either a StreamConfig or its fields as keyword "
+            f"arguments, not both; got both a config and {sorted(config_fields)}"
+        )
+    return StreamSession(name, config, options=executor, state_dir=state_dir)
+
 
 __all__ = [
     "ReproError",
@@ -111,6 +174,16 @@ __all__ = [
     "WRS",
     "build_stream",
     "ShardedStreamExecutor",
+    "ExecutorOptions",
+    "open_stream",
+    "StreamConfig",
+    "StreamSession",
+    "ServiceConfig",
+    "CountingService",
+    "ServiceClient",
+    "StreamQueries",
+    "StreamSnapshot",
+    "ConfigurationError",
     "GPSHeuristicWeight",
     "LearnedWeight",
     "UniformWeight",

@@ -89,6 +89,16 @@ class WorkerCrashError(ExecutorError):
         self.shard_index = shard_index
 
 
+class ServiceError(ExecutorError):
+    """Raised when the counting service rejects or fails an operation.
+
+    Client-side, this carries the service's error report (including the
+    remote traceback text when the failure happened inside a stream
+    operation); service-side it marks requests that cannot be honoured,
+    e.g. attaching to a stream that does not exist.
+    """
+
+
 class ConfigurationError(ReproError):
     """Raised for invalid user-supplied configuration values."""
 

@@ -103,6 +103,22 @@ class LocalSubgraphCounter:
         """Vertices with a non-trivial local estimate."""
         return list(self._vertex)
 
+    # -- persistence -------------------------------------------------------------
+
+    def vertex_estimates(self) -> dict[Vertex, float]:
+        """A plain-dict copy of every per-vertex accumulator.
+
+        The persistence hook: local accumulators live outside the
+        sampler's checkpoint state, so a service checkpointing a stream
+        with local tracking exports them here and reloads them with
+        :meth:`load_vertex_estimates`.
+        """
+        return dict(self._vertex)
+
+    def load_vertex_estimates(self, counts: dict[Vertex, float]) -> None:
+        """Replace the per-vertex accumulators (checkpoint restore)."""
+        self._vertex = defaultdict(float, counts)
+
     def reset(self) -> None:
         self._vertex.clear()
         self._edge.clear()

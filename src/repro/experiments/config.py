@@ -25,6 +25,7 @@ from repro.graph.datasets import load_dataset
 from repro.graph.edges import Edge
 from repro.graph.orderings import order_edges
 from repro.graph.stream import EdgeStream
+from repro.streams.executor import ExecutorOptions
 from repro.streams.scenarios import build_stream
 from repro.utils.rng import RngFactory
 
@@ -127,6 +128,12 @@ class ExperimentConfig:
     #: Timeout for a clean worker stop at teardown; ``None`` keeps the
     #: library default (10s).
     executor_stop_timeout: float | None = None
+    #: The execution knobs as one
+    #: :class:`~repro.streams.executor.ExecutorOptions` value — the
+    #: preferred spelling. The flat ``executor_*`` fields above are
+    #: kept for backwards compatibility and may be deprecated in a
+    #: future release; setting both is rejected by :meth:`validate`.
+    executor: ExecutorOptions | None = None
 
     def validate(self) -> None:
         self.scenario.validate()
@@ -155,6 +162,36 @@ class ExperimentConfig:
                 "executor_transport must be 'auto', 'shm' or 'queue', "
                 f"got {self.executor_transport!r}"
             )
+        if self.executor is not None:
+            flat_overrides = [
+                name
+                for name, value, default in (
+                    ("executor_backend", self.executor_backend, "serial"),
+                    ("executor_transport", self.executor_transport, "auto"),
+                    ("executor_hosts", self.executor_hosts, ()),
+                    ("executor_poll_seconds", self.executor_poll_seconds, None),
+                    (
+                        "executor_slot_poll_seconds",
+                        self.executor_slot_poll_seconds,
+                        None,
+                    ),
+                    ("executor_stop_timeout", self.executor_stop_timeout, None),
+                )
+                if value != default
+            ]
+            if flat_overrides:
+                raise ConfigurationError(
+                    "set execution knobs either through executor= or the "
+                    "flat executor_* fields, not both; flat fields also "
+                    f"set: {flat_overrides}"
+                )
+            self.executor.validate()
+            if self.executor.backend != "serial" and self.shards == 1:
+                raise ConfigurationError(
+                    f"executor backend {self.executor.backend!r} requires "
+                    "shards > 1 (an unsharded cell runs a single "
+                    "in-process sampler)"
+                )
         if self.executor_backend != "serial" and self.shards == 1:
             # The unsharded trial path runs a bare in-process sampler;
             # silently ignoring the requested backend would be worse
@@ -181,6 +218,24 @@ class ExperimentConfig:
         ):
             if value is not None and not value > 0:
                 raise ConfigurationError(f"{knob} must be > 0, got {value!r}")
+
+    def executor_options(self) -> ExecutorOptions:
+        """The effective execution knobs as one value object.
+
+        Returns :attr:`executor` when set; otherwise bundles the flat
+        ``executor_*`` fields, so the runner consumes one form either
+        way.
+        """
+        if self.executor is not None:
+            return self.executor
+        return ExecutorOptions(
+            backend=self.executor_backend,
+            transport=self.executor_transport,
+            hosts=tuple(self.executor_hosts),
+            poll_seconds=self.executor_poll_seconds,
+            slot_poll_seconds=self.executor_slot_poll_seconds,
+            stop_timeout=self.executor_stop_timeout,
+        )
 
     def with_changes(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""

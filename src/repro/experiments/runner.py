@@ -24,7 +24,7 @@ from repro.graph.stream import EdgeStream
 from repro.patterns.exact import ExactCounter
 from repro.patterns.matching import get_pattern
 from repro.rl.policy import Policy
-from repro.streams.executor import ShardedStreamExecutor
+from repro.streams.executor import ExecutorOptions, ShardedStreamExecutor
 from repro.utils.rng import RngFactory, derive_seed, spawn_generators
 from repro.utils.timer import Stopwatch
 
@@ -155,6 +155,46 @@ def run_sampler_trial(
     return TrialResult(tuple(estimates), watch.elapsed, truth.final_truth)
 
 
+def _resolve_executor_options(
+    executor: ExecutorOptions | None,
+    executor_backend: str,
+    executor_transport: str,
+    executor_hosts: tuple[str, ...],
+    executor_poll_seconds: float | None,
+    executor_slot_poll_seconds: float | None,
+    executor_stop_timeout: float | None,
+) -> ExecutorOptions:
+    """One options object from either spelling (both at once rejected)."""
+    if executor is None:
+        return ExecutorOptions(
+            backend=executor_backend,
+            transport=executor_transport,
+            hosts=tuple(executor_hosts),
+            poll_seconds=executor_poll_seconds,
+            slot_poll_seconds=executor_slot_poll_seconds,
+            stop_timeout=executor_stop_timeout,
+        )
+    overridden = [
+        name
+        for name, value, default in (
+            ("executor_backend", executor_backend, "serial"),
+            ("executor_transport", executor_transport, "auto"),
+            ("executor_hosts", executor_hosts, ()),
+            ("executor_poll_seconds", executor_poll_seconds, None),
+            ("executor_slot_poll_seconds", executor_slot_poll_seconds, None),
+            ("executor_stop_timeout", executor_stop_timeout, None),
+        )
+        if value != default
+    ]
+    if overridden:
+        raise ConfigurationError(
+            "pass execution knobs either through executor= or as flat "
+            f"executor_* kwargs, not both; flat kwargs also given: "
+            f"{overridden}"
+        )
+    return executor
+
+
 def make_trial_sampler(
     name: str,
     pattern: str,
@@ -171,6 +211,7 @@ def make_trial_sampler(
     executor_poll_seconds: float | None = None,
     executor_slot_poll_seconds: float | None = None,
     executor_stop_timeout: float | None = None,
+    executor: ExecutorOptions | None = None,
 ):
     """Build one trial's consumer: a sampler, or a sharded executor.
 
@@ -186,6 +227,11 @@ def make_trial_sampler(
     at |H| per replica so the estimators stay defined); broadcast
     replicas each keep the full budget, as each one samples the whole
     stream.
+
+    Execution knobs are taken from ``executor``
+    (:class:`~repro.streams.executor.ExecutorOptions`, the preferred
+    spelling) or the equivalent flat ``executor_*`` keyword arguments,
+    which are kept for backwards compatibility.
     """
     if shards == 1:
         return make_sampler(
@@ -219,12 +265,15 @@ def make_trial_sampler(
         shard_factory,
         shards,
         mode=shard_mode,
-        executor_backend=executor_backend,
-        transport=executor_transport,
-        hosts=executor_hosts or None,
-        poll_seconds=executor_poll_seconds,
-        slot_poll_seconds=executor_slot_poll_seconds,
-        stop_timeout=executor_stop_timeout,
+        options=_resolve_executor_options(
+            executor,
+            executor_backend,
+            executor_transport,
+            executor_hosts,
+            executor_poll_seconds,
+            executor_slot_poll_seconds,
+            executor_stop_timeout,
+        ),
     )
 
 
@@ -246,6 +295,7 @@ def run_algorithm(
     executor_poll_seconds: float | None = None,
     executor_slot_poll_seconds: float | None = None,
     executor_stop_timeout: float | None = None,
+    executor: ExecutorOptions | None = None,
 ) -> AlgorithmResult:
     """Run ``trials`` independent repetitions of one algorithm."""
     if truth.final_truth == 0:
@@ -266,12 +316,15 @@ def run_algorithm(
             temporal_aggregation=temporal_aggregation,
             shards=shards,
             shard_mode=shard_mode,
-            executor_backend=executor_backend,
-            executor_transport=executor_transport,
-            executor_hosts=executor_hosts,
-            executor_poll_seconds=executor_poll_seconds,
-            executor_slot_poll_seconds=executor_slot_poll_seconds,
-            executor_stop_timeout=executor_stop_timeout,
+            executor=_resolve_executor_options(
+                executor,
+                executor_backend,
+                executor_transport,
+                executor_hosts,
+                executor_poll_seconds,
+                executor_slot_poll_seconds,
+                executor_stop_timeout,
+            ),
         )
         trial_result = run_sampler_trial(sampler, stream, truth)
         result.ares.append(
@@ -316,11 +369,6 @@ def run_cell(
             temporal_aggregation=temporal_aggregation,
             shards=config.shards,
             shard_mode=config.shard_mode,
-            executor_backend=config.executor_backend,
-            executor_transport=config.executor_transport,
-            executor_hosts=config.executor_hosts,
-            executor_poll_seconds=config.executor_poll_seconds,
-            executor_slot_poll_seconds=config.executor_slot_poll_seconds,
-            executor_stop_timeout=config.executor_stop_timeout,
+            executor=config.executor_options(),
         )
     return results

@@ -9,6 +9,7 @@ single linear layer, evaluated with one dot product per edge, with
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 
@@ -16,6 +17,7 @@ import numpy as np
 
 from repro.errors import PolicyError
 from repro.rl.networks import ActorNetwork
+from repro.utils.io import atomic_write_bytes
 
 __all__ = ["Policy", "FrozenPolicy"]
 
@@ -75,13 +77,24 @@ class Policy:
     # -- persistence ----------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist to an ``.npz`` file (parameters + JSON metadata)."""
+        """Persist to an ``.npz`` file (parameters + JSON metadata).
+
+        The archive is built in memory and written atomically
+        (write-tmp + ``os.replace``), so a crash mid-save never leaves
+        a truncated policy file. Like ``np.savez``, a ``.npz`` suffix
+        is appended when the path does not already carry one.
+        """
+        path = Path(path)
+        if not path.name.endswith(".npz"):
+            path = path.with_name(path.name + ".npz")
+        buffer = io.BytesIO()
         np.savez(
-            Path(path),
+            buffer,
             weights=self.weights,
             bias=np.float64(self.bias),
             metadata=np.bytes_(json.dumps(self.metadata).encode("utf-8")),
         )
+        atomic_write_bytes(path, buffer.getvalue())
 
     @classmethod
     def load(cls, path: str | Path) -> "Policy":

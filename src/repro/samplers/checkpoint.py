@@ -41,6 +41,7 @@ from repro.samplers.thinkd import ThinkD
 from repro.samplers.triest import Triest
 from repro.samplers.wrs import WRS
 from repro.samplers.wsd import WSD
+from repro.utils.io import atomic_write_text
 from repro.weights.base import WeightFunction
 
 __all__ = [
@@ -517,10 +518,14 @@ def restore_sampler(
 
 
 def save_sampler(sampler, path: str | Path) -> None:
-    """Serialise a sampler's state to a JSON file."""
-    Path(path).write_text(
-        json.dumps(sampler_state_dict(sampler)), encoding="utf-8"
-    )
+    """Serialise a sampler's state to a JSON file.
+
+    The write is atomic (write-tmp + ``os.replace`` + fsync via
+    :func:`~repro.utils.io.atomic_write_text`): a crash mid-save leaves
+    the previous checkpoint intact instead of a torn JSON document —
+    the durability contract the long-running service tier leans on.
+    """
+    atomic_write_text(path, json.dumps(sampler_state_dict(sampler)))
 
 
 def load_sampler(

@@ -24,17 +24,36 @@ from repro.streams.scenarios import (
 from repro.streams.validate import is_feasible, validate_stream
 
 _HOST_EXPORTS = ("HostAgent", "spawn_local_host")
+_SERVICE_EXPORTS = {
+    "StreamConfig": "service",
+    "StreamSession": "service",
+    "ServiceConfig": "service",
+    "CountingService": "service",
+    "SERVICE_ALGORITHMS": "service",
+    "StreamIngestServer": "ingest",
+    "ServiceClient": "ingest",
+    "StreamQueries": "queries",
+    "StreamSnapshot": "queries",
+    "run_query": "queries",
+}
 
 
 def __getattr__(name: str):
-    # The host-agent module doubles as the ``python -m
-    # repro.streams.host`` CLI; importing it eagerly here would make
-    # runpy warn about the module already being in sys.modules, so the
-    # two host exports resolve lazily instead.
+    # The host-agent and service modules double as ``python -m`` CLIs;
+    # importing them eagerly here would make runpy warn about the
+    # module already being in sys.modules, so their exports resolve
+    # lazily instead.
     if name in _HOST_EXPORTS:
         from repro.streams import host
 
         return getattr(host, name)
+    if name in _SERVICE_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(
+            f"repro.streams.{_SERVICE_EXPORTS[name]}"
+        )
+        return getattr(module, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )
@@ -60,4 +79,14 @@ __all__ = [
     "vectorized_edge_hash",
     "encode_events",
     "decode_events",
+    "StreamConfig",
+    "StreamSession",
+    "ServiceConfig",
+    "CountingService",
+    "SERVICE_ALGORITHMS",
+    "StreamIngestServer",
+    "ServiceClient",
+    "StreamQueries",
+    "StreamSnapshot",
+    "run_query",
 ]

@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import zlib
 from collections.abc import Callable, Iterable, Sequence
+from dataclasses import asdict, dataclass
 from itertools import islice
 
 import numpy as np
@@ -71,6 +72,7 @@ from repro.samplers.checkpoint import restore_sampler, sampler_state_dict
 from repro.streams.workers import ShardWorker, encode_events
 
 __all__ = [
+    "ExecutorOptions",
     "ShardedStreamExecutor",
     "default_shard_key",
     "partition_events",
@@ -89,6 +91,96 @@ _WORKER_BACKENDS = ("process", "remote")
 
 #: Worker transports for the process backend.
 _TRANSPORTS = ("auto", "shm", "queue")
+
+
+@dataclass(frozen=True)
+class ExecutorOptions:
+    """How a :class:`ShardedStreamExecutor` runs its replicas.
+
+    One value object for every knob that is about *where and how* the
+    replicas execute — as opposed to *what* they compute (the sampler
+    factory, shard count, mode, and routing key, which stay positional
+    on the executor). Pass it as ``ShardedStreamExecutor(...,
+    options=...)`` or ``ExperimentConfig(executor=...)``; the semantics
+    of each field are documented on the executor constructor, whose
+    flat keyword arguments these mirror.
+
+    ``mp_context`` is process-local (a live :mod:`multiprocessing`
+    context does not serialise), so :meth:`to_dict` drops it — options
+    that travel over a wire or into a manifest come back with the
+    platform default context.
+    """
+
+    backend: str = "serial"
+    hosts: tuple[str, ...] = ()
+    chunk_size: int = 8192
+    queue_depth: int = 8
+    transport: str = "auto"
+    mp_context: object | None = None
+    poll_seconds: float | None = None
+    slot_poll_seconds: float | None = None
+    stop_timeout: float | None = None
+
+    def validate(self) -> None:
+        """Reject invalid combinations (same rules as the executor)."""
+        if self.backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
+        if self.transport not in _TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {_TRANSPORTS}, got "
+                f"{self.transport!r}"
+            )
+        if self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.backend == "remote" and not self.hosts:
+            raise ConfigurationError(
+                "backend='remote' requires hosts=(...) (shard host "
+                "agent addresses)"
+            )
+        if self.hosts and self.backend != "remote":
+            raise ConfigurationError(
+                "hosts= is only valid with backend='remote', got "
+                f"backend {self.backend!r}"
+            )
+        for knob in ("poll_seconds", "slot_poll_seconds", "stop_timeout"):
+            value = getattr(self, knob)
+            if value is not None and not value > 0:
+                raise ConfigurationError(
+                    f"{knob} must be > 0, got {value!r}"
+                )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (drops the process-local context)."""
+        payload = asdict(self)
+        payload.pop("mp_context")
+        payload["hosts"] = list(self.hosts)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExecutorOptions":
+        """Rebuild options written by :meth:`to_dict`."""
+        known = {
+            name: payload[name]
+            for name in (
+                "backend",
+                "chunk_size",
+                "queue_depth",
+                "transport",
+                "poll_seconds",
+                "slot_poll_seconds",
+                "stop_timeout",
+            )
+            if name in payload
+        }
+        return cls(hosts=tuple(payload.get("hosts", ())), **known)
 
 
 def default_shard_key(edge: Edge) -> int:
@@ -269,6 +361,15 @@ class ShardedStreamExecutor:
         stop_timeout: seconds a clean worker stop may take before
             teardown stops waiting on the process; ``None`` keeps the
             library default (10s).
+        options: an :class:`ExecutorOptions` bundling every execution
+            knob above (backend, transport, hosts, chunk/queue sizing,
+            poll/stop timing). The preferred spelling — the flat
+            keyword arguments (``executor_backend``, ``mp_context``,
+            ``chunk_size``, ``queue_depth``, ``transport``, ``hosts``,
+            ``poll_seconds``, ``slot_poll_seconds``, ``stop_timeout``)
+            are kept for backwards compatibility and may be deprecated
+            in a future release; mixing them with ``options=`` is
+            rejected.
     """
 
     def __init__(
@@ -286,7 +387,40 @@ class ShardedStreamExecutor:
         poll_seconds: float | None = None,
         slot_poll_seconds: float | None = None,
         stop_timeout: float | None = None,
+        options: ExecutorOptions | None = None,
     ) -> None:
+        if options is not None:
+            overridden = [
+                name
+                for name, value, default in (
+                    ("executor_backend", executor_backend, "serial"),
+                    ("mp_context", mp_context, None),
+                    ("chunk_size", chunk_size, 8192),
+                    ("queue_depth", queue_depth, 8),
+                    ("transport", transport, "auto"),
+                    ("hosts", hosts, None),
+                    ("poll_seconds", poll_seconds, None),
+                    ("slot_poll_seconds", slot_poll_seconds, None),
+                    ("stop_timeout", stop_timeout, None),
+                )
+                if value != default
+            ]
+            if overridden:
+                raise ConfigurationError(
+                    "pass execution knobs either through options= or as "
+                    "flat keyword arguments, not both; flat arguments "
+                    f"also given: {overridden}"
+                )
+            options.validate()
+            executor_backend = options.backend
+            mp_context = options.mp_context
+            chunk_size = options.chunk_size
+            queue_depth = options.queue_depth
+            transport = options.transport
+            hosts = options.hosts or None
+            poll_seconds = options.poll_seconds
+            slot_poll_seconds = options.slot_poll_seconds
+            stop_timeout = options.stop_timeout
         if num_shards < 1:
             raise ConfigurationError(
                 f"num_shards must be >= 1, got {num_shards}"
@@ -338,6 +472,19 @@ class ShardedStreamExecutor:
         self.shard_key = shard_key
         self.executor_backend = executor_backend
         self.transport = transport
+        #: The execution knobs as one value object (a construction-time
+        #: snapshot — remote host membership may drift via add/drain).
+        self.options = ExecutorOptions(
+            backend=executor_backend,
+            hosts=tuple(hosts or ()),
+            chunk_size=chunk_size,
+            queue_depth=queue_depth,
+            transport=transport,
+            mp_context=mp_context,
+            poll_seconds=poll_seconds,
+            slot_poll_seconds=slot_poll_seconds,
+            stop_timeout=stop_timeout,
+        )
         self._mp_context = mp_context
         self._chunk_size = chunk_size
         self._queue_depth = queue_depth
@@ -549,6 +696,64 @@ class ShardedStreamExecutor:
     def _flush_pending(self) -> None:
         pending, self._pending = self._pending, []
         self._dispatch(pending)
+
+    def ingest(
+        self, events: EventBlock | Iterable[EdgeEvent]
+    ) -> None:
+        """Route a batch to the replicas without a synchronisation barrier.
+
+        The serving tier's write path: like :meth:`process_batch` but
+        without the estimate read, so worker-backend ingestion keeps
+        pipelining — the next ``estimate`` / ``time`` / ``shard_times``
+        read is the barrier where it lands. Results are bit-identical
+        however the stream is cut into ``ingest`` calls.
+        """
+        if not isinstance(events, (list, EventBlock)):
+            events = list(events)
+        self._ingest(events)
+
+    def ingest_shard(
+        self, index: int, events: EventBlock | list[EdgeEvent]
+    ) -> None:
+        """Deliver events to one replica directly, bypassing routing.
+
+        The crash-recovery replay primitive: after
+        :meth:`restart_shard` restores a replica to its last
+        checkpoint, the session layer re-feeds exactly the sub-stream
+        that replica lost — already routed, so re-partitioning (or
+        broadcasting) it would be wrong. Only the named replica is
+        touched; its siblings never see these events.
+        """
+        if not 0 <= index < self.num_shards:
+            raise ConfigurationError(
+                f"shard index {index} out of range [0, {self.num_shards})"
+            )
+        if not len(events):
+            return
+        if not self._uses_workers:
+            self.shards[index].process_batch(events)
+            return
+        self._ensure_workers()
+        if self._pending:
+            self._flush_pending()
+        worker = self._workers[index]
+        block: EventBlock | None
+        if isinstance(events, EventBlock):
+            block = events
+        elif self.transport == "queue":
+            block = None
+        else:
+            try:
+                block = EventBlock.from_events(events)
+            except TypeError:
+                block = None
+        if block is not None and self.transport != "queue":
+            worker.send_block(block)
+        elif block is not None:
+            worker.send_batch(list(zip(*block.columns())))
+        else:
+            worker.send_batch(encode_events(events))
+        self._synced = False
 
     def process_batch(
         self, events: EventBlock | Iterable[EdgeEvent]

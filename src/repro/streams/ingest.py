@@ -1,0 +1,490 @@
+"""The counting service's TCP front: asyncio server + blocking client.
+
+One wire format serves the whole library: the ``RSX1`` frames of
+:mod:`repro.streams.transport`. A service connection is
+
+1. a HELLO exchange (JSON, version-checked both ways — same rules as
+   the shard transports);
+2. CONTROL frames carrying pickled ``(op, token, ...)`` requests —
+   ``create`` / ``attach`` / ``ingest`` / ``query`` / ``checkpoint`` /
+   ``streams`` — answered by ``(op, token, value)`` or
+   ``("error", token, traceback_text)``;
+3. BLOCK frames carrying columnar
+   :class:`~repro.graph.stream.EventBlock` payloads for the selected
+   stream — the fire-and-forget fast path: no per-block acknowledgement,
+   so ingestion pipelines; an ingest failure is reported once (token
+   ``None``) and drops the connection, and the kernel socket buffer is
+   the backpressure bound (the server reads and applies one frame at a
+   time per connection, exactly like the shard host agent).
+
+The server (:class:`StreamIngestServer`) runs one asyncio event loop in
+a daemon thread; session work (sampler ingestion, barrier reads) runs
+on the default thread-pool executor so the loop stays responsive to
+other connections. Per-stream ordering is preserved where it matters:
+frames of one connection are applied strictly in order, and sessions
+serialise concurrent writers under their own lock.
+
+Trust model: CONTROL payloads are **pickled** — identical to the shard
+transports, the service must only listen on networks where every peer
+is trusted. This is cluster-internal plumbing, not a public endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import pickle
+import socket
+import threading
+import traceback
+
+from repro.errors import ProtocolError, ServiceError
+from repro.graph.stream import EventBlock
+from repro.streams.executor import ExecutorOptions
+from repro.streams.queries import run_query
+from repro.streams.service import StreamConfig
+from repro.streams.transport import (
+    FRAME_BLOCK,
+    FRAME_CONTROL,
+    FRAME_HEADER_SIZE,
+    FRAME_HELLO,
+    PROTOCOL_VERSION,
+    block_from_frame,
+    expect_hello,
+    frame_bytes,
+    hello_payload,
+    parse_address,
+    parse_frame_header,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["StreamIngestServer", "ServiceClient"]
+
+
+async def _read_frame_async(reader: asyncio.StreamReader):
+    """One frame from an asyncio stream; ``None`` on clean close."""
+    try:
+        header = await reader.readexactly(FRAME_HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)} of "
+            f"{FRAME_HEADER_SIZE} bytes)"
+        ) from exc
+    kind, length = parse_frame_header(header)
+    if not length:
+        return kind, b""
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} of "
+            f"{length} payload bytes)"
+        ) from exc
+    return kind, payload
+
+
+def _check_hello(frame) -> None:
+    """Server-side HELLO validation (mirrors ``expect_hello``)."""
+    if frame is None:
+        raise ProtocolError("client closed the connection before HELLO")
+    kind, payload = frame
+    if kind != FRAME_HELLO:
+        raise ProtocolError(f"expected HELLO, got frame kind {kind}")
+    try:
+        meta = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("malformed HELLO payload") from exc
+    if meta.get("protocol") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"client speaks protocol {meta.get('protocol')!r}, this "
+            f"build speaks {PROTOCOL_VERSION}"
+        )
+
+
+def _control_reply(op: str, token, value) -> bytes:
+    return frame_bytes(
+        FRAME_CONTROL,
+        pickle.dumps((op, token, value), protocol=pickle.HIGHEST_PROTOCOL),
+    )
+
+
+class StreamIngestServer:
+    """The asyncio ingestion front of one :class:`CountingService`.
+
+    Runs a dedicated event loop in a daemon thread; :meth:`start`
+    returns the bound ``host:port`` (port 0 in ``listen`` picks a free
+    one). One coroutine per connection; blocking session work is pushed
+    to the default thread-pool executor.
+    """
+
+    def __init__(self, service, listen: str = "127.0.0.1:0") -> None:
+        self._service = service
+        self._host, self._port = parse_address(listen)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.base_events.Server | None = None
+        #: The bound ``host:port`` once started.
+        self.address: str | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> str:
+        if self._thread is not None:
+            raise ServiceError("ingest server already started")
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+        boot_errors: list[BaseException] = []
+
+        def run() -> None:
+            loop = self._loop
+            asyncio.set_event_loop(loop)
+            try:
+                self._server = loop.run_until_complete(
+                    asyncio.start_server(
+                        self._serve_connection, self._host, self._port
+                    )
+                )
+            except BaseException as exc:  # surface bind failures to start()
+                boot_errors.append(exc)
+                started.set()
+                return
+            sockname = self._server.sockets[0].getsockname()
+            self.address = f"{sockname[0]}:{sockname[1]}"
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                self._server.close()
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.run_until_complete(self._server.wait_closed())
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-service-ingest", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        if boot_errors:
+            self._thread.join(timeout=5)
+            self._thread = None
+            raise boot_errors[0]
+        assert self.address is not None
+        return self.address
+
+    def stop(self) -> None:
+        """Stop accepting and drop live connections (idempotent)."""
+        loop, thread = self._loop, self._thread
+        if loop is not None and not loop.is_closed() and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=10)
+        self._thread = None
+        self._loop = None
+        self._server = None
+
+    # -- connection handling -------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        session = None
+        try:
+            _check_hello(await _read_frame_async(reader))
+            writer.write(frame_bytes(FRAME_HELLO, hello_payload("service")))
+            await writer.drain()
+            while True:
+                frame = await _read_frame_async(reader)
+                if frame is None:
+                    return
+                kind, payload = frame
+                if kind == FRAME_BLOCK:
+                    if session is None:
+                        raise ServiceError(
+                            "received an event block before create/attach "
+                            "selected a stream"
+                        )
+                    block = block_from_frame(payload)
+                    await loop.run_in_executor(None, session.ingest, block)
+                    continue
+                if kind != FRAME_CONTROL:
+                    raise ProtocolError(
+                        f"unexpected frame kind {kind} mid-session"
+                    )
+                message = pickle.loads(payload)
+                op, token = message[0], message[1]
+                try:
+                    if op == "create":
+                        _, _, name, config_dict, options_dict = message
+                        config = StreamConfig.from_dict(config_dict)
+                        options = (
+                            ExecutorOptions.from_dict(options_dict)
+                            if options_dict is not None
+                            else None
+                        )
+                        session = await loop.run_in_executor(
+                            None,
+                            functools.partial(
+                                self._service.create_stream,
+                                name,
+                                config,
+                                options=options,
+                            ),
+                        )
+                        value = {"name": name, "clock": session.clock}
+                    elif op == "attach":
+                        session = self._service.get_stream(message[2])
+                        value = {
+                            "name": session.name,
+                            "clock": session.clock,
+                            "config": session.config.to_dict(),
+                        }
+                    elif op == "ingest":
+                        # The acknowledged slow path: pickled event
+                        # lists, for streams whose labels have no
+                        # columnar encoding.
+                        if session is None:
+                            raise ServiceError(
+                                "no stream selected; create or attach first"
+                            )
+                        events = list(message[2])
+                        await loop.run_in_executor(
+                            None, session.ingest, events
+                        )
+                        value = len(events)
+                    elif op == "query":
+                        _, _, query_kind, query_args = message
+                        if session is None:
+                            raise ServiceError(
+                                "no stream selected; create or attach first"
+                            )
+                        value = await loop.run_in_executor(
+                            None, run_query, session, query_kind, query_args
+                        )
+                    elif op == "checkpoint":
+                        if session is None:
+                            raise ServiceError(
+                                "no stream selected; create or attach first"
+                            )
+                        await loop.run_in_executor(None, session.checkpoint)
+                        value = {
+                            "clock": session.clock,
+                            "durable": session.durable,
+                        }
+                    elif op == "streams":
+                        value = list(self._service.streams())
+                    else:
+                        raise ProtocolError(f"unknown control op {op!r}")
+                    reply = _control_reply(op, token, value)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    # Control failures are per-request: report with the
+                    # remote traceback, keep the connection alive.
+                    reply = _control_reply(
+                        "error", token, traceback.format_exc()
+                    )
+                writer.write(reply)
+                await writer.drain()
+        except asyncio.CancelledError:
+            # Cancellation only originates from our own stop(); finish
+            # quietly so asyncio's stream-protocol done-callback does
+            # not log a spurious traceback for every open connection.
+            return
+        except (ConnectionError, OSError):
+            pass  # peer vanished; nothing to report to
+        except Exception:
+            # Protocol violations and block-path ingest failures are
+            # connection-fatal: report once (token None), then drop.
+            try:
+                writer.write(
+                    _control_reply("error", None, traceback.format_exc())
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+
+class ServiceClient:
+    """Blocking client for one counting-service connection.
+
+    A connection addresses one stream at a time: :meth:`create_stream`
+    or :meth:`attach` selects it, then :meth:`send_block` /
+    :meth:`send_events` push events (fire-and-forget pipelining) and
+    the query helpers read. Service-side failures raise
+    :class:`~repro.errors.ServiceError` carrying the remote traceback.
+    """
+
+    def __init__(self, address: str, *, connect_timeout: float = 10.0) -> None:
+        host, port = parse_address(address)
+        self.address = address
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to counting service {address}: {exc}"
+            ) from exc
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            write_frame(self._sock, FRAME_HELLO, hello_payload("client"))
+            expect_hello(self._sock, peer=f"counting service {address}")
+            self._sock.settimeout(None)
+        except BaseException:
+            self._sock.close()
+            raise
+        self._token = 0
+        #: Name of the stream this connection is attached to.
+        self.stream: str | None = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _control(self, op: str, *rest):
+        self._token += 1
+        token = self._token
+        write_frame(
+            self._sock,
+            FRAME_CONTROL,
+            pickle.dumps(
+                (op, token, *rest), protocol=pickle.HIGHEST_PROTOCOL
+            ),
+        )
+        frame = read_frame(self._sock)
+        if frame is None:
+            raise ServiceError(
+                f"counting service {self.address} closed the connection"
+            )
+        kind, payload = frame
+        if kind != FRAME_CONTROL:
+            raise ProtocolError(
+                f"expected a control reply, got frame kind {kind}"
+            )
+        reply = pickle.loads(payload)
+        if reply[0] == "error":
+            raise ServiceError(
+                f"counting service {self.address} reported:\n{reply[2]}"
+            )
+        if reply[0] != op or reply[1] != token:
+            raise ProtocolError(
+                f"out-of-order reply {reply[:2]!r} to ({op!r}, {token})"
+            )
+        return reply[2]
+
+    # -- stream selection ----------------------------------------------------
+
+    def create_stream(
+        self,
+        name: str,
+        config,
+        *,
+        options: ExecutorOptions | None = None,
+    ) -> dict:
+        """Create a named stream and attach this connection to it."""
+        info = self._control(
+            "create",
+            name,
+            config.to_dict(),
+            options.to_dict() if options is not None else None,
+        )
+        self.stream = name
+        return info
+
+    def attach(self, name: str) -> dict:
+        """Attach this connection to an existing stream."""
+        info = self._control("attach", name)
+        self.stream = name
+        return info
+
+    def streams(self) -> list[str]:
+        """The service's registered stream names."""
+        return self._control("streams")
+
+    # -- write path ----------------------------------------------------------
+
+    def send_block(self, block: EventBlock) -> None:
+        """Push one columnar block (fire-and-forget, pipelines)."""
+        write_frame(self._sock, FRAME_BLOCK, block.to_bytes())
+
+    def send_events(self, events) -> None:
+        """Push an event batch, columnar when the labels allow it."""
+        events = list(events)
+        if not events:
+            return
+        try:
+            block = EventBlock.from_events(events)
+        except TypeError:
+            self._control("ingest", events)
+            return
+        self.send_block(block)
+
+    # -- read path -----------------------------------------------------------
+
+    def query(self, kind: str, **args):
+        """One named query against the attached stream (a barrier)."""
+        return self._control("query", kind, args)
+
+    def estimate(self) -> float:
+        return float(self.query("estimate"))
+
+    def time(self) -> int:
+        return int(self.query("time"))
+
+    def shard_times(self) -> list[int]:
+        return self.query("shard_times")
+
+    def shard_estimates(self) -> list[float]:
+        return self.query("shard_estimates")
+
+    def stats(self) -> dict:
+        """Estimate + clocks as one consistent snapshot dict."""
+        return self.query("stats")
+
+    def top_vertices(self, k: int = 10) -> list[tuple[object, float]]:
+        return [tuple(item) for item in self.query("top_vertices", k=k)]
+
+    def local_counts(self, vertices) -> dict:
+        return self.query("local_counts", vertices=list(vertices))
+
+    # -- durability ----------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Force a checkpoint of the attached stream (a barrier)."""
+        return self._control("checkpoint")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ServiceClient(address={self.address!r}, "
+            f"stream={self.stream!r})"
+        )

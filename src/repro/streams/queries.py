@@ -1,0 +1,153 @@
+"""Read-side of the counting service: snapshot-consistent queries.
+
+A :class:`~repro.streams.service.StreamSession` keeps ingesting while
+clients read, so the read path has two jobs: *barrier* (a worker-backend
+estimate read synchronises the fleet, so the answer reflects every event
+handed to the session before the query) and *consistency* (reads that
+belong together — estimate, clock, per-shard times — are taken under one
+session lock acquisition, at an ingest boundary, so they describe one
+moment of the stream rather than interleaving with a half-applied
+batch). :class:`StreamQueries` packages both; the ingestion front's
+``query`` control op dispatches into :func:`run_query`.
+
+Queries never mutate sampler state, with one deliberate exception: a
+read that discovers a crashed worker triggers the session's recovery
+(restore the shard from its last checkpoint, replay its lost sub-stream
+from the write-ahead log) and then answers — so a query observes either
+the pre-crash stream or the fully recovered one, never a hole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.errors import ConfigurationError, ServiceError
+
+__all__ = ["StreamQueries", "StreamSnapshot", "QUERY_KINDS", "run_query"]
+
+
+@dataclass(frozen=True)
+class StreamSnapshot:
+    """One consistent read of a stream's counters.
+
+    All fields are read under a single session lock acquisition after
+    one synchronisation barrier, so ``clock`` is exactly the number of
+    events ``estimate`` and ``shard_times`` reflect.
+    """
+
+    name: str
+    clock: int
+    estimate: float
+    shard_times: tuple[int, ...]
+    shard_estimates: tuple[float, ...]
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class StreamQueries:
+    """The query surface of one stream session.
+
+    Thin by design: every method takes the session lock (via the
+    session's guarded-read helper, which also runs crash recovery) and
+    reads the executor — the executor's own worker-read barriers do the
+    synchronisation work.
+    """
+
+    def __init__(self, session) -> None:
+        self._session = session
+
+    # -- global counters -----------------------------------------------------
+
+    def estimate(self) -> float:
+        """The merged estimate of |J(t)| over every ingested event."""
+        return self._session._read(lambda ex: ex.estimate)
+
+    def time(self) -> int:
+        """Events consumed, derived from the shard clocks."""
+        return self._session._read(lambda ex: ex.time)
+
+    def shard_times(self) -> list[int]:
+        """Per-shard event clocks (a barrier on worker backends)."""
+        return self._session._read(lambda ex: ex.shard_times())
+
+    def shard_estimates(self) -> list[float]:
+        """The raw per-shard partial estimates."""
+        return self._session._read(lambda ex: ex.shard_estimates())
+
+    def stats(self) -> StreamSnapshot:
+        """Estimate + clocks as one consistent :class:`StreamSnapshot`."""
+
+        def read(executor) -> StreamSnapshot:
+            return StreamSnapshot(
+                name=self._session.name,
+                clock=executor.time,
+                estimate=executor.estimate,
+                shard_times=tuple(executor.shard_times()),
+                shard_estimates=tuple(executor.shard_estimates()),
+            )
+
+        return self._session._read(read)
+
+    # -- local (per-vertex) counters -----------------------------------------
+
+    def _local(self):
+        local = self._session.local
+        if local is None:
+            raise ConfigurationError(
+                f"stream {self._session.name!r} does not track local "
+                "counts; create it with track_local=True"
+            )
+        return local
+
+    def top_vertices(self, k: int = 10) -> list[tuple[object, float]]:
+        """The ``k`` vertices with the largest estimated local counts."""
+        local = self._local()
+        return self._session._read(lambda ex: local.top_vertices(k))
+
+    def local_counts(self, vertices) -> dict:
+        """Estimated per-vertex instance counts for ``vertices``."""
+        local = self._local()
+        return self._session._read(
+            lambda ex: {v: local.vertex_estimate(v) for v in vertices}
+        )
+
+
+#: Wire-facing query kinds served by :func:`run_query`.
+QUERY_KINDS = (
+    "estimate",
+    "time",
+    "shard_times",
+    "shard_estimates",
+    "stats",
+    "top_vertices",
+    "local_counts",
+)
+
+
+def run_query(session, kind: str, args: dict | None = None):
+    """Dispatch one named query against a session (the wire entry point).
+
+    ``args`` carries the query's keyword arguments (``top_vertices``
+    takes ``k``; ``local_counts`` takes ``vertices``). Results are
+    plain Python values, ready for the control-frame reply.
+    """
+    args = args or {}
+    queries = session.queries
+    if kind == "estimate":
+        return queries.estimate()
+    if kind == "time":
+        return queries.time()
+    if kind == "shard_times":
+        return queries.shard_times()
+    if kind == "shard_estimates":
+        return queries.shard_estimates()
+    if kind == "stats":
+        return queries.stats().to_dict()
+    if kind == "top_vertices":
+        return queries.top_vertices(int(args.get("k", 10)))
+    if kind == "local_counts":
+        return queries.local_counts(list(args.get("vertices", ())))
+    raise ServiceError(
+        f"unknown query kind {kind!r}; known: {QUERY_KINDS}"
+    )

@@ -1,0 +1,922 @@
+"""Counting as a service: long-lived, multi-tenant streaming sessions.
+
+Everything below this module answers one question per call: *given this
+stream, what is the estimate now?* The service tier turns that into an
+operated system: many named streams (tenants), each a sampler
+configuration × shard layout backed by a
+:class:`~repro.streams.executor.ShardedStreamExecutor` on any backend,
+ingesting for hours while clients query, workers crash, and the process
+itself restarts. Three objects carry the design:
+
+* :class:`StreamConfig` — *what* a stream counts: algorithm, pattern,
+  budget, seed, shard layout. JSON round-trippable, so it travels over
+  the wire and into checkpoint manifests. The ``(config, name)`` pair
+  defines the stream's randomness: per-shard generators are spawned
+  from ``derive_seed(config.seed, "stream-<name>")``, so a serial
+  re-run of the same named stream is bit-identical to the hosted one —
+  the library's fixed-seed contract, extended to the service tier.
+* :class:`StreamSession` — one live tenant. Owns the executor, an
+  in-memory write-ahead log of everything since the last checkpoint
+  barrier, and the durable on-disk checkpoint. A crashed worker is
+  restored from its retained snapshot and the *exact* sub-stream it
+  lost is replayed from the log (clock-delta replay, see
+  :meth:`StreamSession._replay`), so recovery is invisible in the
+  numbers, not just approximately patched.
+* :class:`CountingService` — the registry + operations loop: restores
+  every tenant found under ``state_dir`` at boot, runs the asyncio
+  ingestion front (:mod:`repro.streams.ingest`) and a durability
+  thread that checkpoints every tenant on a fixed cadence.
+  ``python -m repro.streams.service --listen HOST:PORT`` is the
+  operator entry point.
+
+Durability uses generation-numbered checkpoint files: every shard
+state of generation *g* is written (atomically, via
+:func:`~repro.utils.io.atomic_write_bytes`) before ``manifest.json`` —
+the commit point — is replaced to name them; the previous generation
+is deleted only afterwards. A crash at any byte leaves either the old
+complete checkpoint or the new complete checkpoint, never a torn mix.
+
+Trust model: the service speaks the shard-transport wire format, whose
+control frames are pickled — run it only on networks where every peer
+is trusted (see :mod:`repro.streams.transport`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import threading
+import traceback
+from dataclasses import asdict, dataclass, field, fields, replace
+from pathlib import Path
+
+from repro.errors import ConfigurationError, ServiceError, WorkerCrashError
+from repro.estimators.local import LocalSubgraphCounter
+from repro.graph.stream import EventBlock
+from repro.patterns.matching import get_pattern
+from repro.samplers.checkpoint import (
+    restore_sampler,
+    state_from_wire,
+    state_to_wire,
+)
+from repro.streams.executor import (
+    ExecutorOptions,
+    ShardedStreamExecutor,
+    partition_block,
+    partition_events,
+)
+from repro.streams.queries import StreamQueries
+from repro.utils.io import atomic_write_bytes, atomic_write_text
+from repro.utils.rng import derive_seed, spawn_generators
+from repro.weights.heuristic import GPSHeuristicWeight, UniformWeight
+
+__all__ = [
+    "SERVICE_ALGORITHMS",
+    "StreamConfig",
+    "StreamSession",
+    "ServiceConfig",
+    "CountingService",
+    "main",
+]
+
+#: On-disk checkpoint manifest format; bumped on incompatible changes.
+MANIFEST_FORMAT = 1
+
+#: Default cap on write-ahead-log events before an automatic snapshot
+#: barrier trims it (bounds both replay time and parent memory).
+DEFAULT_WAL_LIMIT = 1 << 17
+
+#: Algorithms the service can host. WSD-L is deliberately absent: it
+#: needs a live policy object, which neither the wire nor the JSON
+#: checkpoint manifest carries — host it in-process by building a
+#: :class:`StreamSession` yourself and injecting a sampler factory.
+SERVICE_ALGORITHMS = ("WSD-H", "WSD-U", "GPS-A", "GPS", "Triest", "ThinkD", "WRS")
+
+_SERVICE_KEYS = {name.upper() for name in SERVICE_ALGORITHMS}
+
+#: Stream names double as checkpoint directory names, so they are
+#: restricted to a filesystem- and wire-safe alphabet.
+_STREAM_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+
+def _validate_stream_name(name: str) -> None:
+    if not isinstance(name, str) or not _STREAM_NAME.match(name):
+        raise ConfigurationError(
+            f"bad stream name {name!r}: need 1-128 chars of "
+            "[A-Za-z0-9._-], starting with an alphanumeric"
+        )
+
+
+# Local-count vertices are int or str; JSON object keys are str-only,
+# so accumulators persist as tagged pairs (the checkpoint layer's
+# convention).
+def _encode_vertex(vertex) -> list:
+    if isinstance(vertex, bool) or not isinstance(vertex, (int, str)):
+        raise ConfigurationError(
+            f"local-count persistence supports int/str vertices, got "
+            f"{type(vertex).__name__}"
+        )
+    return ["i", vertex] if isinstance(vertex, int) else ["s", vertex]
+
+
+def _decode_vertex(pair: list):
+    kind, value = pair
+    return int(value) if kind == "i" else str(value)
+
+
+def _entry_tail(entry, count: int):
+    """The last ``count`` events of one WAL entry (block or list)."""
+    if isinstance(entry, EventBlock):
+        return EventBlock(
+            entry.is_insert[-count:],
+            entry.u[-count:],
+            entry.v[-count:],
+            canonical=True,
+        )
+    return entry[-count:]
+
+
+def _tail_entries(entries: list, count: int) -> list:
+    """The suffix of a routed WAL holding exactly ``count`` events."""
+    tail: list = []
+    need = count
+    for entry in reversed(entries):
+        if need <= 0:
+            break
+        if len(entry) <= need:
+            tail.append(entry)
+            need -= len(entry)
+        else:
+            tail.append(_entry_tail(entry, need))
+            need = 0
+    tail.reverse()
+    return tail
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """What one hosted stream counts (JSON round-trippable).
+
+    ``(seed, stream name)`` fully determines the randomness: the
+    session spawns per-shard generators from
+    ``derive_seed(seed, "stream-<name>")``, so two streams with the
+    same config but different names are independent, and a serial
+    reference run of the same named config reproduces the hosted
+    stream bit for bit.
+    """
+
+    algorithm: str = "WSD-H"
+    pattern: str = "triangle"
+    budget: int = 10_000
+    seed: int = 0
+    shards: int = 1
+    mode: str = "partition"
+    #: Track per-vertex local counts (anomaly-detection workloads).
+    #: Requires ``shards=1`` and the serial backend: the counter
+    #: observes the replica's counted instances in-process.
+    track_local: bool = False
+
+    def validate(self) -> None:
+        key = str(self.algorithm).upper().replace("_", "-")
+        if key == "WSD-L":
+            raise ConfigurationError(
+                "the service cannot host WSD-L: it needs a live trained "
+                "policy, which does not travel over the wire or into a "
+                "checkpoint manifest; serve WSD-H, or run WSD-L "
+                "in-process with a StreamSession you build yourself"
+            )
+        if key not in _SERVICE_KEYS:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; the service "
+                f"hosts {SERVICE_ALGORITHMS}"
+            )
+        get_pattern(self.pattern)  # raises on unknown patterns
+        if self.budget < 1:
+            raise ConfigurationError("budget must be >= 1")
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.mode not in {"partition", "broadcast"}:
+            raise ConfigurationError(
+                f"mode must be 'partition' or 'broadcast', got {self.mode!r}"
+            )
+        if self.track_local and self.shards != 1:
+            raise ConfigurationError(
+                "track_local requires shards=1 (the local counter "
+                "observes a single replica's instances)"
+            )
+
+    def shard_budget(self) -> int:
+        """Per-replica budget: split in partition mode, full otherwise.
+
+        The same convention as the experiment runner: partition mode
+        divides M across the replicas (memory parity with a single
+        sampler, floored at |H| so the estimators stay defined);
+        broadcast replicas each sample the whole stream with the full
+        budget.
+        """
+        if self.mode == "partition":
+            return max(get_pattern(self.pattern).num_edges, self.budget // self.shards)
+        return self.budget
+
+    def build_weight_fn(self):
+        """The algorithm's weight function (for checkpoint restores)."""
+        key = str(self.algorithm).upper().replace("_", "-")
+        if key in {"WSD-H", "GPS", "GPS-A"}:
+            return GPSHeuristicWeight()
+        if key == "WSD-U":
+            return UniformWeight()
+        return None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StreamConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown StreamConfig keys: {unknown}; known: {sorted(known)}"
+            )
+        config = cls(**payload)
+        config.validate()
+        return config
+
+    def with_changes(self, **kwargs) -> "StreamConfig":
+        return replace(self, **kwargs)
+
+
+class StreamSession:
+    """One live hosted stream: executor + replay log + durability.
+
+    The session's job is to make a long-lived stream safe to operate:
+
+    * **Writes** (:meth:`ingest`) append to an in-memory write-ahead
+      log *before* dispatching to the executor, so any event the
+      executor might lose to a worker crash is replayable.
+    * **Crash recovery** is clock-delta replay: restart the crashed
+      shard from its retained snapshot, read every shard's event clock
+      (a barrier), and re-feed each shard exactly the suffix of its
+      routed sub-stream that its clock says it is missing — survivors
+      replay nothing, the restored shard replays everything since the
+      snapshot, and the recovered state is bit-identical to a run with
+      no crash at all.
+    * **Durability** (:meth:`checkpoint`) persists a
+      generation-numbered, atomically-committed checkpoint that
+      :meth:`restore` turns back into a bit-identical continuation.
+
+    Reads go through :attr:`queries`
+    (a :class:`~repro.streams.queries.StreamQueries`); all paths
+    share one re-entrant lock, so queries interleave with ingestion at
+    batch boundaries only.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: StreamConfig,
+        *,
+        options: ExecutorOptions | None = None,
+        state_dir: str | Path | None = None,
+        auto_restart: bool = True,
+        wal_limit_events: int = DEFAULT_WAL_LIMIT,
+        _states: list[dict] | None = None,
+        _generation: int = 0,
+        _local_counts: dict | None = None,
+    ) -> None:
+        _validate_stream_name(name)
+        config.validate()
+        if options is None:
+            options = ExecutorOptions()
+        options.validate()
+        if config.track_local and options.backend != "serial":
+            raise ConfigurationError(
+                "track_local requires the serial executor backend (the "
+                "local counter observes replica instances in-process)"
+            )
+        if wal_limit_events < 1:
+            raise ConfigurationError("wal_limit_events must be >= 1")
+        self.name = name
+        self.config = config
+        self.options = options
+        self.auto_restart = auto_restart
+        self._wal_limit = int(wal_limit_events)
+        self._state_dir = Path(state_dir) if state_dir is not None else None
+        self._lock = threading.RLock()
+        self._wal: list = []
+        self._wal_events = 0
+        self._generation = int(_generation)
+        self._closed = False
+
+        if _states is None:
+            from repro.experiments.algorithms import make_sampler
+
+            shard_budget = config.shard_budget()
+            rngs = spawn_generators(
+                derive_seed(config.seed, f"stream-{name}"), config.shards
+            )
+
+            def factory(index: int):
+                return make_sampler(
+                    config.algorithm, config.pattern, shard_budget,
+                    rng=rngs[index],
+                )
+        else:
+            if len(_states) != config.shards:
+                raise ServiceError(
+                    f"checkpoint for stream {name!r} has {len(_states)} "
+                    f"shard states but the config declares {config.shards}"
+                )
+            weight_fn = config.build_weight_fn()
+
+            def factory(index: int):
+                return restore_sampler(_states[index], weight_fn)
+
+        #: The underlying executor. Public for operational tooling and
+        #: tests; normal callers use :meth:`ingest` and :attr:`queries`.
+        self.executor = ShardedStreamExecutor(
+            factory, config.shards, mode=config.mode, options=options
+        )
+        #: Per-vertex local counter when ``config.track_local``.
+        self.local: LocalSubgraphCounter | None = None
+        if config.track_local:
+            self.local = LocalSubgraphCounter().attach(self.executor.shards[0])
+            if _local_counts:
+                self.local.load_vertex_estimates(_local_counts)
+        # Arm restart_shard from event zero (or the restored cut): the
+        # executor retains this snapshot until the next one replaces it.
+        self._base_clocks = [
+            int(state["time"]) for state in self.executor.snapshot()
+        ]
+        #: The read surface (estimate / stats / top_vertices / ...).
+        self.queries = StreamQueries(self)
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def clock(self) -> int:
+        """Events ingested into this session over its whole lifetime."""
+        with self._lock:
+            if not self._base_clocks:
+                return self._wal_events
+            if self.config.mode == "broadcast":
+                return self._base_clocks[0] + self._wal_events
+            return sum(self._base_clocks) + self._wal_events
+
+    @property
+    def durable(self) -> bool:
+        """Whether :meth:`checkpoint` persists to disk."""
+        return self._state_dir is not None
+
+    @property
+    def state_path(self) -> Path | None:
+        """This stream's checkpoint directory (``None`` if in-memory)."""
+        if self._state_dir is None:
+            return None
+        return self._state_dir / self.name
+
+    # -- write path ----------------------------------------------------------
+
+    def ingest(self, events) -> None:
+        """Feed a batch (EventBlock or event iterable) into the stream.
+
+        The batch lands in the write-ahead log before it is dispatched,
+        so a worker crash at any point is recoverable by replay; when
+        the log exceeds the session's limit, a snapshot barrier trims
+        it. No synchronisation barrier otherwise — worker backends keep
+        pipelining until the next read.
+        """
+        if not isinstance(events, (list, EventBlock)):
+            events = list(events)
+        if not len(events):
+            return
+        with self._lock:
+            if self._closed:
+                raise ServiceError(f"stream {self.name!r} is closed")
+            self._wal.append(events)
+            self._wal_events += len(events)
+            try:
+                self.executor.ingest(events)
+            except WorkerCrashError as exc:
+                self._recover(exc)
+            if self._wal_events >= self._wal_limit:
+                self.snapshot()
+
+    # -- read path -----------------------------------------------------------
+
+    def _read(self, fn):
+        """Run one executor read under the lock, recovering crashes."""
+        with self._lock:
+            try:
+                return fn(self.executor)
+            except WorkerCrashError as exc:
+                self._recover(exc)
+                return fn(self.executor)
+
+    # -- crash recovery ------------------------------------------------------
+
+    def _recover(self, exc: WorkerCrashError) -> None:
+        """Restore a crashed shard and replay its lost sub-stream.
+
+        Bounded retries: replay itself can surface another crashed
+        shard (its first send is how a silent death is discovered), so
+        each round restarts whichever shard failed last. More rounds
+        than shards means workers are dying faster than they restart —
+        give up and surface the crash.
+        """
+        if not self.auto_restart:
+            raise exc
+        last = exc
+        for _ in range(2 * self.config.shards):
+            try:
+                self.executor.restart_shard(last.shard_index)
+                self._replay()
+                return
+            except WorkerCrashError as again:
+                last = again
+        raise last
+
+    def _routed_wal(self) -> list[list]:
+        """The WAL as per-shard sub-streams (the executor's routing)."""
+        shards = self.config.shards
+        if self.config.mode == "broadcast":
+            return [list(self._wal) for _ in range(shards)]
+        routed: list[list] = [[] for _ in range(shards)]
+        for entry in self._wal:
+            if isinstance(entry, EventBlock):
+                buckets = partition_block(entry, shards, self.executor.shard_key)
+            else:
+                buckets = partition_events(entry, shards, self.executor.shard_key)
+            for index, bucket in enumerate(buckets):
+                routed[index].append(bucket)
+        return routed
+
+    def _replay(self) -> None:
+        """Clock-delta replay: re-feed exactly what each shard lost.
+
+        ``shard_times()`` is a barrier, so each clock reflects every
+        event that reached its shard (including events a dead worker
+        buffered but never processed — those never advance the clock,
+        which is why the clock is the ground truth, not the dispatch
+        history). A shard whose clock matches its expected position
+        (base clock at the last snapshot + its routed share of the WAL)
+        replays nothing; the restored shard replays the missing suffix
+        of its own sub-stream via the executor's direct-delivery path.
+        """
+        times = self.executor.shard_times()
+        routed = self._routed_wal()
+        expected = [
+            self._base_clocks[index] + sum(len(entry) for entry in routed[index])
+            for index in range(self.config.shards)
+        ]
+        for index in range(self.config.shards):
+            behind = expected[index] - times[index]
+            if behind <= 0:
+                continue
+            for entry in _tail_entries(routed[index], behind):
+                self.executor.ingest_shard(index, entry)
+        # Barrier again so a replay failure surfaces here (and is
+        # retried by _recover), not on some later unrelated query.
+        final = self.executor.shard_times()
+        for index in range(self.config.shards):
+            if final[index] != expected[index]:
+                raise ServiceError(
+                    f"replay did not converge for shard {index} of "
+                    f"stream {self.name!r}: clock {final[index]} != "
+                    f"expected {expected[index]}"
+                )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """Barrier-checkpoint every shard in memory; trim the WAL.
+
+        The states are retained by the executor as the restart point
+        for crashed shards, and the write-ahead log is reset to this
+        cut — the session only ever needs to replay *since the last
+        snapshot*.
+        """
+        with self._lock:
+            try:
+                states = self.executor.snapshot()
+            except WorkerCrashError as exc:
+                self._recover(exc)
+                states = self.executor.snapshot()
+            self._wal.clear()
+            self._wal_events = 0
+            self._base_clocks = [int(state["time"]) for state in states]
+            return states
+
+    def checkpoint(self) -> list[dict]:
+        """Snapshot, then persist durably when the session has a state dir."""
+        with self._lock:
+            states = self.snapshot()
+            if self._state_dir is not None:
+                self._persist(states)
+            return states
+
+    def _persist(self, states: list[dict]) -> None:
+        """Commit one checkpoint generation atomically.
+
+        Every file of generation *g* is written (each one atomically)
+        before ``manifest.json`` — the commit point — is atomically
+        replaced to name them; only then is the previous generation
+        deleted. A crash at any step leaves a manifest whose named
+        files all exist and are internally CRC-checked, so restore
+        always sees one complete, consistent checkpoint.
+        """
+        directory = self.state_path
+        assert directory is not None
+        directory.mkdir(parents=True, exist_ok=True)
+        generation = self._generation + 1
+        shard_files = [
+            f"shard-{index:04d}-g{generation:06d}.ckpt"
+            for index in range(len(states))
+        ]
+        for fname, state in zip(shard_files, states):
+            atomic_write_bytes(directory / fname, state_to_wire(state))
+        local_file = None
+        if self.local is not None:
+            local_file = f"local-g{generation:06d}.json"
+            counts = self.local.vertex_estimates()
+            payload = json.dumps(
+                {
+                    "vertices": [
+                        [_encode_vertex(vertex), value]
+                        for vertex, value in sorted(
+                            counts.items(), key=lambda item: repr(item[0])
+                        )
+                    ]
+                }
+            )
+            atomic_write_text(directory / local_file, payload)
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "name": self.name,
+            "generation": generation,
+            "clock": self.clock,
+            "config": self.config.to_dict(),
+            "options": self.options.to_dict(),
+            "shard_files": shard_files,
+            "local_file": local_file,
+        }
+        atomic_write_text(
+            directory / "manifest.json",
+            json.dumps(manifest, indent=2, sort_keys=True),
+        )
+        self._generation = generation
+        keep = {"manifest.json", *shard_files}
+        if local_file is not None:
+            keep.add(local_file)
+        for stale in directory.iterdir():
+            if stale.name not in keep:
+                try:
+                    stale.unlink()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+
+    @classmethod
+    def restore(
+        cls,
+        name: str,
+        state_dir: str | Path,
+        *,
+        options: ExecutorOptions | None = None,
+        auto_restart: bool = True,
+        wal_limit_events: int = DEFAULT_WAL_LIMIT,
+    ) -> "StreamSession":
+        """Rebuild a session from its latest durable checkpoint.
+
+        The continuation is bit-identical: replicas are restored from
+        their CRC-checked shard states, local accumulators reload, and
+        the stream picks up exactly where the checkpoint barrier cut
+        it. ``options`` defaults to the options recorded in the
+        manifest, so a process-backend stream resumes as one.
+        """
+        directory = Path(state_dir) / name
+        manifest_path = directory / "manifest.json"
+        if not manifest_path.is_file():
+            raise ServiceError(
+                f"no checkpoint for stream {name!r} under {state_dir}"
+            )
+        manifest = json.loads(manifest_path.read_text("utf-8"))
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise ServiceError(
+                f"stream {name!r} checkpoint has format "
+                f"{manifest.get('format')!r}; this build reads "
+                f"{MANIFEST_FORMAT}"
+            )
+        config = StreamConfig.from_dict(manifest["config"])
+        if options is None:
+            options = ExecutorOptions.from_dict(manifest["options"])
+        states = [
+            state_from_wire((directory / fname).read_bytes())
+            for fname in manifest["shard_files"]
+        ]
+        local_counts = None
+        if manifest.get("local_file"):
+            payload = json.loads(
+                (directory / manifest["local_file"]).read_text("utf-8")
+            )
+            local_counts = {
+                _decode_vertex(pair): float(value)
+                for pair, value in payload["vertices"]
+            }
+        return cls(
+            name,
+            config,
+            options=options,
+            state_dir=state_dir,
+            auto_restart=auto_restart,
+            wal_limit_events=wal_limit_events,
+            _states=states,
+            _generation=int(manifest["generation"]),
+            _local_counts=local_counts,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting events and tear the executor down (idempotent).
+
+        Worker backends harvest final states into the parent replicas,
+        so estimates stay readable after close; a worker that died
+        before delivering its final state is tolerated — the last
+        checkpoint already covers it.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self.executor.close()
+            except WorkerCrashError:
+                pass
+
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"StreamSession(name={self.name!r}, "
+            f"algorithm={self.config.algorithm!r}, "
+            f"pattern={self.config.pattern!r}, shards={self.config.shards}, "
+            f"clock={self.clock})"
+        )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """How the counting service runs (not what any stream counts).
+
+    ``executor`` is the default execution backend for streams created
+    without explicit options; ``checkpoint_interval`` drives the
+    durability thread (``None`` disables it — streams still checkpoint
+    on WAL pressure and at shutdown).
+    """
+
+    listen: str = "127.0.0.1:0"
+    state_dir: str | Path | None = None
+    checkpoint_interval: float | None = 30.0
+    executor: ExecutorOptions = field(default_factory=ExecutorOptions)
+    wal_limit_events: int = DEFAULT_WAL_LIMIT
+    auto_restart: bool = True
+
+    def validate(self) -> None:
+        if self.checkpoint_interval is not None and not self.checkpoint_interval > 0:
+            raise ConfigurationError(
+                "checkpoint_interval must be > 0 (or None to disable)"
+            )
+        if self.wal_limit_events < 1:
+            raise ConfigurationError("wal_limit_events must be >= 1")
+        self.executor.validate()
+
+    def with_changes(self, **kwargs) -> "ServiceConfig":
+        return replace(self, **kwargs)
+
+
+class CountingService:
+    """The multi-tenant registry + operations loop.
+
+    Construction restores every tenant found under ``state_dir`` (any
+    subdirectory with a committed manifest), so a killed service comes
+    back serving the same streams at their last checkpoint cut.
+    :meth:`start` brings up the TCP ingestion front and the durability
+    thread; :meth:`stop` checkpoints everything and tears down.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.config.validate()
+        self._lock = threading.Lock()
+        self._sessions: dict[str, StreamSession] = {}
+        self._server = None
+        self._durability: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._stopped = False
+        if self.config.state_dir is not None:
+            root = Path(self.config.state_dir)
+            root.mkdir(parents=True, exist_ok=True)
+            for child in sorted(root.iterdir()):
+                if not (child / "manifest.json").is_file():
+                    continue
+                self._sessions[child.name] = StreamSession.restore(
+                    child.name,
+                    root,
+                    auto_restart=self.config.auto_restart,
+                    wal_limit_events=self.config.wal_limit_events,
+                )
+
+    # -- registry ------------------------------------------------------------
+
+    def streams(self) -> tuple[str, ...]:
+        """The registered stream names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._sessions))
+
+    def create_stream(
+        self,
+        name: str,
+        config: StreamConfig,
+        *,
+        options: ExecutorOptions | None = None,
+    ) -> StreamSession:
+        """Register and start a new named stream."""
+        _validate_stream_name(name)
+        with self._lock:
+            if self._stopped:
+                raise ServiceError("the service is stopped")
+            if name in self._sessions:
+                raise ServiceError(f"stream {name!r} already exists")
+            session = StreamSession(
+                name,
+                config,
+                options=options if options is not None else self.config.executor,
+                state_dir=self.config.state_dir,
+                auto_restart=self.config.auto_restart,
+                wal_limit_events=self.config.wal_limit_events,
+            )
+            self._sessions[name] = session
+            return session
+
+    def get_stream(self, name: str) -> StreamSession:
+        """Look a tenant up by name."""
+        with self._lock:
+            session = self._sessions.get(name)
+            known = sorted(self._sessions)
+        if session is None:
+            raise ServiceError(
+                f"no stream named {name!r}; registered: {known}"
+            )
+        return session
+
+    def _session_list(self) -> list[StreamSession]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def checkpoint_all(self) -> dict[str, int]:
+        """Checkpoint every tenant; returns name -> clock at the cut."""
+        clocks: dict[str, int] = {}
+        for session in self._session_list():
+            session.checkpoint()
+            clocks[session.name] = session.clock
+        return clocks
+
+    # -- operations loop -----------------------------------------------------
+
+    @property
+    def address(self) -> str | None:
+        """The bound ``host:port`` once started."""
+        return self._server.address if self._server is not None else None
+
+    def start(self) -> str:
+        """Start the ingestion front + durability loop; return the address."""
+        from repro.streams.ingest import StreamIngestServer
+
+        if self._server is not None:
+            raise ServiceError("the service is already started")
+        if self._stopped:
+            raise ServiceError("the service is stopped")
+        self._server = StreamIngestServer(self, self.config.listen)
+        address = self._server.start()
+        if self.config.checkpoint_interval is not None:
+            self._durability = threading.Thread(
+                target=self._durability_loop,
+                name="repro-service-durability",
+                daemon=True,
+            )
+            self._durability.start()
+        return address
+
+    def _durability_loop(self) -> None:
+        # One failed cadence (e.g. a crash recovery in progress on some
+        # stream) must not kill durability for every later cadence.
+        while not self._stop_event.wait(self.config.checkpoint_interval):
+            try:
+                self.checkpoint_all()
+            except Exception:  # pragma: no cover - defensive
+                traceback.print_exc()
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` is called (or KeyboardInterrupt)."""
+        self._stop_event.wait()
+
+    def stop(self) -> None:
+        """Checkpoint every tenant, stop serving, tear down (idempotent)."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        self._stop_event.set()
+        if self._durability is not None:
+            self._durability.join(timeout=30)
+            self._durability = None
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+        for session in self._session_list():
+            try:
+                session.checkpoint()
+            except Exception:  # pragma: no cover - defensive
+                traceback.print_exc()
+            session.close()
+
+    def __enter__(self) -> "CountingService":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"CountingService(streams={list(self.streams())}, "
+            f"address={self.address!r})"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``python -m repro.streams.service``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.streams.service",
+        description=(
+            "Run a long-lived subgraph-counting service: clients create "
+            "named streams, push edge events over TCP, and query "
+            "estimates while ingestion continues. Trusted networks "
+            "only — the wire protocol carries pickled control frames."
+        ),
+    )
+    parser.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        help="bind address as host:port (port 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        help=(
+            "directory for durable checkpoints; streams found here are "
+            "restored at boot"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=30.0,
+        help="seconds between durability checkpoints (0 disables)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=("serial", "process"),
+        help="default executor backend for newly created streams",
+    )
+    args = parser.parse_args(argv)
+    config = ServiceConfig(
+        listen=args.listen,
+        state_dir=args.state_dir,
+        checkpoint_interval=args.checkpoint_interval or None,
+        executor=ExecutorOptions(backend=args.backend),
+    )
+    service = CountingService(config)
+    address = service.start()
+    print(f"counting service listening on {address}", flush=True)
+    restored = service.streams()
+    if restored:
+        print(f"restored streams: {', '.join(restored)}", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

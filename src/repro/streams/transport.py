@@ -67,8 +67,11 @@ __all__ = [
     "TransportClosed",
     "TcpShardTransport",
     "parse_address",
+    "frame_bytes",
+    "parse_frame_header",
     "read_frame",
     "write_frame",
+    "FRAME_HEADER_SIZE",
     "FRAME_HELLO",
     "FRAME_CONTROL",
     "FRAME_BLOCK",
@@ -184,9 +187,54 @@ def parse_address(address: str) -> tuple[str, int]:
 
 # -- frame plumbing -----------------------------------------------------------
 
+#: Size of the fixed frame header, for readers that buffer their own
+#: bytes (the asyncio ingestion front) instead of owning a socket.
+FRAME_HEADER_SIZE = _FRAME_HEADER.size
+
+
+def frame_bytes(kind: int, payload) -> bytes:
+    """One wire frame (header + payload) as a single bytes object."""
+    header = _FRAME_HEADER.pack(
+        _FRAME_MAGIC, PROTOCOL_VERSION, kind, len(payload)
+    )
+    return header + payload if len(payload) else header
+
+
+def parse_frame_header(header_bytes: bytes) -> tuple[int, int]:
+    """Validate a frame header; return ``(kind, payload length)``.
+
+    The validation half of :func:`read_frame`, factored out for
+    readers that do their own buffering (``asyncio`` streams): magic,
+    protocol version, frame kind, and declared-length sanity all fail
+    with :class:`~repro.errors.ProtocolError` exactly as the socket
+    reader does.
+    """
+    magic, version, kind, length = _FRAME_HEADER.unpack(header_bytes)
+    if magic != _FRAME_MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"peer speaks protocol version {version}, this build speaks "
+            f"{PROTOCOL_VERSION}; refusing the frame"
+        )
+    if kind not in _FRAME_KINDS:
+        raise ProtocolError(f"unknown frame kind {kind}")
+    if length > _MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame declares an absurd payload length ({length} bytes)"
+        )
+    return kind, length
+
 
 def write_frame(sock: socket.socket, kind: int, payload) -> None:
-    """Send one framed payload (header + exact payload bytes)."""
+    """Send one framed payload (header + exact payload bytes).
+
+    Header and payload go out as two ``sendall`` calls on purpose: a
+    peer death between them surfaces on the payload send, so a failed
+    frame is detected *during* the frame that lost it rather than one
+    frame later — the remote executor's fault-injection tests pin that
+    timing.
+    """
     header = _FRAME_HEADER.pack(
         _FRAME_MAGIC, PROTOCOL_VERSION, kind, len(payload)
     )
@@ -233,20 +281,7 @@ def read_frame(sock: socket.socket) -> tuple[int, bytes] | None:
     header_bytes = _recv_exact(sock, _FRAME_HEADER.size, at_boundary=True)
     if not header_bytes:
         return None
-    magic, version, kind, length = _FRAME_HEADER.unpack(header_bytes)
-    if magic != _FRAME_MAGIC:
-        raise ProtocolError(f"bad frame magic {magic!r}")
-    if version != PROTOCOL_VERSION:
-        raise ProtocolError(
-            f"peer speaks protocol version {version}, this build speaks "
-            f"{PROTOCOL_VERSION}; refusing the frame"
-        )
-    if kind not in _FRAME_KINDS:
-        raise ProtocolError(f"unknown frame kind {kind}")
-    if length > _MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame declares an absurd payload length ({length} bytes)"
-        )
+    kind, length = parse_frame_header(header_bytes)
     payload = _recv_exact(sock, length, at_boundary=False) if length else b""
     return kind, payload
 

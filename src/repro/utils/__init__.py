@@ -1,11 +1,14 @@
 """Shared utilities: RNG management, timing, and table rendering."""
 
+from repro.utils.io import atomic_write_bytes, atomic_write_text
 from repro.utils.rng import RngFactory, derive_seed, ensure_rng
 from repro.utils.tables import format_sections, format_table
 from repro.utils.timer import Stopwatch, Timer
 
 __all__ = [
     "RngFactory",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "derive_seed",
     "ensure_rng",
     "format_sections",

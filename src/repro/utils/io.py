@@ -1,0 +1,57 @@
+"""Durable file writes.
+
+Checkpoint files are the crash-recovery story of the serving tier: a
+torn write (process killed mid-``write``, disk full halfway) must never
+leave a half-checkpoint that a restart then tries to restore.
+:func:`atomic_write_bytes` gives every checkpoint save path the same
+guarantee: readers observe either the old complete file or the new
+complete file, never a prefix of the new one.
+
+The recipe is the classic POSIX one: write the payload to a temporary
+file in the *same directory* (so the final rename cannot cross a
+filesystem boundary), flush and ``fsync`` the temporary file so the
+bytes are on disk before the rename publishes them, then
+``os.replace`` — an atomic rename that overwrites any existing file.
+The temporary file is unlinked on any failure, so aborted writes leave
+no debris next to the real checkpoints.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (write-tmp + ``os.replace``).
+
+    The payload is fsynced before the rename, so after this returns the
+    new contents survive a crash; a reader racing the write sees either
+    the previous file or the complete new one.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(
+    path: str | Path, text: str, encoding: str = "utf-8"
+) -> None:
+    """:func:`atomic_write_bytes` for text payloads."""
+    atomic_write_bytes(path, text.encode(encoding))
