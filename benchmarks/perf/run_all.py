@@ -104,6 +104,8 @@ def run_sharded_cells(
     transport: str = "auto",
     repeats: int = 3,
     hosts: tuple[str, ...] = (),
+    recovery=None,
+    heartbeat_interval: float | None = None,
 ) -> dict:
     """Benchmark the sharded WSD/triangle cell under each backend.
 
@@ -145,6 +147,10 @@ def run_sharded_cells(
                     backend=backend,
                     transport=transport,
                     hosts=hosts if backend == "remote" else (),
+                    recovery_policy=recovery,
+                    heartbeat_interval=(
+                        heartbeat_interval if backend == "remote" else None
+                    ),
                 ),
             )
             # Warm the fleet outside the timed window: an empty batch
@@ -235,6 +241,17 @@ def main(argv: list[str] | None = None) -> int:
         "--hosts", type=int, default=2,
         help="number of local shard host agents to spawn for "
              "--backend remote (localhost stand-ins for N machines)",
+    )
+    parser.add_argument(
+        "--recovery-attempts", type=int, default=0,
+        help="arm a RecoveryPolicy(max_attempts=N) on the sharded "
+             "cells (0 = no supervised recovery); the estimates must "
+             "stay bit-identical either way",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=None,
+        help="liveness heartbeat cadence (seconds) on the sharded "
+             "remote backend's transports",
     )
     parser.add_argument(
         "--min-process-ratio", type=float, default=0.0,
@@ -435,6 +452,8 @@ def main(argv: list[str] | None = None) -> int:
             backends = ("serial", "remote")
         else:
             backends = (args.backend,)
+        from repro.streams.supervisor import RecoveryPolicy
+
         host_handles = []
         host_addresses: tuple[str, ...] = ()
         if "remote" in backends:
@@ -466,6 +485,12 @@ def main(argv: list[str] | None = None) -> int:
                 transport=args.transport,
                 repeats=repeats,
                 hosts=host_addresses,
+                recovery=(
+                    RecoveryPolicy(max_attempts=args.recovery_attempts)
+                    if args.recovery_attempts > 0
+                    else None
+                ),
+                heartbeat_interval=args.heartbeat_interval,
             )
         finally:
             for handle in host_handles:

@@ -70,7 +70,16 @@ for a seconds-scale smoke pass); results land in
 ``BENCH_throughput.json`` with speedups against the recorded baseline.
 """
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import (
+    ConfigurationError,
+    OperationTimeoutError,
+    PeerLostError,
+    ReproError,
+    RetryableError,
+    ServiceOverloadedError,
+    ShardUnrecoverableError,
+    WorkerCrashError,
+)
 from repro.estimators import (
     absolute_relative_error,
     mean_absolute_relative_error,
@@ -83,6 +92,8 @@ from repro.rl import Policy, train_weight_policy
 from repro.samplers import GPS, GPSA, WRS, SubgraphCountingSampler, ThinkD, Triest, WSD
 from repro.streams import ShardedStreamExecutor, build_stream
 from repro.streams.executor import ExecutorOptions
+from repro.streams.faults import Fault, FaultPlan
+from repro.streams.supervisor import RecoveryPolicy
 from repro.weights import (
     GPSHeuristicWeight,
     LearnedWeight,
@@ -175,6 +186,15 @@ __all__ = [
     "build_stream",
     "ShardedStreamExecutor",
     "ExecutorOptions",
+    "RecoveryPolicy",
+    "Fault",
+    "FaultPlan",
+    "RetryableError",
+    "WorkerCrashError",
+    "PeerLostError",
+    "OperationTimeoutError",
+    "ShardUnrecoverableError",
+    "ServiceOverloadedError",
     "open_stream",
     "StreamConfig",
     "StreamSession",

@@ -12,6 +12,18 @@ class ReproError(Exception):
     """Base class for every exception raised by this library."""
 
 
+class RetryableError:
+    """Mixin marking failures that a supervisor may retry.
+
+    The recovery layer (:mod:`repro.streams.supervisor`) is type-driven:
+    an error that mixes this in describes a *transient* condition —
+    a crashed worker that can be respawned from its checkpoint, a peer
+    that may come back, an overloaded service that will drain. Errors
+    without the mixin are treated as fatal and surface immediately.
+    ``isinstance(exc, RetryableError)`` is the whole classification.
+    """
+
+
 class GraphError(ReproError):
     """Base class for graph-structure errors."""
 
@@ -74,19 +86,68 @@ class ProtocolError(ExecutorError):
     """
 
 
-class WorkerCrashError(ExecutorError):
+class WorkerCrashError(ExecutorError, RetryableError):
     """Raised when a shard worker process dies or reports a failure.
 
     Carries the shard index and, when the worker managed to report one,
     the original exception's message and traceback text. The surviving
     shards keep their state; the crashed shard can be respawned from its
     latest checkpoint via
-    :meth:`~repro.streams.executor.ShardedStreamExecutor.restart_shard`.
+    :meth:`~repro.streams.executor.ShardedStreamExecutor.restart_shard` —
+    which is why it is retryable: a supervisor restarts and replays
+    instead of surfacing the crash to the caller.
     """
 
     def __init__(self, shard_index: int, message: str) -> None:
         super().__init__(f"shard {shard_index}: {message}")
         self.shard_index = shard_index
+
+
+class PeerLostError(ExecutorError, RetryableError):
+    """Raised when a network peer is declared dead or unreachable.
+
+    Liveness detection raises this instead of hanging: a heartbeat send
+    that fails, an idle deadline that expires with no frame (not even a
+    HEARTBEAT) from the peer, or a connection that cannot be
+    established. Retryable — the peer may come back, and a shard behind
+    a lost host can be re-leased elsewhere. Carries ``shard_index``
+    when the lost peer was hosting a specific shard (``None`` for the
+    service front).
+    """
+
+    def __init__(
+        self, message: str, *, shard_index: int | None = None
+    ) -> None:
+        super().__init__(message)
+        self.shard_index = shard_index
+
+
+class OperationTimeoutError(ExecutorError, RetryableError):
+    """Raised when a request's reply did not arrive within ``op_timeout``.
+
+    The client-side guard against a hung service: every token-matched
+    reply wait is bounded, so a wedged peer surfaces as this typed
+    (retryable) error instead of blocking the caller forever.
+    """
+
+
+class ShardUnrecoverableError(ExecutorError):
+    """Raised when supervised recovery gives up on a shard.
+
+    The escalation end-state of :mod:`repro.streams.supervisor`: the
+    per-incident attempt limit or the shard's lifetime failure budget
+    is exhausted, so automatic restart + replay stops and the operator
+    has to intervene. Deliberately *not* retryable — retrying is
+    exactly what just failed. Carries the shard index and the failure
+    count that broke the budget.
+    """
+
+    def __init__(
+        self, shard_index: int, message: str, *, failures: int = 0
+    ) -> None:
+        super().__init__(f"shard {shard_index}: {message}")
+        self.shard_index = shard_index
+        self.failures = failures
 
 
 class ServiceError(ExecutorError):
@@ -97,6 +158,23 @@ class ServiceError(ExecutorError):
     operation); service-side it marks requests that cannot be honoured,
     e.g. attaching to a stream that does not exist.
     """
+
+
+class ServiceOverloadedError(ServiceError, RetryableError):
+    """Raised when the service sheds load instead of growing its WAL.
+
+    A session whose write-ahead log hit its hard limit rejects the
+    batch *before* appending or dispatching anything, so the reject is
+    atomic: no partial ingest. Retryable by construction — a checkpoint
+    (or the durability cadence) trims the WAL and ingestion resumes;
+    :attr:`retry_after` is the service's hint for how long to wait.
+    """
+
+    def __init__(
+        self, message: str, *, retry_after: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ConfigurationError(ReproError):

@@ -27,6 +27,7 @@ from repro.graph.orderings import order_edges
 from repro.graph.stream import EdgeStream
 from repro.streams.executor import ExecutorOptions
 from repro.streams.scenarios import build_stream
+from repro.streams.supervisor import RecoveryPolicy
 from repro.utils.rng import RngFactory
 
 __all__ = ["ScenarioConfig", "ExperimentConfig", "MASSIVE", "LIGHT", "INSERTION_ONLY"]
@@ -128,6 +129,16 @@ class ExperimentConfig:
     #: Timeout for a clean worker stop at teardown; ``None`` keeps the
     #: library default (10s).
     executor_stop_timeout: float | None = None
+    #: Supervised-recovery policy for crashed shard workers
+    #: (:class:`~repro.streams.supervisor.RecoveryPolicy`); ``None``
+    #: leaves crash handling to the caller.
+    executor_recovery: "RecoveryPolicy | None" = None
+    #: Seconds between liveness heartbeats on remote shard transports;
+    #: ``None`` sends none (the pre-liveness behaviour).
+    executor_heartbeat_interval: float | None = None
+    #: Idle bound advertised to hosted peers (host agents drop leases
+    #: whose coordinator goes silent this long); ``None`` is patient.
+    executor_heartbeat_timeout: float | None = None
     #: The execution knobs as one
     #: :class:`~repro.streams.executor.ExecutorOptions` value — the
     #: preferred spelling. The flat ``executor_*`` fields above are
@@ -176,6 +187,17 @@ class ExperimentConfig:
                         None,
                     ),
                     ("executor_stop_timeout", self.executor_stop_timeout, None),
+                    ("executor_recovery", self.executor_recovery, None),
+                    (
+                        "executor_heartbeat_interval",
+                        self.executor_heartbeat_interval,
+                        None,
+                    ),
+                    (
+                        "executor_heartbeat_timeout",
+                        self.executor_heartbeat_timeout,
+                        None,
+                    ),
                 )
                 if value != default
             ]
@@ -215,9 +237,13 @@ class ExperimentConfig:
             ("executor_poll_seconds", self.executor_poll_seconds),
             ("executor_slot_poll_seconds", self.executor_slot_poll_seconds),
             ("executor_stop_timeout", self.executor_stop_timeout),
+            ("executor_heartbeat_interval", self.executor_heartbeat_interval),
+            ("executor_heartbeat_timeout", self.executor_heartbeat_timeout),
         ):
             if value is not None and not value > 0:
                 raise ConfigurationError(f"{knob} must be > 0, got {value!r}")
+        if self.executor_recovery is not None:
+            self.executor_recovery.validate()
 
     def executor_options(self) -> ExecutorOptions:
         """The effective execution knobs as one value object.
@@ -235,6 +261,9 @@ class ExperimentConfig:
             poll_seconds=self.executor_poll_seconds,
             slot_poll_seconds=self.executor_slot_poll_seconds,
             stop_timeout=self.executor_stop_timeout,
+            recovery_policy=self.executor_recovery,
+            heartbeat_interval=self.executor_heartbeat_interval,
+            heartbeat_timeout=self.executor_heartbeat_timeout,
         )
 
     def with_changes(self, **kwargs) -> "ExperimentConfig":

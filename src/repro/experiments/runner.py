@@ -163,6 +163,9 @@ def _resolve_executor_options(
     executor_poll_seconds: float | None,
     executor_slot_poll_seconds: float | None,
     executor_stop_timeout: float | None,
+    executor_recovery=None,
+    executor_heartbeat_interval: float | None = None,
+    executor_heartbeat_timeout: float | None = None,
 ) -> ExecutorOptions:
     """One options object from either spelling (both at once rejected)."""
     if executor is None:
@@ -173,6 +176,9 @@ def _resolve_executor_options(
             poll_seconds=executor_poll_seconds,
             slot_poll_seconds=executor_slot_poll_seconds,
             stop_timeout=executor_stop_timeout,
+            recovery_policy=executor_recovery,
+            heartbeat_interval=executor_heartbeat_interval,
+            heartbeat_timeout=executor_heartbeat_timeout,
         )
     overridden = [
         name
@@ -183,6 +189,13 @@ def _resolve_executor_options(
             ("executor_poll_seconds", executor_poll_seconds, None),
             ("executor_slot_poll_seconds", executor_slot_poll_seconds, None),
             ("executor_stop_timeout", executor_stop_timeout, None),
+            ("executor_recovery", executor_recovery, None),
+            (
+                "executor_heartbeat_interval",
+                executor_heartbeat_interval,
+                None,
+            ),
+            ("executor_heartbeat_timeout", executor_heartbeat_timeout, None),
         )
         if value != default
     ]
@@ -211,6 +224,9 @@ def make_trial_sampler(
     executor_poll_seconds: float | None = None,
     executor_slot_poll_seconds: float | None = None,
     executor_stop_timeout: float | None = None,
+    executor_recovery=None,
+    executor_heartbeat_interval: float | None = None,
+    executor_heartbeat_timeout: float | None = None,
     executor: ExecutorOptions | None = None,
 ):
     """Build one trial's consumer: a sampler, or a sharded executor.
@@ -273,6 +289,9 @@ def make_trial_sampler(
             executor_poll_seconds,
             executor_slot_poll_seconds,
             executor_stop_timeout,
+            executor_recovery,
+            executor_heartbeat_interval,
+            executor_heartbeat_timeout,
         ),
     )
 
@@ -295,6 +314,9 @@ def run_algorithm(
     executor_poll_seconds: float | None = None,
     executor_slot_poll_seconds: float | None = None,
     executor_stop_timeout: float | None = None,
+    executor_recovery=None,
+    executor_heartbeat_interval: float | None = None,
+    executor_heartbeat_timeout: float | None = None,
     executor: ExecutorOptions | None = None,
 ) -> AlgorithmResult:
     """Run ``trials`` independent repetitions of one algorithm."""
@@ -324,6 +346,9 @@ def run_algorithm(
                 executor_poll_seconds,
                 executor_slot_poll_seconds,
                 executor_stop_timeout,
+                executor_recovery,
+                executor_heartbeat_interval,
+                executor_heartbeat_timeout,
             ),
         )
         trial_result = run_sampler_trial(sampler, stream, truth)

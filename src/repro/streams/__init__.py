@@ -14,12 +14,18 @@ from repro.streams.workers import (
     decode_events,
     encode_events,
 )
+from repro.streams.faults import Fault, FaultPlan
 from repro.streams.scenarios import (
     build_stream,
     insertion_only_stream,
     light_deletion_stream,
     massive_deletion_stream,
     partition_stream,
+)
+from repro.streams.supervisor import (
+    DEFAULT_RECOVERY_POLICY,
+    RecoveryPolicy,
+    ShardSupervisor,
 )
 from repro.streams.validate import is_feasible, validate_stream
 
@@ -79,6 +85,11 @@ __all__ = [
     "vectorized_edge_hash",
     "encode_events",
     "decode_events",
+    "RecoveryPolicy",
+    "ShardSupervisor",
+    "DEFAULT_RECOVERY_POLICY",
+    "Fault",
+    "FaultPlan",
     "StreamConfig",
     "StreamSession",
     "ServiceConfig",

@@ -108,7 +108,16 @@ class ExecutorOptions:
     ``mp_context`` is process-local (a live :mod:`multiprocessing`
     context does not serialise), so :meth:`to_dict` drops it — options
     that travel over a wire or into a manifest come back with the
-    platform default context.
+    platform default context. ``auth_key`` is a secret, so
+    :meth:`to_dict` drops it too: manifests and wire payloads never
+    carry the key.
+
+    The robustness knobs: ``recovery_policy`` (a
+    :class:`~repro.streams.supervisor.RecoveryPolicy`, or ``None`` for
+    the library default) governs supervised restart of crashed shards;
+    ``heartbeat_interval`` makes remote transports prove liveness at
+    that cadence and ``heartbeat_timeout`` is the matching idle bound
+    handed to anything this process *hosts* (both default off).
     """
 
     backend: str = "serial"
@@ -120,6 +129,10 @@ class ExecutorOptions:
     poll_seconds: float | None = None
     slot_poll_seconds: float | None = None
     stop_timeout: float | None = None
+    recovery_policy: "RecoveryPolicy | None" = None
+    heartbeat_interval: float | None = None
+    heartbeat_timeout: float | None = None
+    auth_key: str | None = None
 
     def validate(self) -> None:
         """Reject invalid combinations (same rules as the executor)."""
@@ -150,18 +163,29 @@ class ExecutorOptions:
                 "hosts= is only valid with backend='remote', got "
                 f"backend {self.backend!r}"
             )
-        for knob in ("poll_seconds", "slot_poll_seconds", "stop_timeout"):
+        for knob in (
+            "poll_seconds",
+            "slot_poll_seconds",
+            "stop_timeout",
+            "heartbeat_interval",
+            "heartbeat_timeout",
+        ):
             value = getattr(self, knob)
             if value is not None and not value > 0:
                 raise ConfigurationError(
                     f"{knob} must be > 0, got {value!r}"
                 )
+        if self.recovery_policy is not None:
+            self.recovery_policy.validate()
 
     def to_dict(self) -> dict:
-        """JSON-serialisable form (drops the process-local context)."""
+        """JSON form (drops the process-local context and the secret)."""
         payload = asdict(self)
         payload.pop("mp_context")
+        payload.pop("auth_key")
         payload["hosts"] = list(self.hosts)
+        if self.recovery_policy is not None:
+            payload["recovery_policy"] = self.recovery_policy.to_dict()
         return payload
 
     @classmethod
@@ -177,10 +201,21 @@ class ExecutorOptions:
                 "poll_seconds",
                 "slot_poll_seconds",
                 "stop_timeout",
+                "heartbeat_interval",
+                "heartbeat_timeout",
             )
             if name in payload
         }
-        return cls(hosts=tuple(payload.get("hosts", ())), **known)
+        policy = payload.get("recovery_policy")
+        if isinstance(policy, dict):
+            from repro.streams.supervisor import RecoveryPolicy
+
+            policy = RecoveryPolicy.from_dict(policy)
+        return cls(
+            hosts=tuple(payload.get("hosts", ())),
+            recovery_policy=policy,
+            **known,
+        )
 
 
 def default_shard_key(edge: Edge) -> int:
@@ -361,6 +396,18 @@ class ShardedStreamExecutor:
         stop_timeout: seconds a clean worker stop may take before
             teardown stops waiting on the process; ``None`` keeps the
             library default (10s).
+        recovery_policy: a
+            :class:`~repro.streams.supervisor.RecoveryPolicy` enabling
+            supervised retry of worker bring-up (and consumed by the
+            session layer for full restart-and-replay recovery);
+            ``None`` disables bring-up retries here.
+        heartbeat_interval: seconds between liveness heartbeats on
+            remote shard transports; ``None`` (default) disables them.
+        heartbeat_timeout: idle bound advertised to hosted peers
+            (recorded on :attr:`options` for service layers); ``None``
+            disables it.
+        auth_key: shared secret for HMAC frame signing on remote
+            transports; must match the host agents' ``--auth-key``.
         options: an :class:`ExecutorOptions` bundling every execution
             knob above (backend, transport, hosts, chunk/queue sizing,
             poll/stop timing). The preferred spelling — the flat
@@ -388,6 +435,10 @@ class ShardedStreamExecutor:
         slot_poll_seconds: float | None = None,
         stop_timeout: float | None = None,
         options: ExecutorOptions | None = None,
+        recovery_policy=None,
+        heartbeat_interval: float | None = None,
+        heartbeat_timeout: float | None = None,
+        auth_key: str | None = None,
     ) -> None:
         if options is not None:
             overridden = [
@@ -402,6 +453,10 @@ class ShardedStreamExecutor:
                     ("poll_seconds", poll_seconds, None),
                     ("slot_poll_seconds", slot_poll_seconds, None),
                     ("stop_timeout", stop_timeout, None),
+                    ("recovery_policy", recovery_policy, None),
+                    ("heartbeat_interval", heartbeat_interval, None),
+                    ("heartbeat_timeout", heartbeat_timeout, None),
+                    ("auth_key", auth_key, None),
                 )
                 if value != default
             ]
@@ -421,6 +476,10 @@ class ShardedStreamExecutor:
             poll_seconds = options.poll_seconds
             slot_poll_seconds = options.slot_poll_seconds
             stop_timeout = options.stop_timeout
+            recovery_policy = options.recovery_policy
+            heartbeat_interval = options.heartbeat_interval
+            heartbeat_timeout = options.heartbeat_timeout
+            auth_key = options.auth_key
         if num_shards < 1:
             raise ConfigurationError(
                 f"num_shards must be >= 1, got {num_shards}"
@@ -462,6 +521,8 @@ class ShardedStreamExecutor:
             ("poll_seconds", poll_seconds),
             ("slot_poll_seconds", slot_poll_seconds),
             ("stop_timeout", stop_timeout),
+            ("heartbeat_interval", heartbeat_interval),
+            ("heartbeat_timeout", heartbeat_timeout),
         ):
             if value is not None and not value > 0:
                 raise ConfigurationError(
@@ -484,7 +545,19 @@ class ShardedStreamExecutor:
             poll_seconds=poll_seconds,
             slot_poll_seconds=slot_poll_seconds,
             stop_timeout=stop_timeout,
+            recovery_policy=recovery_policy,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+            auth_key=auth_key,
         )
+        if recovery_policy is not None:
+            recovery_policy.validate()
+        self.recovery_policy = recovery_policy
+        #: Lazily-built supervisor for worker bring-up retries.
+        self._spawn_supervisor = None
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_timeout = heartbeat_timeout
+        self._auth_key = auth_key
         self._mp_context = mp_context
         self._chunk_size = chunk_size
         self._queue_depth = queue_depth
@@ -579,6 +652,8 @@ class ShardedStreamExecutor:
             stop_timeout=(
                 10.0 if self._stop_timeout is None else self._stop_timeout
             ),
+            heartbeat_interval=self._heartbeat_interval,
+            auth_key=self._auth_key,
         )
 
     # -- ingestion ----------------------------------------------------------
@@ -894,8 +969,29 @@ class ShardedStreamExecutor:
                 self._assignment[index] = host
             host = self._assignment[index]
         self._workers[index].kill()
-        self._workers[index] = self._spawn_worker(index, state, host=host)
+        self._workers[index] = self._supervised_spawn(index, state, host)
         self._synced = False
+
+    def _supervised_spawn(
+        self, index: int, state: dict, host: str | None
+    ) -> ShardWorker:
+        """Spawn a replacement worker, retrying bring-up under policy.
+
+        With a :attr:`recovery_policy`, transient spawn failures (a
+        host agent still rebooting, a leased port mid-handoff) back off
+        and retry instead of failing the whole recovery incident on a
+        race the next attempt would win.
+        """
+        if self.recovery_policy is None:
+            return self._spawn_worker(index, state, host=host)
+        if self._spawn_supervisor is None:
+            self._spawn_supervisor = self.recovery_policy.build_supervisor(
+                self.num_shards, name="executor-spawn"
+            )
+        return self._spawn_supervisor.run(
+            lambda: self._spawn_worker(index, state, host=host),
+            what=f"respawning shard {index}",
+        )
 
     # -- elastic membership (remote backend) ----------------------------------
 

@@ -25,7 +25,18 @@ exactly like a worker process reports through its outbox.
 Security: leases carry **pickled** payloads (the weight function,
 control tuples). Only run an agent on a network where every peer that
 can reach the port is trusted — this is cluster-internal plumbing, the
-same trust a worker process places in its parent.
+same trust a worker process places in its parent. ``--auth-key``
+narrows that trust: with a shared key, every frame (starting with the
+HELLO) carries an HMAC-SHA256 tag under a per-connection session key,
+so an unkeyed peer cannot lease a replica or inject a single frame.
+Payloads still travel unencrypted.
+
+Liveness: ``--heartbeat-timeout`` bounds how long a lease may sit idle
+with no frame (not even a HEARTBEAT) from its coordinator before the
+agent declares the peer lost and discards the replica. Pair it with
+the coordinator's ``heartbeat_interval`` (the agent echoes every
+HEARTBEAT, so the coordinator's idle detection works symmetrically);
+both default to off.
 """
 
 from __future__ import annotations
@@ -34,9 +45,10 @@ import argparse
 import pickle
 import socket
 import threading
+import time
 import traceback
 
-from repro.errors import ProtocolError
+from repro.errors import PeerLostError, ProtocolError
 from repro.samplers.checkpoint import (
     restore_sampler,
     state_from_wire,
@@ -45,7 +57,9 @@ from repro.samplers.checkpoint import (
 from repro.streams.transport import (
     FRAME_BLOCK,
     FRAME_CONTROL,
+    FRAME_HEARTBEAT,
     FRAME_HELLO,
+    FrameAuth,
     block_from_frame,
     expect_hello,
     hello_payload,
@@ -61,10 +75,13 @@ __all__ = ["HostAgent", "spawn_local_host", "main"]
 _ACCEPT_POLL_SECONDS = 0.2
 
 
-def _send_control(sock: socket.socket, reply: tuple) -> None:
+def _send_control(
+    sock: socket.socket, reply: tuple, auth: FrameAuth | None = None
+) -> None:
     write_frame(
         sock, FRAME_CONTROL,
         pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL),
+        auth,
     )
 
 
@@ -77,9 +94,24 @@ class HostAgent:
             note).
         port: TCP port; ``0`` picks a free one (the resolved address is
             available as :attr:`address`).
+        heartbeat_timeout: drop a lease whose coordinator sends no
+            frame (not even a HEARTBEAT) for this many seconds;
+            ``None`` (default) waits forever.
+        auth_key: shared secret enabling HMAC frame signing; peers
+            without the same key are rejected at HELLO. ``None``
+            (default) accepts unsigned frames.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        heartbeat_timeout: float | None = None,
+        auth_key: str | None = None,
+    ) -> None:
+        self._heartbeat_timeout = heartbeat_timeout
+        self._static_auth = None if auth_key is None else FrameAuth(auth_key)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(
             socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
@@ -135,17 +167,42 @@ class HostAgent:
     # -- one lease ---------------------------------------------------------
 
     def _serve_lease(self, conn: socket.socket) -> None:
+        auth: FrameAuth | None = None
         try:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            expect_hello(conn, peer="coordinator")
-            write_frame(conn, FRAME_HELLO, hello_payload("host"))
-            sampler = self._accept_lease(conn)
+            if self._heartbeat_timeout is not None:
+                # Finite socket timeout gives deadline-aware reads
+                # their poll ticks; the per-frame deadline does the
+                # actual idle accounting.
+                conn.settimeout(min(1.0, self._heartbeat_timeout))
+            if self._static_auth is None:
+                expect_hello(conn, peer="coordinator")
+                write_frame(conn, FRAME_HELLO, hello_payload("host"))
+            else:
+                # The coordinator initiated the connection, so its
+                # nonce comes first in the session-key derivation on
+                # both ends.
+                peer_meta = expect_hello(
+                    conn,
+                    peer="coordinator",
+                    deadline=self._read_deadline(),
+                    auth=self._static_auth,
+                )
+                nonce = FrameAuth.new_nonce()
+                write_frame(
+                    conn,
+                    FRAME_HELLO,
+                    hello_payload("host", nonce=nonce),
+                    self._static_auth,
+                )
+                auth = self._static_auth.derived(peer_meta["nonce"], nonce)
+            sampler = self._accept_lease(conn, auth)
             if sampler is not None:
-                self._serve_replica(conn, sampler)
+                self._serve_replica(conn, sampler, auth)
         except Exception as exc:  # noqa: BLE001 - reported on the wire
             # Report the failure on the wire if the socket still works;
             # either way the lease (and its replica) ends here.
-            self._report_error(conn, exc)
+            self._report_error(conn, exc, auth)
         finally:
             with self._lock:
                 self._sessions.discard(conn)
@@ -154,9 +211,14 @@ class HostAgent:
             except OSError:  # pragma: no cover - defensive
                 pass
 
-    def _accept_lease(self, conn: socket.socket):
+    def _read_deadline(self) -> float | None:
+        if self._heartbeat_timeout is None:
+            return None
+        return time.monotonic() + self._heartbeat_timeout
+
+    def _accept_lease(self, conn: socket.socket, auth: FrameAuth | None):
         """Restore the leased replica; reply with acceptance."""
-        frame = read_frame(conn)
+        frame = read_frame(conn, deadline=self._read_deadline(), auth=auth)
         if frame is None:
             return None  # coordinator went away before leasing
         kind, payload = frame
@@ -175,16 +237,37 @@ class HostAgent:
             None if weight_blob is None else pickle.loads(weight_blob)
         )
         sampler = restore_sampler(state, weight_fn)
-        _send_control(conn, ("lease", shard_index, "ok"))
+        _send_control(conn, ("lease", shard_index, "ok"), auth)
         return sampler
 
-    def _serve_replica(self, conn: socket.socket, sampler) -> None:
-        """Drive the replica's message loop until stop or disconnect."""
+    def _serve_replica(
+        self, conn: socket.socket, sampler, auth: FrameAuth | None
+    ) -> None:
+        """Drive the replica's message loop until stop or disconnect.
+
+        With a heartbeat timeout configured, every read is bounded: a
+        coordinator that sends nothing — not even a HEARTBEAT — for
+        the whole window is declared lost and the replica is discarded
+        (the coordinator restarts it elsewhere from its retained
+        snapshot). HEARTBEAT frames are echoed back, so the
+        coordinator's own idle detection sees a live peer.
+        """
         while True:
-            frame = read_frame(conn)
+            try:
+                frame = read_frame(
+                    conn, deadline=self._read_deadline(), auth=auth
+                )
+            except TimeoutError:
+                raise PeerLostError(
+                    "coordinator sent no frame (not even a heartbeat) "
+                    f"for {self._heartbeat_timeout}s; dropping lease"
+                ) from None
             if frame is None:
                 return  # coordinator dropped the lease; discard replica
             kind, payload = frame
+            if kind == FRAME_HEARTBEAT:
+                write_frame(conn, FRAME_HEARTBEAT, b"", auth)
+                continue
             if kind == FRAME_BLOCK:
                 sampler.process_batch(block_from_frame(payload))
                 continue
@@ -200,11 +283,16 @@ class HostAgent:
                 # CRC) so corruption fails loudly coordinator-side.
                 if reply[0] in ("snapshot", "stop"):
                     reply = reply[:2] + (state_to_wire(reply[2]),)
-                _send_control(conn, reply)
+                _send_control(conn, reply, auth)
             if done:
                 return
 
-    def _report_error(self, conn: socket.socket, exc: BaseException) -> None:
+    def _report_error(
+        self,
+        conn: socket.socket,
+        exc: BaseException,
+        auth: FrameAuth | None = None,
+    ) -> None:
         try:
             _send_control(
                 conn,
@@ -214,6 +302,7 @@ class HostAgent:
                     f"{type(exc).__name__}: {exc}\n"
                     f"{traceback.format_exc()}",
                 ),
+                auth,
             )
         except OSError:  # the connection itself is gone
             pass
@@ -222,9 +311,17 @@ class HostAgent:
 # -- process helper for tests and benchmarks ----------------------------------
 
 
-def _host_agent_main(host: str, port: int, address_pipe) -> None:
+def _host_agent_main(
+    host: str,
+    port: int,
+    address_pipe,
+    heartbeat_timeout: float | None = None,
+    auth_key: str | None = None,
+) -> None:
     """Entry point for :func:`spawn_local_host` (top-level: spawn-safe)."""
-    agent = HostAgent(host, port)
+    agent = HostAgent(
+        host, port, heartbeat_timeout=heartbeat_timeout, auth_key=auth_key
+    )
     address_pipe.send(agent.address)
     address_pipe.close()
     agent.serve_forever()
@@ -256,7 +353,12 @@ class LocalHostHandle:
         return f"LocalHostHandle(address={self.address!r}, {status})"
 
 
-def spawn_local_host(mp_context=None) -> LocalHostHandle:
+def spawn_local_host(
+    mp_context=None,
+    *,
+    heartbeat_timeout: float | None = None,
+    auth_key: str | None = None,
+) -> LocalHostHandle:
     """Start a host agent in a child process; return its handle.
 
     The localhost stand-in for a real remote machine: tests and the
@@ -271,7 +373,7 @@ def spawn_local_host(mp_context=None) -> LocalHostHandle:
     recv_end, send_end = mp_context.Pipe(duplex=False)
     process = mp_context.Process(
         target=_host_agent_main,
-        args=("127.0.0.1", 0, send_end),
+        args=("127.0.0.1", 0, send_end, heartbeat_timeout, auth_key),
         name="repro-shard-host",
         daemon=True,
     )
@@ -307,9 +409,34 @@ def main(argv=None) -> int:
             "port; default %(default)s)"
         ),
     )
+    parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "drop a lease whose coordinator sends no frame for this "
+            "long (default: wait forever); pair with the executor's "
+            "heartbeat_interval"
+        ),
+    )
+    parser.add_argument(
+        "--auth-key",
+        default=None,
+        metavar="KEY",
+        help=(
+            "shared secret enabling HMAC-SHA256 frame signing; "
+            "coordinators must pass the same key (default: unsigned)"
+        ),
+    )
     args = parser.parse_args(argv)
     host, port = parse_address(args.listen)
-    agent = HostAgent(host, port)
+    agent = HostAgent(
+        host,
+        port,
+        heartbeat_timeout=args.heartbeat_timeout,
+        auth_key=args.auth_key,
+    )
     print(f"shard host agent listening on {agent.address}", flush=True)
     try:
         agent.serve_forever()

@@ -15,7 +15,16 @@ One wire format serves the whole library: the ``RSX1`` frames of
    so ingestion pipelines; an ingest failure is reported once (token
    ``None``) and drops the connection, and the kernel socket buffer is
    the backpressure bound (the server reads and applies one frame at a
-   time per connection, exactly like the shard host agent).
+   time per connection, exactly like the shard host agent). The one
+   exception is WAL overload: a block rejected by the session's hard
+   limit is reported out-of-band (``("overloaded", None, info)``) and
+   the connection stays up — the stream state is untouched, so there
+   is nothing fatal about the rejection;
+4. HEARTBEAT frames for liveness: a client with a heartbeat interval
+   pings between requests and the server echoes, so the server's idle
+   deadline (``ServiceConfig.heartbeat_timeout``) reaps only peers
+   that are actually gone, and the client notices a dead service from
+   a failed ping instead of on its next query.
 
 The server (:class:`StreamIngestServer`) runs one asyncio event loop in
 a daemon thread; session work (sampler ingestion, barrier reads) runs
@@ -27,6 +36,11 @@ serialise concurrent writers under their own lock.
 Trust model: CONTROL payloads are **pickled** — identical to the shard
 transports, the service must only listen on networks where every peer
 is trusted. This is cluster-internal plumbing, not a public endpoint.
+With ``ServiceConfig.auth_key`` set, every frame additionally carries
+an HMAC-SHA256 tag under a per-connection session key (see
+:class:`~repro.streams.transport.FrameAuth`): unkeyed or wrong-keyed
+peers are rejected at HELLO, which narrows *who* can reach the pickle
+layer to holders of the shared key — it does not make pickles safe.
 """
 
 from __future__ import annotations
@@ -37,9 +51,17 @@ import json
 import pickle
 import socket
 import threading
+import time
 import traceback
 
-from repro.errors import ProtocolError, ServiceError
+from repro.errors import (
+    ConfigurationError,
+    OperationTimeoutError,
+    PeerLostError,
+    ProtocolError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.graph.stream import EventBlock
 from repro.streams.executor import ExecutorOptions
 from repro.streams.queries import run_query
@@ -47,9 +69,11 @@ from repro.streams.service import StreamConfig
 from repro.streams.transport import (
     FRAME_BLOCK,
     FRAME_CONTROL,
+    FRAME_HEARTBEAT,
     FRAME_HEADER_SIZE,
     FRAME_HELLO,
     PROTOCOL_VERSION,
+    FrameAuth,
     block_from_frame,
     expect_hello,
     frame_bytes,
@@ -63,10 +87,28 @@ from repro.streams.transport import (
 __all__ = ["StreamIngestServer", "ServiceClient"]
 
 
-async def _read_frame_async(reader: asyncio.StreamReader):
-    """One frame from an asyncio stream; ``None`` on clean close."""
+async def _read_frame_async(
+    reader: asyncio.StreamReader, idle_timeout: float | None = None
+):
+    """One frame from an asyncio stream; ``None`` on clean close.
+
+    ``idle_timeout`` bounds the wait for the *next* frame: a peer that
+    sends nothing at all (not even a HEARTBEAT) for the whole window
+    raises :class:`~repro.errors.PeerLostError`. A frame that has
+    started arriving is read to completion without the bound.
+    """
     try:
-        header = await reader.readexactly(FRAME_HEADER_SIZE)
+        if idle_timeout is None:
+            header = await reader.readexactly(FRAME_HEADER_SIZE)
+        else:
+            header = await asyncio.wait_for(
+                reader.readexactly(FRAME_HEADER_SIZE), idle_timeout
+            )
+    except asyncio.TimeoutError:
+        raise PeerLostError(
+            "peer sent no frame (not even a heartbeat) for "
+            f"{idle_timeout}s"
+        ) from None
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None
@@ -87,13 +129,15 @@ async def _read_frame_async(reader: asyncio.StreamReader):
     return kind, payload
 
 
-def _check_hello(frame) -> None:
+def _check_hello(frame, auth: FrameAuth | None = None) -> dict:
     """Server-side HELLO validation (mirrors ``expect_hello``)."""
     if frame is None:
         raise ProtocolError("client closed the connection before HELLO")
     kind, payload = frame
     if kind != FRAME_HELLO:
         raise ProtocolError(f"expected HELLO, got frame kind {kind}")
+    if auth is not None:
+        payload = auth.verify(kind, payload)
     try:
         meta = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -103,12 +147,20 @@ def _check_hello(frame) -> None:
             f"client speaks protocol {meta.get('protocol')!r}, this "
             f"build speaks {PROTOCOL_VERSION}"
         )
+    if auth is not None and not meta.get("nonce"):
+        raise ProtocolError(
+            "authenticated HELLO from client carries no nonce"
+        )
+    return meta
 
 
-def _control_reply(op: str, token, value) -> bytes:
+def _control_reply(
+    op: str, token, value, auth: FrameAuth | None = None
+) -> bytes:
     return frame_bytes(
         FRAME_CONTROL,
         pickle.dumps((op, token, value), protocol=pickle.HIGHEST_PROTOCOL),
+        auth,
     )
 
 
@@ -124,6 +176,12 @@ class StreamIngestServer:
     def __init__(self, service, listen: str = "127.0.0.1:0") -> None:
         self._service = service
         self._host, self._port = parse_address(listen)
+        config = getattr(service, "config", None)
+        #: Idle deadline: drop a connection whose peer sends nothing
+        #: (not even a HEARTBEAT) for this long. ``None`` = patient.
+        self._idle_timeout = getattr(config, "heartbeat_timeout", None)
+        auth_key = getattr(config, "auth_key", None)
+        self._static_auth = None if auth_key is None else FrameAuth(auth_key)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -200,15 +258,42 @@ class StreamIngestServer:
     ) -> None:
         loop = asyncio.get_running_loop()
         session = None
+        auth: FrameAuth | None = None
         try:
-            _check_hello(await _read_frame_async(reader))
-            writer.write(frame_bytes(FRAME_HELLO, hello_payload("service")))
+            client_meta = _check_hello(
+                await _read_frame_async(reader, self._idle_timeout),
+                self._static_auth,
+            )
+            if self._static_auth is None:
+                writer.write(
+                    frame_bytes(FRAME_HELLO, hello_payload("service"))
+                )
+            else:
+                # The connecting client's nonce comes first in the
+                # session-key derivation on both ends.
+                nonce = FrameAuth.new_nonce()
+                writer.write(
+                    frame_bytes(
+                        FRAME_HELLO,
+                        hello_payload("service", nonce=nonce),
+                        self._static_auth,
+                    )
+                )
+                auth = self._static_auth.derived(client_meta["nonce"], nonce)
             await writer.drain()
             while True:
-                frame = await _read_frame_async(reader)
+                frame = await _read_frame_async(reader, self._idle_timeout)
                 if frame is None:
                     return
                 kind, payload = frame
+                if auth is not None:
+                    payload = auth.verify(kind, payload)
+                if kind == FRAME_HEARTBEAT:
+                    # Liveness ping: echo it so the client's reply
+                    # reads observe a live socket too.
+                    writer.write(frame_bytes(FRAME_HEARTBEAT, b"", auth))
+                    await writer.drain()
+                    continue
                 if kind == FRAME_BLOCK:
                     if session is None:
                         raise ServiceError(
@@ -216,7 +301,27 @@ class StreamIngestServer:
                             "selected a stream"
                         )
                     block = block_from_frame(payload)
-                    await loop.run_in_executor(None, session.ingest, block)
+                    try:
+                        await loop.run_in_executor(
+                            None, session.ingest, block
+                        )
+                    except ServiceOverloadedError as exc:
+                        # Backpressure is not connection-fatal: the
+                        # block was atomically rejected (no partial
+                        # state), so report out-of-band (token None)
+                        # and keep serving — the client re-sends.
+                        writer.write(
+                            _control_reply(
+                                "overloaded",
+                                None,
+                                {
+                                    "retry_after": exc.retry_after,
+                                    "message": str(exc),
+                                },
+                                auth,
+                            )
+                        )
+                        await writer.drain()
                     continue
                 if kind != FRAME_CONTROL:
                     raise ProtocolError(
@@ -286,14 +391,26 @@ class StreamIngestServer:
                         value = list(self._service.streams())
                     else:
                         raise ProtocolError(f"unknown control op {op!r}")
-                    reply = _control_reply(op, token, value)
+                    reply = _control_reply(op, token, value, auth)
                 except asyncio.CancelledError:
                     raise
+                except ServiceOverloadedError as exc:
+                    # WAL hard limit: a typed, retryable rejection —
+                    # not worth a traceback, and never fatal.
+                    reply = _control_reply(
+                        "overloaded",
+                        token,
+                        {
+                            "retry_after": exc.retry_after,
+                            "message": str(exc),
+                        },
+                        auth,
+                    )
                 except Exception:
                     # Control failures are per-request: report with the
                     # remote traceback, keep the connection alive.
                     reply = _control_reply(
-                        "error", token, traceback.format_exc()
+                        "error", token, traceback.format_exc(), auth
                     )
                 writer.write(reply)
                 await writer.drain()
@@ -305,11 +422,14 @@ class StreamIngestServer:
         except (ConnectionError, OSError):
             pass  # peer vanished; nothing to report to
         except Exception:
-            # Protocol violations and block-path ingest failures are
-            # connection-fatal: report once (token None), then drop.
+            # Protocol violations, idle-deadline expiry, and block-path
+            # ingest failures are connection-fatal: report once (token
+            # None), then drop.
             try:
                 writer.write(
-                    _control_reply("error", None, traceback.format_exc())
+                    _control_reply(
+                        "error", None, traceback.format_exc(), auth
+                    )
                 )
                 await writer.drain()
             except (ConnectionError, OSError):
@@ -318,7 +438,13 @@ class StreamIngestServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover
+            except (
+                ConnectionError,
+                OSError,
+                # stop() can cancel us while the close handshake (or
+                # an unread error reply to a gone peer) is pending.
+                asyncio.CancelledError,
+            ):  # pragma: no cover
                 pass
 
 
@@ -330,11 +456,53 @@ class ServiceClient:
     :meth:`send_events` push events (fire-and-forget pipelining) and
     the query helpers read. Service-side failures raise
     :class:`~repro.errors.ServiceError` carrying the remote traceback.
+
+    Liveness: every reply wait is bounded by ``op_timeout`` (a hung or
+    silently dead service raises the retryable
+    :class:`~repro.errors.OperationTimeoutError` instead of hanging the
+    caller forever). With ``heartbeat_interval`` set, a daemon thread
+    pings the service between requests — keeping an idle connection
+    alive past the server's idle deadline, and turning a dead peer into
+    :class:`~repro.errors.PeerLostError` at the next call. A block or
+    request shed by the service's WAL hard limit raises
+    :class:`~repro.errors.ServiceOverloadedError` with the server's
+    retry-after hint.
+
+    ``auth_key`` must match the service's ``--auth-key``; every frame
+    is then HMAC-signed under a per-connection session key.
+
+    Not thread-safe: one thread drives a client (the internal
+    heartbeat thread is coordinated via a send lock).
     """
 
-    def __init__(self, address: str, *, connect_timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        address: str,
+        *,
+        connect_timeout: float = 10.0,
+        op_timeout: float | None = 60.0,
+        heartbeat_interval: float | None = None,
+        auth_key: str | None = None,
+    ) -> None:
+        if op_timeout is not None and op_timeout <= 0:
+            raise ConfigurationError(
+                f"op_timeout must be positive or None, got {op_timeout}"
+            )
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ConfigurationError(
+                "heartbeat_interval must be positive or None, got "
+                f"{heartbeat_interval}"
+            )
         host, port = parse_address(address)
         self.address = address
+        #: Deadline for every token-matched reply wait (``None`` waits
+        #: forever, the pre-liveness behaviour).
+        self.op_timeout = op_timeout
+        self._auth: FrameAuth | None = None
+        self._send_lock = threading.Lock()
+        self._peer_lost: str | None = None
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat_thread: threading.Thread | None = None
         try:
             self._sock = socket.create_connection(
                 (host, port), timeout=connect_timeout
@@ -345,8 +513,26 @@ class ServiceClient:
             ) from exc
         try:
             self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            write_frame(self._sock, FRAME_HELLO, hello_payload("client"))
-            expect_hello(self._sock, peer=f"counting service {address}")
+            deadline = time.monotonic() + connect_timeout
+            peer = f"counting service {address}"
+            if auth_key is None:
+                write_frame(self._sock, FRAME_HELLO, hello_payload("client"))
+                expect_hello(self._sock, peer=peer, deadline=deadline)
+            else:
+                static = FrameAuth(auth_key)
+                nonce = FrameAuth.new_nonce()
+                write_frame(
+                    self._sock,
+                    FRAME_HELLO,
+                    hello_payload("client", nonce=nonce),
+                    static,
+                )
+                meta = expect_hello(
+                    self._sock, peer=peer, deadline=deadline, auth=static
+                )
+                # This end initiated the connection, so its nonce
+                # comes first in the session-key derivation.
+                self._auth = static.derived(nonce, meta["nonce"])
             self._sock.settimeout(None)
         except BaseException:
             self._sock.close()
@@ -354,39 +540,179 @@ class ServiceClient:
         self._token = 0
         #: Name of the stream this connection is attached to.
         self.stream: str | None = None
+        if heartbeat_interval is not None:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(heartbeat_interval,),
+                name="repro-client-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
 
     # -- plumbing ------------------------------------------------------------
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        """Ping between requests; a failed ping marks the peer lost.
+
+        Sends never change the socket timeout (the app thread owns
+        it): a ``TimeoutError`` here just means the send buffer is
+        full — backpressure, not death, and the queued bytes prove
+        liveness to the server once they land.
+        """
+        while not self._heartbeat_stop.wait(interval):
+            try:
+                with self._send_lock:
+                    if self._peer_lost is not None:
+                        return
+                    self._sock.sendall(
+                        frame_bytes(FRAME_HEARTBEAT, b"", self._auth)
+                    )
+            except TimeoutError:
+                continue
+            except OSError as exc:
+                if not self._heartbeat_stop.is_set():
+                    self._peer_lost = f"heartbeat send failed: {exc}"
+                return
+
+    def _raise_if_lost(self) -> None:
+        if self._peer_lost is not None:
+            raise PeerLostError(
+                f"counting service {self.address} is unreachable "
+                f"({self._peer_lost})"
+            )
+
+    def _send_frame(self, kind: int, payload) -> None:
+        self._raise_if_lost()
+        try:
+            with self._send_lock:
+                self._sock.settimeout(None)
+                write_frame(self._sock, kind, payload, self._auth)
+        except OSError as exc:
+            self._raise_if_lost()
+            # The server reports connection-fatal failures and then
+            # drops the link; our send can hit the broken pipe before
+            # we ever read that report. Salvage it if it is there.
+            failure = self._drain_error()
+            if failure is not None:
+                raise ServiceError(
+                    f"counting service {self.address} reported:\n{failure}"
+                ) from exc
+            raise ServiceError(
+                f"connection to counting service {self.address} broke "
+                f"mid-send: {exc}"
+            ) from exc
+
+    def _drain_error(self) -> str | None:
+        """Best-effort read of a pending ``("error", None, ...)`` reply."""
+        deadline = time.monotonic() + 1.0
+        try:
+            self._sock.settimeout(0.1)
+            while True:
+                frame = read_frame(
+                    self._sock, deadline=deadline, auth=self._auth
+                )
+                if frame is None:
+                    return None
+                kind, payload = frame
+                if kind != FRAME_CONTROL:
+                    continue
+                reply = pickle.loads(payload)
+                if reply[0] == "error":
+                    return reply[2]
+        except Exception:
+            return None
+
+    def _read_reply(self, deadline: float | None) -> tuple:
+        """One pickled CONTROL reply, skipping heartbeat echoes."""
+        while True:
+            try:
+                if deadline is None:
+                    self._sock.settimeout(None)
+                    frame = read_frame(self._sock, auth=self._auth)
+                else:
+                    # Finite socket timeout = the deadline's poll tick.
+                    self._sock.settimeout(0.1)
+                    frame = read_frame(
+                        self._sock, deadline=deadline, auth=self._auth
+                    )
+            except TimeoutError:
+                raise OperationTimeoutError(
+                    f"counting service {self.address} sent no reply "
+                    f"within {self.op_timeout}s"
+                ) from None
+            except OSError as exc:
+                self._raise_if_lost()
+                raise ServiceError(
+                    f"connection to counting service {self.address} "
+                    f"broke mid-reply: {exc}"
+                ) from exc
+            if frame is None:
+                self._raise_if_lost()
+                raise ServiceError(
+                    f"counting service {self.address} closed the "
+                    "connection"
+                )
+            kind, payload = frame
+            if kind == FRAME_HEARTBEAT:
+                continue  # server echo of our liveness ping
+            if kind != FRAME_CONTROL:
+                raise ProtocolError(
+                    f"expected a control reply, got frame kind {kind}"
+                )
+            return pickle.loads(payload)
+
+    def _overloaded(self, info) -> ServiceOverloadedError:
+        info = info if isinstance(info, dict) else {}
+        message = info.get("message") or (
+            f"counting service {self.address} is overloaded"
+        )
+        return ServiceOverloadedError(
+            message, retry_after=info.get("retry_after")
+        )
 
     def _control(self, op: str, *rest):
         self._token += 1
         token = self._token
-        write_frame(
-            self._sock,
+        self._send_frame(
             FRAME_CONTROL,
             pickle.dumps(
                 (op, token, *rest), protocol=pickle.HIGHEST_PROTOCOL
             ),
         )
-        frame = read_frame(self._sock)
-        if frame is None:
-            raise ServiceError(
-                f"counting service {self.address} closed the connection"
-            )
-        kind, payload = frame
-        if kind != FRAME_CONTROL:
-            raise ProtocolError(
-                f"expected a control reply, got frame kind {kind}"
-            )
-        reply = pickle.loads(payload)
-        if reply[0] == "error":
-            raise ServiceError(
-                f"counting service {self.address} reported:\n{reply[2]}"
-            )
-        if reply[0] != op or reply[1] != token:
-            raise ProtocolError(
-                f"out-of-order reply {reply[:2]!r} to ({op!r}, {token})"
-            )
-        return reply[2]
+        deadline = (
+            None
+            if self.op_timeout is None
+            else time.monotonic() + self.op_timeout
+        )
+        overload: ServiceOverloadedError | None = None
+        while True:
+            reply = self._read_reply(deadline)
+            if reply[0] == "overloaded":
+                if reply[1] is None:
+                    # Out-of-band: an earlier fire-and-forget block was
+                    # shed. Our request's own reply is still coming —
+                    # stay in sync, then surface the rejection.
+                    overload = overload or self._overloaded(reply[2])
+                    continue
+                if reply[1] != token:
+                    raise ProtocolError(
+                        f"out-of-order reply {reply[:2]!r} to "
+                        f"({op!r}, {token})"
+                    )
+                raise self._overloaded(reply[2])
+            if reply[0] == "error":
+                raise ServiceError(
+                    f"counting service {self.address} reported:\n{reply[2]}"
+                )
+            if reply[0] != op or reply[1] != token:
+                raise ProtocolError(
+                    f"out-of-order reply {reply[:2]!r} to ({op!r}, {token})"
+                )
+            if overload is not None:
+                # The request succeeded, but a pipelined block was
+                # dropped: the caller must know to re-send it.
+                raise overload
+            return reply[2]
 
     # -- stream selection ----------------------------------------------------
 
@@ -420,8 +746,13 @@ class ServiceClient:
     # -- write path ----------------------------------------------------------
 
     def send_block(self, block: EventBlock) -> None:
-        """Push one columnar block (fire-and-forget, pipelines)."""
-        write_frame(self._sock, FRAME_BLOCK, block.to_bytes())
+        """Push one columnar block (fire-and-forget, pipelines).
+
+        If the service sheds the block (WAL hard limit), the typed
+        rejection surfaces as :class:`ServiceOverloadedError` on the
+        next acknowledged call (any query/checkpoint/control op).
+        """
+        self._send_frame(FRAME_BLOCK, block.to_bytes())
 
     def send_events(self, events) -> None:
         """Push an event batch, columnar when the labels allow it."""
@@ -434,6 +765,14 @@ class ServiceClient:
             self._control("ingest", events)
             return
         self.send_block(block)
+
+    def ingest(self, events) -> int:
+        """Push an event batch and wait for the ack (no pipelining).
+
+        The acknowledged alternative to :meth:`send_events`: overload
+        rejections surface immediately, on this call.
+        """
+        return self._control("ingest", list(events))
 
     # -- read path -----------------------------------------------------------
 
@@ -472,10 +811,14 @@ class ServiceClient:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        self._heartbeat_stop.set()
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - defensive
             pass
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=2)
+            self._heartbeat_thread = None
 
     def __enter__(self) -> "ServiceClient":
         return self

@@ -112,6 +112,12 @@ class StreamQueries:
             lambda ex: {v: local.vertex_estimate(v) for v in vertices}
         )
 
+    # -- operational counters ------------------------------------------------
+
+    def wal_stats(self) -> dict:
+        """Write-ahead-log accounting (totals, memory share, segments)."""
+        return self._session.wal_stats()
+
 
 #: Wire-facing query kinds served by :func:`run_query`.
 QUERY_KINDS = (
@@ -122,6 +128,7 @@ QUERY_KINDS = (
     "stats",
     "top_vertices",
     "local_counts",
+    "wal_stats",
 )
 
 
@@ -148,6 +155,8 @@ def run_query(session, kind: str, args: dict | None = None):
         return queries.top_vertices(int(args.get("k", 10)))
     if kind == "local_counts":
         return queries.local_counts(list(args.get("vertices", ())))
+    if kind == "wal_stats":
+        return queries.wal_stats()
     raise ServiceError(
         f"unknown query kind {kind!r}; known: {QUERY_KINDS}"
     )

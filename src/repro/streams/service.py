@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pickle
 import re
 import sys
 import threading
@@ -52,7 +53,13 @@ import traceback
 from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 
-from repro.errors import ConfigurationError, ServiceError, WorkerCrashError
+from repro.errors import (
+    ConfigurationError,
+    PeerLostError,
+    ServiceError,
+    ServiceOverloadedError,
+    WorkerCrashError,
+)
 from repro.estimators.local import LocalSubgraphCounter
 from repro.graph.stream import EventBlock
 from repro.patterns.matching import get_pattern
@@ -68,6 +75,7 @@ from repro.streams.executor import (
     partition_events,
 )
 from repro.streams.queries import StreamQueries
+from repro.streams.supervisor import DEFAULT_RECOVERY_POLICY, RecoveryPolicy
 from repro.utils.io import atomic_write_bytes, atomic_write_text
 from repro.utils.rng import derive_seed, spawn_generators
 from repro.weights.heuristic import GPSHeuristicWeight, UniformWeight
@@ -87,6 +95,11 @@ MANIFEST_FORMAT = 1
 #: Default cap on write-ahead-log events before an automatic snapshot
 #: barrier trims it (bounds both replay time and parent memory).
 DEFAULT_WAL_LIMIT = 1 << 17
+
+#: Spilled-WAL segment filename: base checkpoint generation + sequence.
+_WAL_SEGMENT = "wal-g{generation:06d}-{seq:06d}.seg"
+
+_WAL_SEGMENT_RE = re.compile(r"^wal-g(\d{6})-(\d{6})\.seg$")
 
 #: Algorithms the service can host. WSD-L is deliberately absent: it
 #: needs a live policy object, which neither the wire nor the JSON
@@ -282,6 +295,9 @@ class StreamSession:
         state_dir: str | Path | None = None,
         auto_restart: bool = True,
         wal_limit_events: int = DEFAULT_WAL_LIMIT,
+        wal_spill_events: int | None = None,
+        wal_hard_limit_events: int | None = None,
+        recovery_policy: RecoveryPolicy | None = None,
         _states: list[dict] | None = None,
         _generation: int = 0,
         _local_counts: dict | None = None,
@@ -298,15 +314,64 @@ class StreamSession:
             )
         if wal_limit_events < 1:
             raise ConfigurationError("wal_limit_events must be >= 1")
+        if wal_spill_events is not None and wal_spill_events < 1:
+            raise ConfigurationError(
+                "wal_spill_events must be >= 1 (or None to disable)"
+            )
+        if wal_hard_limit_events is not None:
+            if wal_hard_limit_events < 1:
+                raise ConfigurationError(
+                    "wal_hard_limit_events must be >= 1 (or None)"
+                )
+            if (
+                wal_spill_events is not None
+                and wal_hard_limit_events <= wal_spill_events
+            ):
+                raise ConfigurationError(
+                    "wal_hard_limit_events must exceed wal_spill_events "
+                    f"({wal_hard_limit_events} <= {wal_spill_events})"
+                )
         self.name = name
         self.config = config
         self.options = options
         self.auto_restart = auto_restart
         self._wal_limit = int(wal_limit_events)
+        self._wal_spill = (
+            None if wal_spill_events is None else int(wal_spill_events)
+        )
+        self._wal_hard_limit = (
+            None
+            if wal_hard_limit_events is None
+            else int(wal_hard_limit_events)
+        )
+        #: The retry hint shipped inside overload rejections.
+        self.retry_after_hint = 1.0
+        if recovery_policy is None:
+            recovery_policy = (
+                options.recovery_policy
+                if options.recovery_policy is not None
+                else DEFAULT_RECOVERY_POLICY
+            )
+        #: The recovery engine (public: the chaos bench reads its stats).
+        self.supervisor = recovery_policy.build_supervisor(
+            config.shards, name=name
+        )
         self._state_dir = Path(state_dir) if state_dir is not None else None
         self._lock = threading.RLock()
         self._wal: list = []
         self._wal_events = 0
+        self._wal_memory_events = 0
+        #: Closed WAL segments spilled to disk: (path, event count).
+        self._segments: list[tuple[Path, int]] = []
+        self._spilled_events = 0
+        self._spill_seq = 0
+        # Whether _base_clocks match the persisted checkpoint of
+        # self._generation — the precondition for spilled segments to
+        # be replayable at restore (a snapshot() without persist breaks
+        # it; the next checkpoint() re-establishes it). Fresh sessions
+        # start aligned: no manifest carries generation 0, so their
+        # segments can never be mis-replayed.
+        self._base_aligned = True
         self._generation = int(_generation)
         self._closed = False
 
@@ -387,6 +452,16 @@ class StreamSession:
         the log exceeds the session's limit, a snapshot barrier trims
         it. No synchronisation barrier otherwise — worker backends keep
         pipelining until the next read.
+
+        Backpressure (both knobs off by default): past
+        ``wal_spill_events`` in-memory events, closed WAL segments
+        spill to disk under the stream's state directory (bounding
+        parent memory without a barrier); past
+        ``wal_hard_limit_events`` *total* WAL events the batch is
+        rejected atomically — nothing appended, nothing dispatched —
+        with :class:`~repro.errors.ServiceOverloadedError` carrying a
+        retry-after hint. A checkpoint trims the log and ingestion
+        resumes.
         """
         if not isinstance(events, (list, EventBlock)):
             events = list(events)
@@ -395,12 +470,30 @@ class StreamSession:
         with self._lock:
             if self._closed:
                 raise ServiceError(f"stream {self.name!r} is closed")
+            if (
+                self._wal_hard_limit is not None
+                and self._wal_events + len(events) > self._wal_hard_limit
+            ):
+                raise ServiceOverloadedError(
+                    f"stream {self.name!r} write-ahead log is at "
+                    f"{self._wal_events} events; accepting "
+                    f"{len(events)} more would exceed the hard limit "
+                    f"of {self._wal_hard_limit} — checkpoint (or wait "
+                    "for the durability cadence) and retry",
+                    retry_after=self.retry_after_hint,
+                )
             self._wal.append(events)
             self._wal_events += len(events)
+            self._wal_memory_events += len(events)
             try:
                 self.executor.ingest(events)
-            except WorkerCrashError as exc:
+            except (WorkerCrashError, PeerLostError) as exc:
                 self._recover(exc)
+            if (
+                self._wal_spill is not None
+                and self._wal_memory_events >= self._wal_spill
+            ):
+                self._spill_or_trim()
             if self._wal_events >= self._wal_limit:
                 self.snapshot()
 
@@ -411,40 +504,60 @@ class StreamSession:
         with self._lock:
             try:
                 return fn(self.executor)
-            except WorkerCrashError as exc:
+            except (WorkerCrashError, PeerLostError) as exc:
                 self._recover(exc)
                 return fn(self.executor)
 
     # -- crash recovery ------------------------------------------------------
 
-    def _recover(self, exc: WorkerCrashError) -> None:
+    def _recover(self, exc) -> None:
         """Restore a crashed shard and replay its lost sub-stream.
 
-        Bounded retries: replay itself can surface another crashed
-        shard (its first send is how a silent death is discovered), so
-        each round restarts whichever shard failed last. More rounds
-        than shards means workers are dying faster than they restart —
-        give up and surface the crash.
+        Recovery runs under the session's :attr:`supervisor`: each
+        attempt restarts whichever shard failed last (replay itself can
+        surface another silent death — its first send is how one is
+        discovered — which continues the same incident against the new
+        failure), with policy-driven backoff between attempts. When the
+        incident's attempt limit or the shard's lifetime failure budget
+        is exhausted, the supervisor escalates with
+        :class:`~repro.errors.ShardUnrecoverableError` — determinism
+        included: a fixed fault sequence escalates at a fixed point.
         """
         if not self.auto_restart:
             raise exc
-        last = exc
-        for _ in range(2 * self.config.shards):
-            try:
-                self.executor.restart_shard(last.shard_index)
-                self._replay()
-                return
-            except WorkerCrashError as again:
-                last = again
-        raise last
+
+        def attempt(error) -> None:
+            index = getattr(error, "shard_index", None)
+            if not isinstance(index, int) or not (
+                0 <= index < self.config.shards
+            ):
+                # No shard to restart (e.g. a lost service-level peer):
+                # nothing this session can rebuild — re-raise so the
+                # supervisor burns the incident down and escalates.
+                raise error
+            self.executor.restart_shard(index)
+            self._replay()
+
+        self.supervisor.recover(exc, attempt)
+
+    def _wal_entries(self) -> list:
+        """Every live WAL entry, oldest first: spilled segments, then
+        the in-memory tail (segments are read back from disk only
+        here, on the recovery path)."""
+        entries: list = []
+        for path, _count in self._segments:
+            entries.extend(pickle.loads(path.read_bytes()))
+        entries.extend(self._wal)
+        return entries
 
     def _routed_wal(self) -> list[list]:
         """The WAL as per-shard sub-streams (the executor's routing)."""
         shards = self.config.shards
+        entries = self._wal_entries()
         if self.config.mode == "broadcast":
-            return [list(self._wal) for _ in range(shards)]
+            return [list(entries) for _ in range(shards)]
         routed: list[list] = [[] for _ in range(shards)]
-        for entry in self._wal:
+        for entry in entries:
             if isinstance(entry, EventBlock):
                 buckets = partition_block(entry, shards, self.executor.shard_key)
             else:
@@ -488,6 +601,81 @@ class StreamSession:
                     f"expected {expected[index]}"
                 )
 
+    # -- WAL spill ----------------------------------------------------------
+
+    @property
+    def _wal_dir(self) -> Path | None:
+        path = self.state_path
+        return None if path is None else path / "wal"
+
+    def _spill_or_trim(self) -> None:
+        """Get in-memory WAL events under the spill mark.
+
+        Durable sessions whose base snapshot matches their persisted
+        checkpoint spill the closed entries to an on-disk segment (no
+        barrier, replayable at restore); otherwise the trim falls back
+        to a checkpoint (durable, re-aligns) or a plain snapshot
+        barrier (in-memory sessions have no disk to spill to).
+        """
+        if self.durable and self._base_aligned:
+            self._spill()
+        elif self.durable:
+            self.checkpoint()
+        else:
+            self.snapshot()
+
+    def _spill(self) -> None:
+        """Close the in-memory WAL entries into one on-disk segment."""
+        if not self._wal:
+            return
+        directory = self._wal_dir
+        assert directory is not None
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / _WAL_SEGMENT.format(
+            generation=self._generation, seq=self._spill_seq
+        )
+        count = self._wal_memory_events
+        atomic_write_bytes(
+            path,
+            pickle.dumps(self._wal, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        self._spill_seq += 1
+        self._segments.append((path, count))
+        self._spilled_events += count
+        self._wal = []
+        self._wal_memory_events = 0
+
+    def _drop_segments(self) -> None:
+        """Delete every tracked spilled segment (WAL was trimmed)."""
+        for path, _count in self._segments:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        self._segments = []
+        self._spilled_events = 0
+        self._spill_seq = 0
+
+    def wal_stats(self) -> dict:
+        """Write-ahead-log accounting: totals, memory share, segments.
+
+        The observable contract of the bounded WAL: ``memory_events``
+        stays under ``spill_events`` (when spilling is on) no matter
+        how long checkpoints are withheld, and ``events`` never
+        exceeds ``hard_limit_events``.
+        """
+        with self._lock:
+            return {
+                "events": self._wal_events,
+                "memory_events": self._wal_memory_events,
+                "spilled_events": self._spilled_events,
+                "segments": len(self._segments),
+                "limit_events": self._wal_limit,
+                "spill_events": self._wal_spill,
+                "hard_limit_events": self._wal_hard_limit,
+                "aligned": self._base_aligned,
+            }
+
     # -- checkpointing -------------------------------------------------------
 
     def snapshot(self) -> list[dict]:
@@ -501,12 +689,16 @@ class StreamSession:
         with self._lock:
             try:
                 states = self.executor.snapshot()
-            except WorkerCrashError as exc:
+            except (WorkerCrashError, PeerLostError) as exc:
                 self._recover(exc)
                 states = self.executor.snapshot()
             self._wal.clear()
             self._wal_events = 0
+            self._wal_memory_events = 0
+            self._drop_segments()
             self._base_clocks = [int(state["time"]) for state in states]
+            # The new base is an in-memory cut until the next persist.
+            self._base_aligned = False
             return states
 
     def checkpoint(self) -> list[dict]:
@@ -567,11 +759,23 @@ class StreamSession:
             json.dumps(manifest, indent=2, sort_keys=True),
         )
         self._generation = generation
-        keep = {"manifest.json", *shard_files}
+        # The freshly committed manifest is exactly the snapshot that
+        # cut the WAL, so spilled segments may build on it again.
+        self._base_aligned = True
+        keep = {"manifest.json", "wal", *shard_files}
         if local_file is not None:
             keep.add(local_file)
         for stale in directory.iterdir():
             if stale.name not in keep:
+                try:
+                    stale.unlink()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+        # Every WAL segment predates the manifest commit (checkpoint
+        # trims the log first), so the spill directory sweeps clean.
+        wal_dir = directory / "wal"
+        if wal_dir.is_dir():
+            for stale in wal_dir.iterdir():
                 try:
                     stale.unlink()
                 except OSError:  # pragma: no cover - best-effort cleanup
@@ -586,6 +790,9 @@ class StreamSession:
         options: ExecutorOptions | None = None,
         auto_restart: bool = True,
         wal_limit_events: int = DEFAULT_WAL_LIMIT,
+        wal_spill_events: int | None = None,
+        wal_hard_limit_events: int | None = None,
+        recovery_policy: RecoveryPolicy | None = None,
     ) -> "StreamSession":
         """Rebuild a session from its latest durable checkpoint.
 
@@ -594,6 +801,12 @@ class StreamSession:
         the stream picks up exactly where the checkpoint barrier cut
         it. ``options`` defaults to the options recorded in the
         manifest, so a process-backend stream resumes as one.
+
+        WAL segments spilled on top of this checkpoint's generation are
+        replayed in order through the ordinary ingest path and then
+        folded into a fresh checkpoint, so events that outlived their
+        process only in the spill directory are not lost; segments from
+        any other generation are stale and deleted.
         """
         directory = Path(state_dir) / name
         manifest_path = directory / "manifest.json"
@@ -624,17 +837,67 @@ class StreamSession:
                 _decode_vertex(pair): float(value)
                 for pair, value in payload["vertices"]
             }
-        return cls(
+        session = cls(
             name,
             config,
             options=options,
             state_dir=state_dir,
             auto_restart=auto_restart,
             wal_limit_events=wal_limit_events,
+            wal_spill_events=wal_spill_events,
+            wal_hard_limit_events=wal_hard_limit_events,
+            recovery_policy=recovery_policy,
             _states=states,
             _generation=int(manifest["generation"]),
             _local_counts=local_counts,
         )
+        session._replay_spilled(int(manifest["generation"]))
+        return session
+
+    def _replay_spilled(self, generation: int) -> None:
+        """Fold restore-time WAL segments back into the stream.
+
+        Segments whose base generation matches the restored checkpoint
+        are replayed oldest-first through :meth:`ingest` (so routing,
+        recovery, and bit-identity all hold by construction), then a
+        fresh checkpoint commits the recovered cut and sweeps the spill
+        directory. Spill and the hard limit are suspended during the
+        replay — these events were already accepted once. Idempotent
+        under crashes: the segments outlive the replay until the final
+        checkpoint's manifest commit, so a re-restore replays them
+        again from the same base.
+        """
+        wal_dir = self._wal_dir
+        if wal_dir is None or not wal_dir.is_dir():
+            return
+        matched: list[tuple[int, Path]] = []
+        stale: list[Path] = []
+        for child in wal_dir.iterdir():
+            found = _WAL_SEGMENT_RE.match(child.name)
+            if found is None:
+                continue
+            if int(found.group(1)) == generation:
+                matched.append((int(found.group(2)), child))
+            else:
+                stale.append(child)
+        for path in stale:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        if not matched:
+            return
+        with self._lock:
+            spill, self._wal_spill = self._wal_spill, None
+            hard, self._wal_hard_limit = self._wal_hard_limit, None
+            try:
+                for _seq, path in sorted(matched):
+                    for entry in pickle.loads(path.read_bytes()):
+                        self.ingest(entry)
+            finally:
+                self._wal_spill = spill
+                self._wal_hard_limit = hard
+            self.checkpoint()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -678,6 +941,13 @@ class ServiceConfig:
     without explicit options; ``checkpoint_interval`` drives the
     durability thread (``None`` disables it — streams still checkpoint
     on WAL pressure and at shutdown).
+
+    The robustness knobs (all off by default): ``wal_spill_events`` /
+    ``wal_hard_limit_events`` bound every tenant's write-ahead log
+    (spill to disk, then shed load with typed overload errors);
+    ``recovery_policy`` governs supervised crash recovery;
+    ``heartbeat_timeout`` drops ingest connections that go fully
+    silent; ``auth_key`` requires HMAC-signed frames from every client.
     """
 
     listen: str = "127.0.0.1:0"
@@ -686,6 +956,11 @@ class ServiceConfig:
     executor: ExecutorOptions = field(default_factory=ExecutorOptions)
     wal_limit_events: int = DEFAULT_WAL_LIMIT
     auto_restart: bool = True
+    wal_spill_events: int | None = None
+    wal_hard_limit_events: int | None = None
+    recovery_policy: RecoveryPolicy | None = None
+    heartbeat_timeout: float | None = None
+    auth_key: str | None = None
 
     def validate(self) -> None:
         if self.checkpoint_interval is not None and not self.checkpoint_interval > 0:
@@ -694,6 +969,26 @@ class ServiceConfig:
             )
         if self.wal_limit_events < 1:
             raise ConfigurationError("wal_limit_events must be >= 1")
+        if self.wal_spill_events is not None and self.wal_spill_events < 1:
+            raise ConfigurationError(
+                "wal_spill_events must be >= 1 (or None)"
+            )
+        if (
+            self.wal_hard_limit_events is not None
+            and self.wal_hard_limit_events < 1
+        ):
+            raise ConfigurationError(
+                "wal_hard_limit_events must be >= 1 (or None)"
+            )
+        if (
+            self.heartbeat_timeout is not None
+            and not self.heartbeat_timeout > 0
+        ):
+            raise ConfigurationError(
+                "heartbeat_timeout must be > 0 (or None)"
+            )
+        if self.recovery_policy is not None:
+            self.recovery_policy.validate()
         self.executor.validate()
 
     def with_changes(self, **kwargs) -> "ServiceConfig":
@@ -730,6 +1025,9 @@ class CountingService:
                     root,
                     auto_restart=self.config.auto_restart,
                     wal_limit_events=self.config.wal_limit_events,
+                    wal_spill_events=self.config.wal_spill_events,
+                    wal_hard_limit_events=self.config.wal_hard_limit_events,
+                    recovery_policy=self.config.recovery_policy,
                 )
 
     # -- registry ------------------------------------------------------------
@@ -760,6 +1058,9 @@ class CountingService:
                 state_dir=self.config.state_dir,
                 auto_restart=self.config.auto_restart,
                 wal_limit_events=self.config.wal_limit_events,
+                wal_spill_events=self.config.wal_spill_events,
+                wal_hard_limit_events=self.config.wal_hard_limit_events,
+                recovery_policy=self.config.recovery_policy,
             )
             self._sessions[name] = session
             return session
@@ -896,12 +1197,55 @@ def main(argv: list[str] | None = None) -> int:
         choices=("serial", "process"),
         help="default executor backend for newly created streams",
     )
+    parser.add_argument(
+        "--wal-spill",
+        type=int,
+        default=None,
+        metavar="EVENTS",
+        help=(
+            "spill the in-memory write-ahead log to disk segments past "
+            "this many events (default: no spilling)"
+        ),
+    )
+    parser.add_argument(
+        "--wal-hard-limit",
+        type=int,
+        default=None,
+        metavar="EVENTS",
+        help=(
+            "reject ingestion with a typed overload error once the "
+            "write-ahead log holds this many events (default: no limit)"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "drop client connections that send no frame (not even a "
+            "heartbeat) for this long (default: wait forever)"
+        ),
+    )
+    parser.add_argument(
+        "--auth-key",
+        default=None,
+        metavar="KEY",
+        help=(
+            "shared secret enabling HMAC-SHA256 frame signing; clients "
+            "must present the same key (default: unsigned)"
+        ),
+    )
     args = parser.parse_args(argv)
     config = ServiceConfig(
         listen=args.listen,
         state_dir=args.state_dir,
         checkpoint_interval=args.checkpoint_interval or None,
         executor=ExecutorOptions(backend=args.backend),
+        wal_spill_events=args.wal_spill,
+        wal_hard_limit_events=args.wal_hard_limit,
+        heartbeat_timeout=args.heartbeat_timeout,
+        auth_key=args.auth_key,
     )
     service = CountingService(config)
     address = service.start()

@@ -1,0 +1,301 @@
+"""Supervised shard recovery: policy-driven restart with backoff.
+
+Before this module, crash recovery was *mechanically* complete (a
+crashed shard restarts from its retained snapshot and replays exactly
+its lost sub-stream, see :meth:`~repro.streams.service.StreamSession`)
+but *operationally* naive: the retry loop was a hard-coded bound with
+no backoff, no memory across incidents, and no escalation state. This
+module separates the two concerns:
+
+* :class:`RecoveryPolicy` — the *what*: how many restart attempts one
+  incident gets, how the delay between attempts grows (exponential
+  backoff with deterministic, seeded jitter — two services with the
+  same policy seed back off identically, which the chaos harness
+  relies on), and how many failures a single shard may accumulate over
+  the supervisor's lifetime before recovery escalates.
+* :class:`ShardSupervisor` — the *engine*: classifies errors through
+  the :class:`~repro.errors.RetryableError` mixin (type-driven — a
+  fatal error surfaces immediately, untouched), runs the attempt loop,
+  tracks per-shard failure budgets, and raises
+  :class:`~repro.errors.ShardUnrecoverableError` when a budget or the
+  attempt limit is exhausted. It also keeps the recovery ledger
+  (:meth:`ShardSupervisor.stats`) that the chaos benchmark publishes.
+
+Determinism: the jitter stream is ``random.Random(derive_seed(policy
+seed, supervisor name))``, consumed once per computed delay, so a
+fixed fault sequence produces a fixed delay sequence — recovery timing
+is as reproducible as the estimates themselves.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import asdict, dataclass, fields
+from typing import Callable
+
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    RetryableError,
+    ShardUnrecoverableError,
+)
+from repro.utils.rng import derive_seed
+
+__all__ = ["RecoveryPolicy", "ShardSupervisor", "DEFAULT_RECOVERY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How supervised recovery behaves (JSON round-trippable).
+
+    ``max_attempts`` bounds one *incident* — the consecutive restart
+    attempts triggered by a single surfaced failure (replay can expose
+    a second dead shard; that continues the same incident). The delay
+    before attempt *k* (k >= 1; the first attempt is immediate) is::
+
+        min(backoff_max, backoff_base * backoff_factor**(k-1)) * jitter
+
+    where ``jitter`` is a deterministic draw in ``[1-jitter_fraction,
+    1+jitter_fraction]`` from the policy-seeded stream.
+    ``failure_budget`` is per-shard and lifetime-scoped: a shard that
+    keeps dying across incidents eventually escalates even though each
+    individual incident recovered.
+    """
+
+    max_attempts: int = 5
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter_fraction: float = 0.1
+    failure_budget: int = 16
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0:
+            raise ConfigurationError("backoff_base must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if self.backoff_max < 0:
+            raise ConfigurationError("backoff_max must be >= 0")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError(
+                "jitter_fraction must be in [0, 1), got "
+                f"{self.jitter_fraction!r}"
+            )
+        if self.failure_budget < 1:
+            raise ConfigurationError(
+                f"failure_budget must be >= 1, got {self.failure_budget}"
+            )
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Seconds to wait before restart ``attempt`` (0 = immediate).
+
+        Consumes exactly one draw from ``rng`` per non-zero delay, so
+        the delay sequence is a pure function of (policy, seed, fault
+        sequence).
+        """
+        if attempt <= 0 or self.backoff_base == 0:
+            return 0.0
+        raw = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        raw = min(self.backoff_max, raw)
+        if self.jitter_fraction:
+            raw *= 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
+        return raw
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RecoveryPolicy":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown RecoveryPolicy keys: {unknown}; "
+                f"known: {sorted(known)}"
+            )
+        policy = cls(**payload)
+        policy.validate()
+        return policy
+
+    def build_supervisor(
+        self, num_shards: int, *, name: str = "", sleep=None
+    ) -> "ShardSupervisor":
+        """A fresh supervisor applying this policy to ``num_shards``."""
+        return ShardSupervisor(self, num_shards, name=name, sleep=sleep)
+
+
+#: The library default: a handful of quick attempts, sub-second
+#: backoff, a generous lifetime budget.
+DEFAULT_RECOVERY_POLICY = RecoveryPolicy()
+
+
+class ShardSupervisor:
+    """The recovery engine one session (or executor) runs its policy on.
+
+    Stateful where the policy is pure: per-shard lifetime failure
+    counts, the recovery ledger, and the seeded jitter stream all live
+    here. ``sleep`` is injectable so tests and the chaos harness run
+    backoff logic without wall-clock cost.
+    """
+
+    def __init__(
+        self,
+        policy: RecoveryPolicy,
+        num_shards: int,
+        *,
+        name: str = "",
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        policy.validate()
+        if num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        self.policy = policy
+        self.num_shards = num_shards
+        self.name = name
+        self._sleep = time.sleep if sleep is None else sleep
+        self._rng = random.Random(
+            derive_seed(policy.seed, f"supervisor-{name}")
+        )
+        #: Lifetime failure count per shard (index ``None`` failures,
+        #: e.g. a lost service peer, are tracked separately).
+        self.failures = [0] * num_shards
+        self._anonymous_failures = 0
+        #: Incidents that ended in a successful recovery.
+        self.recoveries = 0
+        #: The recovery ledger: one dict per failure observed.
+        self.log: list[dict] = []
+
+    # -- classification ------------------------------------------------------
+
+    @staticmethod
+    def is_retryable(exc: BaseException) -> bool:
+        """The whole classification: the RetryableError mixin."""
+        return isinstance(exc, RetryableError)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _shard_of(self, exc: BaseException) -> int | None:
+        index = getattr(exc, "shard_index", None)
+        if isinstance(index, int) and 0 <= index < self.num_shards:
+            return index
+        return None
+
+    def record_failure(self, exc: BaseException) -> None:
+        """Count one failure against its shard's lifetime budget.
+
+        Raises :class:`~repro.errors.ShardUnrecoverableError` the
+        moment a shard exceeds ``failure_budget`` — escalation is
+        immediate, not deferred to the end of the incident.
+        """
+        shard = self._shard_of(exc)
+        self.log.append(
+            {
+                "shard": shard,
+                "error": type(exc).__name__,
+                "retryable": self.is_retryable(exc),
+            }
+        )
+        if shard is None:
+            self._anonymous_failures += 1
+            return
+        self.failures[shard] += 1
+        if self.failures[shard] > self.policy.failure_budget:
+            raise ShardUnrecoverableError(
+                shard,
+                f"failure budget exhausted: {self.failures[shard]} "
+                f"failures > budget {self.policy.failure_budget} "
+                f"(last: {type(exc).__name__}: {exc})",
+                failures=self.failures[shard],
+            ) from exc
+
+    # -- the attempt loop ----------------------------------------------------
+
+    def recover(
+        self,
+        first: ReproError,
+        attempt: Callable[[ReproError], None],
+    ) -> None:
+        """Run one recovery incident to completion (or escalation).
+
+        ``attempt(error)`` performs one restart-and-replay round for
+        the failure it is handed; raising a retryable error continues
+        the incident against the *new* failure (replay discovering a
+        second dead shard is the normal cascade), raising anything else
+        is fatal and propagates. Backoff between attempts follows the
+        policy; attempt 0 is immediate.
+        """
+        error: ReproError = first
+        for round_index in range(self.policy.max_attempts):
+            if not self.is_retryable(error):
+                raise error
+            self.record_failure(error)
+            self._sleep(self.policy.delay(round_index, self._rng))
+            try:
+                attempt(error)
+            except ReproError as again:
+                error = again
+                continue
+            self.recoveries += 1
+            return
+        shard = self._shard_of(error)
+        raise ShardUnrecoverableError(
+            -1 if shard is None else shard,
+            f"recovery gave up after {self.policy.max_attempts} "
+            f"attempts (last: {type(error).__name__}: {error})",
+            failures=0 if shard is None else self.failures[shard],
+        ) from error
+
+    # -- retry of a plain callable ------------------------------------------
+
+    def run(self, fn: Callable[[], object], *, what: str = "operation"):
+        """Call ``fn`` with supervised retries; return its result.
+
+        The non-incident variant for idempotent bring-up work (leasing
+        a shard onto a host that may still be rebooting): retryable
+        failures back off and retry up to ``max_attempts``; fatal ones
+        propagate immediately.
+        """
+        last: BaseException | None = None
+        for round_index in range(self.policy.max_attempts):
+            if last is not None:
+                self.record_failure(last)
+                self._sleep(self.policy.delay(round_index, self._rng))
+            try:
+                return fn()
+            except ReproError as exc:
+                if not self.is_retryable(exc):
+                    raise
+                last = exc
+        shard = self._shard_of(last)
+        raise ShardUnrecoverableError(
+            -1 if shard is None else shard,
+            f"{what} failed after {self.policy.max_attempts} attempts "
+            f"(last: {type(last).__name__}: {last})",
+            failures=0 if shard is None else self.failures[shard],
+        ) from last
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The recovery ledger summary (what the chaos bench records)."""
+        return {
+            "recoveries": self.recoveries,
+            "failures": list(self.failures),
+            "anonymous_failures": self._anonymous_failures,
+            "incidents": len(self.log),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ShardSupervisor(name={self.name!r}, "
+            f"shards={self.num_shards}, recoveries={self.recoveries}, "
+            f"failures={sum(self.failures)})"
+        )

@@ -43,22 +43,43 @@ bounded inbox queue plays for the process backend. Ordering and the
 strict request/reply discipline are identical across transports, which
 is why serial == process == remote bit-identity holds.
 
+Liveness: a fourth frame kind, ``HEARTBEAT`` (empty payload), lets
+either end of a connection prove it is alive without application
+traffic. Senders that enable ``heartbeat_interval`` emit one per
+interval from a background thread (all writes to a shared socket are
+serialised by a send lock, so a heartbeat can never tear a mid-flight
+frame); receivers that enable an idle deadline treat *any* frame —
+heartbeats included — as liveness, and declare the peer lost when the
+window passes with silence. A declared-dead peer surfaces as the typed
+(retryable) :class:`~repro.errors.PeerLostError` instead of a hang or
+a late send failure.
+
 Trust model: control frames are **pickled** (and leases carry pickled
 weight functions), so a host agent must only ever listen on a network
 where every peer is trusted — the same trust the process backend
 places in its parent. This is a cluster-internal transport, not a
-public API surface.
+public API surface. Optional shared-key authentication
+(:class:`FrameAuth`) narrows that caveat: with ``--auth-key`` set on
+both ends, every frame carries an HMAC-SHA256 tag keyed by a
+per-connection session key (each HELLO contributes a fresh nonce), so
+an unkeyed peer cannot get a single pickled byte accepted. This
+authenticates peers; it does not encrypt traffic.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac as hmac_module
 import json
+import os
 import pickle
 import socket
 import struct
+import threading
+import time
 from abc import ABC, abstractmethod
 
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import ConfigurationError, PeerLostError, ProtocolError
 from repro.graph.stream import EventBlock
 
 __all__ = [
@@ -66,6 +87,7 @@ __all__ = [
     "ShardTransport",
     "TransportClosed",
     "TcpShardTransport",
+    "FrameAuth",
     "parse_address",
     "frame_bytes",
     "parse_frame_header",
@@ -75,6 +97,7 @@ __all__ = [
     "FRAME_HELLO",
     "FRAME_CONTROL",
     "FRAME_BLOCK",
+    "FRAME_HEARTBEAT",
 ]
 
 #: Version byte carried by every frame; bumped on any incompatible
@@ -88,7 +111,10 @@ _FRAME_HEADER = struct.Struct("<4sBBxxQ")
 FRAME_HELLO = 0
 FRAME_CONTROL = 1
 FRAME_BLOCK = 2
-_FRAME_KINDS = (FRAME_HELLO, FRAME_CONTROL, FRAME_BLOCK)
+#: Liveness proof; empty payload. Same header, so pre-heartbeat peers
+#: reject it loudly (unknown kind) rather than misparsing it.
+FRAME_HEARTBEAT = 3
+_FRAME_KINDS = (FRAME_HELLO, FRAME_CONTROL, FRAME_BLOCK, FRAME_HEARTBEAT)
 
 #: Upper bound on a declared payload length. Far above any real frame
 #: (event chunks are slot-ring sized, checkpoints are compact JSON);
@@ -185,6 +211,77 @@ def parse_address(address: str) -> tuple[str, int]:
     return host, port
 
 
+# -- frame authentication -----------------------------------------------------
+
+
+class FrameAuth:
+    """Shared-key HMAC-SHA256 signing of RSX1 frames.
+
+    Construction wraps the *static* shared key (the ``--auth-key``
+    value, both ends identical). Each side's HELLO carries a fresh
+    random nonce and is signed with the static key; after the
+    handshake, both sides derive the same per-connection **session
+    key** from the two nonces (:meth:`derived`) and sign every later
+    frame with it — so a captured frame cannot be replayed into a
+    different connection, and a peer without the key cannot produce a
+    single acceptable frame. The tag covers the frame kind byte as
+    well as the payload, so a signed CONTROL frame cannot be replayed
+    as a BLOCK.
+
+    This is peer *authentication*, not encryption: payloads still
+    travel in the clear, on what must remain a trusted network.
+    """
+
+    #: HMAC-SHA256 digest size appended to every signed payload.
+    TAG_BYTES = 32
+
+    def __init__(self, key: str | bytes) -> None:
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        if not key:
+            raise ConfigurationError("auth key must be non-empty")
+        self._key = key
+
+    @staticmethod
+    def new_nonce() -> str:
+        """A fresh per-connection challenge (hex, HELLO-safe)."""
+        return os.urandom(16).hex()
+
+    def derived(self, initiator_nonce: str, acceptor_nonce: str) -> "FrameAuth":
+        """The session-key variant bound to one connection's nonces.
+
+        Both ends call this with the nonces in the same role order
+        (connection initiator first), so they derive the same key.
+        """
+        material = f"{initiator_nonce}:{acceptor_nonce}".encode("utf-8")
+        session_key = hmac_module.new(
+            self._key, material, hashlib.sha256
+        ).digest()
+        return FrameAuth(session_key)
+
+    def sign(self, kind: int, payload: bytes) -> bytes:
+        """The tag to append to ``payload`` for a ``kind`` frame."""
+        return hmac_module.new(
+            self._key, bytes([kind]) + payload, hashlib.sha256
+        ).digest()
+
+    def verify(self, kind: int, signed_payload: bytes) -> bytes:
+        """Check and strip the tag; raises ProtocolError on any failure."""
+        if len(signed_payload) < self.TAG_BYTES:
+            raise ProtocolError(
+                "unauthenticated frame from peer (frame shorter than "
+                "an HMAC tag; is the peer running without --auth-key?)"
+            )
+        payload = signed_payload[: -self.TAG_BYTES]
+        tag = signed_payload[-self.TAG_BYTES:]
+        if not hmac_module.compare_digest(tag, self.sign(kind, payload)):
+            raise ProtocolError(
+                "frame HMAC verification failed: peer is unkeyed, "
+                "wrong-keyed, or the frame was tampered with"
+            )
+        return payload
+
+
 # -- frame plumbing -----------------------------------------------------------
 
 #: Size of the fixed frame header, for readers that buffer their own
@@ -192,8 +289,10 @@ def parse_address(address: str) -> tuple[str, int]:
 FRAME_HEADER_SIZE = _FRAME_HEADER.size
 
 
-def frame_bytes(kind: int, payload) -> bytes:
+def frame_bytes(kind: int, payload, auth: FrameAuth | None = None) -> bytes:
     """One wire frame (header + payload) as a single bytes object."""
+    if auth is not None:
+        payload = bytes(payload) + auth.sign(kind, payload)
     header = _FRAME_HEADER.pack(
         _FRAME_MAGIC, PROTOCOL_VERSION, kind, len(payload)
     )
@@ -226,15 +325,23 @@ def parse_frame_header(header_bytes: bytes) -> tuple[int, int]:
     return kind, length
 
 
-def write_frame(sock: socket.socket, kind: int, payload) -> None:
+def write_frame(
+    sock: socket.socket,
+    kind: int,
+    payload,
+    auth: FrameAuth | None = None,
+) -> None:
     """Send one framed payload (header + exact payload bytes).
 
     Header and payload go out as two ``sendall`` calls on purpose: a
     peer death between them surfaces on the payload send, so a failed
     frame is detected *during* the frame that lost it rather than one
     frame later — the remote executor's fault-injection tests pin that
-    timing.
+    timing. With ``auth``, the HMAC tag rides inside the payload (the
+    declared length covers it).
     """
+    if auth is not None:
+        payload = bytes(payload) + auth.sign(kind, payload)
     header = _FRAME_HEADER.pack(
         _FRAME_MAGIC, PROTOCOL_VERSION, kind, len(payload)
     )
@@ -243,12 +350,26 @@ def write_frame(sock: socket.socket, kind: int, payload) -> None:
         sock.sendall(payload)
 
 
-def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes:
+def _recv_exact(
+    sock: socket.socket,
+    n: int,
+    *,
+    at_boundary: bool,
+    deadline: float | None = None,
+) -> bytes:
     """Read exactly ``n`` bytes, tolerating timeout-based liveness polls.
 
     A clean EOF *between* frames (``at_boundary``) returns ``b""`` so
     the caller can treat it as a session end; EOF mid-frame is a
     truncation and raises :class:`~repro.errors.ProtocolError`.
+
+    ``deadline`` (a :func:`time.monotonic` timestamp) bounds the wait:
+    the socket must carry a finite timeout for the poll ticks to fire,
+    and a tick past the deadline raises :class:`TimeoutError` instead
+    of polling forever — the hook every idle-deadline and op-timeout
+    above this function hangs off. Payload bytes mid-frame count as
+    activity only in the sense that the deadline is the caller's to
+    refresh per frame.
     """
     chunks: list[bytes] = []
     got = 0
@@ -256,7 +377,12 @@ def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes:
         try:
             chunk = sock.recv(n - got)
         except TimeoutError:
-            # Liveness poll: nothing arrived this tick, keep waiting.
+            # Liveness poll: nothing arrived this tick.
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"no data from peer within the deadline ({got} of "
+                    f"{n} bytes read)"
+                ) from None
             continue
         if not chunk:
             if at_boundary and not chunks:
@@ -270,37 +396,67 @@ def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes:
     return b"".join(chunks)
 
 
-def read_frame(sock: socket.socket) -> tuple[int, bytes] | None:
+def read_frame(
+    sock: socket.socket,
+    *,
+    deadline: float | None = None,
+    auth: FrameAuth | None = None,
+) -> tuple[int, bytes] | None:
     """Read one frame; ``None`` on a clean close between frames.
 
     Validates the magic, the protocol version, the frame kind, and the
     declared length (the payload read is exact, so a peer that died
     mid-frame surfaces as a truncation) — any violation raises
-    :class:`~repro.errors.ProtocolError`.
+    :class:`~repro.errors.ProtocolError`. ``deadline`` bounds the whole
+    read (see :func:`_recv_exact`); ``auth`` verifies and strips the
+    frame's HMAC tag.
     """
-    header_bytes = _recv_exact(sock, _FRAME_HEADER.size, at_boundary=True)
+    header_bytes = _recv_exact(
+        sock, _FRAME_HEADER.size, at_boundary=True, deadline=deadline
+    )
     if not header_bytes:
         return None
     kind, length = parse_frame_header(header_bytes)
-    payload = _recv_exact(sock, length, at_boundary=False) if length else b""
+    payload = (
+        _recv_exact(sock, length, at_boundary=False, deadline=deadline)
+        if length
+        else b""
+    )
+    if auth is not None:
+        payload = auth.verify(kind, payload)
     return kind, payload
 
 
-def hello_payload(role: str) -> bytes:
-    """The JSON handshake payload (version is also in every header)."""
-    return json.dumps(
-        {"protocol": PROTOCOL_VERSION, "role": role}
-    ).encode("utf-8")
+def hello_payload(role: str, *, nonce: str | None = None) -> bytes:
+    """The JSON handshake payload (version is also in every header).
+
+    ``nonce`` is the sender's per-connection challenge when frame
+    authentication is on; both nonces feed the session key
+    (:meth:`FrameAuth.derived`).
+    """
+    meta: dict = {"protocol": PROTOCOL_VERSION, "role": role}
+    if nonce is not None:
+        meta["nonce"] = nonce
+    return json.dumps(meta).encode("utf-8")
 
 
-def expect_hello(sock: socket.socket, *, peer: str) -> dict:
+def expect_hello(
+    sock: socket.socket,
+    *,
+    peer: str,
+    deadline: float | None = None,
+    auth: FrameAuth | None = None,
+) -> dict:
     """Read the peer's HELLO frame; reject anything else.
 
     The frame header already carries (and :func:`read_frame` already
     checks) the version byte, so a cross-version peer is rejected here
-    — at handshake — before any pickled payload is touched.
+    — at handshake — before any pickled payload is touched. With
+    ``auth`` (the *static* key: session keys do not exist before both
+    nonces are known), an unsigned or wrong-keyed HELLO is rejected,
+    and the peer's HELLO must carry a nonce.
     """
-    frame = read_frame(sock)
+    frame = read_frame(sock, deadline=deadline, auth=auth)
     if frame is None:
         raise ProtocolError(f"{peer} closed the connection before HELLO")
     kind, payload = frame
@@ -316,6 +472,11 @@ def expect_hello(sock: socket.socket, *, peer: str) -> dict:
         raise ProtocolError(
             f"{peer} speaks protocol {meta.get('protocol')!r}, this "
             f"build speaks {PROTOCOL_VERSION}"
+        )
+    if auth is not None and not meta.get("nonce"):
+        raise ProtocolError(
+            f"{peer} sent a HELLO without a nonce; frame authentication "
+            "requires one from both ends"
         )
     return meta
 
@@ -363,6 +524,16 @@ class TcpShardTransport(ShardTransport):
         poll_seconds: receive-side liveness poll granularity.
         connect_timeout: seconds allowed for connect + handshake +
             lease acceptance.
+        heartbeat_interval: seconds between HEARTBEAT frames sent to
+            the host from a background thread (``None`` disables).
+            A failed heartbeat send marks the peer lost, so a dead or
+            partitioned host surfaces within roughly one interval as
+            :class:`~repro.errors.PeerLostError` — the retryable
+            signal the supervisor re-leases on — instead of on the
+            next application send.
+        auth_key: shared secret enabling per-frame HMAC signing (must
+            match the host agent's ``--auth-key``); ``None`` runs the
+            legacy unauthenticated protocol.
     """
 
     def __init__(
@@ -373,6 +544,8 @@ class TcpShardTransport(ShardTransport):
         address: str,
         poll_seconds: float = 0.2,
         connect_timeout: float = 10.0,
+        heartbeat_interval: float | None = None,
+        auth_key: str | None = None,
     ) -> None:
         from repro.samplers.checkpoint import state_to_wire
 
@@ -381,20 +554,50 @@ class TcpShardTransport(ShardTransport):
         self._poll_seconds = poll_seconds
         self._closed = False
         self._sock: socket.socket | None = None
+        self._auth: FrameAuth | None = None
+        self._send_lock = threading.Lock()
+        self._peer_lost: str | None = None
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat_thread: threading.Thread | None = None
         host, port = parse_address(address)
         try:
             sock = socket.create_connection(
                 (host, port), timeout=connect_timeout
             )
         except OSError as exc:
-            raise TransportClosed(
-                f"cannot connect to shard host {address}: {exc}"
+            raise PeerLostError(
+                f"cannot connect to shard host {address}: {exc}",
+                shard_index=shard_index,
             ) from exc
         self._sock = sock
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            write_frame(sock, FRAME_HELLO, hello_payload("coordinator"))
-            expect_hello(sock, peer=f"shard host {address}")
+            handshake_deadline = time.monotonic() + connect_timeout
+            sock.settimeout(min(poll_seconds, connect_timeout))
+            if auth_key is None:
+                write_frame(sock, FRAME_HELLO, hello_payload("coordinator"))
+                expect_hello(
+                    sock,
+                    peer=f"shard host {address}",
+                    deadline=handshake_deadline,
+                )
+            else:
+                static = FrameAuth(auth_key)
+                nonce = FrameAuth.new_nonce()
+                write_frame(
+                    sock,
+                    FRAME_HELLO,
+                    hello_payload("coordinator", nonce=nonce),
+                    static,
+                )
+                meta = expect_hello(
+                    sock,
+                    peer=f"shard host {address}",
+                    deadline=handshake_deadline,
+                    auth=static,
+                )
+                self._auth = static.derived(nonce, meta["nonce"])
             self.send(
                 ("lease", shard_index, state_to_wire(state), weight_blob)
             )
@@ -407,27 +610,86 @@ class TcpShardTransport(ShardTransport):
                     f"{reply[:2]!r}"
                 )
             sock.settimeout(None)
+        except TimeoutError as exc:
+            self._closed = True
+            sock.close()
+            raise PeerLostError(
+                f"shard host {address} did not complete the handshake "
+                f"within {connect_timeout}s: {exc}",
+                shard_index=shard_index,
+            ) from None
         except BaseException:
             self._closed = True
             sock.close()
             raise
+        if heartbeat_interval is not None:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"repro-shard-{shard_index}-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
+
+    # -- liveness -----------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        """Prove liveness each interval; declare the peer lost on failure.
+
+        The send lock serialises heartbeats against application frames,
+        so a heartbeat can never land inside a half-written BLOCK. A
+        failed send closes the socket too, which wakes any reader
+        blocked in :meth:`recv` within one poll tick.
+        """
+        while not self._heartbeat_stop.wait(self._heartbeat_interval):
+            if self._closed:
+                return
+            try:
+                with self._send_lock:
+                    sock = self._sock
+                    if sock is None:
+                        return
+                    sock.settimeout(self._heartbeat_interval)
+                    write_frame(sock, FRAME_HEARTBEAT, b"", self._auth)
+            except TimeoutError:
+                # Kernel send buffer full: application backpressure is
+                # in charge, not a dead peer — skip this beat.
+                continue
+            except (OSError, AttributeError):
+                self._peer_lost = (
+                    f"shard host {self.address} stopped accepting "
+                    "heartbeats"
+                )
+                self._shutdown()
+                return
+
+    def _raise_if_lost(self) -> None:
+        if self._peer_lost is not None:
+            raise PeerLostError(
+                self._peer_lost, shard_index=self.shard_index
+            )
 
     # -- protocol ----------------------------------------------------------
 
     def send(self, message: tuple) -> None:
+        self._raise_if_lost()
         if self._closed:
             raise TransportClosed()
         sock = self._sock
         try:
-            sock.settimeout(None)  # sends block on backpressure
-            if message[0] == "block":
-                write_frame(sock, FRAME_BLOCK, message[1])
-            else:
-                write_frame(
-                    sock, FRAME_CONTROL,
-                    pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL),
-                )
+            with self._send_lock:
+                sock.settimeout(None)  # sends block on backpressure
+                if message[0] == "block":
+                    write_frame(sock, FRAME_BLOCK, message[1], self._auth)
+                else:
+                    write_frame(
+                        sock, FRAME_CONTROL,
+                        pickle.dumps(
+                            message, protocol=pickle.HIGHEST_PROTOCOL
+                        ),
+                        self._auth,
+                    )
         except OSError:
+            self._raise_if_lost()
             # The host may have shipped an error report before dying;
             # salvage it so the caller learns the real traceback.
             failure = self._drain_error()
@@ -438,23 +700,29 @@ class TcpShardTransport(ShardTransport):
         self.send(("block", block.to_bytes()))
 
     def recv(self) -> tuple:
+        self._raise_if_lost()
         if self._closed:
             raise TransportClosed()
         sock = self._sock
         sock.settimeout(self._poll_seconds)
-        try:
-            frame = read_frame(sock)
-        except (ProtocolError, OSError) as exc:
-            self._shutdown()
-            raise TransportClosed(
-                f"connection to shard host {self.address} broke: {exc}"
-            ) from None
-        if frame is None:
-            self._shutdown()
-            raise TransportClosed(
-                f"shard host {self.address} closed the connection"
-            )
-        return self._decode_control(frame)
+        while True:
+            try:
+                frame = read_frame(sock, auth=self._auth)
+            except (ProtocolError, OSError) as exc:
+                self._raise_if_lost()
+                self._shutdown()
+                raise TransportClosed(
+                    f"connection to shard host {self.address} broke: {exc}"
+                ) from None
+            if frame is None:
+                self._raise_if_lost()
+                self._shutdown()
+                raise TransportClosed(
+                    f"shard host {self.address} closed the connection"
+                )
+            if frame[0] == FRAME_HEARTBEAT:
+                continue  # the host's liveness echo; not a reply
+            return self._decode_control(frame)
 
     def _decode_control(self, frame: tuple[int, bytes]) -> tuple:
         from repro.samplers.checkpoint import state_from_wire
@@ -494,7 +762,11 @@ class TcpShardTransport(ShardTransport):
         try:
             sock.settimeout(1.0)
             while True:
-                frame = read_frame(sock)
+                frame = read_frame(
+                    sock,
+                    deadline=time.monotonic() + 1.0,
+                    auth=self._auth,
+                )
                 if frame is None:
                     return None
                 kind, payload = frame
@@ -513,6 +785,7 @@ class TcpShardTransport(ShardTransport):
 
     def _shutdown(self) -> None:
         self._closed = True
+        self._heartbeat_stop.set()
         sock, self._sock = self._sock, None
         if sock is not None:
             try:

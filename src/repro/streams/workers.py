@@ -376,6 +376,8 @@ class ProcessShardTransport(ShardTransport):
                 return self._outbox.get_nowait()
             except queue.Empty:
                 time.sleep(0.02)
+            except ValueError:  # queues already closed by kill()
+                return None
         return None
 
     # -- protocol ----------------------------------------------------------
@@ -385,6 +387,10 @@ class ProcessShardTransport(ShardTransport):
             try:
                 self._inbox.put(message, timeout=self._poll_seconds)
                 return
+            except ValueError:
+                # kill() closed the queues: the same death signal a
+                # dead process produces, at whatever send comes next.
+                raise TransportClosed() from None
             except queue.Full:
                 # The only out-of-band traffic a blocked inbox can
                 # coincide with is a failure report (batches produce no
@@ -445,6 +451,8 @@ class ProcessShardTransport(ShardTransport):
         while True:
             try:
                 return self._outbox.get(timeout=self._poll_seconds)
+            except ValueError:
+                raise TransportClosed() from None
             except queue.Empty:
                 if not self.process.is_alive():
                     reply = self._drain_after_death()
@@ -546,6 +554,12 @@ class ShardWorker:
         slot_poll_seconds: liveness-poll granularity for shm slot
             waits; ``None`` uses the module default.
         stop_timeout: default timeout for :meth:`stop`.
+        heartbeat_interval: seconds between liveness heartbeats on a
+            remote transport; ``None`` (default) disables them.
+            Ignored for local process workers (the process handle *is*
+            the liveness signal).
+        auth_key: shared secret for HMAC frame signing on a remote
+            transport; ``None`` (default) leaves frames unsigned.
     """
 
     def __init__(
@@ -561,6 +575,8 @@ class ShardWorker:
         poll_seconds: float | None = None,
         slot_poll_seconds: float | None = None,
         stop_timeout: float = 10.0,
+        heartbeat_interval: float | None = None,
+        auth_key: str | None = None,
     ) -> None:
         if queue_depth < 1:
             raise ConfigurationError(
@@ -596,6 +612,8 @@ class ShardWorker:
                 self.transport: ShardTransport = TcpShardTransport(
                     shard_index, state, weight_blob, host,
                     poll_seconds=poll_seconds,
+                    heartbeat_interval=heartbeat_interval,
+                    auth_key=auth_key,
                 )
             else:
                 if mp_context is None or isinstance(mp_context, str):
@@ -611,6 +629,14 @@ class ShardWorker:
         except TransportClosed as exc:
             self._failure = exc.failure or "worker failed to start"
             raise self._crash() from None
+        # The fault-injection seam: an installed FaultPlan wraps every
+        # new replica's transport so scheduled faults fire at exact
+        # send indices (chaos tests only; None check is the whole cost).
+        from repro.streams import faults as _faults
+
+        plan = _faults.active_plan()
+        if plan is not None:
+            self.transport = plan.wrap(self.transport)
 
     # -- back-compat surface ------------------------------------------------
     # Pre-refactor callers (and tests) reached the process handle and

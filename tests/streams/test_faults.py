@@ -1,0 +1,202 @@
+"""Unit tests for the deterministic fault-injection harness.
+
+Everything here runs against a fake in-memory transport — the point is
+the *scheduling* contract: faults fire at exact send indices, exactly
+once, with payload-mangling kinds deferring to block-shaped sends, and
+the whole schedule reproducible from a seed.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.stream import EdgeEvent, EventBlock
+from repro.streams import faults as faults_module
+from repro.streams.faults import Fault, FaultPlan, FaultyTransport, active_plan
+from repro.streams.transport import TransportClosed
+
+
+class FakeTransport:
+    """Records sends; kill() flips a flag like a real teardown."""
+
+    def __init__(self, shard_index=0):
+        self.shard_index = shard_index
+        self.sent = []
+        self.killed = False
+        self.process = object()  # back-compat attribute reached via __getattr__
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def send_block(self, block):
+        self.sent.append(("block", block.to_bytes()))
+
+    def recv(self):
+        return ("ok", None)
+
+    def is_alive(self):
+        return not self.killed
+
+    def kill(self):
+        self.killed = True
+
+    def release(self):
+        pass
+
+    def join(self, timeout):
+        pass
+
+
+def block_of(*pairs):
+    return EventBlock.from_events(
+        [EdgeEvent.insertion(u, v) for u, v in pairs]
+    )
+
+
+class TestFaultValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "kill"},  # missing at_send
+            {"kind": "drop", "at_send": -1},
+            {"kind": "kill_worker", "at_event": 5},  # missing shard
+            {"kind": "kill_worker", "shard": 0},  # missing at_event
+            {"kind": "partition_host", "at_event": 5},  # missing host
+            {"kind": "meteor", "at_send": 0},  # unknown kind
+            {"kind": "delay", "at_send": 0, "seconds": -1.0},
+        ],
+    )
+    def test_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Fault(**kwargs).validate()
+
+    def test_plan_validates_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan([Fault("kill")])
+
+
+class TestScheduling:
+    def test_random_plans_are_seed_deterministic(self):
+        a = FaultPlan.random(7, num_shards=3)
+        b = FaultPlan.random(7, num_shards=3)
+        c = FaultPlan.random(8, num_shards=3)
+        assert a.faults == b.faults
+        assert a.faults != c.faults
+        for fault in a.faults:
+            fault.validate()
+
+    def test_send_counts_are_per_shard_and_persist(self):
+        plan = FaultPlan([])
+        assert [plan.next_send(0) for _ in range(3)] == [0, 1, 2]
+        assert plan.next_send(1) == 0  # other shard has its own clock
+        assert plan.next_send(0) == 3  # survives across "restarts"
+
+    def test_fault_fires_once_at_threshold(self):
+        plan = FaultPlan([Fault("kill", shard=1, at_send=2)])
+        assert plan.take_transport_fault(1, 0, is_block=True) is None
+        assert plan.take_transport_fault(0, 5, is_block=True) is None  # wrong shard
+        fault = plan.take_transport_fault(1, 2, is_block=True)
+        assert fault is not None and fault.kind == "kill"
+        assert plan.take_transport_fault(1, 3, is_block=True) is None  # one-shot
+        assert plan.fired == [{"kind": "kill", "shard": 1, "at_send": 2}]
+        assert plan.outstanding() == []
+
+    def test_mangling_kinds_defer_to_block_sends(self):
+        plan = FaultPlan([Fault("corrupt", shard=0, at_send=0)])
+        assert plan.take_transport_fault(0, 0, is_block=False) is None
+        fault = plan.take_transport_fault(0, 1, is_block=True)
+        assert fault is not None and fault.kind == "corrupt"
+
+    def test_any_shard_fault(self):
+        plan = FaultPlan([Fault("drop", at_send=1)])
+        assert plan.take_transport_fault(2, 1, is_block=False).kind == "drop"
+
+    def test_outstanding_reports_unfired(self):
+        plan = FaultPlan([Fault("kill", shard=0, at_send=10**9)])
+        assert len(plan.outstanding()) == 1
+
+
+class TestInstallHook:
+    def test_context_manager_installs_and_uninstalls(self):
+        plan = FaultPlan([])
+        assert active_plan() is None
+        with plan:
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_plans_do_not_nest(self):
+        with FaultPlan([]):
+            with pytest.raises(ConfigurationError, match="nest"):
+                faults_module.install(FaultPlan([]))
+        assert active_plan() is None
+
+    def test_uninstall_ignores_foreign_plan(self):
+        plan = FaultPlan([])
+        with plan:
+            faults_module.uninstall(FaultPlan([]))
+            assert active_plan() is plan
+
+
+class TestFaultyTransport:
+    def test_kill_tears_down_inner_and_raises(self):
+        inner = FakeTransport(shard_index=1)
+        wrapped = FaultyTransport(inner, FaultPlan([Fault("kill", at_send=0)]))
+        with pytest.raises(TransportClosed, match="fault injection"):
+            wrapped.send_block(block_of((1, 2)))
+        assert inner.killed
+        assert inner.sent == []
+
+    def test_drop_behaves_like_kill_at_the_seam(self):
+        inner = FakeTransport()
+        wrapped = FaultyTransport(inner, FaultPlan([Fault("drop", at_send=0)]))
+        with pytest.raises(TransportClosed):
+            wrapped.send(("control", "estimate"))
+        assert inner.killed
+
+    def test_corrupt_flips_the_wire_magic(self):
+        inner = FakeTransport()
+        plan = FaultPlan([Fault("corrupt", at_send=0)])
+        wrapped = FaultyTransport(inner, plan)
+        block = block_of((1, 2), (2, 3))
+        wrapped.send_block(block)
+        kind, payload = inner.sent[0]
+        clean = block.to_bytes()
+        assert kind == "block"
+        assert payload[0] == clean[0] ^ 0xFF
+        assert payload[1:] == clean[1:]
+
+    def test_truncate_halves_the_payload(self):
+        inner = FakeTransport()
+        wrapped = FaultyTransport(
+            inner, FaultPlan([Fault("truncate", at_send=0)])
+        )
+        block = block_of((1, 2), (2, 3))
+        wrapped.send_block(block)
+        _, payload = inner.sent[0]
+        assert len(payload) == max(1, len(block.to_bytes()) // 2)
+
+    def test_control_sends_pass_mangling_kinds_through(self):
+        inner = FakeTransport()
+        plan = FaultPlan([Fault("truncate", at_send=0)])
+        wrapped = FaultyTransport(inner, plan)
+        wrapped.send(("control", "estimate"))
+        assert inner.sent == [("control", "estimate")]  # deferred, untouched
+        assert plan.outstanding()  # still armed for the next block
+
+    def test_clean_sends_flow_through(self):
+        inner = FakeTransport()
+        wrapped = FaultyTransport(inner, FaultPlan([]))
+        block = block_of((4, 5))
+        wrapped.send_block(block)
+        wrapped.send(("control", "estimate"))
+        assert inner.sent == [
+            ("block", block.to_bytes()),
+            ("control", "estimate"),
+        ]
+        assert wrapped.recv() == ("ok", None)
+        assert wrapped.is_alive()
+
+    def test_delegates_back_compat_attributes(self):
+        inner = FakeTransport()
+        wrapped = FaultyTransport(inner, FaultPlan([]))
+        assert wrapped.process is inner.process
+        assert wrapped.shard_index == inner.shard_index

@@ -1,0 +1,251 @@
+"""Unit tests for supervised shard recovery (policy + engine).
+
+The contracts under test: error classification is type-driven through
+the RetryableError mixin, backoff delays are a pure deterministic
+function of (policy, seed, fault sequence), the per-shard failure
+budget escalates at an exact point, and escalation is always the typed
+ShardUnrecoverableError — never a bare give-up.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    OperationTimeoutError,
+    PeerLostError,
+    ServiceError,
+    ServiceOverloadedError,
+    ShardUnrecoverableError,
+    WorkerCrashError,
+)
+from repro.streams.supervisor import (
+    DEFAULT_RECOVERY_POLICY,
+    RecoveryPolicy,
+    ShardSupervisor,
+)
+
+
+class TestRecoveryPolicy:
+    def test_defaults_validate(self):
+        DEFAULT_RECOVERY_POLICY.validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("max_attempts", 0),
+            ("backoff_base", -0.1),
+            ("backoff_factor", 0.5),
+            ("backoff_max", -1.0),
+            ("jitter_fraction", 1.0),
+            ("jitter_fraction", -0.1),
+            ("failure_budget", 0),
+        ],
+    )
+    def test_bad_knobs_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(**{field: value}).validate()
+
+    def test_attempt_zero_is_immediate(self):
+        policy = RecoveryPolicy()
+        assert policy.delay(0, random.Random(0)) == 0.0
+
+    def test_backoff_grows_and_caps(self):
+        policy = RecoveryPolicy(
+            backoff_base=0.1,
+            backoff_factor=2.0,
+            backoff_max=0.5,
+            jitter_fraction=0.0,
+        )
+        rng = random.Random(0)
+        delays = [policy.delay(k, rng) for k in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RecoveryPolicy(
+            backoff_base=1.0, backoff_max=1.0, jitter_fraction=0.1
+        )
+        a = [policy.delay(1, random.Random(42)) for _ in range(1)]
+        b = [policy.delay(1, random.Random(42)) for _ in range(1)]
+        assert a == b
+        for _ in range(50):
+            delay = policy.delay(1, random.Random(random.random()))
+            assert 0.9 <= delay <= 1.1
+
+    def test_dict_roundtrip(self):
+        policy = RecoveryPolicy(max_attempts=3, failure_budget=4, seed=9)
+        assert RecoveryPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            RecoveryPolicy.from_dict({"max_attempts": 2, "retries": 7})
+
+
+def make_supervisor(policy=None, shards=3, name="t"):
+    """A supervisor whose sleeps are recorded, not slept."""
+    slept: list[float] = []
+    policy = policy or RecoveryPolicy(backoff_base=0.01, jitter_fraction=0.0)
+    supervisor = policy.build_supervisor(shards, name=name, sleep=slept.append)
+    return supervisor, slept
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            WorkerCrashError(1, "died"),
+            PeerLostError("gone"),
+            OperationTimeoutError("hung"),
+            ServiceOverloadedError("full"),
+        ],
+    )
+    def test_retryable(self, exc):
+        assert ShardSupervisor.is_retryable(exc)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ServiceError("logic"),
+            ConfigurationError("bad"),
+            ShardUnrecoverableError(0, "done"),
+            ValueError("unrelated"),
+        ],
+    )
+    def test_not_retryable(self, exc):
+        assert not ShardSupervisor.is_retryable(exc)
+
+
+class TestFailureBudget:
+    def test_escalates_past_the_budget(self):
+        policy = RecoveryPolicy(failure_budget=2, backoff_base=0.0)
+        supervisor, _ = make_supervisor(policy)
+        supervisor.record_failure(WorkerCrashError(1, "x"))
+        supervisor.record_failure(WorkerCrashError(1, "x"))
+        with pytest.raises(ShardUnrecoverableError) as excinfo:
+            supervisor.record_failure(WorkerCrashError(1, "x"))
+        assert excinfo.value.shard_index == 1
+        assert excinfo.value.failures == 3
+        # The other shards' budgets are untouched.
+        supervisor.record_failure(WorkerCrashError(0, "y"))
+
+    def test_anonymous_failures_never_escalate_a_shard(self):
+        policy = RecoveryPolicy(failure_budget=1)
+        supervisor, _ = make_supervisor(policy)
+        for _ in range(5):
+            supervisor.record_failure(PeerLostError("no shard"))
+        assert supervisor.stats()["anonymous_failures"] == 5
+        assert supervisor.stats()["failures"] == [0, 0, 0]
+
+
+class TestRecover:
+    def test_single_attempt_recovery(self):
+        supervisor, slept = make_supervisor()
+        calls = []
+        supervisor.recover(WorkerCrashError(2, "boom"), calls.append)
+        assert len(calls) == 1
+        assert calls[0].shard_index == 2
+        assert supervisor.recoveries == 1
+        assert slept == [0.0]  # attempt 0 is immediate
+
+    def test_cascade_continues_the_incident(self):
+        supervisor, slept = make_supervisor()
+        seen = []
+
+        def attempt(error):
+            seen.append(error.shard_index)
+            if len(seen) < 3:  # replay discovers another dead shard
+                raise WorkerCrashError(len(seen), "cascade")
+
+        supervisor.recover(WorkerCrashError(0, "first"), attempt)
+        assert seen == [0, 1, 2]
+        assert supervisor.recoveries == 1  # one incident, one recovery
+        assert len(slept) == 3 and slept[1] > 0.0
+
+    def test_non_retryable_error_propagates_untouched(self):
+        supervisor, _ = make_supervisor()
+        fatal = ServiceError("replay did not converge")
+        with pytest.raises(ServiceError) as excinfo:
+            supervisor.recover(fatal, lambda e: None)
+        assert excinfo.value is fatal
+
+    def test_attempt_limit_escalates(self):
+        policy = RecoveryPolicy(
+            max_attempts=3, backoff_base=0.0, failure_budget=100
+        )
+        supervisor, _ = make_supervisor(policy)
+
+        def attempt(error):
+            raise WorkerCrashError(1, "still dead")
+
+        with pytest.raises(ShardUnrecoverableError) as excinfo:
+            supervisor.recover(WorkerCrashError(1, "boom"), attempt)
+        assert excinfo.value.shard_index == 1
+        assert "3 attempts" in str(excinfo.value)
+
+    def test_delay_sequence_is_deterministic(self):
+        policy = RecoveryPolicy(
+            max_attempts=4, backoff_base=0.01, failure_budget=100, seed=5
+        )
+
+        def burn(supervisor, slept):
+            def attempt(error):
+                raise WorkerCrashError(0, "dead")
+
+            with pytest.raises(ShardUnrecoverableError):
+                supervisor.recover(WorkerCrashError(0, "x"), attempt)
+            return list(slept)
+
+        first = burn(*make_supervisor(policy, name="same"))
+        second = burn(*make_supervisor(policy, name="same"))
+        other = burn(*make_supervisor(policy, name="different"))
+        assert first == second
+        assert first != other  # the name salts the jitter stream
+
+
+class TestRun:
+    def test_retries_until_success(self):
+        supervisor, slept = make_supervisor()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise PeerLostError("rebooting")
+            return "up"
+
+        assert supervisor.run(flaky, what="leasing") == "up"
+        assert len(attempts) == 3
+        assert len(slept) == 2
+
+    def test_fatal_errors_do_not_retry(self):
+        supervisor, _ = make_supervisor()
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise ConfigurationError("never valid")
+
+        with pytest.raises(ConfigurationError):
+            supervisor.run(broken)
+        assert len(attempts) == 1
+
+    def test_exhaustion_escalates_with_context(self):
+        policy = RecoveryPolicy(
+            max_attempts=2, backoff_base=0.0, failure_budget=100
+        )
+        supervisor, _ = make_supervisor(policy)
+
+        def dead():
+            raise WorkerCrashError(2, "host down")
+
+        with pytest.raises(ShardUnrecoverableError, match="leasing"):
+            supervisor.run(dead, what="leasing")
+
+    def test_stats_ledger(self):
+        supervisor, _ = make_supervisor()
+        supervisor.recover(WorkerCrashError(1, "x"), lambda e: None)
+        stats = supervisor.stats()
+        assert stats["recoveries"] == 1
+        assert stats["failures"] == [0, 1, 0]
+        assert stats["incidents"] == 1
