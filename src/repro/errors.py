@@ -177,6 +177,22 @@ class ServiceOverloadedError(ServiceError, RetryableError):
         self.retry_after = retry_after
 
 
+class CorruptStateWarning(UserWarning):
+    """Warned when persisted state fails validation and is quarantined.
+
+    The durability layer validates everything it reads back — CRC-framed
+    WAL segments, checkpoint shard files, generation manifests. A file
+    that fails (truncated, bit-flipped, zero-length, wrong format) is
+    renamed into the state directory's ``quarantine/`` folder and this
+    warning names it; restore then falls back to the newest generation
+    that validates in full. A warning rather than an error because the
+    whole point of retaining the previous generation is that the
+    service *survives* the corruption — but silently would hide that
+    data loss (the events between the surviving generation and the
+    corrupt one) may have occurred.
+    """
+
+
 class ConfigurationError(ReproError):
     """Raised for invalid user-supplied configuration values."""
 

@@ -133,6 +133,9 @@ class ExecutorOptions:
     heartbeat_interval: float | None = None
     heartbeat_timeout: float | None = None
     auth_key: str | None = None
+    #: Per-frame payload cap for remote transports, enforced before
+    #: allocation; ``None`` uses the transport default (64 MiB).
+    max_frame_bytes: int | None = None
 
     def validate(self) -> None:
         """Reject invalid combinations (same rules as the executor)."""
@@ -175,6 +178,13 @@ class ExecutorOptions:
                 raise ConfigurationError(
                     f"{knob} must be > 0, got {value!r}"
                 )
+        if self.max_frame_bytes is not None and self.max_frame_bytes < 4096:
+            # Below a few KiB not even a handshake fits; reject the
+            # footgun rather than hand out an unconnectable executor.
+            raise ConfigurationError(
+                f"max_frame_bytes must be >= 4096, got "
+                f"{self.max_frame_bytes!r}"
+            )
         if self.recovery_policy is not None:
             self.recovery_policy.validate()
 
@@ -203,6 +213,7 @@ class ExecutorOptions:
                 "stop_timeout",
                 "heartbeat_interval",
                 "heartbeat_timeout",
+                "max_frame_bytes",
             )
             if name in payload
         }
@@ -439,6 +450,7 @@ class ShardedStreamExecutor:
         heartbeat_interval: float | None = None,
         heartbeat_timeout: float | None = None,
         auth_key: str | None = None,
+        max_frame_bytes: int | None = None,
     ) -> None:
         if options is not None:
             overridden = [
@@ -457,6 +469,7 @@ class ShardedStreamExecutor:
                     ("heartbeat_interval", heartbeat_interval, None),
                     ("heartbeat_timeout", heartbeat_timeout, None),
                     ("auth_key", auth_key, None),
+                    ("max_frame_bytes", max_frame_bytes, None),
                 )
                 if value != default
             ]
@@ -480,6 +493,7 @@ class ShardedStreamExecutor:
             heartbeat_interval = options.heartbeat_interval
             heartbeat_timeout = options.heartbeat_timeout
             auth_key = options.auth_key
+            max_frame_bytes = options.max_frame_bytes
         if num_shards < 1:
             raise ConfigurationError(
                 f"num_shards must be >= 1, got {num_shards}"
@@ -528,6 +542,10 @@ class ShardedStreamExecutor:
                 raise ConfigurationError(
                     f"{knob} must be > 0, got {value!r}"
                 )
+        if max_frame_bytes is not None and max_frame_bytes < 4096:
+            raise ConfigurationError(
+                f"max_frame_bytes must be >= 4096, got {max_frame_bytes!r}"
+            )
         self.num_shards = num_shards
         self.mode = mode
         self.shard_key = shard_key
@@ -549,6 +567,7 @@ class ShardedStreamExecutor:
             heartbeat_interval=heartbeat_interval,
             heartbeat_timeout=heartbeat_timeout,
             auth_key=auth_key,
+            max_frame_bytes=max_frame_bytes,
         )
         if recovery_policy is not None:
             recovery_policy.validate()
@@ -558,6 +577,7 @@ class ShardedStreamExecutor:
         self._heartbeat_interval = heartbeat_interval
         self._heartbeat_timeout = heartbeat_timeout
         self._auth_key = auth_key
+        self._max_frame_bytes = max_frame_bytes
         self._mp_context = mp_context
         self._chunk_size = chunk_size
         self._queue_depth = queue_depth
@@ -654,6 +674,7 @@ class ShardedStreamExecutor:
             ),
             heartbeat_interval=self._heartbeat_interval,
             auth_key=self._auth_key,
+            max_frame_bytes=self._max_frame_bytes,
         )
 
     # -- ingestion ----------------------------------------------------------

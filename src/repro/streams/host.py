@@ -5,13 +5,14 @@ HOST:PORT``) turns that machine into capacity for a
 :class:`~repro.streams.executor.ShardedStreamExecutor` running with
 ``executor_backend="remote"``. The coordinator connects once per shard
 it places here, and each connection is one **lease**: a handshake, the
-shard's framed checkpoint state plus pickled weight function, then the
-ordinary worker protocol (event blocks, ``sync``/``snapshot``/``stop``)
-until the session ends. Replicas are restored with
-:func:`~repro.samplers.checkpoint.restore_sampler` and driven through
-the same :func:`~repro.streams.workers.handle_shard_message` dispatch
-as local worker processes — the replica cannot tell which tier it runs
-in, which is what keeps remote results bit-identical to serial ones.
+shard's framed checkpoint state plus a *named* weight-spec registry
+entry, then the ordinary worker protocol (event blocks,
+``sync``/``snapshot``/``stop``) until the session ends. Replicas are
+restored with :func:`~repro.samplers.checkpoint.restore_sampler` and
+driven through the same
+:func:`~repro.streams.workers.handle_shard_message` dispatch as local
+worker processes — the replica cannot tell which tier it runs in,
+which is what keeps remote results bit-identical to serial ones.
 
 Each lease runs in its own thread, so one agent hosts any number of
 shards (subject to Python's GIL — on a many-core host, run several
@@ -22,14 +23,17 @@ elsewhere from the retained snapshot). Failures inside the replica are
 reported as ``("error", ...)`` frames with the formatted traceback,
 exactly like a worker process reports through its outbox.
 
-Security: leases carry **pickled** payloads (the weight function,
-control tuples). Only run an agent on a network where every peer that
-can reach the port is trusted — this is cluster-internal plumbing, the
-same trust a worker process places in its parent. ``--auth-key``
-narrows that trust: with a shared key, every frame (starting with the
-HELLO) carries an HMAC-SHA256 tag under a per-connection session key,
-so an unkeyed peer cannot lease a replica or inject a single frame.
-Payloads still travel unencrypted.
+Security: **nothing on the wire is pickled.** Control payloads ride
+the RSX2 codec (:mod:`repro.streams.codec`) and are schema-validated
+before dispatch, the lease's weight function is a named registry entry
+resolved against code already installed here
+(:func:`repro.weights.registry.build_weight_fn`), and oversized frame
+claims are refused before allocation — a hostile peer gets typed
+errors, not code execution. ``--auth-key`` narrows *who* can speak at
+all: with a shared key, every frame (starting with the HELLO) carries
+an HMAC-SHA256 tag under a per-connection session key, so an unkeyed
+peer cannot lease a replica or inject a single frame. Payloads still
+travel unencrypted, so this remains cluster-internal plumbing.
 
 Liveness: ``--heartbeat-timeout`` bounds how long a lease may sit idle
 with no frame (not even a HEARTBEAT) from its coordinator before the
@@ -42,7 +46,6 @@ both default to off.
 from __future__ import annotations
 
 import argparse
-import pickle
 import socket
 import threading
 import time
@@ -53,6 +56,15 @@ from repro.samplers.checkpoint import (
     restore_sampler,
     state_from_wire,
     state_to_wire,
+)
+from repro.streams.codec import (
+    decode as _decode_payload,
+)
+from repro.streams.codec import (
+    encode as _encode_payload,
+)
+from repro.streams.codec import (
+    validate_host_request,
 )
 from repro.streams.transport import (
     FRAME_BLOCK,
@@ -68,6 +80,8 @@ from repro.streams.transport import (
     write_frame,
 )
 from repro.streams.workers import handle_shard_message
+from repro.utils.text import clip_text
+from repro.weights.registry import build_weight_fn
 
 __all__ = ["HostAgent", "spawn_local_host", "main"]
 
@@ -78,11 +92,7 @@ _ACCEPT_POLL_SECONDS = 0.2
 def _send_control(
     sock: socket.socket, reply: tuple, auth: FrameAuth | None = None
 ) -> None:
-    write_frame(
-        sock, FRAME_CONTROL,
-        pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL),
-        auth,
-    )
+    write_frame(sock, FRAME_CONTROL, _encode_payload(reply), auth)
 
 
 class HostAgent:
@@ -100,6 +110,8 @@ class HostAgent:
         auth_key: shared secret enabling HMAC frame signing; peers
             without the same key are rejected at HELLO. ``None``
             (default) accepts unsigned frames.
+        max_frame_bytes: per-frame payload cap, enforced before
+            allocation; ``None`` uses the transport default (64 MiB).
     """
 
     def __init__(
@@ -109,8 +121,10 @@ class HostAgent:
         *,
         heartbeat_timeout: float | None = None,
         auth_key: str | None = None,
+        max_frame_bytes: int | None = None,
     ) -> None:
         self._heartbeat_timeout = heartbeat_timeout
+        self._max_frame_bytes = max_frame_bytes
         self._static_auth = None if auth_key is None else FrameAuth(auth_key)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(
@@ -217,8 +231,21 @@ class HostAgent:
         return time.monotonic() + self._heartbeat_timeout
 
     def _accept_lease(self, conn: socket.socket, auth: FrameAuth | None):
-        """Restore the leased replica; reply with acceptance."""
-        frame = read_frame(conn, deadline=self._read_deadline(), auth=auth)
+        """Restore the leased replica; reply with acceptance.
+
+        The lease payload is hostile until proven otherwise: the RSX2
+        decode bounds its size and depth, the schema check pins its
+        shape, the checkpoint wire frame verifies the state's CRC, and
+        the weight spec is resolved against the local registry — an
+        unknown spec name is a typed :class:`ProtocolError` reported
+        back to the coordinator, never imported or executed code.
+        """
+        frame = read_frame(
+            conn,
+            deadline=self._read_deadline(),
+            auth=auth,
+            max_frame_bytes=self._max_frame_bytes,
+        )
         if frame is None:
             return None  # coordinator went away before leasing
         kind, payload = frame
@@ -226,15 +253,17 @@ class HostAgent:
             raise ProtocolError(
                 f"expected a lease control frame, got kind {kind}"
             )
-        message = pickle.loads(payload)
+        message = validate_host_request(_decode_payload(payload))
         if message[0] != "lease":
             raise ProtocolError(
                 f"expected a lease, got {message[0]!r}"
             )
-        _, shard_index, state_wire, weight_blob = message
+        _, shard_index, state_wire, weight_spec = message
         state = state_from_wire(state_wire)
         weight_fn = (
-            None if weight_blob is None else pickle.loads(weight_blob)
+            None
+            if weight_spec is None
+            else build_weight_fn(weight_spec[0], weight_spec[1])
         )
         sampler = restore_sampler(state, weight_fn)
         _send_control(conn, ("lease", shard_index, "ok"), auth)
@@ -255,7 +284,10 @@ class HostAgent:
         while True:
             try:
                 frame = read_frame(
-                    conn, deadline=self._read_deadline(), auth=auth
+                    conn,
+                    deadline=self._read_deadline(),
+                    auth=auth,
+                    max_frame_bytes=self._max_frame_bytes,
                 )
             except TimeoutError:
                 raise PeerLostError(
@@ -276,7 +308,7 @@ class HostAgent:
                     f"unexpected frame kind {kind} inside a lease"
                 )
             reply, done = handle_shard_message(
-                sampler, pickle.loads(payload)
+                sampler, validate_host_request(_decode_payload(payload))
             )
             if reply is not None:
                 # Checkpoint states travel framed (magic + version +
@@ -299,8 +331,10 @@ class HostAgent:
                 (
                     "error",
                     None,
-                    f"{type(exc).__name__}: {exc}\n"
-                    f"{traceback.format_exc()}",
+                    clip_text(
+                        f"{type(exc).__name__}: {exc}\n"
+                        f"{traceback.format_exc()}"
+                    ),
                 ),
                 auth,
             )
@@ -317,10 +351,15 @@ def _host_agent_main(
     address_pipe,
     heartbeat_timeout: float | None = None,
     auth_key: str | None = None,
+    max_frame_bytes: int | None = None,
 ) -> None:
     """Entry point for :func:`spawn_local_host` (top-level: spawn-safe)."""
     agent = HostAgent(
-        host, port, heartbeat_timeout=heartbeat_timeout, auth_key=auth_key
+        host,
+        port,
+        heartbeat_timeout=heartbeat_timeout,
+        auth_key=auth_key,
+        max_frame_bytes=max_frame_bytes,
     )
     address_pipe.send(agent.address)
     address_pipe.close()
@@ -358,6 +397,7 @@ def spawn_local_host(
     *,
     heartbeat_timeout: float | None = None,
     auth_key: str | None = None,
+    max_frame_bytes: int | None = None,
 ) -> LocalHostHandle:
     """Start a host agent in a child process; return its handle.
 
@@ -373,7 +413,10 @@ def spawn_local_host(
     recv_end, send_end = mp_context.Pipe(duplex=False)
     process = mp_context.Process(
         target=_host_agent_main,
-        args=("127.0.0.1", 0, send_end, heartbeat_timeout, auth_key),
+        args=(
+            "127.0.0.1", 0, send_end, heartbeat_timeout, auth_key,
+            max_frame_bytes,
+        ),
         name="repro-shard-host",
         daemon=True,
     )
@@ -429,6 +472,16 @@ def main(argv=None) -> int:
             "coordinators must pass the same key (default: unsigned)"
         ),
     )
+    parser.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "refuse frames declaring payloads above this many bytes, "
+            "before allocating (default: the transport's 64 MiB cap)"
+        ),
+    )
     args = parser.parse_args(argv)
     host, port = parse_address(args.listen)
     agent = HostAgent(
@@ -436,6 +489,7 @@ def main(argv=None) -> int:
         port,
         heartbeat_timeout=args.heartbeat_timeout,
         auth_key=args.auth_key,
+        max_frame_bytes=args.max_frame_bytes,
     )
     print(f"shard host agent listening on {agent.address}", flush=True)
     try:

@@ -5,10 +5,13 @@ One wire format serves the whole library: the ``RSX1`` frames of
 
 1. a HELLO exchange (JSON, version-checked both ways — same rules as
    the shard transports);
-2. CONTROL frames carrying pickled ``(op, token, ...)`` requests —
-   ``create`` / ``attach`` / ``ingest`` / ``query`` / ``checkpoint`` /
-   ``streams`` — answered by ``(op, token, value)`` or
-   ``("error", token, traceback_text)``;
+2. CONTROL frames carrying RSX2-encoded ``(op, token, ...)`` requests
+   (:mod:`repro.streams.codec` — a self-describing tagged binary
+   format, not pickle) — ``create`` / ``attach`` / ``ingest`` /
+   ``query`` / ``checkpoint`` / ``streams`` — answered by
+   ``(op, token, value)`` or ``("error", token, traceback_text)``.
+   Every decoded request is schema-validated (op whitelist, field
+   types, bounds) before it is dispatched;
 3. BLOCK frames carrying columnar
    :class:`~repro.graph.stream.EventBlock` payloads for the selected
    stream — the fire-and-forget fast path: no per-block acknowledgement,
@@ -33,14 +36,17 @@ other connections. Per-stream ordering is preserved where it matters:
 frames of one connection are applied strictly in order, and sessions
 serialise concurrent writers under their own lock.
 
-Trust model: CONTROL payloads are **pickled** — identical to the shard
-transports, the service must only listen on networks where every peer
-is trusted. This is cluster-internal plumbing, not a public endpoint.
+Trust model: **no pickle on the wire.** CONTROL payloads are RSX2 —
+decoding hostile bytes can raise :class:`~repro.errors.ProtocolError`
+or allocate up to the frame cap (``ServiceConfig.max_frame_bytes``,
+enforced on header bytes before any allocation), never execute code.
 With ``ServiceConfig.auth_key`` set, every frame additionally carries
 an HMAC-SHA256 tag under a per-connection session key (see
 :class:`~repro.streams.transport.FrameAuth`): unkeyed or wrong-keyed
-peers are rejected at HELLO, which narrows *who* can reach the pickle
-layer to holders of the shared key — it does not make pickles safe.
+peers are rejected at HELLO. The two controls compose: HMAC narrows
+*who* can speak to holders of the shared key; RSX2 + schema
+validation narrows *what* any peer — keyed or not — can make the
+service do.
 """
 
 from __future__ import annotations
@@ -48,7 +54,6 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
-import pickle
 import socket
 import threading
 import time
@@ -63,6 +68,12 @@ from repro.errors import (
     ServiceOverloadedError,
 )
 from repro.graph.stream import EventBlock
+from repro.streams.codec import (
+    decode as _decode_payload,
+    encode as _encode_payload,
+    validate_service_reply,
+    validate_service_request,
+)
 from repro.streams.executor import ExecutorOptions
 from repro.streams.queries import run_query
 from repro.streams.service import StreamConfig
@@ -83,12 +94,15 @@ from repro.streams.transport import (
     read_frame,
     write_frame,
 )
+from repro.utils.text import clip_text
 
 __all__ = ["StreamIngestServer", "ServiceClient"]
 
 
 async def _read_frame_async(
-    reader: asyncio.StreamReader, idle_timeout: float | None = None
+    reader: asyncio.StreamReader,
+    idle_timeout: float | None = None,
+    max_frame_bytes: int | None = None,
 ):
     """One frame from an asyncio stream; ``None`` on clean close.
 
@@ -116,7 +130,7 @@ async def _read_frame_async(
             f"connection closed mid-header ({len(exc.partial)} of "
             f"{FRAME_HEADER_SIZE} bytes)"
         ) from exc
-    kind, length = parse_frame_header(header)
+    kind, length = parse_frame_header(header, max_frame_bytes)
     if not length:
         return kind, b""
     try:
@@ -157,11 +171,7 @@ def _check_hello(frame, auth: FrameAuth | None = None) -> dict:
 def _control_reply(
     op: str, token, value, auth: FrameAuth | None = None
 ) -> bytes:
-    return frame_bytes(
-        FRAME_CONTROL,
-        pickle.dumps((op, token, value), protocol=pickle.HIGHEST_PROTOCOL),
-        auth,
-    )
+    return frame_bytes(FRAME_CONTROL, _encode_payload((op, token, value)), auth)
 
 
 class StreamIngestServer:
@@ -180,6 +190,9 @@ class StreamIngestServer:
         #: Idle deadline: drop a connection whose peer sends nothing
         #: (not even a HEARTBEAT) for this long. ``None`` = patient.
         self._idle_timeout = getattr(config, "heartbeat_timeout", None)
+        #: Per-frame payload cap, enforced on header bytes before any
+        #: allocation. ``None`` = :data:`DEFAULT_MAX_FRAME_BYTES`.
+        self._max_frame_bytes = getattr(config, "max_frame_bytes", None)
         auth_key = getattr(config, "auth_key", None)
         self._static_auth = None if auth_key is None else FrameAuth(auth_key)
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -261,7 +274,9 @@ class StreamIngestServer:
         auth: FrameAuth | None = None
         try:
             client_meta = _check_hello(
-                await _read_frame_async(reader, self._idle_timeout),
+                await _read_frame_async(
+                    reader, self._idle_timeout, self._max_frame_bytes
+                ),
                 self._static_auth,
             )
             if self._static_auth is None:
@@ -282,7 +297,9 @@ class StreamIngestServer:
                 auth = self._static_auth.derived(client_meta["nonce"], nonce)
             await writer.drain()
             while True:
-                frame = await _read_frame_async(reader, self._idle_timeout)
+                frame = await _read_frame_async(
+                    reader, self._idle_timeout, self._max_frame_bytes
+                )
                 if frame is None:
                     return
                 kind, payload = frame
@@ -327,7 +344,7 @@ class StreamIngestServer:
                     raise ProtocolError(
                         f"unexpected frame kind {kind} mid-session"
                     )
-                message = pickle.loads(payload)
+                message = validate_service_request(_decode_payload(payload))
                 op, token = message[0], message[1]
                 try:
                     if op == "create":
@@ -408,9 +425,10 @@ class StreamIngestServer:
                     )
                 except Exception:
                     # Control failures are per-request: report with the
-                    # remote traceback, keep the connection alive.
+                    # (size-capped) remote traceback, keep the
+                    # connection alive.
                     reply = _control_reply(
-                        "error", token, traceback.format_exc(), auth
+                        "error", token, clip_text(traceback.format_exc()), auth
                     )
                 writer.write(reply)
                 await writer.drain()
@@ -428,7 +446,7 @@ class StreamIngestServer:
             try:
                 writer.write(
                     _control_reply(
-                        "error", None, traceback.format_exc(), auth
+                        "error", None, clip_text(traceback.format_exc()), auth
                     )
                 )
                 await writer.drain()
@@ -483,6 +501,7 @@ class ServiceClient:
         op_timeout: float | None = 60.0,
         heartbeat_interval: float | None = None,
         auth_key: str | None = None,
+        max_frame_bytes: int | None = None,
     ) -> None:
         if op_timeout is not None and op_timeout <= 0:
             raise ConfigurationError(
@@ -498,6 +517,9 @@ class ServiceClient:
         #: Deadline for every token-matched reply wait (``None`` waits
         #: forever, the pre-liveness behaviour).
         self.op_timeout = op_timeout
+        #: Per-frame payload cap for replies (``None`` uses
+        #: :data:`~repro.streams.transport.DEFAULT_MAX_FRAME_BYTES`).
+        self._max_frame_bytes = max_frame_bytes
         self._auth: FrameAuth | None = None
         self._send_lock = threading.Lock()
         self._peer_lost: str | None = None
@@ -609,31 +631,46 @@ class ServiceClient:
             self._sock.settimeout(0.1)
             while True:
                 frame = read_frame(
-                    self._sock, deadline=deadline, auth=self._auth
+                    self._sock,
+                    deadline=deadline,
+                    auth=self._auth,
+                    max_frame_bytes=self._max_frame_bytes,
                 )
                 if frame is None:
                     return None
                 kind, payload = frame
                 if kind != FRAME_CONTROL:
                     continue
-                reply = pickle.loads(payload)
-                if reply[0] == "error":
+                reply = _decode_payload(payload)
+                if (
+                    isinstance(reply, tuple)
+                    and len(reply) == 3
+                    and reply[0] == "error"
+                    and isinstance(reply[2], str)
+                ):
                     return reply[2]
         except Exception:
             return None
 
     def _read_reply(self, deadline: float | None) -> tuple:
-        """One pickled CONTROL reply, skipping heartbeat echoes."""
+        """One decoded CONTROL reply, skipping heartbeat echoes."""
         while True:
             try:
                 if deadline is None:
                     self._sock.settimeout(None)
-                    frame = read_frame(self._sock, auth=self._auth)
+                    frame = read_frame(
+                        self._sock,
+                        auth=self._auth,
+                        max_frame_bytes=self._max_frame_bytes,
+                    )
                 else:
                     # Finite socket timeout = the deadline's poll tick.
                     self._sock.settimeout(0.1)
                     frame = read_frame(
-                        self._sock, deadline=deadline, auth=self._auth
+                        self._sock,
+                        deadline=deadline,
+                        auth=self._auth,
+                        max_frame_bytes=self._max_frame_bytes,
                     )
             except TimeoutError:
                 raise OperationTimeoutError(
@@ -659,7 +696,7 @@ class ServiceClient:
                 raise ProtocolError(
                     f"expected a control reply, got frame kind {kind}"
                 )
-            return pickle.loads(payload)
+            return validate_service_reply(_decode_payload(payload))
 
     def _overloaded(self, info) -> ServiceOverloadedError:
         info = info if isinstance(info, dict) else {}
@@ -673,12 +710,7 @@ class ServiceClient:
     def _control(self, op: str, *rest):
         self._token += 1
         token = self._token
-        self._send_frame(
-            FRAME_CONTROL,
-            pickle.dumps(
-                (op, token, *rest), protocol=pickle.HIGHEST_PROTOCOL
-            ),
-        )
+        self._send_frame(FRAME_CONTROL, _encode_payload((op, token, *rest)))
         deadline = (
             None
             if self.op_timeout is None

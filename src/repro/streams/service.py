@@ -31,31 +31,45 @@ itself restarts. Three objects carry the design:
 
 Durability uses generation-numbered checkpoint files: every shard
 state of generation *g* is written (atomically, via
-:func:`~repro.utils.io.atomic_write_bytes`) before ``manifest.json`` —
-the commit point — is replaced to name them; the previous generation
-is deleted only afterwards. A crash at any byte leaves either the old
-complete checkpoint or the new complete checkpoint, never a torn mix.
+:func:`~repro.utils.io.atomic_write_bytes`) together with its own
+``manifest-g<g>.json`` before ``manifest.json`` — the commit point —
+is replaced to name them; generations *g* and *g-1* are both retained
+(only *g-2* and older are pruned), so a checkpoint that turns out to
+be corrupt on disk never strands the stream. A crash at any byte
+leaves at least one complete checkpoint, never only a torn mix.
 
-Trust model: the service speaks the shard-transport wire format, whose
-control frames are pickled — run it only on networks where every peer
-is trusted (see :mod:`repro.streams.transport`).
+Everything read back from disk is validated before it is trusted:
+WAL spill segments are CRC-framed (:mod:`repro.streams.codec`),
+checkpoint shard files carry their own framed format, and manifests
+are structurally checked. A file that fails — truncated, bit-flipped,
+zero-length, wrong format — is renamed into the stream's
+``quarantine/`` directory with a :class:`~repro.errors.CorruptStateWarning`
+and restore falls back to the newest generation that validates in
+full. No pickle is read from disk on any of these paths.
+
+Trust model: the service speaks the shard-transport wire format,
+whose control frames are RSX2-encoded and schema-validated — hostile
+bytes raise typed errors instead of executing code (see
+:mod:`repro.streams.transport`).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import pickle
 import re
 import sys
 import threading
 import traceback
+import warnings
 from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 
 from repro.errors import (
     ConfigurationError,
+    CorruptStateWarning,
     PeerLostError,
+    ProtocolError,
     ServiceError,
     ServiceOverloadedError,
     WorkerCrashError,
@@ -68,6 +82,7 @@ from repro.samplers.checkpoint import (
     state_from_wire,
     state_to_wire,
 )
+from repro.streams.codec import wal_from_wire, wal_to_wire
 from repro.streams.executor import (
     ExecutorOptions,
     ShardedStreamExecutor,
@@ -101,6 +116,17 @@ _WAL_SEGMENT = "wal-g{generation:06d}-{seq:06d}.seg"
 
 _WAL_SEGMENT_RE = re.compile(r"^wal-g(\d{6})-(\d{6})\.seg$")
 
+#: Per-generation checkpoint manifest (``manifest.json`` is the commit
+#: pointer naming the latest one).
+_MANIFEST_FILE = "manifest-g{generation:06d}.json"
+
+_MANIFEST_RE = re.compile(r"^manifest-g(\d{6})\.json$")
+
+#: Any generation-numbered checkpoint artefact (for retention pruning).
+_GENERATION_FILE_RE = re.compile(
+    r"^(?:shard-\d{4}-|local-|manifest-)g(\d{6})\.(?:ckpt|json)$"
+)
+
 #: Algorithms the service can host. WSD-L is deliberately absent: it
 #: needs a live policy object, which neither the wire nor the JSON
 #: checkpoint manifest carries — host it in-process by building a
@@ -120,6 +146,63 @@ def _validate_stream_name(name: str) -> None:
             f"bad stream name {name!r}: need 1-128 chars of "
             "[A-Za-z0-9._-], starting with an alphanumeric"
         )
+
+
+def _quarantine_file(directory: Path, path: Path, reason: str) -> Path | None:
+    """Move a corrupt persisted file into ``<stream dir>/quarantine/``.
+
+    The file is renamed (never deleted — an operator may want the
+    bytes for forensics) and a :class:`CorruptStateWarning` names both
+    ends of the move and why. Returns the quarantine path, or ``None``
+    when even the rename failed (the warning still fires).
+    """
+    target: Path | None = None
+    try:
+        quarantine = directory / "quarantine"
+        quarantine.mkdir(parents=True, exist_ok=True)
+        target = quarantine / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = quarantine / f"{path.name}.{suffix}"
+        path.rename(target)
+    except OSError:  # pragma: no cover - rename is same-filesystem
+        target = None
+    warnings.warn(
+        CorruptStateWarning(
+            f"quarantined {path} ({reason})"
+            + (f" -> {target}" if target is not None else "")
+        ),
+        stacklevel=2,
+    )
+    return target
+
+
+class _SkippedGeneration(Exception):
+    """Internal: this manifest repeats a generation already attempted."""
+
+
+def _manifest_candidates(directory: Path) -> list[Path]:
+    """Checkpoint manifests to try, newest first.
+
+    ``manifest.json`` (the commit pointer) leads; the per-generation
+    ``manifest-g*.json`` files follow in descending generation order,
+    so a corrupt latest checkpoint falls back one generation at a
+    time. Duplicate generations are filtered later (the pointer is a
+    copy of the newest per-generation manifest).
+    """
+    candidates: list[Path] = []
+    pointer = directory / "manifest.json"
+    if pointer.is_file():
+        candidates.append(pointer)
+    generations: list[tuple[int, Path]] = []
+    if directory.is_dir():
+        for child in directory.iterdir():
+            found = _MANIFEST_RE.match(child.name)
+            if found is not None:
+                generations.append((int(found.group(1)), child))
+    candidates.extend(path for _gen, path in sorted(generations, reverse=True))
+    return candidates
 
 
 # Local-count vertices are int or str; JSON object keys are str-only,
@@ -365,6 +448,11 @@ class StreamSession:
         self._segments: list[tuple[Path, int]] = []
         self._spilled_events = 0
         self._spill_seq = 0
+        #: Corrupt persisted files renamed aside over this session's
+        #: lifetime (segments + events lost to them), surfaced in
+        #: :meth:`wal_stats`.
+        self._quarantined_segments = 0
+        self._quarantined_events = 0
         # Whether _base_clocks match the persisted checkpoint of
         # self._generation — the precondition for spilled segments to
         # be replayable at restore (a snapshot() without persist breaks
@@ -543,10 +631,43 @@ class StreamSession:
     def _wal_entries(self) -> list:
         """Every live WAL entry, oldest first: spilled segments, then
         the in-memory tail (segments are read back from disk only
-        here, on the recovery path)."""
+        here, on the recovery path).
+
+        Segments are CRC-framed; one that fails validation is
+        quarantined — along with every later segment, because replay
+        order cannot skip a gap — and recovery degrades to best
+        effort for the events it held (see :meth:`_replay`).
+        """
         entries: list = []
-        for path, _count in self._segments:
-            entries.extend(pickle.loads(path.read_bytes()))
+        survivors: list[tuple[Path, int]] = []
+        corrupt_from: int | None = None
+        for index, (path, count) in enumerate(self._segments):
+            if corrupt_from is not None:
+                break
+            try:
+                entries.extend(wal_from_wire(path.read_bytes()))
+                survivors.append((path, count))
+            except (OSError, ProtocolError) as exc:
+                corrupt_from = index
+                directory = self.state_path
+                assert directory is not None
+                _quarantine_file(directory, path, str(exc))
+        if corrupt_from is not None:
+            for path, count in self._segments[corrupt_from:]:
+                self._quarantined_segments += 1
+                self._quarantined_events += count
+                self._spilled_events -= count
+                self._wal_events -= count
+                if path.is_file():
+                    directory = self.state_path
+                    assert directory is not None
+                    _quarantine_file(
+                        directory,
+                        path,
+                        "follows a corrupt WAL segment (replay cannot "
+                        "skip a gap)",
+                    )
+            self._segments = survivors
         entries.extend(self._wal)
         return entries
 
@@ -594,12 +715,19 @@ class StreamSession:
         # retried by _recover), not on some later unrelated query.
         final = self.executor.shard_times()
         for index in range(self.config.shards):
-            if final[index] != expected[index]:
-                raise ServiceError(
-                    f"replay did not converge for shard {index} of "
-                    f"stream {self.name!r}: clock {final[index]} != "
-                    f"expected {expected[index]}"
-                )
+            if final[index] == expected[index]:
+                continue
+            if self._quarantined_segments and final[index] > expected[index]:
+                # Quarantined segments took events out of the WAL that
+                # surviving shards already processed: their clocks run
+                # ahead of what the degraded log can account for. The
+                # CorruptStateWarning already flagged the gap.
+                continue
+            raise ServiceError(
+                f"replay did not converge for shard {index} of "
+                f"stream {self.name!r}: clock {final[index]} != "
+                f"expected {expected[index]}"
+            )
 
     # -- WAL spill ----------------------------------------------------------
 
@@ -635,10 +763,7 @@ class StreamSession:
             generation=self._generation, seq=self._spill_seq
         )
         count = self._wal_memory_events
-        atomic_write_bytes(
-            path,
-            pickle.dumps(self._wal, protocol=pickle.HIGHEST_PROTOCOL),
-        )
+        atomic_write_bytes(path, wal_to_wire(self._wal))
         self._spill_seq += 1
         self._segments.append((path, count))
         self._spilled_events += count
@@ -674,6 +799,8 @@ class StreamSession:
                 "spill_events": self._wal_spill,
                 "hard_limit_events": self._wal_hard_limit,
                 "aligned": self._base_aligned,
+                "quarantined_segments": self._quarantined_segments,
+                "quarantined_events": self._quarantined_events,
             }
 
     # -- checkpointing -------------------------------------------------------
@@ -712,12 +839,16 @@ class StreamSession:
     def _persist(self, states: list[dict]) -> None:
         """Commit one checkpoint generation atomically.
 
-        Every file of generation *g* is written (each one atomically)
-        before ``manifest.json`` — the commit point — is atomically
-        replaced to name them; only then is the previous generation
-        deleted. A crash at any step leaves a manifest whose named
-        files all exist and are internally CRC-checked, so restore
-        always sees one complete, consistent checkpoint.
+        Every file of generation *g* is written (each one atomically),
+        including the generation's own ``manifest-g<g>.json``, before
+        ``manifest.json`` — the commit point — is atomically replaced
+        to name them. Generation *g-1* is **retained**: a checkpoint
+        that later fails validation (disk corruption discovered at
+        restore) must never have destroyed its predecessor, so only
+        generations *g-2* and older are pruned. A crash at any step
+        leaves a manifest whose named files all exist and are
+        internally CRC-checked, so restore always sees at least one
+        complete, consistent checkpoint.
         """
         directory = self.state_path
         assert directory is not None
@@ -754,23 +885,32 @@ class StreamSession:
             "shard_files": shard_files,
             "local_file": local_file,
         }
+        manifest_text = json.dumps(manifest, indent=2, sort_keys=True)
         atomic_write_text(
-            directory / "manifest.json",
-            json.dumps(manifest, indent=2, sort_keys=True),
+            directory / _MANIFEST_FILE.format(generation=generation),
+            manifest_text,
         )
+        atomic_write_text(directory / "manifest.json", manifest_text)
         self._generation = generation
         # The freshly committed manifest is exactly the snapshot that
         # cut the WAL, so spilled segments may build on it again.
         self._base_aligned = True
-        keep = {"manifest.json", "wal", *shard_files}
-        if local_file is not None:
-            keep.add(local_file)
+        # Retention: keep this generation and the previous one; prune
+        # g-2 and older, plus anything unrecognised.
+        keep = {"manifest.json", "wal", "quarantine"}
         for stale in directory.iterdir():
-            if stale.name not in keep:
-                try:
-                    stale.unlink()
-                except OSError:  # pragma: no cover - best-effort cleanup
-                    pass
+            if stale.name in keep:
+                continue
+            found = _GENERATION_FILE_RE.match(stale.name)
+            if found is not None and int(found.group(1)) in (
+                generation,
+                generation - 1,
+            ):
+                continue
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
         # Every WAL segment predates the manifest commit (checkpoint
         # trims the log first), so the spill directory sweeps clean.
         wal_dir = directory / "wal"
@@ -807,52 +947,145 @@ class StreamSession:
         folded into a fresh checkpoint, so events that outlived their
         process only in the spill directory are not lost; segments from
         any other generation are stale and deleted.
+
+        Every file is validated before it is trusted: a manifest that
+        does not parse, a shard file that fails its framed-format
+        checks, or a local-count file that does not decode is
+        quarantined (renamed into ``quarantine/`` with a
+        :class:`~repro.errors.CorruptStateWarning`) and restore falls
+        back to the newest older generation that validates in full —
+        generations N and N-1 are both on disk by construction. Only
+        when no generation validates does restore raise.
         """
         directory = Path(state_dir) / name
-        manifest_path = directory / "manifest.json"
-        if not manifest_path.is_file():
+        candidates = _manifest_candidates(directory)
+        if not candidates:
             raise ServiceError(
                 f"no checkpoint for stream {name!r} under {state_dir}"
             )
-        manifest = json.loads(manifest_path.read_text("utf-8"))
+        failures: list[str] = []
+        tried: set[int] = set()
+        for manifest_path in candidates:
+            if not manifest_path.is_file():
+                continue  # quarantined by an earlier candidate's failure
+            try:
+                manifest, config, manifest_options, states, local_counts = (
+                    cls._load_checkpoint(directory, manifest_path, tried)
+                )
+            except _SkippedGeneration:
+                continue
+            except ServiceError as exc:
+                failures.append(str(exc))
+                continue
+            session = cls(
+                name,
+                config,
+                options=options if options is not None else manifest_options,
+                state_dir=state_dir,
+                auto_restart=auto_restart,
+                wal_limit_events=wal_limit_events,
+                wal_spill_events=wal_spill_events,
+                wal_hard_limit_events=wal_hard_limit_events,
+                recovery_policy=recovery_policy,
+                _states=states,
+                _generation=int(manifest["generation"]),
+                _local_counts=local_counts,
+            )
+            session._replay_spilled(int(manifest["generation"]))
+            return session
+        raise ServiceError(
+            f"no checkpoint generation for stream {name!r} under "
+            f"{state_dir} validates: " + "; ".join(failures)
+        )
+
+    @classmethod
+    def _load_checkpoint(
+        cls, directory: Path, manifest_path: Path, tried: set[int]
+    ) -> tuple:
+        """Read and fully validate one checkpoint generation.
+
+        Returns ``(manifest, config, options, states, local_counts)``
+        or raises :class:`ServiceError` naming what failed — after
+        quarantining the corrupt file so the next restore attempt (or
+        the fallback to an older generation) does not trip over it
+        again. Raises :class:`_SkippedGeneration` when this manifest
+        names a generation an earlier candidate already covered.
+        """
+        try:
+            manifest = json.loads(manifest_path.read_text("utf-8"))
+            if not isinstance(manifest, dict):
+                raise ValueError("manifest is not a JSON object")
+        except (OSError, UnicodeDecodeError, ValueError) as exc:
+            _quarantine_file(directory, manifest_path, f"unreadable manifest: {exc}")
+            raise ServiceError(
+                f"{manifest_path.name} does not parse: {exc}"
+            ) from exc
         if manifest.get("format") != MANIFEST_FORMAT:
             raise ServiceError(
-                f"stream {name!r} checkpoint has format "
+                f"{manifest_path.name} has format "
                 f"{manifest.get('format')!r}; this build reads "
                 f"{MANIFEST_FORMAT}"
             )
-        config = StreamConfig.from_dict(manifest["config"])
-        if options is None:
-            options = ExecutorOptions.from_dict(manifest["options"])
-        states = [
-            state_from_wire((directory / fname).read_bytes())
-            for fname in manifest["shard_files"]
-        ]
+        generation = manifest.get("generation")
+        if isinstance(generation, int):
+            if generation in tried:
+                raise _SkippedGeneration()
+            tried.add(generation)
+        try:
+            config = StreamConfig.from_dict(manifest["config"])
+            manifest_options = ExecutorOptions.from_dict(manifest["options"])
+            shard_files = manifest["shard_files"]
+            if not isinstance(shard_files, list) or not all(
+                isinstance(fname, str) for fname in shard_files
+            ):
+                raise ValueError("shard_files is not a list of names")
+        except (
+            KeyError,
+            TypeError,
+            ValueError,
+            ConfigurationError,
+        ) as exc:
+            _quarantine_file(
+                directory, manifest_path, f"malformed manifest: {exc}"
+            )
+            raise ServiceError(
+                f"{manifest_path.name} is malformed: {exc}"
+            ) from exc
+        states = []
+        for fname in shard_files:
+            shard_path = directory / fname
+            if not shard_path.is_file():
+                raise ServiceError(
+                    f"{manifest_path.name} names missing shard file {fname}"
+                )
+            try:
+                states.append(state_from_wire(shard_path.read_bytes()))
+            except Exception as exc:
+                _quarantine_file(directory, shard_path, str(exc))
+                raise ServiceError(
+                    f"shard file {fname} fails validation: {exc}"
+                ) from exc
         local_counts = None
         if manifest.get("local_file"):
-            payload = json.loads(
-                (directory / manifest["local_file"]).read_text("utf-8")
-            )
-            local_counts = {
-                _decode_vertex(pair): float(value)
-                for pair, value in payload["vertices"]
-            }
-        session = cls(
-            name,
-            config,
-            options=options,
-            state_dir=state_dir,
-            auto_restart=auto_restart,
-            wal_limit_events=wal_limit_events,
-            wal_spill_events=wal_spill_events,
-            wal_hard_limit_events=wal_hard_limit_events,
-            recovery_policy=recovery_policy,
-            _states=states,
-            _generation=int(manifest["generation"]),
-            _local_counts=local_counts,
-        )
-        session._replay_spilled(int(manifest["generation"]))
-        return session
+            local_path = directory / manifest["local_file"]
+            if not local_path.is_file():
+                raise ServiceError(
+                    f"{manifest_path.name} names missing local-count "
+                    f"file {manifest['local_file']}"
+                )
+            try:
+                payload = json.loads(local_path.read_text("utf-8"))
+                local_counts = {
+                    _decode_vertex(pair): float(value)
+                    for pair, value in payload["vertices"]
+                }
+            except Exception as exc:
+                _quarantine_file(directory, local_path, str(exc))
+                raise ServiceError(
+                    f"local-count file {manifest['local_file']} fails "
+                    f"validation: {exc}"
+                ) from exc
+        return manifest, config, manifest_options, states, local_counts
 
     def _replay_spilled(self, generation: int) -> None:
         """Fold restore-time WAL segments back into the stream.
@@ -866,6 +1099,11 @@ class StreamSession:
         under crashes: the segments outlive the replay until the final
         checkpoint's manifest commit, so a re-restore replays them
         again from the same base.
+
+        Each segment is CRC-validated before a single event of it is
+        replayed; a segment that fails is quarantined together with
+        every later segment (replay cannot skip a gap), and the valid
+        prefix is still folded in.
         """
         wal_dir = self._wal_dir
         if wal_dir is None or not wal_dir.is_dir():
@@ -887,12 +1125,33 @@ class StreamSession:
                 pass
         if not matched:
             return
+        directory = self.state_path
+        assert directory is not None
+        ordered = sorted(matched)
+        decoded: list[list] = []
+        for index, (_seq, path) in enumerate(ordered):
+            try:
+                decoded.append(wal_from_wire(path.read_bytes()))
+            except (OSError, ProtocolError) as exc:
+                _quarantine_file(directory, path, str(exc))
+                self._quarantined_segments += 1
+                for _later_seq, later in ordered[index + 1:]:
+                    self._quarantined_segments += 1
+                    _quarantine_file(
+                        directory,
+                        later,
+                        "follows a corrupt WAL segment (replay cannot "
+                        "skip a gap)",
+                    )
+                break
+        if not decoded:
+            return
         with self._lock:
             spill, self._wal_spill = self._wal_spill, None
             hard, self._wal_hard_limit = self._wal_hard_limit, None
             try:
-                for _seq, path in sorted(matched):
-                    for entry in pickle.loads(path.read_bytes()):
+                for entries in decoded:
+                    for entry in entries:
                         self.ingest(entry)
             finally:
                 self._wal_spill = spill
@@ -947,7 +1206,11 @@ class ServiceConfig:
     (spill to disk, then shed load with typed overload errors);
     ``recovery_policy`` governs supervised crash recovery;
     ``heartbeat_timeout`` drops ingest connections that go fully
-    silent; ``auth_key`` requires HMAC-signed frames from every client.
+    silent; ``auth_key`` requires HMAC-signed frames from every
+    client; ``max_frame_bytes`` caps how large a single wire frame's
+    declared payload may be (enforced on header bytes, before any
+    allocation — ``None`` uses
+    :data:`~repro.streams.transport.DEFAULT_MAX_FRAME_BYTES`).
     """
 
     listen: str = "127.0.0.1:0"
@@ -961,6 +1224,7 @@ class ServiceConfig:
     recovery_policy: RecoveryPolicy | None = None
     heartbeat_timeout: float | None = None
     auth_key: str | None = None
+    max_frame_bytes: int | None = None
 
     def validate(self) -> None:
         if self.checkpoint_interval is not None and not self.checkpoint_interval > 0:
@@ -986,6 +1250,11 @@ class ServiceConfig:
         ):
             raise ConfigurationError(
                 "heartbeat_timeout must be > 0 (or None)"
+            )
+        if self.max_frame_bytes is not None and self.max_frame_bytes < 4096:
+            raise ConfigurationError(
+                f"max_frame_bytes must be >= 4096 (or None), got "
+                f"{self.max_frame_bytes}"
             )
         if self.recovery_policy is not None:
             self.recovery_policy.validate()
@@ -1018,7 +1287,7 @@ class CountingService:
             root = Path(self.config.state_dir)
             root.mkdir(parents=True, exist_ok=True)
             for child in sorted(root.iterdir()):
-                if not (child / "manifest.json").is_file():
+                if not _manifest_candidates(child):
                     continue
                 self._sessions[child.name] = StreamSession.restore(
                     child.name,
@@ -1168,8 +1437,10 @@ def main(argv: list[str] | None = None) -> int:
         description=(
             "Run a long-lived subgraph-counting service: clients create "
             "named streams, push edge events over TCP, and query "
-            "estimates while ingestion continues. Trusted networks "
-            "only — the wire protocol carries pickled control frames."
+            "estimates while ingestion continues. Control frames are "
+            "RSX2-encoded and schema-validated (no pickle on the "
+            "wire); pass --auth-key to additionally require "
+            "HMAC-signed frames."
         ),
     )
     parser.add_argument(
@@ -1236,6 +1507,16 @@ def main(argv: list[str] | None = None) -> int:
             "must present the same key (default: unsigned)"
         ),
     )
+    parser.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "cap on a single wire frame's declared payload, enforced "
+            "before allocation (default: 64 MiB)"
+        ),
+    )
     args = parser.parse_args(argv)
     config = ServiceConfig(
         listen=args.listen,
@@ -1246,6 +1527,7 @@ def main(argv: list[str] | None = None) -> int:
         wal_hard_limit_events=args.wal_hard_limit,
         heartbeat_timeout=args.heartbeat_timeout,
         auth_key=args.auth_key,
+        max_frame_bytes=args.max_frame_bytes,
     )
     service = CountingService(config)
     address = service.start()

@@ -14,11 +14,12 @@ the *network* implementation. Three transports exist:
   replica restored from a shipped checkpoint behind a socket behaves
   bit-identically to one in a local worker process.
 
-Wire format (stdlib only — ``socket`` + ``struct`` + ``pickle``):
-every frame is a fixed header (magic, protocol version byte, frame
-kind, payload length) followed by exactly ``length`` payload bytes.
-A truncated frame, a wrong magic, an absurd declared length, or a
-cross-version frame raises :class:`~repro.errors.ProtocolError`
+Wire format (stdlib only — ``socket`` + ``struct``): every frame is a
+fixed header (magic, protocol version byte, frame kind, payload
+length) followed by exactly ``length`` payload bytes. A truncated
+frame, a wrong magic, a declared length above the frame cap
+(:data:`DEFAULT_MAX_FRAME_BYTES`, checked *before* any allocation), or
+a cross-version frame raises :class:`~repro.errors.ProtocolError`
 instead of deserialising garbage, and version mismatches are rejected
 at the HELLO handshake before any payload is exchanged. Three frame
 kinds carry the whole protocol:
@@ -29,10 +30,13 @@ kinds carry the whole protocol:
   (the PR-4 ``write_into``/``from_buffer`` wire format, reused
   byte-for-byte), with the declared event count cross-checked against
   the frame length;
-* ``CONTROL`` — a pickled protocol tuple: batch chunks for non-int
-  label streams, ``sync``/``snapshot``/``stop`` requests and replies,
-  the initial shard lease, and error reports. Checkpoint states inside
-  control tuples travel framed by
+* ``CONTROL`` — a protocol tuple in the RSX2 control codec
+  (:mod:`repro.streams.codec`): batch chunks for non-int label
+  streams, ``sync``/``snapshot``/``stop`` requests and replies, the
+  initial shard lease, and error reports. Every decoded message is
+  schema-validated before dispatch, so a well-formed-but-wrong tuple
+  is as loud as a corrupt one. Checkpoint states inside control
+  tuples travel framed by
   :func:`~repro.samplers.checkpoint.state_to_wire` (magic + version +
   CRC-32), so state corruption also fails loudly.
 
@@ -54,16 +58,18 @@ window passes with silence. A declared-dead peer surfaces as the typed
 (retryable) :class:`~repro.errors.PeerLostError` instead of a hang or
 a late send failure.
 
-Trust model: control frames are **pickled** (and leases carry pickled
-weight functions), so a host agent must only ever listen on a network
-where every peer is trusted — the same trust the process backend
-places in its parent. This is a cluster-internal transport, not a
-public API surface. Optional shared-key authentication
-(:class:`FrameAuth`) narrows that caveat: with ``--auth-key`` set on
-both ends, every frame carries an HMAC-SHA256 tag keyed by a
-per-connection session key (each HELLO contributes a fresh nonce), so
-an unkeyed peer cannot get a single pickled byte accepted. This
-authenticates peers; it does not encrypt traffic.
+Trust model: **no pickle on the wire.** Since protocol version 2,
+control payloads ride the RSX2 codec — tagged scalars and containers
+with hard depth and size limits — and leases carry a *named*
+weight-spec registry entry instead of a pickled callable, so hostile
+bytes can produce a typed error, never code execution or an oversized
+allocation. Optional shared-key authentication (:class:`FrameAuth`)
+narrows *who* can speak at all: with ``--auth-key`` set on both ends,
+every frame carries an HMAC-SHA256 tag keyed by a per-connection
+session key (each HELLO contributes a fresh nonce), so an unkeyed
+peer cannot get a single frame accepted. HMAC narrows who, the codec
+narrows what; neither encrypts traffic — this remains a
+cluster-internal transport, not a public API surface.
 """
 
 from __future__ import annotations
@@ -72,7 +78,6 @@ import hashlib
 import hmac as hmac_module
 import json
 import os
-import pickle
 import socket
 import struct
 import threading
@@ -81,9 +86,13 @@ from abc import ABC, abstractmethod
 
 from repro.errors import ConfigurationError, PeerLostError, ProtocolError
 from repro.graph.stream import EventBlock
+from repro.streams.codec import decode as _decode_payload
+from repro.streams.codec import encode as _encode_payload
+from repro.streams.codec import validate_host_reply
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
     "ShardTransport",
     "TransportClosed",
     "TcpShardTransport",
@@ -101,8 +110,10 @@ __all__ = [
 ]
 
 #: Version byte carried by every frame; bumped on any incompatible
-#: wire-format change. Mismatches are rejected at handshake.
-PROTOCOL_VERSION = 1
+#: wire-format change. Mismatches are rejected at handshake, so a
+#: mixed fleet fails closed with a typed error instead of misparsing.
+#: Version 2 retired pickled CONTROL payloads for the RSX2 codec.
+PROTOCOL_VERSION = 2
 
 #: Frame header: magic, protocol version, frame kind, payload length.
 _FRAME_MAGIC = b"RSX1"
@@ -116,11 +127,14 @@ FRAME_BLOCK = 2
 FRAME_HEARTBEAT = 3
 _FRAME_KINDS = (FRAME_HELLO, FRAME_CONTROL, FRAME_BLOCK, FRAME_HEARTBEAT)
 
-#: Upper bound on a declared payload length. Far above any real frame
-#: (event chunks are slot-ring sized, checkpoints are compact JSON);
-#: its job is to turn a garbage header into a loud ProtocolError
-#: instead of a multi-gigabyte allocation.
-_MAX_FRAME_BYTES = 1 << 31
+#: Default upper bound on a declared payload length, enforced *before*
+#: any allocation: a hostile u64 length claim fails as a ProtocolError
+#: while still just a header. 64 MiB is far above any real frame
+#: (event chunks are slot-ring sized, checkpoints are compact JSON)
+#: yet small enough that even a burst of lying peers cannot pressure
+#: memory. Raisable per executor/service via the ``max_frame_bytes``
+#: knob when genuinely huge checkpoints need to travel.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 
 class TransportClosed(Exception):
@@ -299,15 +313,20 @@ def frame_bytes(kind: int, payload, auth: FrameAuth | None = None) -> bytes:
     return header + payload if len(payload) else header
 
 
-def parse_frame_header(header_bytes: bytes) -> tuple[int, int]:
+def parse_frame_header(
+    header_bytes: bytes, max_frame_bytes: int | None = None
+) -> tuple[int, int]:
     """Validate a frame header; return ``(kind, payload length)``.
 
     The validation half of :func:`read_frame`, factored out for
     readers that do their own buffering (``asyncio`` streams): magic,
-    protocol version, frame kind, and declared-length sanity all fail
-    with :class:`~repro.errors.ProtocolError` exactly as the socket
-    reader does.
+    protocol version, frame kind, and the declared-length cap
+    (``max_frame_bytes``, default :data:`DEFAULT_MAX_FRAME_BYTES`) all
+    fail with :class:`~repro.errors.ProtocolError` exactly as the
+    socket reader does — and the cap fails *here*, on header bytes
+    alone, so a lying length never reaches an allocation.
     """
+    cap = DEFAULT_MAX_FRAME_BYTES if max_frame_bytes is None else max_frame_bytes
     magic, version, kind, length = _FRAME_HEADER.unpack(header_bytes)
     if magic != _FRAME_MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
@@ -318,9 +337,10 @@ def parse_frame_header(header_bytes: bytes) -> tuple[int, int]:
         )
     if kind not in _FRAME_KINDS:
         raise ProtocolError(f"unknown frame kind {kind}")
-    if length > _MAX_FRAME_BYTES:
+    if length > cap:
         raise ProtocolError(
-            f"frame declares an absurd payload length ({length} bytes)"
+            f"frame declares a payload of {length} bytes, above the "
+            f"{cap}-byte frame cap; refusing before allocation"
         )
     return kind, length
 
@@ -401,22 +421,24 @@ def read_frame(
     *,
     deadline: float | None = None,
     auth: FrameAuth | None = None,
+    max_frame_bytes: int | None = None,
 ) -> tuple[int, bytes] | None:
     """Read one frame; ``None`` on a clean close between frames.
 
     Validates the magic, the protocol version, the frame kind, and the
     declared length (the payload read is exact, so a peer that died
     mid-frame surfaces as a truncation) — any violation raises
-    :class:`~repro.errors.ProtocolError`. ``deadline`` bounds the whole
-    read (see :func:`_recv_exact`); ``auth`` verifies and strips the
-    frame's HMAC tag.
+    :class:`~repro.errors.ProtocolError`, and an over-cap declared
+    length is refused before the payload is read. ``deadline`` bounds
+    the whole read (see :func:`_recv_exact`); ``auth`` verifies and
+    strips the frame's HMAC tag.
     """
     header_bytes = _recv_exact(
         sock, _FRAME_HEADER.size, at_boundary=True, deadline=deadline
     )
     if not header_bytes:
         return None
-    kind, length = parse_frame_header(header_bytes)
+    kind, length = parse_frame_header(header_bytes, max_frame_bytes)
     payload = (
         _recv_exact(sock, length, at_boundary=False, deadline=deadline)
         if length
@@ -451,7 +473,7 @@ def expect_hello(
 
     The frame header already carries (and :func:`read_frame` already
     checks) the version byte, so a cross-version peer is rejected here
-    — at handshake — before any pickled payload is touched. With
+    — at handshake — before any control payload is decoded. With
     ``auth`` (the *static* key: session keys do not exist before both
     nonces are known), an unsigned or wrong-keyed HELLO is rejected,
     and the peer's HELLO must carry a nonce.
@@ -509,21 +531,28 @@ class TcpShardTransport(ShardTransport):
 
     Constructing the transport performs the whole bring-up: connect,
     exchange HELLO handshakes (version-checked both ways), then lease
-    the shard — ship its framed checkpoint state and pickled weight
-    function — and wait for the host's acceptance. From then on the
-    message protocol is exactly the process backend's; checkpoint
+    the shard — ship its framed checkpoint state and named weight-spec
+    registry entry — and wait for the host's acceptance. From then on
+    the message protocol is exactly the process backend's; checkpoint
     states in ``snapshot``/``stop`` replies arrive framed and are
     decoded (integrity-checked) here, so the protocol layer above sees
-    plain state dicts on every transport.
+    plain state dicts on every transport. Every control reply is
+    decoded by the RSX2 codec and schema-validated before it reaches
+    the protocol layer.
 
     Args:
         shard_index: position of this replica in the executor.
         state: the replica's checkpoint (ships framed).
-        weight_blob: the replica's pickled weight function, or ``None``.
+        weight_spec: the replica's named weight spec ``(name, params)``
+            from :func:`repro.weights.registry.weight_spec_for`, or
+            ``None`` (pairing samplers; learned weights ride the
+            checkpoint).
         address: the host agent's ``"host:port"``.
         poll_seconds: receive-side liveness poll granularity.
         connect_timeout: seconds allowed for connect + handshake +
             lease acceptance.
+        max_frame_bytes: per-connection frame cap override (``None``
+            uses :data:`DEFAULT_MAX_FRAME_BYTES`).
         heartbeat_interval: seconds between HEARTBEAT frames sent to
             the host from a background thread (``None`` disables).
             A failed heartbeat send marks the peer lost, so a dead or
@@ -540,18 +569,20 @@ class TcpShardTransport(ShardTransport):
         self,
         shard_index: int,
         state: dict,
-        weight_blob: bytes | None,
+        weight_spec: tuple[str, dict] | None,
         address: str,
         poll_seconds: float = 0.2,
         connect_timeout: float = 10.0,
         heartbeat_interval: float | None = None,
         auth_key: str | None = None,
+        max_frame_bytes: int | None = None,
     ) -> None:
         from repro.samplers.checkpoint import state_to_wire
 
         self.shard_index = shard_index
         self.address = address
         self._poll_seconds = poll_seconds
+        self._max_frame_bytes = max_frame_bytes
         self._closed = False
         self._sock: socket.socket | None = None
         self._auth: FrameAuth | None = None
@@ -599,7 +630,7 @@ class TcpShardTransport(ShardTransport):
                 )
                 self._auth = static.derived(nonce, meta["nonce"])
             self.send(
-                ("lease", shard_index, state_to_wire(state), weight_blob)
+                ("lease", shard_index, state_to_wire(state), weight_spec)
             )
             reply = self.recv()
             if reply[0] == "error":
@@ -683,9 +714,7 @@ class TcpShardTransport(ShardTransport):
                 else:
                     write_frame(
                         sock, FRAME_CONTROL,
-                        pickle.dumps(
-                            message, protocol=pickle.HIGHEST_PROTOCOL
-                        ),
+                        _encode_payload(message),
                         self._auth,
                     )
         except OSError:
@@ -707,7 +736,11 @@ class TcpShardTransport(ShardTransport):
         sock.settimeout(self._poll_seconds)
         while True:
             try:
-                frame = read_frame(sock, auth=self._auth)
+                frame = read_frame(
+                    sock,
+                    auth=self._auth,
+                    max_frame_bytes=self._max_frame_bytes,
+                )
             except (ProtocolError, OSError) as exc:
                 self._raise_if_lost()
                 self._shutdown()
@@ -735,8 +768,8 @@ class TcpShardTransport(ShardTransport):
                 f"{self.address} (expected a control reply)"
             )
         try:
-            reply = pickle.loads(payload)
-        except Exception as exc:
+            reply = validate_host_reply(_decode_payload(payload))
+        except ProtocolError as exc:
             self._shutdown()
             raise TransportClosed(
                 f"undecodable reply from shard host {self.address}: {exc}"
@@ -766,13 +799,14 @@ class TcpShardTransport(ShardTransport):
                     sock,
                     deadline=time.monotonic() + 1.0,
                     auth=self._auth,
+                    max_frame_bytes=self._max_frame_bytes,
                 )
                 if frame is None:
                     return None
                 kind, payload = frame
                 if kind != FRAME_CONTROL:
                     continue
-                reply = pickle.loads(payload)
+                reply = validate_host_reply(_decode_payload(payload))
                 if reply[0] == "error":
                     return reply[2]
         except Exception:

@@ -30,11 +30,15 @@ rules keep the parallel run *result-identical* to the serial one:
   path (``transport="queue"`` forces it) — the event sequence the
   replica sees is identical either way, so results do not depend on
   the transport.
-* **The weight function is pickled up front.** Threshold samplers need
-  their weight function re-supplied on restore; it is pickled in the
-  parent *regardless of start method* so a configuration that would
-  fail under ``spawn`` fails identically (and immediately) under
-  ``fork``.
+* **The weight function ships up front.** Threshold samplers need
+  their weight function re-supplied on restore. For the local process
+  tier it is pickled in the parent *regardless of start method* so a
+  configuration that would fail under ``spawn`` fails identically (and
+  immediately) under ``fork`` — the queue between parent and child is
+  in-process trust, the one place pickle remains. Remote leases ship a
+  *named weight-spec registry entry* instead
+  (:func:`repro.weights.registry.weight_spec_for`), resolved against
+  the host agent's own registry — no callable ever crosses a socket.
 
 The wire protocol is a strict request/reply sequence per worker:
 ``("batch", payload)`` / ``("block", bytes)`` / ``("batch_shm", slot,
@@ -78,6 +82,8 @@ from repro.streams.transport import (
     TcpShardTransport,
     TransportClosed,
 )
+from repro.utils.text import clip_text
+from repro.weights.registry import weight_spec_for
 
 try:  # pragma: no cover - import guard for exotic builds
     from multiprocessing import shared_memory as _shared_memory
@@ -233,7 +239,10 @@ def _worker_main(
             (
                 "error",
                 None,
-                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+                clip_text(
+                    f"{type(exc).__name__}: {exc}\n"
+                    f"{traceback.format_exc()}"
+                ),
             )
         )
     finally:
@@ -528,8 +537,11 @@ class ShardWorker:
         state: the replica's checkpoint
             (:func:`~repro.samplers.checkpoint.sampler_state_dict`).
         weight_fn: the replica's weight function, or ``None`` for the
-            pairing samplers. Pickled here, in the parent, so the
-            spawn-safety contract is enforced uniformly.
+            pairing samplers. For local workers it is pickled here, in
+            the parent, so the spawn-safety contract is enforced
+            uniformly; for remote leases it is translated to its named
+            weight-spec registry entry (an unregistered function fails
+            here, before any bytes move).
         mp_context: a :mod:`multiprocessing` context or start-method
             name (``"fork"`` / ``"spawn"`` / ``"forkserver"``); ``None``
             uses the platform default. Ignored for remote workers.
@@ -577,6 +589,7 @@ class ShardWorker:
         stop_timeout: float = 10.0,
         heartbeat_interval: float | None = None,
         auth_key: str | None = None,
+        max_frame_bytes: int | None = None,
     ) -> None:
         if queue_depth < 1:
             raise ConfigurationError(
@@ -587,17 +600,6 @@ class ShardWorker:
                 f"transport must be 'auto', 'shm' or 'queue', got "
                 f"{transport!r}"
             )
-        try:
-            weight_blob = (
-                None if weight_fn is None else pickle.dumps(weight_fn)
-            )
-        except Exception as exc:
-            raise ConfigurationError(
-                f"shard {shard_index}: weight function "
-                f"{type(weight_fn).__name__} is not picklable; the "
-                "parallel backends ship it to the worker — use a "
-                "picklable weight function or the serial backend"
-            ) from exc
         self.shard_index = shard_index
         self.host = host
         self._token = 0
@@ -609,13 +611,38 @@ class ShardWorker:
             slot_poll_seconds = _SLOT_POLL_SECONDS
         try:
             if host is not None:
+                # Remote tier: a named registry spec, never a pickled
+                # callable. Unregistered weight functions fail here,
+                # in the parent, with configuration guidance.
+                try:
+                    weight_spec = weight_spec_for(weight_fn)
+                except ConfigurationError as exc:
+                    raise ConfigurationError(
+                        f"shard {shard_index}: {exc}"
+                    ) from None
                 self.transport: ShardTransport = TcpShardTransport(
-                    shard_index, state, weight_blob, host,
+                    shard_index, state, weight_spec, host,
                     poll_seconds=poll_seconds,
                     heartbeat_interval=heartbeat_interval,
                     auth_key=auth_key,
+                    max_frame_bytes=max_frame_bytes,
                 )
             else:
+                # Local tier: the queue between parent and child is
+                # in-process trust — pickling the weight function here
+                # (regardless of start method) keeps the spawn-safety
+                # contract uniform.
+                try:
+                    weight_blob = (
+                        None if weight_fn is None else pickle.dumps(weight_fn)
+                    )
+                except Exception as exc:
+                    raise ConfigurationError(
+                        f"shard {shard_index}: weight function "
+                        f"{type(weight_fn).__name__} is not picklable; the "
+                        "parallel backends ship it to the worker — use a "
+                        "picklable weight function or the serial backend"
+                    ) from exc
                 if mp_context is None or isinstance(mp_context, str):
                     mp_context = multiprocessing.get_context(mp_context)
                 self.transport = ProcessShardTransport(

@@ -1,0 +1,38 @@
+"""Text helpers shared by the wire-facing layers.
+
+One job today: :func:`clip_text`, the head+tail truncation applied to
+every remote traceback before it rides an ``("error", ...)`` control
+frame. A pathological exception chain (deep ``__cause__`` nesting,
+megabyte repr values) must not be able to balloon an error reply past
+the frame cap — the report exists to *diagnose* a failure, not to
+become one.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TRACEBACK_LIMIT", "clip_text"]
+
+#: Default budget (in characters, which is bytes for the ASCII bulk of
+#: a traceback) for a remote error report. Generous for real
+#: tracebacks — hundreds of frames fit — but far below any frame cap.
+TRACEBACK_LIMIT = 16 * 1024
+
+
+def clip_text(text: str, limit: int = TRACEBACK_LIMIT) -> str:
+    """Bound ``text`` to ``limit`` characters, keeping head and tail.
+
+    The head carries the exception site, the tail carries the final
+    "raised from" chain — the two halves a human actually reads — with
+    an explicit elision marker in between so a clipped report is never
+    mistaken for a complete one.
+    """
+    if len(text) <= limit:
+        return text
+    head = max(0, (limit - 64) // 2)
+    tail = max(0, limit - 64 - head)
+    elided = len(text) - head - tail
+    return (
+        text[:head]
+        + f"\n... [{elided} characters elided] ...\n"
+        + text[len(text) - tail:]
+    )

@@ -9,6 +9,11 @@ from repro.weights.features import (
 )
 from repro.weights.heuristic import DegreeWeight, GPSHeuristicWeight, UniformWeight
 from repro.weights.learned import ActionPolicy, LearnedWeight
+from repro.weights.registry import (
+    build_weight_fn,
+    register_weight_spec,
+    weight_spec_for,
+)
 
 __all__ = [
     "WeightContext",
@@ -22,4 +27,7 @@ __all__ = [
     "raw_state_vector",
     "state_dimension",
     "TEMPORAL_AGGREGATIONS",
+    "register_weight_spec",
+    "build_weight_fn",
+    "weight_spec_for",
 ]

@@ -181,13 +181,28 @@ class TestDurability:
         manifest = json.loads((directory / "manifest.json").read_text())
         assert manifest["generation"] == 2
         on_disk = {p.name for p in directory.iterdir()}
-        # only the committed generation's files remain
-        assert on_disk == {"manifest.json", *manifest["shard_files"]}
+        # the committed generation AND its predecessor are retained
+        # (the fallback target if generation 2 turns out corrupt);
+        # anything older is pruned
+        assert on_disk == {
+            "manifest.json",
+            "manifest-g000001.json",
+            "manifest-g000002.json",
+            "shard-0000-g000001.ckpt",
+            *manifest["shard_files"],
+        }
         # stray files from a hypothetical torn write do not break restore
         (directory / "shard-0000-g000099.ckpt").write_bytes(b"garbage")
         restored = StreamSession.restore("gen", tmp_path)
         assert restored.clock == 400
+        restored.ingest(events[400:600])
+        restored.checkpoint()  # generation 3: generation 1 is pruned
         restored.close()
+        on_disk = {p.name for p in directory.iterdir()}
+        assert "shard-0000-g000001.ckpt" not in on_disk
+        assert "manifest-g000001.json" not in on_disk
+        assert "shard-0000-g000002.ckpt" in on_disk
+        assert "shard-0000-g000099.ckpt" not in on_disk  # unrecognised gen swept
 
     def test_service_restores_every_tenant_at_boot(self, events, tmp_path):
         config_a = StreamConfig(budget=200, seed=1)

@@ -126,7 +126,7 @@ class TestFraming:
                 _FRAME_MAGIC, PROTOCOL_VERSION, FRAME_CONTROL, 1 << 40
             )
         )
-        with pytest.raises(ProtocolError, match="length"):
+        with pytest.raises(ProtocolError, match="frame cap"):
             read_frame(right)
 
 
